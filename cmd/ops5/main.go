@@ -1,0 +1,56 @@
+// Command ops5 is the interactive OPS5 top level: load a program, then
+// inspect and drive it with the classic commands (run, wm, pm, cs,
+// matches, make, remove).
+//
+// Usage:
+//
+//	ops5 file.ops5
+//	ops5 -program monkeys
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	psme "repro"
+	"repro/internal/repl"
+)
+
+func main() {
+	program := flag.String("program", "", "load a built-in program (weaver, rubik, tourney, monkeys) instead of a file")
+	scale := flag.Float64("scale", 1.0, "built-in program scale")
+	flag.Parse()
+
+	var src string
+	switch {
+	case *program != "":
+		s, err := psme.BenchmarkProgram(*program, *scale)
+		if err != nil {
+			fatal(err)
+		}
+		src = s
+	case flag.NArg() == 1:
+		data, err := os.ReadFile(flag.Arg(0))
+		if err != nil {
+			fatal(err)
+		}
+		src = string(data)
+	default:
+		fmt.Fprintln(os.Stderr, "usage: ops5 file.ops5  (or -program name)")
+		os.Exit(2)
+	}
+
+	r, err := repl.New(src, os.Stdout)
+	if err != nil {
+		fatal(err)
+	}
+	if err := r.Run(os.Stdin); err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "ops5:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,97 @@
+// Command ops5run executes an OPS5 program file on a chosen matcher
+// backend.
+//
+// Usage:
+//
+//	ops5run [-matcher vs2|vs1|lisp|parallel] [-procs 4] [-queues 2]
+//	        [-locks simple|mrsw] [-cycles 0] [-trace] [-wm] file.ops5
+//	ops5run -program rubik [-scale 1.0] ...   # built-in benchmark programs
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	psme "repro"
+)
+
+func main() {
+	matcher := flag.String("matcher", "vs2", "match backend: vs2, vs1, lisp, parallel")
+	procs := flag.Int("procs", 4, "match processes for -matcher parallel")
+	queues := flag.Int("queues", 2, "task queues for -matcher parallel")
+	locks := flag.String("locks", "simple", "line locks for -matcher parallel: simple or mrsw")
+	cycles := flag.Int("cycles", 0, "cycle limit (0 = unlimited)")
+	trace := flag.Bool("trace", false, "print each production firing")
+	dumpWM := flag.Bool("wm", false, "print the final working memory")
+	program := flag.String("program", "", "run a built-in program (weaver, rubik, tourney, monkeys) instead of a file")
+	scale := flag.Float64("scale", 1.0, "built-in program scale")
+	flag.Parse()
+
+	var src string
+	switch {
+	case *program != "":
+		s, err := psme.BenchmarkProgram(*program, *scale)
+		if err != nil {
+			fatal(err)
+		}
+		src = s
+	case flag.NArg() == 1:
+		data, err := os.ReadFile(flag.Arg(0))
+		if err != nil {
+			fatal(err)
+		}
+		src = string(data)
+	default:
+		fmt.Fprintln(os.Stderr, "usage: ops5run [flags] file.ops5  (or -program name; see -h)")
+		os.Exit(2)
+	}
+
+	prog, err := psme.Parse(src)
+	if err != nil {
+		fatal(err)
+	}
+	cfg := psme.Config{Output: os.Stdout, MatchProcs: *procs, TaskQueues: *queues}
+	switch *matcher {
+	case "vs2":
+		cfg.Matcher = psme.MatcherVS2
+	case "vs1":
+		cfg.Matcher = psme.MatcherVS1
+	case "lisp":
+		cfg.Matcher = psme.MatcherLisp
+	case "parallel":
+		cfg.Matcher = psme.MatcherParallel
+	default:
+		fatal(fmt.Errorf("unknown matcher %q", *matcher))
+	}
+	switch *locks {
+	case "simple":
+		cfg.Locks = psme.LockSimple
+	case "mrsw":
+		cfg.Locks = psme.LockMRSW
+	default:
+		fatal(fmt.Errorf("unknown lock scheme %q", *locks))
+	}
+
+	eng, err := psme.New(prog, cfg)
+	if err != nil {
+		fatal(err)
+	}
+	defer eng.Close()
+	res, err := eng.Run(psme.RunOptions{MaxCycles: *cycles, TraceFires: *trace})
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "%d cycles, halted=%v, wm=%d, total %v (match %v)\n",
+		res.Cycles, res.Halted, res.WMSize, res.Elapsed.Round(1000), res.MatchTime.Round(1000))
+	if *dumpWM {
+		for _, w := range eng.WorkingMemory() {
+			fmt.Println(w)
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "ops5run:", err)
+	os.Exit(1)
+}

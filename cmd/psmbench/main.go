@@ -1,0 +1,108 @@
+// Command psmbench regenerates the paper's evaluation tables (4-1
+// through 4-9) from this repository's matchers and the Multimax
+// simulator, printing them in the paper's layout. See EXPERIMENTS.md for
+// the recorded paper-vs-measured comparison.
+//
+// Usage:
+//
+//	psmbench [-scale 1.0] [-table all|4-1|...|seq|sim] [-host]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"strings"
+
+	"repro/internal/parmatch"
+	"repro/internal/tables"
+)
+
+func main() {
+	scale := flag.Float64("scale", 1.0, "workload scale factor (1.0 = paper-scale runs)")
+	which := flag.String("table", "all", "table to print: all, seq (4-1..4-4), sim (4-5..4-9), or a single id like 4-6")
+	host := flag.Bool("host", false, "also run the real goroutine matcher on this host and report wall-clock")
+	ablation := flag.Bool("ablation", false, "run the design-choice ablations (hardware scheduler, FIFO, pipelining, ...)")
+	flag.Parse()
+
+	specs := tables.Programs(*scale)
+	want := func(id string) bool {
+		switch *which {
+		case "all":
+			return true
+		case "seq":
+			return strings.HasPrefix(id, "4-") && id <= "4-4"
+		case "sim":
+			return id >= "4-5"
+		default:
+			return id == *which
+		}
+	}
+
+	needSeq := want("4-1") || want("4-2") || want("4-3") || want("4-4")
+	needSim := want("4-5") || want("4-6") || want("4-7") || want("4-8") || want("4-9")
+
+	if needSeq {
+		sr, err := tables.RunSeqAll(specs, want("4-4"))
+		fatal(err)
+		for _, t := range []struct {
+			id string
+			f  func(*tables.SeqResults) *tables.Table
+		}{
+			{"4-1", tables.Table41}, {"4-2", tables.Table42},
+			{"4-3", tables.Table43}, {"4-4", tables.Table44},
+		} {
+			if want(t.id) {
+				fmt.Println(t.f(sr).Render())
+			}
+		}
+	}
+	if needSim {
+		fmt.Println("running Multimax simulation grid (deterministic)...")
+		sim, err := tables.RunSimAll(specs)
+		fatal(err)
+		for _, t := range []struct {
+			id string
+			f  func(*tables.SimResults) *tables.Table
+		}{
+			{"4-5", tables.Table45}, {"4-6", tables.Table46},
+			{"4-7", tables.Table47}, {"4-8", tables.Table48},
+			{"4-9", tables.Table49},
+		} {
+			if want(t.id) {
+				fmt.Println(t.f(sim).Render())
+			}
+		}
+	}
+	if *ablation {
+		fmt.Println("running design-choice ablations (deterministic)...")
+		rows, err := tables.RunAblations(specs)
+		fatal(err)
+		fmt.Println(tables.AblationTable(specs, rows).Render())
+		t2, err := tables.ControlOverlapTable(specs)
+		fatal(err)
+		fmt.Println(t2.Render())
+	}
+	if *host {
+		fmt.Printf("host check: real goroutine matcher on %d cores (GOMAXPROCS=%d)\n",
+			runtime.NumCPU(), runtime.GOMAXPROCS(0))
+		for _, spec := range specs {
+			seq, err := tables.RunSeq(spec, "vs2")
+			fatal(err)
+			par, err := tables.RunPar(spec, parmatch.Config{
+				Procs: runtime.GOMAXPROCS(0), Queues: 4, Scheme: parmatch.SchemeSimple,
+			})
+			fatal(err)
+			fmt.Printf("  %-8s vs2 match %8.3fs   parallel(%d procs) match %8.3fs\n",
+				spec.Name, seq.Match.Seconds(), runtime.GOMAXPROCS(0), par.MatchTime.Seconds())
+		}
+	}
+}
+
+func fatal(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "psmbench:", err)
+		os.Exit(1)
+	}
+}

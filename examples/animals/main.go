@@ -1,0 +1,139 @@
+// Animals is a small identification expert system in the classic
+// forward-chaining style: observed attributes drive intermediate
+// classifications (mammal, carnivore, ungulate, bird) which drive the
+// final identification — the kind of rule-based program OPS5 was built
+// for. The same observations are run for several animals, each on its
+// own engine over the same compiled network.
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	psme "repro"
+)
+
+const rules = `
+(literalize trait name value)
+(literalize class name)
+(literalize species name)
+
+; Intermediate classifications.
+(p mammal-hair
+  (trait ^name covering ^value hair)
+  - (class ^name mammal)
+-->
+  (make class ^name mammal))
+
+(p mammal-milk
+  (trait ^name gives-milk ^value yes)
+  - (class ^name mammal)
+-->
+  (make class ^name mammal))
+
+(p bird-feathers
+  (trait ^name covering ^value feathers)
+  - (class ^name bird)
+-->
+  (make class ^name bird))
+
+(p carnivore-teeth
+  (class ^name mammal)
+  (trait ^name eats ^value meat)
+  - (class ^name carnivore)
+-->
+  (make class ^name carnivore))
+
+(p ungulate-hooves
+  (class ^name mammal)
+  (trait ^name has ^value hooves)
+  - (class ^name ungulate)
+-->
+  (make class ^name ungulate))
+
+; Identifications.
+(p cheetah
+  (class ^name carnivore)
+  (trait ^name color ^value tawny)
+  (trait ^name marks ^value dark-spots)
+-->
+  (make species ^name cheetah))
+
+(p tiger
+  (class ^name carnivore)
+  (trait ^name color ^value tawny)
+  (trait ^name marks ^value black-stripes)
+-->
+  (make species ^name tiger))
+
+(p giraffe
+  (class ^name ungulate)
+  (trait ^name neck ^value long)
+  (trait ^name marks ^value dark-spots)
+-->
+  (make species ^name giraffe))
+
+(p zebra
+  (class ^name ungulate)
+  (trait ^name marks ^value black-stripes)
+-->
+  (make species ^name zebra))
+
+(p penguin
+  (class ^name bird)
+  (trait ^name flies ^value no)
+  (trait ^name swims ^value yes)
+-->
+  (make species ^name penguin))
+
+(p albatross
+  (class ^name bird)
+  (trait ^name flies ^value well)
+-->
+  (make species ^name albatross))
+
+(p identified
+  (species ^name <s>)
+-->
+  (write identified: <s> (crlf))
+  (halt))
+`
+
+// cases are the observation sets to identify.
+var cases = map[string][][2]string{
+	"mystery-1": {{"covering", "hair"}, {"eats", "meat"}, {"color", "tawny"}, {"marks", "dark-spots"}},
+	"mystery-2": {{"gives-milk", "yes"}, {"has", "hooves"}, {"marks", "black-stripes"}},
+	"mystery-3": {{"covering", "feathers"}, {"flies", "no"}, {"swims", "yes"}},
+	"mystery-4": {{"covering", "hair"}, {"gives-milk", "yes"}, {"has", "hooves"},
+		{"neck", "long"}, {"marks", "dark-spots"}},
+}
+
+func main() {
+	for name, traits := range cases {
+		var src strings.Builder
+		src.WriteString(rules)
+		for _, tr := range traits {
+			fmt.Fprintf(&src, "(make trait ^name %s ^value %s)\n", tr[0], tr[1])
+		}
+		prog, err := psme.Parse(src.String())
+		if err != nil {
+			log.Fatal(err)
+		}
+		var out strings.Builder
+		eng, err := psme.New(prog, psme.Config{Matcher: psme.MatcherVS2, Output: &out})
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := eng.Run(psme.RunOptions{MaxCycles: 100})
+		eng.Close()
+		if err != nil {
+			log.Fatal(err)
+		}
+		verdict := strings.TrimSpace(out.String())
+		if !res.Halted {
+			verdict = "no identification"
+		}
+		fmt.Printf("%-10s %v\n           -> %s\n", name, traits, verdict)
+	}
+}

@@ -1,0 +1,37 @@
+// Monkeys runs the classic monkey-and-bananas planning program — the
+// canonical OPS5 teaching example — under the MEA conflict-resolution
+// strategy, tracing every production firing.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	psme "repro"
+)
+
+func main() {
+	src, err := psme.BenchmarkProgram("monkeys", 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	prog, err := psme.Parse(src)
+	if err != nil {
+		log.Fatal(err)
+	}
+	eng, err := psme.New(prog, psme.Config{Matcher: psme.MatcherVS2, Output: os.Stdout})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer eng.Close()
+
+	res, err := eng.Run(psme.RunOptions{MaxCycles: 100, RecordFiring: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nplan found in %d cycles (halted=%v):\n", res.Cycles, res.Halted)
+	for _, f := range res.Firings {
+		fmt.Printf("  %2d. %s\n", f.Cycle, f.Rule)
+	}
+}

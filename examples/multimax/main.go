@@ -1,0 +1,66 @@
+// Multimax sweeps the simulated Encore Multimax over 1..13 match
+// processes for the Rubik workload and prints the speed-up curve — the
+// shape of the paper's Tables 4-5/4-6/4-8 — comparing a single task
+// queue against eight, and simple line locks against MRSW.
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	psme "repro"
+)
+
+func main() {
+	src, err := psme.BenchmarkProgram("rubik", 0.5)
+	if err != nil {
+		log.Fatal(err)
+	}
+	prog, err := psme.Parse(src)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	base, err := psme.Simulate(prog, psme.SimConfig{
+		MatchProcs: 1, TaskQueues: 1, Locks: psme.LockSimple, MaxCycles: 100000,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("uniprocessor match time: %.1f virtual seconds (NS32032 @ 0.75 MIPS)\n\n", base.MatchSeconds)
+
+	type curve struct {
+		label  string
+		queues int
+		locks  psme.LockScheme
+	}
+	curves := []curve{
+		{"1 queue, simple locks ", 1, psme.LockSimple},
+		{"8 queues, simple locks", 8, psme.LockSimple},
+		{"8 queues, MRSW locks  ", 8, psme.LockMRSW},
+	}
+	procs := []int{1, 3, 5, 7, 11, 13}
+	fmt.Printf("%-24s", "match processes:")
+	for _, p := range procs {
+		fmt.Printf("%7d", p)
+	}
+	fmt.Println()
+	for _, c := range curves {
+		fmt.Printf("%-24s", c.label)
+		for _, p := range procs {
+			r, err := psme.Simulate(prog, psme.SimConfig{
+				MatchProcs: p, TaskQueues: c.queues, Locks: c.locks,
+				Pipelined: true, MaxCycles: 100000,
+			})
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("%6.2fx", base.MatchSeconds/r.MatchSeconds)
+		}
+		fmt.Println()
+	}
+	fmt.Println("\n" + strings.Repeat("-", 66))
+	fmt.Println("single queue saturates; multiple queues unlock the speed-up —")
+	fmt.Println("the paper's central scheduling result (§5).")
+}

@@ -1,0 +1,68 @@
+// Quickstart: parse a small OPS5 program (the paper's Figure 2-1
+// production plus a driver), run it on the parallel matcher, and print
+// the firings and the final working memory.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	psme "repro"
+)
+
+const src = `
+(literalize goal type color)
+(literalize block id color selected)
+
+; The sample production of the paper's Figure 2-1.
+(p find-colored-block
+  (goal ^type find-block ^color <c>)
+  (block ^id <i> ^color <c> ^selected no)
+-->
+  (write selected block <i> (crlf))
+  (modify 2 ^selected yes))
+
+; Stop once nothing red remains unselected.
+(p all-done
+  (goal ^type find-block ^color <c>)
+  - (block ^color <c> ^selected no)
+-->
+  (write no unselected <c> blocks left (crlf))
+  (halt))
+
+(make goal ^type find-block ^color red)
+(make block ^id b1 ^color red ^selected no)
+(make block ^id b2 ^color blue ^selected no)
+(make block ^id b3 ^color red ^selected no)
+`
+
+func main() {
+	prog, err := psme.Parse(src)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("compiled %d rules into a network with %+v\n\n", prog.Rules(), prog.NetworkSummary())
+
+	eng, err := psme.New(prog, psme.Config{
+		Matcher:    psme.MatcherParallel,
+		MatchProcs: 4,
+		TaskQueues: 2,
+		Locks:      psme.LockSimple,
+		Output:     os.Stdout,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer eng.Close()
+
+	res, err := eng.Run(psme.RunOptions{MaxCycles: 100, RecordFiring: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\n%d cycles, halted=%v\n", res.Cycles, res.Halted)
+	fmt.Println("final working memory:")
+	for _, w := range eng.WorkingMemory() {
+		fmt.Println(" ", w)
+	}
+}

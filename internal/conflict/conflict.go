@@ -1,0 +1,199 @@
+// Package conflict implements the OPS5 conflict set and the LEX and MEA
+// conflict-resolution strategies, including refraction. The set is one
+// of the shared resources of Figure 3-1 and is protected by a mutex so
+// terminal-node activations from parallel match processes can update it
+// concurrently with each other.
+package conflict
+
+import (
+	"sort"
+	"sync"
+
+	"repro/internal/rete"
+	"repro/internal/wm"
+)
+
+// Instantiation is one satisfied production: the rule plus the ordered
+// WMEs matching its positive condition elements.
+type Instantiation struct {
+	Rule *rete.CompiledRule
+	Wmes []*wm.WME
+	// recency holds the WME time tags sorted descending, the key LEX
+	// compares lexicographically.
+	recency []int
+	Fired   bool
+}
+
+func newInstantiation(rule *rete.CompiledRule, wmes []*wm.WME) *Instantiation {
+	rec := make([]int, len(wmes))
+	for i, w := range wmes {
+		rec[i] = w.TimeTag
+	}
+	sort.Sort(sort.Reverse(sort.IntSlice(rec)))
+	return &Instantiation{Rule: rule, Wmes: wmes, recency: rec}
+}
+
+// Set is the conflict set. It implements rete.TerminalSink.
+type Set struct {
+	mu      sync.Mutex
+	items   []*Instantiation
+	pending []pendingDelete
+	// Inserts and Deletes count conflict-set changes for the harness.
+	Inserts, Deletes int64
+}
+
+// NewSet returns an empty conflict set.
+func NewSet() *Set { return &Set{} }
+
+// InsertInstantiation adds an instantiation (terminal + activation).
+func (s *Set) InsertInstantiation(rule *rete.CompiledRule, wmes []*wm.WME) {
+	inst := newInstantiation(rule, wmes)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.Inserts++
+	// A parked early delete annihilates with this insert.
+	for i, pd := range s.pending {
+		if pd.rule == rule && rete.SameWmes(pd.wmes, wmes) {
+			s.pending[i] = s.pending[len(s.pending)-1]
+			s.pending = s.pending[:len(s.pending)-1]
+			return
+		}
+	}
+	s.items = append(s.items, inst)
+}
+
+// RemoveInstantiation removes the instantiation for (rule, wmes)
+// (terminal − activation). Removing an absent instantiation is ignored:
+// in the parallel matcher a terminal minus can be processed before its
+// plus; the set tolerates this by parking a pending delete.
+func (s *Set) RemoveInstantiation(rule *rete.CompiledRule, wmes []*wm.WME) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.Deletes++
+	for i, inst := range s.items {
+		if inst.Rule == rule && rete.SameWmes(inst.Wmes, wmes) {
+			s.items[i] = s.items[len(s.items)-1]
+			s.items = s.items[:len(s.items)-1]
+			return
+		}
+	}
+	// Early delete: park it as a negative instantiation that will
+	// annihilate with the matching insert.
+	s.pending = append(s.pending, pendingDelete{rule: rule, wmes: wmes})
+}
+
+type pendingDelete struct {
+	rule *rete.CompiledRule
+	wmes []*wm.WME
+}
+
+// Len reports the number of live instantiations.
+func (s *Set) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.items)
+}
+
+// Snapshot returns a copy of the live instantiations, for tracing.
+func (s *Set) Snapshot() []*Instantiation {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]*Instantiation(nil), s.items...)
+}
+
+// Drained reports whether any parked conflict-set deletes remain; a
+// non-empty pending list after a match phase indicates a matcher bug.
+func (s *Set) Drained() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.pending) == 0
+}
+
+// Select applies the strategy ("lex" or "mea") and returns the dominant
+// unfired instantiation, or nil if none (the interpreter then halts).
+func (s *Set) Select(strategy string) *Instantiation {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var best *Instantiation
+	for _, inst := range s.items {
+		if inst.Fired {
+			continue
+		}
+		if best == nil || dominates(inst, best, strategy) {
+			best = inst
+		}
+	}
+	return best
+}
+
+// MarkFired records refraction for the chosen instantiation.
+func (s *Set) MarkFired(inst *Instantiation) {
+	s.mu.Lock()
+	inst.Fired = true
+	s.mu.Unlock()
+}
+
+// dominates reports whether a should be preferred over b.
+func dominates(a, b *Instantiation, strategy string) bool {
+	if strategy == "mea" {
+		// Means-ends analysis: the instantiation whose first condition
+		// element matched the more recent WME wins outright.
+		at, bt := firstCETag(a), firstCETag(b)
+		if at != bt {
+			return at > bt
+		}
+	}
+	// LEX: lexicographic comparison of descending time tags.
+	if c := compareRecency(a.recency, b.recency); c != 0 {
+		return c > 0
+	}
+	// Specificity.
+	if a.Rule.Specificity != b.Rule.Specificity {
+		return a.Rule.Specificity > b.Rule.Specificity
+	}
+	// Arbitrary but deterministic: rule order, then ascending tags.
+	if a.Rule.Index != b.Rule.Index {
+		return a.Rule.Index < b.Rule.Index
+	}
+	for i := range a.Wmes {
+		if i >= len(b.Wmes) {
+			break
+		}
+		if a.Wmes[i].TimeTag != b.Wmes[i].TimeTag {
+			return a.Wmes[i].TimeTag < b.Wmes[i].TimeTag
+		}
+	}
+	return false
+}
+
+func firstCETag(inst *Instantiation) int {
+	if len(inst.Wmes) == 0 {
+		return 0
+	}
+	return inst.Wmes[0].TimeTag
+}
+
+// compareRecency compares two descending tag lists: positive when a
+// dominates. When one list is a prefix of the other, the longer list
+// dominates (OPS5 LEX rule).
+func compareRecency(a, b []int) int {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	for i := 0; i < n; i++ {
+		if a[i] != b[i] {
+			if a[i] > b[i] {
+				return 1
+			}
+			return -1
+		}
+	}
+	switch {
+	case len(a) > len(b):
+		return 1
+	case len(a) < len(b):
+		return -1
+	}
+	return 0
+}

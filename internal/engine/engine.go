@@ -1,0 +1,285 @@
+// Package engine runs the OPS5 recognize-act cycle over any matcher
+// backend: match, conflict resolution, RHS evaluation (§2.1). It plays
+// the role of the paper's control process: it evaluates right-hand
+// sides, feeds each working-memory change to the matcher as soon as it
+// is computed (so a pipelining matcher can overlap match with RHS
+// evaluation), performs conflict resolution, and handles halting.
+package engine
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/conflict"
+	"repro/internal/ops5"
+	"repro/internal/rete"
+	"repro/internal/rhs"
+	"repro/internal/wm"
+)
+
+// Matcher is the interface every match backend implements.
+type Matcher interface {
+	// Submit delivers one working-memory change. Sequential matchers
+	// process it synchronously; parallel matchers enqueue it for their
+	// match processes.
+	Submit(sign bool, w *wm.WME)
+	// Drain blocks until every submitted change has been fully matched
+	// (TaskCount reaching zero, in the paper's terms).
+	Drain()
+	// CheckInvariants reports internal inconsistencies after a phase
+	// (unmatched conjugate pairs and the like).
+	CheckInvariants() error
+}
+
+// Firing records one production firing, for traces and for the
+// cross-matcher equivalence tests.
+type Firing struct {
+	Cycle    int
+	Rule     string
+	TimeTags []int
+}
+
+// Result summarizes a run.
+type Result struct {
+	Cycles    int
+	Firings   []Firing
+	Halted    bool // true: (halt) executed; false: conflict set exhausted
+	WMSize    int
+	Elapsed   time.Duration // total wall-clock for the run
+	MatchTime time.Duration // wall-clock spent inside Submit and Drain
+	RHSInstr  int64         // threaded-code instructions interpreted
+}
+
+// Options configure a run.
+type Options struct {
+	MaxCycles    int  // 0 = unlimited
+	RecordFiring bool // keep the firing log (tests); stats are always kept
+	TraceFires   bool // print each firing to Out (OPS5 watch 1)
+	TraceWMEs    bool // also print each WM change to Out (OPS5 watch 2)
+	CheckEvery   bool // run matcher invariant checks after every cycle
+}
+
+// Engine executes one program against one matcher.
+type Engine struct {
+	Prog    *ops5.Program
+	Net     *rete.Network
+	WM      *wm.Memory
+	CS      *conflict.Set
+	Matcher Matcher
+	Out     io.Writer
+	// AcceptValues supplies (accept) results, consumed front to back;
+	// exhausted input yields the symbol end-of-file.
+	AcceptValues []wm.Value
+
+	compiled  []*rhs.Compiled
+	halted    bool
+	rhsCount  int64
+	matchTime time.Duration
+	traceWMEs bool
+}
+
+// traceChange prints a working-memory change when watch-2 tracing is on.
+func (e *Engine) traceChange(sign string, w *wm.WME) {
+	if !e.traceWMEs || e.Out == nil {
+		return
+	}
+	fmt.Fprintf(e.Out, "%s %d: %s\n", sign, w.TimeTag, w.String(e.Prog.Symbols, e.Prog.AttrName))
+}
+
+// submit forwards a change to the matcher, accumulating match time.
+func (e *Engine) submit(sign bool, w *wm.WME) {
+	t0 := time.Now()
+	e.Matcher.Submit(sign, w)
+	e.matchTime += time.Since(t0)
+}
+
+// drain waits out the match phase, accumulating match time.
+func (e *Engine) drain() {
+	t0 := time.Now()
+	e.Matcher.Drain()
+	e.matchTime += time.Since(t0)
+}
+
+// New wires an engine. The conflict set must be the same sink the
+// matcher's terminals report into.
+func New(prog *ops5.Program, net *rete.Network, cs *conflict.Set, m Matcher, out io.Writer) (*Engine, error) {
+	e := &Engine{
+		Prog:    prog,
+		Net:     net,
+		WM:      wm.NewMemory(),
+		CS:      cs,
+		Matcher: m,
+		Out:     out,
+	}
+	e.compiled = make([]*rhs.Compiled, len(net.Rules))
+	for i, cr := range net.Rules {
+		c, err := rhs.Compile(prog, cr)
+		if err != nil {
+			return nil, err
+		}
+		e.compiled[i] = c
+	}
+	return e, nil
+}
+
+func (e *Engine) env() *rhs.Env {
+	return &rhs.Env{
+		Prog: e.Prog,
+		Out:  e.Out,
+		Accept: func() wm.Value {
+			if len(e.AcceptValues) == 0 {
+				return wm.Sym(e.Prog.Symbols.Intern("end-of-file"))
+			}
+			v := e.AcceptValues[0]
+			e.AcceptValues = e.AcceptValues[1:]
+			return v
+		},
+		Make: func(fields []wm.Value) {
+			w := e.WM.Add(fields)
+			e.traceChange("=>WM", w)
+			e.submit(true, w)
+		},
+		Remove: func(w *wm.WME) {
+			if e.WM.Remove(w) {
+				e.traceChange("<=WM", w)
+				e.submit(false, w)
+			}
+		},
+		Modify: func(old *wm.WME, fields []wm.Value) {
+			if e.WM.Remove(old) {
+				e.traceChange("<=WM", old)
+				e.submit(false, old)
+			}
+			w := e.WM.Add(fields)
+			e.traceChange("=>WM", w)
+			e.submit(true, w)
+		},
+		Halt: func() { e.halted = true },
+	}
+}
+
+// Init asserts the program's top-level makes and completes the first
+// match phase.
+func (e *Engine) Init() error {
+	env := e.env()
+	for _, act := range e.Prog.InitialMakes {
+		fields := make([]wm.Value, e.Prog.ClassOf(act.Class).NumFields())
+		fields[0] = wm.Sym(act.Class)
+		for _, s := range act.Sets {
+			v, err := constExpr(s.Expr)
+			if err != nil {
+				return fmt.Errorf("top-level make: %w", err)
+			}
+			fields[s.Field] = v
+		}
+		env.Make(fields)
+	}
+	e.drain()
+	return e.Matcher.CheckInvariants()
+}
+
+// constExpr evaluates a ground expression (constants and compute over
+// constants), the only forms legal in top-level makes.
+func constExpr(ex *ops5.Expr) (wm.Value, error) {
+	switch ex.Kind {
+	case ops5.ExprConst:
+		return ex.Const, nil
+	case ops5.ExprCompute:
+		l, err := constExpr(ex.L)
+		if err != nil {
+			return wm.Nil, err
+		}
+		r, err := constExpr(ex.R)
+		if err != nil {
+			return wm.Nil, err
+		}
+		return rhs.ComputeOp(ex.Op, l, r)
+	default:
+		return wm.Nil, fmt.Errorf("non-constant expression in top-level make")
+	}
+}
+
+// Run executes recognize-act cycles until halt, conflict-set
+// exhaustion, or the cycle limit.
+func (e *Engine) Run(opt Options) (*Result, error) {
+	res := &Result{}
+	e.traceWMEs = opt.TraceWMEs
+	start := time.Now()
+	for !e.halted {
+		if opt.MaxCycles > 0 && res.Cycles >= opt.MaxCycles {
+			break
+		}
+		inst := e.CS.Select(e.Prog.Strategy)
+		if inst == nil {
+			break
+		}
+		e.CS.MarkFired(inst)
+		res.Cycles++
+		if opt.RecordFiring || opt.TraceFires {
+			f := Firing{Cycle: res.Cycles, Rule: inst.Rule.Rule.Name, TimeTags: tags(inst.Wmes)}
+			if opt.RecordFiring {
+				res.Firings = append(res.Firings, f)
+			}
+			if opt.TraceFires && e.Out != nil {
+				fmt.Fprintf(e.Out, "%d. %s %v\n", f.Cycle, f.Rule, f.TimeTags)
+			}
+		}
+		n, err := rhs.Exec(e.compiled[inst.Rule.Index], inst.Wmes, e.env())
+		if err != nil {
+			return res, err
+		}
+		e.rhsCount += int64(n)
+		e.drain()
+		if opt.CheckEvery {
+			if err := e.Matcher.CheckInvariants(); err != nil {
+				return res, fmt.Errorf("cycle %d: %w", res.Cycles, err)
+			}
+		}
+	}
+	if err := e.Matcher.CheckInvariants(); err != nil {
+		return res, err
+	}
+	res.Halted = e.halted
+	res.WMSize = e.WM.Len()
+	res.Elapsed = time.Since(start)
+	res.MatchTime = e.matchTime
+	res.RHSInstr = e.rhsCount
+	return res, nil
+}
+
+// Assert adds a working-memory element from outside the recognize-act
+// loop (the OPS5 top-level make) and completes the match phase.
+func (e *Engine) Assert(fields []wm.Value) (*wm.WME, error) {
+	w := e.WM.Add(fields)
+	e.submit(true, w)
+	e.drain()
+	return w, e.Matcher.CheckInvariants()
+}
+
+// Retract removes the element with the given time tag (the OPS5
+// top-level remove) and completes the match phase. It reports whether
+// the tag named a live element.
+func (e *Engine) Retract(timeTag int) (bool, error) {
+	for _, w := range e.WM.Snapshot() {
+		if w.TimeTag == timeTag {
+			if e.WM.Remove(w) {
+				e.submit(false, w)
+				e.drain()
+				return true, e.Matcher.CheckInvariants()
+			}
+		}
+	}
+	return false, nil
+}
+
+// Halted reports whether a (halt) action has stopped the engine.
+func (e *Engine) Halted() bool { return e.halted }
+
+func tags(wmes []*wm.WME) []int {
+	out := make([]int, len(wmes))
+	for i, w := range wmes {
+		out[i] = w.TimeTag
+	}
+	return out
+}

@@ -1,0 +1,251 @@
+package engine_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/conflict"
+	"repro/internal/engine"
+	"repro/internal/ops5"
+	"repro/internal/rete"
+	"repro/internal/seqmatch"
+	"repro/internal/wm"
+)
+
+// buildEngine wires a vs2 engine with custom output and accept values.
+func buildEngine(t *testing.T, src string, accepts []wm.Value) (*engine.Engine, *strings.Builder) {
+	t.Helper()
+	prog, err := ops5.Parse(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	net, err := rete.Compile(prog)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	cs := conflict.NewSet()
+	m := seqmatch.New(net, seqmatch.VS2, 0, cs)
+	var out strings.Builder
+	e, err := engine.New(prog, net, cs, m, &out)
+	if err != nil {
+		t.Fatalf("engine: %v", err)
+	}
+	e.AcceptValues = accepts
+	if err := e.Init(); err != nil {
+		t.Fatalf("init: %v", err)
+	}
+	return e, &out
+}
+
+// MEA: the most recent first-CE (goal) wme drives selection even when
+// another instantiation has higher overall recency.
+const meaSrc = `
+(strategy mea)
+(literalize goal name)
+(literalize datum v)
+(p on-old-goal
+  (goal ^name first)
+  (datum ^v <x>)
+-->
+  (write old-goal (crlf)))
+(p on-new-goal
+  (goal ^name second)
+-->
+  (write new-goal (crlf))
+  (halt))
+(make goal ^name first)
+(make goal ^name second)
+(make datum ^v 99)
+`
+
+func TestMEAPrefersRecentFirstCE(t *testing.T) {
+	e, out := buildEngine(t, meaSrc, nil)
+	res, err := e.Run(engine.Options{MaxCycles: 10, RecordFiring: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Under MEA the goal "second" (more recent first-CE wme) wins even
+	// though on-old-goal's instantiation contains the newest wme (datum).
+	if res.Firings[0].Rule != "on-new-goal" {
+		t.Fatalf("MEA fired %s first, want on-new-goal (firings %v)", res.Firings[0].Rule, res.Firings)
+	}
+	if !strings.HasPrefix(out.String(), "new-goal") {
+		t.Fatalf("output %q", out.String())
+	}
+}
+
+func TestLEXWouldPreferOverallRecency(t *testing.T) {
+	src := strings.Replace(meaSrc, "(strategy mea)", "(strategy lex)", 1)
+	e, _ := buildEngine(t, src, nil)
+	res, err := e.Run(engine.Options{MaxCycles: 10, RecordFiring: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Firings[0].Rule != "on-old-goal" {
+		t.Fatalf("LEX fired %s first, want on-old-goal", res.Firings[0].Rule)
+	}
+}
+
+func TestAcceptConsumesEngineInput(t *testing.T) {
+	src := `
+(literalize trigger go)
+(literalize got v)
+(p read
+  (trigger ^go yes)
+-->
+  (make got ^v (accept))
+  (make got ^v (accept))
+  (make got ^v (accept))
+  (halt))
+(make trigger ^go yes)
+`
+	e, _ := buildEngine(t, src, []wm.Value{wm.Int(10), wm.Int(20)})
+	if _, err := e.Run(engine.Options{MaxCycles: 5}); err != nil {
+		t.Fatal(err)
+	}
+	var vals []string
+	for _, w := range e.WM.Snapshot() {
+		if len(w.Fields) > 1 && w.Fields[1].Kind != wm.KindNil {
+			vals = append(vals, w.Fields[1].GoString())
+		}
+	}
+	joined := strings.Join(vals, ",")
+	// Two supplied values, then the end-of-file symbol.
+	if !strings.Contains(joined, "10") || !strings.Contains(joined, "20") {
+		t.Fatalf("accept values missing: %v", vals)
+	}
+}
+
+func TestTraceFires(t *testing.T) {
+	src := `
+(p only (a ^x 1) --> (halt))
+(make a ^x 1)
+`
+	e, out := buildEngine(t, src, nil)
+	if _, err := e.Run(engine.Options{MaxCycles: 5, TraceFires: true}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "1. only") {
+		t.Fatalf("trace output %q", out.String())
+	}
+}
+
+func TestTopLevelComputeMake(t *testing.T) {
+	src := `
+(literalize n v)
+(p check (n ^v 42) --> (halt))
+(make n ^v (compute 6 * 7))
+`
+	e, _ := buildEngine(t, src, nil)
+	res, err := e.Run(engine.Options{MaxCycles: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Halted {
+		t.Fatal("top-level compute did not produce 42")
+	}
+}
+
+func TestMaxCyclesStopsRunaways(t *testing.T) {
+	src := `
+(literalize c v)
+(p loop (c ^v <x>) --> (modify 1 ^v (compute <x> + 1)))
+(make c ^v 0)
+`
+	e, _ := buildEngine(t, src, nil)
+	res, err := e.Run(engine.Options{MaxCycles: 25})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cycles != 25 || res.Halted {
+		t.Fatalf("cycles=%d halted=%v, want 25/false", res.Cycles, res.Halted)
+	}
+	// Resuming continues from where it stopped.
+	res2, err := e.Run(engine.Options{MaxCycles: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.Cycles != 5 {
+		t.Fatalf("resumed cycles = %d", res2.Cycles)
+	}
+}
+
+func TestDisjunctionMatching(t *testing.T) {
+	src := `
+(literalize b color)
+(p pick (b ^color << red green >>) --> (remove 1))
+(make b ^color red)
+(make b ^color blue)
+(make b ^color green)
+`
+	e, _ := buildEngine(t, src, nil)
+	res, err := e.Run(engine.Options{MaxCycles: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cycles != 2 {
+		t.Fatalf("fired %d times, want 2 (red and green only)", res.Cycles)
+	}
+	if e.WM.Len() != 1 {
+		t.Fatalf("wm = %d, want just the blue block", e.WM.Len())
+	}
+}
+
+func TestSameTypePredicate(t *testing.T) {
+	src := `
+(literalize b v ref)
+(p same (b ^v <x> ^ref <=> <x>) --> (remove 1))
+(make b ^v 5 ^ref 12)
+(make b ^v 5 ^ref hello)
+`
+	e, _ := buildEngine(t, src, nil)
+	res, err := e.Run(engine.Options{MaxCycles: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cycles != 1 {
+		t.Fatalf("fired %d times, want 1 (numeric/numeric only)", res.Cycles)
+	}
+}
+
+func TestModifyGetsNewTimeTag(t *testing.T) {
+	src := `
+(literalize c v)
+(p bump (c ^v 0) --> (modify 1 ^v 1))
+(make c ^v 0)
+`
+	e, _ := buildEngine(t, src, nil)
+	if _, err := e.Run(engine.Options{MaxCycles: 5}); err != nil {
+		t.Fatal(err)
+	}
+	snap := e.WM.Snapshot()
+	if len(snap) != 1 || snap[0].TimeTag <= 1 {
+		t.Fatalf("modified wme should carry a fresh time tag, got %+v", snap)
+	}
+}
+
+// Element variables: { <blk> (pattern) } names a CE for the RHS.
+func TestElementVariableRemove(t *testing.T) {
+	src := `
+(literalize item id)
+(p consume
+  (go)
+  { <it> (item ^id <i>) }
+-->
+  (remove <it>))
+(make go)
+(make item ^id 1)
+(make item ^id 2)
+`
+	e, _ := buildEngine(t, src, nil)
+	res, err := e.Run(engine.Options{MaxCycles: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cycles != 2 {
+		t.Fatalf("fired %d times, want 2", res.Cycles)
+	}
+	if e.WM.Len() != 1 { // only (go) remains
+		t.Fatalf("wm = %d, want 1", e.WM.Len())
+	}
+}

@@ -1,0 +1,201 @@
+package engine_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/conflict"
+	"repro/internal/engine"
+	"repro/internal/ops5"
+	"repro/internal/rete"
+	"repro/internal/seqmatch"
+)
+
+// run builds an engine over the given matcher variant and runs the
+// program to completion.
+func run(t *testing.T, src string, v seqmatch.Variant, maxCycles int) (*engine.Result, string) {
+	t.Helper()
+	prog, err := ops5.Parse(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	net, err := rete.Compile(prog)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	cs := conflict.NewSet()
+	m := seqmatch.New(net, v, 0, cs)
+	var out strings.Builder
+	e, err := engine.New(prog, net, cs, m, &out)
+	if err != nil {
+		t.Fatalf("engine: %v", err)
+	}
+	if err := e.Init(); err != nil {
+		t.Fatalf("init: %v", err)
+	}
+	res, err := e.Run(engine.Options{MaxCycles: maxCycles, RecordFiring: true, CheckEvery: true})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	return res, out.String()
+}
+
+const counterSrc = `
+(literalize count value)
+(p inc
+  (count ^value {<v> < 10})
+-->
+  (modify 1 ^value (compute <v> + 1)))
+(p done
+  (count ^value 10)
+-->
+  (write done (crlf))
+  (halt))
+(make count ^value 0)
+`
+
+func TestCounterRunsToTen(t *testing.T) {
+	for _, v := range []seqmatch.Variant{seqmatch.VS1, seqmatch.VS2} {
+		res, out := run(t, counterSrc, v, 100)
+		if !res.Halted {
+			t.Fatalf("%v: expected halt, got cycles=%d", v, res.Cycles)
+		}
+		if res.Cycles != 11 {
+			t.Errorf("%v: expected 11 cycles (10 inc + done), got %d", v, res.Cycles)
+		}
+		if !strings.Contains(out, "done") {
+			t.Errorf("%v: missing output, got %q", v, out)
+		}
+	}
+}
+
+const figure21Src = `
+(literalize goal type color)
+(literalize block id color selected)
+(p find-colored-block
+  (goal ^type find-block ^color <c>)
+  (block ^id <i> ^color <c> ^selected no)
+-->
+  (modify 2 ^selected yes))
+(make goal ^type find-block ^color red)
+(make block ^id b1 ^color red ^selected no)
+(make block ^id b2 ^color blue ^selected no)
+(make block ^id b3 ^color red ^selected no)
+`
+
+func TestFigure21SelectsRedBlocks(t *testing.T) {
+	for _, v := range []seqmatch.Variant{seqmatch.VS1, seqmatch.VS2} {
+		res, _ := run(t, figure21Src, v, 100)
+		// Two red blocks get selected; then the conflict set is exhausted.
+		if res.Cycles != 2 {
+			t.Errorf("%v: expected 2 firings, got %d: %v", v, res.Cycles, res.Firings)
+		}
+		if res.Halted {
+			t.Errorf("%v: should end by exhaustion, not halt", v)
+		}
+	}
+}
+
+const negationSrc = `
+(literalize goal type)
+(literalize block color)
+(literalize result status)
+(p check-no-red
+  (goal ^type check)
+  - (block ^color red)
+-->
+  (make result ^status no-red))
+(p saw-result
+  (result ^status no-red)
+-->
+  (write confirmed)
+  (halt))
+(make block ^color blue)
+(make goal ^type check)
+`
+
+func TestNegationFiresWhenAbsent(t *testing.T) {
+	for _, v := range []seqmatch.Variant{seqmatch.VS1, seqmatch.VS2} {
+		res, out := run(t, negationSrc, v, 10)
+		if !res.Halted || !strings.Contains(out, "confirmed") {
+			t.Fatalf("%v: negation should allow firing; cycles=%d out=%q", v, res.Cycles, out)
+		}
+	}
+}
+
+const negationBlockedSrc = `
+(literalize goal type)
+(literalize block color)
+(literalize result status)
+(p check-no-red
+  (goal ^type check)
+  - (block ^color red)
+-->
+  (make result ^status no-red))
+(make block ^color red)
+(make goal ^type check)
+`
+
+func TestNegationBlocksWhenPresent(t *testing.T) {
+	for _, v := range []seqmatch.Variant{seqmatch.VS1, seqmatch.VS2} {
+		res, _ := run(t, negationBlockedSrc, v, 10)
+		if res.Cycles != 0 {
+			t.Fatalf("%v: expected no firings, got %d", v, res.Cycles)
+		}
+	}
+}
+
+// Negation with a retraction: removing the blocker re-enables the rule.
+const negationRetractSrc = `
+(literalize goal type)
+(literalize block color)
+(literalize result status)
+(p clear-blocker
+  (goal ^type clear)
+  (block ^color red)
+-->
+  (remove 2))
+(p check-no-red
+  (goal ^type clear)
+  - (block ^color red)
+-->
+  (make result ^status no-red)
+  (halt))
+(make block ^color red)
+(make goal ^type clear)
+`
+
+func TestNegationReenabledByRetraction(t *testing.T) {
+	for _, v := range []seqmatch.Variant{seqmatch.VS1, seqmatch.VS2} {
+		res, _ := run(t, negationRetractSrc, v, 10)
+		if !res.Halted {
+			t.Fatalf("%v: expected halt after retraction, cycles=%d firings=%v", v, res.Cycles, res.Firings)
+		}
+		if res.Cycles != 2 {
+			t.Errorf("%v: expected 2 cycles, got %d", v, res.Cycles)
+		}
+	}
+}
+
+// Cross-matcher equivalence: vs1 and vs2 must fire identically.
+func TestVS1VS2Equivalence(t *testing.T) {
+	srcs := map[string]string{
+		"counter":  counterSrc,
+		"figure21": figure21Src,
+		"negation": negationSrc,
+		"retract":  negationRetractSrc,
+	}
+	for name, src := range srcs {
+		r1, _ := run(t, src, seqmatch.VS1, 200)
+		r2, _ := run(t, src, seqmatch.VS2, 200)
+		if len(r1.Firings) != len(r2.Firings) {
+			t.Fatalf("%s: firing counts differ: vs1=%d vs2=%d", name, len(r1.Firings), len(r2.Firings))
+		}
+		for i := range r1.Firings {
+			a, b := r1.Firings[i], r2.Firings[i]
+			if a.Rule != b.Rule {
+				t.Fatalf("%s: firing %d differs: vs1=%v vs2=%v", name, i, a, b)
+			}
+		}
+	}
+}

@@ -1,0 +1,292 @@
+// Package hashmem implements the paper's token storage: two large hash
+// tables (left and right) holding the tokens of every two-input node's
+// memories, organized in "lines". A line is the pair of same-index
+// buckets from the left and right tables together with their
+// extra-deletes lists; processing a single node activation touches
+// exactly one line (paper footnote 4), which is what the per-line locks
+// of the parallel matchers protect.
+//
+// The vs1 list-based matcher reuses the same machinery with one private
+// line per join node and no hashing — its "bucket" is then the node's
+// whole memory, which reproduces the linear-scan behaviour of Table 4-1's
+// vs1 column.
+package hashmem
+
+import (
+	"fmt"
+
+	"repro/internal/rete"
+	"repro/internal/stats"
+	"repro/internal/wm"
+)
+
+// Line is a pair of corresponding left/right buckets plus the parked
+// early deletes for each side.
+type Line struct {
+	Mem  [2]rete.EntryList // indexed by rete.Side
+	XDel [2]rete.EntryList // conjugate minus tokens that arrived early
+}
+
+// Table is a set of lines. With Hashed true, lines are selected by token
+// hash (vs2 and the parallel matchers); otherwise one line per join node
+// (vs1).
+type Table struct {
+	Lines  []Line
+	mask   uint64
+	Hashed bool
+}
+
+// New returns a hashed table with at least nLines lines, rounded up to a
+// power of two.
+func New(nLines int) *Table {
+	n := 1
+	for n < nLines {
+		n <<= 1
+	}
+	return &Table{Lines: make([]Line, n), mask: uint64(n - 1), Hashed: true}
+}
+
+// NewPerNode returns a vs1-style table with one private line per join
+// node.
+func NewPerNode(numJoins int) *Table {
+	if numJoins == 0 {
+		numJoins = 1
+	}
+	return &Table{Lines: make([]Line, numJoins)}
+}
+
+// LineIndex picks the line for an activation of node j with token hash h.
+func (t *Table) LineIndex(j *rete.JoinNode, h uint64) int {
+	if t.Hashed {
+		return int(h & t.mask)
+	}
+	return j.ID
+}
+
+// Recorder accumulates the sequential-matcher statistics of Tables
+// 4-1..4-3. NodeCount tracks per-(side, node) live token counts so the
+// "opposite memory non-empty" convention of Table 4-2 can be applied
+// identically for list and hash memories.
+type Recorder struct {
+	M         stats.Match
+	NodeCount [2][]int64
+}
+
+// NewRecorder sizes the per-node counters for a network.
+func NewRecorder(numJoins int) *Recorder {
+	r := &Recorder{}
+	r.NodeCount[0] = make([]int64, numJoins)
+	r.NodeCount[1] = make([]int64, numJoins)
+	return r
+}
+
+// Emit receives one output token of a node activation. Positive nodes
+// emit extended tokens (left token + right WME); negated nodes re-emit
+// the left token itself.
+type Emit func(sign bool, wmes []*wm.WME)
+
+// StepResult reports what an activation did, for cost accounting by the
+// Multimax simulator.
+type StepResult struct {
+	Proceeded   bool // false: annihilated with a conjugate or parked
+	Parked      bool // early delete parked on the extra-deletes list
+	Annihilated bool // plus met a parked minus
+	OwnScanned  int  // entries scanned in own memory (delete search)
+	OppExamined int  // candidate tokens examined in the opposite memory
+	Pairs       int  // matching pairs / negation transitions emitted
+}
+
+// UpdateOwn performs the first half of a coalesced-node activation: it
+// adds the token to, or deletes it from, the node's own memory in this
+// line, applying the conjugate-pair protocol. In the MRSW locking scheme
+// this is the part that runs under the modification lock. It returns the
+// affected entry (the freshly inserted one, or the removed one whose
+// NegCount a negated-node caller still needs).
+func UpdateOwn(line *Line, j *rete.JoinNode, side rete.Side, sign bool, wmes []*wm.WME, hash uint64, rec *Recorder) (*rete.Entry, StepResult) {
+	var res StepResult
+	if sign {
+		// A plus annihilates with a parked early minus for the same token.
+		if e, _ := line.XDel[side].Remove(j, side, wmes); e != nil {
+			res.Annihilated = true
+			return nil, res
+		}
+		e := &rete.Entry{Node: j, Side: side, Hash: hash, Wmes: wmes}
+		line.Mem[side].Push(e)
+		if rec != nil {
+			rec.NodeCount[side][j.ID]++
+		}
+		res.Proceeded = true
+		return e, res
+	}
+	e, scanned := line.Mem[side].Remove(j, side, wmes)
+	res.OwnScanned = scanned
+	if e == nil {
+		// Early delete: park it and do not otherwise process the token.
+		line.XDel[side].Push(&rete.Entry{Node: j, Side: side, Hash: hash, Wmes: wmes})
+		res.Parked = true
+		return nil, res
+	}
+	if rec != nil {
+		rec.NodeCount[side][j.ID]--
+	}
+	res.Proceeded = true
+	return e, res
+}
+
+// SearchOpposite performs the second half of an activation: comparing
+// the token against the opposite memory of the same line and emitting
+// the resulting tokens. For negated nodes it maintains the join counts.
+// entry is UpdateOwn's result (needed for negated-node count handling).
+// In the MRSW scheme this part runs without the modification lock for
+// positive nodes; negated right-side activations update left counts
+// atomically.
+func SearchOpposite(line *Line, j *rete.JoinNode, side rete.Side, sign bool, wmes []*wm.WME, entry *rete.Entry, rec *Recorder, emit Emit) StepResult {
+	var res StepResult
+	opp := side ^ 1
+	if j.Negated {
+		searchOppositeNegated(line, j, side, sign, wmes, entry, &res, emit)
+	} else {
+		for e := line.Mem[opp].Head; e != nil; e = e.Next {
+			if e.Node != j || e.Side != opp {
+				continue // hash collision with another node's tokens
+			}
+			res.OppExamined++
+			var left []*wm.WME
+			var right *wm.WME
+			if side == rete.Left {
+				left, right = wmes, e.Wmes[0]
+			} else {
+				left, right = e.Wmes, wmes[0]
+			}
+			if !j.TestPair(left, right) {
+				continue
+			}
+			res.Pairs++
+			child := make([]*wm.WME, len(left)+1)
+			copy(child, left)
+			child[len(left)] = right
+			emit(sign, child)
+		}
+	}
+	if rec != nil {
+		recordSearch(rec, j, side, sign, &res)
+	}
+	return res
+}
+
+func searchOppositeNegated(line *Line, j *rete.JoinNode, side rete.Side, sign bool, wmes []*wm.WME, entry *rete.Entry, res *StepResult, emit Emit) {
+	if side == rete.Left {
+		if sign {
+			// Count the matching right WMEs; pass the token through when
+			// there are none.
+			var count int32
+			for e := line.Mem[rete.Right].Head; e != nil; e = e.Next {
+				if e.Node != j || e.Side != rete.Right {
+					continue
+				}
+				res.OppExamined++
+				if j.TestPair(wmes, e.Wmes[0]) {
+					count++
+				}
+			}
+			entry.NegCount.Store(count)
+			if count == 0 {
+				res.Pairs++
+				emit(true, wmes)
+			}
+			return
+		}
+		// Deleting a left token that had passed (count 0) retracts it.
+		if entry.NegCount.Load() == 0 {
+			res.Pairs++
+			emit(false, wmes)
+		}
+		return
+	}
+	// Right-side activation: adjust the counts of matching left tokens.
+	w := wmes[0]
+	for e := line.Mem[rete.Left].Head; e != nil; e = e.Next {
+		if e.Node != j || e.Side != rete.Left {
+			continue
+		}
+		res.OppExamined++
+		if !j.TestPair(e.Wmes, w) {
+			continue
+		}
+		if sign {
+			if e.NegCount.Add(1) == 1 {
+				res.Pairs++
+				emit(false, e.Wmes)
+			}
+		} else {
+			if e.NegCount.Add(-1) == 0 {
+				res.Pairs++
+				emit(true, e.Wmes)
+			}
+		}
+	}
+}
+
+func recordSearch(rec *Recorder, j *rete.JoinNode, side rete.Side, sign bool, res *StepResult) {
+	opp := side ^ 1
+	nonEmpty := rec.NodeCount[opp][j.ID] > 0
+	if side == rete.Left {
+		rec.M.LeftActs++
+		if nonEmpty {
+			rec.M.OppNonEmptyLeft++
+			rec.M.OppExaminedLeft += int64(res.OppExamined)
+		}
+	} else {
+		rec.M.RightActs++
+		if nonEmpty {
+			rec.M.OppNonEmptyRight++
+			rec.M.OppExaminedRight += int64(res.OppExamined)
+		}
+	}
+	rec.M.Pairs += int64(res.Pairs)
+}
+
+// RecordDelete accounts a delete's own-memory scan (Table 4-3).
+func RecordDelete(rec *Recorder, side rete.Side, res *StepResult) {
+	if rec == nil {
+		return
+	}
+	if side == rete.Left {
+		rec.M.DeletesLeft++
+		rec.M.SameExaminedLeft += int64(res.OwnScanned)
+	} else {
+		rec.M.DeletesRight++
+		rec.M.SameExaminedRight += int64(res.OwnScanned)
+	}
+}
+
+// SizeByNode tallies the live tokens per (node, side) across the whole
+// table — the introspection behind the REPL's matches command.
+func (t *Table) SizeByNode(numJoins int) [][2]int {
+	out := make([][2]int, numJoins)
+	for i := range t.Lines {
+		for s := 0; s < 2; s++ {
+			for e := t.Lines[i].Mem[s].Head; e != nil; e = e.Next {
+				out[e.Node.ID][s]++
+			}
+		}
+	}
+	return out
+}
+
+// CheckDrained verifies the conjugate-pair invariant: after a match
+// phase completes, no parked early deletes may remain. A leftover entry
+// means an add/delete pair was lost — always a matcher bug.
+func (t *Table) CheckDrained() error {
+	for i := range t.Lines {
+		l := &t.Lines[i]
+		for s := 0; s < 2; s++ {
+			if l.XDel[s].Head != nil {
+				e := l.XDel[s].Head
+				return fmt.Errorf("line %d: unmatched early delete for node %d (%s side, token len %d)",
+					i, e.Node.ID, rete.Side(s), len(e.Wmes))
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,230 @@
+package hashmem_test
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/hashmem"
+	"repro/internal/ops5"
+	"repro/internal/rete"
+	"repro/internal/symbols"
+	"repro/internal/wm"
+)
+
+// fixture compiles a small join so tests have a real node to work with.
+func fixture(t *testing.T, src string) *rete.Network {
+	t.Helper()
+	prog, err := ops5.Parse(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	net, err := rete.Compile(prog)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	return net
+}
+
+const joinSrc = `(p r (a ^x <v>) (b ^y <v>) --> (halt))`
+const notSrc = `(p r (a ^x <v>) - (b ^y <v>) --> (halt))`
+
+func mkW(class uint32, tag int, vals ...int64) *wm.WME {
+	fs := []wm.Value{wm.Sym(symbols.ID(class))}
+	for _, v := range vals {
+		fs = append(fs, wm.Int(v))
+	}
+	return &wm.WME{TimeTag: tag, Fields: fs}
+}
+
+// apply performs one activation against a single line, returning emitted
+// (sign, len) pairs.
+func apply(line *hashmem.Line, j *rete.JoinNode, side rete.Side, sign bool, wmes []*wm.WME) []string {
+	var out []string
+	var hash uint64
+	if side == rete.Left {
+		hash = j.LeftHash(wmes)
+	} else {
+		hash = j.RightHash(wmes[0])
+	}
+	entry, res := hashmem.UpdateOwn(line, j, side, sign, wmes, hash, nil)
+	if !res.Proceeded {
+		return out
+	}
+	hashmem.SearchOpposite(line, j, side, sign, wmes, entry, nil, func(s bool, w []*wm.WME) {
+		tag := "+"
+		if !s {
+			tag = "-"
+		}
+		out = append(out, fmt.Sprintf("%s%d", tag, len(w)))
+	})
+	return out
+}
+
+func TestJoinEmitsPairs(t *testing.T) {
+	net := fixture(t, joinSrc)
+	j := net.Joins[0]
+	var line hashmem.Line
+	lw := mkW(1, 1, 5)
+	rw := mkW(2, 2, 5)
+	if got := apply(&line, j, rete.Left, true, []*wm.WME{lw}); len(got) != 0 {
+		t.Fatalf("left with empty right emitted %v", got)
+	}
+	got := apply(&line, j, rete.Right, true, []*wm.WME{rw})
+	if len(got) != 1 || got[0] != "+2" {
+		t.Fatalf("right emitted %v, want [+2]", got)
+	}
+	// Deleting the left token retracts the pair.
+	got = apply(&line, j, rete.Left, false, []*wm.WME{lw})
+	if len(got) != 1 || got[0] != "-2" {
+		t.Fatalf("left delete emitted %v, want [-2]", got)
+	}
+}
+
+func TestJoinRespectsTests(t *testing.T) {
+	net := fixture(t, joinSrc)
+	j := net.Joins[0]
+	var line hashmem.Line
+	apply(&line, j, rete.Left, true, []*wm.WME{mkW(1, 1, 5)})
+	if got := apply(&line, j, rete.Right, true, []*wm.WME{mkW(2, 2, 6)}); len(got) != 0 {
+		t.Fatalf("mismatched values joined: %v", got)
+	}
+}
+
+// TestConjugateOrderings drives every interleaving of {+X, -X} pairs
+// through one line and verifies the final memory is empty and no parked
+// deletes remain — the invariant the parallel matchers rely on.
+func TestConjugateOrderings(t *testing.T) {
+	net := fixture(t, joinSrc)
+	j := net.Joins[0]
+	w := mkW(1, 1, 5)
+	token := []*wm.WME{w}
+	// Signed sequences that are prefix-balanced in generation order but
+	// processed in arbitrary order here: every multiset with equal + and
+	// - counts must drain.
+	seqs := [][]bool{
+		{true, false},
+		{false, true},
+		{true, true, false, false},
+		{true, false, true, false},
+		{false, true, true, false},
+		{false, false, true, true},
+		{false, true, false, true},
+		{true, false, false, true},
+	}
+	for i, seq := range seqs {
+		var table hashmem.Table
+		table = *hashmem.New(4)
+		for _, sign := range seq {
+			hash := j.LeftHash(token)
+			idx := table.LineIndex(j, hash)
+			entry, res := hashmem.UpdateOwn(&table.Lines[idx], j, rete.Left, sign, token, hash, nil)
+			if res.Proceeded {
+				hashmem.SearchOpposite(&table.Lines[idx], j, rete.Left, sign, token, entry, nil,
+					func(bool, []*wm.WME) {})
+			}
+		}
+		if err := table.CheckDrained(); err != nil {
+			t.Errorf("sequence %d (%v): %v", i, seq, err)
+		}
+		idx := table.LineIndex(j, j.LeftHash(token))
+		if n := table.Lines[idx].Mem[rete.Left].Len; n != 0 {
+			t.Errorf("sequence %d (%v): %d tokens left in memory", i, seq, n)
+		}
+	}
+}
+
+func TestEarlyDeleteParksWithoutPropagating(t *testing.T) {
+	net := fixture(t, joinSrc)
+	j := net.Joins[0]
+	var line hashmem.Line
+	// A right WME is present, so a left delete *would* emit if processed.
+	apply(&line, j, rete.Right, true, []*wm.WME{mkW(2, 2, 5)})
+	lw := []*wm.WME{mkW(1, 1, 5)}
+	if got := apply(&line, j, rete.Left, false, lw); len(got) != 0 {
+		t.Fatalf("early delete propagated: %v", got)
+	}
+	// The matching add annihilates silently.
+	if got := apply(&line, j, rete.Left, true, lw); len(got) != 0 {
+		t.Fatalf("annihilating add propagated: %v", got)
+	}
+	if line.XDel[rete.Left].Len != 0 {
+		t.Fatal("extra-deletes list not drained")
+	}
+}
+
+func TestNegationCounts(t *testing.T) {
+	net := fixture(t, notSrc)
+	j := net.Joins[0]
+	if !j.Negated {
+		t.Fatal("fixture join should be negated")
+	}
+	var line hashmem.Line
+	lw := []*wm.WME{mkW(1, 1, 5)}
+	// Left token with no blockers passes through.
+	if got := apply(&line, j, rete.Left, true, lw); len(got) != 1 || got[0] != "+1" {
+		t.Fatalf("unblocked left emitted %v, want [+1]", got)
+	}
+	// A matching right WME retracts it.
+	rw := []*wm.WME{mkW(2, 2, 5)}
+	if got := apply(&line, j, rete.Right, true, rw); len(got) != 1 || got[0] != "-1" {
+		t.Fatalf("blocker emitted %v, want [-1]", got)
+	}
+	// A second identical blocker changes nothing downstream.
+	rw2 := []*wm.WME{mkW(2, 3, 5)}
+	if got := apply(&line, j, rete.Right, true, rw2); len(got) != 0 {
+		t.Fatalf("second blocker emitted %v", got)
+	}
+	// Removing one blocker: still blocked.
+	if got := apply(&line, j, rete.Right, false, rw); len(got) != 0 {
+		t.Fatalf("first unblock emitted %v", got)
+	}
+	// Removing the last blocker re-asserts the token.
+	if got := apply(&line, j, rete.Right, false, rw2); len(got) != 1 || got[0] != "+1" {
+		t.Fatalf("final unblock emitted %v, want [+1]", got)
+	}
+	// Deleting the passed left token retracts it.
+	if got := apply(&line, j, rete.Left, false, lw); len(got) != 1 || got[0] != "-1" {
+		t.Fatalf("left delete emitted %v, want [-1]", got)
+	}
+}
+
+func TestNegationNonMatchingBlockerIgnored(t *testing.T) {
+	net := fixture(t, notSrc)
+	j := net.Joins[0]
+	var line hashmem.Line
+	lw := []*wm.WME{mkW(1, 1, 5)}
+	apply(&line, j, rete.Left, true, lw)
+	// Blocker with a different join value must not affect the token.
+	if got := apply(&line, j, rete.Right, true, []*wm.WME{mkW(2, 2, 7)}); len(got) != 0 {
+		t.Fatalf("non-matching blocker emitted %v", got)
+	}
+}
+
+func TestVS1PerNodeTable(t *testing.T) {
+	net := fixture(t, joinSrc)
+	table := hashmem.NewPerNode(len(net.Joins))
+	j := net.Joins[0]
+	if table.Hashed {
+		t.Fatal("per-node table must not hash")
+	}
+	if idx := table.LineIndex(j, 12345); idx != j.ID {
+		t.Fatalf("LineIndex = %d, want node ID %d", idx, j.ID)
+	}
+}
+
+func TestRecorderNodeCounts(t *testing.T) {
+	net := fixture(t, joinSrc)
+	j := net.Joins[0]
+	rec := hashmem.NewRecorder(len(net.Joins))
+	var line hashmem.Line
+	w := []*wm.WME{mkW(1, 1, 5)}
+	hash := j.LeftHash(w)
+	hashmem.UpdateOwn(&line, j, rete.Left, true, w, hash, rec)
+	if rec.NodeCount[rete.Left][j.ID] != 1 {
+		t.Fatalf("count after insert = %d", rec.NodeCount[rete.Left][j.ID])
+	}
+	hashmem.UpdateOwn(&line, j, rete.Left, false, w, hash, rec)
+	if rec.NodeCount[rete.Left][j.ID] != 0 {
+		t.Fatalf("count after delete = %d", rec.NodeCount[rete.Left][j.ID])
+	}
+}

@@ -1,0 +1,142 @@
+package lispemu_test
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/conflict"
+	"repro/internal/engine"
+	"repro/internal/lispemu"
+	"repro/internal/ops5"
+	"repro/internal/rete"
+	"repro/internal/seqmatch"
+	"repro/internal/workload"
+)
+
+func run(t *testing.T, src string, interp bool) *engine.Result {
+	t.Helper()
+	prog, err := ops5.Parse(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	net, err := rete.Compile(prog)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	cs := conflict.NewSet()
+	var m engine.Matcher
+	if interp {
+		m = lispemu.New(prog, net, cs)
+	} else {
+		m = seqmatch.New(net, seqmatch.VS2, 0, cs)
+	}
+	e, err := engine.New(prog, net, cs, m, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Init(); err != nil {
+		t.Fatalf("init: %v", err)
+	}
+	res, err := e.Run(engine.Options{MaxCycles: 100000, RecordFiring: true})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	return res
+}
+
+// TestInterpreterMatchesCompiled: the interpreted matcher must produce
+// exactly the compiled matchers' firings on all predicate kinds.
+func TestInterpreterMatchesCompiled(t *testing.T) {
+	src := `
+(literalize c a b)
+(literalize out v)
+(p eq    (c ^a <x> ^b <x>) --> (make out ^v eq))
+(p ne    (c ^a <x> ^b <> <x>) --> (make out ^v ne))
+(p gt    (c ^a <x> ^b > <x>) --> (make out ^v gt))
+(p le    (c ^a <x> ^b <= <x>) --> (make out ^v le))
+(p typ   (c ^a <x> ^b <=> <x>) --> (make out ^v typ))
+(p disj  (c ^a << 1 3 >>) --> (make out ^v disj))
+(p neg   (c ^a 7) - (c ^b 7) --> (make out ^v neg))
+(make c ^a 1 ^b 1)
+(make c ^a 2 ^b 5)
+(make c ^a 3 ^b hello)
+(make c ^a 7 ^b 0)
+`
+	want := run(t, src, false)
+	got := run(t, src, true)
+	if len(got.Firings) != len(want.Firings) {
+		t.Fatalf("firings %d want %d", len(got.Firings), len(want.Firings))
+	}
+	for i := range want.Firings {
+		if got.Firings[i].Rule != want.Firings[i].Rule {
+			t.Fatalf("firing %d: %s want %s", i, got.Firings[i].Rule, want.Firings[i].Rule)
+		}
+	}
+}
+
+// TestInterpreterIsSlower verifies the performance relationship the
+// paper's Table 4-4 rests on, at a coarse threshold that holds on any
+// host: the interpreted matcher must be at least 2x slower than vs2 on
+// a match-heavy workload.
+func TestInterpreterIsSlower(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing comparison")
+	}
+	src := workload.Rubik(20)
+	matchTime := func(interp bool) time.Duration {
+		prog, err := ops5.Parse(src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		net, err := rete.Compile(prog)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cs := conflict.NewSet()
+		var m engine.Matcher
+		if interp {
+			m = lispemu.New(prog, net, cs)
+		} else {
+			m = seqmatch.New(net, seqmatch.VS2, 0, cs)
+		}
+		e, err := engine.New(prog, net, cs, m, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := e.Init(); err != nil {
+			t.Fatal(err)
+		}
+		res, err := e.Run(engine.Options{MaxCycles: 100000})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.MatchTime
+	}
+	compiled := matchTime(false)
+	interp := matchTime(true)
+	if interp < 2*compiled {
+		t.Errorf("interpreted match %v not clearly slower than compiled %v", interp, compiled)
+	}
+	fmt.Printf("interp/compiled match time = %.1fx\n", float64(interp)/float64(compiled))
+}
+
+// TestInterpreterCountsActivations sanity-checks the parity counter.
+func TestInterpreterCountsActivations(t *testing.T) {
+	src := `
+(p r (a ^x <v>) (b ^y <v>) --> (halt))
+(make a ^x 1)
+(make b ^y 1)
+`
+	prog, _ := ops5.Parse(src)
+	net, _ := rete.Compile(prog)
+	cs := conflict.NewSet()
+	m := lispemu.New(prog, net, cs)
+	e, _ := engine.New(prog, net, cs, m, nil)
+	if err := e.Init(); err != nil {
+		t.Fatal(err)
+	}
+	if m.Activations == 0 {
+		t.Fatal("no activations counted")
+	}
+}

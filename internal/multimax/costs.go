@@ -1,0 +1,87 @@
+// Package multimax is a deterministic discrete-event simulation of the
+// PSM-E parallel matcher running on an Encore Multimax: P virtual
+// NS32032 processors (one control process plus k match processes)
+// execute the same task-queue / line-lock protocol as the real
+// goroutine matcher (internal/parmatch), but against a virtual clock
+// measured in machine instructions. Lock contention is modelled the way
+// the paper measures it — the number of times a process observes a lock
+// busy before acquiring it — and speed-ups come out of the virtual
+// clock, so the 1+13-process experiments of Tables 4-5..4-9 reproduce on
+// any host, independent of its core count.
+//
+// Correctness note: all side effects (memory-line updates, queue
+// operations, conflict-set changes) execute in virtual-time order, which
+// is a legal serialization of the real protocol, so the simulator's
+// match results are bit-identical to the sequential matcher's (tests
+// assert this).
+package multimax
+
+// Costs is the instruction-cost model, in NS32032 instructions. The
+// constant-test figure is the paper's own (3 instructions per
+// constant-test node activation, §3.1); the rest are calibrated so that
+// average task lengths land in the paper's 100-700 instruction range and
+// uniprocessor match times have the right order of magnitude at 0.75
+// MIPS.
+type Costs struct {
+	MIPS float64 // processor speed, instructions per microsecond
+
+	ConstTest int64 // per constant test evaluated
+	RootBase  int64 // root-task dispatch overhead
+
+	Hash          int64 // computing a token hash
+	LockAcq       int64 // successful test-and-set
+	Spin          int64 // one busy observation while spinning
+	QueueHold     int64 // queue critical section (push or pop)
+	QueueScan     int64 // peeking one empty queue during pop
+	IdleRecheck   int64 // idle process back-off before re-polling
+	TaskCountUpd  int64 // TaskCount increment/decrement
+	UpdateOwnBase int64 // own-memory insert/delete bookkeeping
+	OwnScanEntry  int64 // per entry scanned during a delete search
+	OppExamine    int64 // per candidate examined in the opposite memory
+	PairEmit      int64 // building one output token
+	TermTask      int64 // terminal activation incl. conflict-set update
+
+	GateHold    int64 // MRSW flag/counter critical section
+	MRSWExtra   int64 // per-activation overhead of the complex locks
+	RequeueCost int64 // putting a wrong-side token back on a queue
+	HWSchedOp   int64 // one hardware-scheduler push or pop (§3.2's proposal)
+
+	RHSInstr  int64 // per threaded-code instruction interpreted
+	CRBase    int64 // conflict resolution per cycle
+	CRChange  int64 // conflict resolution per conflict-set change
+	FirstPush int64 // control-process overhead before the first push
+}
+
+// DefaultCosts models the paper's Multimax (NS32032 at 0.75 MIPS).
+func DefaultCosts() Costs {
+	return Costs{
+		MIPS:          0.75,
+		ConstTest:     3,
+		RootBase:      20,
+		Hash:          12,
+		LockAcq:       9,
+		Spin:          4,
+		QueueHold:     8,
+		QueueScan:     6,
+		IdleRecheck:   40,
+		TaskCountUpd:  5,
+		UpdateOwnBase: 20,
+		OwnScanEntry:  6,
+		OppExamine:    9,
+		PairEmit:      26,
+		TermTask:      40,
+		GateHold:      10,
+		MRSWExtra:     22,
+		RequeueCost:   30,
+		HWSchedOp:     2,
+		RHSInstr:      45,
+		CRBase:        150,
+		CRChange:      40,
+		FirstPush:     30,
+	}
+}
+
+// Seconds converts an instruction count to virtual seconds.
+func (c Costs) Seconds(instr int64) float64 {
+	return float64(instr) / (c.MIPS * 1e6)
+}

@@ -1,0 +1,165 @@
+package multimax_test
+
+import (
+	"testing"
+
+	"repro/internal/multimax"
+	"repro/internal/ops5"
+	"repro/internal/parmatch"
+	"repro/internal/rete"
+	wl "repro/internal/workload"
+)
+
+func TestSecondsConversion(t *testing.T) {
+	c := multimax.DefaultCosts()
+	// 0.75 MIPS: 750k instructions = 1 second.
+	if got := c.Seconds(750_000); got != 1.0 {
+		t.Fatalf("Seconds(750k) = %f, want 1.0", got)
+	}
+	if got := c.Seconds(0); got != 0 {
+		t.Fatalf("Seconds(0) = %f", got)
+	}
+}
+
+func simulate(t *testing.T, src string, cfg multimax.Config) *multimax.Result {
+	t.Helper()
+	prog, err := ops5.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	net, err := rete.Compile(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.MaxCycles = 100000
+	res, err := multimax.Simulate(prog, net, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Halted {
+		t.Fatal("simulated run did not halt")
+	}
+	return res
+}
+
+// TestMRSWUniprocessorSlower reproduces the paper's Table 4-8
+// observation: the complex locks make the one-process base case slower
+// than simple locks.
+func TestMRSWUniprocessorSlower(t *testing.T) {
+	src := wl.Rubik(10)
+	simple := simulate(t, src, multimax.Config{Procs: 1, Queues: 1, Scheme: parmatch.SchemeSimple})
+	mrsw := simulate(t, src, multimax.Config{Procs: 1, Queues: 1, Scheme: parmatch.SchemeMRSW})
+	if mrsw.MatchInstr <= simple.MatchInstr {
+		t.Fatalf("MRSW uniproc (%d) should exceed simple (%d)", mrsw.MatchInstr, simple.MatchInstr)
+	}
+}
+
+// TestMultipleQueuesReduceQueueContention reproduces Table 4-7's
+// in-text remark: eight queues collapse the 13-process spin counts.
+func TestMultipleQueuesReduceQueueContention(t *testing.T) {
+	src := wl.Rubik(10)
+	one := simulate(t, src, multimax.Config{Procs: 13, Queues: 1, Scheme: parmatch.SchemeSimple, Pipelined: true})
+	eight := simulate(t, src, multimax.Config{Procs: 13, Queues: 8, Scheme: parmatch.SchemeSimple, Pipelined: true})
+	spins := func(r *multimax.Result) float64 {
+		return float64(r.Contention.QueueSpins) / float64(r.Contention.QueueAcquires)
+	}
+	if spins(eight) >= spins(one)/2 {
+		t.Fatalf("8 queues (%.2f spins) should at least halve 1 queue (%.2f)", spins(eight), spins(one))
+	}
+	if eight.MatchInstr >= one.MatchInstr {
+		t.Fatalf("8 queues (%d) should beat 1 queue (%d)", eight.MatchInstr, one.MatchInstr)
+	}
+}
+
+// TestTourneyLineContentionDominates reproduces Table 4-9's shape: the
+// cross-product program contends for hash lines far more than Rubik.
+func TestTourneyLineContentionDominates(t *testing.T) {
+	cfg := multimax.Config{Procs: 12, Queues: 8, Scheme: parmatch.SchemeSimple, Pipelined: true}
+	tourney := simulate(t, wl.Tourney(10), cfg)
+	rubik := simulate(t, wl.Rubik(10), cfg)
+	left := func(r *multimax.Result) float64 {
+		if r.Contention.LineAcquiresLeft == 0 {
+			return 0
+		}
+		return float64(r.Contention.LineSpinsLeft) / float64(r.Contention.LineAcquiresLeft)
+	}
+	if left(tourney) < 4*left(rubik) {
+		t.Fatalf("tourney left contention %.2f should dwarf rubik %.2f", left(tourney), left(rubik))
+	}
+}
+
+// TestLineProfileNamesCulprits: the per-line profile must attribute
+// Tourney's contention to the cross-product productions, as the paper's
+// §4.2 analysis does.
+func TestLineProfileNamesCulprits(t *testing.T) {
+	res := simulate(t, wl.Tourney(10), multimax.Config{
+		Procs: 12, Queues: 8, Scheme: parmatch.SchemeSimple, Pipelined: true,
+	})
+	if len(res.LineProfile) == 0 {
+		t.Fatal("no line profile")
+	}
+	top := res.LineProfile[0]
+	names := map[string]bool{}
+	for _, r := range top.Rules {
+		names[r] = true
+	}
+	if !names["assign"] && !names["gen-pairs"] && !names["next-round"] {
+		t.Fatalf("top contended line names %v, want a cross-product production", top.Rules)
+	}
+}
+
+// TestPipeliningHelps: with match overlapped into RHS evaluation the
+// match tail shrinks (the reason Table 4-5's 1+1 exceeds 1.0).
+func TestPipeliningHelps(t *testing.T) {
+	src := wl.Rubik(10)
+	plain := simulate(t, src, multimax.Config{Procs: 1, Queues: 1, Scheme: parmatch.SchemeSimple})
+	piped := simulate(t, src, multimax.Config{Procs: 1, Queues: 1, Scheme: parmatch.SchemeSimple, Pipelined: true})
+	if piped.MatchInstr >= plain.MatchInstr {
+		t.Fatalf("pipelined (%d) should beat non-pipelined (%d)", piped.MatchInstr, plain.MatchInstr)
+	}
+}
+
+// TestRequeuesOnlyUnderMRSW: simple locks never re-queue tokens.
+func TestRequeuesOnlyUnderMRSW(t *testing.T) {
+	src := wl.Tourney(8)
+	simple := simulate(t, src, multimax.Config{Procs: 8, Queues: 4, Scheme: parmatch.SchemeSimple, Pipelined: true})
+	if simple.Contention.Requeues != 0 {
+		t.Fatalf("simple scheme requeued %d tokens", simple.Contention.Requeues)
+	}
+	mrsw := simulate(t, src, multimax.Config{Procs: 8, Queues: 4, Scheme: parmatch.SchemeMRSW, Pipelined: true})
+	if mrsw.Contention.Requeues == 0 {
+		t.Log("note: MRSW run had no wrong-side arrivals (legal, workload-dependent)")
+	}
+}
+
+// TestHardwareSchedulerBeatsSoftwareQueues reproduces the argument the
+// paper makes for Gupta's proposed hardware task scheduler (§3.2):
+// removing software scheduling overhead and contention lifts top-end
+// speed-up well beyond the eight-queue configuration.
+func TestHardwareSchedulerBeatsSoftwareQueues(t *testing.T) {
+	src := wl.Rubik(15)
+	soft := simulate(t, src, multimax.Config{Procs: 13, Queues: 8, Scheme: parmatch.SchemeSimple, Pipelined: true})
+	hard := simulate(t, src, multimax.Config{Procs: 13, Hardware: true, Scheme: parmatch.SchemeSimple, Pipelined: true})
+	if hard.MatchInstr >= soft.MatchInstr {
+		t.Fatalf("hardware scheduler (%d) should beat software queues (%d)", hard.MatchInstr, soft.MatchInstr)
+	}
+	if n := hard.Contention.QueueSpins; n != 0 {
+		t.Fatalf("hardware scheduler recorded %d queue spins", n)
+	}
+}
+
+// TestFIFOAndLIFOBothDrain: the scheduling-discipline ablation must
+// still produce the sequential results.
+func TestFIFOAndLIFOBothDrain(t *testing.T) {
+	src := wl.Tourney(8)
+	lifo := simulate(t, src, multimax.Config{Procs: 7, Queues: 4, Scheme: parmatch.SchemeSimple, Pipelined: true})
+	fifo := simulate(t, src, multimax.Config{Procs: 7, Queues: 4, Scheme: parmatch.SchemeSimple, Pipelined: true, FIFO: true})
+	if len(lifo.FiringLog) != len(fifo.FiringLog) {
+		t.Fatalf("FIFO fired %d, LIFO %d", len(fifo.FiringLog), len(lifo.FiringLog))
+	}
+	for i := range lifo.FiringLog {
+		if lifo.FiringLog[i] != fifo.FiringLog[i] {
+			t.Fatalf("firing %d differs: %s vs %s", i, lifo.FiringLog[i], fifo.FiringLog[i])
+		}
+	}
+}

@@ -1,0 +1,162 @@
+package multimax_test
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/conflict"
+	"repro/internal/engine"
+	"repro/internal/multimax"
+	"repro/internal/ops5"
+	"repro/internal/parmatch"
+	"repro/internal/rete"
+	"repro/internal/seqmatch"
+)
+
+func compile(t *testing.T, src string) (*ops5.Program, *rete.Network) {
+	t.Helper()
+	prog, err := ops5.Parse(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	net, err := rete.Compile(prog)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	return prog, net
+}
+
+// seqFirings runs the reference sequential matcher.
+func seqFirings(t *testing.T, src string) []string {
+	t.Helper()
+	prog, net := compile(t, src)
+	cs := conflict.NewSet()
+	m := seqmatch.New(net, seqmatch.VS2, 0, cs)
+	e, err := engine.New(prog, net, cs, m, nil)
+	if err != nil {
+		t.Fatalf("engine: %v", err)
+	}
+	if err := e.Init(); err != nil {
+		t.Fatalf("init: %v", err)
+	}
+	res, err := e.Run(engine.Options{MaxCycles: 1000, RecordFiring: true})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	out := make([]string, len(res.Firings))
+	for i, f := range res.Firings {
+		out[i] = fmt.Sprintf("%s@%d", f.Rule, f.Cycle)
+	}
+	return out
+}
+
+func simFirings(t *testing.T, src string, cfg multimax.Config) *multimax.Result {
+	t.Helper()
+	prog, net := compile(t, src)
+	cfg.MaxCycles = 1000
+	res, err := multimax.Simulate(prog, net, cfg)
+	if err != nil {
+		t.Fatalf("simulate: %v", err)
+	}
+	return res
+}
+
+func workload(n int) string {
+	var b strings.Builder
+	b.WriteString("(literalize item kind val)\n(literalize stage num)\n(literalize done num)\n")
+	fmt.Fprintf(&b, `
+(p pair
+  (stage ^num {<n> < %d})
+  (item ^kind a ^val <v>)
+  (item ^kind b ^val <v>)
+-->
+  (make done ^num <n>)
+  (modify 1 ^num (compute <n> + 1)))
+(p cleanup
+  (stage ^num <n>)
+  (done ^num {<d> < <n>})
+-->
+  (remove 2))
+(p finish
+  (stage ^num %d)
+  - (done ^num <m>)
+-->
+  (halt))
+(make stage ^num 0)
+`, n, n)
+	for i := 0; i < 8; i++ {
+		fmt.Fprintf(&b, "(make item ^kind a ^val %d)\n(make item ^kind b ^val %d)\n", i, i)
+	}
+	return b.String()
+}
+
+// TestSimulatorMatchesSequential checks that every simulated machine
+// configuration produces the exact firing sequence of the sequential
+// matcher: the simulation must change only timing, never results.
+func TestSimulatorMatchesSequential(t *testing.T) {
+	src := workload(20)
+	want := seqFirings(t, src)
+	if len(want) == 0 {
+		t.Fatal("workload produced no firings")
+	}
+	cfgs := []multimax.Config{
+		{Procs: 1, Queues: 1, Scheme: parmatch.SchemeSimple},
+		{Procs: 1, Queues: 1, Scheme: parmatch.SchemeSimple, Pipelined: true},
+		{Procs: 5, Queues: 1, Scheme: parmatch.SchemeSimple, Pipelined: true},
+		{Procs: 13, Queues: 8, Scheme: parmatch.SchemeSimple, Pipelined: true},
+		{Procs: 5, Queues: 2, Scheme: parmatch.SchemeMRSW, Pipelined: true},
+		{Procs: 13, Queues: 8, Scheme: parmatch.SchemeMRSW, Pipelined: true},
+	}
+	for _, cfg := range cfgs {
+		cfg := cfg
+		name := fmt.Sprintf("p%dq%d%v-pipe%v", cfg.Procs, cfg.Queues, cfg.Scheme, cfg.Pipelined)
+		t.Run(name, func(t *testing.T) {
+			res := simFirings(t, src, cfg)
+			if len(res.FiringLog) != len(want) {
+				t.Fatalf("firings: got %d want %d\ngot:  %v\nwant: %v",
+					len(res.FiringLog), len(want), res.FiringLog, want)
+			}
+			for i := range want {
+				if res.FiringLog[i] != want[i] {
+					t.Fatalf("firing %d: got %s want %s", i, res.FiringLog[i], want[i])
+				}
+			}
+			if !res.Halted {
+				t.Error("expected halted run")
+			}
+		})
+	}
+}
+
+// TestSimulatorIsDeterministic re-runs one configuration and demands
+// bit-identical timing and contention results.
+func TestSimulatorIsDeterministic(t *testing.T) {
+	src := workload(15)
+	cfg := multimax.Config{Procs: 7, Queues: 2, Scheme: parmatch.SchemeMRSW, Pipelined: true}
+	a := simFirings(t, src, cfg)
+	b := simFirings(t, src, cfg)
+	if a.MatchInstr != b.MatchInstr || a.TotalInstr != b.TotalInstr {
+		t.Fatalf("timing differs: %d/%d vs %d/%d", a.MatchInstr, a.TotalInstr, b.MatchInstr, b.TotalInstr)
+	}
+	if a.Contention != b.Contention {
+		t.Fatalf("contention differs: %+v vs %+v", a.Contention, b.Contention)
+	}
+}
+
+// TestSimulatorSpeedsUpWithProcs: more match processes must not slow
+// the match down on a parallel-friendly workload, and should show real
+// speed-up by 5 processes.
+func TestSimulatorSpeedsUpWithProcs(t *testing.T) {
+	src := workload(25)
+	base := simFirings(t, src, multimax.Config{Procs: 1, Queues: 1, Scheme: parmatch.SchemeSimple})
+	par := simFirings(t, src, multimax.Config{Procs: 5, Queues: 4, Scheme: parmatch.SchemeSimple, Pipelined: true})
+	if base.MatchInstr == 0 {
+		t.Fatal("baseline match time is zero")
+	}
+	speedup := float64(base.MatchInstr) / float64(par.MatchInstr)
+	if speedup < 1.5 {
+		t.Errorf("expected >1.5x speedup with 5 procs, got %.2f (base=%d par=%d)",
+			speedup, base.MatchInstr, par.MatchInstr)
+	}
+}

@@ -1,0 +1,74 @@
+package multimax_test
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/multimax"
+	"repro/internal/ops5"
+	"repro/internal/parmatch"
+	"repro/internal/rete"
+	wl "repro/internal/workload"
+)
+
+// TestLineProfilesDiag prints the contention profiles of the three
+// benchmark workloads — the simulator's culprit-production analysis.
+func TestLineProfilesDiag(t *testing.T) {
+	for _, tc := range []struct{ name, src string }{
+		{"weaver", wl.Weaver(20, 12)},
+		{"rubik", wl.Rubik(60)},
+		{"tourney", wl.Tourney(16)},
+	} {
+		prog, err := ops5.Parse(tc.src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		net, err := rete.Compile(prog)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := multimax.Simulate(prog, net, multimax.Config{
+			Procs: 13, Queues: 8, Scheme: parmatch.SchemeSimple, Pipelined: true, MaxCycles: 200000,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		fmt.Printf("== %s cycles=%d acts=%d matchInstr=%d\n", tc.name, res.Cycles, res.Activations, res.MatchInstr)
+		for _, nc := range res.NodeProfile[:min(6, len(res.NodeProfile))] {
+			rules := nc.Rules
+			if len(rules) > 3 {
+				rules = rules[:3]
+			}
+			fmt.Printf("  node %4d acts=%-7d hold=%-9d max=%-7d maxScan=%-5d maxExam=%-5d neg=%-5v rules=%v\n",
+				nc.Node, nc.Acts, nc.Hold, nc.MaxHold, nc.MaxScan, nc.MaxExam, nc.Negated, rules)
+		}
+		for _, lc := range res.LineProfile[:min(3, len(res.LineProfile))] {
+			rules := lc.Rules
+			if len(rules) > 4 {
+				rules = rules[:4]
+			}
+			fmt.Printf("  line %4d acq=%-7d spins=%-9d hold=%-9d max=%-7d rules=%v\n",
+				lc.Line, lc.Acquires, lc.Spins, lc.Hold, lc.MaxHold, rules)
+		}
+	}
+}
+
+// TestMaxHoldDiag ranks nodes by their single longest hold.
+func TestMaxHoldDiag(t *testing.T) {
+	src := wl.Weaver(20, 12)
+	prog, _ := ops5.Parse(src)
+	net, _ := rete.Compile(prog)
+	res, err := multimax.Simulate(prog, net, multimax.Config{
+		Procs: 13, Queues: 8, Scheme: parmatch.SchemeSimple, Pipelined: true, MaxCycles: 200000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	all := res.NodeProfileAll
+	fmt.Println("top nodes by max single hold:")
+	for i := 0; i < 8 && i < len(all); i++ {
+		nc := all[i]
+		fmt.Printf("  node %4d acts=%-7d hold=%-9d max=%-7d maxScan=%-5d maxExam=%-5d neg=%v rules=%v\n",
+			nc.Node, nc.Acts, nc.Hold, nc.MaxHold, nc.MaxScan, nc.MaxExam, nc.Negated, nc.Rules)
+	}
+}

@@ -1,0 +1,241 @@
+// Package ops5 implements the front end for the OPS5 production-system
+// language: lexer, parser, literalize declarations and the AST consumed
+// by the Rete compiler and the RHS threaded-code compiler.
+package ops5
+
+import (
+	"fmt"
+
+	"repro/internal/symbols"
+	"repro/internal/wm"
+)
+
+// Pred is a test predicate from a condition element.
+type Pred uint8
+
+// Predicates supported in condition-element attribute tests.
+const (
+	PredEQ       Pred = iota // = (default)
+	PredNE                   // <>
+	PredLT                   // <
+	PredLE                   // <=
+	PredGT                   // >
+	PredGE                   // >=
+	PredSameType             // <=>
+)
+
+func (p Pred) String() string {
+	switch p {
+	case PredEQ:
+		return "="
+	case PredNE:
+		return "<>"
+	case PredLT:
+		return "<"
+	case PredLE:
+		return "<="
+	case PredGT:
+		return ">"
+	case PredGE:
+		return ">="
+	case PredSameType:
+		return "<=>"
+	}
+	return "?"
+}
+
+// Apply evaluates the predicate on working-memory value v against
+// operand o (v is the WME side, o the condition side).
+func (p Pred) Apply(v, o wm.Value) bool {
+	switch p {
+	case PredEQ:
+		return v.Equal(o)
+	case PredNE:
+		return !v.Equal(o)
+	case PredLT:
+		return v.IsNumber() && o.IsNumber() && v.AsFloat() < o.AsFloat()
+	case PredLE:
+		return v.IsNumber() && o.IsNumber() && v.AsFloat() <= o.AsFloat()
+	case PredGT:
+		return v.IsNumber() && o.IsNumber() && v.AsFloat() > o.AsFloat()
+	case PredGE:
+		return v.IsNumber() && o.IsNumber() && v.AsFloat() >= o.AsFloat()
+	case PredSameType:
+		return v.SameType(o)
+	}
+	return false
+}
+
+// TestTerm is one predicate application inside an attribute test. The
+// operand is a constant, a variable reference, or a disjunction of
+// constants (<< a b c >>, equality only).
+type TestTerm struct {
+	Pred  Pred
+	IsVar bool
+	Var   string     // variable name when IsVar
+	Const wm.Value   // constant operand otherwise
+	Disj  []wm.Value // non-nil for << ... >>
+}
+
+// AttrTest is the conjunction of terms applied to one field of a
+// condition element ({ ... } groups several terms on one attribute).
+type AttrTest struct {
+	Field int // field index within the class vector (0 = class, tested separately)
+	Attr  symbols.ID
+	Terms []TestTerm
+}
+
+// CondElem is one condition element of a production's left-hand side.
+type CondElem struct {
+	Negated bool
+	Class   symbols.ID
+	Tests   []AttrTest
+	// ElemVar is the element variable of a { <var> (pattern) } form,
+	// letting the RHS name this condition element in remove/modify.
+	ElemVar string
+	Line    int
+}
+
+// Rule is a parsed production.
+type Rule struct {
+	Name    string
+	CEs     []*CondElem
+	Actions []*Action
+	Line    int
+}
+
+// PositiveCEs counts the non-negated condition elements.
+func (r *Rule) PositiveCEs() int {
+	n := 0
+	for _, ce := range r.CEs {
+		if !ce.Negated {
+			n++
+		}
+	}
+	return n
+}
+
+// ExprKind discriminates RHS value expressions.
+type ExprKind uint8
+
+// Expression kinds appearing in RHS values and write arguments.
+const (
+	ExprConst ExprKind = iota
+	ExprVar
+	ExprCompute
+	ExprCrlf   // (crlf) inside write
+	ExprTabto  // (tabto n) inside write
+	ExprAccept // (accept) — reads the next value from the engine's input list
+)
+
+// Expr is an RHS value expression. Compute nodes form a binary tree;
+// OPS5's compute has no precedence and associates right-to-left.
+type Expr struct {
+	Kind  ExprKind
+	Const wm.Value
+	Var   string
+	Op    byte // one of + - * / % for ExprCompute ('/'=//, '%'=\\)
+	L, R  *Expr
+}
+
+// AttrSet assigns an expression to an attribute in make/modify.
+type AttrSet struct {
+	Attr  symbols.ID
+	Field int
+	Expr  *Expr
+}
+
+// ActionKind discriminates RHS actions.
+type ActionKind uint8
+
+// RHS action kinds.
+const (
+	ActMake ActionKind = iota
+	ActModify
+	ActRemove
+	ActBind
+	ActWrite
+	ActHalt
+)
+
+// Action is one RHS action.
+type Action struct {
+	Kind    ActionKind
+	Class   symbols.ID // make
+	CEIndex int        // modify/remove: 1-based index over the rule's CEs
+	Sets    []AttrSet  // make/modify
+	Args    []*Expr    // write arguments or the single bind expression
+	Var     string     // bind target
+	Line    int
+}
+
+// Class records a literalize declaration: the attribute layout of a WME
+// class. Field indices start at 1 (field 0 is the class symbol).
+type Class struct {
+	Name      symbols.ID
+	Fields    map[symbols.ID]int
+	FieldAttr []symbols.ID // index -> attribute symbol; [0] unused
+	Declared  bool         // false when auto-created on first use
+}
+
+// NumFields is the vector length including the class slot.
+func (c *Class) NumFields() int { return len(c.FieldAttr) }
+
+// Program is a fully parsed OPS5 source file.
+type Program struct {
+	Symbols  *symbols.Table
+	Strategy string // "lex" (default) or "mea"
+	Classes  map[symbols.ID]*Class
+	Rules    []*Rule
+	// InitialMakes are top-level (make ...) forms evaluated once, in
+	// order, before the recognize-act loop starts.
+	InitialMakes []*Action
+}
+
+// ClassOf returns the class record, creating an implicit one on demand
+// (OPS5 requires literalize; we auto-declare for convenience and record
+// that it was implicit).
+func (p *Program) ClassOf(name symbols.ID) *Class {
+	c, ok := p.Classes[name]
+	if !ok {
+		c = &Class{Name: name, Fields: make(map[symbols.ID]int), FieldAttr: []symbols.ID{symbols.None}}
+		p.Classes[name] = c
+	}
+	return c
+}
+
+// FieldIndex returns the field index of attr in class, allocating the
+// next slot when the class was not explicitly literalized. Explicitly
+// declared classes reject unknown attributes.
+func (p *Program) FieldIndex(class *Class, attr symbols.ID) (int, error) {
+	if i, ok := class.Fields[attr]; ok {
+		return i, nil
+	}
+	if class.Declared {
+		return 0, fmt.Errorf("class %s has no attribute %s (literalize lists: %d attrs)",
+			p.Symbols.Name(class.Name), p.Symbols.Name(attr), len(class.Fields))
+	}
+	i := len(class.FieldAttr)
+	class.Fields[attr] = i
+	class.FieldAttr = append(class.FieldAttr, attr)
+	return i, nil
+}
+
+// AttrName renders a field index of a class back to its attribute name,
+// for tracing and WME printing.
+func (p *Program) AttrName(class symbols.ID, field int) string {
+	if c, ok := p.Classes[class]; ok && field > 0 && field < len(c.FieldAttr) {
+		return p.Symbols.Name(c.FieldAttr[field])
+	}
+	return fmt.Sprintf("f%d", field)
+}
+
+// RuleByName finds a rule, for tests and tooling.
+func (p *Program) RuleByName(name string) *Rule {
+	for _, r := range p.Rules {
+		if r.Name == name {
+			return r
+		}
+	}
+	return nil
+}

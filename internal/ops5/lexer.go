@@ -1,0 +1,222 @@
+package ops5
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// tokKind is a lexical token class.
+type tokKind uint8
+
+const (
+	tokEOF tokKind = iota
+	tokLParen
+	tokRParen
+	tokLBrace
+	tokRBrace
+	tokLDisj // <<
+	tokRDisj // >>
+	tokSym   // bare symbol, including --> and operators like + - * // \\
+	tokNum
+	tokVar  // <x>
+	tokAttr // ^attr
+	tokPred // <> < <= > >= <=> = (when in test position the parser asks)
+)
+
+type token struct {
+	kind  tokKind
+	text  string // symbol/attr/var text
+	num   float64
+	isInt bool
+	inum  int64
+	line  int
+}
+
+func (t token) String() string {
+	switch t.kind {
+	case tokEOF:
+		return "<eof>"
+	case tokLParen:
+		return "("
+	case tokRParen:
+		return ")"
+	case tokLBrace:
+		return "{"
+	case tokRBrace:
+		return "}"
+	case tokLDisj:
+		return "<<"
+	case tokRDisj:
+		return ">>"
+	case tokVar:
+		return "<" + t.text + ">"
+	case tokAttr:
+		return "^" + t.text
+	case tokNum:
+		if t.isInt {
+			return strconv.FormatInt(t.inum, 10)
+		}
+		return strconv.FormatFloat(t.num, 'g', -1, 64)
+	default:
+		return t.text
+	}
+}
+
+// lexer produces OPS5 tokens. OPS5 lexing quirks handled here: variables
+// are <name>; << and >> delimit disjunctions; predicates <, <=, <=>, <>,
+// >, >= are distinct tokens; ; starts a comment to end of line.
+type lexer struct {
+	src  string
+	pos  int
+	line int
+}
+
+func newLexer(src string) *lexer { return &lexer{src: src, line: 1} }
+
+func isDelim(c byte) bool {
+	switch c {
+	case ' ', '\t', '\r', '\n', '(', ')', '{', '}', ';', '^':
+		return true
+	}
+	return false
+}
+
+func (l *lexer) at(off int) byte {
+	if l.pos+off >= len(l.src) {
+		return 0
+	}
+	return l.src[l.pos+off]
+}
+
+func (l *lexer) skipSpace() {
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		if c == ';' {
+			for l.pos < len(l.src) && l.src[l.pos] != '\n' {
+				l.pos++
+			}
+			continue
+		}
+		if c == '\n' {
+			l.line++
+			l.pos++
+			continue
+		}
+		if c == ' ' || c == '\t' || c == '\r' {
+			l.pos++
+			continue
+		}
+		break
+	}
+}
+
+// next returns the next token.
+func (l *lexer) next() (token, error) {
+	l.skipSpace()
+	ln := l.line
+	if l.pos >= len(l.src) {
+		return token{kind: tokEOF, line: ln}, nil
+	}
+	c := l.src[l.pos]
+	switch c {
+	case '(':
+		l.pos++
+		return token{kind: tokLParen, line: ln}, nil
+	case ')':
+		l.pos++
+		return token{kind: tokRParen, line: ln}, nil
+	case '{':
+		l.pos++
+		return token{kind: tokLBrace, line: ln}, nil
+	case '}':
+		l.pos++
+		return token{kind: tokRBrace, line: ln}, nil
+	case '^':
+		l.pos++
+		start := l.pos
+		for l.pos < len(l.src) && !isDelim(l.src[l.pos]) {
+			l.pos++
+		}
+		if l.pos == start {
+			return token{}, fmt.Errorf("line %d: ^ must be followed by an attribute name", ln)
+		}
+		return token{kind: tokAttr, text: l.src[start:l.pos], line: ln}, nil
+	case '<':
+		return l.lexLess(ln)
+	case '>':
+		if l.at(1) == '>' {
+			l.pos += 2
+			return token{kind: tokRDisj, line: ln}, nil
+		}
+		if l.at(1) == '=' {
+			l.pos += 2
+			return token{kind: tokPred, text: ">=", line: ln}, nil
+		}
+		l.pos++
+		return token{kind: tokPred, text: ">", line: ln}, nil
+	case '=':
+		l.pos++
+		return token{kind: tokPred, text: "=", line: ln}, nil
+	}
+	// Number or symbol. A token is a number if it fully parses as one.
+	start := l.pos
+	for l.pos < len(l.src) && !isDelim(l.src[l.pos]) {
+		l.pos++
+	}
+	text := l.src[start:l.pos]
+	if n, err := strconv.ParseInt(text, 10, 64); err == nil {
+		return token{kind: tokNum, isInt: true, inum: n, line: ln}, nil
+	}
+	if f, err := strconv.ParseFloat(text, 64); err == nil && strings.ContainsAny(text, "0123456789") {
+		return token{kind: tokNum, num: f, line: ln}, nil
+	}
+	return token{kind: tokSym, text: text, line: ln}, nil
+}
+
+// lexLess disambiguates the many tokens that begin with '<'.
+func (l *lexer) lexLess(ln int) (token, error) {
+	switch l.at(1) {
+	case '<':
+		l.pos += 2
+		return token{kind: tokLDisj, line: ln}, nil
+	case '>':
+		l.pos += 2
+		return token{kind: tokPred, text: "<>", line: ln}, nil
+	case '=':
+		if l.at(2) == '>' {
+			l.pos += 3
+			return token{kind: tokPred, text: "<=>", line: ln}, nil
+		}
+		l.pos += 2
+		return token{kind: tokPred, text: "<=", line: ln}, nil
+	}
+	// <name> is a variable; a bare '<' is the less-than predicate.
+	j := l.pos + 1
+	for j < len(l.src) && l.src[j] != '>' && !isDelim(l.src[j]) && l.src[j] != '<' {
+		j++
+	}
+	if j < len(l.src) && l.src[j] == '>' && j > l.pos+1 {
+		name := l.src[l.pos+1 : j]
+		l.pos = j + 1
+		return token{kind: tokVar, text: name, line: ln}, nil
+	}
+	l.pos++
+	return token{kind: tokPred, text: "<", line: ln}, nil
+}
+
+// lexAll tokenizes the whole source, for the parser's token buffer.
+func lexAll(src string) ([]token, error) {
+	l := newLexer(src)
+	var out []token
+	for {
+		t, err := l.next()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, t)
+		if t.kind == tokEOF {
+			return out, nil
+		}
+	}
+}

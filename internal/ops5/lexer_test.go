@@ -1,0 +1,138 @@
+package ops5
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// lexKinds tokenizes and returns the kind sequence (sans EOF).
+func lexKinds(t *testing.T, src string) []tokKind {
+	t.Helper()
+	toks, err := lexAll(src)
+	if err != nil {
+		t.Fatalf("lex %q: %v", src, err)
+	}
+	kinds := make([]tokKind, 0, len(toks)-1)
+	for _, tok := range toks[:len(toks)-1] {
+		kinds = append(kinds, tok.kind)
+	}
+	return kinds
+}
+
+func TestLexAngleDisambiguation(t *testing.T) {
+	cases := []struct {
+		src  string
+		want []tokKind
+	}{
+		{"<x>", []tokKind{tokVar}},
+		{"<", []tokKind{tokPred}},
+		{"<=", []tokKind{tokPred}},
+		{"<=>", []tokKind{tokPred}},
+		{"<>", []tokKind{tokPred}},
+		{"<<", []tokKind{tokLDisj}},
+		{">>", []tokKind{tokRDisj}},
+		{">", []tokKind{tokPred}},
+		{">=", []tokKind{tokPred}},
+		{"=", []tokKind{tokPred}},
+		{"< <x>", []tokKind{tokPred, tokVar}},
+		{"<< a b >>", []tokKind{tokLDisj, tokSym, tokSym, tokRDisj}},
+	}
+	for _, c := range cases {
+		got := lexKinds(t, c.src)
+		if len(got) != len(c.want) {
+			t.Errorf("%q: %d tokens, want %d", c.src, len(got), len(c.want))
+			continue
+		}
+		for i := range got {
+			if got[i] != c.want[i] {
+				t.Errorf("%q token %d: kind %d, want %d", c.src, i, got[i], c.want[i])
+			}
+		}
+	}
+}
+
+func TestLexPredTexts(t *testing.T) {
+	toks, err := lexAll("<> <= >= <=> < > =")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"<>", "<=", ">=", "<=>", "<", ">", "="}
+	for i, w := range want {
+		if toks[i].kind != tokPred || toks[i].text != w {
+			t.Errorf("token %d = %q (kind %d), want pred %q", i, toks[i].text, toks[i].kind, w)
+		}
+	}
+}
+
+func TestLexNumbersAndSymbols(t *testing.T) {
+	toks, err := lexAll("12 -3 2.5 -0.5 12abc abc-12 -")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[0].kind != tokNum || !toks[0].isInt || toks[0].inum != 12 {
+		t.Errorf("12 lexed as %+v", toks[0])
+	}
+	if toks[1].kind != tokNum || toks[1].inum != -3 {
+		t.Errorf("-3 lexed as %+v", toks[1])
+	}
+	if toks[2].kind != tokNum || toks[2].isInt || toks[2].num != 2.5 {
+		t.Errorf("2.5 lexed as %+v", toks[2])
+	}
+	if toks[3].kind != tokNum || toks[3].num != -0.5 {
+		t.Errorf("-0.5 lexed as %+v", toks[3])
+	}
+	if toks[4].kind != tokSym || toks[4].text != "12abc" {
+		t.Errorf("12abc lexed as %+v", toks[4])
+	}
+	if toks[5].kind != tokSym || toks[5].text != "abc-12" {
+		t.Errorf("abc-12 lexed as %+v", toks[5])
+	}
+	if toks[6].kind != tokSym || toks[6].text != "-" {
+		t.Errorf("- lexed as %+v", toks[6])
+	}
+}
+
+func TestLexAttrAndComment(t *testing.T) {
+	toks, err := lexAll("^color red ; trailing comment\n^next")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[0].kind != tokAttr || toks[0].text != "color" {
+		t.Errorf("^color lexed as %+v", toks[0])
+	}
+	if toks[2].kind != tokAttr || toks[2].text != "next" {
+		t.Errorf("^next lexed as %+v", toks[2])
+	}
+	if toks[2].line != 2 {
+		t.Errorf("line tracking: got %d, want 2", toks[2].line)
+	}
+}
+
+func TestLexBareCaretIsError(t *testing.T) {
+	if _, err := lexAll("( ^ )"); err == nil {
+		t.Fatal("bare ^ should be a lex error")
+	}
+}
+
+// Property: the lexer never panics and always terminates on arbitrary
+// input (it may return an error).
+func TestLexerTotal(t *testing.T) {
+	f := func(s string) bool {
+		toks, err := lexAll(s)
+		return err != nil || toks[len(toks)-1].kind == tokEOF
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the parser never panics on arbitrary input.
+func TestParserTotal(t *testing.T) {
+	f := func(s string) bool {
+		_, _ = Parse(s)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,287 @@
+package ops5_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/ops5"
+	"repro/internal/rete"
+	"repro/internal/wm"
+)
+
+func parse(t *testing.T, src string) *ops5.Program {
+	t.Helper()
+	prog, err := ops5.Parse(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	return prog
+}
+
+func parseErr(t *testing.T, src, wantSubstr string) {
+	t.Helper()
+	_, err := ops5.Parse(src)
+	if err == nil {
+		t.Fatalf("expected error containing %q, got success", wantSubstr)
+	}
+	if !strings.Contains(err.Error(), wantSubstr) {
+		t.Fatalf("error %q does not contain %q", err, wantSubstr)
+	}
+}
+
+func TestParseFigure21(t *testing.T) {
+	prog := parse(t, `
+(literalize goal type color)
+(literalize block id color selected)
+(p find-colored-block
+  (goal ^type find-block ^color <c>)
+  (block ^id <i> ^color <c> ^selected no)
+-->
+  (modify 2 ^selected yes))
+`)
+	if len(prog.Rules) != 1 {
+		t.Fatalf("rules = %d", len(prog.Rules))
+	}
+	r := prog.Rules[0]
+	if r.Name != "find-colored-block" || len(r.CEs) != 2 || len(r.Actions) != 1 {
+		t.Fatalf("unexpected rule shape: %+v", r)
+	}
+	if r.Actions[0].Kind != ops5.ActModify || r.Actions[0].CEIndex != 2 {
+		t.Fatalf("action = %+v", r.Actions[0])
+	}
+}
+
+func TestLiteralizeAssignsFieldIndices(t *testing.T) {
+	prog := parse(t, `(literalize block id color selected)`)
+	id, _ := prog.Symbols.Lookup("block")
+	c := prog.Classes[id]
+	if c == nil || !c.Declared {
+		t.Fatal("block class not declared")
+	}
+	if c.NumFields() != 4 { // class slot + 3 attributes
+		t.Fatalf("NumFields = %d", c.NumFields())
+	}
+	attr, _ := prog.Symbols.Lookup("color")
+	if c.Fields[attr] != 2 {
+		t.Fatalf("color field = %d, want 2", c.Fields[attr])
+	}
+}
+
+func TestUndeclaredAttributeRejected(t *testing.T) {
+	parseErr(t, `
+(literalize block id)
+(p r (block ^height <h>) --> (halt))
+`, "no attribute")
+}
+
+func TestPredicates(t *testing.T) {
+	prog := parse(t, `
+(p r
+  (c ^a <x> ^b { > 3 <= 10 } ^d <> nil ^e <=> 5)
+-->
+  (halt))
+`)
+	ce := prog.Rules[0].CEs[0]
+	if len(ce.Tests) != 4 {
+		t.Fatalf("tests = %d", len(ce.Tests))
+	}
+	brace := ce.Tests[1]
+	if len(brace.Terms) != 2 || brace.Terms[0].Pred != ops5.PredGT || brace.Terms[1].Pred != ops5.PredLE {
+		t.Fatalf("brace terms = %+v", brace.Terms)
+	}
+	if ce.Tests[2].Terms[0].Pred != ops5.PredNE {
+		t.Fatalf("<> parsed as %v", ce.Tests[2].Terms[0].Pred)
+	}
+	if ce.Tests[3].Terms[0].Pred != ops5.PredSameType {
+		t.Fatalf("<=> parsed as %v", ce.Tests[3].Terms[0].Pred)
+	}
+}
+
+func TestDisjunction(t *testing.T) {
+	prog := parse(t, `(p r (c ^color << red green blue >>) --> (halt))`)
+	term := prog.Rules[0].CEs[0].Tests[0].Terms[0]
+	if len(term.Disj) != 3 {
+		t.Fatalf("disjunction size = %d", len(term.Disj))
+	}
+}
+
+func TestNilSymbolIsNilValue(t *testing.T) {
+	prog := parse(t, `
+(p r (c ^a nil) --> (make d ^b nil))
+`)
+	term := prog.Rules[0].CEs[0].Tests[0].Terms[0]
+	if term.Const.Kind != wm.KindNil {
+		t.Fatalf("^a nil parsed as %#v, want the nil value", term.Const)
+	}
+	set := prog.Rules[0].Actions[0].Sets[0]
+	if set.Expr.Const.Kind != wm.KindNil {
+		t.Fatalf("make ^b nil parsed as %#v", set.Expr.Const)
+	}
+}
+
+func TestNegatedCE(t *testing.T) {
+	prog := parse(t, `
+(p r
+  (goal ^t go)
+  - (blocker ^id <i>)
+-->
+  (halt))
+`)
+	if !prog.Rules[0].CEs[1].Negated {
+		t.Fatal("second CE should be negated")
+	}
+}
+
+func TestOnlyNegatedCEsRejected(t *testing.T) {
+	parseErr(t, `(p r - (c ^a 1) --> (halt))`, "only negated")
+}
+
+func TestModifyNegatedRejected(t *testing.T) {
+	parseErr(t, `
+(p r (a ^x 1) - (b ^y 2) --> (modify 2 ^y 3))
+`, "negated")
+}
+
+func TestModifyOutOfRangeRejected(t *testing.T) {
+	parseErr(t, `(p r (a ^x 1) --> (remove 3))`, "out of range")
+}
+
+func TestUnboundRHSVariableRejected(t *testing.T) {
+	parseErr(t, `(p r (a ^x 1) --> (make b ^y <ghost>))`, "never bound")
+}
+
+func TestUnboundPredicateVariableRejected(t *testing.T) {
+	// The parser accepts it; the Rete compiler rejects it (splitCE).
+	prog := parse(t, `(p r (a ^x > <never>) --> (halt))`)
+	if _, err := rete.Compile(prog); err == nil ||
+		!strings.Contains(err.Error(), "unbound") {
+		t.Fatalf("compile error = %v, want unbound-variable rejection", err)
+	}
+}
+
+func TestComputeRightAssociative(t *testing.T) {
+	prog := parse(t, `
+(p r (a ^x <v>) --> (make b ^y (compute <v> + 2 * 3)))
+`)
+	e := prog.Rules[0].Actions[0].Sets[0].Expr
+	// Right-to-left: <v> + (2 * 3).
+	if e.Kind != ops5.ExprCompute || e.Op != '+' {
+		t.Fatalf("top op = %c", e.Op)
+	}
+	if e.R.Kind != ops5.ExprCompute || e.R.Op != '*' {
+		t.Fatalf("right subtree op = %c, want *", e.R.Op)
+	}
+}
+
+func TestStrategy(t *testing.T) {
+	prog := parse(t, `(strategy mea)`)
+	if prog.Strategy != "mea" {
+		t.Fatalf("strategy = %q", prog.Strategy)
+	}
+	parseErr(t, `(strategy fancy)`, "unknown strategy")
+}
+
+func TestTopLevelMake(t *testing.T) {
+	prog := parse(t, `
+(literalize c a)
+(make c ^a 42)
+(make c ^a (compute 6 * 7))
+`)
+	if len(prog.InitialMakes) != 2 {
+		t.Fatalf("initial makes = %d", len(prog.InitialMakes))
+	}
+	parseErr(t, `(make c ^a <v>)`, "outside a production")
+}
+
+func TestBindMakesVariableAvailable(t *testing.T) {
+	parse(t, `
+(p r (a ^x <v>) --> (bind <y> (compute <v> + 1)) (make b ^n <y>))
+`)
+}
+
+func TestWriteForms(t *testing.T) {
+	prog := parse(t, `
+(p r (a ^x <v>) --> (write result <v> (crlf) (tabto 10) done))
+`)
+	args := prog.Rules[0].Actions[0].Args
+	if len(args) != 5 {
+		t.Fatalf("write args = %d", len(args))
+	}
+	if args[2].Kind != ops5.ExprCrlf || args[3].Kind != ops5.ExprTabto {
+		t.Fatalf("special forms misparsed: %+v", args)
+	}
+}
+
+func TestCommentsSkipped(t *testing.T) {
+	parse(t, `
+; a comment line
+(p r ; inline comment
+  (a ^x 1) --> (halt)) ; trailing
+`)
+}
+
+func TestVariableLexing(t *testing.T) {
+	prog := parse(t, `(p r (a ^x <long-name-7>) --> (make b ^y <long-name-7>))`)
+	term := prog.Rules[0].CEs[0].Tests[0].Terms[0]
+	if !term.IsVar || term.Var != "long-name-7" {
+		t.Fatalf("variable parsed as %+v", term)
+	}
+}
+
+func TestClassOnlyCE(t *testing.T) {
+	prog := parse(t, `(p r (signal) - (mute) --> (halt))`)
+	if len(prog.Rules[0].CEs) != 2 {
+		t.Fatal("expected two CEs")
+	}
+	if len(prog.Rules[0].CEs[0].Tests) != 0 {
+		t.Fatal("class-only CE should have no tests")
+	}
+}
+
+func TestNumbers(t *testing.T) {
+	prog := parse(t, `(p r (a ^x -5 ^y 2.5) --> (halt))`)
+	ts := prog.Rules[0].CEs[0].Tests
+	if ts[0].Terms[0].Const.Kind != wm.KindInt || ts[0].Terms[0].Const.Num != -5 {
+		t.Fatalf("-5 parsed as %#v", ts[0].Terms[0].Const)
+	}
+	if ts[1].Terms[0].Const.Kind != wm.KindFloat || ts[1].Terms[0].Const.F != 2.5 {
+		t.Fatalf("2.5 parsed as %#v", ts[1].Terms[0].Const)
+	}
+}
+
+func TestErrorsCarryLineNumbers(t *testing.T) {
+	_, err := ops5.Parse("\n\n(p r (a ^x 1) --> (boom))")
+	if err == nil || !strings.Contains(err.Error(), "line 3") {
+		t.Fatalf("error = %v, want line 3 reference", err)
+	}
+}
+
+func TestElementVariables(t *testing.T) {
+	prog := parse(t, `
+(literalize block id state)
+(p consume
+  (goal ^t go)
+  { <blk> (block ^id <i> ^state free) }
+-->
+  (modify <blk> ^state used)
+  (remove <blk>))
+`)
+	r := prog.Rules[0]
+	if r.CEs[1].ElemVar != "blk" {
+		t.Fatalf("element variable = %q", r.CEs[1].ElemVar)
+	}
+	if r.Actions[0].Kind != ops5.ActModify || r.Actions[0].CEIndex != 2 {
+		t.Fatalf("modify resolved to %+v", r.Actions[0])
+	}
+	if r.Actions[1].Kind != ops5.ActRemove || r.Actions[1].CEIndex != 2 {
+		t.Fatalf("remove resolved to %+v", r.Actions[1])
+	}
+	// Reverse order inside the braces also parses.
+	parse(t, `(p r { (a ^x 1) <w> } --> (remove <w>))`)
+}
+
+func TestElementVariableErrors(t *testing.T) {
+	parseErr(t, `(p r (a ^x 1) --> (remove <ghost>))`, "no element variable")
+	parseErr(t, `(p r (a ^x 1) - { <w> (b ^y 1) } --> (halt))`, "negated")
+	parseErr(t, `(p r { <w> <v> } --> (halt))`, "two variables")
+}

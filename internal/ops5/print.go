@@ -1,0 +1,159 @@
+package ops5
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/wm"
+)
+
+// FormatRule renders a production back to OPS5 source. The output
+// round-trips: parsing it again yields a structurally identical rule
+// (the print_test property locks this in).
+func (p *Program) FormatRule(r *Rule) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "(p %s\n", r.Name)
+	for _, ce := range r.CEs {
+		b.WriteString("  ")
+		if ce.Negated {
+			b.WriteString("- ")
+		}
+		if ce.ElemVar != "" {
+			fmt.Fprintf(&b, "{ <%s> %s }", ce.ElemVar, p.formatCE(ce))
+		} else {
+			b.WriteString(p.formatCE(ce))
+		}
+		b.WriteByte('\n')
+	}
+	b.WriteString("-->\n")
+	for _, act := range r.Actions {
+		b.WriteString("  ")
+		b.WriteString(p.FormatAction(act))
+		b.WriteByte('\n')
+	}
+	b.WriteString(")")
+	return b.String()
+}
+
+func (p *Program) formatCE(ce *CondElem) string {
+	var b strings.Builder
+	b.WriteByte('(')
+	b.WriteString(p.Symbols.Name(ce.Class))
+	for _, at := range ce.Tests {
+		fmt.Fprintf(&b, " ^%s ", p.Symbols.Name(at.Attr))
+		if len(at.Terms) == 1 && at.Terms[0].Pred == PredEQ && at.Terms[0].Disj == nil {
+			b.WriteString(p.formatTerm(&at.Terms[0]))
+			continue
+		}
+		if len(at.Terms) == 1 && at.Terms[0].Disj != nil {
+			b.WriteString(p.formatTerm(&at.Terms[0]))
+			continue
+		}
+		b.WriteByte('{')
+		for i := range at.Terms {
+			if i > 0 {
+				b.WriteByte(' ')
+			}
+			b.WriteString(p.formatTerm(&at.Terms[i]))
+		}
+		b.WriteByte('}')
+	}
+	b.WriteByte(')')
+	return b.String()
+}
+
+func (p *Program) formatTerm(t *TestTerm) string {
+	if t.Disj != nil {
+		parts := make([]string, len(t.Disj))
+		for i, d := range t.Disj {
+			parts[i] = p.formatValue(d)
+		}
+		return "<< " + strings.Join(parts, " ") + " >>"
+	}
+	prefix := ""
+	if t.Pred != PredEQ {
+		prefix = t.Pred.String() + " "
+	}
+	if t.IsVar {
+		return fmt.Sprintf("%s<%s>", prefix, t.Var)
+	}
+	return prefix + p.formatValue(t.Const)
+}
+
+func (p *Program) formatValue(v wm.Value) string { return v.String(p.Symbols) }
+
+// FormatAction renders one RHS action.
+func (p *Program) FormatAction(act *Action) string {
+	var b strings.Builder
+	switch act.Kind {
+	case ActMake:
+		fmt.Fprintf(&b, "(make %s", p.Symbols.Name(act.Class))
+		p.formatSets(&b, act.Sets)
+		b.WriteByte(')')
+	case ActModify:
+		fmt.Fprintf(&b, "(modify %d", act.CEIndex)
+		p.formatSets(&b, act.Sets)
+		b.WriteByte(')')
+	case ActRemove:
+		fmt.Fprintf(&b, "(remove %d)", act.CEIndex)
+	case ActBind:
+		fmt.Fprintf(&b, "(bind <%s> %s)", act.Var, p.FormatExpr(act.Args[0]))
+	case ActWrite:
+		b.WriteString("(write")
+		for _, a := range act.Args {
+			b.WriteByte(' ')
+			b.WriteString(p.FormatExpr(a))
+		}
+		b.WriteByte(')')
+	case ActHalt:
+		b.WriteString("(halt)")
+	}
+	return b.String()
+}
+
+func (p *Program) formatSets(b *strings.Builder, sets []AttrSet) {
+	for _, s := range sets {
+		fmt.Fprintf(b, " ^%s %s", p.Symbols.Name(s.Attr), p.FormatExpr(s.Expr))
+	}
+}
+
+// FormatExpr renders an RHS value expression.
+func (p *Program) FormatExpr(e *Expr) string {
+	switch e.Kind {
+	case ExprConst:
+		return p.formatValue(e.Const)
+	case ExprVar:
+		return "<" + e.Var + ">"
+	case ExprCompute:
+		return "(compute " + p.formatComputeBody(e) + ")"
+	case ExprCrlf:
+		return "(crlf)"
+	case ExprTabto:
+		return fmt.Sprintf("(tabto %d)", e.Const.Num)
+	case ExprAccept:
+		return "(accept)"
+	}
+	return "?"
+}
+
+// formatComputeBody prints an infix compute tree. Compute associates
+// right-to-left with no precedence, so the left operand of a nested
+// compute needs explicit parentheses while right nesting does not.
+func (p *Program) formatComputeBody(e *Expr) string {
+	op := map[byte]string{'+': "+", '-': "-", '*': "*", '/': "//", '%': `\\`}[e.Op]
+	return p.formatComputeOperand(e.L) + " " + op + " " + p.formatComputeTail(e.R)
+}
+
+func (p *Program) formatComputeOperand(e *Expr) string {
+	if e.Kind == ExprCompute {
+		return "(" + p.formatComputeBody(e) + ")"
+	}
+	return p.FormatExpr(e)
+}
+
+func (p *Program) formatComputeTail(e *Expr) string {
+	if e.Kind == ExprCompute {
+		return p.formatComputeBody(e)
+	}
+	return p.FormatExpr(e)
+}

@@ -1,0 +1,91 @@
+package ops5_test
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/ops5"
+)
+
+// normalizeRule strips source-location fields so structural comparison
+// ignores line numbers.
+func normalizeRule(r *ops5.Rule) *ops5.Rule {
+	cp := *r
+	cp.Line = 0
+	cp.CEs = make([]*ops5.CondElem, len(r.CEs))
+	for i, ce := range r.CEs {
+		c := *ce
+		c.Line = 0
+		cp.CEs[i] = &c
+	}
+	cp.Actions = make([]*ops5.Action, len(r.Actions))
+	for i, a := range r.Actions {
+		ac := *a
+		ac.Line = 0
+		cp.Actions[i] = &ac
+	}
+	return &cp
+}
+
+// TestFormatRuleRoundTrips: print(parse(x)) reparsed must equal
+// parse(x) structurally, for a corpus covering every syntax feature.
+func TestFormatRuleRoundTrips(t *testing.T) {
+	corpus := []string{
+		`(literalize c a b d)
+(p simple (c ^a 1 ^b red) --> (halt))`,
+		`(literalize c a b d)
+(p vars (c ^a <x> ^b <> <x> ^d { > 3 <= 10 <y> }) --> (make c ^a <y>))`,
+		`(literalize c a b d)
+(p neg (c ^a <x>) - (c ^b <x>) --> (remove 1))`,
+		`(literalize c a b d)
+(p disj (c ^a << red green 3 >>) --> (write found (crlf) (tabto 8) x))`,
+		`(literalize c a b d)
+(p comp (c ^a <x>) --> (bind <y> (compute <x> + 2 * 3)) (modify 1 ^b <y>))`,
+		`(literalize c a b d)
+(p nested (c ^a <x>) --> (make c ^a (compute (<x> - 1) // 2)))`,
+		`(literalize c a b d)
+(p nilv (c ^a nil) --> (make c ^b nil))`,
+		`(literalize c a b d)
+(p acc (c ^a 1) --> (make c ^b (accept)))`,
+	}
+	for _, src := range corpus {
+		prog, err := ops5.Parse(src)
+		if err != nil {
+			t.Fatalf("parse: %v\n%s", err, src)
+		}
+		orig := prog.Rules[0]
+		printed := prog.FormatRule(orig)
+		reparsed, err := ops5.Parse("(literalize c a b d)\n" + printed)
+		if err != nil {
+			t.Fatalf("re-parse failed: %v\nprinted:\n%s", err, printed)
+		}
+		got := normalizeRule(reparsed.Rules[0])
+		want := normalizeRule(orig)
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("round-trip mismatch for %s:\noriginal: %#v\nprinted:\n%s\nreparsed: %#v",
+				orig.Name, want, printed, got)
+		}
+	}
+}
+
+func TestFormatRuleReadable(t *testing.T) {
+	prog, err := ops5.Parse(`
+(literalize goal type color)
+(literalize block id color selected)
+(p find-colored-block
+  (goal ^type find-block ^color <c>)
+  (block ^id <i> ^color <c> ^selected no)
+-->
+  (modify 2 ^selected yes))
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := prog.FormatRule(prog.Rules[0])
+	for _, want := range []string{"(p find-colored-block", "^color <c>", "(modify 2 ^selected yes)", "-->"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("printed rule missing %q:\n%s", want, out)
+		}
+	}
+}

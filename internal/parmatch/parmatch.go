@@ -1,0 +1,281 @@
+// Package parmatch is the PSM-E parallel matcher: one control process
+// (the engine goroutine, which calls Submit/Drain) plus k match
+// goroutines that cooperate to pass tokens through a single shared Rete
+// network (§3.1). Tokens awaiting processing live on one or more task
+// queues; node memories live in the two global hash tables, with one
+// lock per line in either the simple or the multiple-reader-single-writer
+// scheme; the global TaskCount tells the control process when match is
+// over.
+//
+// This backend runs real concurrency and is exercised under the race
+// detector; the deterministic Encore Multimax timing model lives in
+// internal/multimax and shares this package's protocol semantics.
+package parmatch
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/hashmem"
+	"repro/internal/rete"
+	"repro/internal/spinlock"
+	"repro/internal/stats"
+	"repro/internal/taskqueue"
+	"repro/internal/wm"
+)
+
+// Scheme selects the hash-line locking discipline.
+type Scheme int
+
+// Locking schemes (§3.2).
+const (
+	SchemeSimple Scheme = iota // one Free/Taken flag per line
+	SchemeMRSW                 // multiple-reader-single-writer per line
+)
+
+func (s Scheme) String() string {
+	if s == SchemeSimple {
+		return "simple"
+	}
+	return "mrsw"
+}
+
+// Config sizes the matcher.
+type Config struct {
+	Procs  int    // number of match processes (the k of "1+k")
+	Queues int    // number of task queues
+	Lines  int    // hash-table lines (0 = 16384)
+	Scheme Scheme // line-lock scheme
+}
+
+// pad keeps per-worker counters on separate cache lines.
+type workerStats struct {
+	c stats.Contention
+	_ [64]byte
+}
+
+// Matcher is the parallel match backend. It implements engine.Matcher.
+type Matcher struct {
+	net    *rete.Network
+	table  *hashmem.Table
+	simple []spinlock.Lock
+	mrsw   []spinlock.MRSW
+	queues *taskqueue.Queues
+	sink   rete.TerminalSink
+	cfg    Config
+
+	stop    atomic.Bool
+	wg      sync.WaitGroup
+	ws      []workerStats // index Procs is the control process
+	pushRR  atomic.Int64
+	actives atomic.Int64 // node activations processed (tasks completed)
+}
+
+// New builds the matcher and starts its match goroutines. Call Close
+// when done with it.
+func New(net *rete.Network, cfg Config, sink rete.TerminalSink) *Matcher {
+	if cfg.Procs < 1 {
+		cfg.Procs = 1
+	}
+	if cfg.Queues < 1 {
+		cfg.Queues = 1
+	}
+	if cfg.Lines <= 0 {
+		cfg.Lines = 16384
+	}
+	m := &Matcher{
+		net:    net,
+		table:  hashmem.New(cfg.Lines),
+		queues: taskqueue.New(cfg.Queues),
+		sink:   sink,
+		cfg:    cfg,
+		ws:     make([]workerStats, cfg.Procs+1),
+	}
+	n := len(m.table.Lines)
+	if cfg.Scheme == SchemeSimple {
+		m.simple = make([]spinlock.Lock, n)
+	} else {
+		m.mrsw = make([]spinlock.MRSW, n)
+	}
+	for i := 0; i < cfg.Procs; i++ {
+		m.wg.Add(1)
+		go m.worker(i)
+	}
+	return m
+}
+
+// Submit pushes one working-memory change as a root token. The control
+// process proceeds with RHS evaluation while match goroutines pick the
+// token up — the pipelining of §3.1.
+func (m *Matcher) Submit(sign bool, w *wm.WME) {
+	t := &taskqueue.Task{Root: w, Sign: sign}
+	spins := m.queues.Push(int(m.pushRR.Add(1)), t)
+	cs := &m.ws[m.cfg.Procs].c
+	cs.QueueAcquires++
+	cs.QueueSpins += spins
+}
+
+// Drain blocks until TaskCount reaches zero.
+func (m *Matcher) Drain() { m.queues.WaitIdle() }
+
+// Close stops the match goroutines. The matcher must be idle.
+func (m *Matcher) Close() {
+	m.stop.Store(true)
+	m.wg.Wait()
+}
+
+// Activations reports the number of tasks processed so far.
+func (m *Matcher) Activations() int64 { return m.actives.Load() }
+
+// Contention merges the per-process spin counters.
+func (m *Matcher) Contention() stats.Contention {
+	var out stats.Contention
+	for i := range m.ws {
+		out.Add(&m.ws[i].c)
+	}
+	return out
+}
+
+// CheckInvariants verifies the conjugate-pair invariant after a phase.
+// Only call while drained (the TaskCount==0 edge makes worker writes
+// visible).
+func (m *Matcher) CheckInvariants() error {
+	if n := m.queues.TaskCount.Load(); n != 0 {
+		return fmt.Errorf("parmatch: CheckInvariants while %d tasks in flight", n)
+	}
+	return m.table.CheckDrained()
+}
+
+func (m *Matcher) worker(id int) {
+	defer m.wg.Done()
+	pref := id % m.queues.Len()
+	rr := id
+	idle := 0
+	cs := &m.ws[id].c
+	for {
+		t, spins := m.queues.Pop(pref)
+		if t == nil {
+			if m.stop.Load() {
+				return
+			}
+			idle++
+			if idle > 256 {
+				time.Sleep(20 * time.Microsecond)
+			} else {
+				runtime.Gosched()
+			}
+			continue
+		}
+		cs.QueueAcquires++
+		cs.QueueSpins += spins
+		idle = 0
+		m.process(t, &rr, cs)
+		m.queues.Done()
+		m.actives.Add(1)
+	}
+}
+
+// push schedules a new task, rotating across queues.
+func (m *Matcher) push(t *taskqueue.Task, rr *int, cs *stats.Contention) {
+	*rr++
+	spins := m.queues.Push(*rr, t)
+	cs.QueueAcquires++
+	cs.QueueSpins += spins
+}
+
+func (m *Matcher) process(t *taskqueue.Task, rr *int, cs *stats.Contention) {
+	switch {
+	case t.Root != nil:
+		m.net.RootDeliver(t.Root, func(d rete.AlphaDest) {
+			nt := &taskqueue.Task{Sign: t.Sign, Wmes: []*wm.WME{t.Root}}
+			if d.Terminal != nil {
+				nt.Term = d.Terminal
+			} else {
+				nt.Join = d.Join
+				nt.Side = d.Side
+			}
+			m.push(nt, rr, cs)
+		})
+	case t.Term != nil:
+		if t.Sign {
+			m.sink.InsertInstantiation(t.Term.Rule, t.Wmes)
+		} else {
+			m.sink.RemoveInstantiation(t.Term.Rule, t.Wmes)
+		}
+	default:
+		m.join(t, rr, cs)
+	}
+}
+
+func (m *Matcher) join(t *taskqueue.Task, rr *int, cs *stats.Contention) {
+	j := t.Join
+	var hash uint64
+	if t.Side == rete.Left {
+		hash = j.LeftHash(t.Wmes)
+	} else {
+		hash = j.RightHash(t.Wmes[0])
+	}
+	idx := m.table.LineIndex(j, hash)
+	line := &m.table.Lines[idx]
+	emit := func(csign bool, cwmes []*wm.WME) {
+		for _, succ := range j.Succs {
+			m.push(&taskqueue.Task{Join: succ, Side: rete.Left, Sign: csign, Wmes: cwmes}, rr, cs)
+		}
+		for _, term := range j.Terminals {
+			m.push(&taskqueue.Task{Term: term, Sign: csign, Wmes: cwmes}, rr, cs)
+		}
+	}
+	if m.cfg.Scheme == SchemeSimple {
+		spins := m.simple[idx].Acquire()
+		m.recordLine(cs, t.Side, spins)
+		entry, res := hashmem.UpdateOwn(line, j, t.Side, t.Sign, t.Wmes, hash, nil)
+		if res.Proceeded {
+			hashmem.SearchOpposite(line, j, t.Side, t.Sign, t.Wmes, entry, nil, emit)
+		}
+		m.simple[idx].Release()
+		return
+	}
+	// MRSW: register for our side; wrong-side arrivals re-queue.
+	ok, spins := m.mrsw[idx].Enter(int(t.Side))
+	m.recordLine(cs, t.Side, spins)
+	if !ok {
+		// Requeue counts the queued copy; the worker's Done() after this
+		// returns releases our in-process claim, so TaskCount stays
+		// balanced at one for the still-pending token.
+		cs.Requeues++
+		m.queues.Requeue(*rr, t)
+		return
+	}
+	spins = m.mrsw[idx].Mod.Acquire()
+	m.recordLine(cs, t.Side, spins)
+	entry, res := hashmem.UpdateOwn(line, j, t.Side, t.Sign, t.Wmes, hash, nil)
+	if j.Negated && t.Side == rete.Left {
+		// Negated-node left activations must compute or read the join
+		// count atomically with the memory update: a concurrent left
+		// delete of the same token would otherwise observe the entry
+		// before its count is stored and emit an unmatched retraction.
+		if res.Proceeded {
+			hashmem.SearchOpposite(line, j, t.Side, t.Sign, t.Wmes, entry, nil, emit)
+		}
+		m.mrsw[idx].Mod.Release()
+	} else {
+		m.mrsw[idx].Mod.Release()
+		if res.Proceeded {
+			hashmem.SearchOpposite(line, j, t.Side, t.Sign, t.Wmes, entry, nil, emit)
+		}
+	}
+	m.mrsw[idx].Exit()
+}
+
+func (m *Matcher) recordLine(cs *stats.Contention, side rete.Side, spins int64) {
+	if side == rete.Left {
+		cs.LineAcquiresLeft++
+		cs.LineSpinsLeft += spins
+	} else {
+		cs.LineAcquiresRight++
+		cs.LineSpinsRight += spins
+	}
+}

@@ -1,0 +1,180 @@
+package parmatch_test
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/conflict"
+	"repro/internal/engine"
+	"repro/internal/ops5"
+	"repro/internal/parmatch"
+	"repro/internal/rete"
+	"repro/internal/seqmatch"
+)
+
+// runSeq runs a program on the vs2 sequential matcher.
+func runSeq(t *testing.T, src string, maxCycles int) *engine.Result {
+	t.Helper()
+	prog, err := ops5.Parse(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	net, err := rete.Compile(prog)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	cs := conflict.NewSet()
+	m := seqmatch.New(net, seqmatch.VS2, 0, cs)
+	e, err := engine.New(prog, net, cs, m, nil)
+	if err != nil {
+		t.Fatalf("engine: %v", err)
+	}
+	if err := e.Init(); err != nil {
+		t.Fatalf("init: %v", err)
+	}
+	res, err := e.Run(engine.Options{MaxCycles: maxCycles, RecordFiring: true})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	return res
+}
+
+// runPar runs a program on the parallel matcher with the given config.
+func runPar(t *testing.T, src string, cfg parmatch.Config, maxCycles int) *engine.Result {
+	t.Helper()
+	prog, err := ops5.Parse(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	net, err := rete.Compile(prog)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	cs := conflict.NewSet()
+	m := parmatch.New(net, cfg, cs)
+	defer m.Close()
+	e, err := engine.New(prog, net, cs, m, nil)
+	if err != nil {
+		t.Fatalf("engine: %v", err)
+	}
+	if err := e.Init(); err != nil {
+		t.Fatalf("init: %v", err)
+	}
+	res, err := e.Run(engine.Options{MaxCycles: maxCycles, RecordFiring: true, CheckEvery: true})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if !cs.Drained() {
+		t.Fatalf("conflict set has parked deletes after run")
+	}
+	return res
+}
+
+// chainSrc builds a program whose rules join several classes and cascade
+// makes/removes, stressing token propagation.
+func chainSrc(n int) string {
+	var b strings.Builder
+	b.WriteString("(literalize item kind val)\n(literalize stage num)\n(literalize done num)\n")
+	// Each stage rule consumes the stage marker, pairs items, and
+	// advances; a final rule halts.
+	fmt.Fprintf(&b, `
+(p pair
+  (stage ^num {<n> < %d})
+  (item ^kind a ^val <v>)
+  (item ^kind b ^val <v>)
+-->
+  (make done ^num <n>)
+  (modify 1 ^num (compute <n> + 1)))
+(p finish
+  (stage ^num %d)
+-->
+  (halt))
+(make stage ^num 0)
+`, n, n)
+	for i := 0; i < 6; i++ {
+		fmt.Fprintf(&b, "(make item ^kind a ^val %d)\n", i)
+		fmt.Fprintf(&b, "(make item ^kind b ^val %d)\n", i)
+	}
+	return b.String()
+}
+
+// negSrc mixes negation with churn: blockers appear and disappear.
+const negSrc = `
+(literalize gate open)
+(literalize blocker id)
+(literalize tick num)
+(literalize out num)
+(p spawn-blocker
+  (tick ^num {<n> > 0})
+  - (blocker ^id <n>)
+  - (out ^num <n>)
+-->
+  (make blocker ^id <n>))
+(p clear-blocker
+  (tick ^num <n>)
+  (blocker ^id <n>)
+-->
+  (remove 2)
+  (make out ^num <n>)
+  (modify 1 ^num (compute <n> - 1)))
+(p finish
+  (tick ^num 0)
+-->
+  (halt))
+(make tick ^num 12)
+`
+
+func configs() []parmatch.Config {
+	return []parmatch.Config{
+		{Procs: 1, Queues: 1, Scheme: parmatch.SchemeSimple},
+		{Procs: 3, Queues: 1, Scheme: parmatch.SchemeSimple},
+		{Procs: 4, Queues: 4, Scheme: parmatch.SchemeSimple},
+		{Procs: 3, Queues: 2, Scheme: parmatch.SchemeMRSW},
+		{Procs: 7, Queues: 8, Scheme: parmatch.SchemeMRSW},
+	}
+}
+
+// TestParallelMatchesSequential verifies that every parallel
+// configuration fires exactly the sequence the sequential matcher does.
+func TestParallelMatchesSequential(t *testing.T) {
+	srcs := map[string]string{
+		"chain": chainSrc(25),
+		"neg":   negSrc,
+	}
+	for name, src := range srcs {
+		want := runSeq(t, src, 500)
+		for _, cfg := range configs() {
+			cfg := cfg
+			t.Run(fmt.Sprintf("%s/p%dq%d%s", name, cfg.Procs, cfg.Queues, cfg.Scheme), func(t *testing.T) {
+				got := runPar(t, src, cfg, 500)
+				if len(got.Firings) != len(want.Firings) {
+					t.Fatalf("firing count: got %d want %d", len(got.Firings), len(want.Firings))
+				}
+				for i := range want.Firings {
+					if got.Firings[i].Rule != want.Firings[i].Rule {
+						t.Fatalf("firing %d: got %s want %s", i, got.Firings[i].Rule, want.Firings[i].Rule)
+					}
+				}
+				if got.Halted != want.Halted || got.WMSize != want.WMSize {
+					t.Fatalf("end state: got halted=%v wm=%d want halted=%v wm=%d",
+						got.Halted, got.WMSize, want.Halted, want.WMSize)
+				}
+			})
+		}
+	}
+}
+
+// TestRepeatedParallelRunsAreStable reruns one config many times to
+// shake out schedule-dependent divergence.
+func TestRepeatedParallelRunsAreStable(t *testing.T) {
+	src := chainSrc(15)
+	want := runSeq(t, src, 500)
+	cfg := parmatch.Config{Procs: 4, Queues: 2, Scheme: parmatch.SchemeMRSW, Lines: 64}
+	for i := 0; i < 10; i++ {
+		got := runPar(t, src, cfg, 500)
+		if len(got.Firings) != len(want.Firings) {
+			t.Fatalf("iteration %d: firing count %d want %d", i, len(got.Firings), len(want.Firings))
+		}
+	}
+}

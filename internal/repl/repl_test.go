@@ -1,0 +1,181 @@
+package repl_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/repl"
+)
+
+const session = `
+(literalize goal type color)
+(literalize block id color selected)
+(p find-colored-block
+  (goal ^type find-block ^color <c>)
+  (block ^id <i> ^color <c> ^selected no)
+-->
+  (modify 2 ^selected yes))
+(make block ^id b1 ^color red ^selected no)
+(make block ^id b2 ^color blue ^selected no)
+`
+
+func newREPL(t *testing.T) (*repl.REPL, *strings.Builder) {
+	t.Helper()
+	var out strings.Builder
+	r, err := repl.New(session, &out)
+	if err != nil {
+		t.Fatalf("new: %v", err)
+	}
+	return r, &out
+}
+
+func exec(t *testing.T, r *repl.REPL, out *strings.Builder, cmd string) string {
+	t.Helper()
+	out.Reset()
+	if err := r.Exec(cmd); err != nil {
+		t.Fatalf("%q: %v", cmd, err)
+	}
+	return out.String()
+}
+
+func TestWMListsElements(t *testing.T) {
+	r, out := newREPL(t)
+	got := exec(t, r, out, "wm")
+	if !strings.Contains(got, "^id b1") || !strings.Contains(got, "2 elements") {
+		t.Fatalf("wm output:\n%s", got)
+	}
+	got = exec(t, r, out, "wm block")
+	if !strings.Contains(got, "2 elements") {
+		t.Fatalf("wm block output:\n%s", got)
+	}
+}
+
+func TestMakeRunAndConflictSet(t *testing.T) {
+	r, out := newREPL(t)
+	// Before the goal exists, nothing matches.
+	if got := exec(t, r, out, "cs"); !strings.Contains(got, "0 instantiations") {
+		t.Fatalf("cs before goal:\n%s", got)
+	}
+	got := exec(t, r, out, "make goal ^type find-block ^color red")
+	if !strings.Contains(got, "asserted") {
+		t.Fatalf("make output: %s", got)
+	}
+	if got := exec(t, r, out, "cs"); !strings.Contains(got, "find-colored-block") ||
+		!strings.Contains(got, "1 instantiations") {
+		t.Fatalf("cs after goal:\n%s", got)
+	}
+	got = exec(t, r, out, "run 5")
+	if !strings.Contains(got, "1. find-colored-block") || !strings.Contains(got, "1 firings") {
+		t.Fatalf("run output:\n%s", got)
+	}
+	if got := exec(t, r, out, "wm block"); !strings.Contains(got, "^selected yes") {
+		t.Fatalf("block not selected:\n%s", got)
+	}
+}
+
+func TestRemoveRetracts(t *testing.T) {
+	r, out := newREPL(t)
+	exec(t, r, out, "make goal ^type find-block ^color red")
+	// Retract the red block (time tag 1); the instantiation must vanish.
+	got := exec(t, r, out, "remove 1")
+	if !strings.Contains(got, "retracted 1") {
+		t.Fatalf("remove output: %s", got)
+	}
+	if got := exec(t, r, out, "cs"); !strings.Contains(got, "0 instantiations") {
+		t.Fatalf("cs after retract:\n%s", got)
+	}
+	out.Reset()
+	if err := r.Exec("remove 99"); err == nil {
+		t.Fatal("removing a dead tag should error")
+	}
+}
+
+func TestPMPrintsProduction(t *testing.T) {
+	r, out := newREPL(t)
+	got := exec(t, r, out, "pm find-colored-block")
+	if !strings.Contains(got, "(p find-colored-block") || !strings.Contains(got, "-->") {
+		t.Fatalf("pm output:\n%s", got)
+	}
+	if err := r.Exec("pm nonesuch"); err == nil {
+		t.Fatal("pm of unknown rule should error")
+	}
+}
+
+func TestMatchesShowsTokenCounts(t *testing.T) {
+	r, out := newREPL(t)
+	got := exec(t, r, out, "matches find-colored-block")
+	// No goal yet: the join's right memory holds both unselected blocks
+	// (color is a variable, so only ^selected no filters at the alpha
+	// level); the left memory is empty.
+	if !strings.Contains(got, "left 0 tokens, right 2 tokens") {
+		t.Fatalf("matches before goal:\n%s", got)
+	}
+	exec(t, r, out, "make goal ^type find-block ^color red")
+	got = exec(t, r, out, "matches find-colored-block")
+	if !strings.Contains(got, "left 1 tokens, right 2 tokens") ||
+		!strings.Contains(got, "1 complete instantiations") {
+		t.Fatalf("matches after goal:\n%s", got)
+	}
+}
+
+func TestRulesAndNetwork(t *testing.T) {
+	r, out := newREPL(t)
+	if got := exec(t, r, out, "rules"); !strings.Contains(got, "find-colored-block (2 CEs, 1 actions)") {
+		t.Fatalf("rules output: %s", got)
+	}
+	if got := exec(t, r, out, "network"); !strings.Contains(got, "1 rules") {
+		t.Fatalf("network output: %s", got)
+	}
+}
+
+func TestRunLoopViaReader(t *testing.T) {
+	var out strings.Builder
+	r, err := repl.New(session, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := strings.NewReader("make goal ^type find-block ^color blue\nrun\nexit\n")
+	if err := r.Run(in); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "find-colored-block") {
+		t.Fatalf("session transcript:\n%s", out.String())
+	}
+}
+
+func TestUnknownCommand(t *testing.T) {
+	r, _ := newREPL(t)
+	if err := r.Exec("frobnicate"); err == nil {
+		t.Fatal("unknown command should error")
+	}
+}
+
+func TestParenMakeForm(t *testing.T) {
+	r, out := newREPL(t)
+	got := exec(t, r, out, "(make goal ^type find-block ^color red)")
+	if !strings.Contains(got, "asserted") {
+		t.Fatalf("paren make: %s", got)
+	}
+}
+
+func TestWatchLevels(t *testing.T) {
+	r, out := newREPL(t)
+	exec(t, r, out, "make goal ^type find-block ^color red")
+	exec(t, r, out, "watch 2")
+	got := exec(t, r, out, "run")
+	if !strings.Contains(got, "=>WM") || !strings.Contains(got, "<=WM") {
+		t.Fatalf("watch 2 output missing WM traces:\n%s", got)
+	}
+	if err := r.Exec("watch 9"); err == nil {
+		t.Fatal("watch 9 should error")
+	}
+}
+
+func TestCSMarksDominantInstantiation(t *testing.T) {
+	r, out := newREPL(t)
+	exec(t, r, out, "make goal ^type find-block ^color red")
+	got := exec(t, r, out, "cs")
+	if !strings.Contains(got, "=> find-colored-block") {
+		t.Fatalf("dominant instantiation not marked:\n%s", got)
+	}
+}

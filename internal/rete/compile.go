@@ -1,0 +1,234 @@
+package rete
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/ops5"
+	"repro/internal/symbols"
+)
+
+// Compile builds the Rete network for a parsed program.
+func Compile(prog *ops5.Program) (*Network, error) {
+	b := &builder{
+		net: &Network{
+			Prog:          prog,
+			ChainsByClass: make(map[symbols.ID][]*AlphaChain),
+		},
+		chainByKey: make(map[string]*AlphaChain),
+		joinByKey:  make(map[string]*JoinNode),
+	}
+	for _, r := range prog.Rules {
+		if err := b.compileRule(r); err != nil {
+			return nil, fmt.Errorf("production %s: %w", r.Name, err)
+		}
+	}
+	return b.net, nil
+}
+
+type builder struct {
+	net        *Network
+	chainByKey map[string]*AlphaChain
+	joinByKey  map[string]*JoinNode
+}
+
+// ceSplit is the per-condition-element compilation result.
+type ceSplit struct {
+	alphaTests []ConstTest
+	eqTests    []JoinTest
+	otherTests []JoinTest
+	// newBinds are the variables first bound in this (positive) CE.
+	newBinds map[string]int // var -> field
+	numTests int
+}
+
+// splitCE classifies every test of a condition element into alpha
+// (constant or intra-element), join-equality, or join-other tests, given
+// the bindings established by earlier positive condition elements.
+func splitCE(ce *ops5.CondElem, bound map[string]BindRef) (*ceSplit, error) {
+	s := &ceSplit{newBinds: make(map[string]int)}
+	s.numTests = 1 // the class test
+	for _, at := range ce.Tests {
+		for _, term := range at.Terms {
+			s.numTests++
+			switch {
+			case term.Disj != nil:
+				s.alphaTests = append(s.alphaTests, ConstTest{
+					Field: at.Field, Pred: ops5.PredEQ, Disj: term.Disj, OtherField: -1,
+				})
+			case !term.IsVar:
+				s.alphaTests = append(s.alphaTests, ConstTest{
+					Field: at.Field, Pred: term.Pred, Const: term.Const, OtherField: -1,
+				})
+			default:
+				// Variable occurrence: intra-element test if already seen
+				// in this CE, join test if bound earlier, binding otherwise.
+				if f, ok := s.newBinds[term.Var]; ok {
+					s.alphaTests = append(s.alphaTests, ConstTest{
+						Field: at.Field, Pred: term.Pred, OtherField: f,
+					})
+					continue
+				}
+				if ref, ok := bound[term.Var]; ok {
+					jt := JoinTest{
+						Pred: term.Pred, LeftPos: ref.Pos, LeftField: ref.Field, RightField: at.Field,
+					}
+					if term.Pred == ops5.PredEQ {
+						s.eqTests = append(s.eqTests, jt)
+					} else {
+						s.otherTests = append(s.otherTests, jt)
+					}
+					continue
+				}
+				if term.Pred != ops5.PredEQ {
+					return nil, fmt.Errorf("predicate %s applied to unbound variable <%s>", term.Pred, term.Var)
+				}
+				s.numTests-- // a first binding is not a test
+				s.newBinds[term.Var] = at.Field
+			}
+		}
+	}
+	return s, nil
+}
+
+// compileRule threads one production through the network, sharing alpha
+// chains and identical join prefixes with previously compiled rules.
+func (b *builder) compileRule(r *ops5.Rule) error {
+	cr := &CompiledRule{
+		Rule:     r,
+		Index:    len(b.net.Rules),
+		CEPos:    make([]int, len(r.CEs)),
+		Bindings: make(map[string]BindRef),
+	}
+	var (
+		prevJoin   *JoinNode // last join built so far (nil before the 2nd CE)
+		firstAlpha *AlphaChain
+		prefixKey  string
+		tokenLen   int
+	)
+	for i, ce := range r.CEs {
+		split, err := splitCE(ce, cr.Bindings)
+		if err != nil {
+			return fmt.Errorf("condition element %d: %w", i+1, err)
+		}
+		cr.Specificity += split.numTests
+		chain := b.internChain(ce.Class, split.alphaTests)
+		if i == 0 {
+			firstAlpha = chain
+			prefixKey = fmt.Sprintf("a%d", chain.ID)
+			cr.CEPos[0] = 0
+			tokenLen = 1
+			for v, f := range split.newBinds {
+				cr.Bindings[v] = BindRef{Pos: 0, Field: f}
+			}
+			continue
+		}
+		join := b.internJoin(prefixKey, firstAlpha, prevJoin, chain, ce.Negated, split, tokenLen)
+		if n := len(join.RuleNames); n == 0 || join.RuleNames[n-1] != r.Name {
+			join.RuleNames = append(join.RuleNames, r.Name)
+		}
+		prefixKey = join.key
+		prevJoin = join
+		if ce.Negated {
+			cr.CEPos[i] = -1
+		} else {
+			cr.CEPos[i] = tokenLen
+			for v, f := range split.newBinds {
+				cr.Bindings[v] = BindRef{Pos: tokenLen, Field: f}
+			}
+			tokenLen++
+		}
+	}
+	term := &Terminal{ID: len(b.net.Terminals), Rule: cr}
+	cr.Terminal = term
+	b.net.Terminals = append(b.net.Terminals, term)
+	if prevJoin == nil {
+		// Single-condition-element production: terminal hangs directly
+		// off the alpha chain.
+		firstAlpha.Dests = append(firstAlpha.Dests, AlphaDest{Terminal: term})
+	} else {
+		prevJoin.Terminals = append(prevJoin.Terminals, term)
+	}
+	b.net.Rules = append(b.net.Rules, cr)
+	return nil
+}
+
+// internChain returns the shared alpha chain for (class, tests),
+// creating it when new. Chains are canonicalized by sorting tests.
+func (b *builder) internChain(class symbols.ID, tests []ConstTest) *AlphaChain {
+	sorted := append([]ConstTest(nil), tests...)
+	sort.SliceStable(sorted, func(i, j int) bool {
+		if sorted[i].Field != sorted[j].Field {
+			return sorted[i].Field < sorted[j].Field
+		}
+		return constTestKey(&sorted[i]) < constTestKey(&sorted[j])
+	})
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "c%d", class)
+	for i := range sorted {
+		sb.WriteByte('|')
+		sb.WriteString(constTestKey(&sorted[i]))
+	}
+	key := sb.String()
+	if c, ok := b.chainByKey[key]; ok {
+		return c
+	}
+	c := &AlphaChain{ID: len(b.net.Chains), Class: class, Tests: sorted, key: key}
+	b.net.Chains = append(b.net.Chains, c)
+	b.net.ChainsByClass[class] = append(b.net.ChainsByClass[class], c)
+	b.chainByKey[key] = c
+	return c
+}
+
+func constTestKey(t *ConstTest) string {
+	if t.Disj != nil {
+		var sb strings.Builder
+		fmt.Fprintf(&sb, "f%d<<", t.Field)
+		for _, d := range t.Disj {
+			fmt.Fprintf(&sb, "%#v,", d)
+		}
+		sb.WriteString(">>")
+		return sb.String()
+	}
+	if t.OtherField >= 0 {
+		return fmt.Sprintf("f%d%sf%d", t.Field, t.Pred, t.OtherField)
+	}
+	return fmt.Sprintf("f%d%s%#v", t.Field, t.Pred, t.Const)
+}
+
+// internJoin returns a shared join node for the given prefix and right
+// input, creating it when new.
+func (b *builder) internJoin(prefixKey string, firstAlpha *AlphaChain, prev *JoinNode, right *AlphaChain, negated bool, split *ceSplit, tokenLen int) *JoinNode {
+	var sb strings.Builder
+	sb.WriteString(prefixKey)
+	fmt.Fprintf(&sb, ">>a%d,n%v", right.ID, negated)
+	for _, t := range split.eqTests {
+		fmt.Fprintf(&sb, "|e%d.%d=%d", t.LeftPos, t.LeftField, t.RightField)
+	}
+	for _, t := range split.otherTests {
+		fmt.Fprintf(&sb, "|o%d.%d%s%d", t.LeftPos, t.LeftField, t.Pred, t.RightField)
+	}
+	key := sb.String()
+	if j, ok := b.joinByKey[key]; ok {
+		return j
+	}
+	j := &JoinNode{
+		ID:         len(b.net.Joins),
+		Negated:    negated,
+		EqTests:    split.eqTests,
+		OtherTests: split.otherTests,
+		LeftLen:    tokenLen,
+		key:        key,
+	}
+	b.net.Joins = append(b.net.Joins, j)
+	b.joinByKey[key] = j
+	if prev == nil {
+		j.LeftFromAlpha = true
+		firstAlpha.Dests = append(firstAlpha.Dests, AlphaDest{Join: j, Side: Left})
+	} else {
+		prev.Succs = append(prev.Succs, j)
+	}
+	right.Dests = append(right.Dests, AlphaDest{Join: j, Side: Right})
+	return j
+}

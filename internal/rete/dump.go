@@ -1,0 +1,102 @@
+package rete
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Dump writes a human-readable rendering of the network in the style of
+// the paper's Figure 2-2: the constant-test chains at the top, the
+// coalesced memory/two-input nodes below, terminals at the bottom, with
+// node sharing visible through repeated references.
+func (n *Network) Dump(w io.Writer) {
+	fmt.Fprintf(w, "Rete network: %d alpha chains, %d two-input nodes, %d terminals, %d rules\n\n",
+		len(n.Chains), len(n.Joins), len(n.Terminals), len(n.Rules))
+	fmt.Fprintln(w, "constant-test chains:")
+	for _, c := range n.Chains {
+		var tests []string
+		for i := range c.Tests {
+			tests = append(tests, n.constTestString(&c.Tests[i]))
+		}
+		var dests []string
+		for _, d := range c.Dests {
+			switch {
+			case d.Terminal != nil:
+				dests = append(dests, fmt.Sprintf("terminal %s", d.Terminal.Rule.Rule.Name))
+			default:
+				dests = append(dests, fmt.Sprintf("join %d (%s)", d.Join.ID, d.Side))
+			}
+		}
+		fmt.Fprintf(w, "  alpha %d: class=%s %s -> %s\n",
+			c.ID, n.Prog.Symbols.Name(c.Class), strings.Join(tests, " "), strings.Join(dests, ", "))
+	}
+	fmt.Fprintln(w, "\ntwo-input nodes (memory nodes coalesced):")
+	for _, j := range n.Joins {
+		kind := "and"
+		if j.Negated {
+			kind = "not"
+		}
+		var tests []string
+		for _, t := range j.EqTests {
+			tests = append(tests, fmt.Sprintf("left[%d].f%d = right.f%d", t.LeftPos, t.LeftField, t.RightField))
+		}
+		for _, t := range j.OtherTests {
+			tests = append(tests, fmt.Sprintf("left[%d].f%d %s right.f%d", t.LeftPos, t.LeftField, t.Pred, t.RightField))
+		}
+		var out []string
+		for _, s := range j.Succs {
+			out = append(out, fmt.Sprintf("join %d", s.ID))
+		}
+		for _, term := range j.Terminals {
+			out = append(out, fmt.Sprintf("terminal %s", term.Rule.Rule.Name))
+		}
+		fmt.Fprintf(w, "  join %d [%s] tokens=%d tests={%s} -> %s\n",
+			j.ID, kind, j.LeftLen, strings.Join(tests, ", "), strings.Join(out, ", "))
+	}
+	fmt.Fprintln(w, "\nterminals:")
+	for _, t := range n.Terminals {
+		fmt.Fprintf(w, "  %s (specificity %d)\n", t.Rule.Rule.Name, t.Rule.Specificity)
+	}
+}
+
+func (n *Network) constTestString(t *ConstTest) string {
+	if t.Disj != nil {
+		var vals []string
+		for _, d := range t.Disj {
+			vals = append(vals, d.String(n.Prog.Symbols))
+		}
+		return fmt.Sprintf("f%d<<%s>>", t.Field, strings.Join(vals, " "))
+	}
+	if t.OtherField >= 0 {
+		return fmt.Sprintf("f%d%sf%d", t.Field, t.Pred, t.OtherField)
+	}
+	return fmt.Sprintf("f%d%s%s", t.Field, t.Pred, t.Const.String(n.Prog.Symbols))
+}
+
+// Stats summarizes network size for tooling.
+type NetStats struct {
+	Chains, Joins, NegatedJoins, Terminals, Rules int
+	ConstTests, EqTests, OtherTests               int
+}
+
+// Summarize computes network-size statistics.
+func (n *Network) Summarize() NetStats {
+	s := NetStats{
+		Chains:    len(n.Chains),
+		Joins:     len(n.Joins),
+		Terminals: len(n.Terminals),
+		Rules:     len(n.Rules),
+	}
+	for _, c := range n.Chains {
+		s.ConstTests += len(c.Tests)
+	}
+	for _, j := range n.Joins {
+		if j.Negated {
+			s.NegatedJoins++
+		}
+		s.EqTests += len(j.EqTests)
+		s.OtherTests += len(j.OtherTests)
+	}
+	return s
+}

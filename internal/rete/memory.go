@@ -1,0 +1,109 @@
+package rete
+
+import (
+	"sync/atomic"
+
+	"repro/internal/wm"
+)
+
+// Entry is a token stored in a node memory: the WME list plus, for the
+// left memory of negated nodes, the count of right WMEs it currently
+// matches. Entries link intrusively so both the per-node lists of vs1
+// and the hash-table buckets of vs2/parallel can hold them without
+// extra allocation.
+type Entry struct {
+	Node *JoinNode
+	Side Side
+	Hash uint64
+	Wmes []*wm.WME
+	// NegCount is the number of matching right WMEs for left entries of
+	// negated nodes. Atomic: concurrent right-side activations in an
+	// MRSW epoch update counts of the same left entry.
+	NegCount atomic.Int32
+	Next     *Entry
+}
+
+// SameWmes reports element-wise pointer equality of two WME lists — the
+// token identity used for delete matching and conjugate-pair detection.
+func SameWmes(a, b []*wm.WME) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// EntryList is an intrusive singly-linked token list. Lists may hold
+// duplicate tokens (identical WME lists): out-of-order parallel
+// processing can legitimately produce add-add-delete interleavings, and
+// Remove takes out exactly one instance.
+type EntryList struct {
+	Head *Entry
+	Len  int
+}
+
+// Push prepends an entry (LIFO, matching the paper's stack discipline).
+func (l *EntryList) Push(e *Entry) {
+	e.Next = l.Head
+	l.Head = e
+	l.Len++
+}
+
+// Remove unlinks the first entry for (node, side, wmes) and returns it
+// with the number of entries scanned to find it (the paper's "tokens
+// examined in same memory for deletes" statistic). It returns nil when
+// no such entry exists.
+func (l *EntryList) Remove(node *JoinNode, side Side, wmes []*wm.WME) (e *Entry, scanned int) {
+	var prev *Entry
+	for cur := l.Head; cur != nil; cur = cur.Next {
+		scanned++
+		if cur.Node == node && cur.Side == side && SameWmes(cur.Wmes, wmes) {
+			if prev == nil {
+				l.Head = cur.Next
+			} else {
+				prev.Next = cur.Next
+			}
+			cur.Next = nil
+			l.Len--
+			return cur, scanned
+		}
+		prev = cur
+	}
+	return nil, scanned
+}
+
+// TerminalSink receives conflict-set changes from terminal nodes.
+type TerminalSink interface {
+	InsertInstantiation(rule *CompiledRule, wmes []*wm.WME)
+	RemoveInstantiation(rule *CompiledRule, wmes []*wm.WME)
+}
+
+// RootDeliver pushes one working-memory change through the constant-test
+// part of the network: it runs every alpha chain registered for the
+// WME's class and invokes deliver for each destination of each passing
+// chain. It returns the number of constant tests evaluated, which the
+// Multimax simulator's cost model charges at 3 instructions apiece (the
+// figure the paper gives for a constant-test node activation).
+func (n *Network) RootDeliver(w *wm.WME, deliver func(AlphaDest)) (testsRun int) {
+	for _, chain := range n.ChainsByClass[w.Class()] {
+		pass := true
+		for i := range chain.Tests {
+			testsRun++
+			if !chain.Tests[i].Eval(w) {
+				pass = false
+				break
+			}
+		}
+		if !pass {
+			continue
+		}
+		for _, d := range chain.Dests {
+			deliver(d)
+		}
+	}
+	return testsRun
+}

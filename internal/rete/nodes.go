@@ -1,0 +1,215 @@
+// Package rete compiles OPS5 left-hand sides into a Rete network and
+// provides the node-activation semantics (test evaluation, hashing,
+// conjugate-pair-aware memory updates) shared by every matcher backend:
+// the vs1/vs2 sequential matchers, the goroutine-based parallel matcher
+// and the Multimax simulator.
+//
+// The network follows the paper's organization: per-class constant-test
+// chains with structural sharing feed coalesced memory/two-input nodes
+// arranged in a linear left-to-right join per production. Memory nodes
+// are *not* shared between joins (paper footnote 6: sharing memories is
+// impossible in the parallel implementation), but constant-test chains
+// and identical join prefixes are.
+package rete
+
+import (
+	"repro/internal/ops5"
+	"repro/internal/symbols"
+	"repro/internal/wm"
+)
+
+// Side distinguishes the two inputs of a two-input node.
+type Side uint8
+
+// Activation sides.
+const (
+	Left  Side = 0
+	Right Side = 1
+)
+
+func (s Side) String() string {
+	if s == Left {
+		return "left"
+	}
+	return "right"
+}
+
+// ConstTest is one test in an alpha chain: either a constant comparison
+// on a single field or an intra-condition-element comparison between two
+// fields of the same WME.
+type ConstTest struct {
+	Field      int
+	Pred       ops5.Pred
+	Const      wm.Value
+	Disj       []wm.Value // non-nil for << ... >> (equality against any)
+	OtherField int        // >= 0: compare Field against OtherField instead of Const
+}
+
+// Eval applies the test to a WME.
+func (t *ConstTest) Eval(w *wm.WME) bool {
+	v := w.Field(t.Field)
+	if t.Disj != nil {
+		for _, d := range t.Disj {
+			if v.Equal(d) {
+				return true
+			}
+		}
+		return false
+	}
+	if t.OtherField >= 0 {
+		return t.Pred.Apply(v, w.Field(t.OtherField))
+	}
+	return t.Pred.Apply(v, t.Const)
+}
+
+// AlphaDest is one destination of an alpha chain: a side of a join node,
+// or a terminal for single-condition-element productions.
+type AlphaDest struct {
+	Join     *JoinNode
+	Side     Side
+	Terminal *Terminal // non-nil for direct alpha->terminal productions
+}
+
+// AlphaChain is a shared constant-test chain for one condition-element
+// pattern. Class dispatch happens before the chain, so the class test is
+// implicit.
+type AlphaChain struct {
+	ID    int
+	Class symbols.ID
+	Tests []ConstTest
+	Dests []AlphaDest
+	key   string
+}
+
+// Matches runs the whole chain on a WME of the right class.
+func (a *AlphaChain) Matches(w *wm.WME) bool {
+	for i := range a.Tests {
+		if !a.Tests[i].Eval(w) {
+			return false
+		}
+	}
+	return true
+}
+
+// JoinTest compares a field of the incoming right WME against a field of
+// a WME inside the left token.
+type JoinTest struct {
+	Pred       ops5.Pred
+	LeftPos    int // index of the WME within the left token
+	LeftField  int
+	RightField int
+}
+
+// JoinNode is a coalesced memory/two-input node. Its left memory stores
+// tokens from the previous stage, its right memory stores WMEs from its
+// alpha chain; both live in whatever memory implementation the matcher
+// backend chose (per-node lists for vs1, the global hash tables for vs2
+// and the parallel matchers).
+type JoinNode struct {
+	ID      int
+	Negated bool // right input comes from a negated condition element
+	// EqTests are the equality tests, used both for matching and for the
+	// token hash function; OtherTests carry the remaining predicates.
+	EqTests    []JoinTest
+	OtherTests []JoinTest
+	// LeftLen is the number of WMEs in tokens arriving on the left.
+	LeftLen int
+	// Succs receive output tokens on their left inputs; Terminals
+	// receive them when this is the last join of one or more productions.
+	// Both can be non-empty at once when a shared prefix both ends a
+	// short production and continues a longer one.
+	Succs     []*JoinNode
+	Terminals []*Terminal
+	// LeftFromAlpha marks first-stage joins, whose left input comes
+	// straight from an alpha chain (tokens of length 1).
+	LeftFromAlpha bool
+	// RuleNames lists the productions whose chains include this node
+	// (more than one when prefixes are shared) — used by contention
+	// profiles to point at culprit productions, as the paper does for
+	// Tourney in §4.2.
+	RuleNames []string
+	key       string
+}
+
+// HasEqTests reports whether the node hashes on join values. Nodes
+// without equality tests put all their tokens on a single hash line —
+// the cross-product pathology the paper observes in Tourney.
+func (j *JoinNode) HasEqTests() bool { return len(j.EqTests) > 0 }
+
+// TestPair evaluates every join test on a (left token, right WME) pair.
+func (j *JoinNode) TestPair(left []*wm.WME, right *wm.WME) bool {
+	for i := range j.EqTests {
+		t := &j.EqTests[i]
+		if !right.Field(t.RightField).Equal(left[t.LeftPos].Field(t.LeftField)) {
+			return false
+		}
+	}
+	for i := range j.OtherTests {
+		t := &j.OtherTests[i]
+		if !t.Pred.Apply(right.Field(t.RightField), left[t.LeftPos].Field(t.LeftField)) {
+			return false
+		}
+	}
+	return true
+}
+
+// LeftHash folds the node identity and the equality-test values of a
+// left token into the hash used to pick the token hash-table line.
+func (j *JoinNode) LeftHash(left []*wm.WME) uint64 {
+	h := uint64(14695981039346656037) ^ (uint64(j.ID) * 0x9e3779b97f4a7c15)
+	for i := range j.EqTests {
+		t := &j.EqTests[i]
+		h = left[t.LeftPos].Field(t.LeftField).Hash(h)
+	}
+	return h
+}
+
+// RightHash is LeftHash's counterpart for a right-input WME; equal join
+// values yield the same hash, so both sides land on the same line.
+func (j *JoinNode) RightHash(w *wm.WME) uint64 {
+	h := uint64(14695981039346656037) ^ (uint64(j.ID) * 0x9e3779b97f4a7c15)
+	for i := range j.EqTests {
+		t := &j.EqTests[i]
+		h = w.Field(t.RightField).Hash(h)
+	}
+	return h
+}
+
+// BindRef locates a variable binding inside a full instantiation token.
+type BindRef struct {
+	Pos   int // WME index within the instantiation
+	Field int
+}
+
+// CompiledRule carries everything the RHS evaluator and conflict
+// resolution need about one production.
+type CompiledRule struct {
+	Rule     *ops5.Rule
+	Index    int
+	Terminal *Terminal
+	// CEPos maps the rule's condition-element index (0-based, counting
+	// negated CEs) to the WME position in instantiation tokens, or -1
+	// for negated CEs.
+	CEPos    []int
+	Bindings map[string]BindRef
+	// Specificity is the total number of tests in the LHS (class tests
+	// included), the LEX/MEA tie-breaker.
+	Specificity int
+}
+
+// Terminal announces conflict-set changes for one production.
+type Terminal struct {
+	ID   int
+	Rule *CompiledRule
+}
+
+// Network is the compiled Rete network plus the per-rule metadata.
+type Network struct {
+	Prog *ops5.Program
+	// ChainsByClass indexes the alpha chains by condition-element class.
+	ChainsByClass map[symbols.ID][]*AlphaChain
+	Chains        []*AlphaChain
+	Joins         []*JoinNode
+	Terminals     []*Terminal
+	Rules         []*CompiledRule
+}

@@ -1,0 +1,249 @@
+package rhs_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/ops5"
+	"repro/internal/rete"
+	"repro/internal/rhs"
+	"repro/internal/wm"
+)
+
+// fixture compiles a rule and returns everything needed to execute its
+// RHS against a synthetic instantiation.
+func fixture(t *testing.T, src string) (*ops5.Program, *rete.CompiledRule, *rhs.Compiled) {
+	t.Helper()
+	prog, err := ops5.Parse(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	net, err := rete.Compile(prog)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	c, err := rhs.Compile(prog, net.Rules[0])
+	if err != nil {
+		t.Fatalf("rhs compile: %v", err)
+	}
+	return prog, net.Rules[0], c
+}
+
+// env collects the WM changes an execution produces.
+type capture struct {
+	makes    [][]wm.Value
+	removes  []*wm.WME
+	modifies []struct {
+		old    *wm.WME
+		fields []wm.Value
+	}
+	halted bool
+	out    strings.Builder
+}
+
+func (c *capture) env(prog *ops5.Program) *rhs.Env {
+	return &rhs.Env{
+		Prog: prog,
+		Out:  &c.out,
+		Make: func(f []wm.Value) { c.makes = append(c.makes, f) },
+		Remove: func(w *wm.WME) {
+			c.removes = append(c.removes, w)
+		},
+		Modify: func(old *wm.WME, f []wm.Value) {
+			c.modifies = append(c.modifies, struct {
+				old    *wm.WME
+				fields []wm.Value
+			}{old, f})
+		},
+		Halt:   func() { c.halted = true },
+		Accept: func() wm.Value { return wm.Int(99) },
+	}
+}
+
+func wmeOf(prog *ops5.Program, class string, vals ...wm.Value) *wm.WME {
+	id := prog.Symbols.Intern(class)
+	fields := append([]wm.Value{wm.Sym(id)}, vals...)
+	return &wm.WME{TimeTag: 1, Fields: fields}
+}
+
+func TestMakeWithBindingsAndCompute(t *testing.T) {
+	prog, _, c := fixture(t, `
+(literalize in a b)
+(literalize out total label)
+(p r (in ^a <x> ^b <y>) --> (make out ^total (compute <x> + <y> * 2) ^label widget))
+`)
+	cap := &capture{}
+	w := wmeOf(prog, "in", wm.Int(3), wm.Int(4))
+	if _, err := rhs.Exec(c, []*wm.WME{w}, cap.env(prog)); err != nil {
+		t.Fatal(err)
+	}
+	if len(cap.makes) != 1 {
+		t.Fatalf("makes = %d", len(cap.makes))
+	}
+	f := cap.makes[0]
+	// compute is right-associative: 3 + (4*2) = 11.
+	if !f[1].Equal(wm.Int(11)) {
+		t.Errorf("total = %#v, want 11", f[1])
+	}
+	lbl, _ := prog.Symbols.Lookup("widget")
+	if !f[2].Equal(wm.Sym(lbl)) {
+		t.Errorf("label = %#v", f[2])
+	}
+}
+
+func TestModifyPreservesUntouchedFields(t *testing.T) {
+	prog, _, c := fixture(t, `
+(literalize thing a b c)
+(p r (thing ^a <x>) --> (modify 1 ^b 42))
+`)
+	cap := &capture{}
+	w := wmeOf(prog, "thing", wm.Int(1), wm.Int(2), wm.Int(3))
+	if _, err := rhs.Exec(c, []*wm.WME{w}, cap.env(prog)); err != nil {
+		t.Fatal(err)
+	}
+	if len(cap.modifies) != 1 {
+		t.Fatalf("modifies = %d", len(cap.modifies))
+	}
+	f := cap.modifies[0].fields
+	if !f[1].Equal(wm.Int(1)) || !f[2].Equal(wm.Int(42)) || !f[3].Equal(wm.Int(3)) {
+		t.Errorf("fields = %#v, want a=1 b=42 c=3", f)
+	}
+	if cap.modifies[0].old != w {
+		t.Error("modify must reference the matched WME")
+	}
+}
+
+func TestModifyReadsOldBindingsNotNewWM(t *testing.T) {
+	// All modifies in one RHS read the instantiation's original values —
+	// the cube rotation rules depend on this.
+	prog, _, c := fixture(t, `
+(literalize pairx a b)
+(p r (pairx ^a <x> ^b <y>) --> (modify 1 ^a <y>) (modify 1 ^b <x>))
+`)
+	cap := &capture{}
+	w := wmeOf(prog, "pairx", wm.Int(10), wm.Int(20))
+	if _, err := rhs.Exec(c, []*wm.WME{w}, cap.env(prog)); err != nil {
+		t.Fatal(err)
+	}
+	second := cap.modifies[1].fields
+	// The second modify's ^b <x> must see the ORIGINAL a (10), even
+	// though the first modify changed a to 20.
+	if !second[2].Equal(wm.Int(10)) {
+		t.Errorf("swap read a new value: %#v", second[2])
+	}
+}
+
+func TestRemoveTargetsCorrectCE(t *testing.T) {
+	prog, _, c := fixture(t, `
+(p r (a ^x 1) (b ^y 2) --> (remove 2))
+`)
+	cap := &capture{}
+	wa := wmeOf(prog, "a", wm.Int(1))
+	wb := wmeOf(prog, "b", wm.Int(2))
+	if _, err := rhs.Exec(c, []*wm.WME{wa, wb}, cap.env(prog)); err != nil {
+		t.Fatal(err)
+	}
+	if len(cap.removes) != 1 || cap.removes[0] != wb {
+		t.Fatalf("removed %v, want the second CE's WME", cap.removes)
+	}
+}
+
+func TestBindAndUse(t *testing.T) {
+	prog, _, c := fixture(t, `
+(literalize n v)
+(literalize outx r)
+(p r (n ^v <x>) --> (bind <y> (compute <x> * <x>)) (make outx ^r <y>))
+`)
+	cap := &capture{}
+	w := wmeOf(prog, "n", wm.Int(7))
+	if _, err := rhs.Exec(c, []*wm.WME{w}, cap.env(prog)); err != nil {
+		t.Fatal(err)
+	}
+	if !cap.makes[0][1].Equal(wm.Int(49)) {
+		t.Errorf("bound square = %#v", cap.makes[0][1])
+	}
+}
+
+func TestWriteFormatting(t *testing.T) {
+	prog, _, c := fixture(t, `
+(p r (a ^x <v>) --> (write hello <v> (crlf) (tabto 5) end))
+`)
+	cap := &capture{}
+	w := wmeOf(prog, "a", wm.Int(3))
+	if _, err := rhs.Exec(c, []*wm.WME{w}, cap.env(prog)); err != nil {
+		t.Fatal(err)
+	}
+	got := cap.out.String()
+	if !strings.Contains(got, "hello 3\n") {
+		t.Errorf("write output %q missing hello 3\\n", got)
+	}
+	if !strings.Contains(got, "    end") {
+		t.Errorf("tabto did not pad: %q", got)
+	}
+}
+
+func TestHalt(t *testing.T) {
+	prog, _, c := fixture(t, `(p r (a ^x 1) --> (halt))`)
+	cap := &capture{}
+	w := wmeOf(prog, "a", wm.Int(1))
+	if _, err := rhs.Exec(c, []*wm.WME{w}, cap.env(prog)); err != nil {
+		t.Fatal(err)
+	}
+	if !cap.halted {
+		t.Error("halt not signalled")
+	}
+}
+
+func TestAccept(t *testing.T) {
+	prog, _, c := fixture(t, `
+(literalize outx r)
+(p r (a ^x 1) --> (make outx ^r (accept)))
+`)
+	cap := &capture{}
+	w := wmeOf(prog, "a", wm.Int(1))
+	if _, err := rhs.Exec(c, []*wm.WME{w}, cap.env(prog)); err != nil {
+		t.Fatal(err)
+	}
+	if !cap.makes[0][1].Equal(wm.Int(99)) {
+		t.Errorf("accept value = %#v", cap.makes[0][1])
+	}
+}
+
+func TestDivisionByZeroIsError(t *testing.T) {
+	prog, _, c := fixture(t, `
+(literalize outx r)
+(p r (a ^x <v>) --> (make outx ^r (compute 1 // <v>)))
+`)
+	cap := &capture{}
+	w := wmeOf(prog, "a", wm.Int(0))
+	if _, err := rhs.Exec(c, []*wm.WME{w}, cap.env(prog)); err == nil {
+		t.Fatal("division by zero should error")
+	}
+}
+
+func TestComputeOps(t *testing.T) {
+	cases := []struct {
+		op   byte
+		a, b int64
+		want int64
+	}{
+		{'+', 7, 3, 10}, {'-', 7, 3, 4}, {'*', 7, 3, 21}, {'/', 7, 3, 2}, {'%', 7, 3, 1},
+	}
+	for _, c := range cases {
+		got, err := rhs.ComputeOp(c.op, wm.Int(c.a), wm.Int(c.b))
+		if err != nil {
+			t.Fatalf("%c: %v", c.op, err)
+		}
+		if !got.Equal(wm.Int(c.want)) {
+			t.Errorf("%d %c %d = %#v, want %d", c.a, c.op, c.b, got, c.want)
+		}
+	}
+	// Mixed int/float promotes to float.
+	got, err := rhs.ComputeOp('+', wm.Int(1), wm.Float(0.5))
+	if err != nil || !got.Equal(wm.Float(1.5)) {
+		t.Errorf("1 + 0.5 = %#v (%v)", got, err)
+	}
+	if _, err := rhs.ComputeOp('%', wm.Float(1), wm.Float(2)); err == nil {
+		t.Error("float modulus should error")
+	}
+}

@@ -1,0 +1,127 @@
+// Package seqmatch implements the paper's two optimized uniprocessor
+// matchers: vs1, with per-node list memories, and vs2, with the two
+// global token hash tables (§4.1). Both run the shared coalesced-node
+// step logic from internal/hashmem; they differ only in how a node
+// activation locates its memory line, which is exactly the paper's
+// distinction. Both are fully instrumented for Tables 4-1, 4-2 and 4-3.
+package seqmatch
+
+import (
+	"fmt"
+
+	"repro/internal/hashmem"
+	"repro/internal/rete"
+	"repro/internal/wm"
+)
+
+// Variant selects the memory organization.
+type Variant int
+
+// Matcher variants.
+const (
+	VS1 Variant = iota // list-based node memories
+	VS2                // global hash-table memories
+)
+
+func (v Variant) String() string {
+	if v == VS1 {
+		return "vs1"
+	}
+	return "vs2"
+}
+
+// Matcher is a sequential Rete matcher.
+type Matcher struct {
+	Net     *rete.Network
+	Variant Variant
+	Table   *hashmem.Table
+	Rec     *hashmem.Recorder
+	Sink    rete.TerminalSink
+}
+
+// New builds a sequential matcher. nLines sizes the vs2 hash tables
+// (ignored for vs1); 0 selects the default of 1024 lines.
+func New(net *rete.Network, v Variant, nLines int, sink rete.TerminalSink) *Matcher {
+	var table *hashmem.Table
+	if v == VS1 {
+		table = hashmem.NewPerNode(len(net.Joins))
+	} else {
+		if nLines <= 0 {
+			nLines = 16384
+		}
+		table = hashmem.New(nLines)
+	}
+	return &Matcher{
+		Net:     net,
+		Variant: v,
+		Table:   table,
+		Rec:     hashmem.NewRecorder(len(net.Joins)),
+		Sink:    sink,
+	}
+}
+
+// Submit processes one working-memory change to completion, depth-first
+// through the network (the classic sequential Rete discipline).
+func (m *Matcher) Submit(sign bool, w *wm.WME) {
+	m.Rec.M.WMChanges++
+	tests := m.Net.RootDeliver(w, func(d rete.AlphaDest) {
+		if d.Terminal != nil {
+			m.toTerminal(d.Terminal, sign, []*wm.WME{w})
+			return
+		}
+		m.activate(d.Join, d.Side, sign, []*wm.WME{w})
+	})
+	m.Rec.M.ConstTests += int64(tests)
+}
+
+// Drain is a no-op: Submit is synchronous.
+func (m *Matcher) Drain() {}
+
+// CheckInvariants verifies that no parked conjugate deletes remain. In a
+// sequential matcher a parked delete can never legitimately survive a
+// change, so any leftover is a bug.
+func (m *Matcher) CheckInvariants() error {
+	if err := m.Table.CheckDrained(); err != nil {
+		return fmt.Errorf("%s: %w", m.Variant, err)
+	}
+	return nil
+}
+
+func (m *Matcher) activate(j *rete.JoinNode, side rete.Side, sign bool, wmes []*wm.WME) {
+	m.Rec.M.Activations++
+	var hash uint64
+	if m.Table.Hashed {
+		if side == rete.Left {
+			hash = j.LeftHash(wmes)
+		} else {
+			hash = j.RightHash(wmes[0])
+		}
+	}
+	line := &m.Table.Lines[m.Table.LineIndex(j, hash)]
+	entry, res := hashmem.UpdateOwn(line, j, side, sign, wmes, hash, m.Rec)
+	if !sign {
+		hashmem.RecordDelete(m.Rec, side, &res)
+	}
+	if !res.Proceeded {
+		return
+	}
+	hashmem.SearchOpposite(line, j, side, sign, wmes, entry, m.Rec, func(csign bool, cwmes []*wm.WME) {
+		for _, succ := range j.Succs {
+			m.activate(succ, rete.Left, csign, cwmes)
+		}
+		for _, t := range j.Terminals {
+			m.toTerminal(t, csign, cwmes)
+		}
+	})
+}
+
+func (m *Matcher) toTerminal(t *rete.Terminal, sign bool, wmes []*wm.WME) {
+	m.Rec.M.Activations++
+	if sign {
+		m.Rec.M.CSInserts++
+		m.Sink.InsertInstantiation(t.Rule, wmes)
+	} else {
+		m.Rec.M.CSDeletes++
+		m.Sink.RemoveInstantiation(t.Rule, wmes)
+	}
+}

@@ -1,0 +1,158 @@
+package seqmatch_test
+
+import (
+	"testing"
+
+	"repro/internal/conflict"
+	"repro/internal/engine"
+	"repro/internal/ops5"
+	"repro/internal/rete"
+	"repro/internal/seqmatch"
+	"repro/internal/wm"
+)
+
+func build(t *testing.T, src string, v seqmatch.Variant) (*engine.Engine, *seqmatch.Matcher) {
+	t.Helper()
+	prog, err := ops5.Parse(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	net, err := rete.Compile(prog)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	cs := conflict.NewSet()
+	m := seqmatch.New(net, v, 0, cs)
+	e, err := engine.New(prog, net, cs, m, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e, m
+}
+
+// TestStatsHandComputed verifies the Table 4-2/4-3 instrumentation on a
+// program small enough to count by hand.
+//
+// Rule: (a ^x <v>) (b ^y <v>). Assertions, in order:
+//
+//	(a ^x 1)  — left activation; opposite (right) memory empty: not counted
+//	(b ^y 1)  — right activation; opposite has 1 token: examined 1 (lin)
+//	(b ^y 2)  — right activation; opposite has 1 token: examined 1
+//	(a ^x 2)  — left activation; opposite has 2 tokens: examined 2 (lin)
+//
+// vs1 totals: left examined 2 over 1 counted activation; right examined
+// 2 over 2 activations. With hashing, each activation examines only the
+// matching bucket: left 1, right {1, 0}→1.
+func TestStatsHandComputed(t *testing.T) {
+	src := `
+(literalize a x)
+(literalize b y)
+(p r (a ^x <v>) (b ^y <v>) --> (halt))
+`
+	assertAll := func(e *engine.Engine) {
+		mk := func(class string, val int64) {
+			prog := e.Prog
+			id := prog.Symbols.Intern(class)
+			fields := make([]wm.Value, prog.ClassOf(id).NumFields())
+			fields[0] = wm.Sym(id)
+			fields[1] = wm.Int(val)
+			if _, err := e.Assert(fields); err != nil {
+				t.Fatal(err)
+			}
+		}
+		mk("a", 1)
+		mk("b", 1)
+		mk("b", 2)
+		mk("a", 2)
+	}
+
+	e1, m1 := build(t, src, seqmatch.VS1)
+	assertAll(e1)
+	s1 := m1.Rec.M
+	if s1.OppNonEmptyLeft != 1 || s1.OppExaminedLeft != 2 {
+		t.Errorf("vs1 left: %d examined over %d activations, want 2 over 1",
+			s1.OppExaminedLeft, s1.OppNonEmptyLeft)
+	}
+	if s1.OppNonEmptyRight != 2 || s1.OppExaminedRight != 2 {
+		t.Errorf("vs1 right: %d examined over %d activations, want 2 over 2",
+			s1.OppExaminedRight, s1.OppNonEmptyRight)
+	}
+
+	e2, m2 := build(t, src, seqmatch.VS2)
+	assertAll(e2)
+	s2 := m2.Rec.M
+	if s2.OppExaminedLeft != 1 {
+		t.Errorf("vs2 left examined = %d, want 1 (bucket narrowed)", s2.OppExaminedLeft)
+	}
+	if s2.OppExaminedRight != 1 {
+		t.Errorf("vs2 right examined = %d, want 1", s2.OppExaminedRight)
+	}
+	// The non-empty activation counts follow the node's whole memory, so
+	// they are identical across variants (the paper's convention).
+	if s2.OppNonEmptyLeft != s1.OppNonEmptyLeft || s2.OppNonEmptyRight != s1.OppNonEmptyRight {
+		t.Errorf("non-empty counts differ across variants: vs1 %d/%d vs2 %d/%d",
+			s1.OppNonEmptyLeft, s1.OppNonEmptyRight, s2.OppNonEmptyLeft, s2.OppNonEmptyRight)
+	}
+}
+
+// TestDeleteScanStats verifies the Table 4-3 counter: deleting the
+// second of two same-bucket tokens scans both under vs1.
+func TestDeleteScanStats(t *testing.T) {
+	src := `
+(literalize a x)
+(literalize b y)
+(p r (a ^x <v>) (b ^y <v>) --> (halt))
+`
+	e, m := build(t, src, seqmatch.VS1)
+	prog := e.Prog
+	mk := func(class string, val int64) *wm.WME {
+		id := prog.Symbols.Intern(class)
+		fields := make([]wm.Value, prog.ClassOf(id).NumFields())
+		fields[0] = wm.Sym(id)
+		fields[1] = wm.Int(val)
+		w, err := e.Assert(fields)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return w
+	}
+	w1 := mk("a", 1)
+	mk("a", 2)
+	// Entries are pushed LIFO, so w1 sits second in the list: its delete
+	// scans 2 entries.
+	if ok, err := e.Retract(w1.TimeTag); !ok || err != nil {
+		t.Fatalf("retract: %v %v", ok, err)
+	}
+	s := m.Rec.M
+	if s.DeletesLeft != 1 || s.SameExaminedLeft != 2 {
+		t.Errorf("delete scan: %d examined over %d deletes, want 2 over 1",
+			s.SameExaminedLeft, s.DeletesLeft)
+	}
+}
+
+// TestActivationCountsMatchAcrossVariants: vs1 and vs2 process the same
+// activations; only the scanning differs.
+func TestActivationCountsMatchAcrossVariants(t *testing.T) {
+	src := `
+(literalize c v w)
+(p r1 (c ^v <a> ^w <b>) (c ^v <b>) --> (make out ^o 1))
+(p r2 (c ^v <a>) - (c ^w <a>) --> (make out ^o 2))
+(make c ^v 1 ^w 2)
+(make c ^v 2 ^w 1)
+(make c ^v 3 ^w 3)
+`
+	e1, m1 := build(t, src, seqmatch.VS1)
+	if err := e1.Init(); err != nil {
+		t.Fatal(err)
+	}
+	e2, m2 := build(t, src, seqmatch.VS2)
+	if err := e2.Init(); err != nil {
+		t.Fatal(err)
+	}
+	if m1.Rec.M.Activations != m2.Rec.M.Activations {
+		t.Fatalf("activations differ: vs1 %d vs2 %d", m1.Rec.M.Activations, m2.Rec.M.Activations)
+	}
+	if m1.Rec.M.Pairs != m2.Rec.M.Pairs {
+		t.Fatalf("pairs differ: vs1 %d vs2 %d", m1.Rec.M.Pairs, m2.Rec.M.Pairs)
+	}
+}

@@ -1,0 +1,103 @@
+// Package spinlock provides the synchronization primitives of the
+// paper's §3.2: a test-and-test-and-set spin lock (processes spin on
+// ordinary reads out of their cache and only attempt the interlocked
+// write once the lock looks free), and the two line-locking schemes used
+// for the token hash tables — the simple Free/Taken flag and the
+// multiple-reader-single-writer scheme with an Unused/Left/Right flag, a
+// user counter and two locks.
+//
+// Every acquisition reports the number of times the caller observed the
+// lock busy before getting it, which is exactly the contention measure
+// of Tables 4-7 and 4-9.
+package spinlock
+
+import (
+	"runtime"
+	"sync/atomic"
+)
+
+// yieldEvery bounds busy-waiting between scheduler yields. On the paper's
+// Multimax every process owned a CPU and spun freely; on a host with
+// fewer cores than match goroutines we must let the lock holder run.
+const yieldEvery = 64
+
+// Lock is a test-and-test-and-set spin lock. The zero value is unlocked.
+type Lock struct {
+	state atomic.Int32
+}
+
+// Acquire spins until the lock is held, returning the number of busy
+// observations made before acquiring it.
+func (l *Lock) Acquire() (spins int64) {
+	for {
+		if l.state.Load() == 0 {
+			if l.state.CompareAndSwap(0, 1) {
+				return spins
+			}
+		}
+		spins++
+		if spins%yieldEvery == 0 {
+			runtime.Gosched()
+		}
+	}
+}
+
+// TryAcquire attempts the lock once without spinning.
+func (l *Lock) TryAcquire() bool {
+	return l.state.Load() == 0 && l.state.CompareAndSwap(0, 1)
+}
+
+// Release unlocks. Calling Release on an unheld lock is a caller bug.
+func (l *Lock) Release() {
+	l.state.Store(0)
+}
+
+// MRSW line-lock flag values.
+const (
+	flagUnused int32 = 0
+	flagLeft   int32 = 1
+	flagRight  int32 = 2
+)
+
+// MRSW is the paper's complex hash-line lock: it admits any number of
+// processes working on tokens from one side of the line while excluding
+// the other side. The first lock guards the flag and counter; the
+// second serializes destructive token-list updates. A process arriving
+// for the side currently excluded does not wait: it re-queues its token
+// (the caller handles that when Enter returns false).
+type MRSW struct {
+	gate  Lock // guards flag and count
+	Mod   Lock // modification lock for the token lists
+	flag  int32
+	count int32
+}
+
+// Enter registers the caller for the given side (0 left, 1 right).
+// ok=false means the opposite side holds the line and the token must be
+// pushed back onto the task queue. spins counts gate-lock contention.
+func (m *MRSW) Enter(side int) (ok bool, spins int64) {
+	spins = m.gate.Acquire()
+	want := flagLeft
+	if side == 1 {
+		want = flagRight
+	}
+	if m.flag != flagUnused && m.flag != want {
+		m.gate.Release()
+		return false, spins
+	}
+	m.flag = want
+	m.count++
+	m.gate.Release()
+	return true, spins
+}
+
+// Exit deregisters the caller; the last process out resets the flag.
+func (m *MRSW) Exit() (spins int64) {
+	spins = m.gate.Acquire()
+	m.count--
+	if m.count == 0 {
+		m.flag = flagUnused
+	}
+	m.gate.Release()
+	return spins
+}

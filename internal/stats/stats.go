@@ -1,0 +1,87 @@
+// Package stats defines the instrumentation counters the benchmark
+// harness reads to regenerate the paper's tables.
+package stats
+
+// Match aggregates per-run match statistics. The sequential matchers
+// fill every field; the parallel matchers fill the activation counts and
+// leave the memory-scan statistics to the sequential instrumentation
+// runs, exactly as the paper derives Tables 4-1..4-3 from uniprocessor
+// versions.
+type Match struct {
+	WMChanges   int64 // working-memory changes processed
+	Activations int64 // node activations == tasks pushed/popped (Table 4-1 last column)
+
+	LeftActs  int64 // two-input node activations from the left
+	RightActs int64 // ... and from the right
+
+	// Tokens examined in the opposite memory, split by activation side,
+	// counted only for activations whose opposite memory is non-empty
+	// (Table 4-2's convention).
+	OppExaminedLeft   int64
+	OppExaminedRight  int64
+	OppNonEmptyLeft   int64 // activations contributing to the left mean
+	OppNonEmptyRight  int64
+	SameExaminedLeft  int64 // tokens scanned in own memory for deletes (Table 4-3)
+	SameExaminedRight int64
+	DeletesLeft       int64
+	DeletesRight      int64
+
+	Pairs      int64 // matching token pairs emitted by two-input nodes
+	ConstTests int64 // constant tests evaluated
+	CSInserts  int64 // conflict-set insertions
+	CSDeletes  int64
+}
+
+// Add accumulates o into m.
+func (m *Match) Add(o *Match) {
+	m.WMChanges += o.WMChanges
+	m.Activations += o.Activations
+	m.LeftActs += o.LeftActs
+	m.RightActs += o.RightActs
+	m.OppExaminedLeft += o.OppExaminedLeft
+	m.OppExaminedRight += o.OppExaminedRight
+	m.OppNonEmptyLeft += o.OppNonEmptyLeft
+	m.OppNonEmptyRight += o.OppNonEmptyRight
+	m.SameExaminedLeft += o.SameExaminedLeft
+	m.SameExaminedRight += o.SameExaminedRight
+	m.DeletesLeft += o.DeletesLeft
+	m.DeletesRight += o.DeletesRight
+	m.Pairs += o.Pairs
+	m.ConstTests += o.ConstTests
+	m.CSInserts += o.CSInserts
+	m.CSDeletes += o.CSDeletes
+}
+
+// Mean returns num/den or 0 when den is 0.
+func Mean(num, den int64) float64 {
+	if den == 0 {
+		return 0
+	}
+	return float64(num) / float64(den)
+}
+
+// Contention aggregates spin-lock statistics for the parallel runs.
+// "Spins" follows the paper's measure: the number of times a process
+// observes the lock busy before acquiring it.
+type Contention struct {
+	QueueAcquires int64 // task-queue lock acquisitions
+	QueueSpins    int64 // spins observed while acquiring task-queue locks
+
+	LineAcquiresLeft  int64 // hash-line acquisitions for left activations
+	LineSpinsLeft     int64
+	LineAcquiresRight int64
+	LineSpinsRight    int64
+
+	Requeues int64 // MRSW wrong-side re-queues
+}
+
+// Add accumulates o into c.
+func (c *Contention) Add(o *Contention) {
+	c.QueueAcquires += o.QueueAcquires
+	c.QueueSpins += o.QueueSpins
+	c.LineAcquiresLeft += o.LineAcquiresLeft
+	c.LineSpinsLeft += o.LineSpinsLeft
+	c.LineAcquiresRight += o.LineAcquiresRight
+	c.LineSpinsRight += o.LineSpinsRight
+	c.Requeues += o.Requeues
+}

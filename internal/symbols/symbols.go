@@ -1,0 +1,79 @@
+// Package symbols provides an interning table that maps symbol names to
+// small integer IDs. All matchers compare symbols by ID, never by string,
+// which is the Go analogue of the pointer-equality symbol compares the
+// paper's C implementation relies on.
+package symbols
+
+import (
+	"fmt"
+	"sync"
+)
+
+// ID identifies an interned symbol. The zero ID is reserved and never
+// returned by Intern, so it can safely denote "no symbol".
+type ID uint32
+
+// None is the reserved invalid symbol ID.
+const None ID = 0
+
+// Table interns strings. It is safe for concurrent use: the match
+// goroutines look symbols up while the control process may intern new
+// symbols produced by RHS evaluation.
+type Table struct {
+	mu    sync.RWMutex
+	ids   map[string]ID
+	names []string // names[id] == symbol text; names[0] is the reserved slot
+}
+
+// NewTable returns an empty symbol table.
+func NewTable() *Table {
+	return &Table{
+		ids:   make(map[string]ID, 256),
+		names: make([]string, 1, 256),
+	}
+}
+
+// Intern returns the ID for name, creating one if needed.
+func (t *Table) Intern(name string) ID {
+	t.mu.RLock()
+	id, ok := t.ids[name]
+	t.mu.RUnlock()
+	if ok {
+		return id
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if id, ok := t.ids[name]; ok {
+		return id
+	}
+	id = ID(len(t.names))
+	t.names = append(t.names, name)
+	t.ids[name] = id
+	return id
+}
+
+// Lookup returns the ID for name and whether it has been interned.
+func (t *Table) Lookup(name string) (ID, bool) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	id, ok := t.ids[name]
+	return id, ok
+}
+
+// Name returns the text of an interned symbol. It panics on an ID that
+// was never issued, which always indicates a bug in the caller.
+func (t *Table) Name(id ID) string {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	if int(id) >= len(t.names) || id == None {
+		panic(fmt.Sprintf("symbols: invalid ID %d", id))
+	}
+	return t.names[id]
+}
+
+// Len reports how many symbols have been interned.
+func (t *Table) Len() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return len(t.names) - 1
+}

@@ -1,0 +1,108 @@
+package symbols_test
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/symbols"
+)
+
+func TestInternIsIdempotent(t *testing.T) {
+	tab := symbols.NewTable()
+	a := tab.Intern("block")
+	b := tab.Intern("block")
+	if a != b {
+		t.Fatalf("same name interned to %d and %d", a, b)
+	}
+	if tab.Name(a) != "block" {
+		t.Fatalf("Name(%d) = %q", a, tab.Name(a))
+	}
+}
+
+func TestDistinctNamesGetDistinctIDs(t *testing.T) {
+	tab := symbols.NewTable()
+	seen := map[symbols.ID]string{}
+	for i := 0; i < 1000; i++ {
+		name := fmt.Sprintf("sym-%d", i)
+		id := tab.Intern(name)
+		if prev, ok := seen[id]; ok {
+			t.Fatalf("ID %d assigned to both %q and %q", id, prev, name)
+		}
+		seen[id] = name
+	}
+	if tab.Len() != 1000 {
+		t.Fatalf("Len = %d, want 1000", tab.Len())
+	}
+}
+
+func TestZeroIDNeverIssued(t *testing.T) {
+	tab := symbols.NewTable()
+	for i := 0; i < 100; i++ {
+		if id := tab.Intern(fmt.Sprintf("s%d", i)); id == symbols.None {
+			t.Fatal("Intern returned the reserved None ID")
+		}
+	}
+}
+
+func TestLookup(t *testing.T) {
+	tab := symbols.NewTable()
+	if _, ok := tab.Lookup("ghost"); ok {
+		t.Fatal("Lookup found a symbol that was never interned")
+	}
+	want := tab.Intern("real")
+	got, ok := tab.Lookup("real")
+	if !ok || got != want {
+		t.Fatalf("Lookup = (%d, %v), want (%d, true)", got, ok, want)
+	}
+}
+
+// Property: round-tripping any string through Intern/Name is identity.
+func TestInternNameRoundTrip(t *testing.T) {
+	tab := symbols.NewTable()
+	f := func(s string) bool {
+		return tab.Name(tab.Intern(s)) == s
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConcurrentIntern(t *testing.T) {
+	tab := symbols.NewTable()
+	const goroutines = 8
+	const names = 200
+	ids := make([][]symbols.ID, goroutines)
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		g := g
+		ids[g] = make([]symbols.ID, names)
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < names; i++ {
+				ids[g][i] = tab.Intern(fmt.Sprintf("name-%d", i))
+			}
+		}()
+	}
+	wg.Wait()
+	for g := 1; g < goroutines; g++ {
+		for i := 0; i < names; i++ {
+			if ids[g][i] != ids[0][i] {
+				t.Fatalf("goroutine %d got ID %d for name-%d, goroutine 0 got %d",
+					g, ids[g][i], i, ids[0][i])
+			}
+		}
+	}
+}
+
+func TestNamePanicsOnInvalidID(t *testing.T) {
+	tab := symbols.NewTable()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Name on never-issued ID did not panic")
+		}
+	}()
+	tab.Name(symbols.ID(42))
+}

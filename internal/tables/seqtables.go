@@ -1,0 +1,131 @@
+package tables
+
+import "fmt"
+
+// SeqResults caches the instrumented sequential runs all of Tables
+// 4-1..4-4 derive from.
+type SeqResults struct {
+	Specs []Spec
+	VS1   map[string]*SeqRun
+	VS2   map[string]*SeqRun
+	Lisp  map[string]*SeqRun
+}
+
+// RunSeqAll executes every spec on vs1 and vs2, and optionally on the
+// interpreted baseline (slow; only Table 4-4 needs it).
+func RunSeqAll(specs []Spec, withLisp bool) (*SeqResults, error) {
+	out := &SeqResults{
+		Specs: specs,
+		VS1:   map[string]*SeqRun{},
+		VS2:   map[string]*SeqRun{},
+		Lisp:  map[string]*SeqRun{},
+	}
+	for _, spec := range specs {
+		r1, err := RunSeq(spec, "vs1")
+		if err != nil {
+			return nil, err
+		}
+		out.VS1[spec.Name] = r1
+		r2, err := RunSeq(spec, "vs2")
+		if err != nil {
+			return nil, err
+		}
+		out.VS2[spec.Name] = r2
+		if withLisp {
+			rl, err := RunSeq(spec, "lisp")
+			if err != nil {
+				return nil, err
+			}
+			out.Lisp[spec.Name] = rl
+		}
+	}
+	return out, nil
+}
+
+// Table41 reproduces Table 4-1: uniprocessor vs1 (list memories) versus
+// vs2 (hash memories), with total WM changes and node activations.
+func Table41(sr *SeqResults) *Table {
+	t := &Table{
+		ID:    "4-1",
+		Title: "Uniprocessor versions (host wall-clock; paper: MicroVAX-II seconds)",
+		Header: []string{"PROGRAM", "VS1 list-mem (s)", "VS2 hash-mem (s)",
+			"WM-changes", "Node activations"},
+	}
+	for _, spec := range sr.Specs {
+		v1, v2 := sr.VS1[spec.Name], sr.VS2[spec.Name]
+		t.Rows = append(t.Rows, []string{
+			spec.Name,
+			secs(v1.Match),
+			secs(v2.Match),
+			fmt.Sprint(v2.Rec.M.WMChanges),
+			fmt.Sprint(v2.Rec.M.Activations),
+		})
+	}
+	return t
+}
+
+// Table42 reproduces Table 4-2: mean tokens examined in the opposite
+// memory per activation (counted only when the opposite memory is
+// non-empty), for left and right activations, list vs hash memories.
+func Table42(sr *SeqResults) *Table {
+	t := &Table{
+		ID:    "4-2",
+		Title: "Number of tokens examined in opposite memory",
+		Header: []string{"PROGRAM",
+			"left lin", "left hash", "right lin", "right hash"},
+	}
+	for _, spec := range sr.Specs {
+		m1, m2 := &sr.VS1[spec.Name].Rec.M, &sr.VS2[spec.Name].Rec.M
+		t.Rows = append(t.Rows, []string{
+			spec.Name,
+			f1(mean(m1.OppExaminedLeft, m1.OppNonEmptyLeft)),
+			f1(mean(m2.OppExaminedLeft, m2.OppNonEmptyLeft)),
+			f1(mean(m1.OppExaminedRight, m1.OppNonEmptyRight)),
+			f1(mean(m2.OppExaminedRight, m2.OppNonEmptyRight)),
+		})
+	}
+	return t
+}
+
+// Table43 reproduces Table 4-3: mean tokens examined in the same memory
+// to locate the token a delete removes, list vs hash memories.
+func Table43(sr *SeqResults) *Table {
+	t := &Table{
+		ID:    "4-3",
+		Title: "Number of tokens examined in same memory for deletes",
+		Header: []string{"PROGRAM",
+			"left lin", "left hash", "right lin", "right hash"},
+	}
+	for _, spec := range sr.Specs {
+		m1, m2 := &sr.VS1[spec.Name].Rec.M, &sr.VS2[spec.Name].Rec.M
+		t.Rows = append(t.Rows, []string{
+			spec.Name,
+			f1(mean(m1.SameExaminedLeft, m1.DeletesLeft)),
+			f1(mean(m2.SameExaminedLeft, m2.DeletesLeft)),
+			f1(mean(m1.SameExaminedRight, m1.DeletesRight)),
+			f1(mean(m2.SameExaminedRight, m2.DeletesRight)),
+		})
+	}
+	return t
+}
+
+// Table44 reproduces Table 4-4: speed-up of the compiled matcher (vs2)
+// over the interpreted Lisp-style baseline.
+func Table44(sr *SeqResults) *Table {
+	t := &Table{
+		ID:     "4-4",
+		Title:  "Speed-up of compiled (vs2) over interpreted (lisp-style) matcher",
+		Header: []string{"PROGRAM", "interp (s)", "VS2 (s)", "Speed-up"},
+	}
+	for _, spec := range sr.Specs {
+		rl, r2 := sr.Lisp[spec.Name], sr.VS2[spec.Name]
+		if rl == nil {
+			continue
+		}
+		ratio := rl.Match.Seconds() / r2.Match.Seconds()
+		t.Rows = append(t.Rows, []string{
+			spec.Name, secs(rl.Match), secs(r2.Match), f1(ratio),
+		})
+	}
+	return t
+}

@@ -1,0 +1,139 @@
+package tables_test
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/tables"
+)
+
+// TestProgramsParseAtScales guards the spec generator across scales.
+func TestProgramsParseAtScales(t *testing.T) {
+	for _, scale := range []float64{0.1, 0.5, 1.0} {
+		specs := tables.Programs(scale)
+		if len(specs) != 3 {
+			t.Fatalf("scale %v: %d specs", scale, len(specs))
+		}
+		for _, s := range specs {
+			if _, err := tables.RunSeq(s, "vs2"); err != nil {
+				t.Fatalf("scale %v %s: %v", scale, s.Name, err)
+			}
+		}
+	}
+}
+
+// TestSeqTablesShape builds Tables 4-1..4-4 at small scale and checks
+// the qualitative relations the paper reports.
+func TestSeqTablesShape(t *testing.T) {
+	specs := tables.Programs(0.4)
+	sr, err := tables.RunSeqAll(specs, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t41 := tables.Table41(sr)
+	if len(t41.Rows) != 3 {
+		t.Fatalf("table 4-1 rows = %d", len(t41.Rows))
+	}
+	// vs2 is never slower than 2x vs1 (it should generally be faster).
+	for _, row := range t41.Rows {
+		v1, _ := strconv.ParseFloat(row[1], 64)
+		v2, _ := strconv.ParseFloat(row[2], 64)
+		if v2 > 2*v1 {
+			t.Errorf("%s: vs2 (%v) much slower than vs1 (%v)", row[0], v2, v1)
+		}
+	}
+	// Table 4-2: hash never examines more than list memories (left side).
+	t42 := tables.Table42(sr)
+	for _, row := range t42.Rows {
+		lin, _ := strconv.ParseFloat(row[1], 64)
+		hash, _ := strconv.ParseFloat(row[2], 64)
+		if hash > lin {
+			t.Errorf("%s: hash left (%v) exceeds lin (%v)", row[0], hash, lin)
+		}
+	}
+	// Table 4-4: the interpreter always loses, at every scale.
+	t44 := tables.Table44(sr)
+	for _, row := range t44.Rows {
+		sp, _ := strconv.ParseFloat(row[3], 64)
+		if sp < 2 {
+			t.Errorf("%s: interp speed-up only %v", row[0], sp)
+		}
+	}
+}
+
+// TestRenderAligns checks the plain-text renderer.
+func TestRenderAligns(t *testing.T) {
+	tb := &tables.Table{
+		ID:     "X",
+		Title:  "demo",
+		Header: []string{"A", "LONGCOL"},
+		Rows:   [][]string{{"aaaa", "b"}, {"c", "dd"}},
+	}
+	out := tb.Render()
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("rendered %d lines", len(lines))
+	}
+	if !strings.HasPrefix(lines[0], "Table X: demo") {
+		t.Fatalf("title line %q", lines[0])
+	}
+	// Column positions align across rows.
+	pos := strings.Index(lines[1], "LONGCOL")
+	if strings.Index(lines[2], "b") != pos || strings.Index(lines[3], "dd") != pos {
+		t.Fatalf("columns misaligned:\n%s", out)
+	}
+}
+
+// TestSimTableSmall runs the simulation grid at tiny scale end to end.
+func TestSimTableSmall(t *testing.T) {
+	if testing.Short() {
+		t.Skip("grid is slow")
+	}
+	specs := tables.Programs(0.2)
+	sim, err := tables.RunSimAll(specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tab := range []*tables.Table{
+		tables.Table45(sim), tables.Table46(sim), tables.Table47(sim),
+		tables.Table48(sim), tables.Table49(sim),
+	} {
+		if len(tab.Rows) != 3 {
+			t.Fatalf("table %s rows = %d", tab.ID, len(tab.Rows))
+		}
+		for _, row := range tab.Rows {
+			if len(row) != len(tab.Header) {
+				t.Fatalf("table %s: row width %d vs header %d", tab.ID, len(row), len(tab.Header))
+			}
+		}
+	}
+	// Monotone headline: Table 4-6 speed-up at 1+13 exceeds 1+1 for all.
+	t46 := tables.Table46(sim)
+	for _, row := range t46.Rows {
+		first, _ := strconv.ParseFloat(row[2], 64)
+		last, _ := strconv.ParseFloat(row[len(row)-1], 64)
+		if last <= first {
+			t.Errorf("%s: no scaling, 1+1=%v 1+13=%v", row[0], first, last)
+		}
+	}
+}
+
+// TestAblationsSmall exercises the ablation harness.
+func TestAblationsSmall(t *testing.T) {
+	if testing.Short() {
+		t.Skip("ablations are slow")
+	}
+	specs := tables.Programs(0.2)
+	rows, err := tables.RunAblations(specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab := tables.AblationTable(specs, rows)
+	if len(tab.Rows) != len(rows) {
+		t.Fatalf("ablation table rows = %d, want %d", len(tab.Rows), len(rows))
+	}
+	if _, err := tables.ControlOverlapTable(specs); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,120 @@
+// Package taskqueue implements the paper's central task scheduling: one
+// or more LIFO token queues protected by spin locks, plus the global
+// TaskCount that tells the control process when the match phase is over
+// (§3.2). Tokens carry the address of the destination node and, for
+// two-input nodes, the side — the two extra fields the parallel token
+// adds over the sequential one.
+package taskqueue
+
+import (
+	"runtime"
+	"sync/atomic"
+
+	"repro/internal/rete"
+	"repro/internal/spinlock"
+	"repro/internal/wm"
+)
+
+// Task is one schedulable unit of match work. Exactly one of Root, Join
+// or Term is set: a group of constant-test node activations for a WM
+// change, a two-input node activation, or a terminal activation.
+type Task struct {
+	Root *wm.WME
+	Join *rete.JoinNode
+	Term *rete.Terminal
+	Side rete.Side
+	Sign bool
+	Wmes []*wm.WME
+}
+
+type queue struct {
+	lock spinlock.Lock
+	// n mirrors len(tasks) so Pop can peek emptiness without the lock
+	// (the "test" half of test-and-test-and-set, applied to the queue).
+	n     atomic.Int64
+	tasks []*Task
+	_     [40]byte // keep queues on separate cache lines
+}
+
+// Queues is a set of task queues with the shared TaskCount.
+type Queues struct {
+	qs []queue
+	// TaskCount is the number of tokens on the queues plus the number
+	// being processed; the match phase is finished when it reaches zero.
+	TaskCount atomic.Int64
+}
+
+// New returns n queues (n >= 1).
+func New(n int) *Queues {
+	if n < 1 {
+		n = 1
+	}
+	return &Queues{qs: make([]queue, n)}
+}
+
+// Len reports the number of queues.
+func (q *Queues) Len() int { return len(q.qs) }
+
+// Push increments TaskCount and pushes t onto queue idx (mod the queue
+// count), returning the spins observed on the queue lock.
+func (q *Queues) Push(idx int, t *Task) (spins int64) {
+	q.TaskCount.Add(1)
+	qu := &q.qs[idx%len(q.qs)]
+	spins = qu.lock.Acquire()
+	qu.tasks = append(qu.tasks, t)
+	qu.n.Store(int64(len(qu.tasks)))
+	qu.lock.Release()
+	return spins
+}
+
+// Requeue pushes a task back without touching TaskCount: the task was
+// popped (still counted as in-process by its worker, which will
+// decrement once) and must remain pending. Used by the MRSW scheme when
+// the line is busy processing the opposite side.
+func (q *Queues) Requeue(idx int, t *Task) (spins int64) {
+	q.TaskCount.Add(1)
+	qu := &q.qs[idx%len(q.qs)]
+	spins = qu.lock.Acquire()
+	// Requeued tokens go to the bottom of the stack so the conflicting
+	// epoch has time to drain before the token is retried.
+	qu.tasks = append(qu.tasks, nil)
+	copy(qu.tasks[1:], qu.tasks)
+	qu.tasks[0] = t
+	qu.n.Store(int64(len(qu.tasks)))
+	qu.lock.Release()
+	return spins
+}
+
+// Pop removes a task, preferring queue prefer and scanning the others.
+// It returns nil when every queue is empty at the time of the scan.
+func (q *Queues) Pop(prefer int) (t *Task, spins int64) {
+	n := len(q.qs)
+	for i := 0; i < n; i++ {
+		qu := &q.qs[(prefer+i)%n]
+		if qu.n.Load() == 0 {
+			continue // cheap emptiness test before locking
+		}
+		spins += qu.lock.Acquire()
+		if m := len(qu.tasks); m > 0 {
+			t = qu.tasks[m-1]
+			qu.tasks[m-1] = nil
+			qu.tasks = qu.tasks[:m-1]
+			qu.n.Store(int64(len(qu.tasks)))
+			qu.lock.Release()
+			return t, spins
+		}
+		qu.lock.Release()
+	}
+	return nil, spins
+}
+
+// Done decrements TaskCount after a worker finishes a task.
+func (q *Queues) Done() { q.TaskCount.Add(-1) }
+
+// WaitIdle spins until TaskCount reaches zero (the control process's
+// wait at the end of RHS evaluation).
+func (q *Queues) WaitIdle() {
+	for i := 0; q.TaskCount.Load() != 0; i++ {
+		runtime.Gosched()
+	}
+}

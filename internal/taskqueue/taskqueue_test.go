@@ -1,0 +1,160 @@
+package taskqueue_test
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/taskqueue"
+	"repro/internal/wm"
+)
+
+func mkTask(n int) *taskqueue.Task {
+	return &taskqueue.Task{Root: &wm.WME{TimeTag: n}}
+}
+
+func TestPushPopLIFO(t *testing.T) {
+	q := taskqueue.New(1)
+	for i := 1; i <= 3; i++ {
+		q.Push(0, mkTask(i))
+	}
+	for want := 3; want >= 1; want-- {
+		task, _ := q.Pop(0)
+		if task == nil || task.Root.TimeTag != want {
+			t.Fatalf("popped %v, want tag %d", task, want)
+		}
+		q.Done()
+	}
+	if task, _ := q.Pop(0); task != nil {
+		t.Fatalf("pop on empty returned %v", task)
+	}
+}
+
+func TestTaskCountProtocol(t *testing.T) {
+	q := taskqueue.New(2)
+	if q.TaskCount.Load() != 0 {
+		t.Fatal("fresh queues not idle")
+	}
+	q.Push(0, mkTask(1))
+	q.Push(1, mkTask(2))
+	if got := q.TaskCount.Load(); got != 2 {
+		t.Fatalf("TaskCount = %d, want 2", got)
+	}
+	task, _ := q.Pop(0)
+	if task == nil {
+		t.Fatal("pop failed")
+	}
+	// Popped but in-process: still counted.
+	if got := q.TaskCount.Load(); got != 2 {
+		t.Fatalf("TaskCount after pop = %d, want 2 (in-process counts)", got)
+	}
+	q.Done()
+	if got := q.TaskCount.Load(); got != 1 {
+		t.Fatalf("TaskCount after done = %d, want 1", got)
+	}
+}
+
+func TestPopStealsFromOtherQueues(t *testing.T) {
+	q := taskqueue.New(4)
+	q.Push(3, mkTask(7))
+	task, _ := q.Pop(0) // prefers queue 0, must find queue 3
+	if task == nil || task.Root.TimeTag != 7 {
+		t.Fatalf("steal failed: %v", task)
+	}
+	q.Done()
+}
+
+func TestRequeueGoesToBottom(t *testing.T) {
+	q := taskqueue.New(1)
+	q.Push(0, mkTask(1))
+	q.Push(0, mkTask(2))
+	popped, _ := q.Pop(0)
+	if popped.Root.TimeTag != 2 {
+		t.Fatalf("expected LIFO top 2, got %d", popped.Root.TimeTag)
+	}
+	q.Requeue(0, popped) // back to the bottom
+	q.Done()             // worker releases its in-process claim
+	a, _ := q.Pop(0)
+	b, _ := q.Pop(0)
+	if a.Root.TimeTag != 1 || b.Root.TimeTag != 2 {
+		t.Fatalf("order after requeue = %d,%d; want 1,2", a.Root.TimeTag, b.Root.TimeTag)
+	}
+	q.Done()
+	q.Done()
+}
+
+func TestWaitIdle(t *testing.T) {
+	q := taskqueue.New(2)
+	const total = 2000
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < total; i++ {
+			q.Push(i, mkTask(i))
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		for done := 0; done < total; {
+			if task, _ := q.Pop(0); task != nil {
+				q.Done()
+				done++
+			}
+		}
+	}()
+	wg.Wait()
+	q.WaitIdle() // must return promptly with everything drained
+	if got := q.TaskCount.Load(); got != 0 {
+		t.Fatalf("TaskCount = %d after drain", got)
+	}
+}
+
+func TestConcurrentPushPop(t *testing.T) {
+	q := taskqueue.New(4)
+	const perG = 5000
+	var popped int64
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	for g := 0; g < 4; g++ {
+		g := g
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				q.Push(g+i, mkTask(i))
+			}
+		}()
+	}
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			local := int64(0)
+			for {
+				task, _ := q.Pop(0)
+				if task == nil {
+					mu.Lock()
+					done := popped >= 4*perG
+					mu.Unlock()
+					if done {
+						return
+					}
+					continue
+				}
+				q.Done()
+				local++
+				mu.Lock()
+				popped += 1
+				mu.Unlock()
+				if local > 4*perG {
+					t.Error("popped more tasks than pushed")
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if popped != 4*perG {
+		t.Fatalf("popped %d, want %d", popped, 4*perG)
+	}
+}

@@ -1,0 +1,145 @@
+// Package wm defines OPS5 runtime values, working-memory elements and the
+// working-memory store shared by every matcher implementation.
+package wm
+
+import (
+	"fmt"
+	"strconv"
+
+	"repro/internal/symbols"
+)
+
+// Kind discriminates the runtime type of a Value.
+type Kind uint8
+
+// Value kinds. Nil marks an attribute that was never assigned; OPS5
+// treats such fields as the distinguished symbol nil for matching.
+const (
+	KindNil Kind = iota
+	KindSym
+	KindInt
+	KindFloat
+)
+
+// Value is a single OPS5 runtime value: a symbol, an integer or a float.
+// Values are small and passed by copy everywhere; equality between an
+// int and a float with the same numeric value holds, as in OPS5.
+type Value struct {
+	Kind Kind
+	Sym  symbols.ID
+	Num  int64
+	F    float64
+}
+
+// Nil is the unassigned value.
+var Nil = Value{Kind: KindNil}
+
+// Sym returns a symbol value.
+func Sym(id symbols.ID) Value { return Value{Kind: KindSym, Sym: id} }
+
+// Int returns an integer value.
+func Int(n int64) Value { return Value{Kind: KindInt, Num: n} }
+
+// Float returns a floating-point value.
+func Float(f float64) Value { return Value{Kind: KindFloat, F: f} }
+
+// IsNumber reports whether v holds an int or a float.
+func (v Value) IsNumber() bool { return v.Kind == KindInt || v.Kind == KindFloat }
+
+// AsFloat returns the numeric value as a float64. Call only on numbers.
+func (v Value) AsFloat() float64 {
+	if v.Kind == KindInt {
+		return float64(v.Num)
+	}
+	return v.F
+}
+
+// Equal reports OPS5 equality: symbols by ID, numbers numerically
+// (12 equals 12.0), nil equals only nil.
+func (v Value) Equal(o Value) bool {
+	switch v.Kind {
+	case KindNil:
+		return o.Kind == KindNil
+	case KindSym:
+		return o.Kind == KindSym && v.Sym == o.Sym
+	default:
+		if !o.IsNumber() {
+			return false
+		}
+		if v.Kind == KindInt && o.Kind == KindInt {
+			return v.Num == o.Num
+		}
+		return v.AsFloat() == o.AsFloat()
+	}
+}
+
+// SameType reports the OPS5 <=> predicate: both symbolic or both numeric.
+func (v Value) SameType(o Value) bool {
+	if v.Kind == KindSym || v.Kind == KindNil {
+		return o.Kind == KindSym || o.Kind == KindNil
+	}
+	return o.IsNumber()
+}
+
+// Less reports v < o. Numbers compare numerically; symbols compare by
+// name ordering is not available here, so symbol comparison is undefined
+// in OPS5 and returns false, as does any mixed-type comparison.
+func (v Value) Less(o Value) bool {
+	if v.IsNumber() && o.IsNumber() {
+		return v.AsFloat() < o.AsFloat()
+	}
+	return false
+}
+
+// Hash folds the value into a 64-bit hash seed using FNV-1a steps.
+func (v Value) Hash(h uint64) uint64 {
+	const prime = 1099511628211
+	mix := func(h, x uint64) uint64 {
+		h ^= x
+		return h * prime
+	}
+	switch v.Kind {
+	case KindNil:
+		return mix(h, 0x9e3779b97f4a7c15)
+	case KindSym:
+		return mix(mix(h, 1), uint64(v.Sym))
+	case KindInt:
+		return mix(mix(h, 2), uint64(v.Num))
+	default:
+		// Hash floats through their numeric value so 12 and 12.0 collide
+		// (they are Equal, so they must hash identically).
+		f := v.F
+		if f == float64(int64(f)) {
+			return mix(mix(h, 2), uint64(int64(f)))
+		}
+		return mix(mix(h, 3), uint64(int64(f*4096)))
+	}
+}
+
+// String renders the value using the symbol table for symbol names.
+func (v Value) String(tab *symbols.Table) string {
+	switch v.Kind {
+	case KindNil:
+		return "nil"
+	case KindSym:
+		return tab.Name(v.Sym)
+	case KindInt:
+		return strconv.FormatInt(v.Num, 10)
+	default:
+		return strconv.FormatFloat(v.F, 'g', -1, 64)
+	}
+}
+
+// GoString aids debugging without a symbol table.
+func (v Value) GoString() string {
+	switch v.Kind {
+	case KindNil:
+		return "nil"
+	case KindSym:
+		return fmt.Sprintf("sym#%d", v.Sym)
+	case KindInt:
+		return strconv.FormatInt(v.Num, 10)
+	default:
+		return strconv.FormatFloat(v.F, 'g', -1, 64)
+	}
+}

@@ -1,0 +1,137 @@
+package wm_test
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/symbols"
+	"repro/internal/wm"
+)
+
+func TestValueEquality(t *testing.T) {
+	tab := symbols.NewTable()
+	red := wm.Sym(tab.Intern("red"))
+	red2 := wm.Sym(tab.Intern("red"))
+	blue := wm.Sym(tab.Intern("blue"))
+	cases := []struct {
+		a, b wm.Value
+		want bool
+	}{
+		{red, red2, true},
+		{red, blue, false},
+		{wm.Int(12), wm.Int(12), true},
+		{wm.Int(12), wm.Float(12.0), true}, // OPS5: numeric equality across types
+		{wm.Float(12.5), wm.Int(12), false},
+		{wm.Nil, wm.Nil, true},
+		{wm.Nil, red, false},
+		{wm.Int(0), wm.Nil, false},
+	}
+	for _, c := range cases {
+		if got := c.a.Equal(c.b); got != c.want {
+			t.Errorf("Equal(%#v, %#v) = %v, want %v", c.a, c.b, got, c.want)
+		}
+		if got := c.b.Equal(c.a); got != c.want {
+			t.Errorf("Equal not symmetric for (%#v, %#v)", c.a, c.b)
+		}
+	}
+}
+
+func TestValueSameType(t *testing.T) {
+	tab := symbols.NewTable()
+	s := wm.Sym(tab.Intern("x"))
+	if !wm.Int(1).SameType(wm.Float(2.5)) {
+		t.Error("int and float should be same type")
+	}
+	if s.SameType(wm.Int(1)) {
+		t.Error("symbol and number should differ in type")
+	}
+	if !s.SameType(wm.Nil) {
+		t.Error("nil counts as symbolic")
+	}
+}
+
+// Property: equal values must hash identically (12 vs 12.0 included).
+func TestEqualValuesHashEqual(t *testing.T) {
+	f := func(n int64, seed uint64) bool {
+		a, b := wm.Int(n), wm.Float(float64(n))
+		if math.Abs(float64(n)) > 1<<52 {
+			return true // beyond exact float representation
+		}
+		if !a.Equal(b) {
+			return true
+		}
+		return a.Hash(seed) == b.Hash(seed)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Less is a strict partial order on numbers.
+func TestLessIrreflexive(t *testing.T) {
+	f := func(n float64) bool {
+		v := wm.Float(n)
+		return !v.Less(v)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWMEFieldOutOfRangeIsNil(t *testing.T) {
+	tab := symbols.NewTable()
+	w := &wm.WME{TimeTag: 1, Fields: []wm.Value{wm.Sym(tab.Intern("c")), wm.Int(5)}}
+	if got := w.Field(1); !got.Equal(wm.Int(5)) {
+		t.Errorf("Field(1) = %#v", got)
+	}
+	if got := w.Field(7); got.Kind != wm.KindNil {
+		t.Errorf("Field(7) = %#v, want nil", got)
+	}
+	if got := w.Field(-1); got.Kind != wm.KindNil {
+		t.Errorf("Field(-1) = %#v, want nil", got)
+	}
+}
+
+func TestMemoryTimeTagsMonotonic(t *testing.T) {
+	tab := symbols.NewTable()
+	m := wm.NewMemory()
+	c := tab.Intern("c")
+	last := 0
+	for i := 0; i < 100; i++ {
+		w := m.Add([]wm.Value{wm.Sym(c), wm.Int(int64(i))})
+		if w.TimeTag <= last {
+			t.Fatalf("time tag %d not greater than previous %d", w.TimeTag, last)
+		}
+		last = w.TimeTag
+	}
+	if m.Len() != 100 {
+		t.Fatalf("Len = %d", m.Len())
+	}
+}
+
+func TestMemoryRemoveTwice(t *testing.T) {
+	tab := symbols.NewTable()
+	m := wm.NewMemory()
+	w := m.Add([]wm.Value{wm.Sym(tab.Intern("c"))})
+	if !m.Remove(w) {
+		t.Fatal("first remove failed")
+	}
+	if m.Remove(w) {
+		t.Fatal("second remove should report absence")
+	}
+}
+
+func TestSnapshotOrdered(t *testing.T) {
+	tab := symbols.NewTable()
+	m := wm.NewMemory()
+	for i := 0; i < 10; i++ {
+		m.Add([]wm.Value{wm.Sym(tab.Intern("c")), wm.Int(int64(i))})
+	}
+	snap := m.Snapshot()
+	for i := 1; i < len(snap); i++ {
+		if snap[i].TimeTag <= snap[i-1].TimeTag {
+			t.Fatal("snapshot not ordered by time tag")
+		}
+	}
+}

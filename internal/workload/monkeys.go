@@ -1,0 +1,98 @@
+package workload
+
+// Monkeys returns the classic monkey-and-bananas planning program — the
+// canonical OPS5 teaching example (Brownston et al. 1985). It is not one
+// of the paper's benchmarks; it exercises the MEA strategy, goal-driven
+// control, negations and modify-heavy actions, and serves as the
+// domain-specific example program.
+func Monkeys() string {
+	return `; Monkey and bananas, MEA-driven.
+(strategy mea)
+(literalize goal status type obj to)
+(literalize monkey at on holds)
+(literalize thing name at)
+
+; Goal decomposition.
+(p want-to-hold
+  (goal ^status active ^type eat ^obj bananas)
+  (monkey ^holds nil)
+  - (goal ^status active ^type holds ^obj bananas)
+-->
+  (make goal ^status active ^type holds ^obj bananas))
+
+(p want-on-ladder
+  (goal ^status active ^type holds ^obj bananas)
+  (monkey ^on <> ladder)
+  - (goal ^status active ^type on ^obj ladder)
+-->
+  (make goal ^status active ^type on ^obj ladder))
+
+(p want-ladder-moved
+  (goal ^status active ^type on ^obj ladder)
+  (thing ^name bananas ^at <p>)
+  (thing ^name ladder ^at {<q> <> <p>})
+  - (goal ^status active ^type move ^obj ladder ^to <p>)
+-->
+  (make goal ^status active ^type move ^obj ladder ^to <p>))
+
+(p want-to-walk
+  (goal ^status active ^type move ^obj ladder ^to <p>)
+  (thing ^name ladder ^at <q>)
+  (monkey ^at {<> <q>} ^on floor)
+  - (goal ^status active ^type walk ^to <q>)
+-->
+  (make goal ^status active ^type walk ^to <q>))
+
+; Operators.
+(p walk
+  (goal ^status active ^type walk ^to <q>)
+  (monkey ^at <> <q> ^on floor)
+-->
+  (write monkey walks to <q> (crlf))
+  (modify 2 ^at <q>)
+  (modify 1 ^status satisfied))
+
+(p push-ladder
+  (goal ^status active ^type move ^obj ladder ^to <p>)
+  (thing ^name ladder ^at {<q> <> <p>})
+  (monkey ^at <q> ^on floor)
+-->
+  (write monkey pushes ladder to <p> (crlf))
+  (modify 2 ^at <p>)
+  (modify 3 ^at <p>)
+  (modify 1 ^status satisfied))
+
+(p climb
+  (goal ^status active ^type on ^obj ladder)
+  (thing ^name ladder ^at <p>)
+  (monkey ^at <p> ^on floor)
+-->
+  (write monkey climbs the ladder (crlf))
+  (modify 3 ^on ladder)
+  (modify 1 ^status satisfied))
+
+(p grab
+  (goal ^status active ^type holds ^obj bananas)
+  (thing ^name bananas ^at <p>)
+  (monkey ^at <p> ^on ladder ^holds nil)
+-->
+  (write monkey grabs the bananas (crlf))
+  (modify 3 ^holds bananas)
+  (modify 1 ^status satisfied))
+
+(p eat
+  (goal ^status active ^type eat ^obj bananas)
+  (monkey ^holds bananas)
+-->
+  (write monkey eats the bananas -- done (crlf))
+  (modify 1 ^status satisfied)
+  (halt))
+
+; Initial situation: monkey at the door, ladder in the corner, bananas
+; hanging in the middle of the room.
+(make monkey ^at door ^on floor ^holds nil)
+(make thing ^name ladder ^at corner)
+(make thing ^name bananas ^at middle)
+(make goal ^status active ^type eat ^obj bananas)
+`
+}

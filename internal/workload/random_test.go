@@ -1,0 +1,154 @@
+package workload_test
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/conflict"
+	"repro/internal/engine"
+	"repro/internal/multimax"
+	"repro/internal/ops5"
+	"repro/internal/parmatch"
+	"repro/internal/rete"
+	"repro/internal/seqmatch"
+)
+
+// randomProgram generates a terminating OPS5 program: rules may only
+// (a) make WMEs of the inert class out (nothing matches out, so each
+// instantiation fires at most once by refraction) or (b) remove one of
+// their matched WMEs (working memory only shrinks). Both action kinds
+// guarantee the run exhausts its conflict set.
+func randomProgram(r *rand.Rand) string {
+	classes := []string{"ca", "cb", "cc"}
+	attrs := []string{"p", "q", "s"}
+	var b strings.Builder
+	b.WriteString("(literalize ca p q s)\n(literalize cb p q s)\n(literalize cc p q s)\n(literalize out v w)\n")
+	nRules := 3 + r.Intn(6)
+	for i := 0; i < nRules; i++ {
+		nCE := 1 + r.Intn(3)
+		fmt.Fprintf(&b, "(p rule-%d\n", i)
+		boundVars := []string{}
+		for ce := 0; ce < nCE; ce++ {
+			neg := ce > 0 && r.Intn(4) == 0
+			if neg {
+				b.WriteString("  - (")
+			} else {
+				b.WriteString("  (")
+			}
+			b.WriteString(classes[r.Intn(len(classes))])
+			for _, a := range attrs {
+				switch r.Intn(5) {
+				case 0: // constant test
+					fmt.Fprintf(&b, " ^%s %d", a, r.Intn(4))
+				case 1: // fresh variable (binds in positive CEs)
+					v := fmt.Sprintf("v%d%s", ce, a)
+					fmt.Fprintf(&b, " ^%s <%s>", a, v)
+					if !neg {
+						boundVars = append(boundVars, v)
+					}
+				case 2: // test against an earlier binding
+					if len(boundVars) > 0 {
+						v := boundVars[r.Intn(len(boundVars))]
+						preds := []string{"", "<> ", "> ", "<= "}
+						fmt.Fprintf(&b, " ^%s {%s<%s>}", a, preds[r.Intn(len(preds))], v)
+					}
+				case 3: // numeric predicate
+					fmt.Fprintf(&b, " ^%s > %d", a, r.Intn(3))
+				}
+			}
+			b.WriteString(")\n")
+		}
+		b.WriteString("-->\n")
+		if r.Intn(2) == 0 && len(boundVars) > 0 {
+			fmt.Fprintf(&b, "  (make out ^v <%s> ^w %d))\n", boundVars[r.Intn(len(boundVars))], i)
+		} else {
+			b.WriteString("  (remove 1))\n")
+		}
+	}
+	nWmes := 8 + r.Intn(12)
+	for i := 0; i < nWmes; i++ {
+		fmt.Fprintf(&b, "(make %s ^p %d ^q %d ^s %d)\n",
+			classes[r.Intn(len(classes))], r.Intn(4), r.Intn(4), r.Intn(4))
+	}
+	return b.String()
+}
+
+// runKind executes src on the named backend and returns the firing log.
+func runKind(t *testing.T, src, kind string) []string {
+	t.Helper()
+	prog, err := ops5.Parse(src)
+	if err != nil {
+		t.Fatalf("parse: %v\nsource:\n%s", err, src)
+	}
+	net, err := rete.Compile(prog)
+	if err != nil {
+		t.Fatalf("compile: %v\nsource:\n%s", err, src)
+	}
+	if kind == "sim" {
+		res, err := multimax.Simulate(prog, net, multimax.Config{
+			Procs: 5, Queues: 2, Scheme: parmatch.SchemeMRSW, Pipelined: true, MaxCycles: 2000,
+		})
+		if err != nil {
+			t.Fatalf("simulate: %v\nsource:\n%s", err, src)
+		}
+		return res.FiringLog
+	}
+	cs := conflict.NewSet()
+	var m engine.Matcher
+	switch kind {
+	case "vs1":
+		m = seqmatch.New(net, seqmatch.VS1, 0, cs)
+	case "vs2":
+		m = seqmatch.New(net, seqmatch.VS2, 0, cs)
+	case "par":
+		pm := parmatch.New(net, parmatch.Config{Procs: 3, Queues: 2, Scheme: parmatch.SchemeSimple}, cs)
+		defer pm.Close()
+		m = pm
+	}
+	e, err := engine.New(prog, net, cs, m, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Init(); err != nil {
+		t.Fatalf("init (%s): %v\nsource:\n%s", kind, err, src)
+	}
+	res, err := e.Run(engine.Options{MaxCycles: 2000, RecordFiring: true, CheckEvery: true})
+	if err != nil {
+		t.Fatalf("run (%s): %v\nsource:\n%s", kind, err, src)
+	}
+	out := make([]string, len(res.Firings))
+	for i, f := range res.Firings {
+		out[i] = fmt.Sprintf("%s@%d", f.Rule, f.Cycle)
+	}
+	return out
+}
+
+// TestRandomProgramsAgreeAcrossMatchers is the big equivalence property:
+// for many random (terminating) programs, every backend and the
+// simulator must produce the identical firing sequence.
+func TestRandomProgramsAgreeAcrossMatchers(t *testing.T) {
+	n := 60
+	if testing.Short() {
+		n = 10
+	}
+	for seed := 0; seed < n; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			src := randomProgram(rand.New(rand.NewSource(int64(seed))))
+			want := runKind(t, src, "vs2")
+			for _, kind := range []string{"vs1", "par", "sim"} {
+				got := runKind(t, src, kind)
+				if len(got) != len(want) {
+					t.Fatalf("%s: %d firings, want %d\nsource:\n%s", kind, len(got), len(want), src)
+				}
+				for i := range want {
+					if got[i] != want[i] {
+						t.Fatalf("%s: firing %d = %s, want %s\nsource:\n%s", kind, i, got[i], want[i], src)
+					}
+				}
+			}
+		})
+	}
+}

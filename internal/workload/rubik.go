@@ -1,0 +1,281 @@
+package workload
+
+import (
+	"fmt"
+	"strings"
+)
+
+// cubeSlot names one sticker position: face U/D/F/B/L/R, position 1..9
+// row-major as the face is viewed.
+type cubeSlot struct {
+	face string
+	pos  int
+}
+
+// faceCycles lists, for each face's clockwise quarter turn, the five
+// 4-cycles of sticker slots (two on the turning face, three through the
+// adjacent faces). A cycle (a b c d) means a's color moves to b, b's to
+// c, and so on. Singmaster orientation: U on top, F toward the viewer.
+var faceCycles = map[string][][4]cubeSlot{
+	"U": {
+		{{"U", 1}, {"U", 3}, {"U", 9}, {"U", 7}},
+		{{"U", 2}, {"U", 6}, {"U", 8}, {"U", 4}},
+		{{"F", 1}, {"L", 1}, {"B", 1}, {"R", 1}},
+		{{"F", 2}, {"L", 2}, {"B", 2}, {"R", 2}},
+		{{"F", 3}, {"L", 3}, {"B", 3}, {"R", 3}},
+	},
+	"D": {
+		{{"D", 1}, {"D", 3}, {"D", 9}, {"D", 7}},
+		{{"D", 2}, {"D", 6}, {"D", 8}, {"D", 4}},
+		{{"F", 7}, {"R", 7}, {"B", 7}, {"L", 7}},
+		{{"F", 8}, {"R", 8}, {"B", 8}, {"L", 8}},
+		{{"F", 9}, {"R", 9}, {"B", 9}, {"L", 9}},
+	},
+	"F": {
+		{{"F", 1}, {"F", 3}, {"F", 9}, {"F", 7}},
+		{{"F", 2}, {"F", 6}, {"F", 8}, {"F", 4}},
+		{{"U", 7}, {"R", 1}, {"D", 3}, {"L", 9}},
+		{{"U", 8}, {"R", 4}, {"D", 2}, {"L", 6}},
+		{{"U", 9}, {"R", 7}, {"D", 1}, {"L", 3}},
+	},
+	"B": {
+		{{"B", 1}, {"B", 3}, {"B", 9}, {"B", 7}},
+		{{"B", 2}, {"B", 6}, {"B", 8}, {"B", 4}},
+		{{"U", 3}, {"L", 1}, {"D", 7}, {"R", 9}},
+		{{"U", 2}, {"L", 4}, {"D", 8}, {"R", 6}},
+		{{"U", 1}, {"L", 7}, {"D", 9}, {"R", 3}},
+	},
+	"L": {
+		{{"L", 1}, {"L", 3}, {"L", 9}, {"L", 7}},
+		{{"L", 2}, {"L", 6}, {"L", 8}, {"L", 4}},
+		{{"U", 1}, {"F", 1}, {"D", 1}, {"B", 9}},
+		{{"U", 4}, {"F", 4}, {"D", 4}, {"B", 6}},
+		{{"U", 7}, {"F", 7}, {"D", 7}, {"B", 3}},
+	},
+	"R": {
+		{{"R", 1}, {"R", 3}, {"R", 9}, {"R", 7}},
+		{{"R", 2}, {"R", 6}, {"R", 8}, {"R", 4}},
+		{{"U", 9}, {"B", 1}, {"D", 9}, {"F", 9}},
+		{{"U", 6}, {"B", 4}, {"D", 6}, {"F", 6}},
+		{{"U", 3}, {"B", 7}, {"D", 3}, {"F", 3}},
+	},
+}
+
+// cubeFaces fixes an iteration order for generated rules.
+var cubeFaces = []string{"U", "D", "F", "B", "L", "R"}
+
+// faceColor is the solved-state color of each face.
+var faceColor = map[string]string{
+	"U": "white", "D": "yellow", "F": "green",
+	"B": "blue", "L": "orange", "R": "red",
+}
+
+// CubeMove is one quarter turn.
+type CubeMove struct {
+	Face string
+	CW   bool
+}
+
+// RubikScramble returns a deterministic pseudo-random scramble of the
+// given length (a fixed linear congruential sequence, so every run and
+// every matcher sees the same move list).
+func RubikScramble(n int) []CubeMove {
+	out := make([]CubeMove, n)
+	state := uint64(0x2545F4914F6CDD1D)
+	for i := range out {
+		state = state*6364136223846793005 + 1442695040888963407
+		out[i] = CubeMove{Face: cubeFaces[(state>>33)%6], CW: (state>>32)&1 == 0}
+	}
+	return out
+}
+
+// Rubik generates the cube workload: a full sticker-model Rubik's cube
+// in working memory, one wide production per face and direction (21
+// condition elements, 20 modifies), and driver rules that apply a
+// scramble followed by its exact inverse, then verify the cube is
+// solved and halt. Like the paper's Rubik program it is modify-heavy —
+// every turn rewrites 20 working-memory elements, each of which
+// re-enters the network — with small node memories, which is why Rubik
+// parallelizes best of the three programs (12.4x in §5).
+//
+// scrambleLen controls run length: total turns = 2*scrambleLen.
+func Rubik(scrambleLen int) string {
+	var b strings.Builder
+	b.WriteString(`; Rubik: sticker-model cube, scramble + inverse, solved check.
+(literalize sticker face pos color)
+(literalize step num)
+(literalize move seq face dir)
+(literalize want face dir)
+(literalize rotated flag)
+(literalize faceok face)
+`)
+	// One rotation production per face and direction.
+	for _, face := range cubeFaces {
+		for _, cw := range []bool{true, false} {
+			writeRotationRule(&b, face, cw)
+		}
+	}
+	// Driver rules.
+	b.WriteString(`
+(p apply-move
+  (step ^num <n>)
+  (move ^seq <n> ^face <f> ^dir <d>)
+  - (want)
+  - (rotated)
+-->
+  (make want ^face <f> ^dir <d>))
+
+(p advance
+  (step ^num <n>)
+  (rotated ^flag yes)
+-->
+  (remove 2)
+  (modify 1 ^num (compute <n> + 1)))
+
+(p moves-done
+  (step ^num <n>)
+  - (move ^seq <n>)
+  - (want)
+  - (rotated)
+-->
+  (make check ^flag yes))
+`)
+	// Solved-face checks: all nine stickers of a face share one color.
+	for _, face := range cubeFaces {
+		fmt.Fprintf(&b, "\n(p check-%s\n  (check ^flag yes)\n", strings.ToLower(face))
+		fmt.Fprintf(&b, "  (sticker ^face %s ^pos 1 ^color <c>)\n", face)
+		for pos := 2; pos <= 9; pos++ {
+			fmt.Fprintf(&b, "  (sticker ^face %s ^pos %d ^color <c>)\n", face, pos)
+		}
+		fmt.Fprintf(&b, "-->\n  (make faceok ^face %s))\n", face)
+	}
+	// Color-analysis rule families. The paper's Rubik (James Allen, 70
+	// rules) shows ~31 tokens examined per linear opposite-memory scan
+	// (Table 4-2), i.e. weakly selective joins over the sticker set.
+	// These families reproduce that profile: the second condition
+	// element's memory holds every sticker and is discriminated only by
+	// color, so list memories scan ~54 tokens where hash memories touch
+	// ~9. The final condition element (class guard, never asserted)
+	// keeps them from ever firing — they contribute pure match load,
+	// churned by every sticker modify.
+	for _, face := range cubeFaces {
+		// The second element's memory holds all 54 stickers (hash
+		// narrows it to one color, ~9); the third joins on color and
+		// position, so hashing also discriminates its deletes.
+		fmt.Fprintf(&b, `
+(p find-color-line-%[2]s
+  (sticker ^face %[1]s ^pos 1 ^color <c>)
+  (sticker ^color <c> ^pos <p2> ^face <f2>)
+  (sticker ^color <c> ^pos <p2> ^face {<f3> <> <f2>})
+  (guard ^flag on)
+-->
+  (make obs ^face %[1]s))
+
+(p find-color-diag-%[2]s
+  (sticker ^face %[1]s ^pos 9 ^color <c>)
+  (sticker ^color <c> ^pos <p2> ^face <f2>)
+  (sticker ^color <c> ^pos <p2> ^face {<f3> <> <f2>})
+  (guard ^flag on)
+-->
+  (make obs ^face %[1]s))
+`, face, strings.ToLower(face))
+	}
+	for _, pos := range []int{2, 4, 5, 6, 8} {
+		fmt.Fprintf(&b, `
+(p spot-ring-%[1]d
+  (sticker ^pos %[1]d ^color <c> ^face <f1>)
+  (sticker ^pos %[1]d ^color <c> ^face {<f2> <> <f1>})
+  (guard ^flag on)
+-->
+  (make obs ^face <f1>))
+`, pos)
+	}
+	b.WriteString(`
+(p solved
+  (check ^flag yes)
+  (faceok ^face U)
+  (faceok ^face D)
+  (faceok ^face F)
+  (faceok ^face B)
+  (faceok ^face L)
+  (faceok ^face R)
+-->
+  (write cube-solved (crlf))
+  (halt))
+`)
+	// Initial working memory: solved cube, step counter, move list.
+	b.WriteString("\n(make step ^num 1)\n")
+	for _, face := range cubeFaces {
+		for pos := 1; pos <= 9; pos++ {
+			fmt.Fprintf(&b, "(make sticker ^face %s ^pos %d ^color %s)\n", face, pos, faceColor[face])
+		}
+	}
+	seq := 1
+	scramble := RubikScramble(scrambleLen)
+	for _, mv := range scramble {
+		fmt.Fprintf(&b, "(make move ^seq %d ^face %s ^dir %s)\n", seq, mv.Face, dirName(mv.CW))
+		seq++
+	}
+	for i := len(scramble) - 1; i >= 0; i-- {
+		mv := scramble[i]
+		fmt.Fprintf(&b, "(make move ^seq %d ^face %s ^dir %s)\n", seq, mv.Face, dirName(!mv.CW))
+		seq++
+	}
+	return b.String()
+}
+
+func dirName(cw bool) string {
+	if cw {
+		return "cw"
+	}
+	return "ccw"
+}
+
+// writeRotationRule emits one quarter turn as five 4-cycle productions
+// plus a collector. Each cycle rule matches the want marker and the four
+// stickers of one permutation cycle, rewrites their colors and drops a
+// cycdone marker; the collector fires when all five cycles are done.
+// Keeping condition elements per rule small (6) matters in the parallel
+// matchers: a very wide join chain lets concurrently in-flight
+// delete/add pairs materialize exponentially many transient token
+// combinations before the deletes unwind them.
+func writeRotationRule(b *strings.Builder, face string, cw bool) {
+	cycles := faceCycles[face]
+	varOf := func(s cubeSlot) string {
+		return fmt.Sprintf("<c%s%d>", strings.ToLower(s.face), s.pos)
+	}
+	lf, dir := strings.ToLower(face), dirName(cw)
+	for ci, cyc := range cycles {
+		fmt.Fprintf(b, "\n(p rotate-%s-%s-c%d\n  (want ^face %s ^dir %s)\n", lf, dir, ci+1, face, dir)
+		for _, s := range cyc {
+			fmt.Fprintf(b, "  (sticker ^face %s ^pos %d ^color %s)\n", s.face, s.pos, varOf(s))
+		}
+		fmt.Fprintf(b, "  - (cycdone ^face %s ^idx %d)\n-->\n", face, ci+1)
+		for i := range cyc {
+			src, dst := cyc[i], cyc[(i+1)%4]
+			if !cw {
+				src, dst = dst, src
+			}
+			// Destination CE index: position of dst within this cycle,
+			// offset by the want marker at CE 1.
+			dstCE := 0
+			for k, s := range cyc {
+				if s == dst {
+					dstCE = k + 2
+				}
+			}
+			fmt.Fprintf(b, "  (modify %d ^color %s)\n", dstCE, varOf(src))
+		}
+		fmt.Fprintf(b, "  (make cycdone ^face %s ^idx %d))\n", face, ci+1)
+	}
+	// Collector: all five cycles done -> the turn is complete.
+	fmt.Fprintf(b, "\n(p rotate-%s-%s-done\n  (want ^face %s ^dir %s)\n", lf, dir, face, dir)
+	for ci := range cycles {
+		fmt.Fprintf(b, "  (cycdone ^face %s ^idx %d)\n", face, ci+1)
+	}
+	b.WriteString("-->\n  (remove 1)\n")
+	for ci := range cycles {
+		fmt.Fprintf(b, "  (remove %d)\n", ci+2)
+	}
+	b.WriteString("  (make rotated ^flag yes))\n")
+}

@@ -1,0 +1,144 @@
+// Package workload provides the three benchmark programs of the paper's
+// evaluation (§4): Tourney, Rubik and Weaver. The originals (Barabash's
+// tournament scheduler, James Allen's Rubik solver, Joobbani's 637-rule
+// Weaver router) are not distributed, so each is rebuilt to preserve the
+// property the paper's analysis relies on: Tourney's cross-product
+// joins, Rubik's modify-heavy wide joins, and Weaver's large network of
+// selective joins. See DESIGN.md for the substitution rationale.
+package workload
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Tourney generates a round-robin tournament scheduler for the given
+// number of teams. Its signature property is the paper's Tourney
+// pathology: key rules join condition elements that share no variables
+// (team x team pairing, current-round x pair placement), so those
+// two-input nodes have no equality tests, every token of each such node
+// lands on a single hash line, and the line locks serialize — which is
+// why the paper's Tourney never exceeded ~2.7x speed-up (§4.2).
+//
+// The schedule is built in three phases: generate all pairings (a pure
+// cross-product over teams, counted so the phase ends deterministically
+// under LEX), assign every pairing to the earliest round where neither
+// team is busy (deferring stamped per round), then sweep the busy
+// markers and report. With 16 teams the run processes on the order of a
+// thousand working-memory changes, the scale of Table 4-1.
+func Tourney(teams int) string {
+	if teams < 2 {
+		teams = 2
+	}
+	expected := teams * (teams - 1) / 2
+	var b strings.Builder
+	fmt.Fprintf(&b, `; Tourney: round-robin schedule assignment (%[1]d teams, %[2]d pairings).
+(literalize context phase)
+(literalize team id)
+(literalize paircount n)
+(literalize pair t1 t2 round skip)
+(literalize current round)
+(literalize busy round team)
+
+; Phase gen: the team x team join shares no variables (its only
+; inter-element test is the non-equality <b> > <a>), making it a
+; cross-product node; so is the join against the pair counter.
+(p gen-pairs
+  (context ^phase gen)
+  (team ^id <a>)
+  (team ^id {<b> > <a>})
+  (paircount ^n <c>)
+  - (pair ^t1 <a> ^t2 <b>)
+-->
+  (make pair ^t1 <a> ^t2 <b> ^round nil ^skip nil)
+  (modify 4 ^n (compute <c> + 1)))
+
+(p start-assign
+  (context ^phase gen)
+  (paircount ^n %[2]d)
+-->
+  (modify 1 ^phase assign)
+  (make current ^round 1))
+
+; Phase assign: place a pairing into the current round when neither team
+; is busy there. The (current) x (pair) join again shares no variables.
+(p assign
+  (context ^phase assign)
+  (current ^round <r>)
+  (pair ^t1 <a> ^t2 <b> ^round nil ^skip <> <r>)
+  - (busy ^round <r> ^team <a>)
+  - (busy ^round <r> ^team <b>)
+-->
+  (modify 3 ^round <r>)
+  (make busy ^round <r> ^team <a>)
+  (make busy ^round <r> ^team <b>))
+
+; A pairing whose team is already busy this round is deferred by
+; stamping it with the round number; it is retried next round.
+(p defer-first
+  (context ^phase assign)
+  (current ^round <r>)
+  (pair ^t1 <a> ^round nil ^skip <> <r>)
+  (busy ^round <r> ^team <a>)
+-->
+  (modify 3 ^skip <r>))
+
+(p defer-second
+  (context ^phase assign)
+  (current ^round <r>)
+  (pair ^t2 <b> ^round nil ^skip <> <r>)
+  (busy ^round <r> ^team <b>)
+-->
+  (modify 3 ^skip <r>))
+
+; When every unassigned pairing is deferred for this round, advance.
+(p next-round
+  (context ^phase assign)
+  (current ^round <r>)
+  (pair ^round nil)
+  - (pair ^round nil ^skip <> <r>)
+-->
+  (modify 2 ^round (compute <r> + 1)))
+
+(p all-assigned
+  (context ^phase assign)
+  - (pair ^round nil)
+-->
+  (modify 1 ^phase report))
+
+; Phase report: consume the busy markers, verify the schedule, halt.
+(p sweep-busy
+  (context ^phase report)
+  (busy ^round <r> ^team <t>)
+-->
+  (remove 2))
+
+(p clash-shared-second
+  (context ^phase report)
+  (pair ^t2 <b> ^round {<r> <> nil} ^t1 <a>)
+  (pair ^t2 <b> ^round <r> ^t1 {<c> <> <a>})
+-->
+  (write clash <a> <c> <b> (crlf)))
+
+(p clash-cross
+  (context ^phase report)
+  (pair ^t1 <a> ^round {<r> <> nil})
+  (pair ^t2 <a> ^round <r>)
+-->
+  (write clash cross <a> (crlf)))
+
+(p report-done
+  (context ^phase report)
+  - (busy ^round <rr> ^team <tt>)
+-->
+  (write schedule-complete (crlf))
+  (halt))
+
+(make context ^phase gen)
+(make paircount ^n 0)
+`, teams, expected)
+	for i := 1; i <= teams; i++ {
+		fmt.Fprintf(&b, "(make team ^id %d)\n", i)
+	}
+	return b.String()
+}

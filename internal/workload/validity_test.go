@@ -1,0 +1,202 @@
+package workload_test
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/conflict"
+	"repro/internal/engine"
+	"repro/internal/ops5"
+	"repro/internal/rete"
+	"repro/internal/seqmatch"
+	"repro/internal/workload"
+)
+
+// runWM executes a program on vs2 and returns the final working memory
+// as printed strings plus the run result.
+func runWM(t *testing.T, src string) ([]string, *engine.Result, string) {
+	t.Helper()
+	prog, err := ops5.Parse(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	net, err := rete.Compile(prog)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	cs := conflict.NewSet()
+	m := seqmatch.New(net, seqmatch.VS2, 0, cs)
+	var out strings.Builder
+	e, err := engine.New(prog, net, cs, m, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Init(); err != nil {
+		t.Fatal(err)
+	}
+	res, err := e.Run(engine.Options{MaxCycles: 100000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wmes []string
+	for _, w := range e.WM.Snapshot() {
+		wmes = append(wmes, w.String(prog.Symbols, prog.AttrName))
+	}
+	return wmes, res, out.String()
+}
+
+func attrsOf(s string) map[string]string {
+	out := map[string]string{}
+	fields := strings.Fields(strings.Trim(s, "()"))
+	for i := 1; i+1 < len(fields); i += 2 {
+		out[strings.TrimPrefix(fields[i], "^")] = fields[i+1]
+	}
+	return out
+}
+
+// TestTourneyScheduleIsValid checks the domain result, not just
+// termination: every pair assigned exactly once, and no team plays
+// twice in one round.
+func TestTourneyScheduleIsValid(t *testing.T) {
+	teams := 10
+	wmes, res, out := runWM(t, workload.Tourney(teams))
+	if !res.Halted {
+		t.Fatal("did not halt")
+	}
+	if strings.Contains(out, "clash") {
+		t.Fatalf("clash detected by in-program sanity rules: %q", out)
+	}
+	type slot struct{ round, team string }
+	seenPair := map[string]bool{}
+	seenSlot := map[slot]bool{}
+	pairs := 0
+	for _, w := range wmes {
+		if !strings.HasPrefix(w, "(pair ") {
+			continue
+		}
+		a := attrsOf(w)
+		if a["round"] == "" || a["round"] == "nil" {
+			t.Fatalf("unassigned pair survived: %s", w)
+		}
+		pairs++
+		key := a["t1"] + "/" + a["t2"]
+		if seenPair[key] {
+			t.Fatalf("pair %s appears twice", key)
+		}
+		seenPair[key] = true
+		for _, tm := range []string{a["t1"], a["t2"]} {
+			s := slot{a["round"], tm}
+			if seenSlot[s] {
+				t.Fatalf("team %s plays twice in round %s", tm, a["round"])
+			}
+			seenSlot[s] = true
+		}
+	}
+	if want := teams * (teams - 1) / 2; pairs != want {
+		t.Fatalf("%d pairs scheduled, want %d", pairs, want)
+	}
+}
+
+// TestRubikCubeActuallySolved verifies the final sticker state, not
+// just the program's own solved message.
+func TestRubikCubeActuallySolved(t *testing.T) {
+	wmes, res, out := runWM(t, workload.Rubik(8))
+	if !res.Halted || !strings.Contains(out, "cube-solved") {
+		t.Fatalf("halted=%v out=%q", res.Halted, out)
+	}
+	faceColors := map[string]map[string]bool{}
+	stickers := 0
+	for _, w := range wmes {
+		if !strings.HasPrefix(w, "(sticker ") {
+			continue
+		}
+		a := attrsOf(w)
+		stickers++
+		if faceColors[a["face"]] == nil {
+			faceColors[a["face"]] = map[string]bool{}
+		}
+		faceColors[a["face"]][a["color"]] = true
+	}
+	if stickers != 54 {
+		t.Fatalf("%d stickers, want 54", stickers)
+	}
+	for face, colors := range faceColors {
+		if len(colors) != 1 {
+			t.Fatalf("face %s shows %d colors: %v", face, len(colors), colors)
+		}
+	}
+}
+
+// TestWeaverRoutesWithinBounds verifies each routed length is at least
+// the Manhattan distance between the net's pins (shorter is impossible)
+// and that every net reports a length.
+func TestWeaverRoutesWithinBounds(t *testing.T) {
+	nets := 8
+	src := workload.Weaver(nets, 9)
+	_, res, out := runWM(t, src)
+	if !res.Halted {
+		t.Fatal("did not halt")
+	}
+	// Collect the declared pins from the generated source.
+	type pin struct{ sx, sy, tx, ty int }
+	pins := map[int]pin{}
+	for _, line := range strings.Split(src, "\n") {
+		if !strings.HasPrefix(line, "(make net ") {
+			continue
+		}
+		a := attrsOf(line)
+		id, _ := strconv.Atoi(a["id"])
+		p := pin{}
+		p.sx, _ = strconv.Atoi(a["sx"])
+		p.sy, _ = strconv.Atoi(a["sy"])
+		p.tx, _ = strconv.Atoi(a["tx"])
+		p.ty, _ = strconv.Atoi(a["ty"])
+		pins[id] = p
+	}
+	for n := 1; n <= nets; n++ {
+		marker := fmt.Sprintf("net %d length ", n)
+		i := strings.Index(out, marker)
+		if i < 0 {
+			t.Fatalf("net %d missing from report: %q", n, out)
+		}
+		rest := out[i+len(marker):]
+		lenStr := strings.Fields(rest)[0]
+		length, err := strconv.Atoi(lenStr)
+		if err != nil {
+			t.Fatalf("net %d length %q", n, lenStr)
+		}
+		p := pins[n]
+		manhattan := abs(p.tx-p.sx) + abs(p.ty-p.sy)
+		if length < manhattan {
+			t.Fatalf("net %d routed length %d below Manhattan distance %d", n, length, manhattan)
+		}
+	}
+}
+
+func abs(v int) int {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+// TestMonkeysPlan locks in the classic plan.
+func TestMonkeysPlan(t *testing.T) {
+	_, res, out := runWM(t, workload.Monkeys())
+	if !res.Halted {
+		t.Fatal("monkeys did not halt")
+	}
+	for _, step := range []string{"walks", "pushes", "climbs", "grabs", "eats"} {
+		if !strings.Contains(out, step) {
+			t.Fatalf("plan missing %q: %q", step, out)
+		}
+	}
+	// Order: walk before push before climb before grab before eat.
+	idx := func(s string) int { return strings.Index(out, s) }
+	if !(idx("walks") < idx("pushes") && idx("pushes") < idx("climbs") &&
+		idx("climbs") < idx("grabs") && idx("grabs") < idx("eats")) {
+		t.Fatalf("plan out of order: %q", out)
+	}
+}

@@ -1,0 +1,262 @@
+package workload
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Weaver generates a VLSI routing workload in the spirit of Joobbani's
+// Weaver (the paper's 637-rule program): a grid of cells, a set of
+// two-pin nets, and a per-net family of Lee-style wavefront expansion
+// rules. Each net gets its own rule family with the net id baked in as
+// a constant, so the compiled network grows linearly with the net count
+// — reproducing Weaver's "large program, large network, many small node
+// memories" profile, which hashes well and parallelizes to ~8-9x in the
+// paper.
+//
+// Expansion is bounding-box routing, the standard VLSI practice: each
+// net's adjacency relation is restricted to its own bounding box (plus
+// margin), so wavefronts, mark populations and node memories stay small
+// — the ~10-token memories of the paper's Table 4-2 — and the generator
+// verifies by BFS that every net is routable inside its box, so runs
+// always halt.
+//
+// nets is the number of two-pin nets (rule count = 3*nets + fixed),
+// grid the side length of the routing grid.
+func Weaver(nets, grid int) string {
+	if grid < 6 {
+		grid = 6
+	}
+	if nets < 1 {
+		nets = 1
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, `; Weaver: bounding-box wavefront routing, %d nets on a %dx%d grid.
+(literalize context phase)
+(literalize cell x y state)
+(literalize adj net x1 y1 x2 y2)
+(literalize net id sx sy tx ty status)
+(literalize front net x y dist)
+(literalize mark net x y dist)
+(literalize routed net length)
+(literalize tally net count)
+`, nets, grid, grid)
+	// Per-net rule family. Constants differ per net, so alpha chains and
+	// joins are not shared between families: the network scales with the
+	// program like the real Weaver's did.
+	for n := 1; n <= nets; n++ {
+		fmt.Fprintf(&b, `
+(p start-net-%[1]d
+  (context ^phase route)
+  (net ^id %[1]d ^status pending ^sx <sx> ^sy <sy>)
+-->
+  (modify 2 ^status routing)
+  (make tally ^net %[1]d ^count 0)
+  (make front ^net %[1]d ^x <sx> ^y <sy> ^dist 0)
+  (make mark ^net %[1]d ^x <sx> ^y <sy> ^dist 0))
+
+; The expansion counter (tally) is the classic OPS5 counter idiom: every
+; firing modifies it, so the join chain below it re-derives — real
+; per-change match load that spreads across the adj/cell hash lines.
+(p expand-%[1]d
+  (context ^phase route)
+  (tally ^net %[1]d ^count <c>)
+  (front ^net %[1]d ^x <x> ^y <y> ^dist <d>)
+  (adj ^net %[1]d ^x1 <x> ^y1 <y> ^x2 <nx> ^y2 <ny>)
+  (cell ^x <nx> ^y <ny> ^state free)
+  - (mark ^net %[1]d ^x <nx> ^y <ny>)
+  - (net ^id %[1]d ^status done)
+-->
+  (modify 2 ^count (compute <c> + 1))
+  (make mark ^net %[1]d ^x <nx> ^y <ny> ^dist (compute <d> + 1))
+  (make front ^net %[1]d ^x <nx> ^y <ny> ^dist (compute <d> + 1)))
+
+(p arrive-%[1]d
+  (context ^phase route)
+  (net ^id %[1]d ^status routing ^tx <tx> ^ty <ty>)
+  (mark ^net %[1]d ^x <tx> ^y <ty> ^dist <d>)
+-->
+  (modify 2 ^status done)
+  (make routed ^net %[1]d ^length <d>))
+`, n)
+		// Per-net monitor families. This is where Weaver's 637-rule scale
+		// comes from: each net carries thirty analysis rules (three shapes
+		// by ten distance thresholds), every one with small, selective
+		// memories. A single mark or front change fans out across many of
+		// them — the paper's ~240 node activations per WM change — while
+		// the per-node memories stay at the ~10-token scale of Table 4-2.
+		// The guard class is never asserted, so they are pure match load.
+		for m := 1; m <= 10; m++ {
+			fmt.Fprintf(&b, `
+(p mon-cell-%[1]d-%[2]d
+  (mark ^net %[1]d ^x <x> ^y <y> ^dist {<d> >= %[2]d})
+  (cell ^x <x> ^y <y> ^state free)
+  (guard ^x <x> ^y <y>)
+-->
+  (make obs ^net %[1]d))
+
+(p mon-wave-%[1]d-%[2]d
+  (front ^net %[1]d ^x <x> ^y <y> ^dist {<d> >= %[2]d})
+  (mark ^net %[1]d ^x <x> ^y <y> ^dist <d2>)
+  (guard ^x <x> ^y <y>)
+-->
+  (make obs ^net %[1]d))
+
+(p mon-col-%[1]d-%[2]d
+  (mark ^net %[1]d ^x <x> ^y <y> ^dist {<d> >= %[2]d})
+  (mark ^net %[1]d ^x <x> ^y <> <y>)
+  (guard ^x <x>)
+-->
+  (make obs ^net %[1]d))
+`, n, m)
+		}
+	}
+	// Shared wrap-up rules. Fronts and marks are swept in the report
+	// phase — during routing they stay put, so the per-net token
+	// memories only ever see cheap single-token right activations.
+	b.WriteString(`
+(p all-routed
+  (context ^phase route)
+  - (net ^status pending)
+  - (net ^status routing)
+-->
+  (modify 1 ^phase report))
+
+(p sweep-front
+  (context ^phase report)
+  (front ^net <n> ^x <x> ^y <y>)
+-->
+  (remove 2))
+
+(p sweep-mark
+  (context ^phase report)
+  (mark ^net <n> ^x <x> ^y <y>)
+-->
+  (remove 2))
+
+(p report-net
+  (context ^phase report)
+  (routed ^net <n> ^length <l>)
+-->
+  (write net <n> length <l> (crlf))
+  (remove 2))
+
+(p report-done
+  (context ^phase report)
+  - (routed ^net <n>)
+  - (front ^net <fn>)
+  - (mark ^net <mn>)
+-->
+  (write routing-complete (crlf))
+  (halt))
+
+(make context ^phase route)
+`)
+	// Grid cells with deterministically sprinkled blockages.
+	blocked := func(x, y int) bool {
+		return x > 1 && x < grid && (x*7+y*13)%11 == 0
+	}
+	for x := 1; x <= grid; x++ {
+		for y := 1; y <= grid; y++ {
+			state := "free"
+			if blocked(x, y) {
+				state = "blocked"
+			}
+			fmt.Fprintf(&b, "(make cell ^x %d ^y %d ^state %s)\n", x, y, state)
+		}
+	}
+	// Nets with their bounding-box adjacency. The generator proves each
+	// net routable inside its box by BFS, adjusting the target row until
+	// it is; runs therefore always reach report-done.
+	clamp := func(v int) int {
+		if v < 1 {
+			return 1
+		}
+		if v > grid {
+			return grid
+		}
+		return v
+	}
+	for n := 1; n <= nets; n++ {
+		sx := clamp(1 + (n*5)%(grid-4))
+		sy := clamp(1 + (n-1)%(grid-1))
+		tx := clamp(sx + 3)
+		ty := clamp(1 + (n*3)%(grid-1))
+		for blocked(sx, sy) {
+			sy = sy%grid + 1
+		}
+		tries := 0
+		for blocked(tx, ty) || (tx == sx && ty == sy) ||
+			!boxRoutable(sx, sy, tx, ty, grid, blocked) {
+			ty = ty%grid + 1
+			if tries++; tries > grid {
+				// Fall back to a horizontal neighbour, always routable.
+				ty = sy
+				tx = sx + 1
+				break
+			}
+		}
+		fmt.Fprintf(&b, "(make net ^id %d ^sx %d ^sy %d ^tx %d ^ty %d ^status pending)\n",
+			n, sx, sy, tx, ty)
+		x0, x1, y0, y1 := boxOf(sx, sy, tx, ty, grid)
+		for x := x0; x <= x1; x++ {
+			for y := y0; y <= y1; y++ {
+				if x < x1 {
+					fmt.Fprintf(&b, "(make adj ^net %d ^x1 %d ^y1 %d ^x2 %d ^y2 %d)\n", n, x, y, x+1, y)
+					fmt.Fprintf(&b, "(make adj ^net %d ^x1 %d ^y1 %d ^x2 %d ^y2 %d)\n", n, x+1, y, x, y)
+				}
+				if y < y1 {
+					fmt.Fprintf(&b, "(make adj ^net %d ^x1 %d ^y1 %d ^x2 %d ^y2 %d)\n", n, x, y, x, y+1)
+					fmt.Fprintf(&b, "(make adj ^net %d ^x1 %d ^y1 %d ^x2 %d ^y2 %d)\n", n, x, y+1, x, y)
+				}
+			}
+		}
+	}
+	return b.String()
+}
+
+// boxOf is the net's bounding box with a one-cell margin, clamped.
+func boxOf(sx, sy, tx, ty, grid int) (x0, x1, y0, y1 int) {
+	min := func(a, b int) int {
+		if a < b {
+			return a
+		}
+		return b
+	}
+	max := func(a, b int) int {
+		if a > b {
+			return a
+		}
+		return b
+	}
+	x0, x1 = max(1, min(sx, tx)-1), min(grid, max(sx, tx)+1)
+	y0, y1 = max(1, min(sy, ty)-1), min(grid, max(sy, ty)+1)
+	return
+}
+
+// boxRoutable runs BFS over free cells inside the bounding box.
+func boxRoutable(sx, sy, tx, ty, grid int, blocked func(x, y int) bool) bool {
+	x0, x1, y0, y1 := boxOf(sx, sy, tx, ty, grid)
+	type pt struct{ x, y int }
+	seen := map[pt]bool{{sx, sy}: true}
+	queue := []pt{{sx, sy}}
+	for len(queue) > 0 {
+		c := queue[0]
+		queue = queue[1:]
+		if c.x == tx && c.y == ty {
+			return true
+		}
+		for _, d := range [4]pt{{1, 0}, {-1, 0}, {0, 1}, {0, -1}} {
+			n := pt{c.x + d.x, c.y + d.y}
+			if n.x < x0 || n.x > x1 || n.y < y0 || n.y > y1 {
+				continue
+			}
+			if seen[n] || blocked(n.x, n.y) {
+				continue
+			}
+			seen[n] = true
+			queue = append(queue, n)
+		}
+	}
+	return false
+}

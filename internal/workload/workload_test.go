@@ -1,0 +1,197 @@
+package workload_test
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/conflict"
+	"repro/internal/engine"
+	"repro/internal/lispemu"
+	"repro/internal/multimax"
+	"repro/internal/ops5"
+	"repro/internal/parmatch"
+	"repro/internal/rete"
+	"repro/internal/seqmatch"
+	"repro/internal/workload"
+)
+
+const maxCycles = 20000
+
+func compile(t *testing.T, src string) (*ops5.Program, *rete.Network) {
+	t.Helper()
+	prog, err := ops5.Parse(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	net, err := rete.Compile(prog)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	return prog, net
+}
+
+// runWith executes src on the named matcher kind and returns the result
+// plus program output.
+func runWith(t *testing.T, src, kind string) (*engine.Result, string) {
+	t.Helper()
+	prog, net := compile(t, src)
+	cs := conflict.NewSet()
+	var m engine.Matcher
+	switch kind {
+	case "vs1":
+		m = seqmatch.New(net, seqmatch.VS1, 0, cs)
+	case "vs2":
+		m = seqmatch.New(net, seqmatch.VS2, 0, cs)
+	case "lisp":
+		m = lispemu.New(prog, net, cs)
+	case "par":
+		pm := parmatch.New(net, parmatch.Config{Procs: 4, Queues: 2, Scheme: parmatch.SchemeSimple}, cs)
+		defer pm.Close()
+		m = pm
+	case "par-mrsw":
+		pm := parmatch.New(net, parmatch.Config{Procs: 4, Queues: 4, Scheme: parmatch.SchemeMRSW}, cs)
+		defer pm.Close()
+		m = pm
+	default:
+		t.Fatalf("unknown matcher %q", kind)
+	}
+	var out strings.Builder
+	e, err := engine.New(prog, net, cs, m, &out)
+	if err != nil {
+		t.Fatalf("engine: %v", err)
+	}
+	if err := e.Init(); err != nil {
+		t.Fatalf("init: %v", err)
+	}
+	res, err := e.Run(engine.Options{MaxCycles: maxCycles, RecordFiring: true})
+	if err != nil {
+		t.Fatalf("run (%s): %v", kind, err)
+	}
+	return res, out.String()
+}
+
+func TestTourneyCompletes(t *testing.T) {
+	src := workload.Tourney(10)
+	res, out := runWith(t, src, "vs2")
+	if !res.Halted {
+		t.Fatalf("tourney did not halt: %d cycles", res.Cycles)
+	}
+	if !strings.Contains(out, "schedule-complete") {
+		t.Fatalf("missing completion output: %q", out)
+	}
+	if strings.Contains(out, "clash") {
+		t.Fatalf("schedule has clashes: %q", out)
+	}
+}
+
+func TestRubikSolves(t *testing.T) {
+	src := workload.Rubik(6)
+	res, out := runWith(t, src, "vs2")
+	if !res.Halted {
+		t.Fatalf("rubik did not halt after %d cycles", res.Cycles)
+	}
+	if !strings.Contains(out, "cube-solved") {
+		t.Fatalf("cube not solved: %q", out)
+	}
+	// 2*scrambleLen turns, each one apply-move + rotate + advance, plus
+	// moves-done, 6 face checks and solved.
+	wantMin := 6 * 2 * 3
+	if res.Cycles < wantMin {
+		t.Errorf("suspiciously few cycles: %d < %d", res.Cycles, wantMin)
+	}
+}
+
+func TestWeaverRoutesAllNets(t *testing.T) {
+	src := workload.Weaver(6, 8)
+	res, out := runWith(t, src, "vs2")
+	if !res.Halted {
+		t.Fatalf("weaver did not halt after %d cycles", res.Cycles)
+	}
+	if !strings.Contains(out, "routing-complete") {
+		t.Fatalf("missing completion: %q", out)
+	}
+	for n := 1; n <= 6; n++ {
+		if !strings.Contains(out, fmt.Sprintf("net %d length", n)) {
+			t.Errorf("net %d not reported: %q", n, out)
+		}
+	}
+}
+
+// TestAllMatchersAgree runs each workload on every matcher and requires
+// identical firing sequences and outputs — the core cross-matcher
+// equivalence property.
+func TestAllMatchersAgree(t *testing.T) {
+	if testing.Short() {
+		t.Skip("cross-matcher sweep is slow")
+	}
+	workloads := map[string]string{
+		"tourney": workload.Tourney(8),
+		"rubik":   workload.Rubik(4),
+		"weaver":  workload.Weaver(4, 7),
+	}
+	kinds := []string{"vs1", "vs2", "lisp", "par", "par-mrsw"}
+	for name, src := range workloads {
+		name, src := name, src
+		t.Run(name, func(t *testing.T) {
+			ref, refOut := runWith(t, src, "vs2")
+			for _, kind := range kinds {
+				if kind == "vs2" {
+					continue
+				}
+				got, gotOut := runWith(t, src, kind)
+				if len(got.Firings) != len(ref.Firings) {
+					t.Fatalf("%s: %d firings, want %d", kind, len(got.Firings), len(ref.Firings))
+				}
+				for i := range ref.Firings {
+					if got.Firings[i].Rule != ref.Firings[i].Rule ||
+						fmt.Sprint(got.Firings[i].TimeTags) != fmt.Sprint(ref.Firings[i].TimeTags) {
+						t.Fatalf("%s: firing %d = %v, want %v", kind, i, got.Firings[i], ref.Firings[i])
+					}
+				}
+				if gotOut != refOut {
+					t.Fatalf("%s: output differs:\n got %q\nwant %q", kind, gotOut, refOut)
+				}
+			}
+		})
+	}
+}
+
+// TestSimulatorAgreesOnWorkloads runs the Multimax simulation on each
+// workload and compares firing logs with the sequential reference.
+func TestSimulatorAgreesOnWorkloads(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation sweep is slow")
+	}
+	workloads := map[string]string{
+		"tourney": workload.Tourney(8),
+		"rubik":   workload.Rubik(4),
+		"weaver":  workload.Weaver(4, 7),
+	}
+	for name, src := range workloads {
+		name, src := name, src
+		t.Run(name, func(t *testing.T) {
+			ref, _ := runWith(t, src, "vs2")
+			want := make([]string, len(ref.Firings))
+			for i, f := range ref.Firings {
+				want[i] = fmt.Sprintf("%s@%d", f.Rule, f.Cycle)
+			}
+			prog, net := compile(t, src)
+			res, err := multimax.Simulate(prog, net, multimax.Config{
+				Procs: 13, Queues: 8, Scheme: parmatch.SchemeMRSW,
+				Pipelined: true, MaxCycles: maxCycles,
+			})
+			if err != nil {
+				t.Fatalf("simulate: %v", err)
+			}
+			if len(res.FiringLog) != len(want) {
+				t.Fatalf("firings: %d want %d", len(res.FiringLog), len(want))
+			}
+			for i := range want {
+				if res.FiringLog[i] != want[i] {
+					t.Fatalf("firing %d: %s want %s", i, res.FiringLog[i], want[i])
+				}
+			}
+		})
+	}
+}
