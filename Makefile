@@ -1,0 +1,36 @@
+# Developer entry points. `make check` is the tier-1 gate: everything a
+# change must keep green.
+
+GO ?= go
+
+.PHONY: all build test race vet check bench clean
+
+all: build
+
+# Compile every package and the two binaries into ./bin.
+build:
+	$(GO) build ./...
+	$(GO) build -o bin/ops5run ./cmd/ops5run
+	$(GO) build -o bin/ops5d ./cmd/ops5d
+	$(GO) build -o bin/psmbench ./cmd/psmbench
+
+test:
+	$(GO) test ./...
+
+# Race-detect the concurrent subsystems: the inference server and the
+# parallel matcher.
+race:
+	$(GO) test -race ./internal/server ./internal/parmatch
+
+vet:
+	$(GO) vet ./...
+
+check: build vet test race
+
+# Refresh BENCH_server.json and print the server throughput benchmark.
+bench:
+	$(GO) test -run TestBenchServerJSON -v ./internal/server
+	$(GO) test -bench ServerThroughput -benchtime 3x -run '^$$' ./internal/server
+
+clean:
+	rm -rf bin

@@ -1,0 +1,72 @@
+// Command ops5d is the OPS5 inference daemon: it hosts many concurrent
+// engine sessions over shared read-only Rete networks and serves the
+// HTTP/JSON API of internal/server.
+//
+// Usage:
+//
+//	ops5d [-addr :8726] [-max-sessions 256] [-workers 0]
+//	      [-max-cycles 10000] [-timeout 5s] [-max-batch 4096]
+//
+// SIGINT/SIGTERM drain in-flight requests before exiting.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/server"
+)
+
+func main() {
+	addr := flag.String("addr", ":8726", "listen address")
+	maxSessions := flag.Int("max-sessions", 256, "live session cap")
+	workers := flag.Int("workers", 0, "request worker pool size (0 = 2x CPU)")
+	maxCycles := flag.Int("max-cycles", 10000, "default recognize-act cycle budget per request (<0 = unlimited)")
+	timeout := flag.Duration("timeout", 5*time.Second, "default per-request run budget")
+	maxBatch := flag.Int("max-batch", 4096, "max WM changes per request")
+	drain := flag.Duration("drain", 30*time.Second, "shutdown drain budget")
+	flag.Parse()
+	if flag.NArg() != 0 {
+		fmt.Fprintln(os.Stderr, "usage: ops5d [flags]  (see -h)")
+		os.Exit(2)
+	}
+
+	srv := server.New(server.Options{
+		MaxSessions:      *maxSessions,
+		Workers:          *workers,
+		DefaultMaxCycles: *maxCycles,
+		DefaultTimeout:   *timeout,
+		MaxBatch:         *maxBatch,
+	})
+	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
+
+	done := make(chan struct{})
+	sigs := make(chan os.Signal, 1)
+	signal.Notify(sigs, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		defer close(done)
+		sig := <-sigs
+		log.Printf("ops5d: %v — draining (budget %v)", sig, *drain)
+		ctx, cancel := context.WithTimeout(context.Background(), *drain)
+		defer cancel()
+		if err := httpSrv.Shutdown(ctx); err != nil {
+			log.Printf("ops5d: shutdown: %v", err)
+		}
+		srv.Close()
+	}()
+
+	log.Printf("ops5d: serving on %s", *addr)
+	if err := httpSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Fatalf("ops5d: %v", err)
+	}
+	<-done
+	log.Printf("ops5d: drained, bye")
+}

@@ -11,47 +11,63 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	psme "repro"
 )
 
 func main() {
-	matcher := flag.String("matcher", "vs2", "match backend: vs2, vs1, lisp, parallel")
-	procs := flag.Int("procs", 4, "match processes for -matcher parallel")
-	queues := flag.Int("queues", 2, "task queues for -matcher parallel")
-	locks := flag.String("locks", "simple", "line locks for -matcher parallel: simple or mrsw")
-	cycles := flag.Int("cycles", 0, "cycle limit (0 = unlimited)")
-	trace := flag.Bool("trace", false, "print each production firing")
-	dumpWM := flag.Bool("wm", false, "print the final working memory")
-	program := flag.String("program", "", "run a built-in program (weaver, rubik, tourney, monkeys) instead of a file")
-	scale := flag.Float64("scale", 1.0, "built-in program scale")
-	flag.Parse()
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is main with its environment abstracted out, so tests can drive
+// the full CLI path and check exit codes: 0 success, 1 runtime or parse
+// failure, 2 usage error.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("ops5run", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	matcher := fs.String("matcher", "vs2", "match backend: vs2, vs1, lisp, parallel")
+	procs := fs.Int("procs", 4, "match processes for -matcher parallel")
+	queues := fs.Int("queues", 2, "task queues for -matcher parallel")
+	locks := fs.String("locks", "simple", "line locks for -matcher parallel: simple or mrsw")
+	cycles := fs.Int("cycles", 0, "cycle limit (0 = unlimited)")
+	trace := fs.Bool("trace", false, "print each production firing")
+	dumpWM := fs.Bool("wm", false, "print the final working memory")
+	program := fs.String("program", "", "run a built-in program (weaver, rubik, tourney, monkeys) instead of a file")
+	scale := fs.Float64("scale", 1.0, "built-in program scale")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	fail := func(err error) int {
+		fmt.Fprintln(stderr, "ops5run:", err)
+		return 1
+	}
 
 	var src string
 	switch {
 	case *program != "":
 		s, err := psme.BenchmarkProgram(*program, *scale)
 		if err != nil {
-			fatal(err)
+			return fail(err)
 		}
 		src = s
-	case flag.NArg() == 1:
-		data, err := os.ReadFile(flag.Arg(0))
+	case fs.NArg() == 1:
+		data, err := os.ReadFile(fs.Arg(0))
 		if err != nil {
-			fatal(err)
+			return fail(err)
 		}
 		src = string(data)
 	default:
-		fmt.Fprintln(os.Stderr, "usage: ops5run [flags] file.ops5  (or -program name; see -h)")
-		os.Exit(2)
+		fmt.Fprintln(stderr, "usage: ops5run [flags] file.ops5  (or -program name; see -h)")
+		return 2
 	}
 
 	prog, err := psme.Parse(src)
 	if err != nil {
-		fatal(err)
+		return fail(err)
 	}
-	cfg := psme.Config{Output: os.Stdout, MatchProcs: *procs, TaskQueues: *queues}
+	cfg := psme.Config{Output: stdout, MatchProcs: *procs, TaskQueues: *queues}
 	switch *matcher {
 	case "vs2":
 		cfg.Matcher = psme.MatcherVS2
@@ -62,7 +78,7 @@ func main() {
 	case "parallel":
 		cfg.Matcher = psme.MatcherParallel
 	default:
-		fatal(fmt.Errorf("unknown matcher %q", *matcher))
+		return fail(fmt.Errorf("unknown matcher %q", *matcher))
 	}
 	switch *locks {
 	case "simple":
@@ -70,28 +86,24 @@ func main() {
 	case "mrsw":
 		cfg.Locks = psme.LockMRSW
 	default:
-		fatal(fmt.Errorf("unknown lock scheme %q", *locks))
+		return fail(fmt.Errorf("unknown lock scheme %q", *locks))
 	}
 
 	eng, err := psme.New(prog, cfg)
 	if err != nil {
-		fatal(err)
+		return fail(err)
 	}
 	defer eng.Close()
 	res, err := eng.Run(psme.RunOptions{MaxCycles: *cycles, TraceFires: *trace})
 	if err != nil {
-		fatal(err)
+		return fail(err)
 	}
-	fmt.Fprintf(os.Stderr, "%d cycles, halted=%v, wm=%d, total %v (match %v)\n",
+	fmt.Fprintf(stderr, "%d cycles, halted=%v, wm=%d, total %v (match %v)\n",
 		res.Cycles, res.Halted, res.WMSize, res.Elapsed.Round(1000), res.MatchTime.Round(1000))
 	if *dumpWM {
 		for _, w := range eng.WorkingMemory() {
-			fmt.Println(w)
+			fmt.Fprintln(stdout, w)
 		}
 	}
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "ops5run:", err)
-	os.Exit(1)
+	return 0
 }

@@ -1,0 +1,71 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// writeProgram drops src into a temp .ops5 file and returns its path.
+func writeProgram(t *testing.T, src string) string {
+	t.Helper()
+	p := filepath.Join(t.TempDir(), "prog.ops5")
+	if err := os.WriteFile(p, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+const goodSrc = `
+(literalize count n)
+(p step (count ^n {<n> < 3}) --> (modify 1 ^n (compute <n> + 1)))
+(p done (count ^n 3) --> (halt))
+(make count ^n 0)
+`
+
+func TestRunExitCodes(t *testing.T) {
+	good := writeProgram(t, goodSrc)
+	bad := writeProgram(t, "(p broken (thing ^x")
+	cases := []struct {
+		name   string
+		args   []string
+		code   int
+		stderr string
+	}{
+		{"good file", []string{good}, 0, "halted=true"},
+		{"parse failure", []string{bad}, 1, "ops5run:"},
+		{"missing file", []string{filepath.Join(t.TempDir(), "nope.ops5")}, 1, "ops5run:"},
+		{"no args", nil, 2, "usage:"},
+		{"two files", []string{good, good}, 2, "usage:"},
+		{"bad flag", []string{"-nonsense"}, 2, "flag provided but not defined"},
+		{"bad matcher", []string{"-matcher", "vax", good}, 1, "unknown matcher"},
+		{"bad locks", []string{"-matcher", "parallel", "-locks", "spin", good}, 1, "unknown lock scheme"},
+		{"bad builtin", []string{"-program", "nosuch"}, 1, "ops5run:"},
+		{"builtin ok", []string{"-program", "monkeys"}, 0, "halted=true"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var stdout, stderr strings.Builder
+			code := run(tc.args, &stdout, &stderr)
+			if code != tc.code {
+				t.Fatalf("exit code %d, want %d (stderr: %s)", code, tc.code, stderr.String())
+			}
+			if !strings.Contains(stderr.String(), tc.stderr) {
+				t.Fatalf("stderr %q missing %q", stderr.String(), tc.stderr)
+			}
+		})
+	}
+}
+
+// TestRunDumpsWM checks -wm prints the final working memory to stdout.
+func TestRunDumpsWM(t *testing.T) {
+	good := writeProgram(t, goodSrc)
+	var stdout, stderr strings.Builder
+	if code := run([]string{"-wm", good}, &stdout, &stderr); code != 0 {
+		t.Fatalf("exit %d: %s", code, stderr.String())
+	}
+	if !strings.Contains(stdout.String(), "^n 3") {
+		t.Fatalf("wm dump missing final element:\n%s", stdout.String())
+	}
+}

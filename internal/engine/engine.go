@@ -7,6 +7,7 @@
 package engine
 
 import (
+	"errors"
 	"fmt"
 	"io"
 	"time"
@@ -17,6 +18,33 @@ import (
 	"repro/internal/rhs"
 	"repro/internal/wm"
 )
+
+// ErrLimit is the sentinel a RunHook wraps (or returns) to stop a run
+// because a per-request budget — cycles, wall-clock, anything the caller
+// meters — is exhausted. Callers distinguish a budget stop from a real
+// failure with errors.Is(err, ErrLimit); the Result returned alongside
+// it is still valid and describes the work done before the stop.
+var ErrLimit = errors.New("engine: run limit reached")
+
+// RunHook is called at the top of every recognize-act cycle with the
+// number of cycles completed so far. A non-nil return stops the run and
+// is returned from Run; wrap ErrLimit for budget stops.
+type RunHook func(cycles int) error
+
+// LimitHook builds a RunHook enforcing a cycle budget and a deadline.
+// maxCycles <= 0 disables the cycle check; a zero deadline disables the
+// time check. Both produce errors wrapping ErrLimit.
+func LimitHook(maxCycles int, deadline time.Time) RunHook {
+	return func(cycles int) error {
+		if maxCycles > 0 && cycles >= maxCycles {
+			return fmt.Errorf("%w: %d cycles", ErrLimit, cycles)
+		}
+		if !deadline.IsZero() && time.Now().After(deadline) {
+			return fmt.Errorf("%w: deadline exceeded after %d cycles", ErrLimit, cycles)
+		}
+		return nil
+	}
+}
 
 // Matcher is the interface every match backend implements.
 type Matcher interface {
@@ -58,6 +86,11 @@ type Options struct {
 	TraceFires   bool // print each firing to Out (OPS5 watch 1)
 	TraceWMEs    bool // also print each WM change to Out (OPS5 watch 2)
 	CheckEvery   bool // run matcher invariant checks after every cycle
+	// Hook, when non-nil, runs at the top of every cycle; a non-nil
+	// return stops the run (see RunHook and ErrLimit). The inference
+	// server uses it to enforce per-request cycle and time budgets on a
+	// long-lived session engine.
+	Hook RunHook
 }
 
 // Engine executes one program against one matcher.
@@ -71,6 +104,10 @@ type Engine struct {
 	// AcceptValues supplies (accept) results, consumed front to back;
 	// exhausted input yields the symbol end-of-file.
 	AcceptValues []wm.Value
+	// WMListener, when non-nil, observes every working-memory change the
+	// engine forwards to its matcher (true = assert, false = retract).
+	// The server uses it to report per-request WM deltas.
+	WMListener func(sign bool, w *wm.WME)
 
 	compiled  []*rhs.Compiled
 	halted    bool
@@ -89,6 +126,9 @@ func (e *Engine) traceChange(sign string, w *wm.WME) {
 
 // submit forwards a change to the matcher, accumulating match time.
 func (e *Engine) submit(sign bool, w *wm.WME) {
+	if e.WMListener != nil {
+		e.WMListener(sign, w)
+	}
 	t0 := time.Now()
 	e.Matcher.Submit(sign, w)
 	e.matchTime += time.Since(t0)
@@ -210,6 +250,12 @@ func (e *Engine) Run(opt Options) (*Result, error) {
 		if opt.MaxCycles > 0 && res.Cycles >= opt.MaxCycles {
 			break
 		}
+		if opt.Hook != nil {
+			if err := opt.Hook(res.Cycles); err != nil {
+				e.finish(res, start)
+				return res, err
+			}
+		}
 		inst := e.CS.Select(e.Prog.Strategy)
 		if inst == nil {
 			break
@@ -240,12 +286,17 @@ func (e *Engine) Run(opt Options) (*Result, error) {
 	if err := e.Matcher.CheckInvariants(); err != nil {
 		return res, err
 	}
+	e.finish(res, start)
+	return res, nil
+}
+
+// finish fills the summary fields of a Result.
+func (e *Engine) finish(res *Result, start time.Time) {
 	res.Halted = e.halted
 	res.WMSize = e.WM.Len()
 	res.Elapsed = time.Since(start)
 	res.MatchTime = e.matchTime
 	res.RHSInstr = e.rhsCount
-	return res, nil
 }
 
 // Assert adds a working-memory element from outside the recognize-act
@@ -255,6 +306,42 @@ func (e *Engine) Assert(fields []wm.Value) (*wm.WME, error) {
 	e.submit(true, w)
 	e.drain()
 	return w, e.Matcher.CheckInvariants()
+}
+
+// AssertBatch adds several working-memory elements, submitting every
+// change to the matcher before a single drain — one match phase for the
+// whole batch, so a pipelining matcher overlaps the entire batch. This
+// is the server's request-batching primitive.
+func (e *Engine) AssertBatch(batch [][]wm.Value) ([]*wm.WME, error) {
+	out := make([]*wm.WME, 0, len(batch))
+	for _, fields := range batch {
+		w := e.WM.Add(fields)
+		e.submit(true, w)
+		out = append(out, w)
+	}
+	e.drain()
+	return out, e.Matcher.CheckInvariants()
+}
+
+// RetractBatch removes the elements with the given time tags,
+// submitting every change before a single drain. It returns the tags
+// that named live elements; unknown or duplicate tags are skipped.
+func (e *Engine) RetractBatch(tags []int) ([]int, error) {
+	removed := make([]int, 0, len(tags))
+	if len(tags) > 0 {
+		byTag := make(map[int]*wm.WME)
+		for _, w := range e.WM.Snapshot() {
+			byTag[w.TimeTag] = w
+		}
+		for _, tag := range tags {
+			if w := byTag[tag]; w != nil && e.WM.Remove(w) {
+				e.submit(false, w)
+				removed = append(removed, tag)
+			}
+		}
+		e.drain()
+	}
+	return removed, e.Matcher.CheckInvariants()
 }
 
 // Retract removes the element with the given time tag (the OPS5

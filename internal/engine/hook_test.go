@@ -1,0 +1,108 @@
+package engine_test
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/conflict"
+	"repro/internal/engine"
+	"repro/internal/ops5"
+	"repro/internal/rete"
+	"repro/internal/seqmatch"
+	"repro/internal/wm"
+)
+
+// build wires a counter-program engine without running it.
+func build(t *testing.T) *engine.Engine {
+	t.Helper()
+	prog, err := ops5.Parse(counterSrc)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	net, err := rete.Compile(prog)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	cs := conflict.NewSet()
+	m := seqmatch.New(net, seqmatch.VS2, 0, cs)
+	e, err := engine.New(prog, net, cs, m, nil)
+	if err != nil {
+		t.Fatalf("engine: %v", err)
+	}
+	return e
+}
+
+// TestHookStopsRun checks that a RunHook budget error stops the cycle
+// loop, surfaces via errors.Is(err, ErrLimit), and still returns a
+// filled Result — the contract the server's per-request limits rely on.
+func TestHookStopsRun(t *testing.T) {
+	e := build(t)
+	if err := e.Init(); err != nil {
+		t.Fatal(err)
+	}
+	res, err := e.Run(engine.Options{Hook: engine.LimitHook(3, time.Time{})})
+	if !errors.Is(err, engine.ErrLimit) {
+		t.Fatalf("err = %v, want ErrLimit", err)
+	}
+	if res.Cycles != 3 {
+		t.Errorf("cycles = %d, want 3", res.Cycles)
+	}
+	if res.WMSize != 1 {
+		t.Errorf("WMSize = %d, want 1", res.WMSize)
+	}
+	// The engine is resumable after a budget stop: the rest of the run
+	// completes normally.
+	res2, err := e.Run(engine.Options{MaxCycles: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res2.Halted {
+		t.Errorf("resumed run did not halt (cycles %d)", res2.Cycles)
+	}
+	if res.Cycles+res2.Cycles != 11 {
+		t.Errorf("total cycles = %d, want 11", res.Cycles+res2.Cycles)
+	}
+}
+
+// TestHookDeadline checks the LimitHook time budget path.
+func TestHookDeadline(t *testing.T) {
+	e := build(t)
+	if err := e.Init(); err != nil {
+		t.Fatal(err)
+	}
+	res, err := e.Run(engine.Options{Hook: engine.LimitHook(0, time.Now().Add(-time.Second))})
+	if !errors.Is(err, engine.ErrLimit) {
+		t.Fatalf("err = %v, want ErrLimit", err)
+	}
+	if res.Cycles != 0 {
+		t.Errorf("cycles = %d, want 0 (deadline already past)", res.Cycles)
+	}
+}
+
+// TestWMListenerSeesDeltas checks the listener observes every assert
+// and retract the run produces, in submission order.
+func TestWMListenerSeesDeltas(t *testing.T) {
+	e := build(t)
+	var asserts, retracts int
+	e.WMListener = func(sign bool, w *wm.WME) {
+		if w == nil {
+			t.Fatal("nil WME in listener")
+		}
+		if sign {
+			asserts++
+		} else {
+			retracts++
+		}
+	}
+	if err := e.Init(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Run(engine.Options{MaxCycles: 100}); err != nil {
+		t.Fatal(err)
+	}
+	// Initial make + 10 modifies: 11 asserts, 10 retracts.
+	if asserts != 11 || retracts != 10 {
+		t.Errorf("asserts=%d retracts=%d, want 11/10", asserts, retracts)
+	}
+}

@@ -42,6 +42,12 @@ type Matcher struct {
 	// Activations counts node activations, for parity checks with the
 	// optimized matchers.
 	Activations int64
+	// Ops counts interpreted work items — node dispatches, boxed-value
+	// predicate applications, constant-test evaluations, and string-keyed
+	// attribute fetches. It is deterministic for a given program, so the
+	// table tests use it (against vs2's stats.Match counters) as the
+	// load-independent stand-in for the wall-clock Table 4-4 ratio.
+	Ops int64
 	// lastToken anchors dispatch's consed token so the allocation is
 	// real work, as it is in the interpreter being modelled.
 	lastToken []box
@@ -58,6 +64,7 @@ func New(prog *ops5.Program, net *rete.Network, sink rete.TerminalSink) *Matcher
 // boxWME returns the association map for a working-memory element,
 // building it on first encounter.
 func (m *Matcher) boxWME(w *wm.WME) map[string]box {
+	m.Ops++
 	if attrs, ok := m.boxed[w]; ok {
 		return attrs
 	}
@@ -78,6 +85,7 @@ func (m *Matcher) boxWME(w *wm.WME) map[string]box {
 // the point — this is the "interpretation overhead of nodes" the paper
 // eliminates by compiling to machine code (§2.2).
 func (m *Matcher) dispatch(kind string, wmes []*wm.WME) []box {
+	m.Ops++
 	token := make([]box, 0, len(wmes)+1)
 	switch kind {
 	case "and":
@@ -183,6 +191,7 @@ func applyPred(pred string, v, o box) bool {
 
 // evalConst interprets one alpha test against a boxed element.
 func (m *Matcher) evalConst(t *rete.ConstTest, w *wm.WME, attrs map[string]box) bool {
+	m.Ops++
 	v := attrs[m.Prog.AttrName(w.Class(), t.Field)]
 	if t.Disj != nil {
 		for _, d := range t.Disj {
@@ -204,6 +213,7 @@ func (m *Matcher) evalConst(t *rete.ConstTest, w *wm.WME, attrs map[string]box) 
 func (m *Matcher) testPair(j *rete.JoinNode, left []*wm.WME, right *wm.WME) bool {
 	rattrs := m.boxWME(right)
 	check := func(pred string, lp, lf, rf int) bool {
+		m.Ops++
 		lw := left[lp]
 		lattrs := m.boxWME(lw)
 		lv := lattrs[m.Prog.AttrName(lw.Class(), lf)]

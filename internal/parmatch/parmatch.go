@@ -72,6 +72,7 @@ type Matcher struct {
 	ws      []workerStats // index Procs is the control process
 	pushRR  atomic.Int64
 	actives atomic.Int64 // node activations processed (tasks completed)
+	changes atomic.Int64 // working-memory changes submitted
 }
 
 // New builds the matcher and starts its match goroutines. Call Close
@@ -111,6 +112,7 @@ func New(net *rete.Network, cfg Config, sink rete.TerminalSink) *Matcher {
 // process proceeds with RHS evaluation while match goroutines pick the
 // token up — the pipelining of §3.1.
 func (m *Matcher) Submit(sign bool, w *wm.WME) {
+	m.changes.Add(1)
 	t := &taskqueue.Task{Root: w, Sign: sign}
 	spins := m.queues.Push(int(m.pushRR.Add(1)), t)
 	cs := &m.ws[m.cfg.Procs].c
@@ -129,6 +131,17 @@ func (m *Matcher) Close() {
 
 // Activations reports the number of tasks processed so far.
 func (m *Matcher) Activations() int64 { return m.actives.Load() }
+
+// MatchStats returns the counters the parallel matcher can attribute
+// exactly: WM changes submitted and node activations (tasks) processed.
+// The memory-scan statistics stay with the instrumented sequential
+// matchers, as in the paper. Safe to call while drained.
+func (m *Matcher) MatchStats() stats.Match {
+	return stats.Match{
+		WMChanges:   m.changes.Load(),
+		Activations: m.actives.Load(),
+	}
+}
 
 // Contention merges the per-process spin counters.
 func (m *Matcher) Contention() stats.Contention {

@@ -78,12 +78,17 @@ func (r *REPL) Run(in io.Reader) error {
 	}
 }
 
-// Exec runs one command line.
+// Exec runs one command line. A blank or whitespace-only line is a
+// no-op, so callers other than Run can pass raw input safely.
 func (r *REPL) Exec(line string) error {
+	line = strings.TrimSpace(line)
 	if strings.HasPrefix(line, "(") {
 		return r.doMake(line)
 	}
 	fields := strings.Fields(line)
+	if len(fields) == 0 {
+		return nil
+	}
 	cmd, args := fields[0], fields[1:]
 	switch cmd {
 	case "help":

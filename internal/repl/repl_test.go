@@ -179,3 +179,26 @@ func TestCSMarksDominantInstantiation(t *testing.T) {
 		t.Fatalf("dominant instantiation not marked:\n%s", got)
 	}
 }
+
+// TestBlankLinesAreNoOps guards the crash path where Exec indexed
+// fields[0] of an empty split: blank and whitespace-only input must be
+// accepted silently, whatever the caller.
+func TestBlankLinesAreNoOps(t *testing.T) {
+	r, _ := newREPL(t)
+	for _, line := range []string{"", " ", "\t", "   \t  "} {
+		if err := r.Exec(line); err != nil {
+			t.Errorf("Exec(%q) = %v, want nil", line, err)
+		}
+	}
+}
+
+// TestNewRejectsBadProgram checks the loader reports parse failures as
+// errors instead of panicking.
+func TestNewRejectsBadProgram(t *testing.T) {
+	var out strings.Builder
+	for _, src := range []string{"(p broken", "(literalize)", "(p r --> (frobnicate))"} {
+		if _, err := repl.New(src, &out); err == nil {
+			t.Errorf("New(%q) accepted a bad program", src)
+		}
+	}
+}

@@ -204,6 +204,16 @@ type Terminal struct {
 }
 
 // Network is the compiled Rete network plus the per-rule metadata.
+//
+// A Network is immutable after Compile: matching only reads it (all
+// token state lives in the matcher's own memories), so one Network can
+// be shared read-only by any number of concurrent matchers — this is
+// what lets the inference server compile a program once and run many
+// sessions against it. The embedded Program's symbol table is
+// internally synchronized; the Program's class maps, however, are NOT,
+// so concurrent users must not auto-extend classes at run time (the
+// server resolves attributes with read-only lookups and rejects unknown
+// ones instead).
 type Network struct {
 	Prog *ops5.Program
 	// ChainsByClass indexes the alpha chains by condition-element class.

@@ -1,0 +1,40 @@
+package rete_test
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/rete"
+	"repro/internal/wm"
+)
+
+// TestNetworkSharedReadOnly drives one compiled network from many
+// goroutines at once, the way server sessions of the same program share
+// it. Matching must never write to the network, so this is race-clean
+// under -race; each goroutine checks it sees the same deliveries.
+func TestNetworkSharedReadOnly(t *testing.T) {
+	net := compile(t, `
+(literalize a x y)
+(literalize b x)
+(p r1 (a ^x 1 ^y <v>) (b ^x <v>) --> (halt))
+(p r2 (a ^x 2) --> (halt))
+`)
+	sym := net.Prog.Symbols.Intern("a")
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				w := &wm.WME{Fields: []wm.Value{wm.Sym(sym), wm.Int(1), wm.Int(int64(i))}}
+				hits := 0
+				net.RootDeliver(w, func(rete.AlphaDest) { hits++ })
+				if hits != 1 {
+					t.Errorf("deliveries = %d, want 1", hits)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}

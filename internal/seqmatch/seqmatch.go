@@ -11,6 +11,7 @@ import (
 
 	"repro/internal/hashmem"
 	"repro/internal/rete"
+	"repro/internal/stats"
 	"repro/internal/wm"
 )
 
@@ -76,6 +77,15 @@ func (m *Matcher) Submit(sign bool, w *wm.WME) {
 
 // Drain is a no-op: Submit is synchronous.
 func (m *Matcher) Drain() {}
+
+// Close is a no-op: sequential matchers hold no goroutines. It exists so
+// every backend satisfies the server's uniform matcher interface.
+func (m *Matcher) Close() {}
+
+// MatchStats returns a copy of the accumulated match counters. The
+// network a matcher runs over may be shared read-only across many
+// matchers (server sessions); the counters here are per-matcher.
+func (m *Matcher) MatchStats() stats.Match { return m.Rec.M }
 
 // CheckInvariants verifies that no parked conjugate deletes remain. In a
 // sequential matcher a parked delete can never legitimately survive a

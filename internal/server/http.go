@@ -1,0 +1,169 @@
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"time"
+)
+
+// Handler returns the HTTP/JSON API over the session manager:
+//
+//	POST   /sessions                 create a session (SessionConfig body)
+//	GET    /sessions                 list live sessions
+//	POST   /sessions/{id}/assert     run a batch (BatchRequest body)
+//	POST   /sessions/{id}/retract    same handler; retract-flavored alias
+//	GET    /sessions/{id}/wm         working-memory snapshot
+//	DELETE /sessions/{id}            tear a session down
+//	GET    /metrics                  stats.Snapshot JSON
+//	GET    /healthz                  liveness + session count
+//
+// Session work (create, batch) executes on the worker pool; reads are
+// served inline.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /sessions", s.timed(s.handleCreate))
+	mux.HandleFunc("GET /sessions", s.timed(s.handleList))
+	mux.HandleFunc("POST /sessions/{id}/assert", s.timed(s.handleBatch))
+	mux.HandleFunc("POST /sessions/{id}/retract", s.timed(s.handleBatch))
+	mux.HandleFunc("GET /sessions/{id}/wm", s.timed(s.handleWM))
+	mux.HandleFunc("DELETE /sessions/{id}", s.timed(s.handleDelete))
+	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, s.Snapshot())
+	})
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		s.mu.RLock()
+		n, closed := len(s.sessions), s.closed
+		s.mu.RUnlock()
+		if closed {
+			writeJSON(w, http.StatusServiceUnavailable, map[string]any{"ok": false})
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]any{"ok": true, "sessions": n})
+	})
+	return mux
+}
+
+// apiError is the uniform error body.
+type apiError struct {
+	Error string `json:"error"`
+}
+
+// handlerErr lets handlers return an error + status for uniform
+// accounting in timed.
+type handlerFunc func(w http.ResponseWriter, r *http.Request) (status int, err error)
+
+// timed wraps a handler with request metrics.
+func (s *Server) timed(h handlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		status, err := h(w, r)
+		if err != nil {
+			writeJSON(w, status, apiError{Error: err.Error()})
+		}
+		s.met.request(time.Since(start), err != nil)
+	}
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	_ = enc.Encode(v) // client gone is the only failure; nothing to do
+}
+
+// statusOf maps server errors to HTTP statuses.
+func statusOf(err error) int {
+	switch {
+	case errors.Is(err, ErrNoSession):
+		return http.StatusNotFound
+	case errors.Is(err, ErrTooManySessions):
+		return http.StatusTooManyRequests
+	case errors.Is(err, ErrClosed), errors.Is(err, ErrPoolClosed):
+		return http.StatusServiceUnavailable
+	case errors.Is(err, ErrSessionBroken):
+		return http.StatusInternalServerError
+	default:
+		return http.StatusBadRequest
+	}
+}
+
+func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) (int, error) {
+	var cfg SessionConfig
+	if err := decodeBody(r, &cfg); err != nil {
+		return http.StatusBadRequest, err
+	}
+	if cfg.Program == "" {
+		return http.StatusBadRequest, errors.New("missing program source")
+	}
+	var (
+		info *SessionInfo
+		err  error
+	)
+	if poolErr := s.pool.do(r.Context(), func() {
+		info, err = s.CreateSession(cfg)
+	}); poolErr != nil {
+		return statusOf(poolErr), poolErr
+	}
+	if err != nil {
+		return statusOf(err), err
+	}
+	writeJSON(w, http.StatusCreated, info)
+	return http.StatusCreated, nil
+}
+
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) (int, error) {
+	writeJSON(w, http.StatusOK, map[string]any{"sessions": s.Sessions()})
+	return http.StatusOK, nil
+}
+
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) (int, error) {
+	id := r.PathValue("id")
+	var req BatchRequest
+	if err := decodeBody(r, &req); err != nil {
+		return http.StatusBadRequest, err
+	}
+	var (
+		res *BatchResult
+		err error
+	)
+	if poolErr := s.pool.do(r.Context(), func() {
+		res, err = s.Batch(id, &req)
+	}); poolErr != nil {
+		return statusOf(poolErr), poolErr
+	}
+	if err != nil {
+		return statusOf(err), err
+	}
+	writeJSON(w, http.StatusOK, res)
+	return http.StatusOK, nil
+}
+
+func (s *Server) handleWM(w http.ResponseWriter, r *http.Request) (int, error) {
+	wmes, err := s.WMSnapshot(r.PathValue("id"))
+	if err != nil {
+		return statusOf(err), err
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"wmes": wmes, "size": len(wmes)})
+	return http.StatusOK, nil
+}
+
+func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) (int, error) {
+	if err := s.DeleteSession(r.PathValue("id")); err != nil {
+		return statusOf(err), err
+	}
+	w.WriteHeader(http.StatusNoContent)
+	return http.StatusNoContent, nil
+}
+
+// decodeBody strictly decodes a JSON request body.
+func decodeBody(r *http.Request, v any) error {
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return fmt.Errorf("bad request body: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,106 @@
+package server
+
+import (
+	"sync"
+	"time"
+
+	"repro/internal/stats"
+)
+
+// metrics is the server-wide counter sink: stats.Server counters, the
+// folded stats.Match totals of every session (live and closed), and
+// latency/batch-size histograms. One mutex guards it all — updates are
+// a handful of integer adds, far off the match hot path.
+type metrics struct {
+	mu    sync.Mutex
+	srv   stats.Server
+	match stats.Match
+	hists map[string]*stats.Histogram
+}
+
+// Histogram keys.
+const (
+	histRequest = "request"    // whole-request latency, µs
+	histRun     = "run"        // recognize-act run portion, µs
+	histBatch   = "batch_size" // WM changes per batch (count "µs" = items)
+)
+
+func (m *metrics) init() {
+	m.hists = map[string]*stats.Histogram{
+		histRequest: {},
+		histRun:     {},
+		histBatch:   {},
+	}
+}
+
+func (m *metrics) sessionCreated() {
+	m.mu.Lock()
+	m.srv.SessionsCreated++
+	m.srv.SessionsLive++
+	m.mu.Unlock()
+}
+
+func (m *metrics) sessionClosed() {
+	m.mu.Lock()
+	m.srv.SessionsClosed++
+	m.srv.SessionsLive--
+	m.mu.Unlock()
+}
+
+func (m *metrics) panicked() {
+	m.mu.Lock()
+	m.srv.Panics++
+	m.mu.Unlock()
+}
+
+// request records one API request and its total latency.
+func (m *metrics) request(d time.Duration, failed bool) {
+	m.mu.Lock()
+	m.srv.Requests++
+	if failed {
+		m.srv.RequestErrors++
+	}
+	m.hists[histRequest].Observe(d)
+	m.mu.Unlock()
+}
+
+// batchDone records the outcome of one executed batch.
+func (m *metrics) batchDone(asserts, retracts int, res *BatchResult, d time.Duration) {
+	m.mu.Lock()
+	m.srv.Batches++
+	m.srv.BatchItems += int64(asserts + retracts)
+	m.srv.Asserts += int64(asserts)
+	m.srv.Retracts += int64(retracts)
+	m.srv.Cycles += int64(res.Cycles)
+	// One recognize-act cycle fires exactly one instantiation, whether
+	// or not the request asked for the firing log.
+	m.srv.Firings += int64(res.Cycles)
+	if res.LimitHit {
+		m.srv.LimitStops++
+	}
+	m.hists[histRun].Observe(d)
+	// Batch size rides the µs-bucketed histogram: one "µs" = one item.
+	m.hists[histBatch].Observe(time.Duration(asserts+retracts) * time.Microsecond)
+	m.mu.Unlock()
+}
+
+func (m *metrics) foldMatch(delta *stats.Match) {
+	m.mu.Lock()
+	m.match.Add(delta)
+	m.mu.Unlock()
+}
+
+// Snapshot returns the point-in-time metrics view served by /metrics.
+func (s *Server) Snapshot() stats.Snapshot {
+	s.met.mu.Lock()
+	defer s.met.mu.Unlock()
+	snap := stats.Snapshot{
+		Server:  s.met.srv,
+		Match:   s.met.match,
+		Latency: make(map[string]stats.LatencySummary, len(s.met.hists)),
+	}
+	for k, h := range s.met.hists {
+		snap.Latency[k] = h.Summary()
+	}
+	return snap
+}

@@ -1,0 +1,92 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"sync"
+)
+
+// ErrPoolClosed reports a job submitted after shutdown began.
+var ErrPoolClosed = errors.New("worker pool closed")
+
+// pool is the fixed-size worker pool all session work runs on. Bounding
+// the workers bounds match parallelism under load: the HTTP layer can
+// accept thousands of connections while at most Workers engine runs
+// execute, the server-level analogue of the paper's fixed 1+k
+// processes. Jobs are never dropped once accepted — close drains the
+// queue before the workers exit, which is what makes SIGTERM shutdown
+// graceful for in-flight requests.
+type pool struct {
+	jobs chan func()
+	wg   sync.WaitGroup
+
+	// mu is held shared for the whole of a submission (closed check +
+	// channel send) and exclusively by close; that ordering is what
+	// makes "send on closed channel" impossible here.
+	mu     sync.RWMutex
+	closed bool
+}
+
+// newPool starts n workers (n <= 0 picks 2×CPU, minimum 4).
+func newPool(n int) *pool {
+	if n <= 0 {
+		n = 2 * runtime.NumCPU()
+		if n < 4 {
+			n = 4
+		}
+	}
+	p := &pool{jobs: make(chan func(), 4*n)}
+	for i := 0; i < n; i++ {
+		p.wg.Add(1)
+		go func() {
+			defer p.wg.Done()
+			for job := range p.jobs {
+				job()
+			}
+		}()
+	}
+	return p
+}
+
+// do runs fn on a worker and waits for it to finish. Submission honors
+// ctx (request cancelled while the queue is full fails fast with the
+// ctx error), but once accepted the job always runs to completion and
+// do waits for it — callers' response state is only touched by the
+// finished job.
+func (p *pool) do(ctx context.Context, fn func()) error {
+	done := make(chan struct{})
+	job := func() {
+		defer close(done)
+		fn()
+	}
+	p.mu.RLock()
+	if p.closed {
+		p.mu.RUnlock()
+		return ErrPoolClosed
+	}
+	select {
+	case p.jobs <- job:
+		p.mu.RUnlock()
+	case <-ctx.Done():
+		p.mu.RUnlock()
+		return ctx.Err()
+	}
+	<-done
+	return nil
+}
+
+// close stops accepting jobs, lets the workers drain the queue, and
+// waits for them. It blocks behind in-progress submissions (they hold
+// the read lock), so no accepted job is ever lost.
+func (p *pool) close() {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return
+	}
+	p.closed = true
+	close(p.jobs)
+	p.mu.Unlock()
+	p.wg.Wait()
+}

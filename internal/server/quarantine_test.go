@@ -1,0 +1,118 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+const qsrc = `
+(literalize req n)
+(p echo (req ^n <n>) --> (remove 1))
+`
+
+// TestPanicQuarantine forces a panic inside a session's guarded region
+// and checks the daemon survives: the panic comes back as
+// ErrSessionBroken, the session refuses further work, other sessions
+// keep running, and the panic is counted.
+func TestPanicQuarantine(t *testing.T) {
+	s := New(Options{})
+	defer s.Close()
+
+	a, err := s.CreateSession(SessionConfig{Program: qsrc})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := s.CreateSession(SessionConfig{Program: qsrc})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	sessA, err := s.session(a.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = s.guard(sessA, func() error { panic("rule gone rogue") })
+	if !errors.Is(err, ErrSessionBroken) {
+		t.Fatalf("guard returned %v, want ErrSessionBroken", err)
+	}
+
+	// The broken session rejects requests without panicking again.
+	if _, err := s.Batch(a.ID, &BatchRequest{}); !errors.Is(err, ErrSessionBroken) {
+		t.Fatalf("batch on broken session: %v", err)
+	}
+	// The healthy session is unaffected.
+	res, err := s.Batch(b.ID, &BatchRequest{
+		Asserts: []WMEInput{{Class: "req", Attrs: map[string]any{"n": 1}}},
+	})
+	if err != nil || len(res.Firings) != 1 {
+		t.Fatalf("healthy session after panic: res=%+v err=%v", res, err)
+	}
+	snap := s.Snapshot()
+	if snap.Server.Panics != 1 {
+		t.Errorf("panics = %d, want 1", snap.Server.Panics)
+	}
+	// A quarantined session can still be deleted cleanly.
+	if err := s.DeleteSession(a.ID); err != nil {
+		t.Errorf("delete broken session: %v", err)
+	}
+}
+
+// TestPoolDrainsOnClose checks every accepted job runs before close
+// returns, and submissions after close fail with ErrPoolClosed.
+func TestPoolDrainsOnClose(t *testing.T) {
+	p := newPool(2)
+	var ran atomic.Int64
+	const jobs = 50
+	done := make(chan error, jobs)
+	for i := 0; i < jobs; i++ {
+		go func() {
+			done <- p.do(context.Background(), func() {
+				time.Sleep(100 * time.Microsecond)
+				ran.Add(1)
+			})
+		}()
+	}
+	// Let some jobs get accepted, then close; do() calls race the close
+	// and must either run fully or fail with ErrPoolClosed.
+	time.Sleep(2 * time.Millisecond)
+	p.close()
+	accepted := int64(0)
+	for i := 0; i < jobs; i++ {
+		if err := <-done; err == nil {
+			accepted++
+		} else if !errors.Is(err, ErrPoolClosed) {
+			t.Fatalf("unexpected pool error: %v", err)
+		}
+	}
+	if ran.Load() != accepted {
+		t.Errorf("ran %d jobs but %d were accepted", ran.Load(), accepted)
+	}
+	if err := p.do(context.Background(), func() {}); !errors.Is(err, ErrPoolClosed) {
+		t.Errorf("do after close: %v", err)
+	}
+}
+
+// TestPoolHonorsContext checks a full queue + cancelled context fails
+// fast instead of blocking the caller.
+func TestPoolHonorsContext(t *testing.T) {
+	p := newPool(1)
+	defer p.close()
+	// Occupy the single worker and fill the buffered queue.
+	block := make(chan struct{})
+	go p.do(context.Background(), func() { <-block })
+	time.Sleep(time.Millisecond)
+	for i := 0; i < cap(p.jobs); i++ {
+		go p.do(context.Background(), func() {})
+	}
+	time.Sleep(time.Millisecond)
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Millisecond)
+	defer cancel()
+	err := p.do(ctx, func() {})
+	if err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v", err)
+	}
+	close(block)
+}

@@ -1,0 +1,609 @@
+// Package server hosts many concurrent OPS5 engine sessions behind one
+// process — the inference-server layer over the PSM-E engine. Each
+// session owns a working memory, a conflict set and a matcher backend
+// (sequential vs1/vs2 for small sessions, the parallel PSM-E matcher
+// for heavy ones), while all sessions created from the same program
+// source share one compiled Rete network read-only, the way the paper's
+// k match processes share theirs. Requests are executed by a fixed
+// worker pool, WM changes are batched into a single match phase per
+// request, per-request cycle/time budgets ride on the engine's RunHook,
+// and a panicking session is quarantined instead of taking the daemon
+// down. cmd/ops5d exposes the HTTP/JSON API.
+package server
+
+import (
+	"crypto/sha256"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/conflict"
+	"repro/internal/engine"
+	"repro/internal/ops5"
+	"repro/internal/parmatch"
+	"repro/internal/rete"
+	"repro/internal/seqmatch"
+	"repro/internal/stats"
+	"repro/internal/wm"
+)
+
+// backend is what every matcher must provide to be hosted: the engine
+// protocol plus teardown and counter snapshots.
+type backend interface {
+	engine.Matcher
+	Close()
+	MatchStats() stats.Match
+}
+
+// Options size the server.
+type Options struct {
+	// MaxSessions caps live sessions (default 256).
+	MaxSessions int
+	// Workers sizes the request worker pool (default 2×CPU, min 4).
+	Workers int
+	// DefaultMaxCycles bounds recognize-act cycles per request when the
+	// request doesn't say (default 10000; <0 = unlimited).
+	DefaultMaxCycles int
+	// DefaultTimeout bounds wall-clock per request run (default 5s).
+	DefaultTimeout time.Duration
+	// MaxBatch caps WM changes per request (default 4096).
+	MaxBatch int
+}
+
+func (o *Options) fill() {
+	if o.MaxSessions <= 0 {
+		o.MaxSessions = 256
+	}
+	if o.DefaultMaxCycles == 0 {
+		o.DefaultMaxCycles = 10000
+	}
+	if o.DefaultTimeout <= 0 {
+		o.DefaultTimeout = 5 * time.Second
+	}
+	if o.MaxBatch <= 0 {
+		o.MaxBatch = 4096
+	}
+}
+
+// Server is the session manager. Create one with New, serve its
+// Handler, and Close it when done.
+type Server struct {
+	opt  Options
+	pool *pool
+
+	mu       sync.RWMutex
+	sessions map[string]*Session
+	programs map[[sha256.Size]byte]*sharedProgram
+	nextID   uint64
+	closed   bool
+
+	met metrics
+}
+
+// sharedProgram is one compiled program, shared read-only by every
+// session created from byte-identical source. newEng serializes
+// engine construction: RHS compilation may lazily extend the class
+// tables of an undeclared-attribute program, which must not race.
+type sharedProgram struct {
+	prog   *ops5.Program
+	net    *rete.Network
+	newEng sync.Mutex
+	refs   int // live sessions, for the sessions listing
+}
+
+// Session is one hosted engine. Its mutex serializes requests: a
+// session processes one batch at a time, while different sessions run
+// in parallel on the worker pool.
+type Session struct {
+	ID      string
+	Backend string
+	Created time.Time
+
+	sp      *sharedProgram
+	mu      sync.Mutex
+	eng     *engine.Engine
+	matcher backend
+	broken  error       // set when a panic quarantined the session
+	prev    stats.Match // counters already folded into server metrics
+}
+
+// New builds a server and starts its worker pool.
+func New(opt Options) *Server {
+	opt.fill()
+	s := &Server{
+		opt:      opt,
+		sessions: make(map[string]*Session),
+		programs: make(map[[sha256.Size]byte]*sharedProgram),
+	}
+	s.pool = newPool(opt.Workers)
+	s.met.init()
+	return s
+}
+
+// Close drains the worker pool and tears down every session. Safe to
+// call once; new requests fail afterwards.
+func (s *Server) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	live := make([]*Session, 0, len(s.sessions))
+	for _, sess := range s.sessions {
+		live = append(live, sess)
+	}
+	s.sessions = map[string]*Session{}
+	s.mu.Unlock()
+
+	s.pool.close()
+	for _, sess := range live {
+		s.teardown(sess)
+	}
+}
+
+// SessionConfig creates a session.
+type SessionConfig struct {
+	// Program is OPS5 source. Byte-identical sources share one compiled
+	// network.
+	Program string `json:"program"`
+	// Matcher picks the backend: "vs2" (default), "vs1", or "parallel".
+	Matcher string `json:"matcher"`
+	// Procs/Queues/Locks configure the parallel backend: k match
+	// goroutines, task-queue count, and "simple" or "mrsw" line locks.
+	Procs  int    `json:"procs"`
+	Queues int    `json:"queues"`
+	Locks  string `json:"locks"`
+	// HashLines sizes the token hash tables (0 = default).
+	HashLines int `json:"hash_lines"`
+}
+
+// SessionInfo describes a created session.
+type SessionInfo struct {
+	ID        string `json:"id"`
+	Backend   string `json:"backend"`
+	Rules     int    `json:"rules"`
+	SharedNet bool   `json:"shared_net"` // create: network was cache-hit; listing: other live sessions share it
+	WMSize    int    `json:"wm_size"`    // after the program's top-level makes
+	Halted    bool   `json:"halted"`
+}
+
+// Errors the HTTP layer maps to status codes.
+var (
+	ErrClosed          = errors.New("server closed")
+	ErrNoSession       = errors.New("no such session")
+	ErrTooManySessions = errors.New("session limit reached")
+	ErrSessionBroken   = errors.New("session quarantined after panic")
+	ErrBatchTooLarge   = errors.New("batch exceeds limit")
+)
+
+// CreateSession compiles (or reuses) the program, builds the matcher
+// and engine, runs the program's top-level makes, and registers the
+// session. The initial match runs on the caller's goroutine under the
+// same panic quarantine as requests.
+func (s *Server) CreateSession(cfg SessionConfig) (*SessionInfo, error) {
+	hash := sha256.Sum256([]byte(cfg.Program))
+
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil, ErrClosed
+	}
+	if len(s.sessions) >= s.opt.MaxSessions {
+		s.mu.Unlock()
+		return nil, fmt.Errorf("%w (%d)", ErrTooManySessions, s.opt.MaxSessions)
+	}
+	sp, shared := s.programs[hash]
+	s.mu.Unlock()
+
+	if sp == nil {
+		prog, err := ops5.Parse(cfg.Program)
+		if err != nil {
+			return nil, fmt.Errorf("parse: %w", err)
+		}
+		net, err := rete.Compile(prog)
+		if err != nil {
+			return nil, fmt.Errorf("compile: %w", err)
+		}
+		s.mu.Lock()
+		if cached, ok := s.programs[hash]; ok {
+			sp, shared = cached, true // lost a compile race; use the winner
+		} else {
+			sp = &sharedProgram{prog: prog, net: net}
+			s.programs[hash] = sp
+		}
+		s.mu.Unlock()
+	}
+
+	cs := conflict.NewSet()
+	m, backendName, err := newBackend(sp.net, cfg, cs)
+	if err != nil {
+		return nil, err
+	}
+	sp.newEng.Lock()
+	eng, err := engine.New(sp.prog, sp.net, cs, m, nil)
+	sp.newEng.Unlock()
+	if err != nil {
+		m.Close()
+		return nil, fmt.Errorf("rhs compile: %w", err)
+	}
+	sess := &Session{
+		Backend: backendName,
+		Created: time.Now(),
+		sp:      sp,
+		eng:     eng,
+		matcher: m,
+	}
+	if err := s.guard(sess, func() error { return eng.Init() }); err != nil {
+		m.Close()
+		return nil, fmt.Errorf("init: %w", err)
+	}
+
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		m.Close()
+		return nil, ErrClosed
+	}
+	s.nextID++
+	sess.ID = fmt.Sprintf("s-%06d", s.nextID)
+	s.sessions[sess.ID] = sess
+	sp.refs++
+	s.mu.Unlock()
+
+	s.met.sessionCreated()
+	s.foldStats(sess)
+	return &SessionInfo{
+		ID:        sess.ID,
+		Backend:   backendName,
+		Rules:     len(sp.net.Rules),
+		SharedNet: shared,
+		WMSize:    eng.WM.Len(),
+		Halted:    eng.Halted(),
+	}, nil
+}
+
+// newBackend constructs the matcher a session config asks for.
+func newBackend(net *rete.Network, cfg SessionConfig, cs *conflict.Set) (backend, string, error) {
+	switch cfg.Matcher {
+	case "", "vs2":
+		return seqmatch.New(net, seqmatch.VS2, cfg.HashLines, cs), "vs2", nil
+	case "vs1":
+		return seqmatch.New(net, seqmatch.VS1, cfg.HashLines, cs), "vs1", nil
+	case "parallel":
+		scheme := parmatch.SchemeSimple
+		switch cfg.Locks {
+		case "", "simple":
+		case "mrsw":
+			scheme = parmatch.SchemeMRSW
+		default:
+			return nil, "", fmt.Errorf("unknown lock scheme %q", cfg.Locks)
+		}
+		procs := cfg.Procs
+		if procs <= 0 {
+			procs = 4
+		}
+		queues := cfg.Queues
+		if queues <= 0 {
+			queues = 2
+		}
+		return parmatch.New(net, parmatch.Config{
+			Procs:  procs,
+			Queues: queues,
+			Lines:  cfg.HashLines,
+			Scheme: scheme,
+		}, cs), "parallel", nil
+	default:
+		return nil, "", fmt.Errorf("unknown matcher %q (want vs2, vs1 or parallel)", cfg.Matcher)
+	}
+}
+
+// session looks a live session up.
+func (s *Server) session(id string) (*Session, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.closed {
+		return nil, ErrClosed
+	}
+	sess, ok := s.sessions[id]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrNoSession, id)
+	}
+	return sess, nil
+}
+
+// DeleteSession removes and tears down a session.
+func (s *Server) DeleteSession(id string) error {
+	s.mu.Lock()
+	sess, ok := s.sessions[id]
+	if ok {
+		delete(s.sessions, id)
+		sess.sp.refs--
+	}
+	closed := s.closed
+	s.mu.Unlock()
+	if !ok {
+		if closed {
+			return ErrClosed
+		}
+		return fmt.Errorf("%w: %q", ErrNoSession, id)
+	}
+	s.teardown(sess)
+	return nil
+}
+
+// teardown folds the session's final counters and stops its matcher.
+func (s *Server) teardown(sess *Session) {
+	sess.mu.Lock()
+	defer sess.mu.Unlock()
+	s.foldStatsLocked(sess)
+	sess.matcher.Close()
+	s.met.sessionClosed()
+}
+
+// guard runs fn under the per-session panic quarantine: a panic marks
+// the session broken and comes back as an error instead of unwinding
+// into the daemon. The caller must hold no session lock conventions
+// beyond "one guard at a time per session" (the session mutex).
+func (s *Server) guard(sess *Session, fn func() error) (err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			err = fmt.Errorf("%w: %v", ErrSessionBroken, p)
+			sess.broken = err
+			s.met.panicked()
+		}
+	}()
+	if sess.broken != nil {
+		return sess.broken
+	}
+	return fn()
+}
+
+// foldStats folds the matcher counters accumulated since the last fold
+// into the server-wide match totals.
+func (s *Server) foldStats(sess *Session) {
+	sess.mu.Lock()
+	defer sess.mu.Unlock()
+	s.foldStatsLocked(sess)
+}
+
+func (s *Server) foldStatsLocked(sess *Session) {
+	cur := sess.matcher.MatchStats()
+	delta := cur
+	delta.Sub(&sess.prev)
+	sess.prev = cur
+	s.met.foldMatch(&delta)
+}
+
+// WMEInput is one element to assert: a class name and attribute values
+// (JSON strings become OPS5 symbols, numbers become integers or floats).
+type WMEInput struct {
+	Class string         `json:"class"`
+	Attrs map[string]any `json:"attrs"`
+}
+
+// WMEOut is one element reported back.
+type WMEOut struct {
+	TimeTag int    `json:"timetag"`
+	Text    string `json:"text"`
+}
+
+// BatchRequest is the body of POST /sessions/{id}/assert and /retract.
+// Asserts and retracts in one request form one batch: all retracts,
+// then all asserts, are submitted to the matcher in a single match
+// phase each, then the recognize-act cycle runs under the budgets.
+type BatchRequest struct {
+	Asserts  []WMEInput `json:"asserts,omitempty"`
+	Retracts []int      `json:"retracts,omitempty"`
+	// MaxCycles overrides the server default for this request
+	// (<0 = unlimited).
+	MaxCycles int `json:"max_cycles,omitempty"`
+	// TimeoutMs overrides the server's per-request run budget.
+	TimeoutMs int `json:"timeout_ms,omitempty"`
+	// NoFirings suppresses the firing log in the response.
+	NoFirings bool `json:"no_firings,omitempty"`
+}
+
+// FiringOut is one production firing.
+type FiringOut struct {
+	Cycle    int    `json:"cycle"`
+	Rule     string `json:"rule"`
+	TimeTags []int  `json:"timetags"`
+}
+
+// BatchResult is the response body for assert/retract requests.
+type BatchResult struct {
+	Firings   []FiringOut `json:"firings"`
+	Cycles    int         `json:"cycles"`
+	Halted    bool        `json:"halted"`
+	LimitHit  bool        `json:"limit_hit"`
+	WMAdded   []WMEOut    `json:"wm_added"`
+	WMRemoved []int       `json:"wm_removed"`
+	WMSize    int         `json:"wm_size"`
+	ElapsedUs int64       `json:"elapsed_us"`
+}
+
+// Batch executes one assert/retract batch on a session. It is the
+// synchronous core; the HTTP layer schedules it on the worker pool.
+func (s *Server) Batch(id string, req *BatchRequest) (*BatchResult, error) {
+	sess, err := s.session(id)
+	if err != nil {
+		return nil, err
+	}
+	if n := len(req.Asserts) + len(req.Retracts); n > s.opt.MaxBatch {
+		return nil, fmt.Errorf("%w: %d > %d", ErrBatchTooLarge, n, s.opt.MaxBatch)
+	}
+
+	// Resolve inputs to field vectors before taking the session lock:
+	// pure read-only lookups against the shared program.
+	fieldsList := make([][]wm.Value, 0, len(req.Asserts))
+	for i := range req.Asserts {
+		fields, err := buildFields(sess.sp.prog, &req.Asserts[i])
+		if err != nil {
+			return nil, fmt.Errorf("asserts[%d]: %w", i, err)
+		}
+		fieldsList = append(fieldsList, fields)
+	}
+
+	maxCycles := req.MaxCycles
+	if maxCycles == 0 {
+		maxCycles = s.opt.DefaultMaxCycles
+	}
+	timeout := s.opt.DefaultTimeout
+	if req.TimeoutMs > 0 {
+		timeout = time.Duration(req.TimeoutMs) * time.Millisecond
+	}
+
+	sess.mu.Lock()
+	defer sess.mu.Unlock()
+
+	res := &BatchResult{Firings: []FiringOut{}, WMAdded: []WMEOut{}, WMRemoved: []int{}}
+	start := time.Now()
+	deadline := start.Add(timeout)
+	limitHit := false
+
+	err = s.guard(sess, func() error {
+		prog := sess.sp.prog
+		sess.eng.WMListener = func(sign bool, w *wm.WME) {
+			if sign {
+				res.WMAdded = append(res.WMAdded, WMEOut{
+					TimeTag: w.TimeTag,
+					Text:    w.String(prog.Symbols, prog.AttrName),
+				})
+			} else {
+				res.WMRemoved = append(res.WMRemoved, w.TimeTag)
+			}
+		}
+		defer func() { sess.eng.WMListener = nil }()
+
+		if _, err := sess.eng.RetractBatch(req.Retracts); err != nil {
+			return err
+		}
+		if _, err := sess.eng.AssertBatch(fieldsList); err != nil {
+			return err
+		}
+		run, err := sess.eng.Run(engine.Options{
+			RecordFiring: !req.NoFirings,
+			Hook:         engine.LimitHook(maxCycles, deadline),
+		})
+		if run != nil {
+			res.Cycles = run.Cycles
+			res.Halted = run.Halted
+			for _, f := range run.Firings {
+				res.Firings = append(res.Firings, FiringOut{Cycle: f.Cycle, Rule: f.Rule, TimeTags: f.TimeTags})
+			}
+		}
+		if err != nil {
+			if errors.Is(err, engine.ErrLimit) {
+				limitHit = true
+				return nil
+			}
+			return err
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	res.LimitHit = limitHit
+	res.WMSize = sess.eng.WM.Len()
+	res.Halted = sess.eng.Halted()
+	res.ElapsedUs = time.Since(start).Microseconds()
+
+	s.foldStatsLocked(sess)
+	s.met.batchDone(len(req.Asserts), len(req.Retracts), res, time.Since(start))
+	return res, nil
+}
+
+// WMSnapshot returns the session's live working memory.
+func (s *Server) WMSnapshot(id string) ([]WMEOut, error) {
+	sess, err := s.session(id)
+	if err != nil {
+		return nil, err
+	}
+	sess.mu.Lock()
+	defer sess.mu.Unlock()
+	prog := sess.sp.prog
+	out := make([]WMEOut, 0, sess.eng.WM.Len())
+	for _, w := range sess.eng.WM.Snapshot() {
+		out = append(out, WMEOut{TimeTag: w.TimeTag, Text: w.String(prog.Symbols, prog.AttrName)})
+	}
+	return out, nil
+}
+
+// Sessions lists live sessions.
+func (s *Server) Sessions() []SessionInfo {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]SessionInfo, 0, len(s.sessions))
+	for _, sess := range s.sessions {
+		info := SessionInfo{
+			ID:        sess.ID,
+			Backend:   sess.Backend,
+			Rules:     len(sess.sp.net.Rules),
+			SharedNet: sess.sp.refs > 1,
+		}
+		sess.mu.Lock()
+		info.WMSize = sess.eng.WM.Len()
+		info.Halted = sess.eng.Halted()
+		sess.mu.Unlock()
+		out = append(out, info)
+	}
+	return out
+}
+
+// buildFields resolves a WMEInput into a field vector with read-only
+// lookups: unknown classes and attributes are rejected rather than
+// auto-declared, because the program is shared across sessions and must
+// not be mutated at run time (see rete.Network).
+func buildFields(prog *ops5.Program, in *WMEInput) ([]wm.Value, error) {
+	classID, ok := prog.Symbols.Lookup(in.Class)
+	if !ok {
+		return nil, fmt.Errorf("unknown class %q", in.Class)
+	}
+	class, ok := prog.Classes[classID]
+	if !ok {
+		return nil, fmt.Errorf("unknown class %q", in.Class)
+	}
+	fields := make([]wm.Value, class.NumFields())
+	fields[0] = wm.Sym(classID)
+	for attr, val := range in.Attrs {
+		attrID, ok := prog.Symbols.Lookup(attr)
+		if !ok {
+			return nil, fmt.Errorf("class %s has no attribute %q", in.Class, attr)
+		}
+		idx, ok := class.Fields[attrID]
+		if !ok {
+			return nil, fmt.Errorf("class %s has no attribute %q", in.Class, attr)
+		}
+		v, err := toValue(prog, val)
+		if err != nil {
+			return nil, fmt.Errorf("attribute %q: %w", attr, err)
+		}
+		fields[idx] = v
+	}
+	return fields, nil
+}
+
+// toValue converts a decoded JSON value to an OPS5 value. Interning a
+// new symbol is safe: the symbol table is internally synchronized.
+func toValue(prog *ops5.Program, val any) (wm.Value, error) {
+	switch x := val.(type) {
+	case string:
+		return wm.Sym(prog.Symbols.Intern(x)), nil
+	case float64:
+		if x == float64(int64(x)) {
+			return wm.Int(int64(x)), nil
+		}
+		return wm.Float(x), nil
+	case int:
+		return wm.Int(int64(x)), nil
+	case int64:
+		return wm.Int(x), nil
+	case bool, nil:
+		return wm.Nil, fmt.Errorf("unsupported value %v (want string or number)", x)
+	default:
+		return wm.Nil, fmt.Errorf("unsupported value type %T", val)
+	}
+}

@@ -8,28 +8,28 @@ package stats
 // runs, exactly as the paper derives Tables 4-1..4-3 from uniprocessor
 // versions.
 type Match struct {
-	WMChanges   int64 // working-memory changes processed
-	Activations int64 // node activations == tasks pushed/popped (Table 4-1 last column)
+	WMChanges   int64 `json:"wm_changes"`  // working-memory changes processed
+	Activations int64 `json:"activations"` // node activations == tasks pushed/popped (Table 4-1 last column)
 
-	LeftActs  int64 // two-input node activations from the left
-	RightActs int64 // ... and from the right
+	LeftActs  int64 `json:"left_acts"`  // two-input node activations from the left
+	RightActs int64 `json:"right_acts"` // ... and from the right
 
 	// Tokens examined in the opposite memory, split by activation side,
 	// counted only for activations whose opposite memory is non-empty
 	// (Table 4-2's convention).
-	OppExaminedLeft   int64
-	OppExaminedRight  int64
-	OppNonEmptyLeft   int64 // activations contributing to the left mean
-	OppNonEmptyRight  int64
-	SameExaminedLeft  int64 // tokens scanned in own memory for deletes (Table 4-3)
-	SameExaminedRight int64
-	DeletesLeft       int64
-	DeletesRight      int64
+	OppExaminedLeft   int64 `json:"opp_examined_left"`
+	OppExaminedRight  int64 `json:"opp_examined_right"`
+	OppNonEmptyLeft   int64 `json:"opp_nonempty_left"` // activations contributing to the left mean
+	OppNonEmptyRight  int64 `json:"opp_nonempty_right"`
+	SameExaminedLeft  int64 `json:"same_examined_left"` // tokens scanned in own memory for deletes (Table 4-3)
+	SameExaminedRight int64 `json:"same_examined_right"`
+	DeletesLeft       int64 `json:"deletes_left"`
+	DeletesRight      int64 `json:"deletes_right"`
 
-	Pairs      int64 // matching token pairs emitted by two-input nodes
-	ConstTests int64 // constant tests evaluated
-	CSInserts  int64 // conflict-set insertions
-	CSDeletes  int64
+	Pairs      int64 `json:"pairs"`       // matching token pairs emitted by two-input nodes
+	ConstTests int64 `json:"const_tests"` // constant tests evaluated
+	CSInserts  int64 `json:"cs_inserts"`  // conflict-set insertions
+	CSDeletes  int64 `json:"cs_deletes"`
 }
 
 // Add accumulates o into m.
@@ -50,6 +50,27 @@ func (m *Match) Add(o *Match) {
 	m.ConstTests += o.ConstTests
 	m.CSInserts += o.CSInserts
 	m.CSDeletes += o.CSDeletes
+}
+
+// Sub subtracts o from m, field by field. The server uses it to fold
+// per-session counter deltas into its global totals.
+func (m *Match) Sub(o *Match) {
+	m.WMChanges -= o.WMChanges
+	m.Activations -= o.Activations
+	m.LeftActs -= o.LeftActs
+	m.RightActs -= o.RightActs
+	m.OppExaminedLeft -= o.OppExaminedLeft
+	m.OppExaminedRight -= o.OppExaminedRight
+	m.OppNonEmptyLeft -= o.OppNonEmptyLeft
+	m.OppNonEmptyRight -= o.OppNonEmptyRight
+	m.SameExaminedLeft -= o.SameExaminedLeft
+	m.SameExaminedRight -= o.SameExaminedRight
+	m.DeletesLeft -= o.DeletesLeft
+	m.DeletesRight -= o.DeletesRight
+	m.Pairs -= o.Pairs
+	m.ConstTests -= o.ConstTests
+	m.CSInserts -= o.CSInserts
+	m.CSDeletes -= o.CSDeletes
 }
 
 // Mean returns num/den or 0 when den is 0.

@@ -111,6 +111,14 @@ type SeqRun struct {
 	Match   time.Duration
 	Rec     *hashmem.Recorder
 	Cycles  int
+	// Activations counts node activations for every variant: the
+	// Recorder supplies it for vs1/vs2, the interpreter itself for lisp.
+	Activations int64
+	// InterpOps counts the lisp emulator's interpreted work items
+	// (dispatches, boxings, predicate applications); zero for the
+	// compiled variants. Together with Activations it gives the table
+	// tests a deterministic stand-in for the Table 4-4 wall-clock ratio.
+	InterpOps int64
 }
 
 // RunSeq executes a spec on vs1, vs2 or the lisp emulator and returns
@@ -123,6 +131,7 @@ func RunSeq(spec Spec, variant string) (*SeqRun, error) {
 	cs := conflict.NewSet()
 	var m engine.Matcher
 	var rec *hashmem.Recorder
+	var lm *lispemu.Matcher
 	switch variant {
 	case "vs1":
 		sm := seqmatch.New(net, seqmatch.VS1, 0, cs)
@@ -133,7 +142,8 @@ func RunSeq(spec Spec, variant string) (*SeqRun, error) {
 		rec = sm.Rec
 		m = sm
 	case "lisp":
-		m = lispemu.New(prog, net, cs)
+		lm = lispemu.New(prog, net, cs)
+		m = lm
 	default:
 		return nil, fmt.Errorf("unknown variant %q", variant)
 	}
@@ -152,14 +162,22 @@ func RunSeq(spec Spec, variant string) (*SeqRun, error) {
 	if !res.Halted {
 		return nil, fmt.Errorf("%s/%s: run did not halt (%d cycles)", spec.Name, variant, res.Cycles)
 	}
-	return &SeqRun{
+	run := &SeqRun{
 		Spec:    spec,
 		Variant: variant,
 		Elapsed: time.Since(start),
 		Match:   res.MatchTime,
 		Rec:     rec,
 		Cycles:  res.Cycles,
-	}, nil
+	}
+	if rec != nil {
+		run.Activations = rec.M.Activations
+	}
+	if lm != nil {
+		run.Activations = lm.Activations
+		run.InterpOps = lm.Ops
+	}
+	return run, nil
 }
 
 // RunPar executes a spec on the real goroutine matcher, for the on-host

@@ -35,12 +35,22 @@ func TestSeqTablesShape(t *testing.T) {
 	if len(t41.Rows) != 3 {
 		t.Fatalf("table 4-1 rows = %d", len(t41.Rows))
 	}
-	// vs2 is never slower than 2x vs1 (it should generally be faster).
-	for _, row := range t41.Rows {
-		v1, _ := strconv.ParseFloat(row[1], 64)
-		v2, _ := strconv.ParseFloat(row[2], 64)
-		if v2 > 2*v1 {
-			t.Errorf("%s: vs2 (%v) much slower than vs1 (%v)", row[0], v2, v1)
+	// Table 4-1's claim — hash memories beat list memories — is checked
+	// on deterministic counters, not wall-clock: vs2 never examines more
+	// memory tokens than vs1 on identical work (same activation count).
+	for _, spec := range specs {
+		v1, v2 := sr.VS1[spec.Name], sr.VS2[spec.Name]
+		if v1.Activations != v2.Activations {
+			t.Errorf("%s: activations differ, vs1 %d vs2 %d",
+				spec.Name, v1.Activations, v2.Activations)
+		}
+		scan1 := v1.Rec.M.OppExaminedLeft + v1.Rec.M.OppExaminedRight +
+			v1.Rec.M.SameExaminedLeft + v1.Rec.M.SameExaminedRight
+		scan2 := v2.Rec.M.OppExaminedLeft + v2.Rec.M.OppExaminedRight +
+			v2.Rec.M.SameExaminedLeft + v2.Rec.M.SameExaminedRight
+		if scan2 > scan1 {
+			t.Errorf("%s: vs2 examined %d tokens, vs1 only %d",
+				spec.Name, scan2, scan1)
 		}
 	}
 	// Table 4-2: hash never examines more than list memories (left side).
@@ -52,13 +62,34 @@ func TestSeqTablesShape(t *testing.T) {
 			t.Errorf("%s: hash left (%v) exceeds lin (%v)", row[0], hash, lin)
 		}
 	}
-	// Table 4-4: the interpreter always loses, at every scale.
+	// Table 4-4: the interpreter always loses. The rendered table still
+	// reports the wall-clock ratio, but the test asserts the claim on
+	// deterministic counters: both matchers compute the same match
+	// (activation parity), and the interpreter spends several counted
+	// work items — dispatches, boxings, predicate applications — for
+	// every work item vs2 counts. Those counts depend only on the
+	// program, never on machine load.
 	t44 := tables.Table44(sr)
-	for _, row := range t44.Rows {
-		sp, _ := strconv.ParseFloat(row[3], 64)
-		if sp < 2 {
-			t.Errorf("%s: interp speed-up only %v", row[0], sp)
+	if len(t44.Rows) != 3 {
+		t.Fatalf("table 4-4 rows = %d", len(t44.Rows))
+	}
+	for _, spec := range specs {
+		rl, r2 := sr.Lisp[spec.Name], sr.VS2[spec.Name]
+		if rl.Activations != r2.Activations {
+			t.Errorf("%s: interp activations %d != vs2 %d",
+				spec.Name, rl.Activations, r2.Activations)
 		}
+		m2 := &r2.Rec.M
+		vs2Work := m2.Activations + m2.ConstTests + m2.Pairs +
+			m2.OppExaminedLeft + m2.OppExaminedRight +
+			m2.SameExaminedLeft + m2.SameExaminedRight
+		if rl.InterpOps < 2*vs2Work {
+			t.Errorf("%s: interp ops %d < 2x vs2 work %d",
+				spec.Name, rl.InterpOps, vs2Work)
+		}
+		t.Logf("%s: interp ops %d, vs2 work %d (ratio %.1f)",
+			spec.Name, rl.InterpOps, vs2Work,
+			float64(rl.InterpOps)/float64(vs2Work))
 	}
 }
 
