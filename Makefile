@@ -17,10 +17,10 @@ build:
 test:
 	$(GO) test ./...
 
-# Race-detect the concurrent subsystems: the inference server and the
-# parallel matcher.
+# Race-detect the concurrent subsystems: the inference server, the
+# parallel matcher and the work-stealing task queues.
 race:
-	$(GO) test -race ./internal/server ./internal/parmatch
+	$(GO) test -race ./internal/server ./internal/parmatch ./internal/taskqueue
 
 vet:
 	$(GO) vet ./...

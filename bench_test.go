@@ -6,12 +6,14 @@
 package psme_test
 
 import (
+	"fmt"
 	"runtime"
 	"testing"
 
 	psme "repro"
 	"repro/internal/multimax"
 	"repro/internal/parmatch"
+	"repro/internal/seqmatch"
 	"repro/internal/tables"
 )
 
@@ -206,8 +208,56 @@ func BenchmarkParallelHost_Rubik(b *testing.B) {
 			b.Fatal(err)
 		}
 		if i == 0 {
-			b.ReportMetric(r.MatchTime.Seconds(), "match-s")
+			b.ReportMetric(r.Res.MatchTime.Seconds(), "match-s")
 		}
+	}
+}
+
+// BenchmarkMatchKernels measures the steady-state match hot path alone
+// (no engine, no RHS): one iteration asserts and retracts a fixed WME
+// block through the parallel matcher. allocs/op here is the
+// allocation-discipline headline BENCH_match.json tracks; the steal and
+// overflow counters come out as metrics.
+func BenchmarkMatchKernels(b *testing.B) {
+	for _, name := range tables.KernelNames() {
+		for _, procs := range []int{1, 4} {
+			b.Run(fmt.Sprintf("%s/p%d", name, procs), func(b *testing.B) {
+				k, err := tables.NewKernel(name, 64)
+				if err != nil {
+					b.Fatal(err)
+				}
+				m := parmatch.New(k.Net, parmatch.Config{
+					Procs: procs, Queues: 4, Scheme: parmatch.SchemeSimple,
+				}, tables.KernelSink())
+				defer m.Close()
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					k.Round(m)
+				}
+				b.StopTimer()
+				b.ReportMetric(float64(m.Activations())/float64(b.N), "acts/op")
+			})
+		}
+	}
+}
+
+// BenchmarkMatchKernelsSeq is the sequential-matcher twin, pinning the
+// uniprocessor cost of the same kernels.
+func BenchmarkMatchKernelsSeq(b *testing.B) {
+	for _, name := range tables.KernelNames() {
+		b.Run(name, func(b *testing.B) {
+			k, err := tables.NewKernel(name, 64)
+			if err != nil {
+				b.Fatal(err)
+			}
+			m := seqmatch.New(k.Net, seqmatch.VS2, 0, tables.KernelSink())
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				k.Round(m)
+			}
+		})
 	}
 }
 

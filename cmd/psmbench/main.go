@@ -6,13 +6,18 @@
 // Usage:
 //
 //	psmbench [-scale 1.0] [-table all|4-1|...|seq|sim] [-host]
+//	psmbench -match [-procs 1,2,4,8] [-matchout BENCH_match.json]
+//	psmbench ... [-cpuprofile cpu.prof] [-memprofile mem.prof]
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"runtime"
+	"runtime/pprof"
+	"strconv"
 	"strings"
 
 	"repro/internal/parmatch"
@@ -24,7 +29,39 @@ func main() {
 	which := flag.String("table", "all", "table to print: all, seq (4-1..4-4), sim (4-5..4-9), or a single id like 4-6")
 	host := flag.Bool("host", false, "also run the real goroutine matcher on this host and report wall-clock")
 	ablation := flag.Bool("ablation", false, "run the design-choice ablations (hardware scheduler, FIFO, pipelining, ...)")
+	match := flag.Bool("match", false, "run the multicore match microbenchmarks instead of the paper tables")
+	matchOut := flag.String("matchout", "", "write -match results as JSON to this file (e.g. BENCH_match.json)")
+	procsFlag := flag.String("procs", "1,2,4,8", "comma-separated match-process counts for -match")
+	reps := flag.Int("reps", 3, "repetitions per -match workload point (fastest is recorded)")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memProfile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		fatal(err)
+		fatal(pprof.StartCPUProfile(f))
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			fatal(err)
+			runtime.GC()
+			fatal(pprof.WriteHeapProfile(f))
+			f.Close()
+		}()
+	}
+
+	if *match {
+		procs, err := parseProcs(*procsFlag)
+		fatal(err)
+		runMatch(*scale, procs, *reps, *matchOut)
+		return
+	}
 
 	specs := tables.Programs(*scale)
 	want := func(id string) bool {
@@ -95,8 +132,59 @@ func main() {
 			})
 			fatal(err)
 			fmt.Printf("  %-8s vs2 match %8.3fs   parallel(%d procs) match %8.3fs\n",
-				spec.Name, seq.Match.Seconds(), runtime.GOMAXPROCS(0), par.MatchTime.Seconds())
+				spec.Name, seq.Match.Seconds(), runtime.GOMAXPROCS(0), par.Res.MatchTime.Seconds())
 		}
+	}
+}
+
+// parseProcs parses the -procs list ("1,2,4,8").
+func parseProcs(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		n, err := strconv.Atoi(part)
+		if err != nil || n < 1 {
+			return nil, fmt.Errorf("bad -procs entry %q (want positive integers)", part)
+		}
+		out = append(out, n)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("-procs is empty")
+	}
+	return out, nil
+}
+
+// runMatch runs the multicore match sweep, prints a summary and
+// optionally writes the BENCH_match.json payload.
+func runMatch(scale float64, procs []int, reps int, outPath string) {
+	fmt.Printf("match microbenchmarks: host CPUs %d, procs swept %v, scale %.2f, reps %d\n",
+		runtime.NumCPU(), procs, scale, reps)
+	rep, err := tables.RunMatchBench(tables.MatchBenchOptions{Scale: scale, Procs: procs, Reps: reps})
+	fatal(err)
+	fmt.Println("\nworkload        procs  match-s     acts/s      steals  overflows  requeues")
+	for _, p := range rep.Workloads {
+		fmt.Printf("%-15s %5d  %8.3f  %10.0f  %6d  %9d  %8d\n",
+			p.Workload, p.Procs, p.MatchSeconds, p.ActsPerSec,
+			p.Contention.Steals, p.Contention.Overflows, p.Contention.Requeues)
+	}
+	fmt.Println("\nkernel  procs     ns/op  allocs/op  bytes/op  acts/op")
+	for _, k := range rep.Kernels {
+		label := fmt.Sprintf("%d", k.Procs)
+		if k.Procs == 0 {
+			label = "seq"
+		}
+		fmt.Printf("%-7s %5s  %8d  %9d  %8d  %7.0f\n",
+			k.Kernel, label, k.NsPerOp, k.AllocsPerOp, k.BytesPerOp, k.ActsPerOp)
+	}
+	if outPath != "" {
+		data, err := json.MarshalIndent(rep, "", "  ")
+		fatal(err)
+		data = append(data, '\n')
+		fatal(os.WriteFile(outPath, data, 0o644))
+		fmt.Printf("\nwrote %s\n", outPath)
 	}
 }
 

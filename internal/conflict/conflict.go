@@ -6,7 +6,6 @@
 package conflict
 
 import (
-	"sort"
 	"sync"
 
 	"repro/internal/rete"
@@ -29,7 +28,18 @@ func newInstantiation(rule *rete.CompiledRule, wmes []*wm.WME) *Instantiation {
 	for i, w := range wmes {
 		rec[i] = w.TimeTag
 	}
-	sort.Sort(sort.Reverse(sort.IntSlice(rec)))
+	// Insertion sort, descending: tokens are a handful of WMEs and the
+	// sort.Sort interface boxing was 2 heap allocations per conflict-set
+	// insert.
+	for i := 1; i < len(rec); i++ {
+		v := rec[i]
+		j := i
+		for j > 0 && rec[j-1] < v {
+			rec[j] = rec[j-1]
+			j--
+		}
+		rec[j] = v
+	}
 	return &Instantiation{Rule: rule, Wmes: wmes, recency: rec}
 }
 

@@ -85,6 +85,73 @@ func NewRecorder(numJoins int) *Recorder {
 // the left token itself.
 type Emit func(sign bool, wmes []*wm.WME)
 
+// Pools is a per-worker allocation cache for the match hot path: an
+// arena for the token slices built per matching pair, and a free list
+// of memory entries recycled when a delete unlinks them. Each matcher
+// process owns one (no synchronization); a nil *Pools falls back to
+// plain allocation, which the Multimax simulator keeps for its
+// deterministic replay.
+//
+// Token slices deliberately do NOT recycle: an output token fans out
+// to every successor and terminal of a node and is retained by node
+// memories and the conflict set, so its lifetime escapes the task that
+// built it. The arena instead amortizes those allocations to one large
+// chunk per tokenChunk pointers; entries, whose lifetime is exactly
+// bracketed by insert and delete under the line lock, do recycle.
+type Pools struct {
+	tok     []*wm.WME
+	entries []*rete.Entry
+}
+
+const (
+	tokenChunk   = 4096
+	entryPoolCap = 1024
+)
+
+// MakeToken returns a zeroed token slice of length n with no spare
+// capacity (appending to an emitted token must never alias another).
+func (p *Pools) MakeToken(n int) []*wm.WME {
+	if p == nil {
+		return make([]*wm.WME, n)
+	}
+	if len(p.tok) < n {
+		c := tokenChunk
+		if n > c {
+			c = n
+		}
+		p.tok = make([]*wm.WME, c)
+	}
+	s := p.tok[0:n:n]
+	p.tok = p.tok[n:]
+	return s
+}
+
+// newEntry builds a memory entry, reusing a recycled one when possible.
+func (p *Pools) newEntry(j *rete.JoinNode, side rete.Side, hash uint64, wmes []*wm.WME) *rete.Entry {
+	if p == nil || len(p.entries) == 0 {
+		return &rete.Entry{Node: j, Side: side, Hash: hash, Wmes: wmes}
+	}
+	n := len(p.entries) - 1
+	e := p.entries[n]
+	p.entries[n] = nil
+	p.entries = p.entries[:n]
+	e.Node, e.Side, e.Hash, e.Wmes = j, side, hash, wmes
+	return e
+}
+
+// FreeEntry recycles an unlinked entry. Callers own the entry
+// exclusively at that point: Remove unlinked it under the line lock and
+// no other process can reach it. The caller must be done reading
+// NegCount (negated-node deletes read it inside SearchOpposite).
+func (p *Pools) FreeEntry(e *rete.Entry) {
+	if p == nil || e == nil || len(p.entries) >= entryPoolCap {
+		return
+	}
+	e.Node, e.Wmes, e.Next = nil, nil, nil
+	e.NegCount.Store(0)
+	p.entries = append(p.entries, e)
+}
+
 // StepResult reports what an activation did, for cost accounting by the
 // Multimax simulator.
 type StepResult struct {
@@ -102,15 +169,16 @@ type StepResult struct {
 // this is the part that runs under the modification lock. It returns the
 // affected entry (the freshly inserted one, or the removed one whose
 // NegCount a negated-node caller still needs).
-func UpdateOwn(line *Line, j *rete.JoinNode, side rete.Side, sign bool, wmes []*wm.WME, hash uint64, rec *Recorder) (*rete.Entry, StepResult) {
+func UpdateOwn(line *Line, j *rete.JoinNode, side rete.Side, sign bool, wmes []*wm.WME, hash uint64, rec *Recorder, pools *Pools) (*rete.Entry, StepResult) {
 	var res StepResult
 	if sign {
 		// A plus annihilates with a parked early minus for the same token.
 		if e, _ := line.XDel[side].Remove(j, side, wmes); e != nil {
+			pools.FreeEntry(e)
 			res.Annihilated = true
 			return nil, res
 		}
-		e := &rete.Entry{Node: j, Side: side, Hash: hash, Wmes: wmes}
+		e := pools.newEntry(j, side, hash, wmes)
 		line.Mem[side].Push(e)
 		if rec != nil {
 			rec.NodeCount[side][j.ID]++
@@ -122,7 +190,7 @@ func UpdateOwn(line *Line, j *rete.JoinNode, side rete.Side, sign bool, wmes []*
 	res.OwnScanned = scanned
 	if e == nil {
 		// Early delete: park it and do not otherwise process the token.
-		line.XDel[side].Push(&rete.Entry{Node: j, Side: side, Hash: hash, Wmes: wmes})
+		line.XDel[side].Push(pools.newEntry(j, side, hash, wmes))
 		res.Parked = true
 		return nil, res
 	}
@@ -140,7 +208,7 @@ func UpdateOwn(line *Line, j *rete.JoinNode, side rete.Side, sign bool, wmes []*
 // In the MRSW scheme this part runs without the modification lock for
 // positive nodes; negated right-side activations update left counts
 // atomically.
-func SearchOpposite(line *Line, j *rete.JoinNode, side rete.Side, sign bool, wmes []*wm.WME, entry *rete.Entry, rec *Recorder, emit Emit) StepResult {
+func SearchOpposite(line *Line, j *rete.JoinNode, side rete.Side, sign bool, wmes []*wm.WME, entry *rete.Entry, rec *Recorder, pools *Pools, emit Emit) StepResult {
 	var res StepResult
 	opp := side ^ 1
 	if j.Negated {
@@ -162,7 +230,7 @@ func SearchOpposite(line *Line, j *rete.JoinNode, side rete.Side, sign bool, wme
 				continue
 			}
 			res.Pairs++
-			child := make([]*wm.WME, len(left)+1)
+			child := pools.MakeToken(len(left) + 1)
 			copy(child, left)
 			child[len(left)] = right
 			emit(sign, child)

@@ -46,11 +46,11 @@ func apply(line *hashmem.Line, j *rete.JoinNode, side rete.Side, sign bool, wmes
 	} else {
 		hash = j.RightHash(wmes[0])
 	}
-	entry, res := hashmem.UpdateOwn(line, j, side, sign, wmes, hash, nil)
+	entry, res := hashmem.UpdateOwn(line, j, side, sign, wmes, hash, nil, nil)
 	if !res.Proceeded {
 		return out
 	}
-	hashmem.SearchOpposite(line, j, side, sign, wmes, entry, nil, func(s bool, w []*wm.WME) {
+	hashmem.SearchOpposite(line, j, side, sign, wmes, entry, nil, nil, func(s bool, w []*wm.WME) {
 		tag := "+"
 		if !s {
 			tag = "-"
@@ -117,9 +117,9 @@ func TestConjugateOrderings(t *testing.T) {
 		for _, sign := range seq {
 			hash := j.LeftHash(token)
 			idx := table.LineIndex(j, hash)
-			entry, res := hashmem.UpdateOwn(&table.Lines[idx], j, rete.Left, sign, token, hash, nil)
+			entry, res := hashmem.UpdateOwn(&table.Lines[idx], j, rete.Left, sign, token, hash, nil, nil)
 			if res.Proceeded {
-				hashmem.SearchOpposite(&table.Lines[idx], j, rete.Left, sign, token, entry, nil,
+				hashmem.SearchOpposite(&table.Lines[idx], j, rete.Left, sign, token, entry, nil, nil,
 					func(bool, []*wm.WME) {})
 			}
 		}
@@ -219,11 +219,11 @@ func TestRecorderNodeCounts(t *testing.T) {
 	var line hashmem.Line
 	w := []*wm.WME{mkW(1, 1, 5)}
 	hash := j.LeftHash(w)
-	hashmem.UpdateOwn(&line, j, rete.Left, true, w, hash, rec)
+	hashmem.UpdateOwn(&line, j, rete.Left, true, w, hash, rec, nil)
 	if rec.NodeCount[rete.Left][j.ID] != 1 {
 		t.Fatalf("count after insert = %d", rec.NodeCount[rete.Left][j.ID])
 	}
-	hashmem.UpdateOwn(&line, j, rete.Left, false, w, hash, rec)
+	hashmem.UpdateOwn(&line, j, rete.Left, false, w, hash, rec, nil)
 	if rec.NodeCount[rete.Left][j.ID] != 0 {
 		t.Fatalf("count after delete = %d", rec.NodeCount[rete.Left][j.ID])
 	}

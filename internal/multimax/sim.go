@@ -408,12 +408,12 @@ func (s *sim) mrswMod(p *proc, t *taskqueue.Task, g *simMRSW, idx int, hash uint
 		return
 	}
 	line := &s.table.Lines[idx]
-	entry, res := hashmem.UpdateOwn(line, t.Join, t.Side, t.Sign, t.Wmes, hash, nil)
+	entry, res := hashmem.UpdateOwn(line, t.Join, t.Side, t.Sign, t.Wmes, hash, nil, nil)
 	cost := s.cost.UpdateOwnBase + int64(res.OwnScanned)*s.cost.OwnScanEntry
 	var children []*taskqueue.Task
 	var searchCost int64
 	if res.Proceeded {
-		sr := hashmem.SearchOpposite(line, t.Join, t.Side, t.Sign, t.Wmes, entry, nil, func(cs bool, cw []*wm.WME) {
+		sr := hashmem.SearchOpposite(line, t.Join, t.Side, t.Sign, t.Wmes, entry, nil, nil, func(cs bool, cw []*wm.WME) {
 			children = append(children, s.childTasks(t.Join, cs, cw)...)
 		})
 		searchCost = int64(sr.OppExamined)*s.cost.OppExamine + int64(sr.Pairs)*s.cost.PairEmit
@@ -449,12 +449,12 @@ func (s *sim) mrswExit(p *proc, g *simMRSW, side rete.Side, children []*taskqueu
 // execJoin runs a whole activation under the simple line lock and
 // returns its children and its critical-section cost.
 func (s *sim) execJoin(line *hashmem.Line, t *taskqueue.Task, hash uint64, extra int64) ([]*taskqueue.Task, int64) {
-	entry, res := hashmem.UpdateOwn(line, t.Join, t.Side, t.Sign, t.Wmes, hash, nil)
+	entry, res := hashmem.UpdateOwn(line, t.Join, t.Side, t.Sign, t.Wmes, hash, nil, nil)
 	cost := extra + s.cost.UpdateOwnBase + int64(res.OwnScanned)*s.cost.OwnScanEntry
 	var children []*taskqueue.Task
 	exam := int64(0)
 	if res.Proceeded {
-		sr := hashmem.SearchOpposite(line, t.Join, t.Side, t.Sign, t.Wmes, entry, nil, func(cs bool, cw []*wm.WME) {
+		sr := hashmem.SearchOpposite(line, t.Join, t.Side, t.Sign, t.Wmes, entry, nil, nil, func(cs bool, cw []*wm.WME) {
 			children = append(children, s.childTasks(t.Join, cs, cw)...)
 		})
 		cost += int64(sr.OppExamined)*s.cost.OppExamine + int64(sr.Pairs)*s.cost.PairEmit

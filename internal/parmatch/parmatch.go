@@ -1,11 +1,21 @@
 // Package parmatch is the PSM-E parallel matcher: one control process
 // (the engine goroutine, which calls Submit/Drain) plus k match
 // goroutines that cooperate to pass tokens through a single shared Rete
-// network (§3.1). Tokens awaiting processing live on one or more task
-// queues; node memories live in the two global hash tables, with one
-// lock per line in either the simple or the multiple-reader-single-writer
-// scheme; the global TaskCount tells the control process when match is
-// over.
+// network (§3.1). Tokens awaiting processing live on per-worker local
+// deques and one or more central task queues; node memories live in the
+// two global hash tables, with one lock per line in either the simple
+// or the multiple-reader-single-writer scheme; the global TaskCount
+// tells the control process when match is over.
+//
+// Scheduling follows the paper's multiple-queue remedy for central
+// queue contention (§4.2) taken one step further: each worker owns a
+// bounded lock-free deque it pushes and pops without synchronization,
+// spilling to the central spin-locked queues only on overflow and
+// stealing from peers only when both its deque and the central queues
+// are dry. The match hot path is also allocation-free in the steady
+// state: task objects and memory entries recycle through per-worker
+// free lists, and output token slices come from per-worker arenas
+// (hashmem.Pools).
 //
 // This backend runs real concurrency and is exercised under the race
 // detector; the deterministic Encore Multimax timing model lives in
@@ -46,10 +56,27 @@ func (s Scheme) String() string {
 // Config sizes the matcher.
 type Config struct {
 	Procs  int    // number of match processes (the k of "1+k")
-	Queues int    // number of task queues
+	Queues int    // number of central task queues
 	Lines  int    // hash-table lines (0 = 16384)
 	Scheme Scheme // line-lock scheme
+	// LocalCap bounds each worker's local deque (0 = 256). Small values
+	// force the overflow and steal paths, which the tests exploit.
+	LocalCap int
 }
+
+// taskPoolCap bounds each worker's task free list.
+const taskPoolCap = 1024
+
+// stealWatermark is the local-deque depth at which a worker wakes a
+// parked peer to steal from it.
+const stealWatermark = 16
+
+// pollBudget is how many scheduler yields a worker that ran dry spends
+// polling before it parks: long enough for the control process to
+// finish a typical RHS and submit the next phase, so one warm worker
+// rides across phase boundaries instead of handing each phase to a
+// cold peer.
+const pollBudget = 512
 
 // pad keeps per-worker counters on separate cache lines.
 type workerStats struct {
@@ -59,13 +86,28 @@ type workerStats struct {
 
 // Matcher is the parallel match backend. It implements engine.Matcher.
 type Matcher struct {
-	net    *rete.Network
-	table  *hashmem.Table
-	simple []spinlock.Lock
-	mrsw   []spinlock.MRSW
-	queues *taskqueue.Queues
-	sink   rete.TerminalSink
-	cfg    Config
+	net      *rete.Network
+	table    *hashmem.Table
+	simple   []spinlock.Lock
+	mrsw     []spinlock.MRSW
+	queues   *taskqueue.Queues
+	rootFree *taskqueue.FreeList
+	sink     rete.TerminalSink
+	cfg      Config
+	workers  []*wctx
+
+	// Parked workers block on their own wake channel, and every path
+	// that makes work visible outside a worker's own deque (Submit,
+	// overflow spill, MRSW requeue, deep local backlog) kicks one of
+	// them awake with a non-blocking token. This keeps phase-start
+	// latency at a channel send instead of a sleep period, which is what
+	// lets procs > cores configurations run at near-sequential speed.
+	// lastParked remembers the most recent parker so a kick can target
+	// the worker with the warmest cache (the one that drained the
+	// previous phase) rather than an arbitrary cold one.
+	multiCPU   bool         // >1 physical CPUs: backlog kicks can buy real parallelism
+	parked     atomic.Int64 // workers currently registered as parked
+	lastParked atomic.Int32 // id of the most recent parker (-1 before any)
 
 	stop    atomic.Bool
 	wg      sync.WaitGroup
@@ -73,6 +115,34 @@ type Matcher struct {
 	pushRR  atomic.Int64
 	actives atomic.Int64 // node activations processed (tasks completed)
 	changes atomic.Int64 // working-memory changes submitted
+}
+
+// wctx is one match process's private state: its local deque, free
+// lists, arena, contention counters and the pre-bound closures that
+// keep the hot path from allocating a closure per task.
+type wctx struct {
+	m     *Matcher
+	id    int
+	pref  int // preferred central queue
+	rr    int // rotating central-queue cursor for spills and requeues
+	local *taskqueue.Deque
+	free  []*taskqueue.Task
+	pools hashmem.Pools
+	cs    *stats.Contention
+
+	// Per-task state read by the pre-bound closures below.
+	curJoin *rete.JoinNode // join whose outputs emit fans out
+	curSign bool           // sign of the root change being delivered
+	curWME  *wm.WME        // root WME being delivered
+	curRoot []*wm.WME      // shared length-1 token for curWME, built lazily
+
+	emitFn    hashmem.Emit         // bound once to (*wctx).emit
+	deliverFn func(rete.AlphaDest) // bound once to (*wctx).deliver
+
+	wake     chan struct{} // cap-1 park channel; kicks land here
+	isParked atomic.Bool   // registered as parked (kick target scan)
+	didWork  bool          // processed a task since last claiming lastParked
+	stealRot int
 }
 
 // New builds the matcher and starts its match goroutines. Call Close
@@ -88,18 +158,38 @@ func New(net *rete.Network, cfg Config, sink rete.TerminalSink) *Matcher {
 		cfg.Lines = 16384
 	}
 	m := &Matcher{
-		net:    net,
-		table:  hashmem.New(cfg.Lines),
-		queues: taskqueue.New(cfg.Queues),
-		sink:   sink,
-		cfg:    cfg,
-		ws:     make([]workerStats, cfg.Procs+1),
+		net:      net,
+		table:    hashmem.New(cfg.Lines),
+		queues:   taskqueue.New(cfg.Queues),
+		rootFree: taskqueue.NewFreeList(0),
+		sink:     sink,
+		cfg:      cfg,
+		multiCPU: runtime.NumCPU() > 1,
+		ws:       make([]workerStats, cfg.Procs+1),
 	}
+	m.lastParked.Store(-1)
 	n := len(m.table.Lines)
 	if cfg.Scheme == SchemeSimple {
 		m.simple = make([]spinlock.Lock, n)
 	} else {
 		m.mrsw = make([]spinlock.MRSW, n)
+	}
+	// Build every worker context before starting any goroutine: workers
+	// steal from each other's deques through this slice.
+	m.workers = make([]*wctx, cfg.Procs)
+	for i := 0; i < cfg.Procs; i++ {
+		w := &wctx{
+			m:     m,
+			id:    i,
+			pref:  i % m.queues.Len(),
+			rr:    i,
+			local: taskqueue.NewDeque(cfg.LocalCap),
+			cs:    &m.ws[i].c,
+			wake:  make(chan struct{}, 1),
+		}
+		w.emitFn = w.emit
+		w.deliverFn = w.deliver
+		m.workers[i] = w
 	}
 	for i := 0; i < cfg.Procs; i++ {
 		m.wg.Add(1)
@@ -110,14 +200,77 @@ func New(net *rete.Network, cfg Config, sink rete.TerminalSink) *Matcher {
 
 // Submit pushes one working-memory change as a root token. The control
 // process proceeds with RHS evaluation while match goroutines pick the
-// token up — the pipelining of §3.1.
+// token up — the pipelining of §3.1. Root tasks recycle through a
+// shared free list refilled by the workers that retire them.
 func (m *Matcher) Submit(sign bool, w *wm.WME) {
 	m.changes.Add(1)
-	t := &taskqueue.Task{Root: w, Sign: sign}
+	t := m.rootFree.Get()
+	if t == nil {
+		t = &taskqueue.Task{}
+	}
+	t.Root, t.Sign = w, sign
 	spins := m.queues.Push(int(m.pushRR.Add(1)), t)
 	cs := &m.ws[m.cfg.Procs].c
 	cs.QueueAcquires++
 	cs.QueueSpins += spins
+	m.kick()
+}
+
+// kick wakes one parked worker, if any. On a uniprocessor the kick is
+// suppressed while any worker is awake — that worker will sweep the
+// central queues before it parks (workers re-check after registering
+// as parked, so the task cannot be missed), and waking a second worker
+// there only creates a thief racing the one that takes the work — and
+// otherwise targets the most recent parker, whose caches are still
+// warm from draining the previous phase. On multicore any parked
+// worker will do.
+func (m *Matcher) kick() {
+	if !m.multiCPU {
+		// One CPU wants exactly one drainer.
+		if m.parked.Load() < int64(m.cfg.Procs) {
+			return
+		}
+		id := m.lastParked.Load()
+		if id < 0 {
+			id = 0
+		}
+		m.workers[id].kick()
+		return
+	}
+	start := int(m.pushRR.Load())
+	n := len(m.workers)
+	for i := 0; i < n; i++ {
+		w := m.workers[(start+i)%n]
+		if w.isParked.Load() {
+			w.kick()
+			return
+		}
+	}
+	// Every worker is awake; the sleeper protocol guarantees one of
+	// them sweeps the queues before parking, so no wake is lost.
+}
+
+// kick drops a wake token on this worker's park channel; a full
+// channel means a token is already pending and the worker will wake.
+func (w *wctx) kick() {
+	select {
+	case w.wake <- struct{}{}:
+	default:
+	}
+}
+
+// unkick consumes this worker's pending wake token, if any. A worker
+// that takes advertised work (a central-queue pop or a steal) retires
+// the token that advertised it, so stale tokens don't wake it again
+// into a fruitless poll-steal cycle — on a host with fewer cores than
+// workers those spurious wakes were the dominant parallel overhead.
+// Kicks are hints, not a count: the park-timer backstop covers any
+// token lost to this race.
+func (w *wctx) unkick() {
+	select {
+	case <-w.wake:
+	default:
+	}
 }
 
 // Drain blocks until TaskCount reaches zero.
@@ -126,6 +279,12 @@ func (m *Matcher) Drain() { m.queues.WaitIdle() }
 // Close stops the match goroutines. The matcher must be idle.
 func (m *Matcher) Close() {
 	m.stop.Store(true)
+	// Direct sends, bypassing kick's uniprocessor gate: every parked
+	// worker must wake to observe stop (the park timer would get there
+	// too, just slower).
+	for _, w := range m.workers {
+		w.kick()
+	}
 	m.wg.Wait()
 }
 
@@ -143,11 +302,22 @@ func (m *Matcher) MatchStats() stats.Match {
 	}
 }
 
-// Contention merges the per-process spin counters.
+// Contention merges the per-process spin, steal and overflow counters.
 func (m *Matcher) Contention() stats.Contention {
 	var out stats.Contention
 	for i := range m.ws {
 		out.Add(&m.ws[i].c)
+	}
+	return out
+}
+
+// WorkerContention returns each match process's own counters (index
+// Procs is the control process) for load-balance diagnostics. Like
+// Contention, only meaningful while drained.
+func (m *Matcher) WorkerContention() []stats.Contention {
+	out := make([]stats.Contention, len(m.ws))
+	for i := range m.ws {
+		out[i] = m.ws[i].c
 	}
 	return out
 }
@@ -164,66 +334,231 @@ func (m *Matcher) CheckInvariants() error {
 
 func (m *Matcher) worker(id int) {
 	defer m.wg.Done()
-	pref := id % m.queues.Len()
-	rr := id
-	idle := 0
-	cs := &m.ws[id].c
+	w := m.workers[id]
+	// park timer: the fallback poll period while blocked on the wake
+	// channel, covering lost kicks and Close.
+	timer := time.NewTimer(time.Hour)
+	defer timer.Stop()
+	// Born past the poll budget: a new worker parks immediately instead
+	// of spinning at startup, so a working-memory burst right after New
+	// (the engine's initial asserts) is drained by one kicked worker
+	// rather than split across every newborn polling at once.
+	idle := pollBudget + 1
 	for {
-		t, spins := m.queues.Pop(pref)
+		t := w.next()
 		if t == nil {
 			if m.stop.Load() {
 				return
 			}
+			// A few yields to catch work already in flight, then park on
+			// the wake channel. Parked workers cost nothing, so procs >
+			// cores configurations run at near-sequential speed instead of
+			// starving the one busy worker. The sleeper protocol: register
+			// as parked, re-check for work, then block — a submitter that
+			// saw us awake must have pushed before we registered, so the
+			// re-check finds its task and no wakeup is lost. The timer is
+			// a pure backstop (Close and pathological races).
 			idle++
-			if idle > 256 {
-				time.Sleep(20 * time.Microsecond)
-			} else {
+			if idle <= pollBudget {
 				runtime.Gosched()
+				continue
 			}
-			continue
+			w.isParked.Store(true)
+			m.parked.Add(1)
+			// Only a worker that drained real work claims the warm-drainer
+			// title; fruitless timer wakes re-park without shuffling it.
+			if w.didWork {
+				w.didWork = false
+				m.lastParked.Store(int32(w.id))
+			}
+			if t = w.next(); t == nil {
+				for {
+					if !timer.Stop() {
+						select {
+						case <-timer.C:
+						default:
+						}
+					}
+					timer.Reset(100 * time.Millisecond)
+					select {
+					case <-w.wake:
+					case <-timer.C:
+					}
+					// Waking on a uniprocessor while another worker is awake
+					// would only poach its work and contend on its hash
+					// lines; stay parked and let it drain alone. (Reached on
+					// channel wakes too: the kicker may have raced a worker
+					// that re-checked, took the task and deregistered.)
+					if !m.multiCPU && !m.stop.Load() &&
+						m.parked.Load() < int64(m.cfg.Procs) {
+						continue
+					}
+					break
+				}
+				m.parked.Add(-1)
+				w.isParked.Store(false)
+				continue
+			}
+			m.parked.Add(-1)
+			w.isParked.Store(false)
 		}
-		cs.QueueAcquires++
-		cs.QueueSpins += spins
 		idle = 0
-		m.process(t, &rr, cs)
+		w.didWork = true
+		requeued := w.process(t)
 		m.queues.Done()
 		m.actives.Add(1)
+		if !requeued {
+			w.freeTask(t)
+		}
 	}
 }
 
-// push schedules a new task, rotating across queues.
-func (m *Matcher) push(t *taskqueue.Task, rr *int, cs *stats.Contention) {
-	*rr++
-	spins := m.queues.Push(*rr, t)
-	cs.QueueAcquires++
-	cs.QueueSpins += spins
+// next finds the worker's next task: own deque first (no locks), then
+// the central queues, then a steal sweep over the peers.
+func (w *wctx) next() *taskqueue.Task {
+	if t := w.local.Pop(); t != nil {
+		w.cs.LocalPops++
+		return t
+	}
+	t, spins := w.m.queues.Pop(w.pref)
+	// Counter writes are skipped on the idle path (empty queues pop
+	// without locking, spins==0) so Contention() is data-race-free for a
+	// drained matcher, as the protocol promises.
+	if spins != 0 {
+		w.cs.QueueSpins += spins
+	}
+	if t != nil {
+		w.cs.QueueAcquires++
+		w.unkick()
+		return t
+	}
+	peers := w.m.workers
+	if n := len(peers); n > 1 {
+		w.stealRot++
+		for i := 0; i < n; i++ {
+			v := peers[(w.id+w.stealRot+i)%n]
+			if v == w {
+				continue
+			}
+			if t := v.local.Steal(); t != nil {
+				w.cs.Steals++
+				w.unkick()
+				return t
+			}
+		}
+	}
+	return nil
 }
 
-func (m *Matcher) process(t *taskqueue.Task, rr *int, cs *stats.Contention) {
+// spawn schedules a child task: TaskCount first (the task must be
+// counted before any other process can retire it), then the local
+// deque, spilling to the central queues when full.
+func (w *wctx) spawn(t *taskqueue.Task) {
+	w.m.queues.TaskCount.Add(1)
+	if w.local.Push(t) {
+		w.cs.LocalPushes++
+		// Deep backlog: wake a parked peer to come steal. The size check
+		// is owner-exact and the kick is a non-blocking send, so this
+		// costs one branch in the common (shallow) case. Only worth it
+		// when another CPU can actually run the thief — on a uniprocessor
+		// the stolen sibling token just collides with the owner on the
+		// same hash lines, so deep backlogs stay local there.
+		if w.m.multiCPU && w.local.Size() == stealWatermark {
+			w.m.kick()
+		}
+		return
+	}
+	w.cs.Overflows++
+	w.rr++
+	spins := w.m.queues.Spill(w.rr, t)
+	w.cs.QueueAcquires++
+	w.cs.QueueSpins += spins
+	w.m.kick()
+}
+
+// newTask takes a task from the worker's free list, or allocates.
+func (w *wctx) newTask() *taskqueue.Task {
+	if n := len(w.free); n > 0 {
+		t := w.free[n-1]
+		w.free[n-1] = nil
+		w.free = w.free[:n-1]
+		return t
+	}
+	return &taskqueue.Task{}
+}
+
+// freeTask recycles a retired task. Root tasks go back to the shared
+// list Submit draws from; everything else stays worker-local.
+func (w *wctx) freeTask(t *taskqueue.Task) {
+	if t.Root != nil {
+		w.m.rootFree.Put(t)
+		return
+	}
+	t.Reset()
+	if len(w.free) < taskPoolCap {
+		w.free = append(w.free, t)
+	}
+}
+
+// process runs one task. It reports whether the task was requeued (and
+// so must not be recycled).
+func (w *wctx) process(t *taskqueue.Task) (requeued bool) {
 	switch {
 	case t.Root != nil:
-		m.net.RootDeliver(t.Root, func(d rete.AlphaDest) {
-			nt := &taskqueue.Task{Sign: t.Sign, Wmes: []*wm.WME{t.Root}}
-			if d.Terminal != nil {
-				nt.Term = d.Terminal
-			} else {
-				nt.Join = d.Join
-				nt.Side = d.Side
-			}
-			m.push(nt, rr, cs)
-		})
+		w.curSign = t.Sign
+		w.curWME = t.Root
+		w.curRoot = nil
+		w.m.net.RootDeliver(t.Root, w.deliverFn)
 	case t.Term != nil:
 		if t.Sign {
-			m.sink.InsertInstantiation(t.Term.Rule, t.Wmes)
+			w.m.sink.InsertInstantiation(t.Term.Rule, t.Wmes)
 		} else {
-			m.sink.RemoveInstantiation(t.Term.Rule, t.Wmes)
+			w.m.sink.RemoveInstantiation(t.Term.Rule, t.Wmes)
 		}
 	default:
-		m.join(t, rr, cs)
+		return w.join(t)
+	}
+	return false
+}
+
+// deliver spawns one alpha-destination task for the root change being
+// processed. All destinations share one immutable length-1 token.
+func (w *wctx) deliver(d rete.AlphaDest) {
+	if w.curRoot == nil {
+		s := w.pools.MakeToken(1)
+		s[0] = w.curWME
+		w.curRoot = s
+	}
+	nt := w.newTask()
+	nt.Sign = w.curSign
+	nt.Wmes = w.curRoot
+	if d.Terminal != nil {
+		nt.Term = d.Terminal
+	} else {
+		nt.Join = d.Join
+		nt.Side = d.Side
+	}
+	w.spawn(nt)
+}
+
+// emit fans one output token of the current join out to its successor
+// joins and terminals.
+func (w *wctx) emit(csign bool, cwmes []*wm.WME) {
+	j := w.curJoin
+	for _, succ := range j.Succs {
+		nt := w.newTask()
+		nt.Join, nt.Side, nt.Sign, nt.Wmes = succ, rete.Left, csign, cwmes
+		w.spawn(nt)
+	}
+	for _, term := range j.Terminals {
+		nt := w.newTask()
+		nt.Term, nt.Sign, nt.Wmes = term, csign, cwmes
+		w.spawn(nt)
 	}
 }
 
-func (m *Matcher) join(t *taskqueue.Task, rr *int, cs *stats.Contention) {
+func (w *wctx) join(t *taskqueue.Task) (requeued bool) {
+	m := w.m
 	j := t.Join
 	var hash uint64
 	if t.Side == rete.Left {
@@ -233,62 +568,64 @@ func (m *Matcher) join(t *taskqueue.Task, rr *int, cs *stats.Contention) {
 	}
 	idx := m.table.LineIndex(j, hash)
 	line := &m.table.Lines[idx]
-	emit := func(csign bool, cwmes []*wm.WME) {
-		for _, succ := range j.Succs {
-			m.push(&taskqueue.Task{Join: succ, Side: rete.Left, Sign: csign, Wmes: cwmes}, rr, cs)
-		}
-		for _, term := range j.Terminals {
-			m.push(&taskqueue.Task{Term: term, Sign: csign, Wmes: cwmes}, rr, cs)
-		}
-	}
+	w.curJoin = j
 	if m.cfg.Scheme == SchemeSimple {
 		spins := m.simple[idx].Acquire()
-		m.recordLine(cs, t.Side, spins)
-		entry, res := hashmem.UpdateOwn(line, j, t.Side, t.Sign, t.Wmes, hash, nil)
+		w.recordLine(t.Side, spins)
+		entry, res := hashmem.UpdateOwn(line, j, t.Side, t.Sign, t.Wmes, hash, nil, &w.pools)
 		if res.Proceeded {
-			hashmem.SearchOpposite(line, j, t.Side, t.Sign, t.Wmes, entry, nil, emit)
+			hashmem.SearchOpposite(line, j, t.Side, t.Sign, t.Wmes, entry, nil, &w.pools, w.emitFn)
 		}
 		m.simple[idx].Release()
-		return
+		if !t.Sign && res.Proceeded {
+			w.pools.FreeEntry(entry) // unlinked under the line lock; now exclusively ours
+		}
+		return false
 	}
 	// MRSW: register for our side; wrong-side arrivals re-queue.
 	ok, spins := m.mrsw[idx].Enter(int(t.Side))
-	m.recordLine(cs, t.Side, spins)
+	w.recordLine(t.Side, spins)
 	if !ok {
 		// Requeue counts the queued copy; the worker's Done() after this
 		// returns releases our in-process claim, so TaskCount stays
 		// balanced at one for the still-pending token.
-		cs.Requeues++
-		m.queues.Requeue(*rr, t)
-		return
+		w.cs.Requeues++
+		w.rr++
+		m.queues.Requeue(w.rr, t)
+		m.kick()
+		return true
 	}
 	spins = m.mrsw[idx].Mod.Acquire()
-	m.recordLine(cs, t.Side, spins)
-	entry, res := hashmem.UpdateOwn(line, j, t.Side, t.Sign, t.Wmes, hash, nil)
+	w.recordLine(t.Side, spins)
+	entry, res := hashmem.UpdateOwn(line, j, t.Side, t.Sign, t.Wmes, hash, nil, &w.pools)
 	if j.Negated && t.Side == rete.Left {
 		// Negated-node left activations must compute or read the join
 		// count atomically with the memory update: a concurrent left
 		// delete of the same token would otherwise observe the entry
 		// before its count is stored and emit an unmatched retraction.
 		if res.Proceeded {
-			hashmem.SearchOpposite(line, j, t.Side, t.Sign, t.Wmes, entry, nil, emit)
+			hashmem.SearchOpposite(line, j, t.Side, t.Sign, t.Wmes, entry, nil, &w.pools, w.emitFn)
 		}
 		m.mrsw[idx].Mod.Release()
 	} else {
 		m.mrsw[idx].Mod.Release()
 		if res.Proceeded {
-			hashmem.SearchOpposite(line, j, t.Side, t.Sign, t.Wmes, entry, nil, emit)
+			hashmem.SearchOpposite(line, j, t.Side, t.Sign, t.Wmes, entry, nil, &w.pools, w.emitFn)
 		}
 	}
 	m.mrsw[idx].Exit()
+	if !t.Sign && res.Proceeded {
+		w.pools.FreeEntry(entry) // Remove unlinked it; no reader survives Exit
+	}
+	return false
 }
 
-func (m *Matcher) recordLine(cs *stats.Contention, side rete.Side, spins int64) {
+func (w *wctx) recordLine(side rete.Side, spins int64) {
 	if side == rete.Left {
-		cs.LineAcquiresLeft++
-		cs.LineSpinsLeft += spins
+		w.cs.LineAcquiresLeft++
+		w.cs.LineSpinsLeft += spins
 	} else {
-		cs.LineAcquiresRight++
-		cs.LineSpinsRight += spins
+		w.cs.LineAcquiresRight++
+		w.cs.LineSpinsRight += spins
 	}
 }

@@ -24,6 +24,14 @@ func Compile(prog *ops5.Program) (*Network, error) {
 			return nil, fmt.Errorf("production %s: %w", r.Name, err)
 		}
 	}
+	// Lower every test into its specialized closure (fastpath.go) so the
+	// matchers never re-branch on test kind per token.
+	for _, c := range b.net.Chains {
+		c.compileFast()
+	}
+	for _, j := range b.net.Joins {
+		j.compileFast()
+	}
 	return b.net, nil
 }
 

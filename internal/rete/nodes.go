@@ -79,10 +79,21 @@ type AlphaChain struct {
 	Tests []ConstTest
 	Dests []AlphaDest
 	key   string
+	// evals are the compiled per-test closures (fastpath.go); nil on
+	// hand-built chains, which fall back to the interpreted Eval.
+	evals []func(*wm.WME) bool
 }
 
 // Matches runs the whole chain on a WME of the right class.
 func (a *AlphaChain) Matches(w *wm.WME) bool {
+	if a.evals != nil {
+		for _, f := range a.evals {
+			if !f(w) {
+				return false
+			}
+		}
+		return true
+	}
 	for i := range a.Tests {
 		if !a.Tests[i].Eval(w) {
 			return false
@@ -129,6 +140,9 @@ type JoinNode struct {
 	// Tourney in §4.2.
 	RuleNames []string
 	key       string
+	// pairFn is the compiled token-pair test (fastpath.go); nil on
+	// hand-built nodes, which fall back to the interpreted loop.
+	pairFn func([]*wm.WME, *wm.WME) bool
 }
 
 // HasEqTests reports whether the node hashes on join values. Nodes
@@ -138,6 +152,9 @@ func (j *JoinNode) HasEqTests() bool { return len(j.EqTests) > 0 }
 
 // TestPair evaluates every join test on a (left token, right WME) pair.
 func (j *JoinNode) TestPair(left []*wm.WME, right *wm.WME) bool {
+	if j.pairFn != nil {
+		return j.pairFn(left, right)
+	}
 	for i := range j.EqTests {
 		t := &j.EqTests[i]
 		if !right.Field(t.RightField).Equal(left[t.LeftPos].Field(t.LeftField)) {

@@ -38,6 +38,17 @@ type Matcher struct {
 	Table   *hashmem.Table
 	Rec     *hashmem.Recorder
 	Sink    rete.TerminalSink
+
+	pools hashmem.Pools
+	// curJoin/curSign carry the context of the innermost activation so
+	// emit and deliver can be bound method values instead of a fresh
+	// closure per Submit/activate call. Saved and restored around the
+	// depth-first recursion.
+	curJoin   *rete.JoinNode
+	curSign   bool
+	curRoot   []*wm.WME
+	emitFn    hashmem.Emit
+	deliverFn func(rete.AlphaDest)
 }
 
 // New builds a sequential matcher. nLines sizes the vs2 hash tables
@@ -52,27 +63,39 @@ func New(net *rete.Network, v Variant, nLines int, sink rete.TerminalSink) *Matc
 		}
 		table = hashmem.New(nLines)
 	}
-	return &Matcher{
+	m := &Matcher{
 		Net:     net,
 		Variant: v,
 		Table:   table,
 		Rec:     hashmem.NewRecorder(len(net.Joins)),
 		Sink:    sink,
 	}
+	m.emitFn = m.emit
+	m.deliverFn = m.deliver
+	return m
 }
 
 // Submit processes one working-memory change to completion, depth-first
 // through the network (the classic sequential Rete discipline).
 func (m *Matcher) Submit(sign bool, w *wm.WME) {
 	m.Rec.M.WMChanges++
-	tests := m.Net.RootDeliver(w, func(d rete.AlphaDest) {
-		if d.Terminal != nil {
-			m.toTerminal(d.Terminal, sign, []*wm.WME{w})
-			return
-		}
-		m.activate(d.Join, d.Side, sign, []*wm.WME{w})
-	})
+	m.curSign = sign
+	tok := m.pools.MakeToken(1)
+	tok[0] = w
+	m.curRoot = tok // one immutable length-1 token shared by all destinations
+	tests := m.Net.RootDeliver(w, m.deliverFn)
 	m.Rec.M.ConstTests += int64(tests)
+}
+
+// deliver routes one alpha destination of the current root change. The
+// depth-first recursion under activate never touches curSign/curRoot,
+// so they stay valid across RootDeliver's destination loop.
+func (m *Matcher) deliver(d rete.AlphaDest) {
+	if d.Terminal != nil {
+		m.toTerminal(d.Terminal, m.curSign, m.curRoot)
+		return
+	}
+	m.activate(d.Join, d.Side, m.curSign, m.curRoot)
 }
 
 // Drain is a no-op: Submit is synchronous.
@@ -108,21 +131,32 @@ func (m *Matcher) activate(j *rete.JoinNode, side rete.Side, sign bool, wmes []*
 		}
 	}
 	line := &m.Table.Lines[m.Table.LineIndex(j, hash)]
-	entry, res := hashmem.UpdateOwn(line, j, side, sign, wmes, hash, m.Rec)
+	entry, res := hashmem.UpdateOwn(line, j, side, sign, wmes, hash, m.Rec, &m.pools)
 	if !sign {
 		hashmem.RecordDelete(m.Rec, side, &res)
 	}
 	if !res.Proceeded {
 		return
 	}
-	hashmem.SearchOpposite(line, j, side, sign, wmes, entry, m.Rec, func(csign bool, cwmes []*wm.WME) {
-		for _, succ := range j.Succs {
-			m.activate(succ, rete.Left, csign, cwmes)
-		}
-		for _, t := range j.Terminals {
-			m.toTerminal(t, csign, cwmes)
-		}
-	})
+	m.curJoin = j
+	hashmem.SearchOpposite(line, j, side, sign, wmes, entry, m.Rec, &m.pools, m.emitFn)
+	if !sign {
+		m.pools.FreeEntry(entry) // removed from its memory; nothing else holds it
+	}
+}
+
+// emit fans one output token of the current join out depth-first. It
+// saves and restores curJoin around the recursion: SearchOpposite may
+// call it several times, and each nested activate overwrites curJoin.
+func (m *Matcher) emit(csign bool, cwmes []*wm.WME) {
+	j := m.curJoin
+	for _, succ := range j.Succs {
+		m.activate(succ, rete.Left, csign, cwmes)
+	}
+	for _, t := range j.Terminals {
+		m.toTerminal(t, csign, cwmes)
+	}
+	m.curJoin = j
 }
 
 func (m *Matcher) toTerminal(t *rete.Terminal, sign bool, wmes []*wm.WME) {

@@ -38,11 +38,12 @@ func benchOut() string {
 // PRs can track the trajectory.
 type benchReport struct {
 	Config struct {
-		Sessions int    `json:"sessions"`
-		Batches  int    `json:"batches"`
-		PerBatch int    `json:"per_batch"`
-		Backend  string `json:"backend"`
-		CPUs     int    `json:"cpus"`
+		Sessions   int    `json:"sessions"`
+		Batches    int    `json:"batches"`
+		PerBatch   int    `json:"per_batch"`
+		Backend    string `json:"backend"`
+		CPUs       int    `json:"cpus"`
+		GoMaxProcs int    `json:"gomaxprocs"`
 	} `json:"config"`
 	RequestsPerSec float64        `json:"requests_per_sec"`
 	FiringsPerSec  float64        `json:"firings_per_sec"`
@@ -109,6 +110,7 @@ func driveServer(sessions, batches, perBatch int, backend string) (*benchReport,
 	rep.Config.PerBatch = perBatch
 	rep.Config.Backend = backend
 	rep.Config.CPUs = runtime.NumCPU()
+	rep.Config.GoMaxProcs = runtime.GOMAXPROCS(0)
 	secs := elapsed.Seconds()
 	rep.RequestsPerSec = float64(sessions*batches) / secs
 	rep.FiringsPerSec = float64(rep.Snapshot.Server.Firings) / secs
@@ -122,6 +124,10 @@ func driveServer(sessions, batches, perBatch int, backend string) (*benchReport,
 // seed. Scale stays small enough for CI; BenchmarkServerThroughput is
 // the tunable version.
 func TestBenchServerJSON(t *testing.T) {
+	// Run with GOMAXPROCS > 1 so concurrent sessions genuinely overlap;
+	// config records both the raised value and the host's real CPU count.
+	prev := runtime.GOMAXPROCS(4)
+	defer runtime.GOMAXPROCS(prev)
 	rep, err := driveServer(8, 10, 16, "vs2")
 	if err != nil {
 		t.Fatal(err)

@@ -8,28 +8,37 @@ import (
 )
 
 // metrics is the server-wide counter sink: stats.Server counters, the
-// folded stats.Match totals of every session (live and closed), and
-// latency/batch-size histograms. One mutex guards it all — updates are
-// a handful of integer adds, far off the match hot path.
+// folded stats.Match and stats.Contention totals of every session (live
+// and closed), latency histograms and count histograms. One mutex
+// guards it all — updates are a handful of integer adds, far off the
+// match hot path.
 type metrics struct {
-	mu    sync.Mutex
-	srv   stats.Server
-	match stats.Match
-	hists map[string]*stats.Histogram
+	mu     sync.Mutex
+	srv    stats.Server
+	match  stats.Match
+	cont   stats.Contention
+	hists  map[string]*stats.Histogram // latency, µs
+	counts map[string]*stats.Histogram // sizes, items (ObserveCount)
 }
 
-// Histogram keys.
+// Latency histogram keys.
 const (
-	histRequest = "request"    // whole-request latency, µs
-	histRun     = "run"        // recognize-act run portion, µs
-	histBatch   = "batch_size" // WM changes per batch (count "µs" = items)
+	histRequest = "request" // whole-request latency, µs
+	histRun     = "run"     // recognize-act run portion, µs
+)
+
+// Count histogram keys.
+const (
+	countBatch = "batch_items" // WM changes per batch
 )
 
 func (m *metrics) init() {
 	m.hists = map[string]*stats.Histogram{
 		histRequest: {},
 		histRun:     {},
-		histBatch:   {},
+	}
+	m.counts = map[string]*stats.Histogram{
+		countBatch: {},
 	}
 }
 
@@ -79,8 +88,7 @@ func (m *metrics) batchDone(asserts, retracts int, res *BatchResult, d time.Dura
 		m.srv.LimitStops++
 	}
 	m.hists[histRun].Observe(d)
-	// Batch size rides the µs-bucketed histogram: one "µs" = one item.
-	m.hists[histBatch].Observe(time.Duration(asserts+retracts) * time.Microsecond)
+	m.counts[countBatch].ObserveCount(int64(asserts + retracts))
 	m.mu.Unlock()
 }
 
@@ -90,17 +98,28 @@ func (m *metrics) foldMatch(delta *stats.Match) {
 	m.mu.Unlock()
 }
 
+func (m *metrics) foldContention(delta *stats.Contention) {
+	m.mu.Lock()
+	m.cont.Add(delta)
+	m.mu.Unlock()
+}
+
 // Snapshot returns the point-in-time metrics view served by /metrics.
 func (s *Server) Snapshot() stats.Snapshot {
 	s.met.mu.Lock()
 	defer s.met.mu.Unlock()
 	snap := stats.Snapshot{
-		Server:  s.met.srv,
-		Match:   s.met.match,
-		Latency: make(map[string]stats.LatencySummary, len(s.met.hists)),
+		Server:     s.met.srv,
+		Match:      s.met.match,
+		Contention: s.met.cont,
+		Latency:    make(map[string]stats.LatencySummary, len(s.met.hists)),
+		Counts:     make(map[string]stats.CountSummary, len(s.met.counts)),
 	}
 	for k, h := range s.met.hists {
 		snap.Latency[k] = h.Summary()
+	}
+	for k, h := range s.met.counts {
+		snap.Counts[k] = h.CountSummary()
 	}
 	return snap
 }

@@ -106,6 +106,9 @@ type Session struct {
 	matcher backend
 	broken  error       // set when a panic quarantined the session
 	prev    stats.Match // counters already folded into server metrics
+	// prevCont mirrors prev for the contention counters of parallel
+	// backends (zero for sequential ones).
+	prevCont stats.Contention
 }
 
 // New builds a server and starts its worker pool.
@@ -374,6 +377,15 @@ func (s *Server) foldStatsLocked(sess *Session) {
 	delta.Sub(&sess.prev)
 	sess.prev = cur
 	s.met.foldMatch(&delta)
+	// Parallel backends also expose scheduler/lock contention counters;
+	// fold their delta the same way.
+	if cm, ok := sess.matcher.(interface{ Contention() stats.Contention }); ok {
+		ccur := cm.Contention()
+		cdelta := ccur
+		cdelta.Sub(&sess.prevCont)
+		sess.prevCont = ccur
+		s.met.foldContention(&cdelta)
+	}
 }
 
 // WMEInput is one element to assert: a class name and attribute values

@@ -16,10 +16,13 @@ import (
 	"sync/atomic"
 )
 
-// yieldEvery bounds busy-waiting between scheduler yields. On the paper's
-// Multimax every process owned a CPU and spun freely; on a host with
-// fewer cores than match goroutines we must let the lock holder run.
-const yieldEvery = 64
+// hotSpins bounds the initial busy-wait. On the paper's Multimax every
+// process owned a CPU and spun freely; in Go a lock holder can be
+// descheduled mid-critical-section, at which point further spinning
+// only keeps the holder off the CPU. So after a short hot window sized
+// for holders running concurrently, Acquire yields on every failed
+// observation (spin-then-yield, Anderson's uniprocessor remedy).
+const hotSpins = 32
 
 // Lock is a test-and-test-and-set spin lock. The zero value is unlocked.
 type Lock struct {
@@ -36,7 +39,7 @@ func (l *Lock) Acquire() (spins int64) {
 			}
 		}
 		spins++
-		if spins%yieldEvery == 0 {
+		if spins >= hotSpins {
 			runtime.Gosched()
 		}
 	}

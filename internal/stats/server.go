@@ -96,10 +96,33 @@ func (h *Histogram) Add(o *Histogram) {
 	}
 }
 
+// ObserveCount records a unitless size observation (batch items, token
+// counts) in the same log-2 buckets. Count-valued histograms must use
+// this instead of Observe so sizes are not mistaken for durations; they
+// render through CountSummary, which labels fields in items rather than
+// microseconds.
+func (h *Histogram) ObserveCount(n int64) {
+	if n < 0 {
+		n = 0
+	}
+	h.Count++
+	h.SumUs += n
+	if n > h.MaxUs {
+		h.MaxUs = n
+	}
+	h.Buckets[bucketOf(n)]++
+}
+
 // Quantile returns an upper bound (the bucket's upper edge, clamped to
 // the observed maximum) for the q-quantile, q in [0, 1]. Zero
 // observations yield 0.
 func (h *Histogram) Quantile(q float64) time.Duration {
+	return time.Duration(h.quantileRaw(q)) * time.Microsecond
+}
+
+// quantileRaw is Quantile in the histogram's native unit (µs for
+// latency histograms, items for count histograms).
+func (h *Histogram) quantileRaw(q float64) int64 {
 	if h.Count == 0 {
 		return 0
 	}
@@ -116,14 +139,14 @@ func (h *Histogram) Quantile(q float64) time.Duration {
 	for i, n := range h.Buckets {
 		seen += n
 		if seen >= rank {
-			upper := int64(1) << uint(i+1) // exclusive upper edge in µs
+			upper := int64(1) << uint(i+1) // exclusive upper edge
 			if upper > h.MaxUs {
 				upper = h.MaxUs
 			}
-			return time.Duration(upper) * time.Microsecond
+			return upper
 		}
 	}
-	return time.Duration(h.MaxUs) * time.Microsecond
+	return h.MaxUs
 }
 
 // MeanUs returns the mean observation in microseconds.
@@ -151,12 +174,40 @@ func (h *Histogram) Summary() LatencySummary {
 	}
 }
 
+// CountSummary is the rendered form of a count-valued histogram
+// (ObserveCount): same quantile machinery as LatencySummary, but the
+// unit is items, not microseconds.
+type CountSummary struct {
+	Count int64   `json:"count"`
+	Mean  float64 `json:"mean_items"`
+	P50   int64   `json:"p50_items"`
+	P90   int64   `json:"p90_items"`
+	P99   int64   `json:"p99_items"`
+	Max   int64   `json:"max_items"`
+}
+
+// CountSummary renders a count-valued histogram's headline quantiles.
+func (h *Histogram) CountSummary() CountSummary {
+	return CountSummary{
+		Count: h.Count,
+		Mean:  Mean(h.SumUs, h.Count),
+		P50:   h.quantileRaw(0.50),
+		P90:   h.quantileRaw(0.90),
+		P99:   h.quantileRaw(0.99),
+		Max:   h.MaxUs,
+	}
+}
+
 // Snapshot is the point-in-time view GET /metrics serves and the bench
 // harness writes into BENCH_*.json: server counters, the aggregated
-// match counters of every live and closed session, and latency
-// summaries keyed by operation ("request", "batch", ...).
+// match counters of every live and closed session, scheduler/lock
+// contention from parallel-backend sessions, latency summaries keyed by
+// operation ("request", "run", ...) and size summaries keyed by
+// quantity ("batch_items").
 type Snapshot struct {
-	Server  Server                    `json:"server"`
-	Match   Match                     `json:"match"`
-	Latency map[string]LatencySummary `json:"latency"`
+	Server     Server                    `json:"server"`
+	Match      Match                     `json:"match"`
+	Contention Contention                `json:"contention"`
+	Latency    map[string]LatencySummary `json:"latency"`
+	Counts     map[string]CountSummary   `json:"counts"`
 }

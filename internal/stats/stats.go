@@ -81,19 +81,28 @@ func Mean(num, den int64) float64 {
 	return float64(num) / float64(den)
 }
 
-// Contention aggregates spin-lock statistics for the parallel runs.
-// "Spins" follows the paper's measure: the number of times a process
-// observes the lock busy before acquiring it.
+// Contention aggregates spin-lock and work-distribution statistics for
+// the parallel runs. "Spins" follows the paper's measure: the number of
+// times a process observes the lock busy before acquiring it. The
+// local/steal/overflow counters instrument the per-worker deques layered
+// over the paper's central queues: LocalPushes/LocalPops never touch a
+// lock, Steals move tasks between workers, Overflows count local-deque
+// spills back onto the central spin-locked queues.
 type Contention struct {
-	QueueAcquires int64 // task-queue lock acquisitions
-	QueueSpins    int64 // spins observed while acquiring task-queue locks
+	QueueAcquires int64 `json:"queue_acquires"` // task-queue lock acquisitions
+	QueueSpins    int64 `json:"queue_spins"`    // spins observed while acquiring task-queue locks
 
-	LineAcquiresLeft  int64 // hash-line acquisitions for left activations
-	LineSpinsLeft     int64
-	LineAcquiresRight int64
-	LineSpinsRight    int64
+	LineAcquiresLeft  int64 `json:"line_acquires_left"` // hash-line acquisitions for left activations
+	LineSpinsLeft     int64 `json:"line_spins_left"`
+	LineAcquiresRight int64 `json:"line_acquires_right"`
+	LineSpinsRight    int64 `json:"line_spins_right"`
 
-	Requeues int64 // MRSW wrong-side re-queues
+	Requeues int64 `json:"requeues"` // MRSW wrong-side re-queues
+
+	LocalPushes int64 `json:"local_pushes"` // tasks pushed onto a worker's own deque
+	LocalPops   int64 `json:"local_pops"`   // tasks popped back off the owner's deque
+	Steals      int64 `json:"steals"`       // tasks taken from another worker's deque
+	Overflows   int64 `json:"overflows"`    // local-deque spills onto the central queues
 }
 
 // Add accumulates o into c.
@@ -105,4 +114,23 @@ func (c *Contention) Add(o *Contention) {
 	c.LineAcquiresRight += o.LineAcquiresRight
 	c.LineSpinsRight += o.LineSpinsRight
 	c.Requeues += o.Requeues
+	c.LocalPushes += o.LocalPushes
+	c.LocalPops += o.LocalPops
+	c.Steals += o.Steals
+	c.Overflows += o.Overflows
+}
+
+// Sub subtracts o from c, for per-session delta folding like Match.Sub.
+func (c *Contention) Sub(o *Contention) {
+	c.QueueAcquires -= o.QueueAcquires
+	c.QueueSpins -= o.QueueSpins
+	c.LineAcquiresLeft -= o.LineAcquiresLeft
+	c.LineSpinsLeft -= o.LineSpinsLeft
+	c.LineAcquiresRight -= o.LineAcquiresRight
+	c.LineSpinsRight -= o.LineSpinsRight
+	c.Requeues -= o.Requeues
+	c.LocalPushes -= o.LocalPushes
+	c.LocalPops -= o.LocalPops
+	c.Steals -= o.Steals
+	c.Overflows -= o.Overflows
 }

@@ -19,6 +19,7 @@ import (
 	"repro/internal/parmatch"
 	"repro/internal/rete"
 	"repro/internal/seqmatch"
+	"repro/internal/stats"
 	"repro/internal/workload"
 )
 
@@ -180,9 +181,17 @@ func RunSeq(spec Spec, variant string) (*SeqRun, error) {
 	return run, nil
 }
 
+// ParRun is one execution on the real goroutine matcher: the engine
+// result plus the matcher's own counters, read after the final drain.
+type ParRun struct {
+	Res   *engine.Result
+	Match stats.Match
+	Cont  stats.Contention
+}
+
 // RunPar executes a spec on the real goroutine matcher, for the on-host
 // parallel sanity numbers reported alongside the simulation.
-func RunPar(spec Spec, cfg parmatch.Config) (*engine.Result, error) {
+func RunPar(spec Spec, cfg parmatch.Config) (*ParRun, error) {
 	prog, net, err := compile(spec)
 	if err != nil {
 		return nil, err
@@ -201,7 +210,7 @@ func RunPar(spec Spec, cfg parmatch.Config) (*engine.Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	return res, nil
+	return &ParRun{Res: res, Match: pm.MatchStats(), Cont: pm.Contention()}, nil
 }
 
 // RunSim executes a spec on the Multimax simulator.

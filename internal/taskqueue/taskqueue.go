@@ -1,9 +1,15 @@
-// Package taskqueue implements the paper's central task scheduling: one
-// or more LIFO token queues protected by spin locks, plus the global
-// TaskCount that tells the control process when the match phase is over
-// (§3.2). Tokens carry the address of the destination node and, for
-// two-input nodes, the side — the two extra fields the parallel token
-// adds over the sequential one.
+// Package taskqueue implements the paper's task scheduling: one or
+// more central LIFO token queues protected by spin locks, plus the
+// global TaskCount that tells the control process when the match phase
+// is over (§3.2). Tokens carry the address of the destination node
+// and, for two-input nodes, the side — the two extra fields the
+// parallel token adds over the sequential one.
+//
+// Layered over the central queues, Deque gives each match process a
+// bounded lock-free local pool (deque.go); the central queues then
+// serve only as the overflow target and the worker-to-worker transfer
+// edge, which is what keeps their spin-lock contention off the match
+// hot path.
 package taskqueue
 
 import (
@@ -27,6 +33,14 @@ type Task struct {
 	Wmes []*wm.WME
 }
 
+// Reset clears every field so a pooled Task carries nothing stale.
+func (t *Task) Reset() { *t = Task{} }
+
+// initialQueueCap pre-sizes each central queue's backing array so the
+// steady state never grows it: append churn on the spin-locked path was
+// measurable at high worker counts.
+const initialQueueCap = 1024
+
 type queue struct {
 	lock spinlock.Lock
 	// n mirrors len(tasks) so Pop can peek emptiness without the lock
@@ -39,9 +53,13 @@ type queue struct {
 // Queues is a set of task queues with the shared TaskCount.
 type Queues struct {
 	qs []queue
-	// TaskCount is the number of tokens on the queues plus the number
-	// being processed; the match phase is finished when it reaches zero.
+	// TaskCount is the number of tokens on the queues (central and
+	// local) plus the number being processed; the match phase is
+	// finished when it reaches zero.
 	TaskCount atomic.Int64
+	// rot rotates the fallback scan origin so workers whose preferred
+	// queue is empty don't all descend on queue 0 together.
+	rot atomic.Int64
 }
 
 // New returns n queues (n >= 1).
@@ -49,7 +67,11 @@ func New(n int) *Queues {
 	if n < 1 {
 		n = 1
 	}
-	return &Queues{qs: make([]queue, n)}
+	q := &Queues{qs: make([]queue, n)}
+	for i := range q.qs {
+		q.qs[i].tasks = make([]*Task, 0, initialQueueCap)
+	}
+	return q
 }
 
 // Len reports the number of queues.
@@ -59,6 +81,18 @@ func (q *Queues) Len() int { return len(q.qs) }
 // count), returning the spins observed on the queue lock.
 func (q *Queues) Push(idx int, t *Task) (spins int64) {
 	q.TaskCount.Add(1)
+	qu := &q.qs[idx%len(q.qs)]
+	spins = qu.lock.Acquire()
+	qu.tasks = append(qu.tasks, t)
+	qu.n.Store(int64(len(qu.tasks)))
+	qu.lock.Release()
+	return spins
+}
+
+// Spill pushes an already-counted task: a worker whose local deque is
+// full incremented TaskCount when it spawned the task, so the central
+// queue must not count it again.
+func (q *Queues) Spill(idx int, t *Task) (spins int64) {
 	qu := &q.qs[idx%len(q.qs)]
 	spins = qu.lock.Acquire()
 	qu.tasks = append(qu.tasks, t)
@@ -85,27 +119,46 @@ func (q *Queues) Requeue(idx int, t *Task) (spins int64) {
 	return spins
 }
 
-// Pop removes a task, preferring queue prefer and scanning the others.
+// Pop removes a task. It tries the preferred queue first; when that is
+// empty the fallback scan over the remaining queues starts at a
+// rotating offset, so a burst of workers with empty preferred queues
+// spreads across the set instead of all hammering the same neighbour.
 // It returns nil when every queue is empty at the time of the scan.
 func (q *Queues) Pop(prefer int) (t *Task, spins int64) {
 	n := len(q.qs)
-	for i := 0; i < n; i++ {
-		qu := &q.qs[(prefer+i)%n]
-		if qu.n.Load() == 0 {
-			continue // cheap emptiness test before locking
+	if t, s := q.tryPop(prefer % n); t != nil || n == 1 {
+		return t, s
+	}
+	start := int(q.rot.Add(1))
+	for i := 0; i < n-1; i++ {
+		idx := (start + i) % n
+		if idx == prefer%n {
+			continue // already tried
 		}
-		spins += qu.lock.Acquire()
-		if m := len(qu.tasks); m > 0 {
-			t = qu.tasks[m-1]
-			qu.tasks[m-1] = nil
-			qu.tasks = qu.tasks[:m-1]
-			qu.n.Store(int64(len(qu.tasks)))
-			qu.lock.Release()
+		t, s := q.tryPop(idx)
+		spins += s
+		if t != nil {
 			return t, spins
 		}
-		qu.lock.Release()
 	}
 	return nil, spins
+}
+
+// tryPop pops from one queue, or returns nil if it looks or is empty.
+func (q *Queues) tryPop(idx int) (t *Task, spins int64) {
+	qu := &q.qs[idx]
+	if qu.n.Load() == 0 {
+		return nil, 0 // cheap emptiness test before locking
+	}
+	spins = qu.lock.Acquire()
+	if m := len(qu.tasks); m > 0 {
+		t = qu.tasks[m-1]
+		qu.tasks[m-1] = nil
+		qu.tasks = qu.tasks[:m-1]
+		qu.n.Store(int64(len(qu.tasks)))
+	}
+	qu.lock.Release()
+	return t, spins
 }
 
 // Done decrements TaskCount after a worker finishes a task.
@@ -117,4 +170,51 @@ func (q *Queues) WaitIdle() {
 	for i := 0; q.TaskCount.Load() != 0; i++ {
 		runtime.Gosched()
 	}
+}
+
+// FreeList is a small bounded spin-locked stack of recyclable tasks.
+// The parallel matcher's workers return processed root tasks here so
+// the control process's Submit can reuse them instead of allocating —
+// the one producer/consumer pair whose free lists cannot be worker-local.
+type FreeList struct {
+	lock spinlock.Lock
+	free []*Task
+	cap  int
+}
+
+// NewFreeList returns a free list keeping at most capacity tasks
+// (capacity <= 0 selects 1024).
+func NewFreeList(capacity int) *FreeList {
+	if capacity <= 0 {
+		capacity = 1024
+	}
+	return &FreeList{free: make([]*Task, 0, capacity), cap: capacity}
+}
+
+// Get pops a recycled task, or returns nil when the list is empty or
+// momentarily contended (callers allocate instead — never spin here).
+func (f *FreeList) Get() *Task {
+	if !f.lock.TryAcquire() {
+		return nil
+	}
+	var t *Task
+	if n := len(f.free); n > 0 {
+		t = f.free[n-1]
+		f.free[n-1] = nil
+		f.free = f.free[:n-1]
+	}
+	f.lock.Release()
+	return t
+}
+
+// Put recycles a task; it is dropped when the list is full or busy.
+func (f *FreeList) Put(t *Task) {
+	t.Reset()
+	if !f.lock.TryAcquire() {
+		return
+	}
+	if len(f.free) < f.cap {
+		f.free = append(f.free, t)
+	}
+	f.lock.Release()
 }
