@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet check bench clean
+.PHONY: all build test race vet check bench bench-smoke clean
 
 all: build
 
@@ -18,14 +18,23 @@ test:
 	$(GO) test ./...
 
 # Race-detect the concurrent subsystems: the inference server, the
-# parallel matcher and the work-stealing task queues.
+# parallel matcher, the sharded conflict set and the work-stealing task
+# queues.
 race:
-	$(GO) test -race ./internal/server ./internal/parmatch ./internal/taskqueue
+	$(GO) test -race ./internal/server ./internal/parmatch ./internal/conflict ./internal/taskqueue
 
 vet:
 	$(GO) vet ./...
 
-check: build vet test race
+check: build vet test race bench-smoke
+
+# 1-rep match-kernel + conflict-set sweep that fails on regression
+# against the checked-in BENCH_baseline.json (scaling ratios and
+# allocs/op — host-independent invariants, not wall-clock). Regenerate
+# the baseline after an intentional change with:
+#   BENCH_SMOKE=update $(GO) test -run TestBenchSmoke ./internal/tables
+bench-smoke:
+	BENCH_SMOKE=1 $(GO) test -run TestBenchSmoke -v ./internal/tables
 
 # Refresh BENCH_server.json and print the server throughput benchmark.
 bench:

@@ -8,13 +8,18 @@ package psme_test
 import (
 	"fmt"
 	"runtime"
+	"sync"
 	"testing"
 
 	psme "repro"
+	"repro/internal/conflict"
 	"repro/internal/multimax"
+	"repro/internal/ops5"
 	"repro/internal/parmatch"
+	"repro/internal/rete"
 	"repro/internal/seqmatch"
 	"repro/internal/tables"
+	"repro/internal/wm"
 )
 
 // benchScale keeps single benchmark iterations under ~100ms; psmbench
@@ -266,6 +271,103 @@ func mean(num, den int64) float64 {
 		return 0
 	}
 	return float64(num) / float64(den)
+}
+
+// conflictRule builds the single-CE rule the conflict benchmarks hang
+// instantiations off.
+func conflictRule(b *testing.B) *rete.CompiledRule {
+	b.Helper()
+	prog, err := ops5.Parse("(literalize fact id)\n(p seen (fact ^id <i>) --> (halt))")
+	if err != nil {
+		b.Fatal(err)
+	}
+	net, err := rete.Compile(prog)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return net.Rules[0]
+}
+
+// BenchmarkConflictChurn measures one steady-state conflict-set
+// insert+remove pair with `live` instantiations resident: the headline
+// O(1)-vs-live claim. Equal ns/op across the live sizes at a fixed
+// shard count is the win over the old O(n) SameWmes scans.
+func BenchmarkConflictChurn(b *testing.B) {
+	for _, live := range []int{1000, 10000} {
+		for _, shards := range []int{1, 64} {
+			b.Run(fmt.Sprintf("live%d/s%d", live, shards), func(b *testing.B) {
+				cs := conflict.New(conflict.Config{Shards: shards})
+				rule := conflictRule(b)
+				for tag := 1; tag <= live; tag++ {
+					cs.InsertInstantiation(rule, []*wm.WME{{TimeTag: tag}})
+				}
+				w := []*wm.WME{{TimeTag: live + 1}}
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					cs.InsertInstantiation(rule, w)
+					cs.RemoveInstantiation(rule, w)
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkConflictSelect measures warm-cache Select at large live
+// sets: cost should track the shard count, not the set size.
+func BenchmarkConflictSelect(b *testing.B) {
+	for _, live := range []int{1000, 10000} {
+		for _, shards := range []int{1, 64} {
+			b.Run(fmt.Sprintf("live%d/s%d", live, shards), func(b *testing.B) {
+				cs := conflict.New(conflict.Config{Shards: shards})
+				rule := conflictRule(b)
+				for tag := 1; tag <= live; tag++ {
+					cs.InsertInstantiation(rule, []*wm.WME{{TimeTag: tag}})
+				}
+				if cs.Select() == nil {
+					b.Fatal("preloaded set selected nil")
+				}
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					cs.Select()
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkConflictParallelChurn runs 4 concurrent churners on
+// disjoint keys; spins/acquire contrasts one global stripe against
+// full striping (the counters the acceptance criteria track).
+func BenchmarkConflictParallelChurn(b *testing.B) {
+	const churners = 4
+	for _, shards := range []int{1, 64} {
+		b.Run(fmt.Sprintf("s%d", shards), func(b *testing.B) {
+			cs := conflict.New(conflict.Config{Shards: shards})
+			rule := conflictRule(b)
+			before := cs.StatsSnapshot()
+			b.ReportAllocs()
+			b.ResetTimer()
+			var wg sync.WaitGroup
+			for g := 0; g < churners; g++ {
+				wg.Add(1)
+				go func(g int) {
+					defer wg.Done()
+					w := []*wm.WME{{TimeTag: g + 1}}
+					for i := g; i < b.N; i += churners {
+						cs.InsertInstantiation(rule, w)
+						cs.RemoveInstantiation(rule, w)
+					}
+				}(g)
+			}
+			wg.Wait()
+			b.StopTimer()
+			st := cs.StatsSnapshot()
+			st.Sub(&before)
+			b.ReportMetric(mean(st.ShardSpins, st.ShardAcquires), "spins/acquire")
+		})
+	}
 }
 
 // BenchmarkEngineFiringRate measures end-to-end recognize-act cycles per

@@ -179,6 +179,10 @@ func runMatch(scale float64, procs []int, reps int, outPath string) {
 		fmt.Printf("%-7s %5s  %8d  %9d  %8d  %7.0f\n",
 			k.Kernel, label, k.NsPerOp, k.AllocsPerOp, k.BytesPerOp, k.ActsPerOp)
 	}
+	fmt.Println("\nconflict   live  shards  procs     ns/op  allocs/op  bytes/op  spins/acquire")
+	for _, p := range rep.Conflict {
+		fmt.Println(tables.FormatConflictPoint(p))
+	}
 	if outPath != "" {
 		data, err := json.MarshalIndent(rep, "", "  ")
 		fatal(err)

@@ -1,14 +1,35 @@
 // Package conflict implements the OPS5 conflict set and the LEX and MEA
-// conflict-resolution strategies, including refraction. The set is one
-// of the shared resources of Figure 3-1 and is protected by a mutex so
-// terminal-node activations from parallel match processes can update it
-// concurrently with each other.
+// conflict-resolution strategies, including refraction.
+//
+// The set is one of the shared resources of the paper's Figure 3-1, and
+// through PR 2 it was the last globally-locked structure on the match
+// hot path: every terminal (+)/(−) activation from every match worker
+// serialized on one mutex and then linearly scanned the whole set. This
+// version shards the set instead. Instantiations are keyed by a hash of
+// (rule index, WME time tags) into a power-of-two number of spin-locked
+// shards, so terminal activations from parallel match processes hit
+// disjoint locks, and insert, remove, refraction lookup and
+// pending-delete annihilation are all O(1) expected bucket operations.
+//
+// Selection is incremental: each shard caches its dominant unfired
+// instantiation, maintained on insert and lazily invalidated when the
+// cached best is removed or fired, so Select is a tournament over the
+// shard heads (plus a rescan of the rare dirty shard) instead of a scan
+// of the whole set. Fired instantiations are compacted out of the live
+// index at MarkFired — they stay findable for the terminal minus that
+// eventually retracts them (the conjugate-pair protocol requires it)
+// but never cost selection time again. Instantiation objects recycle
+// through per-shard free lists, hashmem.Pools-style, except objects
+// that were handed out via Select or Snapshot, which are left to the
+// garbage collector because the engine may still hold them.
 package conflict
 
 import (
-	"sync"
+	"sync/atomic"
 
 	"repro/internal/rete"
+	"repro/internal/spinlock"
+	"repro/internal/stats"
 	"repro/internal/wm"
 )
 
@@ -18,19 +39,211 @@ type Instantiation struct {
 	Rule *rete.CompiledRule
 	Wmes []*wm.WME
 	// recency holds the WME time tags sorted descending, the key LEX
-	// compares lexicographically.
+	// compares lexicographically. Dropped at MarkFired: fired
+	// instantiations never compete in selection again.
 	recency []int
 	Fired   bool
+
+	hash uint64 // full instantiation key; shard index is hash & mask
+	next *Instantiation
+	// leaked marks objects handed out via Select or Snapshot. They are
+	// never recycled onto a free list: the engine reads Wmes during RHS
+	// evaluation while match workers may concurrently remove them.
+	leaked bool
 }
 
-func newInstantiation(rule *rete.CompiledRule, wmes []*wm.WME) *Instantiation {
-	rec := make([]int, len(wmes))
-	for i, w := range wmes {
-		rec[i] = w.TimeTag
+// DefaultShards is the shard count when Config.Shards is zero: enough
+// striping for the paper's 1+13 process counts with headroom, small
+// enough that an empty-set Select stays trivial.
+const DefaultShards = 32
+
+// freeListCap bounds each shard's instantiation free list.
+const freeListCap = 256
+
+// Config sizes a Set.
+type Config struct {
+	// Strategy is the conflict-resolution discipline (default Lex). The
+	// engine re-resolves it from the program at load time via
+	// UseStrategy, so most callers can leave it zero.
+	Strategy Strategy
+	// Shards is the number of lock stripes, rounded up to a power of
+	// two (0 = DefaultShards). Sequential callers can use 1; parallel
+	// matchers want enough stripes that concurrent terminal activations
+	// rarely collide.
+	Shards int
+}
+
+// shard is one lock stripe: bucket chains for live (unfired), fired and
+// parked-delete instantiations, the cached dominant unfired entry, a
+// free list, and contention counters. All fields are guarded by lock
+// except nLive, which is also read without the lock by Select's
+// empty-shard skip.
+type shard struct {
+	lock    spinlock.Lock
+	live    map[uint64]*Instantiation
+	fired   map[uint64]*Instantiation
+	pending map[uint64]*Instantiation
+	nLive   atomic.Int64
+	nFired  int
+	nPend   int
+
+	// best is the dominant unfired instantiation of this shard, nil
+	// when the shard is empty. dirty marks it stale (the cached best
+	// was removed or fired); the next Select recomputes it.
+	best  *Instantiation
+	dirty bool
+
+	free  *Instantiation
+	nFree int
+
+	c stats.Conflict // per-shard counters (gauge fields unused)
+	_ [64]byte       // keep neighbouring shard locks off one cache line
+}
+
+// Set is the sharded conflict set. It implements rete.TerminalSink.
+type Set struct {
+	shards   []shard
+	mask     uint64
+	strategy Strategy
+	selects  atomic.Int64
+}
+
+// NewSet returns an empty conflict set with default configuration
+// (Lex, DefaultShards stripes).
+func NewSet() *Set { return New(Config{}) }
+
+// New returns an empty conflict set sized by cfg.
+func New(cfg Config) *Set {
+	n := cfg.Shards
+	if n <= 0 {
+		n = DefaultShards
+	}
+	p := 1
+	for p < n {
+		p <<= 1
+	}
+	s := &Set{shards: make([]shard, p), mask: uint64(p - 1), strategy: cfg.Strategy}
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.live = make(map[uint64]*Instantiation)
+		sh.fired = make(map[uint64]*Instantiation)
+		sh.pending = make(map[uint64]*Instantiation)
+	}
+	return s
+}
+
+// Shards reports the number of lock stripes.
+func (s *Set) Shards() int { return len(s.shards) }
+
+// Strategy reports the current conflict-resolution strategy.
+func (s *Set) Strategy() Strategy { return s.strategy }
+
+// UseStrategy re-resolves the strategy, invalidating the cached shard
+// bests when it changes. The engine calls it once at program load; it
+// must not race with matching or selection.
+func (s *Set) UseStrategy(st Strategy) {
+	if st == s.strategy {
+		return
+	}
+	s.strategy = st
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.lock.Acquire()
+		sh.best = nil
+		sh.dirty = true
+		sh.lock.Release()
+	}
+}
+
+// fnv-1a, folding the rule index and each time tag in token order
+// (token order is part of instantiation identity — SameWmes is
+// order-sensitive).
+const (
+	fnvOffset = 14695981039346656037
+	fnvPrime  = 1099511628211
+)
+
+func instKey(rule *rete.CompiledRule, wmes []*wm.WME) uint64 {
+	h := uint64(fnvOffset)
+	h = (h ^ uint64(uint32(rule.Index))) * fnvPrime
+	for _, w := range wmes {
+		h = (h ^ uint64(uint32(w.TimeTag))) * fnvPrime
+	}
+	return h
+}
+
+// enter locks the shard for key h, recording contention.
+func (s *Set) enter(h uint64) *shard {
+	sh := &s.shards[h&s.mask]
+	spins := sh.lock.Acquire()
+	sh.c.ShardAcquires++
+	sh.c.ShardSpins += spins
+	return sh
+}
+
+// unlink removes the first chain node in m[h] matching (rule, wmes) by
+// token identity and returns it, or nil.
+func unlink(m map[uint64]*Instantiation, h uint64, rule *rete.CompiledRule, wmes []*wm.WME) *Instantiation {
+	var prev *Instantiation
+	for cur := m[h]; cur != nil; prev, cur = cur, cur.next {
+		if cur.Rule == rule && rete.SameWmes(cur.Wmes, wmes) {
+			unlinkNode(m, h, prev, cur)
+			return cur
+		}
+	}
+	return nil
+}
+
+// unlinkPtr removes the chain node equal to inst from m[h], reporting
+// whether it was present.
+func unlinkPtr(m map[uint64]*Instantiation, h uint64, inst *Instantiation) bool {
+	var prev *Instantiation
+	for cur := m[h]; cur != nil; prev, cur = cur, cur.next {
+		if cur == inst {
+			unlinkNode(m, h, prev, cur)
+			return true
+		}
+	}
+	return false
+}
+
+func unlinkNode(m map[uint64]*Instantiation, h uint64, prev, cur *Instantiation) {
+	if prev == nil {
+		if cur.next == nil {
+			delete(m, h)
+		} else {
+			m[h] = cur.next
+		}
+	} else {
+		prev.next = cur.next
+	}
+	cur.next = nil
+}
+
+// newInst builds an instantiation from the shard's free list, or
+// allocates. withRecency is false for parked pending deletes, which
+// never compete in selection.
+func (sh *shard) newInst(rule *rete.CompiledRule, wmes []*wm.WME, h uint64, withRecency bool) *Instantiation {
+	inst := sh.free
+	if inst != nil {
+		sh.free = inst.next
+		sh.nFree--
+		inst.next = nil
+	} else {
+		inst = &Instantiation{}
+	}
+	inst.Rule, inst.Wmes, inst.hash = rule, wmes, h
+	inst.Fired, inst.leaked = false, false
+	if !withRecency {
+		inst.recency = inst.recency[:0]
+		return inst
+	}
+	rec := inst.recency[:0]
+	for _, w := range wmes {
+		rec = append(rec, w.TimeTag)
 	}
 	// Insertion sort, descending: tokens are a handful of WMEs and the
-	// sort.Sort interface boxing was 2 heap allocations per conflict-set
-	// insert.
+	// sort.Sort interface boxing was 2 heap allocations per insert.
 	for i := 1; i < len(rec); i++ {
 		v := rec[i]
 		j := i
@@ -40,112 +253,259 @@ func newInstantiation(rule *rete.CompiledRule, wmes []*wm.WME) *Instantiation {
 		}
 		rec[j] = v
 	}
-	return &Instantiation{Rule: rule, Wmes: wmes, recency: rec}
+	inst.recency = rec
+	return inst
 }
 
-// Set is the conflict set. It implements rete.TerminalSink.
-type Set struct {
-	mu      sync.Mutex
-	items   []*Instantiation
-	pending []pendingDelete
-	// Inserts and Deletes count conflict-set changes for the harness.
-	Inserts, Deletes int64
+// recycle returns an unlinked instantiation to the shard free list.
+// Leaked and fired objects are dropped to the garbage collector — the
+// engine may still read them.
+func (sh *shard) recycle(inst *Instantiation) {
+	if inst.leaked || inst.Fired || sh.nFree >= freeListCap {
+		return
+	}
+	inst.Rule, inst.Wmes = nil, nil
+	inst.recency = inst.recency[:0]
+	inst.next = sh.free
+	sh.free = inst
+	sh.nFree++
 }
-
-// NewSet returns an empty conflict set.
-func NewSet() *Set { return &Set{} }
 
 // InsertInstantiation adds an instantiation (terminal + activation).
 func (s *Set) InsertInstantiation(rule *rete.CompiledRule, wmes []*wm.WME) {
-	inst := newInstantiation(rule, wmes)
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.Inserts++
-	// A parked early delete annihilates with this insert.
-	for i, pd := range s.pending {
-		if pd.rule == rule && rete.SameWmes(pd.wmes, wmes) {
-			s.pending[i] = s.pending[len(s.pending)-1]
-			s.pending = s.pending[:len(s.pending)-1]
-			return
+	h := instKey(rule, wmes)
+	sh := s.enter(h)
+	sh.c.Inserts++
+	// A parked early delete annihilates with this insert: O(1) bucket
+	// lookup instead of the old O(pending) scan.
+	if pd := unlink(sh.pending, h, rule, wmes); pd != nil {
+		sh.nPend--
+		sh.c.Annihilations++
+		sh.recycle(pd)
+		sh.lock.Release()
+		return
+	}
+	inst := sh.newInst(rule, wmes, h, true)
+	inst.next = sh.live[h]
+	sh.live[h] = inst
+	sh.nLive.Add(1)
+	if !sh.dirty {
+		// Incremental best maintenance: O(1) while the cache is valid.
+		if sh.best == nil || dominates(inst, sh.best, s.strategy) {
+			sh.best = inst
 		}
 	}
-	s.items = append(s.items, inst)
+	sh.lock.Release()
 }
 
 // RemoveInstantiation removes the instantiation for (rule, wmes)
-// (terminal − activation). Removing an absent instantiation is ignored:
-// in the parallel matcher a terminal minus can be processed before its
-// plus; the set tolerates this by parking a pending delete.
+// (terminal − activation). Removing an absent instantiation parks a
+// pending delete: in the parallel matcher a terminal minus can be
+// processed before its plus, and the pair annihilates when the plus
+// arrives.
 func (s *Set) RemoveInstantiation(rule *rete.CompiledRule, wmes []*wm.WME) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.Deletes++
-	for i, inst := range s.items {
-		if inst.Rule == rule && rete.SameWmes(inst.Wmes, wmes) {
-			s.items[i] = s.items[len(s.items)-1]
-			s.items = s.items[:len(s.items)-1]
-			return
+	h := instKey(rule, wmes)
+	sh := s.enter(h)
+	sh.c.Deletes++
+	if inst := unlink(sh.live, h, rule, wmes); inst != nil {
+		sh.nLive.Add(-1)
+		if inst == sh.best {
+			sh.best = nil
+			sh.dirty = true
 		}
+		sh.recycle(inst)
+		sh.lock.Release()
+		return
 	}
-	// Early delete: park it as a negative instantiation that will
-	// annihilate with the matching insert.
-	s.pending = append(s.pending, pendingDelete{rule: rule, wmes: wmes})
+	// Fired instantiations live in their own index; this is the
+	// terminal minus that finally retracts a refracted firing.
+	if inst := unlink(sh.fired, h, rule, wmes); inst != nil {
+		sh.nFired--
+		sh.lock.Release()
+		return
+	}
+	pd := sh.newInst(rule, wmes, h, false)
+	pd.next = sh.pending[h]
+	sh.pending[h] = pd
+	sh.nPend++
+	sh.lock.Release()
 }
 
-type pendingDelete struct {
-	rule *rete.CompiledRule
-	wmes []*wm.WME
-}
-
-// Len reports the number of live instantiations.
+// Len reports the number of instantiations in the set, fired included
+// (refraction keeps fired entries until their WMEs retract).
 func (s *Set) Len() int {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return len(s.items)
+	n := 0
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.lock.Acquire()
+		n += int(sh.nLive.Load()) + sh.nFired
+		sh.lock.Release()
+	}
+	return n
 }
 
-// Snapshot returns a copy of the live instantiations, for tracing.
+// Live reports the number of unfired instantiations.
+func (s *Set) Live() int {
+	n := int64(0)
+	for i := range s.shards {
+		n += s.shards[i].nLive.Load()
+	}
+	return int(n)
+}
+
+// Fired reports the number of fired instantiations retained for
+// refraction (awaiting the terminal minus that retracts them).
+func (s *Set) Fired() int {
+	n := 0
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.lock.Acquire()
+		n += sh.nFired
+		sh.lock.Release()
+	}
+	return n
+}
+
+// Snapshot returns a copy of the instantiations (fired included), for
+// tracing. The returned objects are excluded from pooling.
 func (s *Set) Snapshot() []*Instantiation {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return append([]*Instantiation(nil), s.items...)
+	var out []*Instantiation
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.lock.Acquire()
+		for _, m := range [2]map[uint64]*Instantiation{sh.live, sh.fired} {
+			for _, head := range m {
+				for cur := head; cur != nil; cur = cur.next {
+					cur.leaked = true
+					out = append(out, cur)
+				}
+			}
+		}
+		sh.lock.Release()
+	}
+	return out
 }
 
 // Drained reports whether any parked conflict-set deletes remain; a
 // non-empty pending list after a match phase indicates a matcher bug.
 func (s *Set) Drained() bool {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return len(s.pending) == 0
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.lock.Acquire()
+		n := sh.nPend
+		sh.lock.Release()
+		if n != 0 {
+			return false
+		}
+	}
+	return true
 }
 
-// Select applies the strategy ("lex" or "mea") and returns the dominant
-// unfired instantiation, or nil if none (the interpreter then halts).
-func (s *Set) Select(strategy string) *Instantiation {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+// Select returns the dominant unfired instantiation under the set's
+// strategy, or nil if none (the interpreter then halts). It is a
+// tournament over the cached shard bests: a shard rescans its buckets
+// only when its cached best was invalidated since the last call, so
+// the cost scales with the shard count, not the set size.
+func (s *Set) Select() *Instantiation {
+	s.selects.Add(1)
 	var best *Instantiation
-	for _, inst := range s.items {
-		if inst.Fired {
+	for i := range s.shards {
+		sh := &s.shards[i]
+		// Empty shards contribute nothing: removal keeps best nil and a
+		// dirty rescan of zero live entries would also yield nil.
+		if sh.nLive.Load() == 0 {
 			continue
 		}
-		if best == nil || dominates(inst, best, strategy) {
-			best = inst
+		spins := sh.lock.Acquire()
+		sh.c.ShardAcquires++
+		sh.c.ShardSpins += spins
+		if sh.dirty {
+			sh.recomputeBest(s.strategy)
+		}
+		b := sh.best
+		if b != nil {
+			// Every tournament candidate escapes this call (the winner
+			// goes to the engine): mark it while its shard lock is held
+			// so a concurrent remove can never recycle it.
+			b.leaked = true
+		}
+		sh.lock.Release()
+		if b != nil && (best == nil || dominates(b, best, s.strategy)) {
+			best = b
 		}
 	}
 	return best
 }
 
-// MarkFired records refraction for the chosen instantiation.
-func (s *Set) MarkFired(inst *Instantiation) {
-	s.mu.Lock()
-	inst.Fired = true
-	s.mu.Unlock()
+// recomputeBest rescans the shard's live chains. Called with the shard
+// lock held.
+func (sh *shard) recomputeBest(st Strategy) {
+	var best *Instantiation
+	scanned := int64(0)
+	for _, head := range sh.live {
+		for cur := head; cur != nil; cur = cur.next {
+			scanned++
+			if best == nil || dominates(cur, best, st) {
+				best = cur
+			}
+		}
+	}
+	sh.best = best
+	sh.dirty = false
+	sh.c.SelectRescans++
+	sh.c.SelectScanned += scanned
 }
 
+// MarkFired records refraction for the chosen instantiation and
+// compacts it out of the live index: it moves to the fired index —
+// still findable by the terminal minus that will eventually retract it
+// — and drops its recency key, so selection never examines it again.
+func (s *Set) MarkFired(inst *Instantiation) {
+	sh := s.enter(inst.hash)
+	inst.Fired = true
+	inst.leaked = true
+	if unlinkPtr(sh.live, inst.hash, inst) {
+		sh.nLive.Add(-1)
+		inst.recency = nil
+		inst.next = sh.fired[inst.hash]
+		sh.fired[inst.hash] = inst
+		sh.nFired++
+	}
+	if sh.best == inst {
+		sh.best = nil
+		sh.dirty = true
+	}
+	sh.lock.Release()
+}
+
+// StatsSnapshot sums the per-shard counters and gauges into one
+// stats.Conflict record. Counter reads take each shard lock once; call
+// it between phases, not per terminal activation.
+func (s *Set) StatsSnapshot() stats.Conflict {
+	out := stats.Conflict{Shards: int64(len(s.shards)), Selects: s.selects.Load()}
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.lock.Acquire()
+		c := sh.c
+		c.Live = sh.nLive.Load()
+		c.Fired = int64(sh.nFired)
+		c.Pending = int64(sh.nPend)
+		sh.lock.Release()
+		c.Shards, c.Selects = 0, 0 // set-level fields, added once above
+		out.Add(&c)
+	}
+	return out
+}
+
+// Inserts reports the total insert count (terminal + activations).
+func (s *Set) Inserts() int64 { return s.StatsSnapshot().Inserts }
+
+// Deletes reports the total delete count (terminal − activations).
+func (s *Set) Deletes() int64 { return s.StatsSnapshot().Deletes }
+
 // dominates reports whether a should be preferred over b.
-func dominates(a, b *Instantiation, strategy string) bool {
-	if strategy == "mea" {
+func dominates(a, b *Instantiation, strategy Strategy) bool {
+	if strategy == Mea {
 		// Means-ends analysis: the instantiation whose first condition
 		// element matched the more recent WME wins outright.
 		at, bt := firstCETag(a), firstCETag(b)

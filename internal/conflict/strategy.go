@@ -1,0 +1,38 @@
+package conflict
+
+import "fmt"
+
+// Strategy selects the conflict-resolution discipline. OPS5 programs
+// name it once, in a top-level (strategy ...) form; the engine resolves
+// the name to this enum at load time so the per-cycle dominance
+// comparisons never touch a string again.
+type Strategy uint8
+
+// Conflict-resolution strategies.
+const (
+	// Lex prefers the instantiation whose descending time-tag list is
+	// lexicographically greatest, then the more specific rule.
+	Lex Strategy = iota
+	// Mea first prefers the instantiation whose first condition element
+	// matched the most recent WME (means-ends analysis), falling back to
+	// Lex ordering on ties.
+	Mea
+)
+
+func (s Strategy) String() string {
+	if s == Mea {
+		return "mea"
+	}
+	return "lex"
+}
+
+// ParseStrategy resolves an OPS5 strategy name ("lex" or "mea").
+func ParseStrategy(name string) (Strategy, error) {
+	switch name {
+	case "", "lex":
+		return Lex, nil
+	case "mea":
+		return Mea, nil
+	}
+	return Lex, fmt.Errorf("conflict: unknown strategy %q (want lex or mea)", name)
+}

@@ -142,8 +142,15 @@ func (e *Engine) drain() {
 }
 
 // New wires an engine. The conflict set must be the same sink the
-// matcher's terminals report into.
+// matcher's terminals report into. The program's (strategy ...) form is
+// resolved to a conflict.Strategy enum here, once, so the per-cycle
+// Select never compares strategy strings.
 func New(prog *ops5.Program, net *rete.Network, cs *conflict.Set, m Matcher, out io.Writer) (*Engine, error) {
+	st, err := conflict.ParseStrategy(prog.Strategy)
+	if err != nil {
+		return nil, err
+	}
+	cs.UseStrategy(st)
 	e := &Engine{
 		Prog:    prog,
 		Net:     net,
@@ -256,7 +263,7 @@ func (e *Engine) Run(opt Options) (*Result, error) {
 				return res, err
 			}
 		}
-		inst := e.CS.Select(e.Prog.Strategy)
+		inst := e.CS.Select()
 		if inst == nil {
 			break
 		}

@@ -83,7 +83,12 @@ func Simulate(prog *ops5.Program, net *rete.Network, cfg Config) (*Result, error
 	if cfg.Costs == (Costs{}) {
 		cfg.Costs = DefaultCosts()
 	}
-	cs := conflict.NewSet()
+	st, err := conflict.ParseStrategy(prog.Strategy)
+	if err != nil {
+		return nil, err
+	}
+	// The simulator is single-threaded; one stripe keeps Select trivial.
+	cs := conflict.New(conflict.Config{Strategy: st, Shards: 1})
 	s := newSim(cfg, net, cs)
 	mem := wm.NewMemory()
 	res := &Result{}
@@ -174,15 +179,15 @@ func Simulate(prog *ops5.Program, net *rete.Network, cfg Config) (*Result, error
 		if cfg.MaxCycles > 0 && res.Cycles >= cfg.MaxCycles {
 			break
 		}
-		csChanges := cs.Inserts + cs.Deletes
-		inst := cs.Select(prog.Strategy)
+		csChanges := cs.Inserts() + cs.Deletes()
+		inst := cs.Select()
 		if inst == nil {
 			break
 		}
 		cs.MarkFired(inst)
 		res.Cycles++
 		res.FiringLog = append(res.FiringLog, fmt.Sprintf("%s@%d", inst.Rule.Rule.Name, res.Cycles))
-		crCost := cfg.Costs.CRBase + cfg.Costs.CRChange*(cs.Inserts+cs.Deletes-csChanges)
+		crCost := cfg.Costs.CRBase + cfg.Costs.CRChange*(cs.Inserts()+cs.Deletes()-csChanges)
 		if cfg.OverlapCR {
 			// Conflict resolution ran incrementally during the match
 			// wait; only the excess shows up on the critical path.

@@ -1,0 +1,56 @@
+package parmatch_test
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/conflict"
+	"repro/internal/parmatch"
+	"repro/internal/tables"
+)
+
+// TestTerminalStormDrains floods the parallel matcher with conjugate
+// terminal activations: every WME's plus and minus are submitted
+// back-to-back without an intervening drain, so match workers race the
+// pairs into the conflict set in arbitrary order and any minus that
+// wins its race must park as a pending delete and annihilate with the
+// late plus. After each drain the set must be empty and drained —
+// under -race this doubles as the data-race check on the sharded
+// conflict set fed by real concurrent terminal tasks.
+func TestTerminalStormDrains(t *testing.T) {
+	k, err := tables.NewKernel("term", 256)
+	if err != nil {
+		t.Fatalf("kernel: %v", err)
+	}
+	for _, shards := range []int{1, 16} {
+		t.Run(fmt.Sprintf("shards=%d", shards), func(t *testing.T) {
+			cs := conflict.New(conflict.Config{Shards: shards})
+			// LocalCap 1 forces spills and steals, maximizing reordering.
+			m := parmatch.New(k.Net, parmatch.Config{
+				Procs: 4, Queues: 2, LocalCap: 1,
+			}, cs)
+			defer m.Close()
+			for rep := 0; rep < 5; rep++ {
+				for _, w := range k.Wmes {
+					m.Submit(true, w)
+					m.Submit(false, w)
+				}
+				m.Drain()
+				if !cs.Drained() {
+					t.Fatalf("rep %d: pending conflict-set deletes after drain", rep)
+				}
+				if n := cs.Len(); n != 0 {
+					t.Fatalf("rep %d: %d instantiations after balanced storm", rep, n)
+				}
+				if err := m.CheckInvariants(); err != nil {
+					t.Fatalf("rep %d: %v", rep, err)
+				}
+			}
+			st := cs.StatsSnapshot()
+			want := int64(5 * len(k.Wmes))
+			if st.Inserts != want || st.Deletes != want {
+				t.Fatalf("conflict stats = %+v, want %d inserts and deletes", st, want)
+			}
+		})
+	}
+}

@@ -202,7 +202,7 @@ func (r *REPL) doRules() {
 func (r *REPL) doCS() {
 	insts := r.cs.Snapshot()
 	sort.Slice(insts, func(i, j int) bool { return insts[i].Rule.Index < insts[j].Rule.Index })
-	next := r.cs.Select(r.prog.Strategy) // the one conflict resolution would fire
+	next := r.cs.Select() // the one conflict resolution would fire
 	for _, inst := range insts {
 		var tags []string
 		for _, w := range inst.Wmes {

@@ -17,6 +17,7 @@ type metrics struct {
 	srv    stats.Server
 	match  stats.Match
 	cont   stats.Contention
+	conf   stats.Conflict
 	hists  map[string]*stats.Histogram // latency, µs
 	counts map[string]*stats.Histogram // sizes, items (ObserveCount)
 }
@@ -104,6 +105,12 @@ func (m *metrics) foldContention(delta *stats.Contention) {
 	m.mu.Unlock()
 }
 
+func (m *metrics) foldConflict(delta *stats.Conflict) {
+	m.mu.Lock()
+	m.conf.Add(delta)
+	m.mu.Unlock()
+}
+
 // Snapshot returns the point-in-time metrics view served by /metrics.
 func (s *Server) Snapshot() stats.Snapshot {
 	s.met.mu.Lock()
@@ -112,6 +119,7 @@ func (s *Server) Snapshot() stats.Snapshot {
 		Server:     s.met.srv,
 		Match:      s.met.match,
 		Contention: s.met.cont,
+		Conflict:   s.met.conf,
 		Latency:    make(map[string]stats.LatencySummary, len(s.met.hists)),
 		Counts:     make(map[string]stats.CountSummary, len(s.met.counts)),
 	}

@@ -107,8 +107,11 @@ type Session struct {
 	broken  error       // set when a panic quarantined the session
 	prev    stats.Match // counters already folded into server metrics
 	// prevCont mirrors prev for the contention counters of parallel
-	// backends (zero for sequential ones).
+	// backends (zero for sequential ones), prevConf for the conflict-set
+	// counters (the gauge fields fold correctly as deltas too: the sum
+	// of per-session net changes is the current total).
 	prevCont stats.Contention
+	prevConf stats.Conflict
 }
 
 // New builds a server and starts its worker pool.
@@ -160,6 +163,10 @@ type SessionConfig struct {
 	Locks  string `json:"locks"`
 	// HashLines sizes the token hash tables (0 = default).
 	HashLines int `json:"hash_lines"`
+	// CSShards is the number of conflict-set lock stripes, rounded up to
+	// a power of two (0 = default). Matters for parallel backends, whose
+	// match workers insert terminal activations concurrently.
+	CSShards int `json:"cs_shards"`
 }
 
 // SessionInfo describes a created session.
@@ -219,7 +226,7 @@ func (s *Server) CreateSession(cfg SessionConfig) (*SessionInfo, error) {
 		s.mu.Unlock()
 	}
 
-	cs := conflict.NewSet()
+	cs := conflict.New(conflict.Config{Shards: cfg.CSShards})
 	m, backendName, err := newBackend(sp.net, cfg, cs)
 	if err != nil {
 		return nil, err
@@ -386,6 +393,11 @@ func (s *Server) foldStatsLocked(sess *Session) {
 		sess.prevCont = ccur
 		s.met.foldContention(&cdelta)
 	}
+	fcur := sess.eng.CS.StatsSnapshot()
+	fdelta := fcur
+	fdelta.Sub(&sess.prevConf)
+	sess.prevConf = fcur
+	s.met.foldConflict(&fdelta)
 }
 
 // WMEInput is one element to assert: a class name and attribute values

@@ -208,6 +208,7 @@ type Snapshot struct {
 	Server     Server                    `json:"server"`
 	Match      Match                     `json:"match"`
 	Contention Contention                `json:"contention"`
+	Conflict   Conflict                  `json:"conflict"`
 	Latency    map[string]LatencySummary `json:"latency"`
 	Counts     map[string]CountSummary   `json:"counts"`
 }

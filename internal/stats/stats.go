@@ -105,6 +105,63 @@ type Contention struct {
 	Overflows   int64 `json:"overflows"`    // local-deque spills onto the central queues
 }
 
+// Conflict aggregates sharded conflict-set statistics. The counter
+// fields (Inserts..SelectScanned) accumulate monotonically and fold as
+// deltas like Match; Live, Fired and Pending are point-in-time gauges,
+// and Shards is the configured stripe count. ShardSpins over
+// ShardAcquires is the paper's contention measure applied to the
+// conflict-set locks; SelectScanned over SelectRescans is the mean
+// rescan depth, the residual O(n) cost the cached per-shard bests avoid.
+type Conflict struct {
+	Inserts       int64 `json:"inserts"`       // terminal + activations
+	Deletes       int64 `json:"deletes"`       // terminal − activations
+	Annihilations int64 `json:"annihilations"` // parked deletes cancelled by a later insert
+	Live          int64 `json:"live"`          // unfired instantiations (gauge)
+	Fired         int64 `json:"fired"`         // fired, retained for refraction (gauge)
+	Pending       int64 `json:"pending"`       // parked early deletes (gauge)
+	ShardAcquires int64 `json:"shard_acquires"`
+	ShardSpins    int64 `json:"shard_spins"`
+	Selects       int64 `json:"selects"`        // Select calls
+	SelectRescans int64 `json:"select_rescans"` // dirty shards recomputed during Select
+	SelectScanned int64 `json:"select_scanned"` // live instantiations examined by rescans
+	Shards        int64 `json:"shards"`         // configured lock stripes
+}
+
+// Add accumulates o into c. Shards is taken from o when set rather than
+// summed: it is a configuration value, not a counter.
+func (c *Conflict) Add(o *Conflict) {
+	c.Inserts += o.Inserts
+	c.Deletes += o.Deletes
+	c.Annihilations += o.Annihilations
+	c.Live += o.Live
+	c.Fired += o.Fired
+	c.Pending += o.Pending
+	c.ShardAcquires += o.ShardAcquires
+	c.ShardSpins += o.ShardSpins
+	c.Selects += o.Selects
+	c.SelectRescans += o.SelectRescans
+	c.SelectScanned += o.SelectScanned
+	if o.Shards != 0 {
+		c.Shards = o.Shards
+	}
+}
+
+// Sub subtracts o from c, for per-session delta folding like Match.Sub.
+// Shards is left alone for the same reason Add copies it.
+func (c *Conflict) Sub(o *Conflict) {
+	c.Inserts -= o.Inserts
+	c.Deletes -= o.Deletes
+	c.Annihilations -= o.Annihilations
+	c.Live -= o.Live
+	c.Fired -= o.Fired
+	c.Pending -= o.Pending
+	c.ShardAcquires -= o.ShardAcquires
+	c.ShardSpins -= o.ShardSpins
+	c.Selects -= o.Selects
+	c.SelectRescans -= o.SelectRescans
+	c.SelectScanned -= o.SelectScanned
+}
+
 // Add accumulates o into c.
 func (c *Contention) Add(o *Contention) {
 	c.QueueAcquires += o.QueueAcquires

@@ -1,0 +1,136 @@
+package tables
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"testing"
+)
+
+// baselinePath is the checked-in regression baseline for `make
+// bench-smoke` (repo root, next to BENCH_match.json).
+const baselinePath = "../../BENCH_baseline.json"
+
+// benchBaseline is the BENCH_baseline.json schema. Wall-clock numbers
+// are useless as CI gates on shared hosts, so the smoke test checks
+// host-independent invariants instead: scaling ratios (conflict-set op
+// cost must not grow with the live-set size) and allocation discipline
+// (allocs/op of the match kernels and conflict ops are deterministic
+// properties of the code, not the machine).
+type benchBaseline struct {
+	// MaxChurnRatio bounds churn ns/op at live=10000 over live=1000 for
+	// the same shard/proc point: O(1) insert+remove means ~1.0; the old
+	// O(n) scans put it near 10.
+	MaxChurnRatio float64 `json:"max_churn_ratio"`
+	// MaxSelectRatio bounds warm Select ns/op at live=10000 over
+	// live=1000 at the same shard count: cached shard bests mean ~1.0;
+	// the old full scan put it near 10.
+	MaxSelectRatio float64 `json:"max_select_ratio"`
+	// MaxChurnAllocs caps steady-state allocs per churn op (pooled
+	// instantiations make it 0).
+	MaxChurnAllocs int64 `json:"max_churn_allocs_per_op"`
+	// KernelAllocs maps "kernel/pN" to baseline allocs/op of one
+	// assert-all/retract-all round; the gate allows 25%+2 headroom.
+	KernelAllocs map[string]int64 `json:"kernel_allocs_per_op"`
+}
+
+// TestBenchSmoke is the `make bench-smoke` gate: a 1-rep match-kernel +
+// conflict sweep that fails on regression against BENCH_baseline.json.
+// Skipped unless BENCH_SMOKE is set (it costs ~1 minute);
+// BENCH_SMOKE=update rewrites the baseline from measurement instead of
+// checking.
+func TestBenchSmoke(t *testing.T) {
+	mode := os.Getenv("BENCH_SMOKE")
+	if mode == "" {
+		t.Skip("set BENCH_SMOKE=1 (make bench-smoke) to run")
+	}
+	var base benchBaseline
+	if mode != "update" {
+		data, err := os.ReadFile(baselinePath)
+		if err != nil {
+			t.Fatalf("read baseline (regenerate with BENCH_SMOKE=update): %v", err)
+		}
+		if err := json.Unmarshal(data, &base); err != nil {
+			t.Fatalf("parse baseline: %v", err)
+		}
+	}
+
+	pts := RunConflictBench(ConflictBenchOptions{
+		Lives: []int{1000, 10000}, Shards: []int{1, 64}, Procs: []int{1, 4},
+	})
+	ns := map[string]int64{}
+	for _, p := range pts {
+		ns[fmt.Sprintf("%s/live%d/s%d/p%d", p.Op, p.Live, p.Shards, p.Procs)] = p.NsPerOp
+		t.Logf("conflict %s", FormatConflictPoint(p))
+		if mode != "update" && p.Op == "churn" && p.AllocsPerOp > base.MaxChurnAllocs {
+			t.Errorf("churn live=%d shards=%d procs=%d: %d allocs/op, baseline cap %d",
+				p.Live, p.Shards, p.Procs, p.AllocsPerOp, base.MaxChurnAllocs)
+		}
+	}
+	ratio := func(op string, shards, procs int) float64 {
+		lo := ns[fmt.Sprintf("%s/live1000/s%d/p%d", op, shards, procs)]
+		hi := ns[fmt.Sprintf("%s/live10000/s%d/p%d", op, shards, procs)]
+		if lo == 0 {
+			return 0
+		}
+		return float64(hi) / float64(lo)
+	}
+	for _, shards := range []int{1, 64} {
+		for _, procs := range []int{1, 4} {
+			if r := ratio("churn", shards, procs); mode != "update" && r > base.MaxChurnRatio {
+				t.Errorf("churn shards=%d procs=%d: 10k-live/1k-live ns ratio %.2f > %.2f — insert/remove is scaling with the live set",
+					shards, procs, r, base.MaxChurnRatio)
+			}
+		}
+		if r := ratio("select", shards, 1); mode != "update" && r > base.MaxSelectRatio {
+			t.Errorf("select shards=%d: 10k-live/1k-live ns ratio %.2f > %.2f — Select is scaling with the live set",
+				shards, r, base.MaxSelectRatio)
+		}
+	}
+
+	kernels := map[string]int64{}
+	for _, name := range KernelNames() {
+		k, err := NewKernel(name, 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, procs := range []int{1, 4} {
+			pt, err := benchKernel(k, procs)
+			if err != nil {
+				t.Fatal(err)
+			}
+			key := fmt.Sprintf("%s/p%d", name, procs)
+			kernels[key] = pt.AllocsPerOp
+			t.Logf("kernel %-10s %8d ns/op  %6d allocs/op", key, pt.NsPerOp, pt.AllocsPerOp)
+			if mode == "update" {
+				continue
+			}
+			want, ok := base.KernelAllocs[key]
+			if !ok {
+				t.Errorf("kernel %s missing from baseline (regenerate with BENCH_SMOKE=update)", key)
+				continue
+			}
+			if cap := want + want/4 + 2; pt.AllocsPerOp > cap {
+				t.Errorf("kernel %s: %d allocs/op > %d (baseline %d +25%%+2) — allocation discipline regressed",
+					key, pt.AllocsPerOp, cap, want)
+			}
+		}
+	}
+
+	if mode == "update" {
+		out := benchBaseline{
+			MaxChurnRatio:  3,
+			MaxSelectRatio: 3,
+			MaxChurnAllocs: 0,
+			KernelAllocs:   kernels,
+		}
+		data, err := json.MarshalIndent(out, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(baselinePath, append(data, '\n'), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("wrote %s", baselinePath)
+	}
+}

@@ -31,8 +31,9 @@ type Kernel struct {
 
 // KernelNames lists the available kernels: "join" exercises multi-level
 // two-input joins, "alpha" the constant-test fan-out with terminal
-// tasks, "neg" negated-node count maintenance.
-func KernelNames() []string { return []string{"join", "alpha", "neg"} }
+// tasks, "neg" negated-node count maintenance, "term" the conflict-set
+// hot path (every WM change is one terminal activation).
+func KernelNames() []string { return []string{"join", "alpha", "neg", "term"} }
 
 // kernelSrc returns the OPS5 source of a kernel.
 func kernelSrc(name string) (string, error) {
@@ -68,6 +69,13 @@ func kernelSrc(name string) (string, error) {
 -->
   (halt))
 `)
+	case "term":
+		// One single-CE production that every fact satisfies: each WM
+		// change goes straight alpha-to-terminal, so the round's cost is
+		// dominated by conflict-set insert/remove, and the live set grows
+		// to n instantiations at the assert/retract turnaround.
+		b.WriteString("(literalize fact id)\n")
+		b.WriteString("(p seen (fact ^id <i>) --> (halt))\n")
 	default:
 		return "", fmt.Errorf("unknown kernel %q (have %v)", name, KernelNames())
 	}
@@ -132,6 +140,10 @@ func NewKernel(name string, n int) (*Kernel, error) {
 		}
 		for v := 0; v < n; v += 2 {
 			add("block", map[string]wm.Value{"id": wm.Int(int64(v))})
+		}
+	case "term":
+		for v := 0; v < n; v++ {
+			add("fact", map[string]wm.Value{"id": wm.Int(int64(v))})
 		}
 	}
 	return k, nil

@@ -67,6 +67,9 @@ type MatchBenchReport struct {
 	ProcsSwep []int                `json:"procs_swept"`
 	Workloads []MatchWorkloadPoint `json:"workloads"`
 	Kernels   []MatchKernelPoint   `json:"kernels"`
+	// Conflict is the terminal-heavy conflict-set sweep (live × shards ×
+	// procs) from conflictbench.go.
+	Conflict []ConflictBenchPoint `json:"conflict"`
 }
 
 // RunMatchBench runs the full multicore match sweep. It temporarily
@@ -152,6 +155,7 @@ func RunMatchBench(opt MatchBenchOptions) (*MatchBenchReport, error) {
 			rep.Kernels = append(rep.Kernels, pt)
 		}
 	}
+	rep.Conflict = RunConflictBench(ConflictBenchOptions{})
 	return rep, nil
 }
 

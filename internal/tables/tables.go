@@ -129,7 +129,8 @@ func RunSeq(spec Spec, variant string) (*SeqRun, error) {
 	if err != nil {
 		return nil, err
 	}
-	cs := conflict.NewSet()
+	// Sequential variants: one conflict-set stripe keeps Select trivial.
+	cs := conflict.New(conflict.Config{Shards: 1})
 	var m engine.Matcher
 	var rec *hashmem.Recorder
 	var lm *lispemu.Matcher
@@ -187,6 +188,7 @@ type ParRun struct {
 	Res   *engine.Result
 	Match stats.Match
 	Cont  stats.Contention
+	Conf  stats.Conflict
 }
 
 // RunPar executes a spec on the real goroutine matcher, for the on-host
@@ -210,7 +212,7 @@ func RunPar(spec Spec, cfg parmatch.Config) (*ParRun, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &ParRun{Res: res, Match: pm.MatchStats(), Cont: pm.Contention()}, nil
+	return &ParRun{Res: res, Match: pm.MatchStats(), Cont: pm.Contention(), Conf: cs.StatsSnapshot()}, nil
 }
 
 // RunSim executes a spec on the Multimax simulator.

@@ -40,6 +40,7 @@ import (
 	"repro/internal/parmatch"
 	"repro/internal/rete"
 	"repro/internal/seqmatch"
+	"repro/internal/stats"
 	"repro/internal/wm"
 	"repro/internal/workload"
 )
@@ -126,6 +127,9 @@ type Config struct {
 	TaskQueues int
 	// HashLines sizes the token hash tables (default 16384 lines).
 	HashLines int
+	// CSShards is the number of conflict-set lock stripes, rounded up
+	// to a power of two (default conflict.DefaultShards).
+	CSShards int
 	// Locks picks the line-lock scheme for MatcherParallel.
 	Locks LockScheme
 	// Output receives (write ...) text; nil discards it.
@@ -165,7 +169,7 @@ type Engine struct {
 // New builds an engine over a fresh working memory. Call Close when
 // done (it stops the parallel matcher's goroutines).
 func New(p *Program, cfg Config) (*Engine, error) {
-	cs := conflict.NewSet()
+	cs := conflict.New(conflict.Config{Shards: cfg.CSShards})
 	var (
 		m   engine.Matcher
 		par *parmatch.Matcher
@@ -244,6 +248,10 @@ func (e *Engine) WorkingMemory() []string {
 	}
 	return out
 }
+
+// ConflictStats returns the conflict set's counters: inserts, deletes,
+// annihilations, live/fired/pending sizes and shard lock contention.
+func (e *Engine) ConflictStats() stats.Conflict { return e.cs.StatsSnapshot() }
 
 // Close stops background match goroutines. Safe to call on any engine.
 func (e *Engine) Close() {
