@@ -18,10 +18,10 @@ test:
 	$(GO) test ./...
 
 # Race-detect the concurrent subsystems: the inference server, the
-# parallel matcher, the sharded conflict set and the work-stealing task
-# queues.
+# parallel matcher, the sharded conflict set, the work-stealing task
+# queues, and runtime build/excise epoch swaps (engine dynamic tests).
 race:
-	$(GO) test -race ./internal/server ./internal/parmatch ./internal/conflict ./internal/taskqueue
+	$(GO) test -race ./internal/server ./internal/parmatch ./internal/conflict ./internal/taskqueue ./internal/engine
 
 vet:
 	$(GO) vet ./...

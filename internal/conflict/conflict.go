@@ -567,3 +567,65 @@ func compareRecency(a, b []int) int {
 	}
 	return 0
 }
+
+// ExciseRule drops every instantiation of one production from the set —
+// live, fired (the refraction ghosts awaiting their terminal minus) and
+// parked deletes — and reports how many entries went. OPS5 excise
+// semantics: the production's instantiations vanish outright, with no
+// retraction traffic through the network (its terminal is already gone
+// from the epoch). Dropped objects are never recycled; Select may have
+// leaked some to the engine.
+func (s *Set) ExciseRule(rule *rete.CompiledRule) (removed int) {
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.lock.Acquire()
+		nLive := exciseMap(sh.live, rule)
+		if nLive > 0 {
+			sh.nLive.Add(int64(-nLive))
+			if sh.best != nil && sh.best.Rule == rule {
+				sh.best = nil
+				sh.dirty = true
+			}
+		}
+		nFired := exciseMap(sh.fired, rule)
+		sh.nFired -= nFired
+		nPend := exciseMap(sh.pending, rule)
+		sh.nPend -= nPend
+		removed += nLive + nFired + nPend
+		sh.lock.Release()
+	}
+	return removed
+}
+
+// exciseMap rebuilds each bucket chain without the rule's entries,
+// preserving the order of the survivors.
+func exciseMap(m map[uint64]*Instantiation, rule *rete.CompiledRule) (removed int) {
+	for h, head := range m {
+		var newHead, tail *Instantiation
+		n := 0
+		for cur := head; cur != nil; {
+			next := cur.next
+			cur.next = nil
+			if cur.Rule == rule {
+				n++
+			} else if tail == nil {
+				newHead, tail = cur, cur
+			} else {
+				tail.next = cur
+				tail = cur
+			}
+			cur = next
+		}
+		if n == 0 {
+			m[h] = newHead // relinked unchanged
+			continue
+		}
+		removed += n
+		if newHead == nil {
+			delete(m, h)
+		} else {
+			m[h] = newHead
+		}
+	}
+	return removed
+}

@@ -16,6 +16,7 @@ import (
 	"repro/internal/ops5"
 	"repro/internal/rete"
 	"repro/internal/rhs"
+	"repro/internal/stats"
 	"repro/internal/wm"
 )
 
@@ -109,11 +110,14 @@ type Engine struct {
 	// The server uses it to report per-request WM deltas.
 	WMListener func(sign bool, w *wm.WME)
 
-	compiled  []*rhs.Compiled
-	halted    bool
-	rhsCount  int64
-	matchTime time.Duration
-	traceWMEs bool
+	// compiled is indexed by CompiledRule.Index — the monotonic rule ID,
+	// never reused across epochs — so it is sparse after excises.
+	compiled   []*rhs.Compiled
+	halted     bool
+	rhsCount   int64
+	matchTime  time.Duration
+	traceWMEs  bool
+	epochStats stats.Epoch
 }
 
 // traceChange prints a working-memory change when watch-2 tracing is on.
@@ -159,14 +163,17 @@ func New(prog *ops5.Program, net *rete.Network, cs *conflict.Set, m Matcher, out
 		Matcher: m,
 		Out:     out,
 	}
-	e.compiled = make([]*rhs.Compiled, len(net.Rules))
-	for i, cr := range net.Rules {
+	e.compiled = make([]*rhs.Compiled, net.NumRuleIDs())
+	for _, cr := range net.Rules {
 		c, err := rhs.Compile(prog, cr)
 		if err != nil {
 			return nil, err
 		}
-		e.compiled[i] = c
+		e.compiled[cr.Index] = c
 	}
+	// From here on the class tables are read concurrently by matchers and
+	// RHS evaluation; freeze them so runtime parses cannot mutate them.
+	prog.Freeze()
 	return e, nil
 }
 

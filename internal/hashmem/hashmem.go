@@ -358,3 +358,119 @@ func (t *Table) CheckDrained() error {
 	}
 	return nil
 }
+
+// EnsureNodes grows a per-node (vs1) table so node IDs up to
+// numJoins-1 have a private line, preserving existing lines. Hashed
+// tables need no growth (lines are picked by token hash, not node ID);
+// matchers call this when adopting a network epoch with new joins.
+func (t *Table) EnsureNodes(numJoins int) {
+	if t.Hashed || numJoins <= len(t.Lines) {
+		return
+	}
+	lines := make([]Line, numJoins)
+	copy(lines, t.Lines)
+	t.Lines = lines
+}
+
+// EnsureNodes grows the per-node counters for a network epoch with new
+// joins.
+func (r *Recorder) EnsureNodes(numJoins int) {
+	for s := 0; s < 2; s++ {
+		if numJoins > len(r.NodeCount[s]) {
+			grown := make([]int64, numJoins)
+			copy(grown, r.NodeCount[s])
+			r.NodeCount[s] = grown
+		}
+	}
+}
+
+// ExciseNodes unlinks every memory entry and parked early delete
+// belonging to a dead node (keyed by node ID) and reports how many
+// entries were dropped. rec, when non-nil, has the dead nodes' token
+// counts zeroed. The caller must hold the table exclusively (sequential
+// matchers between activations; the parallel matcher drained).
+func (t *Table) ExciseNodes(dead map[int]bool, rec *Recorder) (removed int) {
+	if len(dead) == 0 {
+		return 0
+	}
+	for i := range t.Lines {
+		l := &t.Lines[i]
+		for s := 0; s < 2; s++ {
+			removed += exciseList(&l.Mem[s], dead)
+			removed += exciseList(&l.XDel[s], dead)
+		}
+	}
+	if rec != nil {
+		for id := range dead {
+			for s := 0; s < 2; s++ {
+				if id < len(rec.NodeCount[s]) {
+					rec.NodeCount[s][id] = 0
+				}
+			}
+		}
+	}
+	return removed
+}
+
+func exciseList(l *rete.EntryList, dead map[int]bool) (removed int) {
+	var prev *rete.Entry
+	for cur := l.Head; cur != nil; {
+		next := cur.Next
+		if dead[cur.Node.ID] {
+			if prev == nil {
+				l.Head = next
+			} else {
+				prev.Next = next
+			}
+			cur.Next = nil
+			l.Len--
+			removed++
+		} else {
+			prev = cur
+		}
+		cur = next
+	}
+	return removed
+}
+
+// ForEachOutput re-derives the historical output tokens of join j from
+// its stored memories and calls fn for each: for a positive node every
+// matching (left token, right WME) pair in the same line, for a negated
+// node every left token whose negation count is zero. Replay uses this
+// to seed newly attached successors and terminals of a pre-existing
+// join with the tokens it has already emitted. Correct on hashed tables
+// because both sides of a matching pair fold the same equality-test
+// values into their hash and therefore share a line. The caller must
+// hold the table exclusively.
+func (t *Table) ForEachOutput(j *rete.JoinNode, pools *Pools, fn func(wmes []*wm.WME)) {
+	lines := t.Lines
+	if !t.Hashed {
+		lines = t.Lines[j.ID : j.ID+1]
+	}
+	for i := range lines {
+		l := &lines[i]
+		for le := l.Mem[rete.Left].Head; le != nil; le = le.Next {
+			if le.Node != j || le.Side != rete.Left {
+				continue
+			}
+			if j.Negated {
+				if le.NegCount.Load() == 0 {
+					fn(le.Wmes)
+				}
+				continue
+			}
+			for re := l.Mem[rete.Right].Head; re != nil; re = re.Next {
+				if re.Node != j || re.Side != rete.Right {
+					continue
+				}
+				if !j.TestPair(le.Wmes, re.Wmes[0]) {
+					continue
+				}
+				child := pools.MakeToken(len(le.Wmes) + 1)
+				copy(child, le.Wmes)
+				child[len(le.Wmes)] = re.Wmes[0]
+				fn(child)
+			}
+		}
+	}
+}

@@ -56,8 +56,8 @@ type Matcher struct {
 // New builds the interpreted matcher.
 func New(prog *ops5.Program, net *rete.Network, sink rete.TerminalSink) *Matcher {
 	m := &Matcher{Net: net, Prog: prog, Sink: sink, boxed: make(map[*wm.WME]map[string]box)}
-	m.mems[0] = make([][]*entry, len(net.Joins))
-	m.mems[1] = make([][]*entry, len(net.Joins))
+	m.mems[0] = make([][]*entry, net.NumJoinIDs())
+	m.mems[1] = make([][]*entry, net.NumJoinIDs())
 	return m
 }
 
@@ -249,7 +249,7 @@ func (m *Matcher) Submit(sign bool, w *wm.WME) {
 		if !pass {
 			continue
 		}
-		for _, d := range chain.Dests {
+		for _, d := range m.Net.DestsOf(chain) {
 			if d.Terminal != nil {
 				m.toTerminal(d.Terminal, sign, []*wm.WME{w})
 				continue
@@ -294,10 +294,10 @@ func (m *Matcher) activate(j *rete.JoinNode, side rete.Side, sign bool, wmes []*
 		*mem = append((*mem)[:found], (*mem)[found+1:]...)
 	}
 	emit := func(csign bool, cwmes []*wm.WME) {
-		for _, succ := range j.Succs {
+		for _, succ := range m.Net.SuccsOf(j) {
 			m.activate(succ, rete.Left, csign, cwmes)
 		}
-		for _, t := range j.Terminals {
+		for _, t := range m.Net.TermsOf(j) {
 			m.toTerminal(t, csign, cwmes)
 		}
 	}

@@ -258,8 +258,8 @@ func (s *sim) nodeProfile(net *rete.Network, n int) []NodeContention {
 		out = append(out, NodeContention{
 			Node: i, Acts: s.nodeActs[i], Hold: s.nodeHold[i],
 			MaxHold: s.nodeMaxHold[i], MaxScan: s.nodeMaxScan[i], MaxExam: s.nodeMaxExam[i],
-			Negated: net.Joins[i].Negated,
-			Rules:   net.Joins[i].RuleNames,
+			Negated: net.JoinByID(i).Negated,
+			Rules:   net.RuleNamesOf(net.JoinByID(i)),
 		})
 	}
 	sort.Slice(out, func(a, b int) bool { return out[a].Hold > out[b].Hold })
@@ -279,7 +279,7 @@ func (s *sim) lineProfile(net *rete.Network, n int) []LineContention {
 		lc := LineContention{Line: i, Acquires: s.lineAcqN[i], Spins: s.lineSpinN[i], Hold: s.lineHoldN[i], MaxHold: s.lineMaxHold[i]}
 		seen := map[string]bool{}
 		for nodeID := range s.lineNodes[i] {
-			for _, name := range net.Joins[nodeID].RuleNames {
+			for _, name := range net.RuleNamesOf(net.JoinByID(nodeID)) {
 				if !seen[name] {
 					seen[name] = true
 					lc.Rules = append(lc.Rules, name)

@@ -116,7 +116,7 @@ func newSim(cfg Config, net *rete.Network, sink rete.TerminalSink) *sim {
 	s.lineHoldN = make([]int64, n)
 	s.lineMaxHold = make([]int64, n)
 	s.lineNodes = make([]map[int]struct{}, n)
-	nj := len(net.Joins)
+	nj := net.NumJoinIDs()
 	s.nodeHold = make([]int64, nj)
 	s.nodeMaxHold = make([]int64, nj)
 	s.nodeActs = make([]int64, nj)
@@ -477,10 +477,10 @@ func (s *sim) execJoin(line *hashmem.Line, t *taskqueue.Task, hash uint64, extra
 
 func (s *sim) childTasks(j *rete.JoinNode, sign bool, wmes []*wm.WME) []*taskqueue.Task {
 	var out []*taskqueue.Task
-	for _, succ := range j.Succs {
+	for _, succ := range s.net.SuccsOf(j) {
 		out = append(out, &taskqueue.Task{Join: succ, Side: rete.Left, Sign: sign, Wmes: wmes})
 	}
-	for _, term := range j.Terminals {
+	for _, term := range s.net.TermsOf(j) {
 		out = append(out, &taskqueue.Task{Term: term, Sign: sign, Wmes: wmes})
 	}
 	return out

@@ -190,14 +190,34 @@ type Program struct {
 	// InitialMakes are top-level (make ...) forms evaluated once, in
 	// order, before the recognize-act loop starts.
 	InitialMakes []*Action
+	// frozen forbids further mutation of the class tables. The engine
+	// freezes the program when it compiles it: from then on many matchers
+	// and RHS evaluators may read Classes concurrently, so the lazy
+	// auto-extension of undeclared classes (a write under readers) is
+	// disabled and unknown classes/attributes become parse-time errors.
+	frozen bool
 }
+
+// Freeze marks the class tables immutable. Called once at compile time;
+// afterwards ClassOf and FieldIndex are pure reads and safe to call from
+// any goroutine. Symbol interning stays available (symbols.Table has its
+// own lock).
+func (p *Program) Freeze() { p.frozen = true }
+
+// Frozen reports whether the class tables are immutable.
+func (p *Program) Frozen() bool { return p.frozen }
 
 // ClassOf returns the class record, creating an implicit one on demand
 // (OPS5 requires literalize; we auto-declare for convenience and record
-// that it was implicit).
+// that it was implicit). On a frozen program it never mutates: unknown
+// classes yield nil, and parser entry points report them as errors
+// before any lookup can dereference one.
 func (p *Program) ClassOf(name symbols.ID) *Class {
 	c, ok := p.Classes[name]
 	if !ok {
+		if p.frozen {
+			return nil
+		}
 		c = &Class{Name: name, Fields: make(map[symbols.ID]int), FieldAttr: []symbols.ID{symbols.None}}
 		p.Classes[name] = c
 	}
@@ -206,7 +226,9 @@ func (p *Program) ClassOf(name symbols.ID) *Class {
 
 // FieldIndex returns the field index of attr in class, allocating the
 // next slot when the class was not explicitly literalized. Explicitly
-// declared classes reject unknown attributes.
+// declared classes reject unknown attributes, and a frozen program
+// rejects them for every class: attribute layouts are fixed at compile
+// time, so concurrent readers never observe a growing field table.
 func (p *Program) FieldIndex(class *Class, attr symbols.ID) (int, error) {
 	if i, ok := class.Fields[attr]; ok {
 		return i, nil
@@ -214,6 +236,10 @@ func (p *Program) FieldIndex(class *Class, attr symbols.ID) (int, error) {
 	if class.Declared {
 		return 0, fmt.Errorf("class %s has no attribute %s (literalize lists: %d attrs)",
 			p.Symbols.Name(class.Name), p.Symbols.Name(attr), len(class.Fields))
+	}
+	if p.frozen {
+		return 0, fmt.Errorf("class %s has no attribute %s (the program is frozen: attribute layouts are fixed at compile time)",
+			p.Symbols.Name(class.Name), p.Symbols.Name(attr))
 	}
 	i := len(class.FieldAttr)
 	class.Fields[attr] = i
@@ -228,6 +254,20 @@ func (p *Program) AttrName(class symbols.ID, field int) string {
 		return p.Symbols.Name(c.FieldAttr[field])
 	}
 	return fmt.Sprintf("f%d", field)
+}
+
+// ExciseRule removes a parsed rule by name and reports whether it
+// existed. It implements the top-level (excise name) form evaluated
+// during Parse; at runtime the engine excises from its network epoch
+// instead and leaves the (possibly shared) Program untouched.
+func (p *Program) ExciseRule(name string) bool {
+	for i, r := range p.Rules {
+		if r.Name == name {
+			p.Rules = append(p.Rules[:i], p.Rules[i+1:]...)
+			return true
+		}
+	}
+	return false
 }
 
 // RuleByName finds a rule, for tests and tooling.

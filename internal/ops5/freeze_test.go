@@ -1,0 +1,116 @@
+package ops5_test
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestTopLevelExcise: the (excise name) form removes a previously
+// defined production during Parse, matching OPS5 top-level semantics.
+func TestTopLevelExcise(t *testing.T) {
+	prog := parse(t, `
+(literalize a x)
+(p r1 (a ^x 1) --> (halt))
+(p r2 (a ^x 2) --> (halt))
+(excise r1)
+`)
+	if len(prog.Rules) != 1 || prog.Rules[0].Name != "r2" {
+		t.Fatalf("rules after excise = %v, want [r2]", prog.Rules)
+	}
+	parseErr(t, `(excise ghost)`, "no production named ghost")
+}
+
+// TestParseProductionsOrdered: runtime batches keep source order so an
+// excise-then-rebuild of the same name redefines instead of clashing,
+// and the batch never mutates the program's own rule list.
+func TestParseProductionsOrdered(t *testing.T) {
+	prog := parse(t, `
+(literalize a x)
+(p r1 (a ^x 1) --> (halt))
+`)
+	prog.Freeze()
+	before := len(prog.Rules)
+	changes, err := prog.ParseProductions(`
+(excise r1)
+(p r1 (a ^x 2) --> (halt))
+(p r2 (a ^x 3) --> (halt))
+`)
+	if err != nil {
+		t.Fatalf("ParseProductions: %v", err)
+	}
+	if len(prog.Rules) != before {
+		t.Fatalf("ParseProductions mutated prog.Rules: %d -> %d", before, len(prog.Rules))
+	}
+	if len(changes) != 3 {
+		t.Fatalf("changes = %d, want 3", len(changes))
+	}
+	if changes[0].Excise != "r1" || changes[0].Add != nil {
+		t.Fatalf("changes[0] = %+v, want excise r1", changes[0])
+	}
+	if changes[1].Add == nil || changes[1].Add.Name != "r1" {
+		t.Fatalf("changes[1] = %+v, want add r1", changes[1])
+	}
+	if changes[2].Add == nil || changes[2].Add.Name != "r2" {
+		t.Fatalf("changes[2] = %+v, want add r2", changes[2])
+	}
+}
+
+// TestParseProductionsRejectsOtherForms: only (p ...) and (excise ...)
+// are legal in a runtime batch — declarations and makes are not.
+func TestParseProductionsRejectsOtherForms(t *testing.T) {
+	prog := parse(t, `(literalize a x)`)
+	prog.Freeze()
+	for _, src := range []string{
+		`(literalize b y)`,
+		`(make a ^x 1)`,
+		`(strategy mea)`,
+	} {
+		if _, err := prog.ParseProductions(src); err == nil {
+			t.Errorf("ParseProductions accepted %q", src)
+		}
+	}
+}
+
+// TestFrozenProgramRejectsNewClasses: after Freeze, referencing an
+// undeclared class in a runtime batch fails instead of silently
+// extending the class table (the documented pre-freeze behavior for
+// classless programs).
+func TestFrozenProgramRejectsNewClasses(t *testing.T) {
+	prog := parse(t, `(literalize a x)`)
+	prog.Freeze()
+	if !prog.Frozen() {
+		t.Fatal("Frozen() = false after Freeze")
+	}
+	_, err := prog.ParseProductions(`(p r (mystery ^f 1) --> (halt))`)
+	if err == nil || !strings.Contains(err.Error(), "frozen") {
+		t.Fatalf("err = %v, want frozen-program class error", err)
+	}
+	_, err = prog.ParseProductions(`(p r (a ^x 1) --> (make mystery ^f 1))`)
+	if err == nil || !strings.Contains(err.Error(), "frozen") {
+		t.Fatalf("make err = %v, want frozen-program class error", err)
+	}
+	// Attribute lookups on known classes stay read-only too.
+	_, err = prog.ParseProductions(`(p r (a ^mystery 1) --> (halt))`)
+	if err == nil || !strings.Contains(err.Error(), "no attribute") {
+		t.Fatalf("attr err = %v, want no-attribute error", err)
+	}
+}
+
+// TestClassOfFrozen: ClassOf is pure on a frozen program — unknown
+// classes return nil without growing the table.
+func TestClassOfFrozen(t *testing.T) {
+	prog := parse(t, `(literalize a x)`)
+	n := len(prog.Classes)
+	prog.Freeze()
+	if c := prog.ClassOf(prog.Symbols.Intern("ghost")); c != nil {
+		t.Fatalf("ClassOf(ghost) = %v on frozen program, want nil", c)
+	}
+	if len(prog.Classes) != n {
+		t.Fatalf("frozen ClassOf grew the class table: %d -> %d", n, len(prog.Classes))
+	}
+	// Unfrozen classless lookup still auto-extends (OPS5 compatibility).
+	loose := parse(t, ``)
+	if c := loose.ClassOf(loose.Symbols.Intern("adhoc")); c == nil {
+		t.Fatal("unfrozen ClassOf should auto-declare classless programs' classes")
+	}
+}

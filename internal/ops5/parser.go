@@ -54,16 +54,78 @@ func Parse(src string) (*Program, error) {
 			Classes:  make(map[symbols.ID]*Class),
 		},
 	}
+	p.rules = &p.prog.Rules
 	if err := p.parseTop(); err != nil {
 		return nil, err
 	}
 	return p.prog, nil
 }
 
+// ProgramChange is one dynamic program edit: exactly one of Add and
+// Excise is set. ParseProductions returns them in source order, which
+// matters — (excise r) followed by (p r ...) redefines r.
+type ProgramChange struct {
+	Add    *Rule
+	Excise string
+}
+
+// ParseProductions parses a runtime batch of (p ...) and (excise name)
+// forms against an existing — typically frozen — program. It interns
+// symbols (thread-safe) but never mutates prog.Rules or the class
+// tables: new rules are returned to the caller, who owns applying them
+// to whichever network epoch it is building. Unknown classes and
+// attributes are errors when the program is frozen.
+func (prog *Program) ParseProductions(src string) ([]ProgramChange, error) {
+	toks, err := lexAll(src)
+	if err != nil {
+		return nil, err
+	}
+	var added []*Rule
+	p := &parser{toks: toks, prog: prog, rules: &added}
+	var changes []ProgramChange
+	for {
+		t := p.cur()
+		if t.kind == tokEOF {
+			return changes, nil
+		}
+		if t.kind != tokLParen {
+			return nil, p.errf(t, "expected (p ...) or (excise ...) form, got %q", t.String())
+		}
+		p.advance()
+		head, err := p.expect(tokSym, "form head")
+		if err != nil {
+			return nil, err
+		}
+		switch head.text {
+		case "p":
+			before := len(added)
+			if err := p.parseProduction(head.line); err != nil {
+				return nil, err
+			}
+			changes = append(changes, ProgramChange{Add: added[before]})
+		case "excise":
+			name, err := p.expect(tokSym, "production name")
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(tokRParen, ")"); err != nil {
+				return nil, err
+			}
+			changes = append(changes, ProgramChange{Excise: name.text})
+		default:
+			return nil, p.errf(head, "only (p ...) and (excise ...) are allowed in a runtime batch, got %q", head.text)
+		}
+	}
+}
+
 type parser struct {
 	toks []token
 	pos  int
 	prog *Program
+	// rules is where parseProduction appends finished rules: the
+	// program's own list for Parse, a caller-local list for
+	// ParseProductions (which must not mutate a shared frozen program).
+	rules *[]*Rule
 }
 
 func (p *parser) cur() token { return p.toks[p.pos] }
@@ -113,6 +175,17 @@ func (p *parser) parseTop() error {
 		case "p":
 			if err := p.parseProduction(head.line); err != nil {
 				return err
+			}
+		case "excise":
+			name, err := p.expect(tokSym, "production name")
+			if err != nil {
+				return err
+			}
+			if _, err := p.expect(tokRParen, ")"); err != nil {
+				return err
+			}
+			if !p.prog.ExciseRule(name.text) {
+				return p.errf(name, "excise: no production named %s", name.text)
 			}
 		case "strategy":
 			s, err := p.expect(tokSym, "strategy name")
@@ -237,8 +310,22 @@ func (p *parser) parseProduction(line int) error {
 	if err := checkRule(p.prog, r); err != nil {
 		return fmt.Errorf("production %s: %w", r.Name, err)
 	}
-	p.prog.Rules = append(p.prog.Rules, r)
+	*p.rules = append(*p.rules, r)
 	return nil
+}
+
+// classRef resolves a class reference, honouring the freeze: on a
+// frozen program an unknown class is a parse error rather than an
+// implicit declaration.
+func (p *parser) classRef(at token, name string) (*Class, error) {
+	id := p.intern(name)
+	if c, ok := p.prog.Classes[id]; ok {
+		return c, nil
+	}
+	if p.prog.Frozen() {
+		return nil, p.errf(at, "class %s is not defined (the program is frozen: new classes cannot be introduced at runtime)", name)
+	}
+	return p.prog.ClassOf(id), nil
 }
 
 // parseElemCE reads { <var> (pattern) } or { (pattern) <var> }.
@@ -289,7 +376,10 @@ func (p *parser) parseCE(negated bool) (*CondElem, error) {
 		return nil, err
 	}
 	ce := &CondElem{Negated: negated, Class: p.intern(cls.text), Line: open.line}
-	class := p.prog.ClassOf(ce.Class)
+	class, err := p.classRef(cls, cls.text)
+	if err != nil {
+		return nil, err
+	}
 	for {
 		t := p.advance()
 		switch t.kind {
@@ -497,7 +587,10 @@ func (p *parser) parseMakeBody(rule *Rule, line int) (*Action, error) {
 		return nil, err
 	}
 	act := &Action{Kind: ActMake, Class: p.intern(cls.text), Line: line}
-	class := p.prog.ClassOf(act.Class)
+	class, err := p.classRef(cls, cls.text)
+	if err != nil {
+		return nil, err
+	}
 	if err := p.parseSets(act, class); err != nil {
 		return nil, err
 	}

@@ -86,7 +86,11 @@ type workerStats struct {
 
 // Matcher is the parallel match backend. It implements engine.Matcher.
 type Matcher struct {
-	net      *rete.Network
+	// net is the current network epoch. Workers load it once per task;
+	// SwapEpoch publishes a new epoch while the matcher is drained, so a
+	// task never straddles two epochs and the atomic load is all the
+	// steady-state match path pays for versioning.
+	net      atomic.Pointer[rete.Network]
 	table    *hashmem.Table
 	simple   []spinlock.Lock
 	mrsw     []spinlock.MRSW
@@ -131,6 +135,7 @@ type wctx struct {
 	cs    *stats.Contention
 
 	// Per-task state read by the pre-bound closures below.
+	curNet  *rete.Network  // epoch loaded at task start (emit fan-out)
 	curJoin *rete.JoinNode // join whose outputs emit fans out
 	curSign bool           // sign of the root change being delivered
 	curWME  *wm.WME        // root WME being delivered
@@ -158,7 +163,6 @@ func New(net *rete.Network, cfg Config, sink rete.TerminalSink) *Matcher {
 		cfg.Lines = 16384
 	}
 	m := &Matcher{
-		net:      net,
 		table:    hashmem.New(cfg.Lines),
 		queues:   taskqueue.New(cfg.Queues),
 		rootFree: taskqueue.NewFreeList(0),
@@ -167,6 +171,7 @@ func New(net *rete.Network, cfg Config, sink rete.TerminalSink) *Matcher {
 		multiCPU: runtime.NumCPU() > 1,
 		ws:       make([]workerStats, cfg.Procs+1),
 	}
+	m.net.Store(net)
 	m.lastParked.Store(-1)
 	n := len(m.table.Lines)
 	if cfg.Scheme == SchemeSimple {
@@ -508,7 +513,7 @@ func (w *wctx) process(t *taskqueue.Task) (requeued bool) {
 		w.curSign = t.Sign
 		w.curWME = t.Root
 		w.curRoot = nil
-		w.m.net.RootDeliver(t.Root, w.deliverFn)
+		w.m.net.Load().RootDeliver(t.Root, w.deliverFn)
 	case t.Term != nil:
 		if t.Sign {
 			w.m.sink.InsertInstantiation(t.Term.Rule, t.Wmes)
@@ -545,12 +550,12 @@ func (w *wctx) deliver(d rete.AlphaDest) {
 // joins and terminals.
 func (w *wctx) emit(csign bool, cwmes []*wm.WME) {
 	j := w.curJoin
-	for _, succ := range j.Succs {
+	for _, succ := range w.curNet.SuccsOf(j) {
 		nt := w.newTask()
 		nt.Join, nt.Side, nt.Sign, nt.Wmes = succ, rete.Left, csign, cwmes
 		w.spawn(nt)
 	}
-	for _, term := range j.Terminals {
+	for _, term := range w.curNet.TermsOf(j) {
 		nt := w.newTask()
 		nt.Term, nt.Sign, nt.Wmes = term, csign, cwmes
 		w.spawn(nt)
@@ -568,6 +573,7 @@ func (w *wctx) join(t *taskqueue.Task) (requeued bool) {
 	}
 	idx := m.table.LineIndex(j, hash)
 	line := &m.table.Lines[idx]
+	w.curNet = m.net.Load()
 	w.curJoin = j
 	if m.cfg.Scheme == SchemeSimple {
 		spins := m.simple[idx].Acquire()
@@ -628,4 +634,119 @@ func (w *wctx) recordLine(side rete.Side, spins int64) {
 		w.cs.LineAcquiresRight++
 		w.cs.LineSpinsRight += spins
 	}
+}
+
+// inject pushes one replay task onto the central queues from the
+// control process, charging its lock traffic to the control slot like
+// Submit does.
+func (m *Matcher) inject(t *taskqueue.Task) {
+	spins := m.queues.Push(int(m.pushRR.Add(1)), t)
+	cs := &m.ws[m.cfg.Procs].c
+	cs.QueueAcquires++
+	cs.QueueSpins += spins
+	m.kick()
+}
+
+// SwapEpoch adopts a network epoch derived from the matcher's current
+// one. Must be called from the control process with the matcher drained
+// (no tasks in flight), the same condition under which the engine reads
+// the conflict set. Removals drop the excised joins' memory entries
+// directly — safe because the TaskCount==0 edge ordered every worker's
+// line writes before this read. Additions replay the live working
+// memory in two drained phases: first right-side tasks fill the new
+// joins' right memories (left memories are empty, so nothing emits and
+// negation counts settle), then left-side seeds — root deliveries for
+// new first-stage joins and terminals, plus historical outputs of grown
+// joins re-derived from the table while it is quiescent — propagate
+// through the ordinary worker machinery. Phase-2 tasks are all gathered
+// before any is injected, so the table enumeration never races worker
+// inserts.
+func (m *Matcher) SwapEpoch(next *rete.Network, live []*wm.WME) (removed int, err error) {
+	cur := m.net.Load()
+	if next.Parent() != cur {
+		return 0, fmt.Errorf("parmatch: epoch %d is not derived from the current epoch %d", next.Epoch, cur.Epoch)
+	}
+	d := next.Delta
+	if d == nil {
+		return 0, fmt.Errorf("parmatch: epoch %d has no delta", next.Epoch)
+	}
+	if n := m.queues.TaskCount.Load(); n != 0 {
+		return 0, fmt.Errorf("parmatch: SwapEpoch while %d tasks in flight", n)
+	}
+	if len(d.DeadJoins) > 0 {
+		dead := make(map[int]bool, len(d.DeadJoins))
+		for _, j := range d.DeadJoins {
+			dead[j.ID] = true
+		}
+		removed = m.table.ExciseNodes(dead, nil)
+	}
+	m.net.Store(next)
+
+	targets := next.ReplayDests()
+	if len(targets) == 0 && len(d.GrownJoins) == 0 {
+		return removed, nil
+	}
+	// Replay tokens escape into node memories and the conflict set, so
+	// they come from a throwaway arena, not a worker pool.
+	var pools hashmem.Pools
+	injected := false
+	for _, cd := range targets {
+		for _, dst := range cd.Dests {
+			if dst.Join == nil || dst.Side != rete.Right {
+				continue
+			}
+			for _, w := range live {
+				if w.Class() != cd.Chain.Class || !cd.Chain.Matches(w) {
+					continue
+				}
+				tok := pools.MakeToken(1)
+				tok[0] = w
+				t := &taskqueue.Task{Join: dst.Join, Side: rete.Right, Sign: true, Wmes: tok}
+				m.inject(t)
+				injected = true
+			}
+		}
+	}
+	if injected {
+		m.Drain()
+	}
+	var phase2 []*taskqueue.Task
+	for _, cd := range targets {
+		for _, dst := range cd.Dests {
+			if dst.Join != nil && dst.Side == rete.Right {
+				continue
+			}
+			for _, w := range live {
+				if w.Class() != cd.Chain.Class || !cd.Chain.Matches(w) {
+					continue
+				}
+				tok := pools.MakeToken(1)
+				tok[0] = w
+				if dst.Terminal != nil {
+					phase2 = append(phase2, &taskqueue.Task{Term: dst.Terminal, Sign: true, Wmes: tok})
+				} else {
+					phase2 = append(phase2, &taskqueue.Task{Join: dst.Join, Side: rete.Left, Sign: true, Wmes: tok})
+				}
+			}
+		}
+	}
+	for i := range d.GrownJoins {
+		g := &d.GrownJoins[i]
+		m.table.ForEachOutput(g.Join, &pools, func(tok []*wm.WME) {
+			for _, succ := range g.NewSuccs {
+				phase2 = append(phase2, &taskqueue.Task{Join: succ, Side: rete.Left, Sign: true, Wmes: tok})
+			}
+			for _, term := range g.NewTerms {
+				phase2 = append(phase2, &taskqueue.Task{Term: term, Sign: true, Wmes: tok})
+			}
+		})
+	}
+	if len(phase2) == 0 {
+		return removed, nil
+	}
+	for _, t := range phase2 {
+		m.inject(t)
+	}
+	m.Drain()
+	return removed, nil
 }

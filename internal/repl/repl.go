@@ -55,35 +55,77 @@ func New(src string, out io.Writer) (*REPL, error) {
 	return &REPL{prog: prog, net: net, cs: cs, matcher: m, eng: eng, out: out, watch: 1}, nil
 }
 
-// Run reads commands until exit or EOF.
+// Run reads commands until exit or EOF. Parenthesized forms may span
+// lines: input accumulates until the parens balance, so a production
+// can be typed at the prompt the way it appears in a source file.
 func (r *REPL) Run(in io.Reader) error {
 	sc := bufio.NewScanner(in)
 	fmt.Fprintln(r.out, `ops5 top level — "help" lists commands`)
+	var pending strings.Builder
+	depth := 0
 	for {
-		fmt.Fprint(r.out, "> ")
+		if pending.Len() == 0 {
+			fmt.Fprint(r.out, "> ")
+		} else {
+			fmt.Fprint(r.out, "... ")
+		}
 		if !sc.Scan() {
 			fmt.Fprintln(r.out)
 			return sc.Err()
 		}
-		line := strings.TrimSpace(sc.Text())
-		if line == "" {
+		line := sc.Text()
+		trimmed := strings.TrimSpace(line)
+		if pending.Len() == 0 {
+			if trimmed == "" {
+				continue
+			}
+			if trimmed == "exit" || trimmed == "quit" {
+				return nil
+			}
+			if !strings.HasPrefix(trimmed, "(") {
+				if err := r.Exec(trimmed); err != nil {
+					fmt.Fprintln(r.out, "error:", err)
+				}
+				continue
+			}
+		}
+		pending.WriteString(line)
+		pending.WriteByte('\n')
+		depth += strings.Count(line, "(") - strings.Count(line, ")")
+		if depth > 0 {
 			continue
 		}
-		if line == "exit" || line == "quit" {
-			return nil
-		}
-		if err := r.Exec(line); err != nil {
+		form := pending.String()
+		pending.Reset()
+		depth = 0
+		if err := r.Exec(form); err != nil {
 			fmt.Fprintln(r.out, "error:", err)
 		}
 	}
 }
 
-// Exec runs one command line. A blank or whitespace-only line is a
-// no-op, so callers other than Run can pass raw input safely.
+// formHead returns the head symbol of a parenthesized form, e.g. "p"
+// for "(p r1 ...)".
+func formHead(form string) string {
+	fields := strings.Fields(strings.TrimPrefix(form, "("))
+	if len(fields) == 0 {
+		return ""
+	}
+	return fields[0]
+}
+
+// Exec runs one command line or one complete parenthesized form. A
+// blank or whitespace-only line is a no-op, so callers other than Run
+// can pass raw input safely.
 func (r *REPL) Exec(line string) error {
 	line = strings.TrimSpace(line)
 	if strings.HasPrefix(line, "(") {
-		return r.doMake(line)
+		switch formHead(line) {
+		case "p", "excise":
+			return r.doBuild(line)
+		default:
+			return r.doMake(line)
+		}
 	}
 	fields := strings.Fields(line)
 	if len(fields) == 0 {
@@ -109,6 +151,11 @@ func (r *REPL) Exec(line string) error {
 		return r.doMake("(" + line + ")")
 	case "remove":
 		return r.doRemove(args)
+	case "excise":
+		if len(args) != 1 {
+			return fmt.Errorf("usage: excise <rule>")
+		}
+		return r.doBuild("(excise " + args[0] + ")")
 	case "network":
 		s := r.net.Summarize()
 		fmt.Fprintf(r.out, "%d rules, %d alpha chains (%d const tests), %d two-input nodes (%d negated), %d terminals\n",
@@ -136,6 +183,8 @@ func (r *REPL) help() {
   matches <rule>    token counts in the rule's join memories
   make <class> ...  assert a working-memory element, e.g. make goal ^type go
   remove <timetag>  retract the element with that time tag
+  (p <name> ...)    build a production into the running engine
+  excise <rule>     remove a production (also: the (excise name) form)
   network           network statistics
   strategy          show the conflict-resolution strategy
   watch 0|1|2       trace nothing | firings | firings + WM changes
@@ -185,18 +234,37 @@ func (r *REPL) doPM(args []string) error {
 	if len(args) != 1 {
 		return fmt.Errorf("usage: pm <rule>")
 	}
-	rule := r.prog.RuleByName(args[0])
-	if rule == nil {
+	cr := r.net.RuleByName(args[0])
+	if cr == nil {
 		return fmt.Errorf("no production %q", args[0])
 	}
-	fmt.Fprintln(r.out, r.prog.FormatRule(rule))
+	fmt.Fprintln(r.out, r.prog.FormatRule(cr.Rule))
 	return nil
 }
 
 func (r *REPL) doRules() {
-	for _, rule := range r.prog.Rules {
-		fmt.Fprintf(r.out, "%s (%d CEs, %d actions)\n", rule.Name, len(rule.CEs), len(rule.Actions))
+	for _, cr := range r.net.Rules {
+		fmt.Fprintf(r.out, "%s (%d CEs, %d actions)\n", cr.Rule.Name, len(cr.Rule.CEs), len(cr.Rule.Actions))
 	}
+}
+
+// doBuild applies a batch of (p ...) / (excise name) forms to the live
+// engine and reports the resulting epoch and node sharing.
+func (r *REPL) doBuild(src string) error {
+	added, excised, err := r.eng.AddRules(src)
+	for _, name := range excised {
+		fmt.Fprintf(r.out, "excised %s\n", name)
+	}
+	for _, name := range added {
+		fmt.Fprintf(r.out, "built %s\n", name)
+	}
+	r.net = r.eng.Net
+	if len(added)+len(excised) > 0 {
+		s := r.net.Summarize()
+		fmt.Fprintf(r.out, "epoch %d: %d rules, %d chains (%d shared), %d joins (%d shared)\n",
+			s.Epoch, s.Rules, s.Chains, s.SharedChains, s.Joins, s.SharedJoins)
+	}
+	return err
 }
 
 func (r *REPL) doCS() {
@@ -228,14 +296,14 @@ func (r *REPL) doMatches(args []string) error {
 		return fmt.Errorf("usage: matches <rule>")
 	}
 	name := args[0]
-	rule := r.prog.RuleByName(name)
-	if rule == nil {
+	cr := r.net.RuleByName(name)
+	if cr == nil {
 		return fmt.Errorf("no production %q", name)
 	}
-	sizes := r.matcher.Table.SizeByNode(len(r.net.Joins))
+	sizes := r.matcher.Table.SizeByNode(r.net.NumJoinIDs())
 	var joins []*rete.JoinNode
 	for _, j := range r.net.Joins {
-		for _, rn := range j.RuleNames {
+		for _, rn := range r.net.RuleNamesOf(j) {
 			if rn == name {
 				joins = append(joins, j)
 			}
@@ -248,15 +316,15 @@ func (r *REPL) doMatches(args []string) error {
 			kind = "not"
 		}
 		shared := ""
-		if len(j.RuleNames) > 1 {
-			shared = fmt.Sprintf(" (shared with %d rules)", len(j.RuleNames)-1)
+		if n := len(r.net.RuleNamesOf(j)); n > 1 {
+			shared = fmt.Sprintf(" (shared with %d rules)", n-1)
 		}
 		fmt.Fprintf(r.out, "join %d [%s, %d CEs matched]: left %d tokens, right %d tokens%s\n",
 			j.ID, kind, j.LeftLen, sizes[j.ID][0], sizes[j.ID][1], shared)
 	}
 	n := 0
 	for _, inst := range r.cs.Snapshot() {
-		if inst.Rule.Rule == rule {
+		if inst.Rule == cr {
 			n++
 		}
 	}

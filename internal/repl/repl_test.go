@@ -192,6 +192,83 @@ func TestBlankLinesAreNoOps(t *testing.T) {
 	}
 }
 
+// TestBuildProduction: a (p ...) form typed at the prompt compiles
+// into the live network, prints the new epoch summary, and matches
+// working memory asserted before it existed.
+func TestBuildProduction(t *testing.T) {
+	r, out := newREPL(t)
+	got := exec(t, r, out, "(p spot-red (block ^id <i> ^color red) --> (write red))")
+	if !strings.Contains(got, "built spot-red") || !strings.Contains(got, "epoch 1:") {
+		t.Fatalf("build output:\n%s", got)
+	}
+	if !strings.Contains(got, "2 rules") {
+		t.Fatalf("build summary missing rule count:\n%s", got)
+	}
+	// The pre-existing red block b1 is replayed into the new production.
+	if got := exec(t, r, out, "cs"); !strings.Contains(got, "spot-red") {
+		t.Fatalf("cs after build:\n%s", got)
+	}
+	if got := exec(t, r, out, "pm spot-red"); !strings.Contains(got, "(p spot-red") {
+		t.Fatalf("pm of built rule:\n%s", got)
+	}
+}
+
+// TestExciseCommand: excise <name> removes the production and its
+// instantiations; rules/cs reflect the shrunken network.
+func TestExciseCommand(t *testing.T) {
+	r, out := newREPL(t)
+	exec(t, r, out, "make goal ^type find-block ^color red")
+	got := exec(t, r, out, "excise find-colored-block")
+	if !strings.Contains(got, "excised find-colored-block") || !strings.Contains(got, "0 rules") {
+		t.Fatalf("excise output:\n%s", got)
+	}
+	if got := exec(t, r, out, "cs"); !strings.Contains(got, "0 instantiations") {
+		t.Fatalf("cs after excise:\n%s", got)
+	}
+	if err := r.Exec("excise ghost"); err == nil {
+		t.Fatal("excising an unknown production should error")
+	}
+}
+
+// TestMultiLineBuildViaReader: the interactive loop buffers an open
+// (p ...) form across lines until the parens balance.
+func TestMultiLineBuildViaReader(t *testing.T) {
+	var out strings.Builder
+	r, err := repl.New(session, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := strings.NewReader(`(p spot-blue
+  (block ^id <i> ^color blue)
+-->
+  (write blue))
+rules
+exit
+`)
+	if err := r.Run(in); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	if !strings.Contains(got, "built spot-blue") {
+		t.Fatalf("multi-line build transcript:\n%s", got)
+	}
+	if !strings.Contains(got, "spot-blue (1 CEs, 1 actions)") {
+		t.Fatalf("rules after multi-line build:\n%s", got)
+	}
+}
+
+// TestBuildBadProductionKeepsEngine: a failed build reports the error
+// and leaves the current epoch untouched.
+func TestBuildBadProductionKeepsEngine(t *testing.T) {
+	r, out := newREPL(t)
+	if err := r.Exec("(p bad (mystery ^f 1) --> (halt))"); err == nil {
+		t.Fatal("build with unknown class should error")
+	}
+	if got := exec(t, r, out, "network"); !strings.Contains(got, "1 rules") {
+		t.Fatalf("network changed after failed build:\n%s", got)
+	}
+}
+
 // TestNewRejectsBadProgram checks the loader reports parse failures as
 // errors instead of panicking.
 func TestNewRejectsBadProgram(t *testing.T) {

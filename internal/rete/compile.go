@@ -9,16 +9,14 @@ import (
 	"repro/internal/symbols"
 )
 
-// Compile builds the Rete network for a parsed program.
+// Compile builds the epoch-0 Rete network for a parsed program. It is
+// the same per-rule compiler AddRule uses at run time, applied to every
+// production in order — which is why an incrementally grown network is
+// node-for-node identical to a whole-program compile (epoch_test.go
+// asserts this on the Dump output).
 func Compile(prog *ops5.Program) (*Network, error) {
-	b := &builder{
-		net: &Network{
-			Prog:          prog,
-			ChainsByClass: make(map[symbols.ID][]*AlphaChain),
-		},
-		chainByKey: make(map[string]*AlphaChain),
-		joinByKey:  make(map[string]*JoinNode),
-	}
+	net := newNetwork(prog)
+	b := newBuilder(net, nil)
 	for _, r := range prog.Rules {
 		if err := b.compileRule(r); err != nil {
 			return nil, fmt.Errorf("production %s: %w", r.Name, err)
@@ -26,19 +24,164 @@ func Compile(prog *ops5.Program) (*Network, error) {
 	}
 	// Lower every test into its specialized closure (fastpath.go) so the
 	// matchers never re-branch on test kind per token.
-	for _, c := range b.net.Chains {
+	for _, c := range net.Chains {
 		c.compileFast()
 	}
-	for _, j := range b.net.Joins {
+	for _, j := range net.Joins {
 		j.compileFast()
 	}
-	return b.net, nil
+	return net, nil
 }
 
+func newNetwork(prog *ops5.Program) *Network {
+	return &Network{
+		Prog:          prog,
+		ChainsByClass: make(map[symbols.ID][]*AlphaChain),
+		chainByKey:    make(map[string]*AlphaChain),
+		joinByKey:     make(map[string]*JoinNode),
+	}
+}
+
+// builder compiles rules into a network it owns for the duration of one
+// operation (a whole-program Compile, or one AddRule). Rows of the
+// per-node epoch tables may still be shared with a parent epoch; the
+// builder copies each row the first time the operation writes it and
+// records what it added in the delta (when one is being tracked).
 type builder struct {
-	net        *Network
-	chainByKey map[string]*AlphaChain
-	joinByKey  map[string]*JoinNode
+	net   *Network
+	delta *EpochDelta // nil for whole-program compiles
+	// ownDests/ownSuccs/ownClass mark rows (and ChainsByClass slices)
+	// already copied — or created — by this operation.
+	ownDests map[int]bool
+	ownSuccs map[int]bool
+	ownTerms map[int]bool
+	ownRules map[int]bool
+	ownClass map[symbols.ID]bool
+	// grown*At record the pre-operation length of rows that existed
+	// before the operation and grew during it, for delta finalization.
+	grownDestsAt map[int]int
+	grownSuccsAt map[int]int
+	grownTermsAt map[int]int
+}
+
+func newBuilder(net *Network, delta *EpochDelta) *builder {
+	return &builder{
+		net:          net,
+		delta:        delta,
+		ownDests:     make(map[int]bool),
+		ownSuccs:     make(map[int]bool),
+		ownTerms:     make(map[int]bool),
+		ownRules:     make(map[int]bool),
+		ownClass:     make(map[symbols.ID]bool),
+		grownDestsAt: make(map[int]int),
+		grownSuccsAt: make(map[int]int),
+		grownTermsAt: make(map[int]int),
+	}
+}
+
+// finishDelta records, for every pre-existing node the operation grew,
+// exactly the appended fan-out — the replay frontier the matchers need.
+func (b *builder) finishDelta() {
+	if b.delta == nil {
+		return
+	}
+	for id, base := range b.grownDestsAt {
+		row := b.net.chainDests[id]
+		if len(row) > base {
+			b.delta.GrownChains = append(b.delta.GrownChains, GrownChain{
+				Chain: b.net.chainsByID[id], NewDests: row[base:],
+			})
+		}
+	}
+	grown := make(map[int]*GrownJoin)
+	joinGrown := func(id int) *GrownJoin {
+		if g := grown[id]; g != nil {
+			return g
+		}
+		b.delta.GrownJoins = append(b.delta.GrownJoins, GrownJoin{Join: b.net.joinsByID[id]})
+		g := &b.delta.GrownJoins[len(b.delta.GrownJoins)-1]
+		grown[id] = g
+		return g
+	}
+	for id, base := range b.grownSuccsAt {
+		row := b.net.joinSuccs[id]
+		if len(row) > base {
+			joinGrown(id).NewSuccs = row[base:]
+		}
+	}
+	for id, base := range b.grownTermsAt {
+		row := b.net.joinTerms[id]
+		if len(row) > base {
+			joinGrown(id).NewTerms = row[base:]
+		}
+	}
+	// Keep delta ordering deterministic (maps above iterate randomly).
+	sort.Slice(b.delta.GrownChains, func(i, j int) bool {
+		return b.delta.GrownChains[i].Chain.ID < b.delta.GrownChains[j].Chain.ID
+	})
+	sort.Slice(b.delta.GrownJoins, func(i, j int) bool {
+		return b.delta.GrownJoins[i].Join.ID < b.delta.GrownJoins[j].Join.ID
+	})
+}
+
+// addChainDest appends a destination to a chain, copying the row on
+// first write if it is shared with a parent epoch.
+func (b *builder) addChainDest(c *AlphaChain, d AlphaDest) {
+	n := b.net
+	row := n.chainDests[c.ID]
+	if !b.ownDests[c.ID] {
+		b.ownDests[c.ID] = true
+		b.grownDestsAt[c.ID] = len(row)
+		row = append(make([]AlphaDest, 0, len(row)+1), row...)
+	}
+	n.chainDests[c.ID] = append(row, d)
+}
+
+func (b *builder) addJoinSucc(j, succ *JoinNode) {
+	n := b.net
+	row := n.joinSuccs[j.ID]
+	if !b.ownSuccs[j.ID] {
+		b.ownSuccs[j.ID] = true
+		b.grownSuccsAt[j.ID] = len(row)
+		row = append(make([]*JoinNode, 0, len(row)+1), row...)
+	}
+	n.joinSuccs[j.ID] = append(row, succ)
+}
+
+func (b *builder) addJoinTerm(j *JoinNode, t *Terminal) {
+	n := b.net
+	row := n.joinTerms[j.ID]
+	if !b.ownTerms[j.ID] {
+		b.ownTerms[j.ID] = true
+		b.grownTermsAt[j.ID] = len(row)
+		row = append(make([]*Terminal, 0, len(row)+1), row...)
+	}
+	n.joinTerms[j.ID] = append(row, t)
+}
+
+func (b *builder) addJoinRule(j *JoinNode, name string) {
+	n := b.net
+	row := n.joinRules[j.ID]
+	// A rule's path visits each join once, so a trailing duplicate means
+	// this rule already recorded itself on the node.
+	if ln := len(row); ln > 0 && row[ln-1] == name {
+		return
+	}
+	if !b.ownRules[j.ID] {
+		b.ownRules[j.ID] = true
+		row = append(make([]string, 0, len(row)+1), row...)
+	}
+	n.joinRules[j.ID] = append(row, name)
+}
+
+func (b *builder) addChainToClass(class symbols.ID, c *AlphaChain) {
+	n := b.net
+	row := n.ChainsByClass[class]
+	if !b.ownClass[class] {
+		b.ownClass[class] = true
+		row = append(make([]*AlphaChain, 0, len(row)+1), row...)
+	}
+	n.ChainsByClass[class] = append(row, c)
 }
 
 // ceSplit is the per-condition-element compilation result.
@@ -103,9 +246,10 @@ func splitCE(ce *ops5.CondElem, bound map[string]BindRef) (*ceSplit, error) {
 // compileRule threads one production through the network, sharing alpha
 // chains and identical join prefixes with previously compiled rules.
 func (b *builder) compileRule(r *ops5.Rule) error {
+	net := b.net
 	cr := &CompiledRule{
 		Rule:     r,
-		Index:    len(b.net.Rules),
+		Index:    net.numRuleIDs,
 		CEPos:    make([]int, len(r.CEs)),
 		Bindings: make(map[string]BindRef),
 	}
@@ -122,6 +266,8 @@ func (b *builder) compileRule(r *ops5.Rule) error {
 		}
 		cr.Specificity += split.numTests
 		chain := b.internChain(ce.Class, split.alphaTests)
+		cr.ChainIDs = append(cr.ChainIDs, chain.ID)
+		net.chainRefs[chain.ID]++
 		if i == 0 {
 			firstAlpha = chain
 			prefixKey = fmt.Sprintf("a%d", chain.ID)
@@ -133,9 +279,9 @@ func (b *builder) compileRule(r *ops5.Rule) error {
 			continue
 		}
 		join := b.internJoin(prefixKey, firstAlpha, prevJoin, chain, ce.Negated, split, tokenLen)
-		if n := len(join.RuleNames); n == 0 || join.RuleNames[n-1] != r.Name {
-			join.RuleNames = append(join.RuleNames, r.Name)
-		}
+		cr.JoinIDs = append(cr.JoinIDs, join.ID)
+		net.joinRefs[join.ID]++
+		b.addJoinRule(join, r.Name)
 		prefixKey = join.key
 		prevJoin = join
 		if ce.Negated {
@@ -148,23 +294,30 @@ func (b *builder) compileRule(r *ops5.Rule) error {
 			tokenLen++
 		}
 	}
-	term := &Terminal{ID: len(b.net.Terminals), Rule: cr}
+	term := &Terminal{ID: net.numTermIDs, Rule: cr}
+	net.numTermIDs++
 	cr.Terminal = term
-	b.net.Terminals = append(b.net.Terminals, term)
+	net.Terminals = append(net.Terminals, term)
 	if prevJoin == nil {
 		// Single-condition-element production: terminal hangs directly
 		// off the alpha chain.
-		firstAlpha.Dests = append(firstAlpha.Dests, AlphaDest{Terminal: term})
+		b.addChainDest(firstAlpha, AlphaDest{Terminal: term})
 	} else {
-		prevJoin.Terminals = append(prevJoin.Terminals, term)
+		b.addJoinTerm(prevJoin, term)
 	}
-	b.net.Rules = append(b.net.Rules, cr)
+	net.Rules = append(net.Rules, cr)
+	net.numRuleIDs++
+	if b.delta != nil {
+		b.delta.AddedRules = append(b.delta.AddedRules, cr)
+		b.delta.NewTerminals = append(b.delta.NewTerminals, term)
+	}
 	return nil
 }
 
 // internChain returns the shared alpha chain for (class, tests),
 // creating it when new. Chains are canonicalized by sorting tests.
 func (b *builder) internChain(class symbols.ID, tests []ConstTest) *AlphaChain {
+	net := b.net
 	sorted := append([]ConstTest(nil), tests...)
 	sort.SliceStable(sorted, func(i, j int) bool {
 		if sorted[i].Field != sorted[j].Field {
@@ -179,13 +332,20 @@ func (b *builder) internChain(class symbols.ID, tests []ConstTest) *AlphaChain {
 		sb.WriteString(constTestKey(&sorted[i]))
 	}
 	key := sb.String()
-	if c, ok := b.chainByKey[key]; ok {
+	if c, ok := net.chainByKey[key]; ok {
 		return c
 	}
-	c := &AlphaChain{ID: len(b.net.Chains), Class: class, Tests: sorted, key: key}
-	b.net.Chains = append(b.net.Chains, c)
-	b.net.ChainsByClass[class] = append(b.net.ChainsByClass[class], c)
-	b.chainByKey[key] = c
+	c := &AlphaChain{ID: len(net.chainDests), Class: class, Tests: sorted, key: key}
+	net.Chains = append(net.Chains, c)
+	net.chainDests = append(net.chainDests, nil)
+	net.chainRefs = append(net.chainRefs, 0)
+	net.chainsByID = append(net.chainsByID, c)
+	b.ownDests[c.ID] = true
+	b.addChainToClass(class, c)
+	net.chainByKey[key] = c
+	if b.delta != nil {
+		b.delta.NewChains = append(b.delta.NewChains, c)
+	}
 	return c
 }
 
@@ -208,6 +368,7 @@ func constTestKey(t *ConstTest) string {
 // internJoin returns a shared join node for the given prefix and right
 // input, creating it when new.
 func (b *builder) internJoin(prefixKey string, firstAlpha *AlphaChain, prev *JoinNode, right *AlphaChain, negated bool, split *ceSplit, tokenLen int) *JoinNode {
+	net := b.net
 	var sb strings.Builder
 	sb.WriteString(prefixKey)
 	fmt.Fprintf(&sb, ">>a%d,n%v", right.ID, negated)
@@ -218,25 +379,36 @@ func (b *builder) internJoin(prefixKey string, firstAlpha *AlphaChain, prev *Joi
 		fmt.Fprintf(&sb, "|o%d.%d%s%d", t.LeftPos, t.LeftField, t.Pred, t.RightField)
 	}
 	key := sb.String()
-	if j, ok := b.joinByKey[key]; ok {
+	if j, ok := net.joinByKey[key]; ok {
 		return j
 	}
 	j := &JoinNode{
-		ID:         len(b.net.Joins),
+		ID:         len(net.joinSuccs),
 		Negated:    negated,
 		EqTests:    split.eqTests,
 		OtherTests: split.otherTests,
 		LeftLen:    tokenLen,
 		key:        key,
 	}
-	b.net.Joins = append(b.net.Joins, j)
-	b.joinByKey[key] = j
+	net.Joins = append(net.Joins, j)
+	net.joinSuccs = append(net.joinSuccs, nil)
+	net.joinTerms = append(net.joinTerms, nil)
+	net.joinRules = append(net.joinRules, nil)
+	net.joinRefs = append(net.joinRefs, 0)
+	net.joinsByID = append(net.joinsByID, j)
+	b.ownSuccs[j.ID] = true
+	b.ownTerms[j.ID] = true
+	b.ownRules[j.ID] = true
+	net.joinByKey[key] = j
 	if prev == nil {
 		j.LeftFromAlpha = true
-		firstAlpha.Dests = append(firstAlpha.Dests, AlphaDest{Join: j, Side: Left})
+		b.addChainDest(firstAlpha, AlphaDest{Join: j, Side: Left})
 	} else {
-		prev.Succs = append(prev.Succs, j)
+		b.addJoinSucc(prev, j)
 	}
-	right.Dests = append(right.Dests, AlphaDest{Join: j, Side: Right})
+	b.addChainDest(right, AlphaDest{Join: j, Side: Right})
+	if b.delta != nil {
+		b.delta.NewJoins = append(b.delta.NewJoins, j)
+	}
 	return j
 }

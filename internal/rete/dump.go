@@ -20,7 +20,7 @@ func (n *Network) Dump(w io.Writer) {
 			tests = append(tests, n.constTestString(&c.Tests[i]))
 		}
 		var dests []string
-		for _, d := range c.Dests {
+		for _, d := range n.DestsOf(c) {
 			switch {
 			case d.Terminal != nil:
 				dests = append(dests, fmt.Sprintf("terminal %s", d.Terminal.Rule.Rule.Name))
@@ -28,8 +28,8 @@ func (n *Network) Dump(w io.Writer) {
 				dests = append(dests, fmt.Sprintf("join %d (%s)", d.Join.ID, d.Side))
 			}
 		}
-		fmt.Fprintf(w, "  alpha %d: class=%s %s -> %s\n",
-			c.ID, n.Prog.Symbols.Name(c.Class), strings.Join(tests, " "), strings.Join(dests, ", "))
+		fmt.Fprintf(w, "  alpha %d: class=%s refs=%d %s -> %s\n",
+			c.ID, n.Prog.Symbols.Name(c.Class), n.chainRefs[c.ID], strings.Join(tests, " "), strings.Join(dests, ", "))
 	}
 	fmt.Fprintln(w, "\ntwo-input nodes (memory nodes coalesced):")
 	for _, j := range n.Joins {
@@ -45,14 +45,14 @@ func (n *Network) Dump(w io.Writer) {
 			tests = append(tests, fmt.Sprintf("left[%d].f%d %s right.f%d", t.LeftPos, t.LeftField, t.Pred, t.RightField))
 		}
 		var out []string
-		for _, s := range j.Succs {
+		for _, s := range n.SuccsOf(j) {
 			out = append(out, fmt.Sprintf("join %d", s.ID))
 		}
-		for _, term := range j.Terminals {
+		for _, term := range n.TermsOf(j) {
 			out = append(out, fmt.Sprintf("terminal %s", term.Rule.Rule.Name))
 		}
-		fmt.Fprintf(w, "  join %d [%s] tokens=%d tests={%s} -> %s\n",
-			j.ID, kind, j.LeftLen, strings.Join(tests, ", "), strings.Join(out, ", "))
+		fmt.Fprintf(w, "  join %d [%s] refs=%d tokens=%d tests={%s} -> %s\n",
+			j.ID, kind, n.joinRefs[j.ID], j.LeftLen, strings.Join(tests, ", "), strings.Join(out, ", "))
 	}
 	fmt.Fprintln(w, "\nterminals:")
 	for _, t := range n.Terminals {
@@ -78,6 +78,11 @@ func (n *Network) constTestString(t *ConstTest) string {
 type NetStats struct {
 	Chains, Joins, NegatedJoins, Terminals, Rules int
 	ConstTests, EqTests, OtherTests               int
+	// Epoch is the network version; SharedChains/SharedJoins count nodes
+	// referenced by more than one live rule (the structural sharing the
+	// REPL reports after each dynamic change).
+	Epoch                     int
+	SharedChains, SharedJoins int
 }
 
 // Summarize computes network-size statistics.
@@ -87,9 +92,13 @@ func (n *Network) Summarize() NetStats {
 		Joins:     len(n.Joins),
 		Terminals: len(n.Terminals),
 		Rules:     len(n.Rules),
+		Epoch:     n.Epoch,
 	}
 	for _, c := range n.Chains {
 		s.ConstTests += len(c.Tests)
+		if n.chainRefs[c.ID] > 1 {
+			s.SharedChains++
+		}
 	}
 	for _, j := range n.Joins {
 		if j.Negated {
@@ -97,6 +106,9 @@ func (n *Network) Summarize() NetStats {
 		}
 		s.EqTests += len(j.EqTests)
 		s.OtherTests += len(j.OtherTests)
+		if n.joinRefs[j.ID] > 1 {
+			s.SharedJoins++
+		}
 	}
 	return s
 }

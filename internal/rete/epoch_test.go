@@ -1,0 +1,262 @@
+package rete_test
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/ops5"
+	"repro/internal/rete"
+)
+
+// emptyBase compiles a zero-rule network from the program, keeping the
+// rules aside so they can be added incrementally.
+func emptyBase(t *testing.T, src string) (*rete.Network, []*ops5.Rule) {
+	t.Helper()
+	prog, err := ops5.Parse(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	rules := prog.Rules
+	prog.Rules = nil
+	base, err := rete.Compile(prog)
+	if err != nil {
+		t.Fatalf("compile empty base: %v", err)
+	}
+	prog.Rules = rules
+	return base, rules
+}
+
+func dump(n *rete.Network) string {
+	var b strings.Builder
+	n.Dump(&b)
+	return b.String()
+}
+
+// TestIncrementalEqualsBatch is the central topology guarantee: adding
+// every rule one epoch at a time yields a network whose dump — node
+// IDs, fan-out, refcounts, sharing — is byte-identical to the
+// whole-program compile.
+func TestIncrementalEqualsBatch(t *testing.T) {
+	sources := map[string]string{
+		"figure22": figure22,
+		"prefix-sharing": `
+(p r1 (a ^x <v>) (b ^y <v>) (c ^z 1) --> (halt))
+(p r2 (a ^x <v>) (b ^y <v>) (d ^w 2) --> (halt))
+(p r3 (a ^x <v>) (b ^y <v>) (c ^z 1) (d ^w <v>) --> (halt))
+`,
+		"single-ce-and-negated": `
+(p r1 (a ^x 1) --> (halt))
+(p r2 (a ^x <v>) - (b ^y <v>) --> (halt))
+(p r3 (a ^x <v>) (a ^x <v>) --> (halt))
+`,
+	}
+	for name, src := range sources {
+		t.Run(name, func(t *testing.T) {
+			batch := compile(t, src)
+			base, rules := emptyBase(t, src)
+			net := base
+			for _, r := range rules {
+				next, err := rete.AddRule(net, r)
+				if err != nil {
+					t.Fatalf("AddRule(%s): %v", r.Name, err)
+				}
+				if next.Parent() != net {
+					t.Fatalf("epoch %d parent mismatch", next.Epoch)
+				}
+				if next.Epoch != net.Epoch+1 {
+					t.Fatalf("epoch = %d, want %d", next.Epoch, net.Epoch+1)
+				}
+				net = next
+			}
+			got, want := dump(net), dump(batch)
+			if got != want {
+				t.Errorf("incremental dump differs from batch compile:\n--- incremental ---\n%s\n--- batch ---\n%s", got, want)
+			}
+		})
+	}
+}
+
+// TestFigure22GoldenDump pins the compiled topology of the paper's
+// Figure 2-2 network to a golden file, refcounts included.
+func TestFigure22GoldenDump(t *testing.T) {
+	net := compile(t, figure22)
+	got := dump(net)
+	golden := filepath.Join("testdata", "figure22.dump")
+	want, err := os.ReadFile(golden)
+	if err == nil && got == string(want) {
+		return
+	}
+	if os.Getenv("UPDATE_GOLDEN") != "" {
+		if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	if err != nil {
+		t.Fatalf("read golden (regenerate with UPDATE_GOLDEN=1): %v", err)
+	}
+	t.Errorf("dump drifted from %s (set UPDATE_GOLDEN=1 to regenerate):\n%s", golden, got)
+}
+
+// TestAddRuleRejectsDuplicate: redefinition must go through excise.
+func TestAddRuleRejectsDuplicate(t *testing.T) {
+	net := compile(t, figure22)
+	prog, err := ops5.Parse(figure22)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rete.AddRule(net, prog.RuleByName("p1")); err == nil {
+		t.Fatal("AddRule of an already-defined production should fail")
+	}
+}
+
+// TestRemoveRuleKeepsSharedNodes excises p1 from the figure 2-2 network
+// and checks that the C2 chain both rules share survives with its
+// refcount decremented, while p1-only nodes are gone.
+func TestRemoveRuleKeepsSharedNodes(t *testing.T) {
+	net := compile(t, figure22)
+	next, err := rete.RemoveRule(net, "p1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := next.Delta
+	if len(d.RemovedRules) != 1 || d.RemovedRules[0].Rule.Name != "p1" {
+		t.Fatalf("delta.RemovedRules = %+v", d.RemovedRules)
+	}
+	// p1 owns: C1 chain, C3 chain, join(C1,C2), negated join; shared: C2 chain.
+	if len(d.DeadChains) != 2 {
+		t.Errorf("dead chains = %d, want 2 (C1, C3)", len(d.DeadChains))
+	}
+	if len(d.DeadJoins) != 2 {
+		t.Errorf("dead joins = %d, want 2", len(d.DeadJoins))
+	}
+	s := next.Summarize()
+	if s.Chains != 2 || s.Joins != 1 || s.Rules != 1 || s.Terminals != 1 {
+		t.Errorf("after excise: %+v, want 2 chains / 1 join / 1 rule / 1 terminal", s)
+	}
+	var c2 *rete.AlphaChain
+	for _, c := range next.Chains {
+		if next.Prog.Symbols.Name(c.Class) == "C2" {
+			c2 = c
+		}
+	}
+	if c2 == nil {
+		t.Fatal("shared C2 chain must survive the excise")
+	}
+	if next.ChainRefs(c2) != 1 {
+		t.Errorf("C2 refs = %d, want 1 after excise", next.ChainRefs(c2))
+	}
+	for _, dst := range next.DestsOf(c2) {
+		if dst.Join != nil && next.JoinByID(dst.Join.ID) == nil {
+			t.Errorf("surviving chain still points at dead join %d", dst.Join.ID)
+		}
+	}
+	// The parent epoch is untouched: old matchers keep using it.
+	if s := net.Summarize(); s.Rules != 2 || s.Chains != 4 || s.Joins != 3 {
+		t.Errorf("parent epoch mutated by RemoveRule: %+v", s)
+	}
+}
+
+// TestRemoveThenReaddRestoresTopology excises and re-adds a rule; the
+// resulting network must be isomorphic to the original (fresh node IDs,
+// identical shape statistics and sharing).
+func TestRemoveThenReaddRestoresTopology(t *testing.T) {
+	net := compile(t, figure22)
+	want := net.Summarize()
+	p1 := net.Prog.RuleByName("p1")
+	mid, err := rete.RemoveRule(net, "p1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := rete.AddRule(mid, p1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := back.Summarize()
+	want.Epoch = got.Epoch // versions differ by construction
+	if got != want {
+		t.Errorf("re-added network shape %+v, want %+v", got, want)
+	}
+	// IDs are never reused: the re-added rule's nodes sit above the old
+	// ID space, and the dead IDs stay dead.
+	if back.NumJoinIDs() <= net.NumJoinIDs() {
+		t.Errorf("join ID space %d should have grown past %d", back.NumJoinIDs(), net.NumJoinIDs())
+	}
+	for _, dj := range mid.Delta.DeadJoins {
+		if back.JoinByID(dj.ID) != nil {
+			t.Errorf("dead join ID %d resurrected", dj.ID)
+		}
+	}
+}
+
+// TestRemoveUnknownRule: excising a name that is not defined fails.
+func TestRemoveUnknownRule(t *testing.T) {
+	net := compile(t, figure22)
+	if _, err := rete.RemoveRule(net, "nope"); err == nil {
+		t.Fatal("RemoveRule of an unknown production should fail")
+	}
+}
+
+// TestSameChainTwiceRefcounts covers a rule using one alpha chain for
+// two condition elements: the refcount must rise and fall by two.
+func TestSameChainTwiceRefcounts(t *testing.T) {
+	src := `(p r (a ^x <v>) (a ^x <v>) --> (halt))`
+	net := compile(t, src)
+	if len(net.Chains) != 1 {
+		t.Fatalf("chains = %d, want 1 (same pattern shared)", len(net.Chains))
+	}
+	if net.ChainRefs(net.Chains[0]) != 2 {
+		t.Fatalf("chain refs = %d, want 2 (two CEs)", net.ChainRefs(net.Chains[0]))
+	}
+	next, err := rete.RemoveRule(net, "r")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s := next.Summarize(); s.Chains != 0 || s.Joins != 0 {
+		t.Errorf("after excise: %+v, want empty network", s)
+	}
+}
+
+// TestDeltaReplayDests checks the replay wiring of an add epoch: new
+// destinations grouped by chain, grown joins carrying only their new
+// successors.
+func TestDeltaReplayDests(t *testing.T) {
+	base, rules := emptyBase(t, `
+(p r1 (a ^x <v>) (b ^y <v>) --> (halt))
+(p r2 (a ^x <v>) (b ^y <v>) (c ^z <v>) --> (halt))
+`)
+	one, err := rete.AddRule(base, rules[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	two, err := rete.AddRule(one, rules[1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := two.Delta
+	// r2 shares chain a, chain b and join(a,b); it adds chain c and the
+	// second join plus its terminal.
+	if len(d.NewChains) != 1 || len(d.NewJoins) != 1 || len(d.NewTerminals) != 1 {
+		t.Fatalf("delta new: chains=%d joins=%d terms=%d, want 1/1/1",
+			len(d.NewChains), len(d.NewJoins), len(d.NewTerminals))
+	}
+	if len(d.GrownJoins) != 1 || len(d.GrownJoins[0].NewSuccs) != 1 || len(d.GrownJoins[0].NewTerms) != 0 {
+		t.Fatalf("grown joins = %+v, want join(a,b) with one new successor", d.GrownJoins)
+	}
+	targets := two.ReplayDests()
+	var newDests int
+	for _, cd := range targets {
+		for _, dst := range cd.Dests {
+			newDests++
+			if dst.Join != nil && dst.Join != d.NewJoins[0] {
+				t.Errorf("replay destination points at pre-existing join %d", dst.Join.ID)
+			}
+		}
+	}
+	// Chain c feeds the new join from the right only.
+	if newDests != 1 {
+		t.Errorf("replay destinations = %d, want 1", newDests)
+	}
+}

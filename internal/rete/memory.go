@@ -111,7 +111,7 @@ func (n *Network) RootDeliver(w *wm.WME, deliver func(AlphaDest)) (testsRun int)
 		if !pass {
 			continue
 		}
-		for _, d := range chain.Dests {
+		for _, d := range n.chainDests[chain.ID] {
 			deliver(d)
 		}
 	}

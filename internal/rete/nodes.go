@@ -10,6 +10,15 @@
 // are *not* shared between joins (paper footnote 6: sharing memories is
 // impossible in the parallel implementation), but constant-test chains
 // and identical join prefixes are.
+//
+// Networks are versioned: Compile produces epoch 0 and AddRule/RemoveRule
+// (epoch.go) derive new epochs by copy-on-write, sharing every untouched
+// node with the parent. Node objects themselves are immutable — all
+// mutable topology (a chain's destinations, a join's successors and
+// terminals) lives in per-epoch tables indexed by node ID, reached
+// through the DestsOf/SuccsOf/TermsOf accessors. That keeps node
+// pointers stable across epochs, which the matcher memories rely on for
+// token identity, while letting two epochs disagree about fan-out.
 package rete
 
 import (
@@ -72,12 +81,12 @@ type AlphaDest struct {
 
 // AlphaChain is a shared constant-test chain for one condition-element
 // pattern. Class dispatch happens before the chain, so the class test is
-// implicit.
+// implicit. The chain's destinations are epoch state — use
+// Network.DestsOf.
 type AlphaChain struct {
 	ID    int
 	Class symbols.ID
 	Tests []ConstTest
-	Dests []AlphaDest
 	key   string
 	// evals are the compiled per-test closures (fastpath.go); nil on
 	// hand-built chains, which fall back to the interpreted Eval.
@@ -115,7 +124,8 @@ type JoinTest struct {
 // tokens from the previous stage, its right memory stores WMEs from its
 // alpha chain; both live in whatever memory implementation the matcher
 // backend chose (per-node lists for vs1, the global hash tables for vs2
-// and the parallel matchers).
+// and the parallel matchers). A join's successors and terminals are
+// epoch state — use Network.SuccsOf and Network.TermsOf.
 type JoinNode struct {
 	ID      int
 	Negated bool // right input comes from a negated condition element
@@ -125,21 +135,10 @@ type JoinNode struct {
 	OtherTests []JoinTest
 	// LeftLen is the number of WMEs in tokens arriving on the left.
 	LeftLen int
-	// Succs receive output tokens on their left inputs; Terminals
-	// receive them when this is the last join of one or more productions.
-	// Both can be non-empty at once when a shared prefix both ends a
-	// short production and continues a longer one.
-	Succs     []*JoinNode
-	Terminals []*Terminal
 	// LeftFromAlpha marks first-stage joins, whose left input comes
 	// straight from an alpha chain (tokens of length 1).
 	LeftFromAlpha bool
-	// RuleNames lists the productions whose chains include this node
-	// (more than one when prefixes are shared) — used by contention
-	// profiles to point at culprit productions, as the paper does for
-	// Tourney in §4.2.
-	RuleNames []string
-	key       string
+	key           string
 	// pairFn is the compiled token-pair test (fastpath.go); nil on
 	// hand-built nodes, which fall back to the interpreted loop.
 	pairFn func([]*wm.WME, *wm.WME) bool
@@ -212,6 +211,12 @@ type CompiledRule struct {
 	// Specificity is the total number of tests in the LHS (class tests
 	// included), the LEX/MEA tie-breaker.
 	Specificity int
+	// ChainIDs and JoinIDs record the rule's node path through the
+	// network: one alpha chain per condition element in order, one join
+	// per condition element after the first. RemoveRule walks them to
+	// decrement the refcounts of shared nodes.
+	ChainIDs []int
+	JoinIDs  []int
 }
 
 // Terminal announces conflict-set changes for one production.
@@ -220,23 +225,118 @@ type Terminal struct {
 	Rule *CompiledRule
 }
 
-// Network is the compiled Rete network plus the per-rule metadata.
+// Network is one epoch of the compiled Rete network plus the per-rule
+// metadata.
 //
-// A Network is immutable after Compile: matching only reads it (all
-// token state lives in the matcher's own memories), so one Network can
-// be shared read-only by any number of concurrent matchers — this is
-// what lets the inference server compile a program once and run many
-// sessions against it. The embedded Program's symbol table is
-// internally synchronized; the Program's class maps, however, are NOT,
-// so concurrent users must not auto-extend classes at run time (the
-// server resolves attributes with read-only lookups and rejects unknown
-// ones instead).
+// A Network is immutable once built: matching only reads it (all token
+// state lives in the matcher's own memories), so one Network can be
+// shared read-only by any number of concurrent matchers — this is what
+// lets the inference server compile a program once and run many
+// sessions against it. Rule changes never mutate a Network in place;
+// AddRule and RemoveRule derive a child epoch by copy-on-write while
+// readers of the parent epoch continue undisturbed. The embedded
+// Program must be frozen (ops5.Program.Freeze) before a Network is
+// shared across goroutines; engine.New does this.
 type Network struct {
 	Prog *ops5.Program
-	// ChainsByClass indexes the alpha chains by condition-element class.
+	// Epoch numbers successive network versions; a whole-program Compile
+	// yields epoch 0 and each AddRule/RemoveRule increments it.
+	Epoch int
+	// Delta describes what this epoch changed relative to its parent;
+	// nil for a whole-program compile. Matchers use it to replay working
+	// memory through the new nodes and to tear down the dead ones.
+	Delta *EpochDelta
+
+	// ChainsByClass indexes the live alpha chains by condition-element
+	// class.
 	ChainsByClass map[symbols.ID][]*AlphaChain
-	Chains        []*AlphaChain
-	Joins         []*JoinNode
-	Terminals     []*Terminal
-	Rules         []*CompiledRule
+	Chains        []*AlphaChain   // live chains, compile order
+	Joins         []*JoinNode     // live joins, compile order
+	Terminals     []*Terminal     // live terminals, compile order
+	Rules         []*CompiledRule // live rules, compile order
+
+	parent *Network
+
+	// Per-node-ID epoch tables. Node IDs are monotonic and never reused
+	// across epochs, so rows for excised nodes go nil and the tables
+	// only ever grow. Rows are shared with the parent epoch until the
+	// child changes them (copy-on-write).
+	chainDests [][]AlphaDest
+	joinSuccs  [][]*JoinNode
+	joinTerms  [][]*Terminal
+	// joinRules lists, per join, the productions whose chains include
+	// the node (more than one when prefixes are shared) — used by
+	// contention profiles to point at culprit productions, as the paper
+	// does for Tourney in §4.2.
+	joinRules [][]string
+	// chainRefs/joinRefs count how many condition elements of live rules
+	// use each node; RemoveRule excises a node when its count drops to
+	// zero.
+	chainRefs  []int32
+	joinRefs   []int32
+	chainsByID []*AlphaChain
+	joinsByID  []*JoinNode
+
+	numTermIDs int
+	numRuleIDs int
+
+	chainByKey map[string]*AlphaChain
+	joinByKey  map[string]*JoinNode
+}
+
+// DestsOf returns the chain's destinations in this epoch.
+func (n *Network) DestsOf(c *AlphaChain) []AlphaDest { return n.chainDests[c.ID] }
+
+// SuccsOf returns the joins fed by j's output in this epoch.
+func (n *Network) SuccsOf(j *JoinNode) []*JoinNode { return n.joinSuccs[j.ID] }
+
+// TermsOf returns the terminals fed by j's output in this epoch.
+func (n *Network) TermsOf(j *JoinNode) []*Terminal { return n.joinTerms[j.ID] }
+
+// RuleNamesOf returns the names of the live productions whose chains
+// include j.
+func (n *Network) RuleNamesOf(j *JoinNode) []string { return n.joinRules[j.ID] }
+
+// NumChainIDs returns the size of the chain ID space (IDs are never
+// reused, so this can exceed len(Chains) after excises).
+func (n *Network) NumChainIDs() int { return len(n.chainDests) }
+
+// NumJoinIDs returns the size of the join ID space. Matchers size
+// per-node structures (vs1 line tables, activation recorders) by it.
+func (n *Network) NumJoinIDs() int { return len(n.joinSuccs) }
+
+// NumTermIDs returns the size of the terminal ID space.
+func (n *Network) NumTermIDs() int { return n.numTermIDs }
+
+// NumRuleIDs returns the size of the rule index space; the engine sizes
+// its compiled-RHS table by it.
+func (n *Network) NumRuleIDs() int { return n.numRuleIDs }
+
+// JoinByID returns the live join with the given ID, or nil if the ID is
+// unassigned or the node was excised.
+func (n *Network) JoinByID(id int) *JoinNode {
+	if id < 0 || id >= len(n.joinsByID) {
+		return nil
+	}
+	return n.joinsByID[id]
+}
+
+// ChainRefs returns how many condition elements of live rules use c.
+func (n *Network) ChainRefs(c *AlphaChain) int { return int(n.chainRefs[c.ID]) }
+
+// JoinRefs returns how many live rules' chains include j.
+func (n *Network) JoinRefs(j *JoinNode) int { return int(n.joinRefs[j.ID]) }
+
+// Parent returns the epoch this one was derived from, or nil for a
+// whole-program compile.
+func (n *Network) Parent() *Network { return n.parent }
+
+// RuleByName returns the live compiled rule with the given name, or nil.
+func (n *Network) RuleByName(name string) *CompiledRule {
+	for _, cr := range n.Rules {
+		if cr.Rule.Name == name {
+			return cr
+		}
+	}
+	return nil
 }

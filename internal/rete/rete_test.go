@@ -68,8 +68,11 @@ func TestFigure22Network(t *testing.T) {
 			c2 = c
 		}
 	}
-	if c2 == nil || len(c2.Dests) != 2 {
+	if c2 == nil || len(net.DestsOf(c2)) != 2 {
 		t.Fatalf("C2 chain should feed two joins, got %+v", c2)
+	}
+	if net.ChainRefs(c2) != 2 {
+		t.Errorf("C2 chain refs = %d, want 2 (used by both productions)", net.ChainRefs(c2))
 	}
 	var dump strings.Builder
 	net.Dump(&dump)
@@ -107,7 +110,8 @@ func TestSingleCEProductionFeedsTerminalDirectly(t *testing.T) {
 	if s := net.Summarize(); s.Joins != 0 {
 		t.Errorf("joins = %d, want 0", s.Joins)
 	}
-	if len(net.Chains[0].Dests) != 1 || net.Chains[0].Dests[0].Terminal == nil {
+	dests := net.DestsOf(net.Chains[0])
+	if len(dests) != 1 || dests[0].Terminal == nil {
 		t.Fatal("alpha chain should feed the terminal directly")
 	}
 }

@@ -56,7 +56,7 @@ type Matcher struct {
 func New(net *rete.Network, v Variant, nLines int, sink rete.TerminalSink) *Matcher {
 	var table *hashmem.Table
 	if v == VS1 {
-		table = hashmem.NewPerNode(len(net.Joins))
+		table = hashmem.NewPerNode(net.NumJoinIDs())
 	} else {
 		if nLines <= 0 {
 			nLines = 16384
@@ -67,7 +67,7 @@ func New(net *rete.Network, v Variant, nLines int, sink rete.TerminalSink) *Matc
 		Net:     net,
 		Variant: v,
 		Table:   table,
-		Rec:     hashmem.NewRecorder(len(net.Joins)),
+		Rec:     hashmem.NewRecorder(net.NumJoinIDs()),
 		Sink:    sink,
 	}
 	m.emitFn = m.emit
@@ -150,13 +150,95 @@ func (m *Matcher) activate(j *rete.JoinNode, side rete.Side, sign bool, wmes []*
 // call it several times, and each nested activate overwrites curJoin.
 func (m *Matcher) emit(csign bool, cwmes []*wm.WME) {
 	j := m.curJoin
-	for _, succ := range j.Succs {
+	for _, succ := range m.Net.SuccsOf(j) {
 		m.activate(succ, rete.Left, csign, cwmes)
 	}
-	for _, t := range j.Terminals {
+	for _, t := range m.Net.TermsOf(j) {
 		m.toTerminal(t, csign, cwmes)
 	}
 	m.curJoin = j
+}
+
+// SwapEpoch adopts a network epoch derived from the matcher's current
+// one. For removals it drops every memory entry of the excised joins
+// (reporting how many); for additions it replays the live working
+// memory through exactly the new topology: phase 1 fills the right
+// memories of the new joins (their left memories are still empty, so
+// nothing emits), phase 2 seeds their left inputs — root deliveries for
+// first-stage joins and terminals, re-derived historical outputs for
+// pre-existing joins that gained successors — and lets the ordinary
+// depth-first activation propagate from there. The two phases make the
+// negation counts of new negated joins correct before any left token is
+// scored against them.
+func (m *Matcher) SwapEpoch(next *rete.Network, live []*wm.WME) (removed int, err error) {
+	if next.Parent() != m.Net {
+		return 0, fmt.Errorf("seqmatch: epoch %d is not derived from the current epoch %d", next.Epoch, m.Net.Epoch)
+	}
+	d := next.Delta
+	if d == nil {
+		return 0, fmt.Errorf("seqmatch: epoch %d has no delta", next.Epoch)
+	}
+	if len(d.DeadJoins) > 0 {
+		dead := make(map[int]bool, len(d.DeadJoins))
+		for _, j := range d.DeadJoins {
+			dead[j.ID] = true
+		}
+		removed = m.Table.ExciseNodes(dead, m.Rec)
+	}
+	m.Net = next
+	m.Table.EnsureNodes(next.NumJoinIDs())
+	m.Rec.EnsureNodes(next.NumJoinIDs())
+
+	targets := next.ReplayDests()
+	// Phase 1: right-side deliveries into the new joins.
+	for _, cd := range targets {
+		for _, dst := range cd.Dests {
+			if dst.Join == nil || dst.Side != rete.Right {
+				continue
+			}
+			for _, w := range live {
+				if w.Class() != cd.Chain.Class || !cd.Chain.Matches(w) {
+					continue
+				}
+				tok := m.pools.MakeToken(1)
+				tok[0] = w
+				m.activate(dst.Join, rete.Right, true, tok)
+			}
+		}
+	}
+	// Phase 2: left-side and terminal deliveries, then the historical
+	// outputs of grown joins into their new successors and terminals.
+	for _, cd := range targets {
+		for _, dst := range cd.Dests {
+			if dst.Join != nil && dst.Side == rete.Right {
+				continue
+			}
+			for _, w := range live {
+				if w.Class() != cd.Chain.Class || !cd.Chain.Matches(w) {
+					continue
+				}
+				tok := m.pools.MakeToken(1)
+				tok[0] = w
+				if dst.Terminal != nil {
+					m.toTerminal(dst.Terminal, true, tok)
+				} else {
+					m.activate(dst.Join, rete.Left, true, tok)
+				}
+			}
+		}
+	}
+	for i := range d.GrownJoins {
+		g := &d.GrownJoins[i]
+		m.Table.ForEachOutput(g.Join, &m.pools, func(tok []*wm.WME) {
+			for _, succ := range g.NewSuccs {
+				m.activate(succ, rete.Left, true, tok)
+			}
+			for _, t := range g.NewTerms {
+				m.toTerminal(t, true, tok)
+			}
+		})
+	}
+	return removed, nil
 }
 
 func (m *Matcher) toTerminal(t *rete.Terminal, sign bool, wmes []*wm.WME) {

@@ -14,6 +14,7 @@ import (
 //	GET    /sessions                 list live sessions
 //	POST   /sessions/{id}/assert     run a batch (BatchRequest body)
 //	POST   /sessions/{id}/retract    same handler; retract-flavored alias
+//	POST   /sessions/{id}/program    runtime build/excise (ProgramRequest body)
 //	GET    /sessions/{id}/wm         working-memory snapshot
 //	DELETE /sessions/{id}            tear a session down
 //	GET    /metrics                  stats.Snapshot JSON
@@ -27,6 +28,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /sessions", s.timed(s.handleList))
 	mux.HandleFunc("POST /sessions/{id}/assert", s.timed(s.handleBatch))
 	mux.HandleFunc("POST /sessions/{id}/retract", s.timed(s.handleBatch))
+	mux.HandleFunc("POST /sessions/{id}/program", s.timed(s.handleProgram))
 	mux.HandleFunc("GET /sessions/{id}/wm", s.timed(s.handleWM))
 	mux.HandleFunc("DELETE /sessions/{id}", s.timed(s.handleDelete))
 	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
@@ -131,6 +133,28 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) (int, error
 	)
 	if poolErr := s.pool.do(r.Context(), func() {
 		res, err = s.Batch(id, &req)
+	}); poolErr != nil {
+		return statusOf(poolErr), poolErr
+	}
+	if err != nil {
+		return statusOf(err), err
+	}
+	writeJSON(w, http.StatusOK, res)
+	return http.StatusOK, nil
+}
+
+func (s *Server) handleProgram(w http.ResponseWriter, r *http.Request) (int, error) {
+	id := r.PathValue("id")
+	var req ProgramRequest
+	if err := decodeBody(r, &req); err != nil {
+		return http.StatusBadRequest, err
+	}
+	var (
+		res *ProgramResult
+		err error
+	)
+	if poolErr := s.pool.do(r.Context(), func() {
+		res, err = s.Program(id, &req)
 	}); poolErr != nil {
 		return statusOf(poolErr), poolErr
 	}

@@ -18,6 +18,7 @@ type metrics struct {
 	match  stats.Match
 	cont   stats.Contention
 	conf   stats.Conflict
+	epoch  stats.Epoch
 	hists  map[string]*stats.Histogram // latency, µs
 	counts map[string]*stats.Histogram // sizes, items (ObserveCount)
 }
@@ -111,6 +112,12 @@ func (m *metrics) foldConflict(delta *stats.Conflict) {
 	m.mu.Unlock()
 }
 
+func (m *metrics) foldEpoch(delta *stats.Epoch) {
+	m.mu.Lock()
+	m.epoch.Add(delta)
+	m.mu.Unlock()
+}
+
 // Snapshot returns the point-in-time metrics view served by /metrics.
 func (s *Server) Snapshot() stats.Snapshot {
 	s.met.mu.Lock()
@@ -120,6 +127,7 @@ func (s *Server) Snapshot() stats.Snapshot {
 		Match:      s.met.match,
 		Contention: s.met.cont,
 		Conflict:   s.met.conf,
+		Epoch:      s.met.epoch,
 		Latency:    make(map[string]stats.LatencySummary, len(s.met.hists)),
 		Counts:     make(map[string]stats.CountSummary, len(s.met.counts)),
 	}

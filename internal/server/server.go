@@ -112,6 +112,9 @@ type Session struct {
 	// of per-session net changes is the current total).
 	prevCont stats.Contention
 	prevConf stats.Conflict
+	// prevEpoch mirrors prev for the dynamic-change counters (runtime
+	// build/excise applied to this session's private network epoch).
+	prevEpoch stats.Epoch
 }
 
 // New builds a server and starts its worker pool.
@@ -174,6 +177,7 @@ type SessionInfo struct {
 	ID        string `json:"id"`
 	Backend   string `json:"backend"`
 	Rules     int    `json:"rules"`
+	Epoch     int    `json:"epoch"`      // network version; >0 once runtime build/excise ran
 	SharedNet bool   `json:"shared_net"` // create: network was cache-hit; listing: other live sessions share it
 	WMSize    int    `json:"wm_size"`    // after the program's top-level makes
 	Halted    bool   `json:"halted"`
@@ -398,6 +402,11 @@ func (s *Server) foldStatsLocked(sess *Session) {
 	fdelta.Sub(&sess.prevConf)
 	sess.prevConf = fcur
 	s.met.foldConflict(&fdelta)
+	ecur := sess.eng.EpochStats()
+	edelta := ecur
+	edelta.Sub(&sess.prevEpoch)
+	sess.prevEpoch = ecur
+	s.met.foldEpoch(&edelta)
 }
 
 // WMEInput is one element to assert: a class name and attribute values
@@ -565,10 +574,13 @@ func (s *Server) Sessions() []SessionInfo {
 		info := SessionInfo{
 			ID:        sess.ID,
 			Backend:   sess.Backend,
-			Rules:     len(sess.sp.net.Rules),
 			SharedNet: sess.sp.refs > 1,
 		}
 		sess.mu.Lock()
+		// The session's network may have diverged from the shared base
+		// epoch through runtime build/excise; report its own view.
+		info.Rules = len(sess.eng.Net.Rules)
+		info.Epoch = sess.eng.Epoch()
 		info.WMSize = sess.eng.WM.Len()
 		info.Halted = sess.eng.Halted()
 		sess.mu.Unlock()

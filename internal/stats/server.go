@@ -209,6 +209,7 @@ type Snapshot struct {
 	Match      Match                     `json:"match"`
 	Contention Contention                `json:"contention"`
 	Conflict   Conflict                  `json:"conflict"`
+	Epoch      Epoch                     `json:"epoch"`
 	Latency    map[string]LatencySummary `json:"latency"`
 	Counts     map[string]CountSummary   `json:"counts"`
 }

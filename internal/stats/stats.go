@@ -162,6 +162,42 @@ func (c *Conflict) Sub(o *Conflict) {
 	c.SelectScanned -= o.SelectScanned
 }
 
+// Epoch aggregates dynamic program-change statistics: runtime (p ...)
+// builds and excises applied to a live engine. Swaps counts network
+// epoch transitions a matcher adopted; ReplayedWMEs is the number of
+// live working-memory elements pushed back through new topology during
+// add replays; RemovedEntries and RemovedInsts are the memory entries
+// and conflict-set instantiations dropped by excises. All fields are
+// monotonic counters and fold as deltas like Match.
+type Epoch struct {
+	Swaps          int64 `json:"swaps"`
+	RulesAdded     int64 `json:"rules_added"`
+	RulesExcised   int64 `json:"rules_excised"`
+	ReplayedWMEs   int64 `json:"replayed_wmes"`
+	RemovedEntries int64 `json:"removed_entries"`
+	RemovedInsts   int64 `json:"removed_insts"`
+}
+
+// Add accumulates o into e.
+func (e *Epoch) Add(o *Epoch) {
+	e.Swaps += o.Swaps
+	e.RulesAdded += o.RulesAdded
+	e.RulesExcised += o.RulesExcised
+	e.ReplayedWMEs += o.ReplayedWMEs
+	e.RemovedEntries += o.RemovedEntries
+	e.RemovedInsts += o.RemovedInsts
+}
+
+// Sub subtracts o from e, for per-session delta folding like Match.Sub.
+func (e *Epoch) Sub(o *Epoch) {
+	e.Swaps -= o.Swaps
+	e.RulesAdded -= o.RulesAdded
+	e.RulesExcised -= o.RulesExcised
+	e.ReplayedWMEs -= o.ReplayedWMEs
+	e.RemovedEntries -= o.RemovedEntries
+	e.RemovedInsts -= o.RemovedInsts
+}
+
 // Add accumulates o into c.
 func (c *Contention) Add(o *Contention) {
 	c.QueueAcquires += o.QueueAcquires

@@ -253,6 +253,34 @@ func (e *Engine) WorkingMemory() []string {
 // annihilations, live/fired/pending sizes and shard lock contention.
 func (e *Engine) ConflictStats() stats.Conflict { return e.cs.StatsSnapshot() }
 
+// AddRules applies a runtime batch of (p ...) and (excise name) forms
+// to the live engine, in source order: each change compiles into a new
+// copy-on-write network epoch and the live working memory is replayed
+// through the added topology, so new productions see existing elements.
+// Redefining a production excises the old definition first. Returns the
+// names added and excised. The Lisp baseline matcher does not support
+// dynamic changes (engine.ErrDynamicUnsupported).
+func (e *Engine) AddRules(src string) (added, excised []string, err error) {
+	return e.inner.AddRules(src)
+}
+
+// Excise removes one production at runtime, dropping its memory entries
+// and conflict-set instantiations while productions sharing nodes with
+// it keep matching undisturbed.
+func (e *Engine) Excise(name string) error { return e.inner.Excise(name) }
+
+// Epoch returns the engine's current network version: 0 after Parse,
+// incremented by every AddRules/Excise change.
+func (e *Engine) Epoch() int { return e.inner.Epoch() }
+
+// EpochStats returns the accumulated dynamic-change counters.
+func (e *Engine) EpochStats() stats.Epoch { return e.inner.EpochStats() }
+
+// NetworkSummary returns size statistics for the engine's current
+// network epoch (which diverges from the parsed Program's base network
+// once AddRules or Excise have run).
+func (e *Engine) NetworkSummary() rete.NetStats { return e.inner.Net.Summarize() }
+
 // Close stops background match goroutines. Safe to call on any engine.
 func (e *Engine) Close() {
 	if e.par != nil {
