@@ -33,6 +33,8 @@ func main() {
 	matchOut := flag.String("matchout", "", "write -match results as JSON to this file (e.g. BENCH_match.json)")
 	procsFlag := flag.String("procs", "1,2,4,8", "comma-separated match-process counts for -match")
 	reps := flag.Int("reps", 3, "repetitions per -match workload point (fastest is recorded)")
+	bigmemPairs := flag.Int("bigmem-pairs", 20000, "bigmem layout comparison size in (acct, txn) pairs — 2x this many WMEs")
+	bigmemLines := flag.Int("bigmem-lines", 1024, "starting hash-table lines for the bigmem layout comparison")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
@@ -59,7 +61,10 @@ func main() {
 	if *match {
 		procs, err := parseProcs(*procsFlag)
 		fatal(err)
-		runMatch(*scale, procs, *reps, *matchOut)
+		runMatch(tables.MatchBenchOptions{
+			Scale: *scale, Procs: procs, Reps: *reps,
+			BigmemPairs: *bigmemPairs, BigmemLines: *bigmemLines,
+		}, *matchOut)
 		return
 	}
 
@@ -158,26 +163,46 @@ func parseProcs(s string) ([]int, error) {
 }
 
 // runMatch runs the multicore match sweep, prints a summary and
-// optionally writes the BENCH_match.json payload.
-func runMatch(scale float64, procs []int, reps int, outPath string) {
+// optionally writes the BENCH_match.json payload. Rows whose proc count
+// exceeds the host CPUs are marked "*": they timeshared real cores, so
+// their wall-clock numbers measure oversubscription, not parallelism.
+func runMatch(opt tables.MatchBenchOptions, outPath string) {
 	fmt.Printf("match microbenchmarks: host CPUs %d, procs swept %v, scale %.2f, reps %d\n",
-		runtime.NumCPU(), procs, scale, reps)
-	rep, err := tables.RunMatchBench(tables.MatchBenchOptions{Scale: scale, Procs: procs, Reps: reps})
+		runtime.NumCPU(), opt.Procs, opt.Scale, opt.Reps)
+	rep, err := tables.RunMatchBench(opt)
 	fatal(err)
+	oversub := false
+	mark := func(procs int, over bool) string {
+		s := fmt.Sprintf("%d", procs)
+		if over {
+			s += "*"
+			oversub = true
+		}
+		return s
+	}
 	fmt.Println("\nworkload        procs  match-s     acts/s      steals  overflows  requeues")
 	for _, p := range rep.Workloads {
-		fmt.Printf("%-15s %5d  %8.3f  %10.0f  %6d  %9d  %8d\n",
-			p.Workload, p.Procs, p.MatchSeconds, p.ActsPerSec,
+		fmt.Printf("%-15s %5s  %8.3f  %10.0f  %6d  %9d  %8d\n",
+			p.Workload, mark(p.Procs, p.Oversubscribed), p.MatchSeconds, p.ActsPerSec,
 			p.Contention.Steals, p.Contention.Overflows, p.Contention.Requeues)
 	}
 	fmt.Println("\nkernel  procs     ns/op  allocs/op  bytes/op  acts/op")
 	for _, k := range rep.Kernels {
-		label := fmt.Sprintf("%d", k.Procs)
+		label := mark(k.Procs, k.Oversubscribed)
 		if k.Procs == 0 {
 			label = "seq"
 		}
 		fmt.Printf("%-7s %5s  %8d  %9d  %8d  %7.0f\n",
 			k.Kernel, label, k.NsPerOp, k.AllocsPerOp, k.BytesPerOp, k.ActsPerOp)
+	}
+	fmt.Println("\nbigmem  layout  pairs   seconds      acts/s  opp/pair    lines  resizes  maxdepth")
+	for _, p := range rep.Bigmem {
+		fmt.Printf("%-7s %-6s  %5d  %8.3f  %10.0f  %8.2f  %7d  %7d  %8d\n",
+			"", p.Layout, p.Pairs, p.Seconds, p.ActsPerSec, p.OppPerPair,
+			p.Memory.Lines, p.Memory.Resizes, p.Memory.MaxLineDepth)
+	}
+	if oversub {
+		fmt.Println("\n* procs exceed host CPUs: point ran oversubscribed (timeshared cores)")
 	}
 	fmt.Println("\nconflict   live  shards  procs     ns/op  allocs/op  bytes/op  spins/acquire")
 	for _, p := range rep.Conflict {

@@ -1,0 +1,223 @@
+package engine_test
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/conflict"
+	"repro/internal/engine"
+	"repro/internal/hashmem"
+	"repro/internal/ops5"
+	"repro/internal/parmatch"
+	"repro/internal/rete"
+	"repro/internal/seqmatch"
+	"repro/internal/stats"
+	"repro/internal/wm"
+)
+
+// growSrc joins two classes on an id, so n matching pairs yield n
+// instantiations and 2n memory entries — enough to push a deliberately
+// undersized table through several adaptive resizes.
+const growSrc = `
+(literalize acct id)
+(literalize txn id)
+(p pay (acct ^id <i>) (txn ^id <i>) --> (write hit))
+`
+
+type memStatser interface{ MemStats() stats.Memory }
+
+// growBackends starts every adaptive backend at 2 lines so growth fires
+// mid-run; the legacy-table reference and vs1 are the fixed-layout
+// controls the others must agree with.
+func growBackends() []dynBackend {
+	out := []dynBackend{
+		{"legacy-ref", func(net *rete.Network, cs *conflict.Set) (engine.Matcher, func()) {
+			return seqmatch.NewWithTable(net, seqmatch.VS2, hashmem.NewLegacy(64), cs), func() {}
+		}},
+		{"vs1", func(net *rete.Network, cs *conflict.Set) (engine.Matcher, func()) {
+			return seqmatch.New(net, seqmatch.VS1, 0, cs), func() {}
+		}},
+		{"vs2-small", func(net *rete.Network, cs *conflict.Set) (engine.Matcher, func()) {
+			return seqmatch.New(net, seqmatch.VS2, 2, cs), func() {}
+		}},
+	}
+	for _, scheme := range []parmatch.Scheme{parmatch.SchemeSimple, parmatch.SchemeMRSW} {
+		for _, procs := range []int{1, 2, 4, 8} {
+			scheme, procs := scheme, procs
+			out = append(out, dynBackend{
+				fmt.Sprintf("par-%s-%d", scheme, procs),
+				func(net *rete.Network, cs *conflict.Set) (engine.Matcher, func()) {
+					m := parmatch.New(net, parmatch.Config{Procs: procs, Queues: 2, Lines: 2, Scheme: scheme}, cs)
+					return m, m.Close
+				},
+			})
+		}
+	}
+	return out
+}
+
+// TestAdaptiveGrowthEquivalence drives every backend through a workload
+// large enough to resize the undersized adaptive tables several times —
+// batched asserts, then a retraction sweep through the grown tables —
+// and requires the surviving conflict set to match the fixed legacy
+// reference exactly. The parallel variants run this under -race via the
+// repo's race target.
+func TestAdaptiveGrowthEquivalence(t *testing.T) {
+	const n = 150
+	var ref []string
+	for _, b := range growBackends() {
+		t.Run(b.name, func(t *testing.T) {
+			prog, err := ops5.Parse(growSrc)
+			if err != nil {
+				t.Fatalf("parse: %v", err)
+			}
+			net, err := rete.Compile(prog)
+			if err != nil {
+				t.Fatalf("compile: %v", err)
+			}
+			cs := conflict.NewSet()
+			m, closer := b.new(net, cs)
+			defer closer()
+			e, err := engine.New(prog, net, cs, m, nil)
+			if err != nil {
+				t.Fatalf("engine: %v", err)
+			}
+
+			fields := func(class string, id int64) []wm.Value {
+				cid := prog.Symbols.Intern(class)
+				fs := make([]wm.Value, prog.ClassOf(cid).NumFields())
+				fs[0] = wm.Sym(cid)
+				fs[1] = wm.Int(id)
+				return fs
+			}
+			// Batches of 25 give the parallel backends many drained points,
+			// so growth interleaves with live matching rather than happening
+			// once at the end.
+			var accts []*wm.WME
+			for lo := 1; lo <= n; lo += 25 {
+				var batch [][]wm.Value
+				for i := lo; i < lo+25 && i <= n; i++ {
+					batch = append(batch, fields("acct", int64(i)), fields("txn", int64(i)))
+				}
+				added, err := e.AssertBatch(batch)
+				if err != nil {
+					t.Fatalf("assert batch at %d: %v", lo, err)
+				}
+				for _, w := range added {
+					if w.Class() == prog.Symbols.Intern("acct") {
+						accts = append(accts, w)
+					}
+				}
+			}
+			// Retraction sweep: every third account, removed through the
+			// (possibly several-times-resized) table.
+			var tags []int
+			for i := 0; i < len(accts); i += 3 {
+				tags = append(tags, accts[i].TimeTag)
+			}
+			removed, err := e.RetractBatch(tags)
+			if err != nil {
+				t.Fatalf("retract batch: %v", err)
+			}
+			if len(removed) != len(tags) {
+				t.Fatalf("retracted %d of %d", len(removed), len(tags))
+			}
+			if err := e.Matcher.CheckInvariants(); err != nil {
+				t.Fatalf("invariants: %v", err)
+			}
+
+			keys := csKeys(e)
+			if want := n - len(tags); len(keys) != want {
+				t.Fatalf("conflict set has %d instantiations, want %d", len(keys), want)
+			}
+			if b.name == "legacy-ref" {
+				ref = keys
+			} else if !sameKeys(keys, ref) {
+				t.Errorf("conflict set diverges from legacy reference: got %d keys, want %d", len(keys), len(ref))
+			}
+
+			ms, ok := e.Matcher.(memStatser)
+			if !ok {
+				t.Fatalf("backend %s exposes no MemStats", b.name)
+			}
+			mem := ms.MemStats()
+			switch b.name {
+			case "legacy-ref", "vs1":
+				if mem.Resizes != 0 {
+					t.Errorf("fixed layout resized %d times", mem.Resizes)
+				}
+			default:
+				if mem.Resizes == 0 || mem.Lines <= 2 {
+					t.Errorf("adaptive table never grew: %+v", mem)
+				}
+				if mem.Entries != int64(2*n-len(tags)) {
+					t.Errorf("entries gauge = %d, want %d", mem.Entries, 2*n-len(tags))
+				}
+			}
+		})
+	}
+}
+
+// TestDynamicAddAcrossGrowth builds a rule at runtime on a table that
+// has already resized several times and checks the replayed conflict set
+// against an engine compiled with the rule up front: epoch replay must
+// read the grown sub-indexes exactly like the originals.
+func TestDynamicAddAcrossGrowth(t *testing.T) {
+	const n = 120
+	const orphanTxns = 5
+	newRule := `(p audit (txn ^id <i>) - (acct ^id <i>) --> (write orphan))`
+
+	populate := func(t *testing.T, b dynBackend, src string) (*engine.Engine, func()) {
+		t.Helper()
+		e, closer := newDynEngine(t, src, b)
+		prog := e.Prog
+		fields := func(class string, id int64) []wm.Value {
+			cid := prog.Symbols.Intern(class)
+			fs := make([]wm.Value, prog.ClassOf(cid).NumFields())
+			fs[0] = wm.Sym(cid)
+			fs[1] = wm.Int(id)
+			return fs
+		}
+		var batch [][]wm.Value
+		for i := 1; i <= n; i++ {
+			batch = append(batch, fields("acct", int64(i)), fields("txn", int64(i)))
+		}
+		for i := n + 1; i <= n+orphanTxns; i++ {
+			batch = append(batch, fields("txn", int64(i)))
+		}
+		if _, err := e.AssertBatch(batch); err != nil {
+			closer()
+			t.Fatalf("assert: %v", err)
+		}
+		return e, closer
+	}
+
+	for _, b := range growBackends() {
+		if b.name == "legacy-ref" || b.name == "vs1" {
+			continue // fixed layouts: nothing grows, covered by the dynamic suite
+		}
+		t.Run(b.name, func(t *testing.T) {
+			e, closeE := populate(t, b, growSrc)
+			defer closeE()
+			if mem := e.Matcher.(memStatser).MemStats(); mem.Resizes == 0 {
+				t.Fatalf("table never grew before the rule add: %+v", mem)
+			}
+			if _, _, err := e.AddRules(newRule); err != nil {
+				t.Fatalf("AddRules: %v", err)
+			}
+			fresh, closeF := populate(t, b, growSrc+newRule)
+			defer closeF()
+			got, want := csKeys(e), csKeys(fresh)
+			if !sameKeys(got, want) {
+				t.Errorf("dynamic CS (%d keys) != from-scratch CS (%d keys)", len(got), len(want))
+			}
+			// The negated audit join must see exactly the orphan txns.
+			if len(got) != n+orphanTxns {
+				t.Errorf("conflict set has %d keys, want %d pay + %d audit", len(got), n, orphanTxns)
+			}
+			if err := e.Matcher.CheckInvariants(); err != nil {
+				t.Errorf("invariants after add: %v", err)
+			}
+		})
+	}
+}

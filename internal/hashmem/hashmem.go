@@ -6,25 +6,68 @@
 // exactly one line (paper footnote 4), which is what the per-line locks
 // of the parallel matchers protect.
 //
-// The vs1 list-based matcher reuses the same machinery with one private
-// line per join node and no hashing — its "bucket" is then the node's
-// whole memory, which reproduces the linear-scan behaviour of Table 4-1's
-// vs1 column.
+// Three storage layouts share the machinery:
+//
+//   - New builds the node-segregated layout: within a line, entries live
+//     in per-(node, hash) runs reached through a small open-addressed
+//     sub-index, so searches and deletes touch only same-node, same-hash
+//     candidates instead of every colliding token. Runs are dense slices
+//     kept compact by swap-remove. These tables are also adaptive: the
+//     owner grows them at a drained point once the load factor climbs
+//     (GrowTarget/Grow), so production-scale working memories never
+//     degrade a line into a linear scan.
+//   - NewLegacy builds the paper's original fixed-size layout — each
+//     line is a pair of singly-linked token lists scanned linearly with
+//     a node filter. It is the naive reference the differential tests
+//     and benchmarks compare the segregated layout against, and the
+//     deterministic Multimax simulator keeps it so the paper's scan
+//     counts stay exact.
+//   - NewPerNode is the vs1 list-based organization: one private
+//     list-layout line per join node and no hashing, which reproduces
+//     the linear-scan behaviour of Table 4-1's vs1 column.
+//
+// Segregating a line by full 64-bit hash is semantically safe because a
+// join's left and right hashes fold the same equality-test values: two
+// tokens whose hashes differ cannot satisfy the node's equality tests,
+// so confining the opposite-memory search to the matching run can never
+// miss a pair (non-equality predicates are still applied inside the
+// run). A node with no equality tests hashes every token identically
+// and its whole memory lands in one run, which is exactly the per-node
+// scan such a cross product requires.
 package hashmem
 
 import (
 	"fmt"
+	"math/bits"
+	"sync/atomic"
 
 	"repro/internal/rete"
 	"repro/internal/stats"
 	"repro/internal/wm"
 )
 
+// run is one (node, hash) equivalence class of a segregated line: every
+// entry in mem shares the node and the full 64-bit token hash. A run
+// whose slices are both empty stays in the sub-index as a reusable key
+// slot so open-addressed probe sequences remain intact.
+type run struct {
+	node *rete.JoinNode
+	hash uint64
+	mem  [2][]*rete.Entry // indexed by rete.Side
+}
+
 // Line is a pair of corresponding left/right buckets plus the parked
-// early deletes for each side.
+// early deletes for each side. List-layout tables (vs1, legacy) store
+// tokens on the Mem lists; segregated tables store them in runs. XDel
+// is an intrusive list in every layout: parked conjugate minuses are
+// few and short-lived.
 type Line struct {
-	Mem  [2]rete.EntryList // indexed by rete.Side
+	Mem  [2]rete.EntryList // list layouts: indexed by rete.Side
 	XDel [2]rete.EntryList // conjugate minus tokens that arrived early
+
+	runs []run // segregated layout: open-addressed by (node, hash)
+	used int   // sub-index slots holding a key (live or emptied)
+	live int   // live entries across runs (line depth)
 }
 
 // Table is a set of lines. With Hashed true, lines are selected by token
@@ -34,11 +77,48 @@ type Table struct {
 	Lines  []Line
 	mask   uint64
 	Hashed bool
+	seg    bool // node-segregated run layout (New); false for the list layouts
+
+	// entries counts live tokens across the table and maxDepth is the
+	// high-water line depth; both are updated under the per-line locks
+	// but read table-wide, hence atomic. The resize counters are owned
+	// by whoever performs Grow (the control process, drained).
+	entries  atomic.Int64
+	maxDepth atomic.Int64
+	resizes  int64
+	rehashed int64
 }
 
-// New returns a hashed table with at least nLines lines, rounded up to a
-// power of two.
+// Adaptive-growth policy for segregated tables: grow once the mean line
+// holds more than growLoadFactor live entries, to the smallest power of
+// two bringing the mean back to growTargetLoad, and never past
+// growMaxLines. The trigger/target pair is deliberately lazy: the
+// sub-index keeps intra-line scans short whatever the depth, so the
+// table only needs enough lines to keep locks uncontended and runs off
+// any single line — growing to load ≤ 1 would balloon the line array
+// past cache for no scan benefit.
+const (
+	growLoadFactor = 16
+	growTargetLoad = 4
+	growMaxLines   = 1 << 21
+)
+
+// New returns an adaptive node-segregated table with at least nLines
+// lines, rounded up to a power of two.
 func New(nLines int) *Table {
+	t := newHashed(nLines)
+	t.seg = true
+	return t
+}
+
+// NewLegacy returns a fixed-size table in the paper's original layout:
+// linked-list lines scanned linearly with a per-entry node filter. It
+// never grows.
+func NewLegacy(nLines int) *Table {
+	return newHashed(nLines)
+}
+
+func newHashed(nLines int) *Table {
 	n := 1
 	for n < nLines {
 		n <<= 1
@@ -55,12 +135,123 @@ func NewPerNode(numJoins int) *Table {
 	return &Table{Lines: make([]Line, numJoins)}
 }
 
+// Segregated reports whether the table uses the node-segregated run
+// layout (and therefore grows adaptively).
+func (t *Table) Segregated() bool { return t.seg }
+
 // LineIndex picks the line for an activation of node j with token hash h.
 func (t *Table) LineIndex(j *rete.JoinNode, h uint64) int {
 	if t.Hashed {
 		return int(h & t.mask)
 	}
 	return j.ID
+}
+
+// fibMul redistributes a key across the whole word (Fibonacci hashing):
+// the sub-index slot comes from the product's HIGH bits, because every
+// hash in a line shares its low bits — they selected the line.
+const fibMul = 0x9E3779B97F4A7C15
+
+// slotOf returns the probe start for hash in a sub-index of size n
+// (power of two).
+func slotOf(hash uint64, n int) int {
+	return int((hash * fibMul) >> (64 - uint(bits.TrailingZeros(uint(n)))))
+}
+
+// Ref is an opaque handle to the (node, hash) run an activation landed
+// in, resolved by UpdateOwn while the line's modification lock is held.
+// SearchOpposite consumes it instead of re-probing, so the open-addressed
+// sub-index — which same-side inserts mutate — is only ever touched
+// under that lock; the run struct itself stays valid across concurrent
+// sub-index growth (growth copies run values, and the opposite-side
+// slice this activation reads cannot be mutated while its side holds
+// the line). Zero for list-layout tables.
+type Ref struct{ r *run }
+
+// findRun returns the line's run for (j, hash), optionally creating it.
+// The sub-index is open-addressed with linear probing; emptied runs keep
+// their key and are reused on an exact match, so deletion never needs
+// tombstone repair.
+func (l *Line) findRun(j *rete.JoinNode, hash uint64, create bool) *run {
+	if l.runs == nil {
+		if !create {
+			return nil
+		}
+		l.runs = make([]run, 4)
+	}
+	n := len(l.runs)
+	i := slotOf(hash, n)
+	for probes := 0; probes < n; probes++ {
+		r := &l.runs[i&(n-1)]
+		if r.node == nil {
+			if !create {
+				return nil
+			}
+			if l.used+1 > n-n/4 { // keep a quarter of the slots empty
+				l.growRuns()
+				return l.findRun(j, hash, create)
+			}
+			r.node, r.hash = j, hash
+			l.used++
+			return r
+		}
+		if r.node == j && r.hash == hash {
+			return r
+		}
+		i++
+	}
+	if !create {
+		return nil
+	}
+	l.growRuns()
+	return l.findRun(j, hash, create)
+}
+
+// growRuns doubles the sub-index, dropping emptied runs (compaction
+// happens here rather than on every delete).
+func (l *Line) growRuns() {
+	old := l.runs
+	n := len(old) * 2
+	if n == 0 {
+		n = 4
+	}
+	l.runs = make([]run, n)
+	l.used = 0
+	for i := range old {
+		r := &old[i]
+		if r.node == nil || (len(r.mem[0]) == 0 && len(r.mem[1]) == 0) {
+			continue
+		}
+		j := slotOf(r.hash, n)
+		for {
+			dst := &l.runs[j&(n-1)]
+			if dst.node == nil {
+				*dst = *r
+				l.used++
+				break
+			}
+			j++
+		}
+	}
+}
+
+// removeFromRun takes one entry for wmes out of the run's side slice,
+// scanning newest-first (the LIFO discipline of the list layout) and
+// swap-removing to keep the run dense. All entries in a run already
+// share the node and hash, so only the token comparison remains.
+func (r *run) removeFromRun(side rete.Side, wmes []*wm.WME) (*rete.Entry, int) {
+	s := r.mem[side]
+	for i := len(s) - 1; i >= 0; i-- {
+		if rete.SameWmes(s[i].Wmes, wmes) {
+			e := s[i]
+			last := len(s) - 1
+			s[i] = s[last]
+			s[last] = nil
+			r.mem[side] = s[:last]
+			return e, len(s) - i
+		}
+	}
+	return nil, len(s)
 }
 
 // Recorder accumulates the sequential-matcher statistics of Tables
@@ -163,57 +354,125 @@ type StepResult struct {
 	Pairs       int  // matching pairs / negation transitions emitted
 }
 
-// UpdateOwn performs the first half of a coalesced-node activation: it
-// adds the token to, or deletes it from, the node's own memory in this
-// line, applying the conjugate-pair protocol. In the MRSW locking scheme
-// this is the part that runs under the modification lock. It returns the
-// affected entry (the freshly inserted one, or the removed one whose
-// NegCount a negated-node caller still needs).
-func UpdateOwn(line *Line, j *rete.JoinNode, side rete.Side, sign bool, wmes []*wm.WME, hash uint64, rec *Recorder, pools *Pools) (*rete.Entry, StepResult) {
+// UpdateOwn performs the first half of a coalesced-node activation on
+// line idx: it adds the token to, or deletes it from, the node's own
+// memory, applying the conjugate-pair protocol. In the MRSW locking
+// scheme this is the part that runs under the modification lock. It
+// returns the affected entry (the freshly inserted one, or the removed
+// one whose NegCount a negated-node caller still needs) and, for
+// segregated tables, the Ref the matching SearchOpposite call must be
+// handed. The Ref is always resolved for a Proceeded activation.
+func (t *Table) UpdateOwn(idx int, j *rete.JoinNode, side rete.Side, sign bool, wmes []*wm.WME, hash uint64, rec *Recorder, pools *Pools) (*rete.Entry, Ref, StepResult) {
+	line := &t.Lines[idx]
 	var res StepResult
+	var ref Ref
 	if sign {
 		// A plus annihilates with a parked early minus for the same token.
-		if e, _ := line.XDel[side].Remove(j, side, wmes); e != nil {
+		if e, _ := line.XDel[side].Remove(j, side, hash, wmes); e != nil {
 			pools.FreeEntry(e)
 			res.Annihilated = true
-			return nil, res
+			return nil, ref, res
 		}
 		e := pools.newEntry(j, side, hash, wmes)
-		line.Mem[side].Push(e)
+		if t.seg {
+			r := line.findRun(j, hash, true)
+			r.mem[side] = append(r.mem[side], e)
+			ref.r = r
+		} else {
+			line.Mem[side].Push(e)
+		}
+		line.live++
+		t.noteInsert(line.live)
 		if rec != nil {
 			rec.NodeCount[side][j.ID]++
 		}
 		res.Proceeded = true
-		return e, res
+		return e, ref, res
 	}
-	e, scanned := line.Mem[side].Remove(j, side, wmes)
+	var e *rete.Entry
+	var scanned int
+	if t.seg {
+		if r := line.findRun(j, hash, false); r != nil {
+			e, scanned = r.removeFromRun(side, wmes)
+			ref.r = r
+		}
+	} else {
+		e, scanned = line.Mem[side].Remove(j, side, hash, wmes)
+	}
 	res.OwnScanned = scanned
 	if e == nil {
 		// Early delete: park it and do not otherwise process the token.
 		line.XDel[side].Push(pools.newEntry(j, side, hash, wmes))
 		res.Parked = true
-		return nil, res
+		return nil, Ref{}, res
 	}
+	line.live--
+	t.entries.Add(-1)
 	if rec != nil {
 		rec.NodeCount[side][j.ID]--
 	}
 	res.Proceeded = true
-	return e, res
+	return e, ref, res
 }
 
-// SearchOpposite performs the second half of an activation: comparing
-// the token against the opposite memory of the same line and emitting
-// the resulting tokens. For negated nodes it maintains the join counts.
-// entry is UpdateOwn's result (needed for negated-node count handling).
-// In the MRSW scheme this part runs without the modification lock for
-// positive nodes; negated right-side activations update left counts
-// atomically.
-func SearchOpposite(line *Line, j *rete.JoinNode, side rete.Side, sign bool, wmes []*wm.WME, entry *rete.Entry, rec *Recorder, pools *Pools, emit Emit) StepResult {
+// noteInsert maintains the table-wide load and depth gauges after one
+// insert under the line lock. The depth high-water mark is a plain
+// load-then-CAS: almost every insert takes only the load and branch.
+func (t *Table) noteInsert(depth int) {
+	t.entries.Add(1)
+	d := int64(depth)
+	for {
+		cur := t.maxDepth.Load()
+		if d <= cur {
+			return
+		}
+		if t.maxDepth.CompareAndSwap(cur, d) {
+			return
+		}
+	}
+}
+
+// SearchOpposite performs the second half of an activation on line idx:
+// comparing the token against the opposite memory of the same line and
+// emitting the resulting tokens. For negated nodes it maintains the
+// join counts. entry and ref are UpdateOwn's results (the entry for
+// negated-node count handling, the ref so segregated tables never probe
+// the sub-index outside the modification lock). In the MRSW scheme this
+// part runs without the modification lock for positive nodes; negated
+// right-side activations update left counts atomically.
+func (t *Table) SearchOpposite(idx int, ref Ref, j *rete.JoinNode, side rete.Side, sign bool, wmes []*wm.WME, entry *rete.Entry, rec *Recorder, pools *Pools, emit Emit) StepResult {
 	var res StepResult
-	opp := side ^ 1
 	if j.Negated {
-		searchOppositeNegated(line, j, side, sign, wmes, entry, &res, emit)
+		if t.seg {
+			searchNegatedRun(ref.r, j, side, sign, wmes, entry, &res, emit)
+		} else {
+			searchNegatedList(&t.Lines[idx], j, side, sign, wmes, entry, &res, emit)
+		}
+	} else if t.seg {
+		opp := side ^ 1
+		if r := ref.r; r != nil {
+			for _, e := range r.mem[opp] {
+				res.OppExamined++
+				var left []*wm.WME
+				var right *wm.WME
+				if side == rete.Left {
+					left, right = wmes, e.Wmes[0]
+				} else {
+					left, right = e.Wmes, wmes[0]
+				}
+				if !j.TestPair(left, right) {
+					continue
+				}
+				res.Pairs++
+				child := pools.MakeToken(len(left) + 1)
+				copy(child, left)
+				child[len(left)] = right
+				emit(sign, child)
+			}
+		}
 	} else {
+		line := &t.Lines[idx]
+		opp := side ^ 1
 		for e := line.Mem[opp].Head; e != nil; e = e.Next {
 			if e.Node != j || e.Side != opp {
 				continue // hash collision with another node's tokens
@@ -237,12 +496,65 @@ func SearchOpposite(line *Line, j *rete.JoinNode, side rete.Side, sign bool, wme
 		}
 	}
 	if rec != nil {
-		recordSearch(rec, j, side, sign, &res)
+		recordSearch(rec, j, side, &res)
 	}
 	return res
 }
 
-func searchOppositeNegated(line *Line, j *rete.JoinNode, side rete.Side, sign bool, wmes []*wm.WME, entry *rete.Entry, res *StepResult, emit Emit) {
+// searchNegatedRun maintains negation counts within the (node, hash)
+// run: a right WME can only match left tokens whose hash equals its
+// own, so count updates never need to look outside the run.
+func searchNegatedRun(r *run, j *rete.JoinNode, side rete.Side, sign bool, wmes []*wm.WME, entry *rete.Entry, res *StepResult, emit Emit) {
+	if side == rete.Left {
+		if sign {
+			var count int32
+			if r != nil {
+				for _, e := range r.mem[rete.Right] {
+					res.OppExamined++
+					if j.TestPair(wmes, e.Wmes[0]) {
+						count++
+					}
+				}
+			}
+			entry.NegCount.Store(count)
+			if count == 0 {
+				res.Pairs++
+				emit(true, wmes)
+			}
+			return
+		}
+		// Deleting a left token that had passed (count 0) retracts it.
+		if entry.NegCount.Load() == 0 {
+			res.Pairs++
+			emit(false, wmes)
+		}
+		return
+	}
+	// Right-side activation: adjust the counts of matching left tokens.
+	if r == nil {
+		return
+	}
+	w := wmes[0]
+	for _, e := range r.mem[rete.Left] {
+		res.OppExamined++
+		if !j.TestPair(e.Wmes, w) {
+			continue
+		}
+		if sign {
+			if e.NegCount.Add(1) == 1 {
+				res.Pairs++
+				emit(false, e.Wmes)
+			}
+		} else {
+			if e.NegCount.Add(-1) == 0 {
+				res.Pairs++
+				emit(true, e.Wmes)
+			}
+		}
+	}
+}
+
+func searchNegatedList(line *Line, j *rete.JoinNode, side rete.Side, sign bool, wmes []*wm.WME, entry *rete.Entry, res *StepResult, emit Emit) {
 	if side == rete.Left {
 		if sign {
 			// Count the matching right WMEs; pass the token through when
@@ -295,7 +607,7 @@ func searchOppositeNegated(line *Line, j *rete.JoinNode, side rete.Side, sign bo
 	}
 }
 
-func recordSearch(rec *Recorder, j *rete.JoinNode, side rete.Side, sign bool, res *StepResult) {
+func recordSearch(rec *Recorder, j *rete.JoinNode, side rete.Side, res *StepResult) {
 	opp := side ^ 1
 	nonEmpty := rec.NodeCount[opp][j.ID] > 0
 	if side == rete.Left {
@@ -328,14 +640,108 @@ func RecordDelete(rec *Recorder, side rete.Side, res *StepResult) {
 	}
 }
 
+// GrowTarget returns the line count an adaptive table should grow to at
+// the next drained point, or 0 when no growth is due. Only segregated
+// tables grow: the legacy layout is deliberately fixed (it is the
+// degradation baseline) and per-node tables have no hashing to rebuild.
+func (t *Table) GrowTarget() int {
+	if !t.seg {
+		return 0
+	}
+	n := len(t.Lines)
+	if n >= growMaxLines {
+		return 0
+	}
+	live := t.entries.Load()
+	if live <= int64(n)*growLoadFactor {
+		return 0
+	}
+	target := n
+	for int64(target)*growTargetLoad < live && target < growMaxLines {
+		target <<= 1
+	}
+	return target
+}
+
+// Grow returns a new table with nLines lines holding every live entry
+// and parked early delete of t, re-slotted by its stored 64-bit hash.
+// The caller must hold t exclusively (sequential matchers between
+// submits; the parallel control process drained) and must republish the
+// lock arrays alongside the table so footnote 4's one-lock-per-line
+// discipline holds at the new size. Entry objects move — they are never
+// copied — so live *Entry pointers (negation counts) stay valid.
+func (t *Table) Grow(nLines int) *Table {
+	nt := New(nLines)
+	moved := int64(0)
+	var maxDepth int64
+	for i := range t.Lines {
+		l := &t.Lines[i]
+		for ri := range l.runs {
+			r := &l.runs[ri]
+			if r.node == nil {
+				continue
+			}
+			for s := 0; s < 2; s++ {
+				for _, e := range r.mem[s] {
+					dl := &nt.Lines[e.Hash&nt.mask]
+					dr := dl.findRun(e.Node, e.Hash, true)
+					dr.mem[s] = append(dr.mem[s], e)
+					dl.live++
+					if int64(dl.live) > maxDepth {
+						maxDepth = int64(dl.live)
+					}
+					moved++
+				}
+			}
+		}
+		for s := 0; s < 2; s++ {
+			for e := l.XDel[s].Head; e != nil; {
+				next := e.Next
+				e.Next = nil
+				nt.Lines[e.Hash&nt.mask].XDel[s].Push(e)
+				e = next
+			}
+			l.XDel[s] = rete.EntryList{}
+		}
+	}
+	nt.entries.Store(moved)
+	nt.maxDepth.Store(maxDepth)
+	nt.resizes = t.resizes + 1
+	nt.rehashed = t.rehashed + moved
+	return nt
+}
+
+// MemStats snapshots the table's memory gauges and resize counters for
+// /metrics and the benchmarks. Exact while the table is quiescent (the
+// same condition under which the matchers read their other counters).
+func (t *Table) MemStats() stats.Memory {
+	return stats.Memory{
+		Lines:        int64(len(t.Lines)),
+		Entries:      t.entries.Load(),
+		MaxLineDepth: t.maxDepth.Load(),
+		Resizes:      t.resizes,
+		Rehashed:     t.rehashed,
+	}
+}
+
 // SizeByNode tallies the live tokens per (node, side) across the whole
 // table — the introspection behind the REPL's matches command.
 func (t *Table) SizeByNode(numJoins int) [][2]int {
 	out := make([][2]int, numJoins)
 	for i := range t.Lines {
+		l := &t.Lines[i]
 		for s := 0; s < 2; s++ {
-			for e := t.Lines[i].Mem[s].Head; e != nil; e = e.Next {
+			for e := l.Mem[s].Head; e != nil; e = e.Next {
 				out[e.Node.ID][s]++
+			}
+		}
+		for ri := range l.runs {
+			r := &l.runs[ri]
+			if r.node == nil {
+				continue
+			}
+			for s := 0; s < 2; s++ {
+				out[r.node.ID][s] += len(r.mem[s])
 			}
 		}
 	}
@@ -396,10 +802,33 @@ func (t *Table) ExciseNodes(dead map[int]bool, rec *Recorder) (removed int) {
 	for i := range t.Lines {
 		l := &t.Lines[i]
 		for s := 0; s < 2; s++ {
-			removed += exciseList(&l.Mem[s], dead)
+			n := exciseList(&l.Mem[s], dead)
+			l.live -= n
+			removed += n
 			removed += exciseList(&l.XDel[s], dead)
 		}
+		for ri := range l.runs {
+			r := &l.runs[ri]
+			if r.node == nil || !dead[r.node.ID] {
+				continue
+			}
+			// Keep the keyed slot so probe sequences stay intact; the next
+			// sub-index growth compacts it away.
+			for s := 0; s < 2; s++ {
+				n := len(r.mem[s])
+				l.live -= n
+				removed += n
+				r.mem[s] = nil
+			}
+		}
 	}
+	// removed includes parked XDel entries, which never counted toward
+	// the live gauge; recompute exactly.
+	var live int64
+	for i := range t.Lines {
+		live += int64(t.Lines[i].live)
+	}
+	t.entries.Store(live)
 	if rec != nil {
 		for id := range dead {
 			for s := 0; s < 2; s++ {
@@ -440,9 +869,38 @@ func exciseList(l *rete.EntryList, dead map[int]bool) (removed int) {
 // to seed newly attached successors and terminals of a pre-existing
 // join with the tokens it has already emitted. Correct on hashed tables
 // because both sides of a matching pair fold the same equality-test
-// values into their hash and therefore share a line. The caller must
-// hold the table exclusively.
+// values into their hash and therefore share a line — and, in the
+// segregated layout, a run. The caller must hold the table exclusively.
 func (t *Table) ForEachOutput(j *rete.JoinNode, pools *Pools, fn func(wmes []*wm.WME)) {
+	if t.seg {
+		for i := range t.Lines {
+			l := &t.Lines[i]
+			for ri := range l.runs {
+				r := &l.runs[ri]
+				if r.node != j {
+					continue
+				}
+				for _, le := range r.mem[rete.Left] {
+					if j.Negated {
+						if le.NegCount.Load() == 0 {
+							fn(le.Wmes)
+						}
+						continue
+					}
+					for _, re := range r.mem[rete.Right] {
+						if !j.TestPair(le.Wmes, re.Wmes[0]) {
+							continue
+						}
+						child := pools.MakeToken(len(le.Wmes) + 1)
+						copy(child, le.Wmes)
+						child[len(le.Wmes)] = re.Wmes[0]
+						fn(child)
+					}
+				}
+			}
+		}
+		return
+	}
 	lines := t.Lines
 	if !t.Hashed {
 		lines = t.Lines[j.ID : j.ID+1]

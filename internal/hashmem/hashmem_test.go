@@ -2,6 +2,8 @@ package hashmem_test
 
 import (
 	"fmt"
+	"math/rand"
+	"sort"
 	"testing"
 
 	"repro/internal/hashmem"
@@ -36,9 +38,19 @@ func mkW(class uint32, tag int, vals ...int64) *wm.WME {
 	return &wm.WME{TimeTag: tag, Fields: fs}
 }
 
-// apply performs one activation against a single line, returning emitted
+// layouts returns one table per storage layout so every behavioural test
+// runs against both the node-segregated default and the legacy
+// linked-list reference.
+func layouts(nLines int) map[string]*hashmem.Table {
+	return map[string]*hashmem.Table{
+		"segregated": hashmem.New(nLines),
+		"legacy":     hashmem.NewLegacy(nLines),
+	}
+}
+
+// apply performs one activation against a table, returning emitted
 // (sign, len) pairs.
-func apply(line *hashmem.Line, j *rete.JoinNode, side rete.Side, sign bool, wmes []*wm.WME) []string {
+func apply(table *hashmem.Table, j *rete.JoinNode, side rete.Side, sign bool, wmes []*wm.WME) []string {
 	var out []string
 	var hash uint64
 	if side == rete.Left {
@@ -46,11 +58,12 @@ func apply(line *hashmem.Line, j *rete.JoinNode, side rete.Side, sign bool, wmes
 	} else {
 		hash = j.RightHash(wmes[0])
 	}
-	entry, res := hashmem.UpdateOwn(line, j, side, sign, wmes, hash, nil, nil)
+	idx := table.LineIndex(j, hash)
+	entry, ref, res := table.UpdateOwn(idx, j, side, sign, wmes, hash, nil, nil)
 	if !res.Proceeded {
 		return out
 	}
-	hashmem.SearchOpposite(line, j, side, sign, wmes, entry, nil, nil, func(s bool, w []*wm.WME) {
+	table.SearchOpposite(idx, ref, j, side, sign, wmes, entry, nil, nil, func(s bool, w []*wm.WME) {
 		tag := "+"
 		if !s {
 			tag = "-"
@@ -63,44 +76,45 @@ func apply(line *hashmem.Line, j *rete.JoinNode, side rete.Side, sign bool, wmes
 func TestJoinEmitsPairs(t *testing.T) {
 	net := fixture(t, joinSrc)
 	j := net.Joins[0]
-	var line hashmem.Line
-	lw := mkW(1, 1, 5)
-	rw := mkW(2, 2, 5)
-	if got := apply(&line, j, rete.Left, true, []*wm.WME{lw}); len(got) != 0 {
-		t.Fatalf("left with empty right emitted %v", got)
-	}
-	got := apply(&line, j, rete.Right, true, []*wm.WME{rw})
-	if len(got) != 1 || got[0] != "+2" {
-		t.Fatalf("right emitted %v, want [+2]", got)
-	}
-	// Deleting the left token retracts the pair.
-	got = apply(&line, j, rete.Left, false, []*wm.WME{lw})
-	if len(got) != 1 || got[0] != "-2" {
-		t.Fatalf("left delete emitted %v, want [-2]", got)
+	for name, table := range layouts(4) {
+		lw := mkW(1, 1, 5)
+		rw := mkW(2, 2, 5)
+		if got := apply(table, j, rete.Left, true, []*wm.WME{lw}); len(got) != 0 {
+			t.Fatalf("%s: left with empty right emitted %v", name, got)
+		}
+		got := apply(table, j, rete.Right, true, []*wm.WME{rw})
+		if len(got) != 1 || got[0] != "+2" {
+			t.Fatalf("%s: right emitted %v, want [+2]", name, got)
+		}
+		// Deleting the left token retracts the pair.
+		got = apply(table, j, rete.Left, false, []*wm.WME{lw})
+		if len(got) != 1 || got[0] != "-2" {
+			t.Fatalf("%s: left delete emitted %v, want [-2]", name, got)
+		}
 	}
 }
 
 func TestJoinRespectsTests(t *testing.T) {
 	net := fixture(t, joinSrc)
 	j := net.Joins[0]
-	var line hashmem.Line
-	apply(&line, j, rete.Left, true, []*wm.WME{mkW(1, 1, 5)})
-	if got := apply(&line, j, rete.Right, true, []*wm.WME{mkW(2, 2, 6)}); len(got) != 0 {
-		t.Fatalf("mismatched values joined: %v", got)
+	for name, table := range layouts(4) {
+		apply(table, j, rete.Left, true, []*wm.WME{mkW(1, 1, 5)})
+		if got := apply(table, j, rete.Right, true, []*wm.WME{mkW(2, 2, 6)}); len(got) != 0 {
+			t.Fatalf("%s: mismatched values joined: %v", name, got)
+		}
 	}
 }
 
 // TestConjugateOrderings drives every interleaving of {+X, -X} pairs
-// through one line and verifies the final memory is empty and no parked
+// through one table and verifies the final memory is empty and no parked
 // deletes remain — the invariant the parallel matchers rely on.
 func TestConjugateOrderings(t *testing.T) {
 	net := fixture(t, joinSrc)
 	j := net.Joins[0]
 	w := mkW(1, 1, 5)
 	token := []*wm.WME{w}
-	// Signed sequences that are prefix-balanced in generation order but
-	// processed in arbitrary order here: every multiset with equal + and
-	// - counts must drain.
+	// Every multiset with equal + and - counts must drain, whatever the
+	// processing order.
 	seqs := [][]bool{
 		{true, false},
 		{false, true},
@@ -112,23 +126,16 @@ func TestConjugateOrderings(t *testing.T) {
 		{true, false, false, true},
 	}
 	for i, seq := range seqs {
-		var table hashmem.Table
-		table = *hashmem.New(4)
-		for _, sign := range seq {
-			hash := j.LeftHash(token)
-			idx := table.LineIndex(j, hash)
-			entry, res := hashmem.UpdateOwn(&table.Lines[idx], j, rete.Left, sign, token, hash, nil, nil)
-			if res.Proceeded {
-				hashmem.SearchOpposite(&table.Lines[idx], j, rete.Left, sign, token, entry, nil, nil,
-					func(bool, []*wm.WME) {})
+		for name, table := range layouts(4) {
+			for _, sign := range seq {
+				apply(table, j, rete.Left, sign, token)
 			}
-		}
-		if err := table.CheckDrained(); err != nil {
-			t.Errorf("sequence %d (%v): %v", i, seq, err)
-		}
-		idx := table.LineIndex(j, j.LeftHash(token))
-		if n := table.Lines[idx].Mem[rete.Left].Len; n != 0 {
-			t.Errorf("sequence %d (%v): %d tokens left in memory", i, seq, n)
+			if err := table.CheckDrained(); err != nil {
+				t.Errorf("%s: sequence %d (%v): %v", name, i, seq, err)
+			}
+			if n := table.MemStats().Entries; n != 0 {
+				t.Errorf("%s: sequence %d (%v): %d tokens left in memory", name, i, seq, n)
+			}
 		}
 	}
 }
@@ -136,19 +143,23 @@ func TestConjugateOrderings(t *testing.T) {
 func TestEarlyDeleteParksWithoutPropagating(t *testing.T) {
 	net := fixture(t, joinSrc)
 	j := net.Joins[0]
-	var line hashmem.Line
-	// A right WME is present, so a left delete *would* emit if processed.
-	apply(&line, j, rete.Right, true, []*wm.WME{mkW(2, 2, 5)})
-	lw := []*wm.WME{mkW(1, 1, 5)}
-	if got := apply(&line, j, rete.Left, false, lw); len(got) != 0 {
-		t.Fatalf("early delete propagated: %v", got)
-	}
-	// The matching add annihilates silently.
-	if got := apply(&line, j, rete.Left, true, lw); len(got) != 0 {
-		t.Fatalf("annihilating add propagated: %v", got)
-	}
-	if line.XDel[rete.Left].Len != 0 {
-		t.Fatal("extra-deletes list not drained")
+	for name, table := range layouts(4) {
+		// A right WME is present, so a left delete *would* emit if processed.
+		apply(table, j, rete.Right, true, []*wm.WME{mkW(2, 2, 5)})
+		lw := []*wm.WME{mkW(1, 1, 5)}
+		if got := apply(table, j, rete.Left, false, lw); len(got) != 0 {
+			t.Fatalf("%s: early delete propagated: %v", name, got)
+		}
+		if err := table.CheckDrained(); err == nil {
+			t.Fatalf("%s: parked delete not reported by CheckDrained", name)
+		}
+		// The matching add annihilates silently.
+		if got := apply(table, j, rete.Left, true, lw); len(got) != 0 {
+			t.Fatalf("%s: annihilating add propagated: %v", name, got)
+		}
+		if err := table.CheckDrained(); err != nil {
+			t.Fatalf("%s: extra-deletes list not drained: %v", name, err)
+		}
 	}
 }
 
@@ -158,45 +169,47 @@ func TestNegationCounts(t *testing.T) {
 	if !j.Negated {
 		t.Fatal("fixture join should be negated")
 	}
-	var line hashmem.Line
-	lw := []*wm.WME{mkW(1, 1, 5)}
-	// Left token with no blockers passes through.
-	if got := apply(&line, j, rete.Left, true, lw); len(got) != 1 || got[0] != "+1" {
-		t.Fatalf("unblocked left emitted %v, want [+1]", got)
-	}
-	// A matching right WME retracts it.
-	rw := []*wm.WME{mkW(2, 2, 5)}
-	if got := apply(&line, j, rete.Right, true, rw); len(got) != 1 || got[0] != "-1" {
-		t.Fatalf("blocker emitted %v, want [-1]", got)
-	}
-	// A second identical blocker changes nothing downstream.
-	rw2 := []*wm.WME{mkW(2, 3, 5)}
-	if got := apply(&line, j, rete.Right, true, rw2); len(got) != 0 {
-		t.Fatalf("second blocker emitted %v", got)
-	}
-	// Removing one blocker: still blocked.
-	if got := apply(&line, j, rete.Right, false, rw); len(got) != 0 {
-		t.Fatalf("first unblock emitted %v", got)
-	}
-	// Removing the last blocker re-asserts the token.
-	if got := apply(&line, j, rete.Right, false, rw2); len(got) != 1 || got[0] != "+1" {
-		t.Fatalf("final unblock emitted %v, want [+1]", got)
-	}
-	// Deleting the passed left token retracts it.
-	if got := apply(&line, j, rete.Left, false, lw); len(got) != 1 || got[0] != "-1" {
-		t.Fatalf("left delete emitted %v, want [-1]", got)
+	for name, table := range layouts(4) {
+		lw := []*wm.WME{mkW(1, 1, 5)}
+		// Left token with no blockers passes through.
+		if got := apply(table, j, rete.Left, true, lw); len(got) != 1 || got[0] != "+1" {
+			t.Fatalf("%s: unblocked left emitted %v, want [+1]", name, got)
+		}
+		// A matching right WME retracts it.
+		rw := []*wm.WME{mkW(2, 2, 5)}
+		if got := apply(table, j, rete.Right, true, rw); len(got) != 1 || got[0] != "-1" {
+			t.Fatalf("%s: blocker emitted %v, want [-1]", name, got)
+		}
+		// A second identical blocker changes nothing downstream.
+		rw2 := []*wm.WME{mkW(2, 3, 5)}
+		if got := apply(table, j, rete.Right, true, rw2); len(got) != 0 {
+			t.Fatalf("%s: second blocker emitted %v", name, got)
+		}
+		// Removing one blocker: still blocked.
+		if got := apply(table, j, rete.Right, false, rw); len(got) != 0 {
+			t.Fatalf("%s: first unblock emitted %v", name, got)
+		}
+		// Removing the last blocker re-asserts the token.
+		if got := apply(table, j, rete.Right, false, rw2); len(got) != 1 || got[0] != "+1" {
+			t.Fatalf("%s: final unblock emitted %v, want [+1]", name, got)
+		}
+		// Deleting the passed left token retracts it.
+		if got := apply(table, j, rete.Left, false, lw); len(got) != 1 || got[0] != "-1" {
+			t.Fatalf("%s: left delete emitted %v, want [-1]", name, got)
+		}
 	}
 }
 
 func TestNegationNonMatchingBlockerIgnored(t *testing.T) {
 	net := fixture(t, notSrc)
 	j := net.Joins[0]
-	var line hashmem.Line
-	lw := []*wm.WME{mkW(1, 1, 5)}
-	apply(&line, j, rete.Left, true, lw)
-	// Blocker with a different join value must not affect the token.
-	if got := apply(&line, j, rete.Right, true, []*wm.WME{mkW(2, 2, 7)}); len(got) != 0 {
-		t.Fatalf("non-matching blocker emitted %v", got)
+	for name, table := range layouts(4) {
+		lw := []*wm.WME{mkW(1, 1, 5)}
+		apply(table, j, rete.Left, true, lw)
+		// Blocker with a different join value must not affect the token.
+		if got := apply(table, j, rete.Right, true, []*wm.WME{mkW(2, 2, 7)}); len(got) != 0 {
+			t.Fatalf("%s: non-matching blocker emitted %v", name, got)
+		}
 	}
 }
 
@@ -207,6 +220,9 @@ func TestVS1PerNodeTable(t *testing.T) {
 	if table.Hashed {
 		t.Fatal("per-node table must not hash")
 	}
+	if table.Segregated() {
+		t.Fatal("per-node table must not segregate")
+	}
 	if idx := table.LineIndex(j, 12345); idx != j.ID {
 		t.Fatalf("LineIndex = %d, want node ID %d", idx, j.ID)
 	}
@@ -215,16 +231,212 @@ func TestVS1PerNodeTable(t *testing.T) {
 func TestRecorderNodeCounts(t *testing.T) {
 	net := fixture(t, joinSrc)
 	j := net.Joins[0]
-	rec := hashmem.NewRecorder(len(net.Joins))
-	var line hashmem.Line
-	w := []*wm.WME{mkW(1, 1, 5)}
-	hash := j.LeftHash(w)
-	hashmem.UpdateOwn(&line, j, rete.Left, true, w, hash, rec, nil)
-	if rec.NodeCount[rete.Left][j.ID] != 1 {
-		t.Fatalf("count after insert = %d", rec.NodeCount[rete.Left][j.ID])
+	for name, table := range layouts(4) {
+		rec := hashmem.NewRecorder(len(net.Joins))
+		w := []*wm.WME{mkW(1, 1, 5)}
+		hash := j.LeftHash(w)
+		idx := table.LineIndex(j, hash)
+		table.UpdateOwn(idx, j, rete.Left, true, w, hash, rec, nil)
+		if rec.NodeCount[rete.Left][j.ID] != 1 {
+			t.Fatalf("%s: count after insert = %d", name, rec.NodeCount[rete.Left][j.ID])
+		}
+		table.UpdateOwn(idx, j, rete.Left, false, w, hash, rec, nil)
+		if rec.NodeCount[rete.Left][j.ID] != 0 {
+			t.Fatalf("%s: count after delete = %d", name, rec.NodeCount[rete.Left][j.ID])
+		}
 	}
-	hashmem.UpdateOwn(&line, j, rete.Left, false, w, hash, rec, nil)
-	if rec.NodeCount[rete.Left][j.ID] != 0 {
-		t.Fatalf("count after delete = %d", rec.NodeCount[rete.Left][j.ID])
+}
+
+// TestGrowTargetPolicy pins the adaptive-growth policy: segregated
+// tables ask to grow once the mean line depth passes the lazy trigger
+// and size to the smallest power of two bringing the mean back to the
+// target load; list layouts never grow.
+func TestGrowTargetPolicy(t *testing.T) {
+	net := fixture(t, joinSrc)
+	j := net.Joins[0]
+	seg := hashmem.New(1)
+	leg := hashmem.NewLegacy(1)
+	for i := 0; i < 20; i++ {
+		tok := []*wm.WME{mkW(1, i+1, int64(i))}
+		apply(seg, j, rete.Left, true, tok)
+		apply(leg, j, rete.Left, true, tok)
+	}
+	// 20 live in 1 line exceeds the trigger (load 16); the target is the
+	// smallest power of two whose mean load is back at 4: 8 lines.
+	if n := seg.GrowTarget(); n != 8 {
+		t.Errorf("segregated GrowTarget = %d, want 8 (smallest pow2 with load <= 4 for 20 live)", n)
+	}
+	if n := leg.GrowTarget(); n != 0 {
+		t.Errorf("legacy GrowTarget = %d, want 0 (fixed layout)", n)
+	}
+	if n := hashmem.NewPerNode(len(net.Joins)).GrowTarget(); n != 0 {
+		t.Errorf("per-node GrowTarget = %d, want 0", n)
+	}
+	if n := hashmem.New(64).GrowTarget(); n != 0 {
+		t.Errorf("empty table GrowTarget = %d, want 0", n)
+	}
+}
+
+// TestGrowPreservesNegationCounts grows a table holding a blocked left
+// token and verifies the blocker count survives: Grow moves entry
+// objects rather than copying them, so the NegCount identity a later
+// unblock depends on stays intact.
+func TestGrowPreservesNegationCounts(t *testing.T) {
+	net := fixture(t, notSrc)
+	j := net.Joins[0]
+	table := hashmem.New(1)
+	lw := []*wm.WME{mkW(1, 1, 5)}
+	rw := []*wm.WME{mkW(2, 2, 5)}
+	if got := apply(table, j, rete.Left, true, lw); len(got) != 1 || got[0] != "+1" {
+		t.Fatalf("left add emitted %v", got)
+	}
+	if got := apply(table, j, rete.Right, true, rw); len(got) != 1 || got[0] != "-1" {
+		t.Fatalf("blocker emitted %v", got)
+	}
+	// Pad until the load factor trips, then grow.
+	for i := 0; i < 20; i++ {
+		apply(table, j, rete.Left, true, []*wm.WME{mkW(1, 100+i, int64(50+i))})
+	}
+	n := table.GrowTarget()
+	if n == 0 {
+		t.Fatal("table did not reach its growth trigger")
+	}
+	table = table.Grow(n)
+	if got := table.MemStats(); got.Resizes != 1 || got.Lines != int64(n) {
+		t.Fatalf("post-grow stats = %+v, want resizes 1, lines %d", got, n)
+	}
+	// The unblock must find the moved entry's count and re-assert.
+	if got := apply(table, j, rete.Right, false, rw); len(got) != 1 || got[0] != "+1" {
+		t.Fatalf("unblock after grow emitted %v, want [+1]", got)
+	}
+}
+
+// TestGrowRehashesParkedDeletes parks an early delete, grows the table,
+// and verifies the conjugate add still annihilates: Grow re-slots the
+// extra-deletes lists by stored hash along with the live entries.
+func TestGrowRehashesParkedDeletes(t *testing.T) {
+	net := fixture(t, joinSrc)
+	j := net.Joins[0]
+	table := hashmem.New(1)
+	lw := []*wm.WME{mkW(1, 1, 5)}
+	if got := apply(table, j, rete.Left, false, lw); len(got) != 0 {
+		t.Fatalf("early delete propagated: %v", got)
+	}
+	for i := 0; i < 20; i++ {
+		apply(table, j, rete.Left, true, []*wm.WME{mkW(1, 100+i, int64(50+i))})
+	}
+	n := table.GrowTarget()
+	if n == 0 {
+		t.Fatal("table did not reach its growth trigger")
+	}
+	table = table.Grow(n)
+	if err := table.CheckDrained(); err == nil {
+		t.Fatal("parked delete lost by Grow")
+	}
+	if got := apply(table, j, rete.Left, true, lw); len(got) != 0 {
+		t.Fatalf("annihilating add after grow propagated: %v", got)
+	}
+	if err := table.CheckDrained(); err != nil {
+		t.Fatalf("extra-deletes not drained after annihilation: %v", err)
+	}
+}
+
+// emitKey renders one emission as sign plus the token's time tags, an
+// order-independent identity for differential comparison.
+func emitKey(sign bool, wmes []*wm.WME) string {
+	s := "+"
+	if !sign {
+		s = "-"
+	}
+	for _, w := range wmes {
+		s += fmt.Sprintf(",%d", w.TimeTag)
+	}
+	return s
+}
+
+// TestStormDifferentialAcrossResize runs a randomized conjugate-balanced
+// insert/remove/early-delete storm through the segregated layout — with
+// adaptive growth firing mid-stream, including while deletes are parked —
+// and through the fixed legacy layout, and requires identical emission
+// multisets, drained extra-deletes and empty final memories.
+func TestStormDifferentialAcrossResize(t *testing.T) {
+	net := fixture(t, joinSrc)
+	j := net.Joins[0]
+	rng := rand.New(rand.NewSource(7))
+
+	type ev struct {
+		side rete.Side
+		sign bool
+		tok  []*wm.WME
+	}
+	var events []ev
+	tag := 1
+	const pairs = 400
+	for i := 0; i < pairs; i++ {
+		v := int64(rng.Intn(8)) // few distinct join values => real cross matches
+		var side rete.Side
+		var tok []*wm.WME
+		if rng.Intn(2) == 0 {
+			side, tok = rete.Left, []*wm.WME{mkW(1, tag, v)}
+		} else {
+			side, tok = rete.Right, []*wm.WME{mkW(2, tag, v)}
+		}
+		tag++
+		// A full shuffle of conjugate pairs yields plenty of
+		// minus-before-plus orderings, exercising the parking protocol.
+		events = append(events, ev{side, true, tok}, ev{side, false, tok})
+	}
+	rng.Shuffle(len(events), func(a, b int) { events[a], events[b] = events[b], events[a] })
+
+	run := func(table *hashmem.Table, grow bool) ([]string, *hashmem.Table) {
+		var got []string
+		for _, e := range events {
+			var hash uint64
+			if e.side == rete.Left {
+				hash = j.LeftHash(e.tok)
+			} else {
+				hash = j.RightHash(e.tok[0])
+			}
+			idx := table.LineIndex(j, hash)
+			entry, ref, res := table.UpdateOwn(idx, j, e.side, e.sign, e.tok, hash, nil, nil)
+			if res.Proceeded {
+				table.SearchOpposite(idx, ref, j, e.side, e.sign, e.tok, entry, nil, nil,
+					func(s bool, w []*wm.WME) { got = append(got, emitKey(s, w)) })
+			}
+			if grow {
+				if n := table.GrowTarget(); n > 0 {
+					table = table.Grow(n)
+				}
+			}
+		}
+		sort.Strings(got)
+		return got, table
+	}
+
+	segGot, seg := run(hashmem.New(1), true)
+	legGot, leg := run(hashmem.NewLegacy(64), false)
+
+	if len(segGot) != len(legGot) {
+		t.Fatalf("emission counts differ: segregated %d, legacy %d", len(segGot), len(legGot))
+	}
+	for i := range segGot {
+		if segGot[i] != legGot[i] {
+			t.Fatalf("emission %d differs: segregated %q, legacy %q", i, segGot[i], legGot[i])
+		}
+	}
+	if len(segGot) == 0 {
+		t.Fatal("storm produced no emissions; workload too sparse to mean anything")
+	}
+	for name, table := range map[string]*hashmem.Table{"segregated": seg, "legacy": leg} {
+		if err := table.CheckDrained(); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+		if n := table.MemStats().Entries; n != 0 {
+			t.Errorf("%s: %d tokens left in memory", name, n)
+		}
+	}
+	ms := seg.MemStats()
+	if ms.Resizes == 0 || ms.Lines == 1 {
+		t.Errorf("storm never grew the table (resizes %d, lines %d); raise the pair count", ms.Resizes, ms.Lines)
 	}
 }

@@ -98,10 +98,13 @@ func newSim(cfg Config, net *rete.Network, sink rete.TerminalSink) *sim {
 		cfg.Lines = 16384
 	}
 	s := &sim{
-		cfg:   cfg,
-		cost:  cfg.Costs,
-		net:   net,
-		table: hashmem.New(cfg.Lines),
+		cfg:  cfg,
+		cost: cfg.Costs,
+		net:  net,
+		// The simulator keeps the paper's fixed linked-list layout: its
+		// cost model charges per token scanned, and the deterministic
+		// Tables 4-5..4-9 depend on those scan counts staying exact.
+		table: hashmem.NewLegacy(cfg.Lines),
 		qs:    make([]simQueue, cfg.Queues),
 		sink:  sink,
 	}
@@ -365,8 +368,7 @@ func (s *sim) joinAcquire(p *proc, t *taskqueue.Task) {
 		if !s.tryLine(p, &s.lines[idx], t.Side, idx, j.ID) {
 			return
 		}
-		line := &s.table.Lines[idx]
-		children, cost := s.execJoin(line, t, hash, 0)
+		children, cost := s.execJoin(idx, t, hash, 0)
 		s.lineHoldN[idx] += cost
 		if cost > s.lineMaxHold[idx] {
 			s.lineMaxHold[idx] = cost
@@ -407,13 +409,12 @@ func (s *sim) mrswMod(p *proc, t *taskqueue.Task, g *simMRSW, idx int, hash uint
 	if !s.tryLine(p, &g.mod, t.Side, idx, t.Join.ID) {
 		return
 	}
-	line := &s.table.Lines[idx]
-	entry, res := hashmem.UpdateOwn(line, t.Join, t.Side, t.Sign, t.Wmes, hash, nil, nil)
+	entry, ref, res := s.table.UpdateOwn(idx, t.Join, t.Side, t.Sign, t.Wmes, hash, nil, nil)
 	cost := s.cost.UpdateOwnBase + int64(res.OwnScanned)*s.cost.OwnScanEntry
 	var children []*taskqueue.Task
 	var searchCost int64
 	if res.Proceeded {
-		sr := hashmem.SearchOpposite(line, t.Join, t.Side, t.Sign, t.Wmes, entry, nil, nil, func(cs bool, cw []*wm.WME) {
+		sr := s.table.SearchOpposite(idx, ref, t.Join, t.Side, t.Sign, t.Wmes, entry, nil, nil, func(cs bool, cw []*wm.WME) {
 			children = append(children, s.childTasks(t.Join, cs, cw)...)
 		})
 		searchCost = int64(sr.OppExamined)*s.cost.OppExamine + int64(sr.Pairs)*s.cost.PairEmit
@@ -448,13 +449,13 @@ func (s *sim) mrswExit(p *proc, g *simMRSW, side rete.Side, children []*taskqueu
 
 // execJoin runs a whole activation under the simple line lock and
 // returns its children and its critical-section cost.
-func (s *sim) execJoin(line *hashmem.Line, t *taskqueue.Task, hash uint64, extra int64) ([]*taskqueue.Task, int64) {
-	entry, res := hashmem.UpdateOwn(line, t.Join, t.Side, t.Sign, t.Wmes, hash, nil, nil)
+func (s *sim) execJoin(idx int, t *taskqueue.Task, hash uint64, extra int64) ([]*taskqueue.Task, int64) {
+	entry, ref, res := s.table.UpdateOwn(idx, t.Join, t.Side, t.Sign, t.Wmes, hash, nil, nil)
 	cost := extra + s.cost.UpdateOwnBase + int64(res.OwnScanned)*s.cost.OwnScanEntry
 	var children []*taskqueue.Task
 	exam := int64(0)
 	if res.Proceeded {
-		sr := hashmem.SearchOpposite(line, t.Join, t.Side, t.Sign, t.Wmes, entry, nil, nil, func(cs bool, cw []*wm.WME) {
+		sr := s.table.SearchOpposite(idx, ref, t.Join, t.Side, t.Sign, t.Wmes, entry, nil, nil, func(cs bool, cw []*wm.WME) {
 			children = append(children, s.childTasks(t.Join, cs, cw)...)
 		})
 		cost += int64(sr.OppExamined)*s.cost.OppExamine + int64(sr.Pairs)*s.cost.PairEmit

@@ -57,11 +57,38 @@ func (s Scheme) String() string {
 type Config struct {
 	Procs  int    // number of match processes (the k of "1+k")
 	Queues int    // number of central task queues
-	Lines  int    // hash-table lines (0 = 16384)
+	Lines  int    // initial hash-table lines (0 = 16384)
 	Scheme Scheme // line-lock scheme
 	// LocalCap bounds each worker's local deque (0 = 256). Small values
 	// force the overflow and steal paths, which the tests exploit.
 	LocalCap int
+	// Legacy pins the paper's fixed-size linked-list line layout instead
+	// of the adaptive node-segregated default — the reference the
+	// differential tests and bigmem benchmarks compare against.
+	Legacy bool
+}
+
+// memState is one published generation of the token storage: the table
+// plus the per-line lock array of the configured scheme, sized together
+// so every line has exactly one lock at every table size. Workers load
+// the whole bundle once per join task; the control process swaps it only
+// while drained.
+type memState struct {
+	table  *hashmem.Table
+	simple []spinlock.Lock
+	mrsw   []spinlock.MRSW
+}
+
+// newMemState pairs a table with a fresh lock array of its size.
+func newMemState(table *hashmem.Table, scheme Scheme) *memState {
+	ms := &memState{table: table}
+	n := len(table.Lines)
+	if scheme == SchemeSimple {
+		ms.simple = make([]spinlock.Lock, n)
+	} else {
+		ms.mrsw = make([]spinlock.MRSW, n)
+	}
+	return ms
 }
 
 // taskPoolCap bounds each worker's task free list.
@@ -90,10 +117,13 @@ type Matcher struct {
 	// SwapEpoch publishes a new epoch while the matcher is drained, so a
 	// task never straddles two epochs and the atomic load is all the
 	// steady-state match path pays for versioning.
-	net      atomic.Pointer[rete.Network]
-	table    *hashmem.Table
-	simple   []spinlock.Lock
-	mrsw     []spinlock.MRSW
+	net atomic.Pointer[rete.Network]
+	// mem bundles the token table with its per-line lock arrays. Workers
+	// load the bundle once per join task; the control process publishes a
+	// grown table (with lock arrays resized to match, so footnote 4's
+	// one-lock-per-line discipline holds at every size) only while the
+	// matcher is drained — the same atomic-pointer discipline net uses.
+	mem      atomic.Pointer[memState]
 	queues   *taskqueue.Queues
 	rootFree *taskqueue.FreeList
 	sink     rete.TerminalSink
@@ -163,7 +193,6 @@ func New(net *rete.Network, cfg Config, sink rete.TerminalSink) *Matcher {
 		cfg.Lines = 16384
 	}
 	m := &Matcher{
-		table:    hashmem.New(cfg.Lines),
 		queues:   taskqueue.New(cfg.Queues),
 		rootFree: taskqueue.NewFreeList(0),
 		sink:     sink,
@@ -173,12 +202,13 @@ func New(net *rete.Network, cfg Config, sink rete.TerminalSink) *Matcher {
 	}
 	m.net.Store(net)
 	m.lastParked.Store(-1)
-	n := len(m.table.Lines)
-	if cfg.Scheme == SchemeSimple {
-		m.simple = make([]spinlock.Lock, n)
+	var table *hashmem.Table
+	if cfg.Legacy {
+		table = hashmem.NewLegacy(cfg.Lines)
 	} else {
-		m.mrsw = make([]spinlock.MRSW, n)
+		table = hashmem.New(cfg.Lines)
 	}
+	m.mem.Store(newMemState(table, cfg.Scheme))
 	// Build every worker context before starting any goroutine: workers
 	// steal from each other's deques through this slice.
 	m.workers = make([]*wctx, cfg.Procs)
@@ -278,8 +308,18 @@ func (w *wctx) unkick() {
 	}
 }
 
-// Drain blocks until TaskCount reaches zero.
-func (m *Matcher) Drain() { m.queues.WaitIdle() }
+// Drain blocks until TaskCount reaches zero. Drained is also the
+// adaptive table's resize point: with no task in flight the workers are
+// out of the table (the TaskCount==0 edge ordered their line writes
+// before this read), so the control process can rehash into a bigger
+// table and publish it, locks and all, before the next Submit.
+func (m *Matcher) Drain() {
+	m.queues.WaitIdle()
+	ms := m.mem.Load()
+	if n := ms.table.GrowTarget(); n > 0 {
+		m.mem.Store(newMemState(ms.table.Grow(n), m.cfg.Scheme))
+	}
+}
 
 // Close stops the match goroutines. The matcher must be idle.
 func (m *Matcher) Close() {
@@ -334,8 +374,16 @@ func (m *Matcher) CheckInvariants() error {
 	if n := m.queues.TaskCount.Load(); n != 0 {
 		return fmt.Errorf("parmatch: CheckInvariants while %d tasks in flight", n)
 	}
-	return m.table.CheckDrained()
+	return m.mem.Load().table.CheckDrained()
 }
+
+// MemStats returns the current table's memory gauges and resize
+// counters. Exact while drained, like the other counters.
+func (m *Matcher) MemStats() stats.Memory { return m.mem.Load().table.MemStats() }
+
+// Table exposes the current token table for introspection (REPL matches
+// command, tests). Only meaningful while drained.
+func (m *Matcher) Table() *hashmem.Table { return m.mem.Load().table }
 
 func (m *Matcher) worker(id int) {
 	defer m.wg.Done()
@@ -571,25 +619,29 @@ func (w *wctx) join(t *taskqueue.Task) (requeued bool) {
 	} else {
 		hash = j.RightHash(t.Wmes[0])
 	}
-	idx := m.table.LineIndex(j, hash)
-	line := &m.table.Lines[idx]
+	// One bundle load per task: the table and its lock arrays always
+	// match, and a resize can only intervene while drained, so no task
+	// straddles two table generations.
+	ms := m.mem.Load()
+	table := ms.table
+	idx := table.LineIndex(j, hash)
 	w.curNet = m.net.Load()
 	w.curJoin = j
 	if m.cfg.Scheme == SchemeSimple {
-		spins := m.simple[idx].Acquire()
+		spins := ms.simple[idx].Acquire()
 		w.recordLine(t.Side, spins)
-		entry, res := hashmem.UpdateOwn(line, j, t.Side, t.Sign, t.Wmes, hash, nil, &w.pools)
+		entry, ref, res := table.UpdateOwn(idx, j, t.Side, t.Sign, t.Wmes, hash, nil, &w.pools)
 		if res.Proceeded {
-			hashmem.SearchOpposite(line, j, t.Side, t.Sign, t.Wmes, entry, nil, &w.pools, w.emitFn)
+			table.SearchOpposite(idx, ref, j, t.Side, t.Sign, t.Wmes, entry, nil, &w.pools, w.emitFn)
 		}
-		m.simple[idx].Release()
+		ms.simple[idx].Release()
 		if !t.Sign && res.Proceeded {
 			w.pools.FreeEntry(entry) // unlinked under the line lock; now exclusively ours
 		}
 		return false
 	}
 	// MRSW: register for our side; wrong-side arrivals re-queue.
-	ok, spins := m.mrsw[idx].Enter(int(t.Side))
+	ok, spins := ms.mrsw[idx].Enter(int(t.Side))
 	w.recordLine(t.Side, spins)
 	if !ok {
 		// Requeue counts the queued copy; the worker's Done() after this
@@ -601,25 +653,27 @@ func (w *wctx) join(t *taskqueue.Task) (requeued bool) {
 		m.kick()
 		return true
 	}
-	spins = m.mrsw[idx].Mod.Acquire()
+	spins = ms.mrsw[idx].Mod.Acquire()
 	w.recordLine(t.Side, spins)
-	entry, res := hashmem.UpdateOwn(line, j, t.Side, t.Sign, t.Wmes, hash, nil, &w.pools)
+	entry, ref, res := table.UpdateOwn(idx, j, t.Side, t.Sign, t.Wmes, hash, nil, &w.pools)
 	if j.Negated && t.Side == rete.Left {
 		// Negated-node left activations must compute or read the join
 		// count atomically with the memory update: a concurrent left
 		// delete of the same token would otherwise observe the entry
 		// before its count is stored and emit an unmatched retraction.
 		if res.Proceeded {
-			hashmem.SearchOpposite(line, j, t.Side, t.Sign, t.Wmes, entry, nil, &w.pools, w.emitFn)
+			table.SearchOpposite(idx, ref, j, t.Side, t.Sign, t.Wmes, entry, nil, &w.pools, w.emitFn)
 		}
-		m.mrsw[idx].Mod.Release()
+		ms.mrsw[idx].Mod.Release()
 	} else {
-		m.mrsw[idx].Mod.Release()
+		// Positive nodes search outside the modification lock; the ref
+		// resolved under it keeps the sub-index off this unlocked path.
+		ms.mrsw[idx].Mod.Release()
 		if res.Proceeded {
-			hashmem.SearchOpposite(line, j, t.Side, t.Sign, t.Wmes, entry, nil, &w.pools, w.emitFn)
+			table.SearchOpposite(idx, ref, j, t.Side, t.Sign, t.Wmes, entry, nil, &w.pools, w.emitFn)
 		}
 	}
-	m.mrsw[idx].Exit()
+	ms.mrsw[idx].Exit()
 	if !t.Sign && res.Proceeded {
 		w.pools.FreeEntry(entry) // Remove unlinked it; no reader survives Exit
 	}
@@ -673,12 +727,13 @@ func (m *Matcher) SwapEpoch(next *rete.Network, live []*wm.WME) (removed int, er
 	if n := m.queues.TaskCount.Load(); n != 0 {
 		return 0, fmt.Errorf("parmatch: SwapEpoch while %d tasks in flight", n)
 	}
+	table := m.mem.Load().table
 	if len(d.DeadJoins) > 0 {
 		dead := make(map[int]bool, len(d.DeadJoins))
 		for _, j := range d.DeadJoins {
 			dead[j.ID] = true
 		}
-		removed = m.table.ExciseNodes(dead, nil)
+		removed = table.ExciseNodes(dead, nil)
 	}
 	m.net.Store(next)
 
@@ -708,7 +763,10 @@ func (m *Matcher) SwapEpoch(next *rete.Network, live []*wm.WME) (removed int, er
 		}
 	}
 	if injected {
+		// Drain may grow and republish the table; re-load it so the
+		// phase-2 gather below enumerates the live generation.
 		m.Drain()
+		table = m.mem.Load().table
 	}
 	var phase2 []*taskqueue.Task
 	for _, cd := range targets {
@@ -732,7 +790,7 @@ func (m *Matcher) SwapEpoch(next *rete.Network, live []*wm.WME) (removed int, er
 	}
 	for i := range d.GrownJoins {
 		g := &d.GrownJoins[i]
-		m.table.ForEachOutput(g.Join, &pools, func(tok []*wm.WME) {
+		table.ForEachOutput(g.Join, &pools, func(tok []*wm.WME) {
 			for _, succ := range g.NewSuccs {
 				phase2 = append(phase2, &taskqueue.Task{Join: succ, Side: rete.Left, Sign: true, Wmes: tok})
 			}

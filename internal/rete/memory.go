@@ -56,12 +56,16 @@ func (l *EntryList) Push(e *Entry) {
 // Remove unlinks the first entry for (node, side, wmes) and returns it
 // with the number of entries scanned to find it (the paper's "tokens
 // examined in same memory for deletes" statistic). It returns nil when
-// no such entry exists.
-func (l *EntryList) Remove(node *JoinNode, side Side, wmes []*wm.WME) (e *Entry, scanned int) {
+// no such entry exists. The stored 64-bit token hash is compared before
+// the element-wise WME walk: unequal hashes mean unequal tokens, so the
+// expensive SameWmes comparison only runs on genuine candidates. (vs1
+// stores hash 0 for every entry unless the matcher computes hashes, in
+// which case the same short-circuit applies to its per-node lists.)
+func (l *EntryList) Remove(node *JoinNode, side Side, hash uint64, wmes []*wm.WME) (e *Entry, scanned int) {
 	var prev *Entry
 	for cur := l.Head; cur != nil; cur = cur.Next {
 		scanned++
-		if cur.Node == node && cur.Side == side && SameWmes(cur.Wmes, wmes) {
+		if cur.Hash == hash && cur.Node == node && cur.Side == side && SameWmes(cur.Wmes, wmes) {
 			if prev == nil {
 				l.Head = cur.Next
 			} else {

@@ -231,13 +231,13 @@ func TestEntryListRemoveDuplicates(t *testing.T) {
 	if l.Len != 2 {
 		t.Fatalf("Len = %d", l.Len)
 	}
-	if e, _ := l.Remove(j, rete.Left, []*wm.WME{w}); e == nil {
+	if e, _ := l.Remove(j, rete.Left, 0, []*wm.WME{w}); e == nil {
 		t.Fatal("first remove failed")
 	}
-	if e, _ := l.Remove(j, rete.Left, []*wm.WME{w}); e == nil {
+	if e, _ := l.Remove(j, rete.Left, 0, []*wm.WME{w}); e == nil {
 		t.Fatal("second remove failed (duplicate should remain)")
 	}
-	if e, _ := l.Remove(j, rete.Left, []*wm.WME{w}); e != nil {
+	if e, _ := l.Remove(j, rete.Left, 0, []*wm.WME{w}); e != nil {
 		t.Fatal("third remove should find nothing")
 	}
 }

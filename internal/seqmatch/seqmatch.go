@@ -52,7 +52,9 @@ type Matcher struct {
 }
 
 // New builds a sequential matcher. nLines sizes the vs2 hash tables
-// (ignored for vs1); 0 selects the default of 1024 lines.
+// (ignored for vs1); 0 selects the default of 1024 lines. vs2 tables
+// use the adaptive node-segregated layout and grow between submits as
+// working memory climbs.
 func New(net *rete.Network, v Variant, nLines int, sink rete.TerminalSink) *Matcher {
 	var table *hashmem.Table
 	if v == VS1 {
@@ -63,6 +65,14 @@ func New(net *rete.Network, v Variant, nLines int, sink rete.TerminalSink) *Matc
 		}
 		table = hashmem.New(nLines)
 	}
+	return NewWithTable(net, v, table, sink)
+}
+
+// NewWithTable builds a sequential matcher over a caller-supplied token
+// table — the benchmarks and differential tests use it to pin the
+// legacy linked-list layout (hashmem.NewLegacy) against the segregated
+// default.
+func NewWithTable(net *rete.Network, v Variant, table *hashmem.Table, sink rete.TerminalSink) *Matcher {
 	m := &Matcher{
 		Net:     net,
 		Variant: v,
@@ -76,8 +86,14 @@ func New(net *rete.Network, v Variant, nLines int, sink rete.TerminalSink) *Matc
 }
 
 // Submit processes one working-memory change to completion, depth-first
-// through the network (the classic sequential Rete discipline).
+// through the network (the classic sequential Rete discipline). The
+// matcher is quiescent between submits, so this is also the adaptive
+// table's resize point: an overloaded segregated table is grown and
+// rehashed before the change enters the network.
 func (m *Matcher) Submit(sign bool, w *wm.WME) {
+	if n := m.Table.GrowTarget(); n > 0 {
+		m.Table = m.Table.Grow(n)
+	}
 	m.Rec.M.WMChanges++
 	m.curSign = sign
 	tok := m.pools.MakeToken(1)
@@ -110,6 +126,9 @@ func (m *Matcher) Close() {}
 // matchers (server sessions); the counters here are per-matcher.
 func (m *Matcher) MatchStats() stats.Match { return m.Rec.M }
 
+// MemStats returns the token table's memory gauges and resize counters.
+func (m *Matcher) MemStats() stats.Memory { return m.Table.MemStats() }
+
 // CheckInvariants verifies that no parked conjugate deletes remain. In a
 // sequential matcher a parked delete can never legitimately survive a
 // change, so any leftover is a bug.
@@ -122,16 +141,17 @@ func (m *Matcher) CheckInvariants() error {
 
 func (m *Matcher) activate(j *rete.JoinNode, side rete.Side, sign bool, wmes []*wm.WME) {
 	m.Rec.M.Activations++
+	// The hash is computed for vs1 too: its per-node lines ignore it for
+	// line selection, but storing it lets EntryList.Remove short-circuit
+	// token comparison on deletes without changing any scan count.
 	var hash uint64
-	if m.Table.Hashed {
-		if side == rete.Left {
-			hash = j.LeftHash(wmes)
-		} else {
-			hash = j.RightHash(wmes[0])
-		}
+	if side == rete.Left {
+		hash = j.LeftHash(wmes)
+	} else {
+		hash = j.RightHash(wmes[0])
 	}
-	line := &m.Table.Lines[m.Table.LineIndex(j, hash)]
-	entry, res := hashmem.UpdateOwn(line, j, side, sign, wmes, hash, m.Rec, &m.pools)
+	idx := m.Table.LineIndex(j, hash)
+	entry, ref, res := m.Table.UpdateOwn(idx, j, side, sign, wmes, hash, m.Rec, &m.pools)
 	if !sign {
 		hashmem.RecordDelete(m.Rec, side, &res)
 	}
@@ -139,7 +159,7 @@ func (m *Matcher) activate(j *rete.JoinNode, side rete.Side, sign bool, wmes []*
 		return
 	}
 	m.curJoin = j
-	hashmem.SearchOpposite(line, j, side, sign, wmes, entry, m.Rec, &m.pools, m.emitFn)
+	m.Table.SearchOpposite(idx, ref, j, side, sign, wmes, entry, m.Rec, &m.pools, m.emitFn)
 	if !sign {
 		m.pools.FreeEntry(entry) // removed from its memory; nothing else holds it
 	}

@@ -130,6 +130,72 @@ func TestDeleteScanStats(t *testing.T) {
 	}
 }
 
+// TestVS1LinearScanFidelity pins the vs1 memory organization against
+// the segregated-table rewrite: per-node list lines, no hashing, no
+// adaptive growth, and scan counts that still reflect a full linear walk
+// even though entries now carry a stored hash — the hash only
+// short-circuits the token comparison inside EntryList.Remove, it never
+// changes which entries a scan examines.
+func TestVS1LinearScanFidelity(t *testing.T) {
+	src := `
+(literalize a x)
+(literalize b y)
+(p r (a ^x <v>) (b ^y <v>) --> (halt))
+`
+	e, m := build(t, src, seqmatch.VS1)
+	if m.Table.Hashed || m.Table.Segregated() {
+		t.Fatal("vs1 table must be the per-node list layout")
+	}
+	if got, want := len(m.Table.Lines), m.Net.NumJoinIDs(); got != want {
+		t.Fatalf("vs1 lines = %d, want one per join node (%d)", got, want)
+	}
+	j := m.Net.Joins[0]
+	if idx := m.Table.LineIndex(j, 0xdeadbeef); idx != j.ID {
+		t.Fatalf("vs1 LineIndex = %d, want node ID %d regardless of hash", idx, j.ID)
+	}
+
+	prog := e.Prog
+	mk := func(class string, val int64) *wm.WME {
+		id := prog.Symbols.Intern(class)
+		fields := make([]wm.Value, prog.ClassOf(id).NumFields())
+		fields[0] = wm.Sym(id)
+		fields[1] = wm.Int(val)
+		w, err := e.Assert(fields)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return w
+	}
+	first := mk("a", 1)
+	for v := int64(2); v <= 5; v++ {
+		mk("a", v)
+	}
+	mk("b", 3)
+	// The right activation walks all 5 left tokens, hash or no hash.
+	s := m.Rec.M
+	if s.OppNonEmptyRight != 1 || s.OppExaminedRight != 5 {
+		t.Errorf("vs1 right scan: %d examined over %d activations, want 5 over 1",
+			s.OppExaminedRight, s.OppNonEmptyRight)
+	}
+	// Deleting the oldest left token scans the whole LIFO list: 5 entries
+	// examined, exactly as before stored hashes existed.
+	if ok, err := e.Retract(first.TimeTag); !ok || err != nil {
+		t.Fatalf("retract: %v %v", ok, err)
+	}
+	s = m.Rec.M
+	if s.DeletesLeft != 1 || s.SameExaminedLeft != 5 {
+		t.Errorf("vs1 delete scan: %d examined over %d deletes, want 5 over 1",
+			s.SameExaminedLeft, s.DeletesLeft)
+	}
+	// vs1 never participates in adaptive growth.
+	if n := m.Table.GrowTarget(); n != 0 {
+		t.Errorf("vs1 GrowTarget = %d, want 0", n)
+	}
+	if ms := m.MemStats(); ms.Resizes != 0 || ms.Lines != int64(m.Net.NumJoinIDs()) {
+		t.Errorf("vs1 memory stats = %+v, want 0 resizes and per-node lines", ms)
+	}
+}
+
 // TestActivationCountsMatchAcrossVariants: vs1 and vs2 process the same
 // activations; only the scanning differs.
 func TestActivationCountsMatchAcrossVariants(t *testing.T) {

@@ -19,6 +19,7 @@ type metrics struct {
 	cont   stats.Contention
 	conf   stats.Conflict
 	epoch  stats.Epoch
+	mem    stats.Memory
 	hists  map[string]*stats.Histogram // latency, µs
 	counts map[string]*stats.Histogram // sizes, items (ObserveCount)
 }
@@ -118,6 +119,12 @@ func (m *metrics) foldEpoch(delta *stats.Epoch) {
 	m.mu.Unlock()
 }
 
+func (m *metrics) foldMemory(delta *stats.Memory) {
+	m.mu.Lock()
+	m.mem.Add(delta)
+	m.mu.Unlock()
+}
+
 // Snapshot returns the point-in-time metrics view served by /metrics.
 func (s *Server) Snapshot() stats.Snapshot {
 	s.met.mu.Lock()
@@ -128,6 +135,7 @@ func (s *Server) Snapshot() stats.Snapshot {
 		Contention: s.met.cont,
 		Conflict:   s.met.conf,
 		Epoch:      s.met.epoch,
+		Memory:     s.met.mem,
 		Latency:    make(map[string]stats.LatencySummary, len(s.met.hists)),
 		Counts:     make(map[string]stats.CountSummary, len(s.met.counts)),
 	}

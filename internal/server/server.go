@@ -115,6 +115,10 @@ type Session struct {
 	// prevEpoch mirrors prev for the dynamic-change counters (runtime
 	// build/excise applied to this session's private network epoch).
 	prevEpoch stats.Epoch
+	// prevMem mirrors prev for the token-table memory gauges and resize
+	// counters; like Conflict's gauges, per-session net changes sum to
+	// the current fleet-wide totals.
+	prevMem stats.Memory
 }
 
 // New builds a server and starts its worker pool.
@@ -407,6 +411,14 @@ func (s *Server) foldStatsLocked(sess *Session) {
 	edelta.Sub(&sess.prevEpoch)
 	sess.prevEpoch = ecur
 	s.met.foldEpoch(&edelta)
+	// Every Rete backend owns a token table; fold its gauges/counters.
+	if mm, ok := sess.matcher.(interface{ MemStats() stats.Memory }); ok {
+		mcur := mm.MemStats()
+		mdelta := mcur
+		mdelta.Sub(&sess.prevMem)
+		sess.prevMem = mcur
+		s.met.foldMemory(&mdelta)
+	}
 }
 
 // WMEInput is one element to assert: a class name and attribute values

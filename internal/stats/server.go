@@ -210,6 +210,7 @@ type Snapshot struct {
 	Contention Contention                `json:"contention"`
 	Conflict   Conflict                  `json:"conflict"`
 	Epoch      Epoch                     `json:"epoch"`
+	Memory     Memory                    `json:"memory"`
 	Latency    map[string]LatencySummary `json:"latency"`
 	Counts     map[string]CountSummary   `json:"counts"`
 }

@@ -198,6 +198,38 @@ func (e *Epoch) Sub(o *Epoch) {
 	e.RemovedInsts -= o.RemovedInsts
 }
 
+// Memory describes the token hash tables backing a matcher: Lines,
+// Entries and MaxLineDepth are point-in-time gauges (current line
+// count, live token entries, high-water live entries in one line);
+// Resizes and Rehashed count adaptive grows and the entries they moved.
+// Like Conflict's gauges, multi-session folds sum the gauges of every
+// session's table.
+type Memory struct {
+	Lines        int64 `json:"lines"`
+	Entries      int64 `json:"entries"`
+	MaxLineDepth int64 `json:"max_line_depth"`
+	Resizes      int64 `json:"resizes"`
+	Rehashed     int64 `json:"rehashed"`
+}
+
+// Add accumulates o into m.
+func (m *Memory) Add(o *Memory) {
+	m.Lines += o.Lines
+	m.Entries += o.Entries
+	m.MaxLineDepth += o.MaxLineDepth
+	m.Resizes += o.Resizes
+	m.Rehashed += o.Rehashed
+}
+
+// Sub subtracts o from m, for per-session delta folding like Match.Sub.
+func (m *Memory) Sub(o *Memory) {
+	m.Lines -= o.Lines
+	m.Entries -= o.Entries
+	m.MaxLineDepth -= o.MaxLineDepth
+	m.Resizes -= o.Resizes
+	m.Rehashed -= o.Rehashed
+}
+
 // Add accumulates o into c.
 func (c *Contention) Add(o *Contention) {
 	c.QueueAcquires += o.QueueAcquires

@@ -32,6 +32,18 @@ type benchBaseline struct {
 	// KernelAllocs maps "kernel/pN" to baseline allocs/op of one
 	// assert-all/retract-all round; the gate allows 25%+2 headroom.
 	KernelAllocs map[string]int64 `json:"kernel_allocs_per_op"`
+	// MaxBigmemOppPerPair bounds the segregated layout's selectivity on
+	// the bigmem kernel: opposite-memory tokens examined per emitted
+	// pair. The (node, hash) runs make this ~1.0; a broken sub-index
+	// falls back toward the whole-line scan and blows past it.
+	MaxBigmemOppPerPair float64 `json:"max_bigmem_opp_per_pair"`
+	// MinBigmemGain is the minimum list/runs ratio of opposite-memory
+	// tokens examined on the same bigmem workload — the line-scan work
+	// the segregated layout must eliminate.
+	MinBigmemGain float64 `json:"min_bigmem_gain"`
+	// MaxBigmemDepth caps the segregated table's high-water line depth:
+	// adaptive growth must keep lines shallow as the WM climbs.
+	MaxBigmemDepth int64 `json:"max_bigmem_line_depth"`
 }
 
 // TestBenchSmoke is the `make bench-smoke` gate: a 1-rep match-kernel +
@@ -117,12 +129,51 @@ func TestBenchSmoke(t *testing.T) {
 		}
 	}
 
+	// Bigmem layout gate: counter-based (deterministic for a fixed
+	// workload), so it holds on any host. 2000 pairs from 128 lines
+	// crosses the lazy growth trigger and forces an adaptive resize.
+	big, err := RunBigmemBench(2000, 128, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byLayout := map[string]BigmemPoint{}
+	for _, p := range big {
+		byLayout[p.Layout] = p
+		t.Logf("bigmem %-5s opp/pair %6.2f  opp %8d  lines %5d  resizes %d  maxdepth %d",
+			p.Layout, p.OppPerPair, p.OppExamined, p.Memory.Lines, p.Memory.Resizes, p.Memory.MaxLineDepth)
+	}
+	list, runs := byLayout["list"], byLayout["runs"]
+	if runs.PairsEmitted != list.PairsEmitted || runs.Activations != list.Activations {
+		t.Errorf("layouts disagree on the workload: list %d pairs/%d acts, runs %d pairs/%d acts",
+			list.PairsEmitted, list.Activations, runs.PairsEmitted, runs.Activations)
+	}
+	if runs.Memory.Resizes == 0 {
+		t.Errorf("segregated bigmem table never resized (lines %d) — adaptive growth is not firing", runs.Memory.Lines)
+	}
+	if mode != "update" {
+		if runs.OppPerPair > base.MaxBigmemOppPerPair {
+			t.Errorf("bigmem runs layout examines %.2f opposite tokens per pair > %.2f — sub-index selectivity regressed",
+				runs.OppPerPair, base.MaxBigmemOppPerPair)
+		}
+		if gain := float64(list.OppExamined) / float64(runs.OppExamined); runs.OppExamined == 0 || gain < base.MinBigmemGain {
+			t.Errorf("bigmem list/runs scan ratio %.2f < %.2f — the segregated layout is not narrowing the line scan",
+				gain, base.MinBigmemGain)
+		}
+		if runs.Memory.MaxLineDepth > base.MaxBigmemDepth {
+			t.Errorf("bigmem runs high-water line depth %d > %d — growth is lagging the load",
+				runs.Memory.MaxLineDepth, base.MaxBigmemDepth)
+		}
+	}
+
 	if mode == "update" {
 		out := benchBaseline{
-			MaxChurnRatio:  3,
-			MaxSelectRatio: 3,
-			MaxChurnAllocs: 0,
-			KernelAllocs:   kernels,
+			MaxChurnRatio:       3,
+			MaxSelectRatio:      3,
+			MaxChurnAllocs:      0,
+			KernelAllocs:        kernels,
+			MaxBigmemOppPerPair: 2,
+			MinBigmemGain:       2,
+			MaxBigmemDepth:      64,
 		}
 		data, err := json.MarshalIndent(out, "", "  ")
 		if err != nil {

@@ -32,8 +32,10 @@ type Kernel struct {
 // KernelNames lists the available kernels: "join" exercises multi-level
 // two-input joins, "alpha" the constant-test fan-out with terminal
 // tasks, "neg" negated-node count maintenance, "term" the conflict-set
-// hot path (every WM change is one terminal activation).
-func KernelNames() []string { return []string{"join", "alpha", "neg", "term"} }
+// hot path (every WM change is one terminal activation), "bigmem" a
+// single equality join meant to run at 10k+ WMEs, where token-memory
+// layout selectivity dominates the match cost.
+func KernelNames() []string { return []string{"join", "alpha", "neg", "term", "bigmem"} }
 
 // kernelSrc returns the OPS5 source of a kernel.
 func kernelSrc(name string) (string, error) {
@@ -76,6 +78,18 @@ func kernelSrc(name string) (string, error) {
 		// to n instantiations at the assert/retract turnaround.
 		b.WriteString("(literalize fact id)\n")
 		b.WriteString("(p seen (fact ^id <i>) --> (halt))\n")
+	case "bigmem":
+		// n accounts and n transactions pair one-to-one through a single
+		// equality join. At large n the cost is entirely how the token
+		// memories narrow each activation's opposite-memory scan, which
+		// is what the list-vs-runs layout comparison measures.
+		b.WriteString("(literalize acct id)\n(literalize txn id)\n")
+		b.WriteString(`(p pay
+  (acct ^id <i>)
+  (txn ^id <i>)
+-->
+  (halt))
+`)
 	default:
 		return "", fmt.Errorf("unknown kernel %q (have %v)", name, KernelNames())
 	}
@@ -144,6 +158,11 @@ func NewKernel(name string, n int) (*Kernel, error) {
 	case "term":
 		for v := 0; v < n; v++ {
 			add("fact", map[string]wm.Value{"id": wm.Int(int64(v))})
+		}
+	case "bigmem":
+		for v := 0; v < n; v++ {
+			add("acct", map[string]wm.Value{"id": wm.Int(int64(v))})
+			add("txn", map[string]wm.Value{"id": wm.Int(int64(v))})
 		}
 	}
 	return k, nil

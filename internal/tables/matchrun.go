@@ -8,8 +8,10 @@ import (
 	"fmt"
 	"runtime"
 	"testing"
+	"time"
 
 	"repro/internal/engine"
+	"repro/internal/hashmem"
 	"repro/internal/parmatch"
 	"repro/internal/seqmatch"
 	"repro/internal/stats"
@@ -27,6 +29,15 @@ type MatchBenchOptions struct {
 	// rep, so slow host phases hit every proc count and no proc count
 	// systematically inherits the cache/GC state of a cycle position.
 	Reps int
+	// BigmemPairs sizes the bigmem layout comparison: that many
+	// (acct, txn) pairs, i.e. 2× that many WMEs (default 20000 — deep
+	// enough that the list layout's line scan dominates and the
+	// segregated table crosses its lazy growth trigger).
+	// BigmemLines is the starting line count for both layouts (default
+	// 1024): the legacy table is pinned there while the segregated table
+	// grows adaptively from it.
+	BigmemPairs int
+	BigmemLines int
 }
 
 // MatchWorkloadPoint is one (workload, procs) measurement of the real
@@ -46,6 +57,10 @@ type MatchWorkloadPoint struct {
 	Activations  int64            `json:"activations"`
 	ActsPerSec   float64          `json:"acts_per_sec"`
 	Contention   stats.Contention `json:"contention"`
+	// Oversubscribed marks points whose proc count exceeds the host's
+	// CPUs: the match processes timeshared real cores, so wall-clock
+	// speedup numbers measure scheduling overhead, not parallelism.
+	Oversubscribed bool `json:"oversubscribed,omitempty"`
 }
 
 // MatchKernelPoint is one (kernel, procs) steady-state hot-path
@@ -58,6 +73,28 @@ type MatchKernelPoint struct {
 	AllocsPerOp int64   `json:"allocs_per_op"`
 	BytesPerOp  int64   `json:"bytes_per_op"`
 	ActsPerOp   float64 `json:"acts_per_op"`
+	// Oversubscribed: see MatchWorkloadPoint.
+	Oversubscribed bool `json:"oversubscribed,omitempty"`
+}
+
+// BigmemPoint is one side of the token-memory layout comparison: the
+// bigmem kernel run on the sequential vs2 matcher with either the
+// legacy linked-list lines ("list") or the node-segregated adaptive
+// runs ("runs"). OppPerPair is the selectivity measure — opposite-memory
+// tokens examined per emitted pair; the hash sub-index drives it to ~1
+// while the list layout scans every colliding token.
+type BigmemPoint struct {
+	Layout       string       `json:"layout"` // "list" or "runs"
+	Pairs        int          `json:"pairs"`  // WMEs asserted per round = 2×Pairs
+	InitialLines int          `json:"initial_lines"`
+	Rounds       int          `json:"rounds"`
+	Seconds      float64      `json:"seconds"`
+	Activations  int64        `json:"activations"`
+	ActsPerSec   float64      `json:"acts_per_sec"`
+	OppExamined  int64        `json:"opp_examined"`
+	PairsEmitted int64        `json:"pairs_emitted"`
+	OppPerPair   float64      `json:"opp_per_pair"`
+	Memory       stats.Memory `json:"memory"`
 }
 
 // MatchBenchReport is the BENCH_match.json payload.
@@ -67,6 +104,9 @@ type MatchBenchReport struct {
 	ProcsSwep []int                `json:"procs_swept"`
 	Workloads []MatchWorkloadPoint `json:"workloads"`
 	Kernels   []MatchKernelPoint   `json:"kernels"`
+	// Bigmem is the token-memory layout comparison: the bigmem kernel at
+	// production scale under the legacy list lines vs the segregated runs.
+	Bigmem []BigmemPoint `json:"bigmem"`
 	// Conflict is the terminal-heavy conflict-set sweep (live × shards ×
 	// procs) from conflictbench.go.
 	Conflict []ConflictBenchPoint `json:"conflict"`
@@ -125,14 +165,15 @@ func RunMatchBench(opt MatchBenchOptions) (*MatchBenchReport, error) {
 			}
 			secs := run.Res.MatchTime.Seconds()
 			pt := MatchWorkloadPoint{
-				Workload:     spec.Name,
-				Procs:        p,
-				GoMaxProcs:   gm,
-				Scheme:       parmatch.SchemeSimple.String(),
-				Cycles:       run.Res.Cycles,
-				MatchSeconds: secs,
-				Activations:  run.Match.Activations,
-				Contention:   run.Cont,
+				Workload:       spec.Name,
+				Procs:          p,
+				GoMaxProcs:     gm,
+				Scheme:         parmatch.SchemeSimple.String(),
+				Cycles:         run.Res.Cycles,
+				MatchSeconds:   secs,
+				Activations:    run.Match.Activations,
+				Contention:     run.Cont,
+				Oversubscribed: p > rep.HostCPUs,
 			}
 			if secs > 0 {
 				pt.ActsPerSec = float64(run.Match.Activations) / secs
@@ -155,8 +196,71 @@ func RunMatchBench(opt MatchBenchOptions) (*MatchBenchReport, error) {
 			rep.Kernels = append(rep.Kernels, pt)
 		}
 	}
+	big, err := RunBigmemBench(opt.BigmemPairs, opt.BigmemLines, 0)
+	if err != nil {
+		return nil, err
+	}
+	rep.Bigmem = big
 	rep.Conflict = RunConflictBench(ConflictBenchOptions{})
 	return rep, nil
+}
+
+// RunBigmemBench runs the bigmem kernel on the sequential vs2 matcher
+// under both token-memory layouts, starting each at the same line count:
+// the legacy list table stays there (the paper's fixed-size design, the
+// degradation baseline), the segregated table resizes adaptively as the
+// working memory climbs. Defaults: 20000 pairs (40k WMEs), 1024 lines,
+// 3 rounds.
+func RunBigmemBench(pairs, lines, rounds int) ([]BigmemPoint, error) {
+	if pairs <= 0 {
+		pairs = 20000
+	}
+	if lines <= 0 {
+		lines = 1024
+	}
+	if rounds <= 0 {
+		rounds = 3
+	}
+	k, err := NewKernel("bigmem", pairs)
+	if err != nil {
+		return nil, err
+	}
+	var out []BigmemPoint
+	for _, layout := range []string{"list", "runs"} {
+		var table *hashmem.Table
+		if layout == "list" {
+			table = hashmem.NewLegacy(lines)
+		} else {
+			table = hashmem.New(lines)
+		}
+		m := seqmatch.NewWithTable(k.Net, seqmatch.VS2, table, KernelSink())
+		t0 := time.Now()
+		for r := 0; r < rounds; r++ {
+			k.Round(m)
+		}
+		secs := time.Since(t0).Seconds()
+		ms := m.MatchStats()
+		opp := ms.OppExaminedLeft + ms.OppExaminedRight
+		pt := BigmemPoint{
+			Layout:       layout,
+			Pairs:        pairs,
+			InitialLines: lines,
+			Rounds:       rounds,
+			Seconds:      secs,
+			Activations:  ms.Activations,
+			OppExamined:  opp,
+			PairsEmitted: ms.Pairs,
+			Memory:       m.MemStats(),
+		}
+		if secs > 0 {
+			pt.ActsPerSec = float64(ms.Activations) / secs
+		}
+		if ms.Pairs > 0 {
+			pt.OppPerPair = float64(opp) / float64(ms.Pairs)
+		}
+		out = append(out, pt)
+	}
+	return out, nil
 }
 
 // kernelBackend is the slice of the matcher surface the kernel
@@ -203,12 +307,13 @@ func benchKernel(k *Kernel, procs int) (MatchKernelPoint, error) {
 		acts = m.Activations() / int64(b.N)
 	})
 	return MatchKernelPoint{
-		Kernel:      k.Name,
-		Procs:       procs,
-		Iterations:  r.N,
-		NsPerOp:     r.NsPerOp(),
-		AllocsPerOp: r.AllocsPerOp(),
-		BytesPerOp:  r.AllocedBytesPerOp(),
-		ActsPerOp:   float64(acts),
+		Kernel:         k.Name,
+		Procs:          procs,
+		Iterations:     r.N,
+		NsPerOp:        r.NsPerOp(),
+		AllocsPerOp:    r.AllocsPerOp(),
+		BytesPerOp:     r.AllocedBytesPerOp(),
+		ActsPerOp:      float64(acts),
+		Oversubscribed: procs > runtime.NumCPU(),
 	}, nil
 }

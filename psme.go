@@ -253,6 +253,16 @@ func (e *Engine) WorkingMemory() []string {
 // annihilations, live/fired/pending sizes and shard lock contention.
 func (e *Engine) ConflictStats() stats.Conflict { return e.cs.StatsSnapshot() }
 
+// MemStats returns the token table's memory gauges — line count, live
+// entries, high-water line depth — and adaptive-resize counters. Zero
+// for the Lisp baseline backend, which has no token table.
+func (e *Engine) MemStats() stats.Memory {
+	if mm, ok := e.inner.Matcher.(interface{ MemStats() stats.Memory }); ok {
+		return mm.MemStats()
+	}
+	return stats.Memory{}
+}
+
 // AddRules applies a runtime batch of (p ...) and (excise name) forms
 // to the live engine, in source order: each change compiles into a new
 // copy-on-write network epoch and the live working memory is replayed
