@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet check bench bench-smoke clean
+.PHONY: all build test race vet check bench bench-smoke recovery clean
 
 all: build
 
@@ -17,21 +17,31 @@ build:
 test:
 	$(GO) test ./...
 
-# Race-detect the concurrent subsystems: the inference server, the
-# parallel matcher, the sharded conflict set, the work-stealing task
-# queues, and runtime build/excise epoch swaps (engine dynamic tests).
+# Race-detect the concurrent subsystems: the inference server (which
+# includes the crash-recovery differential suite), the parallel
+# matcher, the sharded conflict set, the work-stealing task queues, and
+# runtime build/excise epoch swaps (engine dynamic tests).
 race:
 	$(GO) test -race ./internal/server ./internal/parmatch ./internal/conflict ./internal/taskqueue ./internal/engine
+
+# The durability suite on its own: kill-and-recover differential
+# (WM + timetags + firing trace vs an uninterrupted control, across
+# backends), torn-tail truncation, template-fork isolation and the
+# quarantine fd release, under the race detector.
+recovery:
+	$(GO) test -race -run 'TestCrashRecoveryDifferential|TestRecoveryTornTail|TestForkIsolation|TestQuarantine' -v ./internal/server
+	$(GO) test -race ./internal/wmlog
 
 vet:
 	$(GO) vet ./...
 
 check: build vet test race bench-smoke
 
-# 1-rep match-kernel + conflict-set sweep that fails on regression
-# against the checked-in BENCH_baseline.json (scaling ratios and
-# allocs/op — host-independent invariants, not wall-clock). Regenerate
-# the baseline after an intentional change with:
+# 1-rep match-kernel + conflict-set sweep plus the fork-vs-cold
+# session-spawn ratio, failing on regression against the checked-in
+# BENCH_baseline.json (scaling ratios and allocs/op — host-independent
+# invariants, not wall-clock). Regenerate the baseline after an
+# intentional change with:
 #   BENCH_SMOKE=update $(GO) test -run TestBenchSmoke ./internal/tables
 bench-smoke:
 	BENCH_SMOKE=1 $(GO) test -run TestBenchSmoke -v ./internal/tables

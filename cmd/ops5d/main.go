@@ -6,8 +6,12 @@
 //
 //	ops5d [-addr :8726] [-max-sessions 256] [-workers 0]
 //	      [-max-cycles 10000] [-timeout 5s] [-max-batch 4096]
+//	      [-data-dir DIR] [-durability commit] [-snapshot-every 0]
 //
-// SIGINT/SIGTERM drain in-flight requests before exiting.
+// With -data-dir set the daemon is durable: every session appends its
+// WM deltas to a per-session log under DIR, and a restart over the
+// same directory recovers every session and template. SIGINT/SIGTERM
+// drain in-flight requests and flush the delta logs before exiting.
 package main
 
 import (
@@ -33,6 +37,9 @@ func main() {
 	timeout := flag.Duration("timeout", 5*time.Second, "default per-request run budget")
 	maxBatch := flag.Int("max-batch", 4096, "max WM changes per request")
 	drain := flag.Duration("drain", 30*time.Second, "shutdown drain budget")
+	dataDir := flag.String("data-dir", "", "durability directory; empty = memory-only")
+	durability := flag.String("durability", "", `log sync policy: "none", "commit" (default with -data-dir) or "always"`)
+	snapEvery := flag.Int("snapshot-every", 0, "compact a session's delta log after this many batches (0 = only on demand)")
 	flag.Parse()
 	if flag.NArg() != 0 {
 		fmt.Fprintln(os.Stderr, "usage: ops5d [flags]  (see -h)")
@@ -45,7 +52,23 @@ func main() {
 		DefaultMaxCycles: *maxCycles,
 		DefaultTimeout:   *timeout,
 		MaxBatch:         *maxBatch,
+		DataDir:          *dataDir,
+		Durability:       *durability,
+		SnapshotEvery:    *snapEvery,
 	})
+	if *dataDir != "" {
+		recovered, err := srv.EnableDurability()
+		if err != nil {
+			log.Fatalf("ops5d: cannot open data dir %q: %v", *dataDir, err)
+		}
+		policy := *durability
+		if policy == "" {
+			policy = "commit"
+		}
+		log.Printf("ops5d: durable in %s (policy %s), recovered %d entries", *dataDir, policy, recovered)
+	} else if *durability != "" || *snapEvery != 0 {
+		log.Fatalf("ops5d: -durability/-snapshot-every need -data-dir")
+	}
 	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
 
 	done := make(chan struct{})

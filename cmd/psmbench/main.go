@@ -7,6 +7,7 @@
 //
 //	psmbench [-scale 1.0] [-table all|4-1|...|seq|sim] [-host]
 //	psmbench -match [-procs 1,2,4,8] [-matchout BENCH_match.json]
+//	psmbench -durability [-durout BENCH_durability.json]
 //	psmbench ... [-cpuprofile cpu.prof] [-memprofile mem.prof]
 package main
 
@@ -31,6 +32,10 @@ func main() {
 	ablation := flag.Bool("ablation", false, "run the design-choice ablations (hardware scheduler, FIFO, pipelining, ...)")
 	match := flag.Bool("match", false, "run the multicore match microbenchmarks instead of the paper tables")
 	matchOut := flag.String("matchout", "", "write -match results as JSON to this file (e.g. BENCH_match.json)")
+	durabilityBench := flag.Bool("durability", false, "run the session-spawn (fork vs cold) and crash-recovery benchmarks")
+	durOut := flag.String("durout", "", "write -durability results as JSON to this file (e.g. BENCH_durability.json)")
+	durItems := flag.Int("dur-items", 2000, "warm base facts in the -durability template")
+	durRules := flag.Int("dur-rules", 64, "generated rules in the -durability workload")
 	procsFlag := flag.String("procs", "1,2,4,8", "comma-separated match-process counts for -match")
 	reps := flag.Int("reps", 3, "repetitions per -match workload point (fastest is recorded)")
 	bigmemPairs := flag.Int("bigmem-pairs", 20000, "bigmem layout comparison size in (acct, txn) pairs — 2x this many WMEs")
@@ -58,6 +63,12 @@ func main() {
 		}()
 	}
 
+	if *durabilityBench {
+		runDurability(tables.DurabilityBenchOptions{
+			Items: *durItems, Rules: *durRules, Reps: *reps,
+		}, *durOut)
+		return
+	}
 	if *match {
 		procs, err := parseProcs(*procsFlag)
 		fatal(err)
@@ -214,6 +225,29 @@ func runMatch(opt tables.MatchBenchOptions, outPath string) {
 		data = append(data, '\n')
 		fatal(os.WriteFile(outPath, data, 0o644))
 		fmt.Printf("\nwrote %s\n", outPath)
+	}
+}
+
+// runDurability runs the fork-vs-cold spawn and crash-recovery
+// benchmarks and optionally writes the BENCH_durability.json payload.
+func runDurability(opt tables.DurabilityBenchOptions, outPath string) {
+	rep, err := tables.RunDurabilityBench(opt)
+	fatal(err)
+	fmt.Printf("session spawn (%s, %d rules, %d base facts, median of %d):\n",
+		rep.Backend, rep.Rules, rep.Items, rep.Reps)
+	fmt.Printf("  cold  create+base+first-batch  %8d us\n", rep.ColdSpawnUs)
+	fmt.Printf("  fork  fork+first-batch         %8d us   (%.1fx faster, %d WMEs shared)\n",
+		rep.ForkSpawnUs, rep.ForkSpeedup, rep.ForkWMShared)
+	fmt.Printf("crash recovery (%d churn batches, %d bytes of log):\n",
+		rep.RecoveryBatches, rep.LogBytes)
+	fmt.Printf("  replayed %d records in %d us  (%.0f records/s)\n",
+		rep.RecoveryRecords, rep.RecoveryUs, rep.RecoveryRecPerSec)
+	if outPath != "" {
+		data, err := json.MarshalIndent(rep, "", "  ")
+		fatal(err)
+		data = append(data, '\n')
+		fatal(os.WriteFile(outPath, data, 0o644))
+		fmt.Printf("wrote %s\n", outPath)
 	}
 }
 

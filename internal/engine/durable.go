@@ -1,0 +1,163 @@
+package engine
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"repro/internal/conflict"
+	"repro/internal/rhs"
+	"repro/internal/wm"
+	"repro/internal/wmlog"
+)
+
+// Journal observes the engine's durable events in execution order: every
+// working-memory change it forwards to the matcher, every production
+// firing (the refraction event recovery must re-establish), halts, and
+// runtime program changes. The server implements it over a wmlog.Writer;
+// the engine leaves it nil during replay and restore so recovery never
+// re-journals its own input.
+type Journal interface {
+	RecordMake(w *wm.WME)
+	RecordRemove(w *wm.WME)
+	RecordFire(rule string, tags []int)
+	RecordHalt()
+	RecordProgram(src string)
+}
+
+// SetJournal installs (or clears) the engine's journal. Call only while
+// the engine is settled — between requests, never mid-run.
+func (e *Engine) SetJournal(j Journal) { e.journal = j }
+
+// CaptureState serializes the engine's settled state as a snapshot:
+// live WMEs with exact time tags (tag order), still-live fired
+// instantiations (rule-then-tags order, so the encoding — and the
+// snapshot hash — is deterministic), the tag counter and the halt flag.
+// The caller fills ProgHash and LogOffset. The engine must be drained.
+func (e *Engine) CaptureState() *wmlog.Snapshot {
+	s := &wmlog.Snapshot{NextTag: e.WM.NextTag(), Halted: e.halted}
+	for _, w := range e.WM.Snapshot() {
+		s.Wmes = append(s.Wmes, wmlog.TaggedWME{
+			Tag:    w.TimeTag,
+			Fields: wmlog.EncodeFields(w.Fields, e.Prog.Symbols),
+		})
+	}
+	e.CS.ForEachFired(func(inst *conflict.Instantiation) {
+		s.Fired = append(s.Fired, wmlog.FireKey{Rule: inst.Rule.Rule.Name, Tags: tags(inst.Wmes)})
+	})
+	sort.Slice(s.Fired, func(i, j int) bool {
+		a, b := &s.Fired[i], &s.Fired[j]
+		if a.Rule != b.Rule {
+			return a.Rule < b.Rule
+		}
+		for k := 0; k < len(a.Tags) && k < len(b.Tags); k++ {
+			if a.Tags[k] != b.Tags[k] {
+				return a.Tags[k] < b.Tags[k]
+			}
+		}
+		return len(a.Tags) < len(b.Tags)
+	})
+	return s
+}
+
+// RestoreState rebuilds a snapshot's state on a fresh engine: the WMEs
+// are re-asserted under their original tags through the ordinary match
+// machinery, then the fired instantiations re-derived by that match are
+// marked to restore refraction. Every fired key must resolve — the
+// snapshot captured live instantiations of this exact WM state, so a
+// miss means the snapshot and program disagree. The journal must be nil
+// (install it after restoring).
+func (e *Engine) RestoreState(s *wmlog.Snapshot) error {
+	for i := range s.Wmes {
+		tw := &s.Wmes[i]
+		w := e.WM.AddTagged(tw.Tag, wmlog.DecodeFields(tw.Fields, e.Prog.Symbols))
+		e.submit(true, w)
+	}
+	e.drain()
+	for i := range s.Fired {
+		fk := &s.Fired[i]
+		cr := e.Net.RuleByName(fk.Rule)
+		if cr == nil {
+			return fmt.Errorf("engine: snapshot fires unknown production %s", fk.Rule)
+		}
+		if !e.CS.MarkFiredByTags(cr, fk.Tags) {
+			return fmt.Errorf("engine: snapshot fired instantiation %s %v not re-derived", fk.Rule, fk.Tags)
+		}
+	}
+	e.WM.SetNextTag(s.NextTag)
+	e.halted = s.Halted
+	return e.Matcher.CheckInvariants()
+}
+
+// ReplayRecords applies a delta-log suffix in order. WM changes replay
+// through the ordinary match machinery under their logged time tags;
+// each fire record is applied at its interleaved position — preceding WM
+// changes drained first — because the same (rule, tags) identity can be
+// annihilated and re-derived across negated-condition changes, so
+// marking fired at the wrong point corrupts refraction. Program records
+// re-apply runtime builds and excises one canonical form at a time.
+// Skip Init when replaying from an empty engine: the log journals every
+// change from empty working memory, top-level makes included.
+func (e *Engine) ReplayRecords(recs []*wmlog.Record) error {
+	dirty := false
+	settle := func() {
+		if dirty {
+			e.drain()
+			dirty = false
+		}
+	}
+	for _, r := range recs {
+		switch r.Type {
+		case wmlog.RecMake:
+			w := e.WM.AddTagged(r.Tag, wmlog.DecodeFields(r.Fields, e.Prog.Symbols))
+			e.submit(true, w)
+			dirty = true
+		case wmlog.RecRemove:
+			if w := e.WM.Get(r.Tag); w != nil && e.WM.Remove(w) {
+				e.submit(false, w)
+				dirty = true
+			} else {
+				return fmt.Errorf("engine: replay removes dead time tag %d", r.Tag)
+			}
+		case wmlog.RecFire:
+			settle()
+			cr := e.Net.RuleByName(r.Rule)
+			if cr == nil {
+				return fmt.Errorf("engine: replay fires unknown production %s", r.Rule)
+			}
+			if !e.CS.MarkFiredByTags(cr, r.Tags) {
+				return fmt.Errorf("engine: replayed firing %s %v not live", r.Rule, r.Tags)
+			}
+		case wmlog.RecHalt:
+			e.halted = true
+		case wmlog.RecProgram:
+			settle()
+			if _, _, err := e.AddRules(r.Src); err != nil {
+				return fmt.Errorf("engine: replaying program change: %w", err)
+			}
+		default:
+			return fmt.Errorf("engine: replay hit unknown record type %d", r.Type)
+		}
+	}
+	settle()
+	return e.Matcher.CheckInvariants()
+}
+
+// CloneWith builds a forked engine over pre-cloned session state: the
+// caller supplies the cloned working memory, conflict set, and matcher
+// (or a fresh matcher it restored separately). Program, network epoch,
+// and compiled right-hand sides are shared — all read-only at execution
+// time. The compiled slice itself is copied so post-fork rule additions
+// never write through a shared backing array.
+func (e *Engine) CloneWith(wmem *wm.Memory, cs *conflict.Set, m Matcher, out io.Writer) *Engine {
+	return &Engine{
+		Prog:     e.Prog,
+		Net:      e.Net,
+		WM:       wmem,
+		CS:       cs,
+		Matcher:  m,
+		Out:      out,
+		compiled: append([]*rhs.Compiled(nil), e.compiled...),
+		halted:   e.halted,
+	}
+}

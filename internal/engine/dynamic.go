@@ -116,6 +116,11 @@ func (e *Engine) addRule(sw EpochSwapper, r *ops5.Rule) error {
 	e.epochStats.Swaps++
 	e.epochStats.RulesAdded++
 	e.epochStats.ReplayedWMEs += int64(len(live))
+	if e.journal != nil {
+		// One canonical form per applied change: a batch that fails midway
+		// leaves the log describing exactly the changes that took effect.
+		e.journal.RecordProgram(e.Prog.FormatRule(r))
+	}
 	return nil
 }
 
@@ -142,5 +147,8 @@ func (e *Engine) excise(sw EpochSwapper, name string) error {
 	e.epochStats.RulesExcised++
 	e.epochStats.RemovedEntries += int64(removed)
 	e.epochStats.RemovedInsts += int64(insts)
+	if e.journal != nil {
+		e.journal.RecordProgram(fmt.Sprintf("(excise %s)", name))
+	}
 	return nil
 }

@@ -112,7 +112,10 @@ type Engine struct {
 
 	// compiled is indexed by CompiledRule.Index — the monotonic rule ID,
 	// never reused across epochs — so it is sparse after excises.
-	compiled   []*rhs.Compiled
+	compiled []*rhs.Compiled
+	// journal, when non-nil, receives every durable event (see Journal in
+	// durable.go). Nil during replay and restore.
+	journal    Journal
 	halted     bool
 	rhsCount   int64
 	matchTime  time.Duration
@@ -130,6 +133,13 @@ func (e *Engine) traceChange(sign string, w *wm.WME) {
 
 // submit forwards a change to the matcher, accumulating match time.
 func (e *Engine) submit(sign bool, w *wm.WME) {
+	if e.journal != nil {
+		if sign {
+			e.journal.RecordMake(w)
+		} else {
+			e.journal.RecordRemove(w)
+		}
+	}
 	if e.WMListener != nil {
 		e.WMListener(sign, w)
 	}
@@ -209,7 +219,12 @@ func (e *Engine) env() *rhs.Env {
 			e.traceChange("=>WM", w)
 			e.submit(true, w)
 		},
-		Halt: func() { e.halted = true },
+		Halt: func() {
+			e.halted = true
+			if e.journal != nil {
+				e.journal.RecordHalt()
+			}
+		},
 	}
 }
 
@@ -275,6 +290,11 @@ func (e *Engine) Run(opt Options) (*Result, error) {
 			break
 		}
 		e.CS.MarkFired(inst)
+		if e.journal != nil {
+			// Journaled before the RHS runs so replay marks the firing at
+			// exactly this conflict-set state, ahead of its own WM changes.
+			e.journal.RecordFire(inst.Rule.Rule.Name, tags(inst.Wmes))
+		}
 		res.Cycles++
 		if opt.RecordFiring || opt.TraceFires {
 			f := Firing{Cycle: res.Cycles, Rule: inst.Rule.Rule.Name, TimeTags: tags(inst.Wmes)}

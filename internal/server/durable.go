@@ -1,0 +1,465 @@
+package server
+
+import (
+	"crypto/sha256"
+	"errors"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/conflict"
+	"repro/internal/engine"
+	"repro/internal/symbols"
+	"repro/internal/wm"
+	"repro/internal/wmlog"
+)
+
+// This file wires the wmlog durability layer into the session manager:
+// per-session delta logs written through the engine's journal hook,
+// snapshot compaction on a batch cadence, crash recovery at startup,
+// and rebuild-from-disk for the restore endpoint.
+
+// durState is the server's durability configuration, nil when the
+// daemon runs memory-only.
+type durState struct {
+	store     *wmlog.Store
+	policy    wmlog.SyncPolicy
+	snapEvery int // batches between automatic snapshot compactions; 0 = never
+}
+
+// ErrNotDurable reports a durability operation on a memory-only session
+// or server.
+var ErrNotDurable = errors.New("session has no durable state (server running without -data-dir)")
+
+// sessionJournal adapts a wmlog.Writer to the engine's Journal
+// interface. Append errors are sticky: the engine hooks cannot fail, so
+// the first error is kept and surfaced at the batch commit point.
+type sessionJournal struct {
+	w   *wmlog.Writer
+	tab *symbols.Table
+	err error
+}
+
+func (j *sessionJournal) append(rec *wmlog.Record) {
+	if j.err != nil {
+		return
+	}
+	j.err = j.w.Append(rec)
+}
+
+func (j *sessionJournal) RecordMake(w *wm.WME) {
+	j.append(&wmlog.Record{Type: wmlog.RecMake, Tag: w.TimeTag, Fields: wmlog.EncodeFields(w.Fields, j.tab)})
+}
+
+func (j *sessionJournal) RecordRemove(w *wm.WME) {
+	j.append(&wmlog.Record{Type: wmlog.RecRemove, Tag: w.TimeTag})
+}
+
+func (j *sessionJournal) RecordFire(rule string, tags []int) {
+	j.append(&wmlog.Record{Type: wmlog.RecFire, Rule: rule, Tags: tags})
+}
+
+func (j *sessionJournal) RecordHalt() {
+	j.append(&wmlog.Record{Type: wmlog.RecHalt})
+}
+
+func (j *sessionJournal) RecordProgram(src string) {
+	j.append(&wmlog.Record{Type: wmlog.RecProgram, Src: src})
+}
+
+// close releases the log file descriptor, flushing buffered frames
+// first so the on-disk log ends at a clean frame boundary. Used by
+// teardown and by the panic quarantine (a quarantined session must not
+// pin its fd, and its log must stay cleanly truncatable).
+func (j *sessionJournal) close() {
+	if j == nil || j.w.Closed() {
+		return
+	}
+	_ = j.w.Close()
+}
+
+// EnableDurability opens the data directory named in Options, then
+// rebuilds every persisted template and session found there. Call once,
+// after New and before serving. Returns how many entries were
+// recovered. With no DataDir configured it is a no-op.
+func (s *Server) EnableDurability() (recovered int, err error) {
+	if s.opt.DataDir == "" {
+		return 0, nil
+	}
+	policy, err := wmlog.ParseSyncPolicy(s.opt.Durability)
+	if err != nil {
+		return 0, err
+	}
+	store, err := wmlog.Open(s.opt.DataDir)
+	if err != nil {
+		return 0, err
+	}
+	s.dur = &durState{store: store, policy: policy, snapEvery: s.opt.SnapshotEvery}
+
+	tids, err := store.List(wmlog.KindTemplate)
+	if err != nil {
+		return 0, err
+	}
+	for _, id := range tids {
+		if err := s.recoverTemplate(id); err != nil {
+			return recovered, fmt.Errorf("recover template %s: %w", id, err)
+		}
+		recovered++
+	}
+	sids, err := store.List(wmlog.KindSession)
+	if err != nil {
+		return recovered, err
+	}
+	for _, id := range sids {
+		if err := s.recoverSession(id); err != nil {
+			return recovered, fmt.Errorf("recover session %s: %w", id, err)
+		}
+		recovered++
+	}
+	return recovered, nil
+}
+
+// metaFromConfig maps a session config onto the persisted Meta.
+func metaFromConfig(cfg *SessionConfig, backendName, tpl string) *wmlog.Meta {
+	return &wmlog.Meta{
+		Backend:   backendName,
+		Procs:     cfg.Procs,
+		Queues:    cfg.Queues,
+		Locks:     cfg.Locks,
+		HashLines: cfg.HashLines,
+		CSShards:  cfg.CSShards,
+		Template:  tpl,
+	}
+}
+
+// configFromMeta rebuilds the session config recovery needs.
+func configFromMeta(m *wmlog.Meta, program string) SessionConfig {
+	return SessionConfig{
+		Program:   program,
+		Matcher:   m.Backend,
+		Procs:     m.Procs,
+		Queues:    m.Queues,
+		Locks:     m.Locks,
+		HashLines: m.HashLines,
+		CSShards:  m.CSShards,
+	}
+}
+
+// persistSession creates the durable state of a brand-new session —
+// entry directory, program source, meta, empty delta log — and returns
+// the journal to install. templateID is empty for cold sessions.
+func (s *Server) persistSession(id string, cfg *SessionConfig, backendName, templateID string, hash [sha256.Size]byte, tab *symbols.Table) (*sessionJournal, string, error) {
+	dir, err := s.dur.store.EntryDir(wmlog.KindSession, id)
+	if err != nil {
+		return nil, "", err
+	}
+	if err := os.WriteFile(wmlog.ProgramPath(dir), []byte(cfg.Program), 0o644); err != nil {
+		return nil, "", fmt.Errorf("persist program: %w", err)
+	}
+	if err := wmlog.WriteMeta(dir, metaFromConfig(cfg, backendName, templateID)); err != nil {
+		return nil, "", fmt.Errorf("persist meta: %w", err)
+	}
+	w, err := wmlog.Create(wmlog.LogPath(dir), hash, s.dur.policy, 0)
+	if err != nil {
+		return nil, "", fmt.Errorf("create delta log: %w", err)
+	}
+	return &sessionJournal{w: w, tab: tab}, dir, nil
+}
+
+// commitLocked is the per-batch durability point: surface any sticky
+// journal error, commit the log under the sync policy, fold writer
+// stats, and run the snapshot cadence. Caller holds the session mutex.
+func (s *Server) commitLocked(sess *Session) error {
+	j := sess.journal
+	if j == nil {
+		return nil
+	}
+	if j.err == nil {
+		j.err = j.w.Commit()
+	}
+	if j.err != nil {
+		// The on-disk log no longer tracks the in-memory session; broken
+		// is the honest state. Restore rebuilds from the durable prefix.
+		sess.broken = fmt.Errorf("%w: journal: %v", ErrSessionBroken, j.err)
+		return sess.broken
+	}
+	s.foldDurLocked(sess)
+	sess.batches++
+	if s.dur.snapEvery > 0 && sess.batches >= s.dur.snapEvery {
+		if err := s.compactLocked(sess); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// foldDurLocked folds the session's writer-stats delta into /metrics.
+func (s *Server) foldDurLocked(sess *Session) {
+	if sess.journal == nil {
+		return
+	}
+	cur := sess.journal.w.Stats()
+	delta := cur
+	delta.Sub(&sess.prevDur)
+	sess.prevDur = cur
+	s.met.foldWriter(&delta)
+}
+
+// compactLocked snapshots the session and truncates its delta log.
+// The snapshot is written twice around the truncate so every crash
+// window leaves a (snapshot, log) pair that recovers to this state:
+// first covering the full log (a crash before the truncate replays
+// nothing past it), then covering the empty log (so subsequently
+// appended records replay from the log head). Caller holds the session
+// mutex; the engine must be settled.
+func (s *Server) compactLocked(sess *Session) error {
+	j := sess.journal
+	if j == nil {
+		return ErrNotDurable
+	}
+	if err := j.w.Commit(); err != nil {
+		return err
+	}
+	st := sess.eng.CaptureState()
+	st.ProgHash = sess.progHash
+	st.LogOffset = j.w.Size()
+	path := wmlog.SnapshotPath(sess.dir)
+	if _, err := wmlog.WriteSnapshot(path, st); err != nil {
+		return err
+	}
+	if err := j.w.Truncate(); err != nil {
+		return err
+	}
+	st.LogOffset = int64(wmlog.HeaderSize)
+	n, err := wmlog.WriteSnapshot(path, st)
+	if err != nil {
+		return err
+	}
+	sess.batches = 0
+	s.met.snapshotTaken(n)
+	return nil
+}
+
+// SnapshotResult reports an explicit snapshot request.
+type SnapshotResult struct {
+	Bytes   int    `json:"bytes"`
+	WMSize  int    `json:"wm_size"`
+	Hash    string `json:"hash"`
+	Elapsed int64  `json:"elapsed_us"`
+}
+
+// SnapshotSession snapshots one session on demand (POST
+// /sessions/{id}/snapshot), compacting its delta log.
+func (s *Server) SnapshotSession(id string) (*SnapshotResult, error) {
+	sess, err := s.session(id)
+	if err != nil {
+		return nil, err
+	}
+	sess.mu.Lock()
+	defer sess.mu.Unlock()
+	if sess.broken != nil {
+		return nil, sess.broken
+	}
+	if sess.journal == nil {
+		return nil, ErrNotDurable
+	}
+	start := time.Now()
+	if err := s.compactLocked(sess); err != nil {
+		return nil, err
+	}
+	st, err := wmlog.ReadSnapshot(wmlog.SnapshotPath(sess.dir))
+	if err != nil {
+		return nil, err
+	}
+	h, err := st.Hash()
+	if err != nil {
+		return nil, err
+	}
+	fi, err := os.Stat(wmlog.SnapshotPath(sess.dir))
+	if err != nil {
+		return nil, err
+	}
+	return &SnapshotResult{
+		Bytes:   int(fi.Size()),
+		WMSize:  sess.eng.WM.Len(),
+		Hash:    fmt.Sprintf("%x", h),
+		Elapsed: time.Since(start).Microseconds(),
+	}, nil
+}
+
+// rebuildFromDisk reconstructs a session's engine from its persisted
+// state: program parse/compile (cache-shared), snapshot restore through
+// the match machinery, delta-log replay, torn-tail truncation. Returns
+// the rebuilt parts; the caller installs them into a Session.
+func (s *Server) rebuildFromDisk(id string) (sess *Session, replayed int, torn bool, err error) {
+	dir, err := s.dur.store.EntryDir(wmlog.KindSession, id)
+	if err != nil {
+		return nil, 0, false, err
+	}
+	src, err := os.ReadFile(wmlog.ProgramPath(dir))
+	if err != nil {
+		return nil, 0, false, fmt.Errorf("read program: %w", err)
+	}
+	meta, err := wmlog.ReadMeta(dir)
+	if err != nil {
+		return nil, 0, false, fmt.Errorf("read meta: %w", err)
+	}
+	cfg := configFromMeta(meta, string(src))
+	sp, hash, _, err := s.sharedProg(cfg.Program)
+	if err != nil {
+		return nil, 0, false, err
+	}
+	cs := conflict.New(conflict.Config{Shards: cfg.CSShards})
+	m, backendName, err := newBackend(sp.net, cfg, cs)
+	if err != nil {
+		return nil, 0, false, err
+	}
+	sp.newEng.Lock()
+	eng, err := engine.New(sp.prog, sp.net, cs, m, nil)
+	sp.newEng.Unlock()
+	if err != nil {
+		m.Close()
+		return nil, 0, false, fmt.Errorf("rhs compile: %w", err)
+	}
+	fail := func(e error) (*Session, int, bool, error) {
+		m.Close()
+		return nil, 0, false, e
+	}
+
+	snap, err := wmlog.ReadSnapshot(wmlog.SnapshotPath(dir))
+	if err != nil {
+		return fail(fmt.Errorf("read snapshot: %w", err))
+	}
+	var from int64
+	if snap != nil {
+		if snap.ProgHash != hash {
+			return fail(fmt.Errorf("snapshot belongs to a different program"))
+		}
+		if err := eng.RestoreState(snap); err != nil {
+			return fail(fmt.Errorf("restore snapshot: %w", err))
+		}
+		from = snap.LogOffset
+	}
+	cleanLen := int64(0)
+	logPath := wmlog.LogPath(dir)
+	res, err := wmlog.ReadAll(logPath, from)
+	switch {
+	case errors.Is(err, os.ErrNotExist):
+		// No log yet (e.g. a fork persisted only its snapshot before a
+		// crash): recover from the snapshot alone.
+	case err != nil:
+		return fail(fmt.Errorf("read log: %w", err))
+	default:
+		if res.ProgHash != hash {
+			return fail(fmt.Errorf("delta log belongs to a different program"))
+		}
+		if err := eng.ReplayRecords(res.Records); err != nil {
+			return fail(fmt.Errorf("replay: %w", err))
+		}
+		replayed = len(res.Records)
+		torn = res.Torn
+		cleanLen = res.CleanLen
+	}
+	w, err := wmlog.Create(logPath, hash, s.dur.policy, cleanLen)
+	if err != nil {
+		return fail(fmt.Errorf("reopen log: %w", err))
+	}
+	sess = &Session{
+		ID:       id,
+		Backend:  backendName,
+		Created:  time.Now(),
+		sp:       sp,
+		eng:      eng,
+		matcher:  m,
+		dir:      dir,
+		progHash: hash,
+		journal:  &sessionJournal{w: w, tab: sp.prog.Symbols},
+		template: meta.Template,
+	}
+	return sess, replayed, torn, nil
+}
+
+// recoverSession rebuilds one persisted session at startup and
+// registers it under its original ID.
+func (s *Server) recoverSession(id string) error {
+	sess, replayed, torn, err := s.rebuildFromDisk(id)
+	if err != nil {
+		return err
+	}
+	sess.eng.SetJournal(sess.journal)
+	s.mu.Lock()
+	s.sessions[id] = sess
+	sess.sp.refs++
+	s.bumpNextID(id)
+	s.mu.Unlock()
+	s.met.sessionCreated()
+	s.met.recovered(replayed, torn)
+	s.foldStats(sess)
+	return nil
+}
+
+// bumpNextID advances the ID counter past a recovered entry's numeric
+// suffix so new sessions never collide with recovered ones. Caller
+// holds the server mutex.
+func (s *Server) bumpNextID(id string) {
+	var n uint64
+	if _, err := fmt.Sscanf(id, "s-%d", &n); err == nil && n > s.nextID {
+		s.nextID = n
+	}
+}
+
+// RestoreSession tears a session's live engine down and rebuilds it
+// from its durable state — the last snapshot plus the clean delta-log
+// prefix. It is both the rollback endpoint and the way out of a panic
+// quarantine: the rebuilt engine replaces the broken one.
+func (s *Server) RestoreSession(id string) (*SessionInfo, error) {
+	sess, err := s.session(id)
+	if err != nil {
+		return nil, err
+	}
+	sess.mu.Lock()
+	defer sess.mu.Unlock()
+	if sess.journal == nil {
+		return nil, ErrNotDurable
+	}
+	// Release the current engine: fold what its counters say, close the
+	// log fd so the rebuild can reopen the file, stop the matcher.
+	s.foldStatsLocked(sess)
+	s.foldDurLocked(sess)
+	sess.journal.close()
+	sess.matcher.Close()
+
+	fresh, replayed, torn, err := s.rebuildFromDisk(id)
+	if err != nil {
+		// The session is now unusable; keep it quarantined.
+		sess.broken = fmt.Errorf("%w: restore failed: %v", ErrSessionBroken, err)
+		return nil, sess.broken
+	}
+	fresh.eng.SetJournal(fresh.journal)
+	sess.eng = fresh.eng
+	sess.matcher = fresh.matcher
+	sess.journal = fresh.journal
+	sess.broken = nil
+	sess.batches = 0
+	sess.prev, sess.prevCont, sess.prevConf = fresh.prev, fresh.prevCont, fresh.prevConf
+	sess.prevEpoch, sess.prevMem, sess.prevDur = fresh.prevEpoch, fresh.prevMem, fresh.prevDur
+	s.met.recovered(replayed, torn)
+	s.foldStatsLocked(sess)
+	return &SessionInfo{
+		ID:       sess.ID,
+		Backend:  sess.Backend,
+		Rules:    len(sess.eng.Net.Rules),
+		Epoch:    sess.eng.Epoch(),
+		WMSize:   sess.eng.WM.Len(),
+		Halted:   sess.eng.Halted(),
+		Template: sess.template,
+	}, nil
+}
+
+// removeDurable deletes a session's or template's on-disk state when it
+// is deleted through the API (recovery must not resurrect it).
+func (s *Server) removeDurable(kind wmlog.Kind, id string) {
+	if s.dur != nil {
+		_ = s.dur.store.Remove(kind, id)
+	}
+}

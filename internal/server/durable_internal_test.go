@@ -1,0 +1,56 @@
+package server
+
+import (
+	"errors"
+	"testing"
+)
+
+// TestQuarantineReleasesLog checks the durable half of the panic
+// quarantine: a broken session's delta-log fd is closed (nothing pins
+// the file), and the log it leaves behind is a clean prefix — restore
+// rebuilds the session from it, clearing the quarantine.
+func TestQuarantineReleasesLog(t *testing.T) {
+	s := New(Options{DataDir: t.TempDir(), Durability: "commit"})
+	defer s.Close()
+	if _, err := s.EnableDurability(); err != nil {
+		t.Fatal(err)
+	}
+
+	info, err := s.CreateSession(SessionConfig{Program: qsrc})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Batch(info.ID, &BatchRequest{
+		Asserts: []WMEInput{{Class: "req", Attrs: map[string]any{"n": 1}}},
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	sess, err := s.session(info.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sess.journal == nil || sess.journal.w.Closed() {
+		t.Fatal("session should hold an open journal before the panic")
+	}
+	if err := s.guard(sess, func() error { panic("rhs gone rogue") }); !errors.Is(err, ErrSessionBroken) {
+		t.Fatalf("guard returned %v, want ErrSessionBroken", err)
+	}
+	if !sess.journal.w.Closed() {
+		t.Fatal("quarantined session still pins its delta-log fd")
+	}
+	if _, err := s.Batch(info.ID, &BatchRequest{}); !errors.Is(err, ErrSessionBroken) {
+		t.Fatalf("batch on broken session: %v", err)
+	}
+
+	// Restore is the way out: rebuild from the durable prefix.
+	if _, err := s.RestoreSession(info.ID); err != nil {
+		t.Fatalf("restore after quarantine: %v", err)
+	}
+	res, err := s.Batch(info.ID, &BatchRequest{
+		Asserts: []WMEInput{{Class: "req", Attrs: map[string]any{"n": 2}}},
+	})
+	if err != nil || len(res.Firings) != 1 {
+		t.Fatalf("batch after restore: res=%+v err=%v", res, err)
+	}
+}

@@ -16,7 +16,13 @@ import (
 //	POST   /sessions/{id}/retract    same handler; retract-flavored alias
 //	POST   /sessions/{id}/program    runtime build/excise (ProgramRequest body)
 //	GET    /sessions/{id}/wm         working-memory snapshot
+//	POST   /sessions/{id}/snapshot   snapshot + compact the delta log
+//	POST   /sessions/{id}/restore    rebuild the session from durable state
 //	DELETE /sessions/{id}            tear a session down
+//	POST   /templates                create a warm template (TemplateConfig body)
+//	GET    /templates                list templates
+//	POST   /templates/{id}/fork      fork a template into a new session
+//	DELETE /templates/{id}           drop a template
 //	GET    /metrics                  stats.Snapshot JSON
 //	GET    /healthz                  liveness + session count
 //
@@ -30,7 +36,13 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /sessions/{id}/retract", s.timed(s.handleBatch))
 	mux.HandleFunc("POST /sessions/{id}/program", s.timed(s.handleProgram))
 	mux.HandleFunc("GET /sessions/{id}/wm", s.timed(s.handleWM))
+	mux.HandleFunc("POST /sessions/{id}/snapshot", s.timed(s.handleSnapshot))
+	mux.HandleFunc("POST /sessions/{id}/restore", s.timed(s.handleRestore))
 	mux.HandleFunc("DELETE /sessions/{id}", s.timed(s.handleDelete))
+	mux.HandleFunc("POST /templates", s.timed(s.handleCreateTemplate))
+	mux.HandleFunc("GET /templates", s.timed(s.handleListTemplates))
+	mux.HandleFunc("POST /templates/{id}/fork", s.timed(s.handleFork))
+	mux.HandleFunc("DELETE /templates/{id}", s.timed(s.handleDeleteTemplate))
 	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, s.Snapshot())
 	})
@@ -79,7 +91,7 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 // statusOf maps server errors to HTTP statuses.
 func statusOf(err error) int {
 	switch {
-	case errors.Is(err, ErrNoSession):
+	case errors.Is(err, ErrNoSession), errors.Is(err, ErrNoTemplate):
 		return http.StatusNotFound
 	case errors.Is(err, ErrTooManySessions):
 		return http.StatusTooManyRequests
@@ -176,6 +188,97 @@ func (s *Server) handleWM(w http.ResponseWriter, r *http.Request) (int, error) {
 
 func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) (int, error) {
 	if err := s.DeleteSession(r.PathValue("id")); err != nil {
+		return statusOf(err), err
+	}
+	w.WriteHeader(http.StatusNoContent)
+	return http.StatusNoContent, nil
+}
+
+func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) (int, error) {
+	id := r.PathValue("id")
+	var (
+		res *SnapshotResult
+		err error
+	)
+	if poolErr := s.pool.do(r.Context(), func() {
+		res, err = s.SnapshotSession(id)
+	}); poolErr != nil {
+		return statusOf(poolErr), poolErr
+	}
+	if err != nil {
+		return statusOf(err), err
+	}
+	writeJSON(w, http.StatusOK, res)
+	return http.StatusOK, nil
+}
+
+func (s *Server) handleRestore(w http.ResponseWriter, r *http.Request) (int, error) {
+	id := r.PathValue("id")
+	var (
+		info *SessionInfo
+		err  error
+	)
+	if poolErr := s.pool.do(r.Context(), func() {
+		info, err = s.RestoreSession(id)
+	}); poolErr != nil {
+		return statusOf(poolErr), poolErr
+	}
+	if err != nil {
+		return statusOf(err), err
+	}
+	writeJSON(w, http.StatusOK, info)
+	return http.StatusOK, nil
+}
+
+func (s *Server) handleCreateTemplate(w http.ResponseWriter, r *http.Request) (int, error) {
+	var cfg TemplateConfig
+	if err := decodeBody(r, &cfg); err != nil {
+		return http.StatusBadRequest, err
+	}
+	if cfg.Program == "" {
+		return http.StatusBadRequest, errors.New("missing program source")
+	}
+	var (
+		info *TemplateInfo
+		err  error
+	)
+	if poolErr := s.pool.do(r.Context(), func() {
+		info, err = s.CreateTemplate(&cfg)
+	}); poolErr != nil {
+		return statusOf(poolErr), poolErr
+	}
+	if err != nil {
+		return statusOf(err), err
+	}
+	writeJSON(w, http.StatusCreated, info)
+	return http.StatusCreated, nil
+}
+
+func (s *Server) handleListTemplates(w http.ResponseWriter, r *http.Request) (int, error) {
+	writeJSON(w, http.StatusOK, map[string]any{"templates": s.Templates()})
+	return http.StatusOK, nil
+}
+
+func (s *Server) handleFork(w http.ResponseWriter, r *http.Request) (int, error) {
+	id := r.PathValue("id")
+	var (
+		res *ForkResult
+		err error
+	)
+	if poolErr := s.pool.do(r.Context(), func() {
+		res, err = s.Fork(id)
+	}); poolErr != nil {
+		return statusOf(poolErr), poolErr
+	}
+	if err != nil {
+		return statusOf(err), err
+	}
+	writeJSON(w, http.StatusCreated, res)
+	return http.StatusCreated, nil
+}
+
+func (s *Server) handleDeleteTemplate(w http.ResponseWriter, r *http.Request) (int, error) {
+	if err := s.DeleteTemplate(r.PathValue("id")); err != nil {
 		return statusOf(err), err
 	}
 	w.WriteHeader(http.StatusNoContent)

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"repro/internal/stats"
+	"repro/internal/wmlog"
 )
 
 // metrics is the server-wide counter sink: stats.Server counters, the
@@ -13,15 +14,19 @@ import (
 // guards it all — updates are a handful of integer adds, far off the
 // match hot path.
 type metrics struct {
-	mu     sync.Mutex
-	srv    stats.Server
-	match  stats.Match
-	cont   stats.Contention
-	conf   stats.Conflict
-	epoch  stats.Epoch
-	mem    stats.Memory
-	hists  map[string]*stats.Histogram // latency, µs
-	counts map[string]*stats.Histogram // sizes, items (ObserveCount)
+	mu    sync.Mutex
+	srv   stats.Server
+	match stats.Match
+	cont  stats.Contention
+	conf  stats.Conflict
+	epoch stats.Epoch
+	mem   stats.Memory
+	dur   stats.Durability
+	// lastSnap is when any session snapshot was last written, for the
+	// snapshot-age gauge.
+	lastSnap time.Time
+	hists    map[string]*stats.Histogram // latency, µs
+	counts   map[string]*stats.Histogram // sizes, items (ObserveCount)
 }
 
 // Latency histogram keys.
@@ -125,6 +130,54 @@ func (m *metrics) foldMemory(delta *stats.Memory) {
 	m.mu.Unlock()
 }
 
+// foldWriter folds one session's delta-log writer counters.
+func (m *metrics) foldWriter(delta *wmlog.WriterStats) {
+	m.mu.Lock()
+	m.dur.LogRecords += delta.Records
+	m.dur.LogBytes += delta.Bytes
+	m.dur.LogCommits += delta.Commits
+	m.dur.Fsyncs += delta.Fsyncs
+	m.dur.FsyncUs += delta.FsyncUs
+	m.mu.Unlock()
+}
+
+func (m *metrics) snapshotTaken(bytes int) {
+	m.mu.Lock()
+	m.dur.Snapshots++
+	m.dur.SnapshotBytes += int64(bytes)
+	m.lastSnap = time.Now()
+	m.mu.Unlock()
+}
+
+func (m *metrics) forked() {
+	m.mu.Lock()
+	m.dur.Forks++
+	m.mu.Unlock()
+}
+
+func (m *metrics) templateCreated() {
+	m.mu.Lock()
+	m.dur.TemplatesLive++
+	m.mu.Unlock()
+}
+
+func (m *metrics) templateClosed() {
+	m.mu.Lock()
+	m.dur.TemplatesLive--
+	m.mu.Unlock()
+}
+
+// recovered records one session or template rebuilt from durable state.
+func (m *metrics) recovered(replayed int, torn bool) {
+	m.mu.Lock()
+	m.dur.Recoveries++
+	m.dur.ReplayedRecords += int64(replayed)
+	if torn {
+		m.dur.TornTails++
+	}
+	m.mu.Unlock()
+}
+
 // Snapshot returns the point-in-time metrics view served by /metrics.
 func (s *Server) Snapshot() stats.Snapshot {
 	s.met.mu.Lock()
@@ -136,8 +189,14 @@ func (s *Server) Snapshot() stats.Snapshot {
 		Conflict:   s.met.conf,
 		Epoch:      s.met.epoch,
 		Memory:     s.met.mem,
+		Durability: s.met.dur,
 		Latency:    make(map[string]stats.LatencySummary, len(s.met.hists)),
 		Counts:     make(map[string]stats.CountSummary, len(s.met.counts)),
+	}
+	if s.met.lastSnap.IsZero() {
+		snap.Durability.SnapshotAgeSec = -1
+	} else {
+		snap.Durability.SnapshotAgeSec = int64(time.Since(s.met.lastSnap).Seconds())
 	}
 	for k, h := range s.met.hists {
 		snap.Latency[k] = h.Summary()

@@ -75,5 +75,8 @@ func (s *Server) Program(id string, req *ProgramRequest) (*ProgramResult, error)
 	res.ElapsedUs = time.Since(start).Microseconds()
 
 	s.foldStatsLocked(sess)
+	if err := s.commitLocked(sess); err != nil {
+		return nil, err
+	}
 	return res, nil
 }

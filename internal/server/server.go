@@ -26,6 +26,7 @@ import (
 	"repro/internal/seqmatch"
 	"repro/internal/stats"
 	"repro/internal/wm"
+	"repro/internal/wmlog"
 )
 
 // backend is what every matcher must provide to be hosted: the engine
@@ -49,6 +50,16 @@ type Options struct {
 	DefaultTimeout time.Duration
 	// MaxBatch caps WM changes per request (default 4096).
 	MaxBatch int
+	// DataDir, when set, enables the durability layer: per-session WM
+	// delta logs, snapshots and templates persisted under this directory
+	// and recovered by EnableDurability on restart.
+	DataDir string
+	// Durability selects the log sync policy: "none", "commit" (fsync
+	// once per batch, the default when a DataDir is set) or "always".
+	Durability string
+	// SnapshotEvery compacts a session's delta log into a snapshot after
+	// this many batches (0 = only on explicit snapshot requests).
+	SnapshotEvery int
 }
 
 func (o *Options) fill() {
@@ -64,6 +75,9 @@ func (o *Options) fill() {
 	if o.MaxBatch <= 0 {
 		o.MaxBatch = 4096
 	}
+	if o.DataDir != "" && o.Durability == "" {
+		o.Durability = "commit"
+	}
 }
 
 // Server is the session manager. Create one with New, serve its
@@ -72,11 +86,17 @@ type Server struct {
 	opt  Options
 	pool *pool
 
-	mu       sync.RWMutex
-	sessions map[string]*Session
-	programs map[[sha256.Size]byte]*sharedProgram
-	nextID   uint64
-	closed   bool
+	mu        sync.RWMutex
+	sessions  map[string]*Session
+	programs  map[[sha256.Size]byte]*sharedProgram
+	templates map[string]*template
+	nextID    uint64
+	nextTpl   uint64
+	closed    bool
+
+	// dur is the durability layer, nil when running memory-only. Set
+	// once by EnableDurability before serving, then read-only.
+	dur *durState
 
 	met metrics
 }
@@ -119,15 +139,24 @@ type Session struct {
 	// counters; like Conflict's gauges, per-session net changes sum to
 	// the current fleet-wide totals.
 	prevMem stats.Memory
+
+	// Durable state, zero-valued when the server runs memory-only.
+	dir      string            // entry directory under the data dir
+	progHash [sha256.Size]byte // pins the delta log to the program
+	journal  *sessionJournal   // engine journal over the delta log
+	template string            // template this session was forked from
+	batches  int               // batches since the last snapshot
+	prevDur  wmlog.WriterStats // writer counters already folded
 }
 
 // New builds a server and starts its worker pool.
 func New(opt Options) *Server {
 	opt.fill()
 	s := &Server{
-		opt:      opt,
-		sessions: make(map[string]*Session),
-		programs: make(map[[sha256.Size]byte]*sharedProgram),
+		opt:       opt,
+		sessions:  make(map[string]*Session),
+		programs:  make(map[[sha256.Size]byte]*sharedProgram),
+		templates: make(map[string]*template),
 	}
 	s.pool = newPool(opt.Workers)
 	s.met.init()
@@ -148,11 +177,22 @@ func (s *Server) Close() {
 		live = append(live, sess)
 	}
 	s.sessions = map[string]*Session{}
+	tpls := make([]*template, 0, len(s.templates))
+	for _, tpl := range s.templates {
+		tpls = append(tpls, tpl)
+	}
+	s.templates = map[string]*template{}
 	s.mu.Unlock()
 
 	s.pool.close()
 	for _, sess := range live {
 		s.teardown(sess)
+	}
+	for _, tpl := range tpls {
+		tpl.mu.Lock()
+		tpl.matcher.Close()
+		tpl.mu.Unlock()
+		s.met.templateClosed()
 	}
 }
 
@@ -185,6 +225,7 @@ type SessionInfo struct {
 	SharedNet bool   `json:"shared_net"` // create: network was cache-hit; listing: other live sessions share it
 	WMSize    int    `json:"wm_size"`    // after the program's top-level makes
 	Halted    bool   `json:"halted"`
+	Template  string `json:"template,omitempty"` // template this session was forked from
 }
 
 // Errors the HTTP layer maps to status codes.
@@ -196,13 +237,43 @@ var (
 	ErrBatchTooLarge   = errors.New("batch exceeds limit")
 )
 
+// sharedProg resolves program source to the cached compiled program,
+// parsing and compiling on a miss. shared reports a cache hit.
+func (s *Server) sharedProg(src string) (sp *sharedProgram, hash [sha256.Size]byte, shared bool, err error) {
+	hash = sha256.Sum256([]byte(src))
+	s.mu.Lock()
+	sp, shared = s.programs[hash]
+	s.mu.Unlock()
+	if sp != nil {
+		return sp, hash, shared, nil
+	}
+	prog, err := ops5.Parse(src)
+	if err != nil {
+		return nil, hash, false, fmt.Errorf("parse: %w", err)
+	}
+	net, err := rete.Compile(prog)
+	if err != nil {
+		return nil, hash, false, fmt.Errorf("compile: %w", err)
+	}
+	s.mu.Lock()
+	if cached, ok := s.programs[hash]; ok {
+		sp, shared = cached, true // lost a compile race; use the winner
+	} else {
+		sp = &sharedProgram{prog: prog, net: net}
+		s.programs[hash] = sp
+	}
+	s.mu.Unlock()
+	return sp, hash, shared, nil
+}
+
 // CreateSession compiles (or reuses) the program, builds the matcher
 // and engine, runs the program's top-level makes, and registers the
 // session. The initial match runs on the caller's goroutine under the
-// same panic quarantine as requests.
+// same panic quarantine as requests. With durability enabled the
+// session ID is reserved up front so the delta log exists before the
+// first journaled change: the log records everything from empty working
+// memory, top-level makes included.
 func (s *Server) CreateSession(cfg SessionConfig) (*SessionInfo, error) {
-	hash := sha256.Sum256([]byte(cfg.Program))
-
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
@@ -212,26 +283,13 @@ func (s *Server) CreateSession(cfg SessionConfig) (*SessionInfo, error) {
 		s.mu.Unlock()
 		return nil, fmt.Errorf("%w (%d)", ErrTooManySessions, s.opt.MaxSessions)
 	}
-	sp, shared := s.programs[hash]
+	s.nextID++
+	id := fmt.Sprintf("s-%06d", s.nextID)
 	s.mu.Unlock()
 
-	if sp == nil {
-		prog, err := ops5.Parse(cfg.Program)
-		if err != nil {
-			return nil, fmt.Errorf("parse: %w", err)
-		}
-		net, err := rete.Compile(prog)
-		if err != nil {
-			return nil, fmt.Errorf("compile: %w", err)
-		}
-		s.mu.Lock()
-		if cached, ok := s.programs[hash]; ok {
-			sp, shared = cached, true // lost a compile race; use the winner
-		} else {
-			sp = &sharedProgram{prog: prog, net: net}
-			s.programs[hash] = sp
-		}
-		s.mu.Unlock()
+	sp, hash, shared, err := s.sharedProg(cfg.Program)
+	if err != nil {
+		return nil, err
 	}
 
 	cs := conflict.New(conflict.Config{Shards: cfg.CSShards})
@@ -247,25 +305,47 @@ func (s *Server) CreateSession(cfg SessionConfig) (*SessionInfo, error) {
 		return nil, fmt.Errorf("rhs compile: %w", err)
 	}
 	sess := &Session{
-		Backend: backendName,
-		Created: time.Now(),
-		sp:      sp,
-		eng:     eng,
-		matcher: m,
+		ID:       id,
+		Backend:  backendName,
+		Created:  time.Now(),
+		sp:       sp,
+		eng:      eng,
+		matcher:  m,
+		progHash: hash,
+	}
+	if s.dur != nil {
+		j, dir, err := s.persistSession(id, &cfg, backendName, "", hash, sp.prog.Symbols)
+		if err != nil {
+			m.Close()
+			s.removeDurable(wmlog.KindSession, id)
+			return nil, err
+		}
+		sess.journal = j
+		sess.dir = dir
+		eng.SetJournal(j)
 	}
 	if err := s.guard(sess, func() error { return eng.Init() }); err != nil {
+		sess.journal.close()
 		m.Close()
+		s.removeDurable(wmlog.KindSession, id)
 		return nil, fmt.Errorf("init: %w", err)
+	}
+	if sess.journal != nil {
+		if err := sess.journal.w.Commit(); err != nil {
+			sess.journal.close()
+			m.Close()
+			s.removeDurable(wmlog.KindSession, id)
+			return nil, fmt.Errorf("commit init log: %w", err)
+		}
 	}
 
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
+		sess.journal.close()
 		m.Close()
 		return nil, ErrClosed
 	}
-	s.nextID++
-	sess.ID = fmt.Sprintf("s-%06d", s.nextID)
 	s.sessions[sess.ID] = sess
 	sp.refs++
 	s.mu.Unlock()
@@ -348,14 +428,19 @@ func (s *Server) DeleteSession(id string) error {
 		return fmt.Errorf("%w: %q", ErrNoSession, id)
 	}
 	s.teardown(sess)
+	s.removeDurable(wmlog.KindSession, id)
 	return nil
 }
 
-// teardown folds the session's final counters and stops its matcher.
+// teardown folds the session's final counters, flushes and closes its
+// delta log (the SIGTERM drain path runs through here), and stops its
+// matcher.
 func (s *Server) teardown(sess *Session) {
 	sess.mu.Lock()
 	defer sess.mu.Unlock()
 	s.foldStatsLocked(sess)
+	s.foldDurLocked(sess)
+	sess.journal.close()
 	sess.matcher.Close()
 	s.met.sessionClosed()
 }
@@ -369,6 +454,10 @@ func (s *Server) guard(sess *Session, fn func() error) (err error) {
 		if p := recover(); p != nil {
 			err = fmt.Errorf("%w: %v", ErrSessionBroken, p)
 			sess.broken = err
+			// Release the delta-log fd: a quarantined session must not pin
+			// it, and closing flushes whole frames only, so the log stays
+			// cleanly truncatable for restore or the next recovery.
+			sess.journal.close()
 			s.met.panicked()
 		}
 	}()
@@ -557,6 +646,9 @@ func (s *Server) Batch(id string, req *BatchRequest) (*BatchResult, error) {
 	res.ElapsedUs = time.Since(start).Microseconds()
 
 	s.foldStatsLocked(sess)
+	if err := s.commitLocked(sess); err != nil {
+		return nil, err
+	}
 	s.met.batchDone(len(req.Asserts), len(req.Retracts), res, time.Since(start))
 	return res, nil
 }
@@ -587,6 +679,7 @@ func (s *Server) Sessions() []SessionInfo {
 			ID:        sess.ID,
 			Backend:   sess.Backend,
 			SharedNet: sess.sp.refs > 1,
+			Template:  sess.template,
 		}
 		sess.mu.Lock()
 		// The session's network may have diverged from the shared base

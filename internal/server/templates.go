@@ -1,0 +1,442 @@
+package server
+
+import (
+	"crypto/sha256"
+	"errors"
+	"fmt"
+	"os"
+	"sync"
+	"time"
+
+	"repro/internal/conflict"
+	"repro/internal/engine"
+	"repro/internal/seqmatch"
+	"repro/internal/wm"
+	"repro/internal/wmlog"
+)
+
+// A template is a warm session held for forking: program loaded and
+// compiled, base facts asserted, matcher settled. Forks clone its
+// working memory, conflict set and token table by structure copy
+// (sequential backends) or restore its snapshot through a fresh matcher
+// (parallel backends) — either way they skip the program parse, network
+// compile, RHS compile and base-fact match a cold session pays. The
+// template itself never runs requests and never changes after creation;
+// its snapshot hash pins that immutability.
+type template struct {
+	ID      string
+	Backend string
+	Created time.Time
+
+	cfg  SessionConfig
+	sp   *sharedProgram
+	hash [sha256.Size]byte
+	dir  string // durable entry dir; "" when memory-only
+
+	mu      sync.Mutex
+	eng     *engine.Engine
+	matcher backend
+	snap    *wmlog.Snapshot
+	snapRaw []byte   // one encoding shared by every fork's durable state
+	snapSum [32]byte // content hash (offset-independent)
+	forks   int64
+}
+
+// ErrNoTemplate reports an unknown template ID.
+var ErrNoTemplate = errors.New("no such template")
+
+// TemplateConfig creates a template: a session config plus the base
+// facts to assert before the template settles.
+type TemplateConfig struct {
+	SessionConfig
+	Asserts []WMEInput `json:"asserts,omitempty"`
+}
+
+// TemplateInfo describes a template.
+type TemplateInfo struct {
+	ID           string `json:"id"`
+	Backend      string `json:"backend"`
+	Rules        int    `json:"rules"`
+	WMSize       int    `json:"wm_size"`
+	SnapshotHash string `json:"snapshot_hash"`
+	Forks        int64  `json:"forks"`
+}
+
+// CreateTemplate builds a warm template session: compile (or reuse) the
+// program, run its top-level makes, assert the base facts, settle the
+// matcher, and pin the settled state in an encoded snapshot.
+func (s *Server) CreateTemplate(cfg *TemplateConfig) (info *TemplateInfo, err error) {
+	// A template build runs engine code on caller input; quarantine
+	// panics the same way session requests do.
+	defer func() {
+		if p := recover(); p != nil {
+			info, err = nil, fmt.Errorf("%w: %v", ErrSessionBroken, p)
+			s.met.panicked()
+		}
+	}()
+
+	sp, hash, _, err := s.sharedProg(cfg.Program)
+	if err != nil {
+		return nil, err
+	}
+	fieldsList := make([][]wm.Value, 0, len(cfg.Asserts))
+	for i := range cfg.Asserts {
+		fields, err := buildFields(sp.prog, &cfg.Asserts[i])
+		if err != nil {
+			return nil, fmt.Errorf("asserts[%d]: %w", i, err)
+		}
+		fieldsList = append(fieldsList, fields)
+	}
+	cs := conflict.New(conflict.Config{Shards: cfg.CSShards})
+	m, backendName, err := newBackend(sp.net, cfg.SessionConfig, cs)
+	if err != nil {
+		return nil, err
+	}
+	sp.newEng.Lock()
+	eng, err := engine.New(sp.prog, sp.net, cs, m, nil)
+	sp.newEng.Unlock()
+	if err != nil {
+		m.Close()
+		return nil, fmt.Errorf("rhs compile: %w", err)
+	}
+	if err := eng.Init(); err != nil {
+		m.Close()
+		return nil, fmt.Errorf("init: %w", err)
+	}
+	if len(fieldsList) > 0 {
+		if _, err := eng.AssertBatch(fieldsList); err != nil {
+			m.Close()
+			return nil, fmt.Errorf("base facts: %w", err)
+		}
+	}
+
+	st := eng.CaptureState()
+	st.ProgHash = hash
+	raw, err := st.Encode()
+	if err != nil {
+		m.Close()
+		return nil, err
+	}
+	sum, err := st.Hash()
+	if err != nil {
+		m.Close()
+		return nil, err
+	}
+
+	tpl := &template{
+		Backend: backendName,
+		Created: time.Now(),
+		cfg:     cfg.SessionConfig,
+		sp:      sp,
+		hash:    hash,
+		eng:     eng,
+		matcher: m,
+		snap:    st,
+		snapRaw: raw,
+		snapSum: sum,
+	}
+
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		m.Close()
+		return nil, ErrClosed
+	}
+	s.nextTpl++
+	tpl.ID = fmt.Sprintf("t-%06d", s.nextTpl)
+	s.templates[tpl.ID] = tpl
+	sp.refs++
+	s.mu.Unlock()
+
+	if s.dur != nil {
+		if err := s.persistTemplate(tpl); err != nil {
+			s.dropTemplate(tpl.ID)
+			return nil, err
+		}
+	}
+	s.met.templateCreated()
+	return s.templateInfo(tpl), nil
+}
+
+// persistTemplate writes a template's durable state: program, meta and
+// the pinned snapshot. Templates have no delta log — they never change.
+func (s *Server) persistTemplate(tpl *template) error {
+	dir, err := s.dur.store.EntryDir(wmlog.KindTemplate, tpl.ID)
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(wmlog.ProgramPath(dir), []byte(tpl.cfg.Program), 0o644); err != nil {
+		return fmt.Errorf("persist template program: %w", err)
+	}
+	if err := wmlog.WriteMeta(dir, metaFromConfig(&tpl.cfg, tpl.Backend, "")); err != nil {
+		return fmt.Errorf("persist template meta: %w", err)
+	}
+	if err := wmlog.WriteSnapshotBytes(wmlog.SnapshotPath(dir), tpl.snapRaw); err != nil {
+		return fmt.Errorf("persist template snapshot: %w", err)
+	}
+	tpl.dir = dir
+	return nil
+}
+
+// recoverTemplate rebuilds one persisted template at startup: the
+// snapshot restores through a fresh engine, re-warming it for forks.
+func (s *Server) recoverTemplate(id string) error {
+	dir, err := s.dur.store.EntryDir(wmlog.KindTemplate, id)
+	if err != nil {
+		return err
+	}
+	src, err := os.ReadFile(wmlog.ProgramPath(dir))
+	if err != nil {
+		return fmt.Errorf("read program: %w", err)
+	}
+	meta, err := wmlog.ReadMeta(dir)
+	if err != nil {
+		return fmt.Errorf("read meta: %w", err)
+	}
+	raw, err := os.ReadFile(wmlog.SnapshotPath(dir))
+	if err != nil {
+		return fmt.Errorf("read snapshot: %w", err)
+	}
+	st, err := wmlog.DecodeSnapshot(raw)
+	if err != nil {
+		return err
+	}
+	cfg := configFromMeta(meta, string(src))
+	sp, hash, _, err := s.sharedProg(cfg.Program)
+	if err != nil {
+		return err
+	}
+	if st.ProgHash != hash {
+		return fmt.Errorf("template snapshot belongs to a different program")
+	}
+	cs := conflict.New(conflict.Config{Shards: cfg.CSShards})
+	m, backendName, err := newBackend(sp.net, cfg, cs)
+	if err != nil {
+		return err
+	}
+	sp.newEng.Lock()
+	eng, err := engine.New(sp.prog, sp.net, cs, m, nil)
+	sp.newEng.Unlock()
+	if err != nil {
+		m.Close()
+		return fmt.Errorf("rhs compile: %w", err)
+	}
+	if err := eng.RestoreState(st); err != nil {
+		m.Close()
+		return fmt.Errorf("restore: %w", err)
+	}
+	sum, err := st.Hash()
+	if err != nil {
+		m.Close()
+		return err
+	}
+	tpl := &template{
+		ID:      id,
+		Backend: backendName,
+		Created: time.Now(),
+		cfg:     cfg,
+		sp:      sp,
+		hash:    hash,
+		dir:     dir,
+		eng:     eng,
+		matcher: m,
+		snap:    st,
+		snapRaw: raw,
+		snapSum: sum,
+	}
+	s.mu.Lock()
+	s.templates[id] = tpl
+	sp.refs++
+	var n uint64
+	if _, err := fmt.Sscanf(id, "t-%d", &n); err == nil && n > s.nextTpl {
+		s.nextTpl = n
+	}
+	s.mu.Unlock()
+	s.met.templateCreated()
+	return nil
+}
+
+func (s *Server) templateInfo(tpl *template) *TemplateInfo {
+	return &TemplateInfo{
+		ID:           tpl.ID,
+		Backend:      tpl.Backend,
+		Rules:        len(tpl.sp.net.Rules),
+		WMSize:       len(tpl.snap.Wmes),
+		SnapshotHash: fmt.Sprintf("%x", tpl.snapSum),
+		Forks:        tpl.forks,
+	}
+}
+
+// Templates lists the server's warm templates.
+func (s *Server) Templates() []*TemplateInfo {
+	s.mu.RLock()
+	tpls := make([]*template, 0, len(s.templates))
+	for _, tpl := range s.templates {
+		tpls = append(tpls, tpl)
+	}
+	s.mu.RUnlock()
+	out := make([]*TemplateInfo, 0, len(tpls))
+	for _, tpl := range tpls {
+		tpl.mu.Lock()
+		out = append(out, s.templateInfo(tpl))
+		tpl.mu.Unlock()
+	}
+	return out
+}
+
+// dropTemplate unregisters a template and stops its matcher.
+func (s *Server) dropTemplate(id string) *template {
+	s.mu.Lock()
+	tpl, ok := s.templates[id]
+	if ok {
+		delete(s.templates, id)
+		tpl.sp.refs--
+	}
+	s.mu.Unlock()
+	if !ok {
+		return nil
+	}
+	tpl.mu.Lock()
+	tpl.matcher.Close()
+	tpl.mu.Unlock()
+	s.met.templateClosed()
+	return tpl
+}
+
+// DeleteTemplate removes a template and its durable state. Sessions
+// already forked from it are unaffected — they own their own state.
+func (s *Server) DeleteTemplate(id string) error {
+	if tpl := s.dropTemplate(id); tpl == nil {
+		return fmt.Errorf("%w: %q", ErrNoTemplate, id)
+	}
+	s.removeDurable(wmlog.KindTemplate, id)
+	return nil
+}
+
+// ForkResult describes a session created from a template.
+type ForkResult struct {
+	SessionInfo
+	SpawnUs int64 `json:"spawn_us"`
+}
+
+// Fork clones a template into a new session. Sequential backends take
+// the copy-on-write fast path — working memory, conflict set and token
+// table are structure-copied, sharing every immutable WME and token
+// slice with the template — and skip parse, compile, RHS compile and
+// matching entirely. Parallel backends restore the template's snapshot
+// through a fresh matcher (still skipping the compile pipeline). The
+// template is locked during the clone and never mutated.
+func (s *Server) Fork(templateID string) (*ForkResult, error) {
+	start := time.Now()
+	s.mu.RLock()
+	tpl := s.templates[templateID]
+	closed := s.closed
+	nSess := len(s.sessions)
+	s.mu.RUnlock()
+	if closed {
+		return nil, ErrClosed
+	}
+	if tpl == nil {
+		return nil, fmt.Errorf("%w: %q", ErrNoTemplate, templateID)
+	}
+	if nSess >= s.opt.MaxSessions {
+		return nil, fmt.Errorf("%w (%d)", ErrTooManySessions, s.opt.MaxSessions)
+	}
+
+	tpl.mu.Lock()
+	var (
+		eng *engine.Engine
+		m   backend
+		err error
+	)
+	if sm, ok := tpl.matcher.(*seqmatch.Matcher); ok {
+		cs := tpl.eng.CS.Clone()
+		nm := sm.Clone(cs)
+		eng = tpl.eng.CloneWith(tpl.eng.WM.Clone(), cs, nm, nil)
+		m = nm
+	} else {
+		cs := conflict.New(conflict.Config{Shards: tpl.cfg.CSShards})
+		m, _, err = newBackend(tpl.sp.net, tpl.cfg, cs)
+		if err == nil {
+			tpl.sp.newEng.Lock()
+			eng, err = engine.New(tpl.sp.prog, tpl.sp.net, cs, m, nil)
+			tpl.sp.newEng.Unlock()
+			if err == nil {
+				err = eng.RestoreState(tpl.snap)
+			}
+		}
+	}
+	if err == nil {
+		tpl.forks++
+	}
+	tpl.mu.Unlock()
+	if err != nil {
+		if m != nil {
+			m.Close()
+		}
+		return nil, fmt.Errorf("fork %s: %w", templateID, err)
+	}
+
+	sess := &Session{
+		Backend:  tpl.Backend,
+		Created:  time.Now(),
+		sp:       tpl.sp,
+		eng:      eng,
+		matcher:  m,
+		progHash: tpl.hash,
+		template: tpl.ID,
+	}
+
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		m.Close()
+		return nil, ErrClosed
+	}
+	s.nextID++
+	sess.ID = fmt.Sprintf("s-%06d", s.nextID)
+	s.sessions[sess.ID] = sess
+	tpl.sp.refs++
+	s.mu.Unlock()
+
+	if s.dur != nil {
+		if err := s.persistFork(sess, tpl); err != nil {
+			_ = s.DeleteSession(sess.ID)
+			return nil, err
+		}
+		sess.eng.SetJournal(sess.journal)
+	}
+	s.met.sessionCreated()
+	s.met.forked()
+	s.foldStats(sess)
+	return &ForkResult{
+		SessionInfo: SessionInfo{
+			ID:        sess.ID,
+			Backend:   sess.Backend,
+			Rules:     len(sess.eng.Net.Rules),
+			SharedNet: true,
+			WMSize:    sess.eng.WM.Len(),
+			Halted:    sess.eng.Halted(),
+			Template:  tpl.ID,
+		},
+		SpawnUs: time.Since(start).Microseconds(),
+	}, nil
+}
+
+// persistFork writes a forked session's durable state: the template's
+// pinned snapshot bytes (one encoding shared across forks), a fresh
+// empty delta log, program and meta. Recovery restores the snapshot
+// then replays the fork's own log.
+func (s *Server) persistFork(sess *Session, tpl *template) error {
+	j, dir, err := s.persistSession(sess.ID, &tpl.cfg, tpl.Backend, tpl.ID, tpl.hash, tpl.sp.prog.Symbols)
+	if err != nil {
+		return err
+	}
+	if err := wmlog.WriteSnapshotBytes(wmlog.SnapshotPath(dir), tpl.snapRaw); err != nil {
+		j.close()
+		return fmt.Errorf("persist fork snapshot: %w", err)
+	}
+	sess.journal = j
+	sess.dir = dir
+	return nil
+}

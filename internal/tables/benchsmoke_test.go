@@ -44,6 +44,14 @@ type benchBaseline struct {
 	// MaxBigmemDepth caps the segregated table's high-water line depth:
 	// adaptive growth must keep lines shallow as the WM climbs.
 	MaxBigmemDepth int64 `json:"max_bigmem_line_depth"`
+	// MinForkSpeedup is the minimum fork-vs-cold session-spawn ratio
+	// (time to a served first WM batch). Forking a warm template
+	// structure-copies its state and skips parse, network compile, RHS
+	// compile and the base-fact match, so the ratio is a structural
+	// property — losing the copy-on-write fast path (falling back to a
+	// re-match) collapses it toward 1. Measured ~10-25x; gated well
+	// below to absorb shared-host noise.
+	MinForkSpeedup float64 `json:"min_fork_speedup"`
 }
 
 // TestBenchSmoke is the `make bench-smoke` gate: a 1-rep match-kernel +
@@ -165,6 +173,20 @@ func TestBenchSmoke(t *testing.T) {
 		}
 	}
 
+	// Session-spawn gate: fork a warm template vs build the same session
+	// cold. Sized down from the recorded BENCH_durability.json run but
+	// the same structural comparison.
+	dur, err := RunDurabilityBench(DurabilityBenchOptions{Items: 1000, Rules: 48, Reps: 5, Batches: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("spawn cold %d us  fork %d us  speedup %.1fx  (recovery %d records in %d us)",
+		dur.ColdSpawnUs, dur.ForkSpawnUs, dur.ForkSpeedup, dur.RecoveryRecords, dur.RecoveryUs)
+	if mode != "update" && dur.ForkSpeedup < base.MinForkSpeedup {
+		t.Errorf("fork spawn only %.2fx faster than cold (< %.2fx) — the template fork fast path regressed",
+			dur.ForkSpeedup, base.MinForkSpeedup)
+	}
+
 	if mode == "update" {
 		out := benchBaseline{
 			MaxChurnRatio:       3,
@@ -174,6 +196,7 @@ func TestBenchSmoke(t *testing.T) {
 			MaxBigmemOppPerPair: 2,
 			MinBigmemGain:       2,
 			MaxBigmemDepth:      64,
+			MinForkSpeedup:      3,
 		}
 		data, err := json.MarshalIndent(out, "", "  ")
 		if err != nil {

@@ -1,0 +1,254 @@
+// Session-spawn and crash-recovery benchmarks for the durability
+// layer. These drive the real session manager (internal/server), not a
+// bare matcher: the fork-vs-cold comparison measures exactly what a
+// client sees — time from "I want a session over this warm rule base"
+// to "my first WM batch has been served" — and the recovery benchmark
+// measures delta-log replay throughput on restart. cmd/psmbench
+// -durability runs on top of this file and records the results in
+// BENCH_durability.json; the bench-smoke gate pins the fork-vs-cold
+// ratio, which is a host-independent structural property (a fork skips
+// parse, network compile, RHS compile and the base-fact match).
+package tables
+
+import (
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/server"
+)
+
+// DurabilityBenchOptions sizes the durability benchmarks.
+type DurabilityBenchOptions struct {
+	// Items is the warm rule base: that many (item ...) facts asserted
+	// into the template before it settles (default 2000).
+	Items int
+	// Rules is the generated rule count (default 64). Cold spawn scales
+	// with it (parse, network compile, RHS compile, alpha fan-out of the
+	// base-fact match); fork does not — the network is shared.
+	Rules int
+	// Reps per spawn mode; the median is recorded (default 5).
+	Reps int
+	// Batches of WM churn written to the delta log before the simulated
+	// crash in the recovery benchmark (default 50).
+	Batches int
+	// DataDir hosts the durable phase; empty = a throwaway temp dir.
+	DataDir string
+	// Backend picks the matcher (default "vs2", the fork fast path).
+	Backend string
+}
+
+func (o *DurabilityBenchOptions) fill() {
+	if o.Items <= 0 {
+		o.Items = 2000
+	}
+	if o.Rules <= 0 {
+		o.Rules = 64
+	}
+	if o.Reps <= 0 {
+		o.Reps = 5
+	}
+	if o.Batches <= 0 {
+		o.Batches = 50
+	}
+	if o.Backend == "" {
+		o.Backend = "vs2"
+	}
+}
+
+// DurabilityReport is the BENCH_durability.json payload.
+type DurabilityReport struct {
+	Backend string `json:"backend"`
+	Items   int    `json:"items"`
+	Rules   int    `json:"rules"`
+	Reps    int    `json:"reps"`
+
+	// Session spawn: median µs from the create/fork call to the first
+	// served WM batch. Cold pays parse+compile+RHS+base-fact match (the
+	// parse/compile half on a cache-defeating program variant, as a real
+	// new rule base would); fork structure-copies the template.
+	ColdSpawnUs  int64   `json:"cold_spawn_us"`
+	ForkSpawnUs  int64   `json:"fork_spawn_us"`
+	ForkSpeedup  float64 `json:"fork_speedup"`
+	ForkWMShared int     `json:"fork_wm_size"` // WM size every fork starts with
+
+	// Crash recovery: delta-log replay on restart.
+	RecoveryBatches   int     `json:"recovery_batches"`
+	RecoveryRecords   int64   `json:"recovery_records"`
+	RecoveryUs        int64   `json:"recovery_us"`
+	RecoveryRecPerSec float64 `json:"recovery_records_per_sec"`
+	LogBytes          int64   `json:"log_bytes"`
+}
+
+// durBenchSrc generates the spawn workload: rules two-way joins over
+// the warm item base, each rule keyed to one item by constant tests so
+// a probe fires exactly one of them. Every base-fact assertion runs the
+// full alpha fan-out (one constant test per rule), so the cold match
+// cost scales with rules × items while the fork cost does not. The
+// variant comment defeats the byte-identical program cache for cold
+// spawns — a genuinely new rule base never gets a cache hit.
+func durBenchSrc(rules, variant int) string {
+	var b strings.Builder
+	b.WriteString("(literalize item n val)\n(literalize probe n)\n")
+	for r := 1; r <= rules; r++ {
+		fmt.Fprintf(&b, `(p bump-%d
+  (probe ^n %d)
+  (item ^n %d ^val <v>)
+-->
+  (modify 2 ^val (compute <v> + 1))
+  (remove 1))
+`, r, r, r)
+	}
+	fmt.Fprintf(&b, "; variant %d\n", variant)
+	return b.String()
+}
+
+func durItems(n int) []server.WMEInput {
+	out := make([]server.WMEInput, 0, n)
+	for i := 1; i <= n; i++ {
+		out = append(out, server.WMEInput{Class: "item", Attrs: map[string]any{"n": i, "val": 0}})
+	}
+	return out
+}
+
+func durProbe(n int) *server.BatchRequest {
+	return &server.BatchRequest{
+		Asserts:   []server.WMEInput{{Class: "probe", Attrs: map[string]any{"n": n}}},
+		NoFirings: true,
+	}
+}
+
+func median(us []int64) int64 {
+	sort.Slice(us, func(i, j int) bool { return us[i] < us[j] })
+	return us[len(us)/2]
+}
+
+// RunDurabilityBench measures fork-vs-cold session spawn and
+// crash-recovery replay. Fast enough at default sizes for CI smoke use.
+func RunDurabilityBench(opt DurabilityBenchOptions) (*DurabilityReport, error) {
+	opt.fill()
+	rep := &DurabilityReport{Backend: opt.Backend, Items: opt.Items, Rules: opt.Rules, Reps: opt.Reps, RecoveryBatches: opt.Batches}
+
+	// ---- Spawn comparison (memory-only server: isolates spawn cost
+	// from the fsync policy, which is a separate axis).
+	srv := server.New(server.Options{MaxSessions: 4096, DefaultTimeout: time.Minute})
+	defer srv.Close()
+
+	items := durItems(opt.Items)
+	tinfo, err := srv.CreateTemplate(&server.TemplateConfig{
+		SessionConfig: server.SessionConfig{Program: durBenchSrc(opt.Rules, 0), Matcher: opt.Backend},
+		Asserts:       items,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("create template: %w", err)
+	}
+
+	// One unmeasured warm-up per mode: the first cold create pays
+	// one-time lazy initialisation and the first fork warms the clone
+	// path's allocator size classes; neither belongs in the median.
+	if info, err := srv.CreateSession(server.SessionConfig{
+		Program: durBenchSrc(opt.Rules, -1), Matcher: opt.Backend,
+	}); err == nil {
+		_ = srv.DeleteSession(info.ID)
+	}
+	if fr, err := srv.Fork(tinfo.ID); err == nil {
+		_ = srv.DeleteSession(fr.ID)
+	}
+
+	cold := make([]int64, 0, opt.Reps)
+	for r := 1; r <= opt.Reps; r++ {
+		start := time.Now()
+		info, err := srv.CreateSession(server.SessionConfig{
+			Program: durBenchSrc(opt.Rules, r), Matcher: opt.Backend,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("cold create: %w", err)
+		}
+		if _, err := srv.Batch(info.ID, &server.BatchRequest{Asserts: items, NoFirings: true}); err != nil {
+			return nil, fmt.Errorf("cold base facts: %w", err)
+		}
+		if _, err := srv.Batch(info.ID, durProbe(r%opt.Rules+1)); err != nil {
+			return nil, fmt.Errorf("cold probe: %w", err)
+		}
+		cold = append(cold, time.Since(start).Microseconds())
+		_ = srv.DeleteSession(info.ID)
+	}
+
+	fork := make([]int64, 0, opt.Reps)
+	for r := 1; r <= opt.Reps; r++ {
+		start := time.Now()
+		fr, err := srv.Fork(tinfo.ID)
+		if err != nil {
+			return nil, fmt.Errorf("fork: %w", err)
+		}
+		if _, err := srv.Batch(fr.ID, durProbe(r%opt.Rules+1)); err != nil {
+			return nil, fmt.Errorf("fork probe: %w", err)
+		}
+		fork = append(fork, time.Since(start).Microseconds())
+		rep.ForkWMShared = fr.WMSize
+		_ = srv.DeleteSession(fr.ID)
+	}
+
+	rep.ColdSpawnUs = median(cold)
+	rep.ForkSpawnUs = median(fork)
+	if rep.ForkSpawnUs > 0 {
+		rep.ForkSpeedup = float64(rep.ColdSpawnUs) / float64(rep.ForkSpawnUs)
+	}
+
+	// ---- Crash recovery: churn a durable session, abandon the server,
+	// time the replay a fresh server pays on startup.
+	dir := opt.DataDir
+	if dir == "" {
+		tmp, err := os.MkdirTemp("", "opsdurbench")
+		if err != nil {
+			return nil, err
+		}
+		defer os.RemoveAll(tmp)
+		dir = tmp
+	}
+	dsrv := server.New(server.Options{
+		DataDir: dir, Durability: "none", DefaultTimeout: time.Minute,
+	})
+	defer dsrv.Close()
+	if _, err := dsrv.EnableDurability(); err != nil {
+		return nil, err
+	}
+	info, err := dsrv.CreateSession(server.SessionConfig{
+		Program: durBenchSrc(opt.Rules, 0), Matcher: opt.Backend,
+	})
+	if err != nil {
+		return nil, err
+	}
+	if _, err := dsrv.Batch(info.ID, &server.BatchRequest{Asserts: items, NoFirings: true}); err != nil {
+		return nil, err
+	}
+	for b := 0; b < opt.Batches; b++ {
+		var req server.BatchRequest
+		req.NoFirings = true
+		for k := 0; k < 8; k++ {
+			req.Asserts = append(req.Asserts, server.WMEInput{
+				Class: "probe", Attrs: map[string]any{"n": (b*8+k)%opt.Rules + 1},
+			})
+		}
+		if _, err := dsrv.Batch(info.ID, &req); err != nil {
+			return nil, fmt.Errorf("churn batch %d: %w", b, err)
+		}
+	}
+	dsnap := dsrv.Snapshot()
+	rep.LogBytes = dsnap.Durability.LogBytes
+
+	rsrv := server.New(server.Options{DataDir: dir, Durability: "none", DefaultTimeout: time.Minute})
+	defer rsrv.Close()
+	start := time.Now()
+	if _, err := rsrv.EnableDurability(); err != nil {
+		return nil, fmt.Errorf("recovery: %w", err)
+	}
+	rep.RecoveryUs = time.Since(start).Microseconds()
+	rep.RecoveryRecords = rsrv.Snapshot().Durability.ReplayedRecords
+	if rep.RecoveryUs > 0 {
+		rep.RecoveryRecPerSec = float64(rep.RecoveryRecords) / (float64(rep.RecoveryUs) / 1e6)
+	}
+	return rep, nil
+}

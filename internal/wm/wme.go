@@ -74,6 +74,59 @@ func (m *Memory) Add(fields []Value) *WME {
 	return w
 }
 
+// AddTagged records an element under a caller-supplied time tag — the
+// restore path of the durability layer, which must reproduce the exact
+// tags of a logged or snapshotted session. The tag counter advances
+// past the highest restored tag so post-recovery adds never collide.
+func (m *Memory) AddTagged(tag int, fields []Value) *WME {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	w := &WME{TimeTag: tag, Fields: fields}
+	m.live[tag] = w
+	if tag >= m.nextTag {
+		m.nextTag = tag + 1
+	}
+	return w
+}
+
+// Get returns the live element with the given time tag, or nil.
+func (m *Memory) Get(tag int) *WME {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return m.live[tag]
+}
+
+// NextTag reports the tag the next Add will assign.
+func (m *Memory) NextTag() int {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return m.nextTag
+}
+
+// SetNextTag forces the tag counter (restore only; n must exceed every
+// live tag).
+func (m *Memory) SetNextTag(n int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if n > m.nextTag {
+		m.nextTag = n
+	}
+}
+
+// Clone returns an independent store holding the same elements. WMEs
+// are immutable once created (modify is remove + add), so the clone
+// shares the element objects and copies only the index — the
+// copy-on-write working-memory half of template-session forking.
+func (m *Memory) Clone() *Memory {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	c := &Memory{nextTag: m.nextTag, live: make(map[int]*WME, len(m.live))}
+	for tag, w := range m.live {
+		c.live[tag] = w
+	}
+	return c
+}
+
 // Remove deletes the element from the store. It reports whether the
 // element was present (removing twice is a caller bug surfaced in tests).
 func (m *Memory) Remove(w *WME) bool {

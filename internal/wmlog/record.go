@@ -1,0 +1,312 @@
+// Package wmlog is the durability layer under the inference server: an
+// append-only, per-session working-memory delta log plus periodic
+// snapshots, stored in a data directory the daemon owns.
+//
+// The log is the unit of recovery. Every record is one event of the
+// recognize-act history — a make or remove with its time tag, a
+// production firing (the refraction event conflict resolution needs), a
+// halt, or a runtime program change — framed with a length prefix and a
+// CRC so a torn tail from a crash is detected and dropped instead of
+// corrupting replay. Replaying the log through the ordinary match
+// machinery *is* crash recovery: the engine rebuilds working memory,
+// node memories and the conflict set (fired instantiations included) to
+// the exact state of the last durable record.
+//
+// Snapshots bound replay time: a snapshot serializes the session's
+// settled state (tagged WMEs, fired-instantiation keys, the time-tag
+// counter, the halt flag) together with the program hash that pins its
+// identity and the log offset it covers, so recovery is snapshot +
+// log-suffix. The same snapshot encoding is what the server's warm
+// template sessions share with their copy-on-write forks.
+//
+// Values are serialized symbolically (symbol names, not interned IDs),
+// so a recovered session re-interns them against its freshly parsed
+// program and the log survives daemon restarts.
+package wmlog
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"repro/internal/symbols"
+	"repro/internal/wm"
+)
+
+// RecType discriminates log records.
+type RecType uint8
+
+// Log record types. The zero value is invalid so a zeroed frame can
+// never decode as a record.
+const (
+	RecMake    RecType = 1 // WM assert: time tag + field vector
+	RecRemove  RecType = 2 // WM retract: time tag
+	RecFire    RecType = 3 // production firing: rule name + token tags
+	RecHalt    RecType = 4 // (halt) executed
+	RecProgram RecType = 5 // runtime build/excise: one canonical form
+)
+
+func (t RecType) String() string {
+	switch t {
+	case RecMake:
+		return "make"
+	case RecRemove:
+		return "remove"
+	case RecFire:
+		return "fire"
+	case RecHalt:
+		return "halt"
+	case RecProgram:
+		return "program"
+	default:
+		return fmt.Sprintf("rectype(%d)", int(t))
+	}
+}
+
+// FieldVal is one working-memory field serialized independently of any
+// symbol table: symbols travel by name and are re-interned on replay.
+type FieldVal struct {
+	Kind wm.Kind
+	Str  string  // KindSym: symbol name
+	Num  int64   // KindInt
+	F    float64 // KindFloat
+}
+
+// EncodeValue lifts a runtime value out of its symbol table.
+func EncodeValue(v wm.Value, tab *symbols.Table) FieldVal {
+	switch v.Kind {
+	case wm.KindSym:
+		return FieldVal{Kind: wm.KindSym, Str: tab.Name(v.Sym)}
+	case wm.KindInt:
+		return FieldVal{Kind: wm.KindInt, Num: v.Num}
+	case wm.KindFloat:
+		return FieldVal{Kind: wm.KindFloat, F: v.F}
+	default:
+		return FieldVal{Kind: wm.KindNil}
+	}
+}
+
+// Value re-interns the field against tab.
+func (f FieldVal) Value(tab *symbols.Table) wm.Value {
+	switch f.Kind {
+	case wm.KindSym:
+		return wm.Sym(tab.Intern(f.Str))
+	case wm.KindInt:
+		return wm.Int(f.Num)
+	case wm.KindFloat:
+		return wm.Float(f.F)
+	default:
+		return wm.Nil
+	}
+}
+
+// EncodeFields serializes a whole field vector.
+func EncodeFields(fields []wm.Value, tab *symbols.Table) []FieldVal {
+	out := make([]FieldVal, len(fields))
+	for i, v := range fields {
+		out[i] = EncodeValue(v, tab)
+	}
+	return out
+}
+
+// DecodeFields re-interns a field vector.
+func DecodeFields(fields []FieldVal, tab *symbols.Table) []wm.Value {
+	out := make([]wm.Value, len(fields))
+	for i, f := range fields {
+		out[i] = f.Value(tab)
+	}
+	return out
+}
+
+// Record is one decoded log record. Which fields are meaningful depends
+// on Type (see the RecType constants).
+type Record struct {
+	Type   RecType
+	Tag    int        // Make, Remove
+	Fields []FieldVal // Make
+	Rule   string     // Fire
+	Tags   []int      // Fire: instantiation token tags in token order
+	Src    string     // Program: one canonical (p ...) or (excise ...) form
+}
+
+// appendUvarint / appendString are the primitive encoders; records use
+// unsigned varints throughout (time tags and lengths are non-negative).
+func appendUvarint(b []byte, x uint64) []byte {
+	var tmp [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(tmp[:], x)
+	return append(b, tmp[:n]...)
+}
+
+func appendString(b []byte, s string) []byte {
+	b = appendUvarint(b, uint64(len(s)))
+	return append(b, s...)
+}
+
+// appendPayload encodes the record body (everything after the type
+// byte) onto b.
+func (r *Record) appendPayload(b []byte) []byte {
+	switch r.Type {
+	case RecMake:
+		b = appendUvarint(b, uint64(r.Tag))
+		b = appendUvarint(b, uint64(len(r.Fields)))
+		for _, f := range r.Fields {
+			b = append(b, byte(f.Kind))
+			switch f.Kind {
+			case wm.KindSym:
+				b = appendString(b, f.Str)
+			case wm.KindInt:
+				var tmp [binary.MaxVarintLen64]byte
+				n := binary.PutVarint(tmp[:], f.Num)
+				b = append(b, tmp[:n]...)
+			case wm.KindFloat:
+				var tmp [8]byte
+				binary.LittleEndian.PutUint64(tmp[:], math.Float64bits(f.F))
+				b = append(b, tmp[:]...)
+			}
+		}
+	case RecRemove:
+		b = appendUvarint(b, uint64(r.Tag))
+	case RecFire:
+		b = appendString(b, r.Rule)
+		b = appendUvarint(b, uint64(len(r.Tags)))
+		for _, t := range r.Tags {
+			b = appendUvarint(b, uint64(t))
+		}
+	case RecHalt:
+		// no payload
+	case RecProgram:
+		b = appendString(b, r.Src)
+	}
+	return b
+}
+
+// payloadReader decodes record bodies with bounds checking.
+type payloadReader struct {
+	b   []byte
+	off int
+}
+
+func (p *payloadReader) uvarint() (uint64, error) {
+	x, n := binary.Uvarint(p.b[p.off:])
+	if n <= 0 {
+		return 0, fmt.Errorf("wmlog: bad uvarint at payload offset %d", p.off)
+	}
+	p.off += n
+	return x, nil
+}
+
+func (p *payloadReader) varint() (int64, error) {
+	x, n := binary.Varint(p.b[p.off:])
+	if n <= 0 {
+		return 0, fmt.Errorf("wmlog: bad varint at payload offset %d", p.off)
+	}
+	p.off += n
+	return x, nil
+}
+
+func (p *payloadReader) str() (string, error) {
+	n, err := p.uvarint()
+	if err != nil {
+		return "", err
+	}
+	if uint64(len(p.b)-p.off) < n {
+		return "", fmt.Errorf("wmlog: string of %d bytes overruns payload", n)
+	}
+	s := string(p.b[p.off : p.off+int(n)])
+	p.off += int(n)
+	return s, nil
+}
+
+func (p *payloadReader) bytes(n int) ([]byte, error) {
+	if len(p.b)-p.off < n {
+		return nil, fmt.Errorf("wmlog: %d bytes overrun payload", n)
+	}
+	s := p.b[p.off : p.off+n]
+	p.off += n
+	return s, nil
+}
+
+// decodeRecord rebuilds a record from a verified frame body.
+func decodeRecord(typ RecType, payload []byte) (*Record, error) {
+	r := &Record{Type: typ}
+	p := &payloadReader{b: payload}
+	var err error
+	switch typ {
+	case RecMake:
+		var tag, n uint64
+		if tag, err = p.uvarint(); err != nil {
+			return nil, err
+		}
+		r.Tag = int(tag)
+		if n, err = p.uvarint(); err != nil {
+			return nil, err
+		}
+		if n > uint64(len(payload)) { // each field is at least one byte
+			return nil, fmt.Errorf("wmlog: field count %d exceeds payload", n)
+		}
+		r.Fields = make([]FieldVal, n)
+		for i := range r.Fields {
+			kb, err := p.bytes(1)
+			if err != nil {
+				return nil, err
+			}
+			f := FieldVal{Kind: wm.Kind(kb[0])}
+			switch f.Kind {
+			case wm.KindNil:
+			case wm.KindSym:
+				if f.Str, err = p.str(); err != nil {
+					return nil, err
+				}
+			case wm.KindInt:
+				if f.Num, err = p.varint(); err != nil {
+					return nil, err
+				}
+			case wm.KindFloat:
+				fb, err := p.bytes(8)
+				if err != nil {
+					return nil, err
+				}
+				f.F = math.Float64frombits(binary.LittleEndian.Uint64(fb))
+			default:
+				return nil, fmt.Errorf("wmlog: unknown value kind %d", f.Kind)
+			}
+			r.Fields[i] = f
+		}
+	case RecRemove:
+		var tag uint64
+		if tag, err = p.uvarint(); err != nil {
+			return nil, err
+		}
+		r.Tag = int(tag)
+	case RecFire:
+		if r.Rule, err = p.str(); err != nil {
+			return nil, err
+		}
+		var n uint64
+		if n, err = p.uvarint(); err != nil {
+			return nil, err
+		}
+		if n > uint64(len(payload)) {
+			return nil, fmt.Errorf("wmlog: tag count %d exceeds payload", n)
+		}
+		r.Tags = make([]int, n)
+		for i := range r.Tags {
+			t, err := p.uvarint()
+			if err != nil {
+				return nil, err
+			}
+			r.Tags[i] = int(t)
+		}
+	case RecHalt:
+	case RecProgram:
+		if r.Src, err = p.str(); err != nil {
+			return nil, err
+		}
+	default:
+		return nil, fmt.Errorf("wmlog: unknown record type %d", typ)
+	}
+	if p.off != len(payload) {
+		return nil, fmt.Errorf("wmlog: %d trailing payload bytes in %s record", len(payload)-p.off, typ)
+	}
+	return r, nil
+}

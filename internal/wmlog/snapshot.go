@@ -1,0 +1,168 @@
+package wmlog
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+)
+
+// Snapshot is a session's settled state at a drained point: the live
+// working memory with exact time tags, the refraction state (which
+// still-live instantiations have fired), the time-tag counter and the
+// halt flag, pinned to a program by hash. LogOffset is the delta-log
+// byte offset the snapshot covers: recovery restores the snapshot and
+// replays only records past it, which also makes the
+// snapshot-then-truncate compaction crash-safe in either order.
+//
+// The same encoding serves as the shared settled state of a template
+// session: forks start from the snapshot and diverge through their own
+// delta logs, and the template's snapshot hash pins its immutability.
+type Snapshot struct {
+	ProgHash  [32]byte
+	NextTag   int
+	Halted    bool
+	LogOffset int64
+	Wmes      []TaggedWME
+	Fired     []FireKey
+}
+
+// TaggedWME is one working-memory element with its original time tag.
+type TaggedWME struct {
+	Tag    int
+	Fields []FieldVal
+}
+
+// FireKey names a fired instantiation: rule plus token time tags in
+// token order — exactly the identity the conflict set hashes.
+type FireKey struct {
+	Rule string
+	Tags []int
+}
+
+const (
+	snapMagic   = "OPS5WSN1"
+	snapVersion = 1
+)
+
+// ErrSnapshotCorrupt reports an undecodable snapshot file.
+var ErrSnapshotCorrupt = errors.New("wmlog: corrupt snapshot")
+
+// Encode serializes the snapshot: magic, version, u32 payload length,
+// gob payload, CRC-32 over the payload. The encoding is deterministic
+// for a given state (slices are ordered by the caller: WMEs by tag,
+// fired keys by rule then tags), so Hash doubles as a state identity.
+func (s *Snapshot) Encode() ([]byte, error) {
+	var payload bytes.Buffer
+	if err := gob.NewEncoder(&payload).Encode(s); err != nil {
+		return nil, err
+	}
+	var b []byte
+	b = append(b, snapMagic...)
+	b = binary.LittleEndian.AppendUint32(b, snapVersion)
+	b = binary.LittleEndian.AppendUint32(b, uint32(payload.Len()))
+	b = append(b, payload.Bytes()...)
+	b = binary.LittleEndian.AppendUint32(b, crc32.ChecksumIEEE(payload.Bytes()))
+	return b, nil
+}
+
+// DecodeSnapshot parses an encoded snapshot.
+func DecodeSnapshot(b []byte) (*Snapshot, error) {
+	head := len(snapMagic) + 8
+	if len(b) < head+4 {
+		return nil, fmt.Errorf("%w: %d bytes", ErrSnapshotCorrupt, len(b))
+	}
+	if string(b[:len(snapMagic)]) != snapMagic {
+		return nil, fmt.Errorf("%w: bad magic", ErrSnapshotCorrupt)
+	}
+	if v := binary.LittleEndian.Uint32(b[len(snapMagic):]); v != snapVersion {
+		return nil, fmt.Errorf("%w: version %d (want %d)", ErrSnapshotCorrupt, v, snapVersion)
+	}
+	n := int(binary.LittleEndian.Uint32(b[len(snapMagic)+4:]))
+	if len(b) != head+n+4 {
+		return nil, fmt.Errorf("%w: payload length %d in %d-byte file", ErrSnapshotCorrupt, n, len(b))
+	}
+	payload := b[head : head+n]
+	if crc32.ChecksumIEEE(payload) != binary.LittleEndian.Uint32(b[head+n:]) {
+		return nil, fmt.Errorf("%w: checksum mismatch", ErrSnapshotCorrupt)
+	}
+	var s Snapshot
+	if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(&s); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrSnapshotCorrupt, err)
+	}
+	return &s, nil
+}
+
+// Hash is the snapshot's content identity: SHA-256 of its canonical
+// encoding with the covering offset zeroed (two snapshots of identical
+// session state hash identically wherever their logs stand).
+func (s *Snapshot) Hash() ([32]byte, error) {
+	c := *s
+	c.LogOffset = 0
+	b, err := c.Encode()
+	if err != nil {
+		return [32]byte{}, err
+	}
+	return sha256.Sum256(b), nil
+}
+
+// WriteSnapshot atomically replaces the snapshot at path: write to a
+// temp file in the same directory, fsync, rename over.
+func WriteSnapshot(path string, s *Snapshot) (int, error) {
+	b, err := s.Encode()
+	if err != nil {
+		return 0, err
+	}
+	return len(b), writeFileAtomic(path, b)
+}
+
+// WriteSnapshotBytes atomically installs pre-encoded snapshot bytes —
+// the template-fork path, which shares one encoding across every fork.
+func WriteSnapshotBytes(path string, b []byte) error {
+	return writeFileAtomic(path, b)
+}
+
+func writeFileAtomic(path string, b []byte) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, ".snap-*")
+	if err != nil {
+		return err
+	}
+	tmpName := tmp.Name()
+	if _, err := tmp.Write(b); err != nil {
+		tmp.Close()
+		os.Remove(tmpName)
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		os.Remove(tmpName)
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmpName)
+		return err
+	}
+	if err := os.Rename(tmpName, path); err != nil {
+		os.Remove(tmpName)
+		return err
+	}
+	return nil
+}
+
+// ReadSnapshot loads the snapshot at path; (nil, nil) when none exists.
+func ReadSnapshot(path string) (*Snapshot, error) {
+	b, err := os.ReadFile(path)
+	if errors.Is(err, os.ErrNotExist) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	return DecodeSnapshot(b)
+}

@@ -1,0 +1,132 @@
+package wmlog
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+// Store is the daemon's durability root: one directory per persisted
+// session or template.
+//
+//	<dir>/sessions/<id>/program.ops5   OPS5 source the session runs
+//	<dir>/sessions/<id>/meta.json      backend configuration (Meta)
+//	<dir>/sessions/<id>/delta.log      framed WM delta log
+//	<dir>/sessions/<id>/snapshot.snap  latest snapshot, if any
+//	<dir>/templates/<id>/...           same layout, log-less
+type Store struct {
+	dir string
+}
+
+// Kind selects the sessions or templates branch of a store.
+type Kind string
+
+// Store branches.
+const (
+	KindSession  Kind = "sessions"
+	KindTemplate Kind = "templates"
+)
+
+// Meta is the per-session configuration persisted alongside the log so
+// recovery rebuilds the same backend. The fields mirror the server's
+// SessionConfig minus the program source, which gets its own file.
+type Meta struct {
+	Backend   string `json:"backend"`
+	Procs     int    `json:"procs,omitempty"`
+	Queues    int    `json:"queues,omitempty"`
+	Locks     string `json:"locks,omitempty"`
+	HashLines int    `json:"hash_lines,omitempty"`
+	CSShards  int    `json:"cs_shards,omitempty"`
+	// Template records the template a forked session was created from
+	// (informational; recovery uses the fork's own snapshot).
+	Template string `json:"template,omitempty"`
+}
+
+// Open validates dir as a usable data directory, creating it (and its
+// branch directories) as needed. Errors are deliberately explicit: the
+// daemon reports them and exits instead of panicking partway in.
+func Open(dir string) (*Store, error) {
+	if dir == "" {
+		return nil, fmt.Errorf("wmlog: empty data directory path")
+	}
+	for _, d := range []string{dir, filepath.Join(dir, string(KindSession)), filepath.Join(dir, string(KindTemplate))} {
+		if err := os.MkdirAll(d, 0o755); err != nil {
+			return nil, fmt.Errorf("wmlog: cannot create data directory %s: %w", d, err)
+		}
+	}
+	// Probe writability now, not at the first session create.
+	probe := filepath.Join(dir, ".probe")
+	if err := os.WriteFile(probe, []byte("ok"), 0o644); err != nil {
+		return nil, fmt.Errorf("wmlog: data directory %s is not writable: %w", dir, err)
+	}
+	os.Remove(probe)
+	return &Store{dir: dir}, nil
+}
+
+// Dir returns the store root.
+func (st *Store) Dir() string { return st.dir }
+
+// EntryDir returns (and creates) the directory for one persisted
+// session or template.
+func (st *Store) EntryDir(kind Kind, id string) (string, error) {
+	d := filepath.Join(st.dir, string(kind), id)
+	if err := os.MkdirAll(d, 0o755); err != nil {
+		return "", fmt.Errorf("wmlog: cannot create %s directory for %s: %w", kind, id, err)
+	}
+	return d, nil
+}
+
+// Paths within an entry directory.
+func ProgramPath(dir string) string  { return filepath.Join(dir, "program.ops5") }
+func MetaPath(dir string) string     { return filepath.Join(dir, "meta.json") }
+func LogPath(dir string) string      { return filepath.Join(dir, "delta.log") }
+func SnapshotPath(dir string) string { return filepath.Join(dir, "snapshot.snap") }
+
+// WriteMeta persists the entry's backend configuration.
+func WriteMeta(dir string, m *Meta) error {
+	b, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(MetaPath(dir), b, 0o644)
+}
+
+// ReadMeta loads the entry's backend configuration.
+func ReadMeta(dir string) (*Meta, error) {
+	b, err := os.ReadFile(MetaPath(dir))
+	if err != nil {
+		return nil, err
+	}
+	var m Meta
+	if err := json.Unmarshal(b, &m); err != nil {
+		return nil, fmt.Errorf("wmlog: %s: %w", MetaPath(dir), err)
+	}
+	return &m, nil
+}
+
+// List returns the persisted entry IDs of one branch, sorted, so
+// recovery is deterministic.
+func (st *Store) List(kind Kind) ([]string, error) {
+	entries, err := os.ReadDir(filepath.Join(st.dir, string(kind)))
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	var out []string
+	for _, e := range entries {
+		if e.IsDir() {
+			out = append(out, e.Name())
+		}
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+// Remove deletes one entry's durable state.
+func (st *Store) Remove(kind Kind, id string) error {
+	return os.RemoveAll(filepath.Join(st.dir, string(kind), id))
+}
