@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet check bench bench-smoke recovery clean
+.PHONY: all build test race vet check bench bench-smoke recovery act-differential clean
 
 all: build
 
@@ -26,11 +26,18 @@ race:
 
 # The durability suite on its own: kill-and-recover differential
 # (WM + timetags + firing trace vs an uninterrupted control, across
-# backends), torn-tail truncation, template-fork isolation and the
-# quarantine fd release, under the race detector.
+# backends, including a speculative multi-fire victim), torn-tail
+# truncation, template-fork isolation and the quarantine fd release,
+# under the race detector.
 recovery:
-	$(GO) test -race -run 'TestCrashRecoveryDifferential|TestRecoveryTornTail|TestForkIsolation|TestQuarantine' -v ./internal/server
+	$(GO) test -race -run 'TestCrashRecoveryDifferential|TestCrashRecoveryMultiFire|TestRecoveryTornTail|TestForkIsolation|TestQuarantine' -v ./internal/server
 	$(GO) test -race ./internal/wmlog
+
+# The multi-fire equivalence suite on its own: FireBatch 1 vs {2,4,8}
+# must produce identical WM, timetags, and firing traces on every
+# matcher backend, including the rollback-heavy adversarial kernel.
+act-differential:
+	$(GO) test -race -run 'TestFireBatch' -v ./internal/engine
 
 vet:
 	$(GO) vet ./...

@@ -437,6 +437,167 @@ func (s *Set) Select() *Instantiation {
 	return best
 }
 
+// SelectN pops up to n dominant unfired instantiations in dominance
+// order, marking each fired — the batched form of Select+MarkFired the
+// engine's speculative multi-fire act phase runs once per group instead
+// of rescanning the shard heads n times. A shard's live chains are
+// walked only when they might matter: a shard whose cached best (its
+// exact top-1 while clean — insert maintains it incrementally) cannot
+// enter the current top n is skipped whole, because dominance is a
+// strict total order and everything else in the shard ranks below that
+// best. Walked shards feed a bounded insertion sort that keeps the
+// global top n and refresh their best cache on the way through, so
+// consecutive SelectN calls rescan only the shards the previous group's
+// pops dirtied — the same amortization Select gets. The winners then
+// move to the fired index like MarkFired does, except their recency
+// keys are retained: the engine still needs them for its post-drain
+// dominance verification and for Reinsert on rollback. Call CommitFired
+// once a firing is final to drop the key.
+//
+// Like Select, SelectN must run with the matcher drained (the control
+// process's conflict-resolution phase).
+func (s *Set) SelectN(n int) []*Instantiation {
+	if n <= 0 {
+		return nil
+	}
+	s.selects.Add(1)
+	cands := make([]*Instantiation, 0, n)
+	insert := func(inst *Instantiation) {
+		pos := len(cands)
+		for pos > 0 && dominates(inst, cands[pos-1], s.strategy) {
+			pos--
+		}
+		if pos >= n {
+			return
+		}
+		if len(cands) < n {
+			cands = append(cands, nil)
+		}
+		copy(cands[pos+1:], cands[pos:])
+		cands[pos] = inst
+	}
+	// Seed pass: rank the clean shards' cached bests. The n-th of them is
+	// a sound pruning bar for the walk pass — an unwalked clean shard
+	// whose best misses this top n cannot hold any global top-n entry
+	// (everything else it has ranks below that best), and the n seeded
+	// bests that beat it all live in shards the walk pass does visit.
+	for i := range s.shards {
+		sh := &s.shards[i]
+		if sh.nLive.Load() == 0 {
+			continue
+		}
+		spins := sh.lock.Acquire()
+		sh.c.ShardAcquires++
+		sh.c.ShardSpins += spins
+		if !sh.dirty && sh.best != nil {
+			insert(sh.best)
+		}
+		sh.lock.Release()
+	}
+	var bar *Instantiation
+	if len(cands) == n {
+		bar = cands[n-1]
+	}
+	cands = cands[:0]
+	// Walk pass: visit dirty shards (unknown best) and clean shards whose
+	// best cleared the bar; refresh each walked shard's best cache so the
+	// next SelectN rescans only what this group's pops dirty. Shard state
+	// cannot shift between the passes — SelectN runs on the control
+	// goroutine with the matcher drained.
+	for i := range s.shards {
+		sh := &s.shards[i]
+		if sh.nLive.Load() == 0 {
+			continue
+		}
+		spins := sh.lock.Acquire()
+		sh.c.ShardAcquires++
+		sh.c.ShardSpins += spins
+		if !sh.dirty && sh.best != nil && bar != nil && sh.best != bar && !dominates(sh.best, bar, s.strategy) {
+			sh.lock.Release()
+			continue
+		}
+		var best *Instantiation
+		scanned := int64(0)
+		for _, head := range sh.live {
+			for cur := head; cur != nil; cur = cur.next {
+				scanned++
+				if best == nil || dominates(cur, best, s.strategy) {
+					best = cur
+				}
+				insert(cur)
+			}
+		}
+		if sh.dirty {
+			sh.c.SelectRescans++
+			sh.c.SelectScanned += scanned
+		}
+		sh.best = best
+		sh.dirty = false
+		sh.lock.Release()
+	}
+	for _, inst := range cands {
+		sh := s.enter(inst.hash)
+		inst.Fired = true
+		inst.leaked = true
+		if unlinkPtr(sh.live, inst.hash, inst) {
+			sh.nLive.Add(-1)
+			inst.next = sh.fired[inst.hash]
+			sh.fired[inst.hash] = inst
+			sh.nFired++
+		}
+		if sh.best == inst {
+			sh.best = nil
+			sh.dirty = true
+		}
+		sh.lock.Release()
+	}
+	return cands
+}
+
+// Reinsert returns a SelectN-popped instantiation to the live index,
+// unfired — the rollback path of the speculative act phase, undoing a
+// MarkFired that never committed. The instantiation must still carry
+// its recency key (no CommitFired yet). It reports whether the entry
+// was still in the fired index; false means the firing's own working-
+// memory removals already retracted it, in which case the undo replay
+// re-derives the instantiation through the matcher instead.
+func (s *Set) Reinsert(inst *Instantiation) bool {
+	sh := s.enter(inst.hash)
+	if !unlinkPtr(sh.fired, inst.hash, inst) {
+		sh.lock.Release()
+		return false
+	}
+	sh.nFired--
+	inst.Fired = false
+	inst.next = sh.live[inst.hash]
+	sh.live[inst.hash] = inst
+	sh.nLive.Add(1)
+	if !sh.dirty {
+		if sh.best == nil || dominates(inst, sh.best, s.strategy) {
+			sh.best = inst
+		}
+	}
+	sh.lock.Release()
+	return true
+}
+
+// CommitFired finalizes a SelectN firing after its commit verified,
+// dropping the recency key exactly as MarkFired does for the serial
+// path. Safe to call whether or not the entry is still in the fired
+// index (its own removals may already have retracted it).
+func (s *Set) CommitFired(inst *Instantiation) {
+	sh := s.enter(inst.hash)
+	inst.recency = nil
+	sh.lock.Release()
+}
+
+// Dominates reports whether a should fire before b under the set's
+// strategy — the fixed total order the engine's multi-fire verification
+// checks group prefixes against.
+func (s *Set) Dominates(a, b *Instantiation) bool {
+	return dominates(a, b, s.strategy)
+}
+
 // recomputeBest rescans the shard's live chains. Called with the shard
 // lock held.
 func (sh *shard) recomputeBest(st Strategy) {

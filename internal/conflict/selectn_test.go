@@ -1,0 +1,136 @@
+package conflict_test
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/conflict"
+	"repro/internal/wm"
+)
+
+// fillSet populates a set with n single-WME instantiations of distinct
+// recency (tags 1..n) across several rules, twice — returning two
+// identically populated sets so one can be consumed by repeated Select
+// and the other by SelectN.
+func fillSet(n int) (a, b *conflict.Set) {
+	a, b = lexSet(), lexSet()
+	for i := 1; i <= n; i++ {
+		r := mkRule(i%3, 1, fmt.Sprintf("r%d", i%3))
+		w := []*wm.WME{mkWME(i)}
+		a.InsertInstantiation(r, w)
+		b.InsertInstantiation(r, w)
+	}
+	return a, b
+}
+
+// TestSelectNMatchesRepeatedSelect: SelectN(k) returns exactly the
+// sequence k successive Select+MarkFired calls would, in order.
+func TestSelectNMatchesRepeatedSelect(t *testing.T) {
+	for _, k := range []int{1, 3, 7, 12, 20} {
+		serial, batched := fillSet(12)
+		var want []int
+		for i := 0; i < k; i++ {
+			inst := serial.Select()
+			if inst == nil {
+				break
+			}
+			serial.MarkFired(inst)
+			want = append(want, inst.Wmes[0].TimeTag)
+		}
+		got := batched.SelectN(k)
+		if len(got) != len(want) {
+			t.Fatalf("SelectN(%d): %d results, want %d", k, len(got), len(want))
+		}
+		for i, inst := range got {
+			if inst.Wmes[0].TimeTag != want[i] {
+				t.Errorf("SelectN(%d)[%d]: tag %d, want %d", k, i, inst.Wmes[0].TimeTag, want[i])
+			}
+			if !inst.Fired {
+				t.Errorf("SelectN(%d)[%d]: not marked fired", k, i)
+			}
+		}
+	}
+}
+
+// TestSelectNRefraction: popped instantiations never come back from a
+// later Select or SelectN.
+func TestSelectNRefraction(t *testing.T) {
+	_, cs := fillSet(6)
+	first := cs.SelectN(4)
+	if len(first) != 4 {
+		t.Fatalf("got %d, want 4", len(first))
+	}
+	rest := cs.SelectN(4)
+	if len(rest) != 2 {
+		t.Fatalf("second batch: got %d, want 2", len(rest))
+	}
+	seen := map[int]bool{}
+	for _, inst := range append(first, rest...) {
+		tag := inst.Wmes[0].TimeTag
+		if seen[tag] {
+			t.Fatalf("tag %d popped twice", tag)
+		}
+		seen[tag] = true
+	}
+	if cs.Select() != nil {
+		t.Error("set should be exhausted")
+	}
+}
+
+// TestReinsertRestoresLive: a popped instantiation returned by Reinsert
+// becomes selectable again with its recency key intact, and Reinsert on
+// an instantiation whose fired entry was already retracted (the drain
+// raced it away) reports false and does nothing.
+func TestReinsertRestoresLive(t *testing.T) {
+	_, cs := fillSet(5)
+	batch := cs.SelectN(3)
+	if len(batch) != 3 {
+		t.Fatalf("got %d, want 3", len(batch))
+	}
+	// Return the tail two in reverse, as a rollback would.
+	for i := 2; i >= 1; i-- {
+		if !cs.Reinsert(batch[i]) {
+			t.Fatalf("Reinsert(%d) = false, want true", i)
+		}
+	}
+	next := cs.Select()
+	if next == nil || next != batch[1] {
+		t.Fatalf("Select after Reinsert = %v, want the former second pick", next)
+	}
+	// Retract the still-fired head (a terminal minus during the drain),
+	// then Reinsert must refuse it.
+	cs.RemoveInstantiation(batch[0].Rule, batch[0].Wmes)
+	if cs.Reinsert(batch[0]) {
+		t.Error("Reinsert after retraction = true, want false")
+	}
+	if got := cs.Select(); got != batch[1] {
+		t.Errorf("retraction disturbed the live set: Select = %v", got)
+	}
+}
+
+// TestSelectNDominatesAgreesWithOrder: the exported Dominates predicate
+// orders SelectN results consistently (strictly descending).
+func TestSelectNDominatesAgreesWithOrder(t *testing.T) {
+	_, cs := fillSet(9)
+	batch := cs.SelectN(9)
+	for i := 1; i < len(batch); i++ {
+		if !cs.Dominates(batch[i-1], batch[i]) {
+			t.Errorf("batch[%d] does not dominate batch[%d]", i-1, i)
+		}
+		if cs.Dominates(batch[i], batch[i-1]) {
+			t.Errorf("dominance not antisymmetric at %d", i)
+		}
+	}
+}
+
+// TestSelectNZeroAndEmpty: degenerate arguments.
+func TestSelectNZeroAndEmpty(t *testing.T) {
+	_, cs := fillSet(3)
+	if got := cs.SelectN(0); got != nil {
+		t.Errorf("SelectN(0) = %v, want nil", got)
+	}
+	empty := lexSet()
+	if got := empty.SelectN(4); len(got) != 0 {
+		t.Errorf("SelectN on empty set = %v, want none", got)
+	}
+}

@@ -1,0 +1,596 @@
+// The transactional act phase: speculative multi-fire recognize-act
+// cycles over a staged working-memory delta layer.
+//
+// With Options.FireBatch > 1, each super-cycle pops up to FireBatch
+// dominant instantiations from the sharded conflict set in one batched
+// SelectN, plans the longest prefix whose firing is provably equivalent
+// to running them one serial cycle at a time, stages each member's RHS
+// into a private delta buffer in conflict-resolution order, and commits
+// the whole group under a single match phase: removals reach the
+// matcher the moment each member commits, so its match processes chew
+// on them while later members are still staging, and one drain barrier
+// closes the group where the serial loop would have paid one per firing
+// — the paper's control-process pipelining (match overlapping RHS
+// evaluation) taken one step further, in the spirit of concurrent
+// goal-based CHR execution: firings proceed together when their read
+// and write sets are disjoint.
+//
+// The equivalence argument rests on dominance being a fixed total
+// order: an instantiation's recency, specificity and rule index never
+// change, so the relative order of two live instantiations is
+// state-independent and transitive. SelectN therefore returns exactly
+// the sequence serial cycles would select, provided no firing in the
+// prefix (a) destroys a later member's matched elements — excluded by
+// the tag-level read/write check, (b) creates elements whose fresh time
+// tags would outrank everything — excluded by restricting groups to
+// GroupSafe (pure-removal) right-hand sides, or (c) instantiates a rule
+// mid-group by emptying a negated condition element. Case (c) survives
+// to the post-drain verification: such an instantiation carries old
+// time tags, stays live (the class-level flicker guard keeps later
+// members from destroying it first), and is caught by one dominance
+// check against the last committed member. On verification failure the
+// whole group rolls back — removed elements are restored under their
+// original pointers and tags, fired members un-fire — and one serial
+// cycle runs for guaranteed progress.
+//
+// External effects are transactional: journal records, firing-log
+// entries, WM-listener callbacks and (write ...) output are buffered
+// per group and flushed only after verification, in commit order — so
+// the wmlog delta log of a multi-fire run is byte-identical to the
+// serial run's and crash recovery replays it exactly.
+package engine
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/conflict"
+	"repro/internal/rete"
+	"repro/internal/rhs"
+	"repro/internal/stats"
+	"repro/internal/symbols"
+	"repro/internal/wm"
+)
+
+// Staged-effect op kinds, in the order the RHS produced them.
+const (
+	actOpRemove = iota
+	actOpHalt
+	actOpWrite
+)
+
+// stagedOp is one buffered RHS effect.
+type stagedOp struct {
+	kind int
+	w    *wm.WME // actOpRemove
+	text string  // actOpWrite
+}
+
+// actDelta is one speculation's private effect buffer, filled by the
+// staged RHS execution and consumed at commit.
+type actDelta struct {
+	ops     []stagedOp
+	instr   int
+	err     error
+	invalid bool // RHS produced an effect the staged env cannot buffer
+}
+
+// deltaWriter turns (write ...) output into staged ops so it interleaves
+// with the member's removals in RHS order when flushed.
+type deltaWriter struct{ d *actDelta }
+
+func (dw deltaWriter) Write(p []byte) (int, error) {
+	dw.d.ops = append(dw.d.ops, stagedOp{kind: actOpWrite, text: string(p)})
+	return len(p), nil
+}
+
+// stagedEnv builds the buffering counterpart of env(): effects append to
+// the delta instead of touching working memory, the journal or the
+// matcher. Makes, modifies and accepts mark the delta invalid — the
+// planner never admits such rules, so this is a fence, not a path. The
+// env closes over the engine's scratch delta and is built once, so the
+// per-member staging cost is the rhs.Exec walk alone.
+func (e *Engine) stagedEnv(d *actDelta) *rhs.Env {
+	if d == &e.actDelta && e.actEnv != nil && e.actEnv.Prog == e.Prog {
+		return e.actEnv
+	}
+	env := &rhs.Env{
+		Prog: e.Prog,
+		Accept: func() wm.Value {
+			d.invalid = true
+			return wm.Nil
+		},
+		Make:   func(fields []wm.Value) { d.invalid = true },
+		Modify: func(old *wm.WME, fields []wm.Value) { d.invalid = true },
+		Remove: func(w *wm.WME) { d.ops = append(d.ops, stagedOp{kind: actOpRemove, w: w}) },
+		Halt:   func() { d.ops = append(d.ops, stagedOp{kind: actOpHalt}) },
+	}
+	if e.Out != nil {
+		env.Out = deltaWriter{d}
+	}
+	if d == &e.actDelta {
+		e.actEnv = env
+	}
+	return env
+}
+
+// Buffered external-event kinds, flushed after verification.
+const (
+	actEvFire = iota
+	actEvRemove
+	actEvHalt
+	actEvOut
+)
+
+// actEvent is one buffered external effect of a committed firing.
+type actEvent struct {
+	kind  int
+	rule  string
+	tags  []int
+	w     *wm.WME
+	cycle int
+	text  string
+}
+
+// groupBuf holds a group's deferred external effects: everything except
+// working memory and the matcher, which must see changes immediately for
+// the drain and the dominance verification to mean anything.
+type groupBuf struct {
+	events []actEvent
+	instr  int64
+}
+
+func (b *groupBuf) fire(inst *conflict.Instantiation, cycle int) {
+	b.events = append(b.events, actEvent{
+		kind: actEvFire, rule: inst.Rule.Rule.Name, tags: tags(inst.Wmes), cycle: cycle,
+	})
+}
+
+func (b *groupBuf) remove(w *wm.WME) {
+	b.events = append(b.events, actEvent{kind: actEvRemove, w: w})
+}
+
+func (b *groupBuf) halt() { b.events = append(b.events, actEvent{kind: actEvHalt}) }
+
+func (b *groupBuf) write(text string) {
+	b.events = append(b.events, actEvent{kind: actEvOut, text: text})
+}
+
+// flush replays the buffered effects against the real sinks in commit
+// order, producing the byte-identical journal, firing log, listener
+// sequence and output a serial run would have.
+func (b *groupBuf) flush(e *Engine, opt Options, res *Result) {
+	for i := range b.events {
+		ev := &b.events[i]
+		switch ev.kind {
+		case actEvFire:
+			if e.journal != nil {
+				e.journal.RecordFire(ev.rule, ev.tags)
+			}
+			if opt.RecordFiring {
+				res.Firings = append(res.Firings, Firing{Cycle: ev.cycle, Rule: ev.rule, TimeTags: ev.tags})
+			}
+			if opt.TraceFires && e.Out != nil {
+				fmt.Fprintf(e.Out, "%d. %s %v\n", ev.cycle, ev.rule, ev.tags)
+			}
+		case actEvRemove:
+			e.traceChange("<=WM", ev.w)
+			if e.journal != nil {
+				e.journal.RecordRemove(ev.w)
+			}
+			if e.WMListener != nil {
+				e.WMListener(false, ev.w)
+			}
+		case actEvHalt:
+			if e.journal != nil {
+				e.journal.RecordHalt()
+			}
+		case actEvOut:
+			if e.Out != nil {
+				io.WriteString(e.Out, ev.text)
+			}
+		}
+	}
+}
+
+// actPlan caches the per-network static tables the group planner
+// consults. Rebuilt whenever the engine adopts a new network epoch.
+type actPlan struct {
+	net *rete.Network
+	// negByClass[c]: rules (by Index) with a negated CE of class c — the
+	// rules a removal of a class-c element can newly instantiate.
+	negByClass map[symbols.ID][]int
+	// posByClass[c]: rules (by Index) with a positive CE of class c — the
+	// rules a removal of a class-c element can de-instantiate.
+	posByClass map[symbols.ID]map[int]bool
+	// removeClasses[ruleIndex]: the classes the rule's RHS removes (the
+	// removed WME positions resolved to their condition elements).
+	removeClasses [][]symbols.ID
+}
+
+func (e *Engine) actPlanFor() *actPlan {
+	if e.plan != nil && e.plan.net == e.Net {
+		return e.plan
+	}
+	p := &actPlan{
+		net:           e.Net,
+		negByClass:    make(map[symbols.ID][]int),
+		posByClass:    make(map[symbols.ID]map[int]bool),
+		removeClasses: make([][]symbols.ID, e.Net.NumRuleIDs()),
+	}
+	for _, cr := range e.Net.Rules {
+		for _, ce := range cr.Rule.CEs {
+			if ce.Negated {
+				p.negByClass[ce.Class] = append(p.negByClass[ce.Class], cr.Index)
+			} else {
+				set := p.posByClass[ce.Class]
+				if set == nil {
+					set = make(map[int]bool)
+					p.posByClass[ce.Class] = set
+				}
+				set[cr.Index] = true
+			}
+		}
+		c := e.compiled[cr.Index]
+		if c == nil {
+			continue
+		}
+		var classes []symbols.ID
+		for _, pos := range c.RemovePos {
+			for ci, wp := range cr.CEPos {
+				if wp != pos {
+					continue
+				}
+				cls := cr.Rule.CEs[ci].Class
+				dup := false
+				for _, have := range classes {
+					if have == cls {
+						dup = true
+						break
+					}
+				}
+				if !dup {
+					classes = append(classes, cls)
+				}
+				break
+			}
+		}
+		p.removeClasses[cr.Index] = classes
+	}
+	e.plan = p
+	return p
+}
+
+// runBatched is the FireBatch > 1 recognize-act loop: same gates and
+// termination conditions as the serial loop in Run, but each iteration
+// fires a whole group when the planner can prove equivalence.
+func (e *Engine) runBatched(opt Options) (*Result, error) {
+	res := &Result{}
+	e.traceWMEs = opt.TraceWMEs
+	start := time.Now()
+	plan := e.actPlanFor()
+	for !e.halted {
+		if opt.MaxCycles > 0 && res.Cycles >= opt.MaxCycles {
+			break
+		}
+		if opt.Hook != nil {
+			if err := opt.Hook(res.Cycles); err != nil {
+				e.finish(res, start)
+				return res, err
+			}
+		}
+		want := opt.FireBatch
+		if opt.MaxCycles > 0 && opt.MaxCycles-res.Cycles < want {
+			want = opt.MaxCycles - res.Cycles
+		}
+		// Peek before popping: when the dominant instantiation's rule can
+		// never head a group, run the exact serial cycle instead of paying
+		// SelectN's pop-n/reinsert-(n-1) churn — in a program whose hot
+		// phase is make/modify-heavy, that churn would dirty shard caches
+		// every cycle for nothing.
+		head := e.CS.Select()
+		if head == nil {
+			break
+		}
+		var err error
+		if c := e.compiled[head.Rule.Index]; want <= 1 || c == nil || !c.GroupSafe {
+			e.CS.MarkFired(head)
+			err = e.fireMarked(head, opt, res)
+		} else {
+			group := e.planGroup(plan, e.CS.SelectN(want))
+			if len(group) == 0 {
+				break // unreachable: head was live when peeked
+			}
+			if len(group) == 1 {
+				err = e.fireMarked(group[0], opt, res)
+			} else {
+				err = e.fireGroup(group, opt, res)
+			}
+		}
+		if err != nil {
+			return res, err
+		}
+		if opt.CheckEvery {
+			if err := e.Matcher.CheckInvariants(); err != nil {
+				return res, fmt.Errorf("cycle %d: %w", res.Cycles, err)
+			}
+		}
+	}
+	if err := e.Matcher.CheckInvariants(); err != nil {
+		return res, err
+	}
+	e.finish(res, start)
+	return res, nil
+}
+
+// fireMarked runs one serial recognize-act cycle for an instantiation
+// already popped and marked fired — the body of the serial loop, shared
+// by the singleton-group and rollback-fallback paths.
+func (e *Engine) fireMarked(inst *conflict.Instantiation, opt Options, res *Result) error {
+	e.CS.CommitFired(inst)
+	if e.journal != nil {
+		e.journal.RecordFire(inst.Rule.Rule.Name, tags(inst.Wmes))
+	}
+	res.Cycles++
+	if opt.RecordFiring || opt.TraceFires {
+		f := Firing{Cycle: res.Cycles, Rule: inst.Rule.Rule.Name, TimeTags: tags(inst.Wmes)}
+		if opt.RecordFiring {
+			res.Firings = append(res.Firings, f)
+		}
+		if opt.TraceFires && e.Out != nil {
+			fmt.Fprintf(e.Out, "%d. %s %v\n", f.Cycle, f.Rule, f.TimeTags)
+		}
+	}
+	n, err := rhs.Exec(e.compiled[inst.Rule.Index], inst.Wmes, e.env())
+	if err != nil {
+		return err
+	}
+	e.rhsCount.Add(int64(n))
+	e.actStats.SerialFires++
+	e.drain()
+	return nil
+}
+
+// planGroup trims SelectN's candidates to the longest prefix that can
+// commit as one transaction and returns the unused tail to the live set.
+func (e *Engine) planGroup(plan *actPlan, cands []*conflict.Instantiation) []*conflict.Instantiation {
+	if len(cands) == 0 {
+		return nil
+	}
+	n := 1
+	c0 := e.compiled[cands[0].Rule.Index]
+	if len(cands) > 1 && c0 != nil && c0.GroupSafe && !c0.HasHalt {
+		// Both working sets stay tiny (a handful of tags and rule indexes
+		// per group), so engine-scratch slices with linear scans beat maps
+		// and keep the planner allocation-free.
+		removedTags := e.actTags[:0]
+		negTouched := e.actNeg[:0]
+		admit := func(inst *conflict.Instantiation, c *rhs.Compiled) {
+			for _, p := range c.RemovePos {
+				removedTags = append(removedTags, inst.Wmes[p].TimeTag)
+			}
+			for _, cls := range plan.removeClasses[inst.Rule.Index] {
+			rules:
+				for _, r := range plan.negByClass[cls] {
+					for _, have := range negTouched {
+						if have == r {
+							continue rules
+						}
+					}
+					negTouched = append(negTouched, r)
+				}
+			}
+		}
+		admit(cands[0], c0)
+	scan:
+		for n < len(cands) {
+			m := cands[n]
+			c := e.compiled[m.Rule.Index]
+			if c == nil || !c.GroupSafe {
+				break
+			}
+			// Read/write conflict: an earlier member removes an element this
+			// instantiation matched, so serially it would never have fired.
+			for _, w := range m.Wmes {
+				for _, t := range removedTags {
+					if w.TimeTag == t {
+						break scan
+					}
+				}
+			}
+			// Flicker guard: this member removes a class read positively by
+			// a rule an earlier member may have instantiated by emptying a
+			// negated CE. Admitting it could destroy that mid-group
+			// instantiation before the post-drain check can see it.
+			for _, cls := range plan.removeClasses[m.Rule.Index] {
+				pos := plan.posByClass[cls]
+				for _, r := range negTouched {
+					if pos[r] {
+						break scan
+					}
+				}
+			}
+			admit(m, c)
+			n++
+			if c.HasHalt {
+				break // no later member would have fired serially
+			}
+		}
+		e.actTags, e.actNeg = removedTags, negTouched // retain capacity
+	}
+	if n < len(cands) {
+		e.actStats.Conflicts += int64(len(cands) - n)
+		for i := len(cands) - 1; i >= n; i-- {
+			e.CS.Reinsert(cands[i])
+		}
+	}
+	return cands[:n]
+}
+
+// fireGroup stages, commits, drains and verifies one multi-fire group
+// (len >= 2). Working memory and the matcher see removals immediately —
+// the matcher starts chewing while later members are still staging —
+// but every external effect stays buffered until verification passes.
+// Staging runs inline on the control goroutine: a GroupSafe right-hand
+// side only appends removal/halt/write ops, so the pipelining win comes
+// from the matcher overlapping the remaining members, not from fanning
+// the (trivial) staging work out to goroutines whose spawn-and-join
+// cost would dwarf it. The delta, event buffer and removal list are
+// engine-owned scratch, so a committed group allocates nothing beyond
+// what it flushes.
+func (e *Engine) fireGroup(group []*conflict.Instantiation, opt Options, res *Result) error {
+	e.actStats.SpeculativeFires += int64(len(group))
+	buf := &e.actBuf
+	buf.events = buf.events[:0]
+	buf.instr = 0
+	d := &e.actDelta
+	removed := e.actRemoved[:0]
+
+	// Buffer only events some sink will consume at flush; a benchmark run
+	// with no journal, listener or tracing then commits groups without a
+	// single event append (tags() is the one allocation buf.fire makes).
+	wantFires := e.journal != nil || opt.RecordFiring || (opt.TraceFires && e.Out != nil)
+	wantRemoves := e.journal != nil || e.WMListener != nil || e.traceWMEs
+
+	var (
+		haltWas   = e.halted
+		cyc       = res.Cycles
+		firstSub  time.Time
+		committed int
+	)
+	for i, m := range group {
+		if i > 0 {
+			// Replicate the serial loop's per-cycle gates between firings. A
+			// budget stop here just truncates the group; the outer loop's own
+			// hook call reports it exactly as the serial loop would.
+			if e.halted {
+				break
+			}
+			if opt.Hook != nil && opt.Hook(cyc) != nil {
+				break
+			}
+		}
+		d.ops = d.ops[:0]
+		d.instr, d.err, d.invalid = 0, nil, false
+		d.instr, d.err = rhs.Exec(e.compiled[m.Rule.Index], m.Wmes, e.stagedEnv(d))
+		if d.err != nil || d.invalid {
+			break // refire serially so any error surfaces on the serial path
+		}
+		cyc++
+		if wantFires {
+			buf.fire(m, cyc)
+		}
+		for _, op := range d.ops {
+			switch op.kind {
+			case actOpRemove:
+				if e.WM.Remove(op.w) {
+					removed = append(removed, op.w)
+					if wantRemoves {
+						buf.remove(op.w)
+					}
+					if firstSub.IsZero() {
+						firstSub = time.Now()
+					}
+					t0 := time.Now()
+					e.Matcher.Submit(false, op.w)
+					e.matchTime += time.Since(t0)
+				}
+			case actOpHalt:
+				e.halted = true
+				buf.halt()
+			case actOpWrite:
+				buf.write(op.text)
+			}
+		}
+		buf.instr += int64(d.instr)
+		committed = i + 1
+	}
+	e.actRemoved = removed // retain capacity; contents are dead after return
+	if committed == 0 {
+		// The dominant member itself failed to stage (RHS error or an
+		// unstageable effect). Nothing touched working memory; fire it on
+		// the serial path so any error surfaces exactly as FireBatch=1.
+		for i := len(group) - 1; i >= 1; i-- {
+			e.CS.Reinsert(group[i])
+		}
+		return e.fireMarked(group[0], opt, res)
+	}
+	// Unfired members return to the live set before the drain: none of
+	// their matched elements were removed (the planner guarantees it), so
+	// no terminal minus can race the reinsertion.
+	for i := len(group) - 1; i >= committed; i-- {
+		e.CS.Reinsert(group[i])
+	}
+
+	drainStart := time.Now()
+	if !firstSub.IsZero() {
+		e.actStats.OverlapNs += drainStart.Sub(firstSub).Nanoseconds()
+	}
+	e.drain()
+
+	// Post-drain verification: the group was a valid serial prefix unless
+	// some now-live instantiation dominates its last member — only a
+	// mid-group removal emptying a negated CE can have created one.
+	// Anything dominating an earlier member also dominates the last
+	// (members arrive in dominance order and dominance is transitive), so
+	// one comparison covers the whole group. Conservative: a dominator
+	// created by the final member alone would have been no divergence,
+	// but it cannot be told apart cheaply, so it also trips a rollback.
+	last := group[committed-1]
+	if sel := e.CS.Select(); sel != nil && e.CS.Dominates(sel, last) {
+		return e.rollbackGroup(group[:committed], removed, haltWas, opt, res)
+	}
+
+	for _, m := range group[:committed] {
+		e.CS.CommitFired(m)
+	}
+	buf.flush(e, opt, res)
+	e.rhsCount.Add(buf.instr)
+	res.Cycles = cyc
+	e.actStats.GroupCommits++
+	e.actStats.GroupedFires += int64(committed)
+	return nil
+}
+
+// rollbackGroup restores the exact pre-group state after a failed
+// verification, then runs one serial cycle for guaranteed progress.
+func (e *Engine) rollbackGroup(committed []*conflict.Instantiation, removed []*wm.WME, haltWas bool, opt Options, res *Result) error {
+	e.actStats.Rollbacks++
+	e.actStats.RolledBackFires += int64(len(committed))
+	e.halted = haltWas
+	// Un-fire. Members whose own removals retracted their fired entry
+	// during the group drain are skipped (Reinsert reports false); the
+	// replay below re-derives them live and unfired, which is exactly
+	// their pre-group state.
+	for i := len(committed) - 1; i >= 0; i-- {
+		e.CS.Reinsert(committed[i])
+	}
+	// Replay the removals in reverse under the original element pointers
+	// and tags. The journal and listener never saw them (external effects
+	// were buffered), so the undo bypasses submit().
+	for i := len(removed) - 1; i >= 0; i-- {
+		w := removed[i]
+		e.WM.Restore(w)
+		t0 := time.Now()
+		e.Matcher.Submit(true, w)
+		e.matchTime += time.Since(t0)
+	}
+	e.drain()
+	// One serial cycle so every rollback still makes progress; the outer
+	// loop then re-plans below the new dominator. The budget gate runs
+	// first, as it would before any serial cycle.
+	if opt.Hook != nil && opt.Hook(res.Cycles) != nil {
+		return nil // the outer loop re-checks and reports the stop
+	}
+	inst := e.CS.Select()
+	if inst == nil {
+		return nil
+	}
+	e.CS.MarkFired(inst)
+	return e.fireMarked(inst, opt, res)
+}
+
+// ActStats returns the accumulated act-phase counters (multi-fire
+// grouping, rollbacks, pipeline overlap). Snapshot between runs only.
+func (e *Engine) ActStats() stats.Act { return e.actStats }

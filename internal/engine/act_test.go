@@ -1,0 +1,248 @@
+package engine_test
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/conflict"
+	"repro/internal/engine"
+	"repro/internal/ops5"
+	"repro/internal/parmatch"
+	"repro/internal/rete"
+	"repro/internal/seqmatch"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+// actBackends enumerates the matcher backends the multi-fire act phase
+// must agree across.
+var actBackends = []struct {
+	name string
+	make func(net *rete.Network, cs *conflict.Set) (engine.Matcher, func())
+}{
+	{"vs1", func(net *rete.Network, cs *conflict.Set) (engine.Matcher, func()) {
+		return seqmatch.New(net, seqmatch.VS1, 0, cs), func() {}
+	}},
+	{"vs2", func(net *rete.Network, cs *conflict.Set) (engine.Matcher, func()) {
+		return seqmatch.New(net, seqmatch.VS2, 0, cs), func() {}
+	}},
+	{"parallel", func(net *rete.Network, cs *conflict.Set) (engine.Matcher, func()) {
+		m := parmatch.New(net, parmatch.Config{Procs: 4}, cs)
+		return m, m.Close
+	}},
+}
+
+// actRun captures everything a run must reproduce exactly regardless of
+// FireBatch: the firing trace, the output text, the final working
+// memory (values and time tags), and the summary flags.
+type actRun struct {
+	trace  []string
+	out    string
+	wm     []string
+	cycles int
+	halted bool
+	rhs    int64
+}
+
+func runActBackend(t *testing.T, src, backend string, fireBatch, maxCycles int) (*actRun, stats.Act) {
+	t.Helper()
+	prog, err := ops5.Parse(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	net, err := rete.Compile(prog)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	cs := conflict.NewSet()
+	var (
+		m       engine.Matcher
+		closeFn func()
+	)
+	for _, b := range actBackends {
+		if b.name == backend {
+			m, closeFn = b.make(net, cs)
+		}
+	}
+	if m == nil {
+		t.Fatalf("unknown backend %q", backend)
+	}
+	defer closeFn()
+	var out strings.Builder
+	e, err := engine.New(prog, net, cs, m, &out)
+	if err != nil {
+		t.Fatalf("engine: %v", err)
+	}
+	if err := e.Init(); err != nil {
+		t.Fatalf("init: %v", err)
+	}
+	res, err := e.Run(engine.Options{MaxCycles: maxCycles, RecordFiring: true, FireBatch: fireBatch})
+	if err != nil {
+		t.Fatalf("run (batch %d): %v", fireBatch, err)
+	}
+	if !cs.Drained() {
+		t.Fatalf("batch %d: conflict set left parked deletes", fireBatch)
+	}
+	r := &actRun{cycles: res.Cycles, halted: res.Halted, out: out.String(), rhs: res.RHSInstr}
+	for _, f := range res.Firings {
+		r.trace = append(r.trace, fmt.Sprintf("%d %s %v", f.Cycle, f.Rule, f.TimeTags))
+	}
+	r.wm = snapshotWM(e)
+	return r, e.ActStats()
+}
+
+func snapshotWM(e *engine.Engine) []string {
+	var out []string
+	for _, w := range e.WM.Snapshot() {
+		out = append(out, fmt.Sprintf("%d %s", w.TimeTag, w.String(e.Prog.Symbols, e.Prog.AttrName)))
+	}
+	return out
+}
+
+// diffActRuns fails the test if two runs diverge anywhere observable.
+func diffActRuns(t *testing.T, label string, want, got *actRun) {
+	t.Helper()
+	if want.cycles != got.cycles || want.halted != got.halted {
+		t.Errorf("%s: cycles/halted = %d/%v, want %d/%v", label, got.cycles, got.halted, want.cycles, want.halted)
+	}
+	if want.rhs != got.rhs {
+		t.Errorf("%s: RHSInstr = %d, want %d", label, got.rhs, want.rhs)
+	}
+	if want.out != got.out {
+		t.Errorf("%s: output diverged:\n got %q\nwant %q", label, got.out, want.out)
+	}
+	if len(want.trace) != len(got.trace) {
+		t.Fatalf("%s: trace length %d, want %d\n got %v\nwant %v", label, len(got.trace), len(want.trace), got.trace, want.trace)
+	}
+	for i := range want.trace {
+		if want.trace[i] != got.trace[i] {
+			t.Fatalf("%s: trace[%d] = %q, want %q", label, i, got.trace[i], want.trace[i])
+		}
+	}
+	if len(want.wm) != len(got.wm) {
+		t.Fatalf("%s: WM size %d, want %d", label, len(got.wm), len(want.wm))
+	}
+	for i := range want.wm {
+		if want.wm[i] != got.wm[i] {
+			t.Errorf("%s: wm[%d] = %q, want %q", label, i, got.wm[i], want.wm[i])
+		}
+	}
+}
+
+// rollbackKernelSrc is the adversarial workload: sweep rules remove item
+// elements while a strictly more recent watcher (trigger is the newest
+// element) instantiates through a negated CE the moment the last item
+// disappears — so the final sweep group always creates a dominating
+// instantiation mid-group and must roll back.
+func rollbackKernelSrc(items int) string {
+	var b strings.Builder
+	b.WriteString(`
+(literalize ctx phase)
+(literalize item n)
+(literalize trigger on)
+(literalize note n)
+(p sweep
+  (ctx ^phase go)
+  (item ^n <n>)
+-->
+  (write sweeping <n> (crlf))
+  (remove 2))
+(p watch
+  (trigger ^on yes)
+  - (item)
+-->
+  (make note ^n 1))
+(p finish
+  (note ^n 1)
+-->
+  (write all-clear (crlf))
+  (halt))
+(make ctx ^phase go)
+`)
+	for i := 1; i <= items; i++ {
+		fmt.Fprintf(&b, "(make item ^n %d)\n", i)
+	}
+	b.WriteString("(make trigger ^on yes)\n")
+	return b.String()
+}
+
+// overlapKernelSrc makes instantiations share matched elements: every
+// pair of tokens is matched jointly and both are removed, so most
+// SelectN candidates conflict with the group head and are re-inserted.
+const overlapKernelSrc = `
+(literalize tok n)
+(p eat-pair
+  (tok ^n <a>)
+  (tok ^n {<b> > <a>})
+-->
+  (remove 1)
+  (remove 2))
+(make tok ^n 1)
+(make tok ^n 2)
+(make tok ^n 3)
+(make tok ^n 4)
+(make tok ^n 5)
+(make tok ^n 6)
+(make tok ^n 7)
+`
+
+// TestFireBatchDifferential: FireBatch in {2,4,8} reproduces the
+// FireBatch=1 run bit-for-bit — same firing trace, same time tags, same
+// working memory, same output — on every backend, for a grouping-heavy
+// real workload, a rollback-heavy adversarial kernel, an overlapping
+// read-set kernel, and a make/modify workload that never groups.
+func TestFireBatchDifferential(t *testing.T) {
+	workloads := []struct {
+		name      string
+		src       string
+		maxCycles int
+	}{
+		{"tourney", workload.Tourney(8), 4000},
+		{"rollback-kernel", rollbackKernelSrc(12), 200},
+		{"overlap-kernel", overlapKernelSrc, 100},
+		{"counter", counterSrc, 100},
+	}
+	for _, w := range workloads {
+		for _, b := range actBackends {
+			ref, _ := runActBackend(t, w.src, b.name, 1, w.maxCycles)
+			for _, batch := range []int{2, 4, 8} {
+				got, _ := runActBackend(t, w.src, b.name, batch, w.maxCycles)
+				diffActRuns(t, fmt.Sprintf("%s/%s/batch=%d", w.name, b.name, batch), ref, got)
+			}
+		}
+	}
+}
+
+// TestFireBatchGroupsAndRollsBack asserts the machinery actually
+// engages: Tourney's sweep phase must commit multi-fire groups, and the
+// adversarial kernel must take rollbacks — otherwise the differential
+// test above is vacuously passing on the serial path.
+func TestFireBatchGroupsAndRollsBack(t *testing.T) {
+	_, act := runActBackend(t, workload.Tourney(8), "vs2", 8, 4000)
+	if act.GroupCommits == 0 || act.GroupedFires == 0 {
+		t.Errorf("tourney: no group commits (act=%+v)", act)
+	}
+	if act.Rollbacks != 0 {
+		t.Errorf("tourney: unexpected rollbacks (act=%+v)", act)
+	}
+	_, act = runActBackend(t, rollbackKernelSrc(12), "vs2", 8, 200)
+	if act.Rollbacks == 0 || act.RolledBackFires == 0 {
+		t.Errorf("rollback kernel: no rollbacks exercised (act=%+v)", act)
+	}
+	_, act = runActBackend(t, overlapKernelSrc, "vs2", 8, 100)
+	if act.Conflicts == 0 {
+		t.Errorf("overlap kernel: no plan conflicts recorded (act=%+v)", act)
+	}
+}
+
+// TestFireBatchConcurrentRHS runs the grouping workloads with the
+// parallel matcher under the race detector: staged RHS goroutines, the
+// atomic instruction counter and ordered trace assembly must be clean.
+func TestFireBatchConcurrentRHS(t *testing.T) {
+	for _, src := range []string{workload.Tourney(8), rollbackKernelSrc(16)} {
+		ref, _ := runActBackend(t, src, "parallel", 1, 4000)
+		got, _ := runActBackend(t, src, "parallel", 8, 4000)
+		diffActRuns(t, "parallel/batch=8", ref, got)
+	}
+}

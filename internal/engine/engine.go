@@ -10,6 +10,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/conflict"
@@ -87,6 +88,13 @@ type Options struct {
 	TraceFires   bool // print each firing to Out (OPS5 watch 1)
 	TraceWMEs    bool // also print each WM change to Out (OPS5 watch 2)
 	CheckEvery   bool // run matcher invariant checks after every cycle
+	// FireBatch > 1 enables the speculative multi-fire act phase (act.go):
+	// up to FireBatch dominant instantiations fire per super-cycle when
+	// their read and write sets are disjoint, with one match phase for
+	// the whole group. Results — WM, time tags, firing traces, journal —
+	// are identical to FireBatch = 1; only the schedule changes. 0 and 1
+	// run the serial loop unchanged.
+	FireBatch int
 	// Hook, when non-nil, runs at the top of every cycle; a non-nil
 	// return stops the run (see RunHook and ErrLimit). The inference
 	// server uses it to enforce per-request cycle and time budgets on a
@@ -115,12 +123,26 @@ type Engine struct {
 	compiled []*rhs.Compiled
 	// journal, when non-nil, receives every durable event (see Journal in
 	// durable.go). Nil during replay and restore.
-	journal    Journal
-	halted     bool
-	rhsCount   int64
+	journal Journal
+	halted  bool
+	// rhsCount is atomic so staged RHS execution could fold counts from
+	// worker goroutines; the commit loop folds whole-group totals too.
+	rhsCount   atomic.Int64
 	matchTime  time.Duration
 	traceWMEs  bool
 	epochStats stats.Epoch
+	actStats   stats.Act
+	// plan caches the act planner's static tables for the current network
+	// epoch (see actPlanFor).
+	plan *actPlan
+	// Batched act-phase scratch, reused across groups so a committed
+	// group allocates nothing beyond what it flushes (see fireGroup).
+	actDelta   actDelta
+	actBuf     groupBuf
+	actRemoved []*wm.WME
+	actEnv     *rhs.Env
+	actTags    []int
+	actNeg     []int
 }
 
 // traceChange prints a working-memory change when watch-2 tracing is on.
@@ -272,6 +294,9 @@ func constExpr(ex *ops5.Expr) (wm.Value, error) {
 // Run executes recognize-act cycles until halt, conflict-set
 // exhaustion, or the cycle limit.
 func (e *Engine) Run(opt Options) (*Result, error) {
+	if opt.FireBatch > 1 {
+		return e.runBatched(opt)
+	}
 	res := &Result{}
 	e.traceWMEs = opt.TraceWMEs
 	start := time.Now()
@@ -309,7 +334,7 @@ func (e *Engine) Run(opt Options) (*Result, error) {
 		if err != nil {
 			return res, err
 		}
-		e.rhsCount += int64(n)
+		e.rhsCount.Add(int64(n))
 		e.drain()
 		if opt.CheckEvery {
 			if err := e.Matcher.CheckInvariants(); err != nil {
@@ -330,7 +355,7 @@ func (e *Engine) finish(res *Result, start time.Time) {
 	res.WMSize = e.WM.Len()
 	res.Elapsed = time.Since(start)
 	res.MatchTime = e.matchTime
-	res.RHSInstr = e.rhsCount
+	res.RHSInstr = e.rhsCount.Load()
 }
 
 // Assert adds a working-memory element from outside the recognize-act

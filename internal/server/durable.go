@@ -128,6 +128,7 @@ func metaFromConfig(cfg *SessionConfig, backendName, tpl string) *wmlog.Meta {
 		Locks:     cfg.Locks,
 		HashLines: cfg.HashLines,
 		CSShards:  cfg.CSShards,
+		FireBatch: cfg.FireBatch,
 		Template:  tpl,
 	}
 }
@@ -142,6 +143,7 @@ func configFromMeta(m *wmlog.Meta, program string) SessionConfig {
 		Locks:     m.Locks,
 		HashLines: m.HashLines,
 		CSShards:  m.CSShards,
+		FireBatch: m.FireBatch,
 	}
 }
 
@@ -365,16 +367,17 @@ func (s *Server) rebuildFromDisk(id string) (sess *Session, replayed int, torn b
 		return fail(fmt.Errorf("reopen log: %w", err))
 	}
 	sess = &Session{
-		ID:       id,
-		Backend:  backendName,
-		Created:  time.Now(),
-		sp:       sp,
-		eng:      eng,
-		matcher:  m,
-		dir:      dir,
-		progHash: hash,
-		journal:  &sessionJournal{w: w, tab: sp.prog.Symbols},
-		template: meta.Template,
+		ID:        id,
+		Backend:   backendName,
+		Created:   time.Now(),
+		sp:        sp,
+		eng:       eng,
+		matcher:   m,
+		dir:       dir,
+		progHash:  hash,
+		journal:   &sessionJournal{w: w, tab: sp.prog.Symbols},
+		template:  meta.Template,
+		fireBatch: clampFireBatch(cfg.FireBatch),
 	}
 	return sess, replayed, torn, nil
 }

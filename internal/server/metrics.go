@@ -21,6 +21,7 @@ type metrics struct {
 	conf  stats.Conflict
 	epoch stats.Epoch
 	mem   stats.Memory
+	act   stats.Act
 	dur   stats.Durability
 	// lastSnap is when any session snapshot was last written, for the
 	// snapshot-age gauge.
@@ -130,6 +131,12 @@ func (m *metrics) foldMemory(delta *stats.Memory) {
 	m.mu.Unlock()
 }
 
+func (m *metrics) foldAct(delta *stats.Act) {
+	m.mu.Lock()
+	m.act.Add(delta)
+	m.mu.Unlock()
+}
+
 // foldWriter folds one session's delta-log writer counters.
 func (m *metrics) foldWriter(delta *wmlog.WriterStats) {
 	m.mu.Lock()
@@ -189,6 +196,7 @@ func (s *Server) Snapshot() stats.Snapshot {
 		Conflict:   s.met.conf,
 		Epoch:      s.met.epoch,
 		Memory:     s.met.mem,
+		Act:        s.met.act,
 		Durability: s.met.dur,
 		Latency:    make(map[string]stats.LatencySummary, len(s.met.hists)),
 		Counts:     make(map[string]stats.CountSummary, len(s.met.counts)),

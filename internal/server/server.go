@@ -139,6 +139,11 @@ type Session struct {
 	// counters; like Conflict's gauges, per-session net changes sum to
 	// the current fleet-wide totals.
 	prevMem stats.Memory
+	// prevAct mirrors prev for the multi-fire act-phase counters.
+	prevAct stats.Act
+	// fireBatch is the session's act-phase group size (see
+	// SessionConfig.FireBatch), passed to every Run.
+	fireBatch int
 
 	// Durable state, zero-valued when the server runs memory-only.
 	dir      string            // entry directory under the data dir
@@ -214,6 +219,12 @@ type SessionConfig struct {
 	// a power of two (0 = default). Matters for parallel backends, whose
 	// match workers insert terminal activations concurrently.
 	CSShards int `json:"cs_shards"`
+	// FireBatch > 1 enables the speculative multi-fire act phase: up to
+	// this many dominant instantiations fire per super-cycle when their
+	// read and write sets are disjoint, with one match phase per group.
+	// Results are identical to serial firing; 0 or 1 keeps the serial
+	// act loop. Clamped to 64.
+	FireBatch int `json:"fire_batch"`
 }
 
 // SessionInfo describes a created session.
@@ -305,13 +316,14 @@ func (s *Server) CreateSession(cfg SessionConfig) (*SessionInfo, error) {
 		return nil, fmt.Errorf("rhs compile: %w", err)
 	}
 	sess := &Session{
-		ID:       id,
-		Backend:  backendName,
-		Created:  time.Now(),
-		sp:       sp,
-		eng:      eng,
-		matcher:  m,
-		progHash: hash,
+		ID:        id,
+		Backend:   backendName,
+		Created:   time.Now(),
+		sp:        sp,
+		eng:       eng,
+		matcher:   m,
+		progHash:  hash,
+		fireBatch: clampFireBatch(cfg.FireBatch),
 	}
 	if s.dur != nil {
 		j, dir, err := s.persistSession(id, &cfg, backendName, "", hash, sp.prog.Symbols)
@@ -360,6 +372,19 @@ func (s *Server) CreateSession(cfg SessionConfig) (*SessionInfo, error) {
 		WMSize:    eng.WM.Len(),
 		Halted:    eng.Halted(),
 	}, nil
+}
+
+// clampFireBatch normalizes the session fire-batch knob: non-positive
+// means serial, and group size is capped so one super-cycle cannot
+// spawn an unbounded number of staging goroutines.
+func clampFireBatch(n int) int {
+	if n < 0 {
+		return 0
+	}
+	if n > 64 {
+		return 64
+	}
+	return n
 }
 
 // newBackend constructs the matcher a session config asks for.
@@ -508,6 +533,11 @@ func (s *Server) foldStatsLocked(sess *Session) {
 		sess.prevMem = mcur
 		s.met.foldMemory(&mdelta)
 	}
+	acur := sess.eng.ActStats()
+	adelta := acur
+	adelta.Sub(&sess.prevAct)
+	sess.prevAct = acur
+	s.met.foldAct(&adelta)
 }
 
 // WMEInput is one element to assert: a class name and attribute values
@@ -619,6 +649,7 @@ func (s *Server) Batch(id string, req *BatchRequest) (*BatchResult, error) {
 		}
 		run, err := sess.eng.Run(engine.Options{
 			RecordFiring: !req.NoFirings,
+			FireBatch:    sess.fireBatch,
 			Hook:         engine.LimitHook(maxCycles, deadline),
 		})
 		if run != nil {

@@ -378,13 +378,14 @@ func (s *Server) Fork(templateID string) (*ForkResult, error) {
 	}
 
 	sess := &Session{
-		Backend:  tpl.Backend,
-		Created:  time.Now(),
-		sp:       tpl.sp,
-		eng:      eng,
-		matcher:  m,
-		progHash: tpl.hash,
-		template: tpl.ID,
+		Backend:   tpl.Backend,
+		Created:   time.Now(),
+		sp:        tpl.sp,
+		eng:       eng,
+		matcher:   m,
+		progHash:  tpl.hash,
+		template:  tpl.ID,
+		fireBatch: clampFireBatch(tpl.cfg.FireBatch),
 	}
 
 	s.mu.Lock()

@@ -211,6 +211,7 @@ type Snapshot struct {
 	Conflict   Conflict                  `json:"conflict"`
 	Epoch      Epoch                     `json:"epoch"`
 	Memory     Memory                    `json:"memory"`
+	Act        Act                       `json:"act"`
 	Durability Durability                `json:"durability"`
 	Latency    map[string]LatencySummary `json:"latency"`
 	Counts     map[string]CountSummary   `json:"counts"`

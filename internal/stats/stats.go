@@ -198,6 +198,53 @@ func (e *Epoch) Sub(o *Epoch) {
 	e.RemovedInsts -= o.RemovedInsts
 }
 
+// Act aggregates transactional act-phase statistics: the speculative
+// multi-fire machinery behind engine.Options.FireBatch. All fields are
+// monotonic counters and fold as deltas like Match. SpeculativeFires
+// counts right-hand sides staged ahead of their commit decision
+// (discarded stagings included); Conflicts counts candidates cut from a
+// group at plan time because their read set overlapped an earlier
+// member's staged removals (or their RHS was not group-safe); Rollbacks
+// counts committed groups undone by the post-drain dominance check,
+// with RolledBackFires the firings those undos discarded. OverlapNs is
+// the wall-clock during which match work and RHS staging/commit were in
+// flight together — the pipelining the paper's control process gets by
+// feeding the match processes while the RHS is still being evaluated.
+type Act struct {
+	SpeculativeFires int64 `json:"speculative_fires"`
+	GroupCommits     int64 `json:"group_commits"`
+	GroupedFires     int64 `json:"grouped_fires"`
+	SerialFires      int64 `json:"serial_fires"`
+	Conflicts        int64 `json:"conflicts"`
+	Rollbacks        int64 `json:"rollbacks"`
+	RolledBackFires  int64 `json:"rolled_back_fires"`
+	OverlapNs        int64 `json:"overlap_ns"`
+}
+
+// Add accumulates o into a.
+func (a *Act) Add(o *Act) {
+	a.SpeculativeFires += o.SpeculativeFires
+	a.GroupCommits += o.GroupCommits
+	a.GroupedFires += o.GroupedFires
+	a.SerialFires += o.SerialFires
+	a.Conflicts += o.Conflicts
+	a.Rollbacks += o.Rollbacks
+	a.RolledBackFires += o.RolledBackFires
+	a.OverlapNs += o.OverlapNs
+}
+
+// Sub subtracts o from a, for per-session delta folding like Match.Sub.
+func (a *Act) Sub(o *Act) {
+	a.SpeculativeFires -= o.SpeculativeFires
+	a.GroupCommits -= o.GroupCommits
+	a.GroupedFires -= o.GroupedFires
+	a.SerialFires -= o.SerialFires
+	a.Conflicts -= o.Conflicts
+	a.Rollbacks -= o.Rollbacks
+	a.RolledBackFires -= o.RolledBackFires
+	a.OverlapNs -= o.OverlapNs
+}
+
 // Memory describes the token hash tables backing a matcher: Lines,
 // Entries and MaxLineDepth are point-in-time gauges (current line
 // count, live token entries, high-water live entries in one line);

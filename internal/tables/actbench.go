@@ -1,0 +1,255 @@
+// Act-phase benchmarks for the speculative multi-fire engine. These run
+// the full recognize-act loop — parse, compile, Init, Run — on the real
+// goroutine matcher and sweep FireBatch × procs, so the headline number
+// is whole-run cycles/sec: how much faster the engine retires rule
+// firings when the act phase pops a batch of non-conflicting dominant
+// instantiations per drain instead of one. cmd/psmbench -act runs on
+// top of this file and records the results in BENCH_act.json; the
+// bench-smoke gate checks the host-independent structural properties
+// (FireBatch-equivalence of the run, group-formation share, rollback
+// ratio) rather than wall-clock.
+package tables
+
+import (
+	"fmt"
+	"runtime"
+	"strings"
+	"time"
+
+	"repro/internal/conflict"
+	"repro/internal/engine"
+	"repro/internal/parmatch"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+// ActBenchOptions sizes the act-phase sweep.
+type ActBenchOptions struct {
+	// Scale shrinks the Tourney/Weaver workloads (1.0 = paper scale).
+	Scale float64
+	// FireBatches is the act-batch sweep (default 1,4,8). 1 is the
+	// serial baseline every other point is compared against.
+	FireBatches []int
+	// Procs is the match-process sweep (default 1,2,4,8).
+	Procs []int
+	// Reps per point; the fastest run is recorded (default 3).
+	Reps int
+	// SweepItems sizes the Sweep workload: that many (item) elements
+	// removed one rule firing each (default 2000). Sweep is the
+	// term-style stress for the batched act path — every cycle is a
+	// pure-removal firing, so grouping is the whole run.
+	SweepItems int
+}
+
+func (o *ActBenchOptions) fill() {
+	if o.Scale <= 0 {
+		o.Scale = 1
+	}
+	if len(o.FireBatches) == 0 {
+		o.FireBatches = []int{1, 4, 8}
+	}
+	if len(o.Procs) == 0 {
+		o.Procs = []int{1, 2, 4, 8}
+	}
+	if o.Reps <= 0 {
+		o.Reps = 3
+	}
+	if o.SweepItems <= 0 {
+		o.SweepItems = 2000
+	}
+}
+
+// ActBenchPoint is one (workload, fire-batch, procs) run of the full
+// engine on the goroutine matcher.
+type ActBenchPoint struct {
+	Workload     string    `json:"workload"`
+	FireBatch    int       `json:"fire_batch"`
+	Procs        int       `json:"procs"`
+	GoMaxProcs   int       `json:"gomaxprocs"`
+	Cycles       int       `json:"cycles"`
+	Seconds      float64   `json:"seconds"`
+	CyclesPerSec float64   `json:"cycles_per_sec"`
+	Act          stats.Act `json:"act"`
+	// GroupedShare is the fraction of all cycles retired inside a
+	// committed multi-fire group — how often the batched path actually
+	// engaged. Structural for a fixed workload, so smoke-gateable.
+	GroupedShare float64 `json:"grouped_share"`
+	// RollbackRatio is rolled-back speculative fires over all
+	// speculative fires — wasted staging work.
+	RollbackRatio float64 `json:"rollback_ratio"`
+	// Speedup is CyclesPerSec over the FireBatch=1 point of the same
+	// (workload, procs); 0 for the baseline points themselves.
+	Speedup float64 `json:"speedup,omitempty"`
+	// Oversubscribed: procs exceeded host CPUs, see MatchWorkloadPoint.
+	Oversubscribed bool `json:"oversubscribed,omitempty"`
+}
+
+// ActBenchReport is the BENCH_act.json payload.
+type ActBenchReport struct {
+	HostCPUs    int             `json:"host_cpus"`
+	Scale       float64         `json:"scale"`
+	FireBatches []int           `json:"fire_batches"`
+	Procs       []int           `json:"procs_swept"`
+	SweepItems  int             `json:"sweep_items"`
+	Points      []ActBenchPoint `json:"points"`
+}
+
+// SweepSrc generates the Sweep workload: a context element plus n items,
+// one pure-removal rule that clears them, and a halt rule that fires
+// once the last item is gone. Every cycle but the final halt is a
+// GroupSafe removal whose read set is disjoint from every other
+// firing's write set, so a FireBatch-k engine retires the run in ~n/k
+// drains — the best case the batched act phase is built for, analogous
+// to the term match-kernel's every-change-is-a-terminal property.
+func SweepSrc(items int) string {
+	var b strings.Builder
+	b.WriteString("; Sweep: act-phase removal storm.\n")
+	b.WriteString("(literalize ctx phase)\n(literalize item n)\n")
+	b.WriteString(`(p sweep
+  (ctx ^phase go)
+  (item ^n <n>)
+-->
+  (remove 2))
+(p done
+  (ctx ^phase go)
+- (item ^n <nn>)
+-->
+  (halt))
+(make ctx ^phase go)
+`)
+	for i := 1; i <= items; i++ {
+		fmt.Fprintf(&b, "(make item ^n %d)\n", i)
+	}
+	return b.String()
+}
+
+// ActPrograms returns the act-phase workloads: the two paper programs
+// whose runs include removal bursts (Tourney's busy-marker sweep,
+// Weaver's cleanup) plus the synthetic Sweep stress.
+func ActPrograms(scale float64, sweepItems int) []Spec {
+	if scale <= 0 {
+		scale = 1
+	}
+	s := func(n int) int {
+		v := int(float64(n) * scale)
+		if v < 2 {
+			v = 2
+		}
+		return v
+	}
+	return []Spec{
+		{Name: "Tourney", Src: workload.Tourney(s(16))},
+		{Name: "Weaver", Src: workload.Weaver(s(20), 9)},
+		{Name: "Sweep", Src: SweepSrc(sweepItems)},
+	}
+}
+
+// RunActPoint executes one spec on the goroutine matcher with the given
+// act batch and returns the measured point (without Speedup, which
+// needs the matching baseline).
+func RunActPoint(spec Spec, procs, fireBatch int) (*ActBenchPoint, error) {
+	prog, net, err := compile(spec)
+	if err != nil {
+		return nil, err
+	}
+	cs := conflict.NewSet()
+	pm := parmatch.New(net, parmatch.Config{Procs: procs, Queues: 4, Scheme: parmatch.SchemeSimple}, cs)
+	defer pm.Close()
+	e, err := engine.New(prog, net, cs, pm, nil)
+	if err != nil {
+		return nil, err
+	}
+	if err := e.Init(); err != nil {
+		return nil, fmt.Errorf("%s: init: %w", spec.Name, err)
+	}
+	start := time.Now()
+	res, err := e.Run(engine.Options{MaxCycles: maxCycles, FireBatch: fireBatch})
+	if err != nil {
+		return nil, fmt.Errorf("%s fb=%d procs=%d: %w", spec.Name, fireBatch, procs, err)
+	}
+	secs := time.Since(start).Seconds()
+	if !res.Halted {
+		return nil, fmt.Errorf("%s fb=%d procs=%d: run did not halt (%d cycles)", spec.Name, fireBatch, procs, res.Cycles)
+	}
+	act := e.ActStats()
+	pt := &ActBenchPoint{
+		Workload:       spec.Name,
+		FireBatch:      fireBatch,
+		Procs:          procs,
+		Cycles:         res.Cycles,
+		Seconds:        secs,
+		Act:            act,
+		Oversubscribed: procs > runtime.NumCPU(),
+	}
+	if secs > 0 {
+		pt.CyclesPerSec = float64(res.Cycles) / secs
+	}
+	if res.Cycles > 0 {
+		pt.GroupedShare = float64(act.GroupedFires) / float64(res.Cycles)
+	}
+	if act.SpeculativeFires > 0 {
+		pt.RollbackRatio = float64(act.RolledBackFires) / float64(act.SpeculativeFires)
+	}
+	return pt, nil
+}
+
+// RunActBench runs the FireBatch × procs sweep over the act workloads.
+// Like RunMatchBench it adjusts GOMAXPROCS per point (procs+1 for the
+// control process, capped at the host CPUs) and restores it; reps are
+// interleaved across the sweep so host phases don't bias one point.
+func RunActBench(opt ActBenchOptions) (*ActBenchReport, error) {
+	opt.fill()
+	rep := &ActBenchReport{
+		HostCPUs:    runtime.NumCPU(),
+		Scale:       opt.Scale,
+		FireBatches: opt.FireBatches,
+		Procs:       opt.Procs,
+		SweepItems:  opt.SweepItems,
+	}
+	prev := runtime.GOMAXPROCS(0)
+	defer runtime.GOMAXPROCS(prev)
+
+	type combo struct{ procs, batch int }
+	var combos []combo
+	for _, p := range opt.Procs {
+		for _, fb := range opt.FireBatches {
+			combos = append(combos, combo{p, fb})
+		}
+	}
+	for _, spec := range ActPrograms(opt.Scale, opt.SweepItems) {
+		best := make([]*ActBenchPoint, len(combos))
+		for r := 0; r < opt.Reps; r++ {
+			for j := range combos {
+				i := (j + r) % len(combos)
+				c := combos[i]
+				gm := c.procs + 1
+				if n := runtime.NumCPU(); gm > n {
+					gm = n
+				}
+				runtime.GOMAXPROCS(gm)
+				pt, err := RunActPoint(spec, c.procs, c.batch)
+				if err != nil {
+					return nil, err
+				}
+				pt.GoMaxProcs = gm
+				if best[i] == nil || pt.Seconds < best[i].Seconds {
+					best[i] = pt
+				}
+			}
+		}
+		// Attach speedups against the FireBatch=1 point at equal procs.
+		base := map[int]*ActBenchPoint{}
+		for _, pt := range best {
+			if pt.FireBatch <= 1 {
+				base[pt.Procs] = pt
+			}
+		}
+		for _, pt := range best {
+			if b := base[pt.Procs]; pt.FireBatch > 1 && b != nil && pt.Seconds > 0 {
+				pt.Speedup = b.Seconds / pt.Seconds
+			}
+			rep.Points = append(rep.Points, *pt)
+		}
+	}
+	return rep, nil
+}

@@ -44,6 +44,19 @@ type benchBaseline struct {
 	// MaxBigmemDepth caps the segregated table's high-water line depth:
 	// adaptive growth must keep lines shallow as the WM climbs.
 	MaxBigmemDepth int64 `json:"max_bigmem_line_depth"`
+	// ActGroupedShare maps workload name to the minimum fraction of
+	// cycles a FireBatch=8 run must retire inside committed multi-fire
+	// groups. Group formation depends only on the program's rule
+	// structure (GroupSafe RHS, disjoint read/write sets), so the share
+	// is a deterministic property of the workload — a drop means the
+	// planner stopped admitting members, not that the host got slow.
+	ActGroupedShare map[string]float64 `json:"act_grouped_share"`
+	// MaxActRollbackRatio caps rolled-back speculative fires over all
+	// speculative fires at FireBatch=8. These workloads group only
+	// provably non-conflicting firings, so rollbacks should be rare;
+	// a climb means the planner is admitting members the post-drain
+	// dominance check keeps rejecting (wasted staging work).
+	MaxActRollbackRatio float64 `json:"max_act_rollback_ratio"`
 	// MinForkSpeedup is the minimum fork-vs-cold session-spawn ratio
 	// (time to a served first WM batch). Forking a warm template
 	// structure-copies its state and skips parse, network compile, RHS
@@ -173,6 +186,50 @@ func TestBenchSmoke(t *testing.T) {
 		}
 	}
 
+	// Act-phase gate: run the act workloads at FireBatch 1 and 8 and
+	// check the structural properties of the batched path — the batched
+	// run must retire exactly the serial run's cycle count (speculative
+	// multi-fire is an optimization, never a semantic change), groups
+	// must actually form where the workload allows them, and rollbacks
+	// must stay rare. All counter-based, so host-independent.
+	actRep, err := RunActBench(ActBenchOptions{
+		Scale: 0.5, FireBatches: []int{1, 8}, Procs: []int{1, 4},
+		Reps: 1, SweepItems: 1000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	actCycles := map[string]int{}
+	actShare := map[string]float64{}
+	for _, p := range actRep.Points {
+		t.Logf("act %-8s fb=%d procs=%d  cycles %5d  grouped %.2f  rollback %.2f",
+			p.Workload, p.FireBatch, p.Procs, p.Cycles, p.GroupedShare, p.RollbackRatio)
+		key := fmt.Sprintf("%s/p%d", p.Workload, p.Procs)
+		if p.FireBatch <= 1 {
+			actCycles[key] = p.Cycles
+			continue
+		}
+		if got, want := p.Cycles, actCycles[key]; got != want {
+			t.Errorf("act %s fb=%d: %d cycles, serial run took %d — multi-fire changed the computation",
+				key, p.FireBatch, got, want)
+		}
+		if s, ok := actShare[p.Workload]; !ok || p.GroupedShare < s {
+			actShare[p.Workload] = p.GroupedShare
+		}
+		if mode != "update" && p.RollbackRatio > base.MaxActRollbackRatio {
+			t.Errorf("act %s fb=%d: rollback ratio %.2f > %.2f — speculation is being wasted",
+				key, p.FireBatch, p.RollbackRatio, base.MaxActRollbackRatio)
+		}
+	}
+	if mode != "update" {
+		for wl, min := range base.ActGroupedShare {
+			if got, ok := actShare[wl]; !ok || got < min {
+				t.Errorf("act %s: grouped share %.2f < %.2f — the batched act path stopped engaging",
+					wl, got, min)
+			}
+		}
+	}
+
 	// Session-spawn gate: fork a warm template vs build the same session
 	// cold. Sized down from the recorded BENCH_durability.json run but
 	// the same structural comparison.
@@ -196,6 +253,10 @@ func TestBenchSmoke(t *testing.T) {
 			MaxBigmemOppPerPair: 2,
 			MinBigmemGain:       2,
 			MaxBigmemDepth:      64,
+			ActGroupedShare: map[string]float64{
+				"Sweep": 0.9, "Tourney": 0.05, "Weaver": 0.3,
+			},
+			MaxActRollbackRatio: 0.25,
 			MinForkSpeedup:      3,
 		}
 		data, err := json.MarshalIndent(out, "", "  ")

@@ -39,6 +39,7 @@ type Meta struct {
 	Locks     string `json:"locks,omitempty"`
 	HashLines int    `json:"hash_lines,omitempty"`
 	CSShards  int    `json:"cs_shards,omitempty"`
+	FireBatch int    `json:"fire_batch,omitempty"`
 	// Template records the template a forked session was created from
 	// (informational; recovery uses the fork's own snapshot).
 	Template string `json:"template,omitempty"`

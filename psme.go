@@ -136,6 +136,11 @@ type Config struct {
 	Output io.Writer
 	// AcceptValues supplies successive (accept) results.
 	AcceptValues []Value
+	// FireBatch > 1 enables the speculative multi-fire act phase: up to
+	// FireBatch dominant instantiations fire per super-cycle when their
+	// read and write sets are disjoint, with a single match phase for the
+	// whole group. Results are identical to FireBatch = 1.
+	FireBatch int
 }
 
 // RunOptions bound a run.
@@ -160,10 +165,11 @@ type Result struct {
 
 // Engine runs the recognize-act cycle for one program.
 type Engine struct {
-	inner *engine.Engine
-	par   *parmatch.Matcher // non-nil for MatcherParallel
-	cs    *conflict.Set
-	init  bool
+	inner     *engine.Engine
+	par       *parmatch.Matcher // non-nil for MatcherParallel
+	cs        *conflict.Set
+	init      bool
+	fireBatch int
 }
 
 // New builds an engine over a fresh working memory. Call Close when
@@ -206,7 +212,7 @@ func New(p *Program, cfg Config) (*Engine, error) {
 	for _, v := range cfg.AcceptValues {
 		e.AcceptValues = append(e.AcceptValues, v.toInternal(p.prog))
 	}
-	return &Engine{inner: e, par: par, cs: cs}, nil
+	return &Engine{inner: e, par: par, cs: cs, fireBatch: cfg.FireBatch}, nil
 }
 
 // Run asserts the program's top-level makes (once) and executes
@@ -222,6 +228,7 @@ func (e *Engine) Run(opt RunOptions) (*Result, error) {
 		MaxCycles:    opt.MaxCycles,
 		RecordFiring: opt.RecordFiring,
 		TraceFires:   opt.TraceFires,
+		FireBatch:    e.fireBatch,
 	})
 	if err != nil {
 		return nil, err
@@ -252,6 +259,11 @@ func (e *Engine) WorkingMemory() []string {
 // ConflictStats returns the conflict set's counters: inserts, deletes,
 // annihilations, live/fired/pending sizes and shard lock contention.
 func (e *Engine) ConflictStats() stats.Conflict { return e.cs.StatsSnapshot() }
+
+// ActStats returns the act-phase counters of the speculative multi-fire
+// loop: grouped and serial firings, plan conflicts, rollbacks and
+// match/RHS pipeline overlap. All zero when FireBatch <= 1.
+func (e *Engine) ActStats() stats.Act { return e.inner.ActStats() }
 
 // MemStats returns the token table's memory gauges — line count, live
 // entries, high-water line depth — and adaptive-resize counters. Zero
