@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet check bench bench-smoke recovery act-differential clean
+.PHONY: all build test race vet check bench bench-smoke recovery act-differential reorder-differential clean
 
 all: build
 
@@ -39,10 +39,17 @@ recovery:
 act-differential:
 	$(GO) test -race -run 'TestFireBatch' -v ./internal/engine
 
+# The join-order equivalence suite: every workload compiled with the
+# cost-based reorderer on vs off must produce identical WM, timetags
+# and firing traces on vs1/vs2/parallel, with and without beta
+# unlinking, under the race detector.
+reorder-differential:
+	$(GO) test -race -run 'TestReorderDifferential' -v ./internal/tables
+
 vet:
 	$(GO) vet ./...
 
-check: build vet test race bench-smoke
+check: build vet test race bench-smoke reorder-differential
 
 # 1-rep match-kernel + conflict-set sweep plus the fork-vs-cold
 # session-spawn ratio, failing on regression against the checked-in

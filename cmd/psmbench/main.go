@@ -9,6 +9,7 @@
 //	psmbench -match [-procs 1,2,4,8] [-matchout BENCH_match.json]
 //	psmbench -durability [-durout BENCH_durability.json]
 //	psmbench -act [-firebatch 1,4,8] [-procs 1,2,4,8] [-actout BENCH_act.json]
+//	psmbench -join [-reorder both] [-procs 1,2,4] [-joinout BENCH_join.json]
 //	psmbench ... [-cpuprofile cpu.prof] [-memprofile mem.prof]
 package main
 
@@ -37,6 +38,9 @@ func main() {
 	durOut := flag.String("durout", "", "write -durability results as JSON to this file (e.g. BENCH_durability.json)")
 	actBench := flag.Bool("act", false, "run the act-phase FireBatch x procs sweep (speculative multi-fire)")
 	actOut := flag.String("actout", "", "write -act results as JSON to this file (e.g. BENCH_act.json)")
+	joinBench := flag.Bool("join", false, "run the adversarial join kernels (cost-based reordering, match budget, unlinking)")
+	joinOut := flag.String("joinout", "", "write -join results as JSON to this file (e.g. BENCH_join.json)")
+	reorder := flag.String("reorder", "both", "join orders to sweep for -join: on (planned), off (source) or both")
 	fireBatches := flag.String("firebatch", "1,4,8", "comma-separated act-batch sizes for -act")
 	sweepItems := flag.Int("sweep-items", 2000, "items in the -act Sweep removal workload")
 	durItems := flag.Int("dur-items", 2000, "warm base facts in the -durability template")
@@ -83,6 +87,22 @@ func main() {
 			Scale: *scale, FireBatches: batches, Procs: procs,
 			Reps: *reps, SweepItems: *sweepItems,
 		}, *actOut)
+		return
+	}
+	if *joinBench {
+		procs, err := parseProcs(*procsFlag)
+		fatal(err)
+		var modes []string
+		switch *reorder {
+		case "on":
+			modes = []string{"planned"}
+		case "off":
+			modes = []string{"source"}
+		case "both":
+		default:
+			fatal(fmt.Errorf("bad -reorder %q (want on, off or both)", *reorder))
+		}
+		runJoin(tables.JoinBenchOptions{Procs: procs, Modes: modes}, *joinOut)
 		return
 	}
 	if *match {
@@ -293,6 +313,50 @@ func runAct(opt tables.ActBenchOptions, outPath string) {
 	if oversub {
 		fmt.Println("\n* procs exceed host CPUs: point ran oversubscribed (timeshared cores)")
 	}
+	if outPath != "" {
+		data, err := json.MarshalIndent(rep, "", "  ")
+		fatal(err)
+		data = append(data, '\n')
+		fatal(os.WriteFile(outPath, data, 0o644))
+		fmt.Printf("\nwrote %s\n", outPath)
+	}
+}
+
+// runJoin runs the adversarial join kernels, prints a summary and
+// optionally writes the BENCH_join.json payload.
+func runJoin(opt tables.JoinBenchOptions, outPath string) {
+	fmt.Printf("join kernels: host CPUs %d\n", runtime.NumCPU())
+	rep, err := tables.RunJoinBench(opt)
+	fatal(err)
+	oversub := false
+	fmt.Println("\nkernel     mode     backend  procs  unlink  budget  cycles  firings  opp-examined  acts  skips  relinks  trips  quarantined")
+	for _, p := range rep.Points {
+		procs := "-"
+		if p.Procs > 0 {
+			procs = fmt.Sprintf("%d", p.Procs)
+			if p.Oversubscribed {
+				procs += "*"
+				oversub = true
+			}
+		}
+		budget := "-"
+		if p.Budget > 0 {
+			budget = fmt.Sprintf("%d", p.Budget)
+		}
+		fmt.Printf("%-10s %-8s %-8s %5s  %6v  %6s  %6d  %7d  %12d  %4d  %5d  %7d  %5d  %s\n",
+			p.Kernel, p.Mode, p.Backend, procs, p.Unlink, budget, p.Cycles, p.Firings,
+			p.OppExamined, p.Activations, p.UnlinkSkips, p.Relinks, p.BudgetTrips,
+			strings.Join(p.Quarantined, ","))
+	}
+	if oversub {
+		fmt.Println("\n* procs exceed host CPUs: point ran oversubscribed (timeshared cores)")
+	}
+	if rep.SkewGain > 0 {
+		fmt.Printf("\nskew gain (source/planned opposite candidates): %.1fx\n", rep.SkewGain)
+	}
+	fmt.Printf("cross containment (unbudgeted/budgeted candidates): %.1fx\n", rep.CrossContainment)
+	fmt.Printf("chain null-activation ratio (unlink/linked, gated): %.3f  (%d skips)\n",
+		rep.ChainNullActRatio, rep.ChainUnlinkSkips)
 	if outPath != "" {
 		data, err := json.MarshalIndent(rep, "", "  ")
 		fatal(err)

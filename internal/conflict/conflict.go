@@ -172,6 +172,26 @@ func instKey(rule *rete.CompiledRule, wmes []*wm.WME) uint64 {
 	return h
 }
 
+// permuteToken maps a network-order token back into the rule's source
+// condition-element order (rete.CompiledRule.TokenPerm). The conflict
+// set is the single choke point every matcher backend's terminal
+// activations flow through, so applying the permutation here keeps
+// instantiation keys, recency, MEA's first-CE tag, RHS positions and
+// the firing trace byte-identical whether or not the rule's joins were
+// reordered at compile time. Plus and minus activations permute the
+// same way, so pending-delete annihilation still pairs correctly.
+func permuteToken(rule *rete.CompiledRule, wmes []*wm.WME) []*wm.WME {
+	p := rule.TokenPerm
+	if p == nil {
+		return wmes
+	}
+	out := make([]*wm.WME, len(wmes))
+	for i, w := range wmes {
+		out[p[i]] = w
+	}
+	return out
+}
+
 // enter locks the shard for key h, recording contention.
 func (s *Set) enter(h uint64) *shard {
 	sh := &s.shards[h&s.mask]
@@ -272,7 +292,10 @@ func (sh *shard) recycle(inst *Instantiation) {
 }
 
 // InsertInstantiation adds an instantiation (terminal + activation).
+// The token arrives in network join order and is permuted to source
+// condition-element order before anything downstream sees it.
 func (s *Set) InsertInstantiation(rule *rete.CompiledRule, wmes []*wm.WME) {
+	wmes = permuteToken(rule, wmes)
 	h := instKey(rule, wmes)
 	sh := s.enter(h)
 	sh.c.Inserts++
@@ -304,6 +327,7 @@ func (s *Set) InsertInstantiation(rule *rete.CompiledRule, wmes []*wm.WME) {
 // processed before its plus, and the pair annihilates when the plus
 // arrives.
 func (s *Set) RemoveInstantiation(rule *rete.CompiledRule, wmes []*wm.WME) {
+	wmes = permuteToken(rule, wmes)
 	h := instKey(rule, wmes)
 	sh := s.enter(h)
 	sh.c.Deletes++

@@ -270,6 +270,9 @@ func (e *Engine) runBatched(opt Options) (*Result, error) {
 	e.traceWMEs = opt.TraceWMEs
 	start := time.Now()
 	plan := e.actPlanFor()
+	if opt.MatchBudget > 0 {
+		e.snapshotBudget()
+	}
 	for !e.halted {
 		if opt.MaxCycles > 0 && res.Cycles >= opt.MaxCycles {
 			break
@@ -315,6 +318,17 @@ func (e *Engine) runBatched(opt Options) (*Result, error) {
 			if err := e.Matcher.CheckInvariants(); err != nil {
 				return res, fmt.Errorf("cycle %d: %w", res.Cycles, err)
 			}
+		}
+		if opt.MatchBudget > 0 {
+			// A mid-group quarantine excises the offending rule's pending
+			// instantiations out of the conflict set after planGroup has
+			// already reinserted this super-cycle's unfired candidates; the
+			// shard best-caches must survive both (conflict.Reinsert keeps
+			// them coherent, which the quarantine regression tests pin).
+			if err := e.enforceBudget(opt.MatchBudget, res.Cycles); err != nil {
+				return res, err
+			}
+			plan = e.actPlanFor() // the epoch may have changed
 		}
 	}
 	if err := e.Matcher.CheckInvariants(); err != nil {

@@ -100,6 +100,13 @@ type Options struct {
 	// server uses it to enforce per-request cycle and time budgets on a
 	// long-lived session engine.
 	Hook RunHook
+	// MatchBudget > 0 caps the opposite-memory candidates any one rule's
+	// joins may examine in a single cycle. A rule over the cap is
+	// quarantined — excised via the dynamic-rule path, reported through
+	// Quarantined() — instead of stalling the session (budget.go).
+	// Requires a matcher implementing JoinExaminer and EpochSwapper;
+	// inert otherwise.
+	MatchBudget int64
 }
 
 // Engine executes one program against one matcher.
@@ -135,6 +142,10 @@ type Engine struct {
 	// plan caches the act planner's static tables for the current network
 	// epoch (see actPlanFor).
 	plan *actPlan
+	// Match-budget state (budget.go): the JoinExamined snapshot the next
+	// cycle's deltas are measured against, and the trip log.
+	budgetPrev  []int64
+	quarantined []QuarantinedRule
 	// Batched act-phase scratch, reused across groups so a committed
 	// group allocates nothing beyond what it flushes (see fireGroup).
 	actDelta   actDelta
@@ -300,6 +311,9 @@ func (e *Engine) Run(opt Options) (*Result, error) {
 	res := &Result{}
 	e.traceWMEs = opt.TraceWMEs
 	start := time.Now()
+	if opt.MatchBudget > 0 {
+		e.snapshotBudget()
+	}
 	for !e.halted {
 		if opt.MaxCycles > 0 && res.Cycles >= opt.MaxCycles {
 			break
@@ -339,6 +353,11 @@ func (e *Engine) Run(opt Options) (*Result, error) {
 		if opt.CheckEvery {
 			if err := e.Matcher.CheckInvariants(); err != nil {
 				return res, fmt.Errorf("cycle %d: %w", res.Cycles, err)
+			}
+		}
+		if opt.MatchBudget > 0 {
+			if err := e.enforceBudget(opt.MatchBudget, res.Cycles); err != nil {
+				return res, err
 			}
 		}
 	}

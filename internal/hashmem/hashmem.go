@@ -257,10 +257,15 @@ func (r *run) removeFromRun(side rete.Side, wmes []*wm.WME) (*rete.Entry, int) {
 // Recorder accumulates the sequential-matcher statistics of Tables
 // 4-1..4-3. NodeCount tracks per-(side, node) live token counts so the
 // "opposite memory non-empty" convention of Table 4-2 can be applied
-// identically for list and hash memories.
+// identically for list and hash memories. NodeExamined accumulates the
+// opposite-memory candidates every activation of a node examined
+// (unconditionally — it measures work done, not the paper's
+// non-empty-only convention); the engine's per-rule match budget reads
+// per-cycle deltas of it.
 type Recorder struct {
-	M         stats.Match
-	NodeCount [2][]int64
+	M            stats.Match
+	NodeCount    [2][]int64
+	NodeExamined []int64
 }
 
 // NewRecorder sizes the per-node counters for a network.
@@ -268,6 +273,7 @@ func NewRecorder(numJoins int) *Recorder {
 	r := &Recorder{}
 	r.NodeCount[0] = make([]int64, numJoins)
 	r.NodeCount[1] = make([]int64, numJoins)
+	r.NodeExamined = make([]int64, numJoins)
 	return r
 }
 
@@ -608,6 +614,7 @@ func searchNegatedList(line *Line, j *rete.JoinNode, side rete.Side, sign bool, 
 }
 
 func recordSearch(rec *Recorder, j *rete.JoinNode, side rete.Side, res *StepResult) {
+	rec.NodeExamined[j.ID] += int64(res.OppExamined)
 	opp := side ^ 1
 	nonEmpty := rec.NodeCount[opp][j.ID] > 0
 	if side == rete.Left {
@@ -788,6 +795,11 @@ func (r *Recorder) EnsureNodes(numJoins int) {
 			r.NodeCount[s] = grown
 		}
 	}
+	if numJoins > len(r.NodeExamined) {
+		grown := make([]int64, numJoins)
+		copy(grown, r.NodeExamined)
+		r.NodeExamined = grown
+	}
 }
 
 // ExciseNodes unlinks every memory entry and parked early delete
@@ -835,6 +847,9 @@ func (t *Table) ExciseNodes(dead map[int]bool, rec *Recorder) (removed int) {
 				if id < len(rec.NodeCount[s]) {
 					rec.NodeCount[s][id] = 0
 				}
+			}
+			if id < len(rec.NodeExamined) {
+				rec.NodeExamined[id] = 0
 			}
 		}
 	}

@@ -25,6 +25,7 @@ package parmatch
 import (
 	"fmt"
 	"runtime"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -66,6 +67,13 @@ type Config struct {
 	// of the adaptive node-segregated default — the reference the
 	// differential tests and bigmem benchmarks compare against.
 	Legacy bool
+	// Unlink enables right-unlinking of empty-left joins: right-side
+	// tasks for a join whose left memory has never been non-empty are
+	// buffered (per worker, lock-free) instead of hashed, stored and
+	// searched, and the join is relinked — its buffer replayed through
+	// the ordinary task machinery — at the next drain after its first
+	// left token arrives. Negated joins never unlink.
+	Unlink bool
 }
 
 // memState is one published generation of the token storage: the table
@@ -149,6 +157,32 @@ type Matcher struct {
 	pushRR  atomic.Int64
 	actives atomic.Int64 // node activations processed (tasks completed)
 	changes atomic.Int64 // working-memory changes submitted
+
+	// unlinkSt is the right-unlinking state (nil when Config.Unlink is
+	// off). Workers read the linked flags per task; the control process
+	// flips them and replays buffers only at drained points, so a flag
+	// is constant within a work phase.
+	unlinkSt atomic.Pointer[unlinkState]
+	relinks  int64 // control-only: joins relinked so far
+}
+
+// unlinkState carries the per-join-ID linked flags (1 = process
+// normally; accessed atomically by workers) and the merged right-side
+// buffers (net delivery count per WME; control-only, touched at
+// drained points).
+type unlinkState struct {
+	linked []uint32
+	bufs   []map[*wm.WME]int
+}
+
+// unlinkOp is one skipped right-side delivery, logged privately by the
+// worker that would have processed it. The control process merges the
+// logs while drained; the counts commute, so cross-worker op order
+// doesn't matter.
+type unlinkOp struct {
+	join int32
+	sign bool
+	wme  *wm.WME
 }
 
 // wctx is one match process's private state: its local deque, free
@@ -163,6 +197,17 @@ type wctx struct {
 	free  []*taskqueue.Task
 	pools hashmem.Pools
 	cs    *stats.Contention
+	// rec carries this worker's per-node token counts and cumulative
+	// opposite-memory examination counters. Each worker owns its own
+	// recorder (no locks); the control process sums them at drained
+	// points for relink decisions and the engine's match budget. Its
+	// aggregate Match counters are not folded into MatchStats — the
+	// scan statistics stay with the sequential instrumentation runs.
+	rec *hashmem.Recorder
+	// unlinkOps / unlinkSkips log this worker's skipped right-side
+	// deliveries; merged and cleared by the control process at drains.
+	unlinkOps   []unlinkOp
+	unlinkSkips int64
 
 	// Per-task state read by the pre-bound closures below.
 	curNet  *rete.Network  // epoch loaded at task start (emit fan-out)
@@ -220,11 +265,27 @@ func New(net *rete.Network, cfg Config, sink rete.TerminalSink) *Matcher {
 			rr:    i,
 			local: taskqueue.NewDeque(cfg.LocalCap),
 			cs:    &m.ws[i].c,
+			rec:   hashmem.NewRecorder(net.NumJoinIDs()),
 			wake:  make(chan struct{}, 1),
 		}
 		w.emitFn = w.emit
 		w.deliverFn = w.deliver
 		m.workers[i] = w
+	}
+	if cfg.Unlink {
+		us := &unlinkState{
+			linked: make([]uint32, net.NumJoinIDs()),
+			bufs:   make([]map[*wm.WME]int, net.NumJoinIDs()),
+		}
+		for i := range us.linked {
+			us.linked[i] = 1
+		}
+		for _, j := range net.Joins {
+			if !j.Negated {
+				us.linked[j.ID] = 0
+			}
+		}
+		m.unlinkSt.Store(us)
 	}
 	for i := 0; i < cfg.Procs; i++ {
 		m.wg.Add(1)
@@ -315,9 +376,91 @@ func (w *wctx) unkick() {
 // table and publish it, locks and all, before the next Submit.
 func (m *Matcher) Drain() {
 	m.queues.WaitIdle()
+	if us := m.unlinkSt.Load(); us != nil {
+		m.relinkLoop(us)
+	}
 	ms := m.mem.Load()
 	if n := ms.table.GrowTarget(); n > 0 {
 		m.mem.Store(newMemState(ms.table.Grow(n), m.cfg.Scheme))
+	}
+}
+
+// relinkLoop runs at a drained point: it folds every worker's skipped
+// right-delivery log into the per-join buffers (the counts commute, so
+// cross-worker merge order doesn't matter), relinks each unlinked join
+// whose left memory has become non-empty by replaying its buffer
+// through the ordinary task machinery, and repeats — a relinked join's
+// replay can emit left tokens into other unlinked joins downstream —
+// until no join changes state. The left counts come from summing the
+// per-worker recorders, which the TaskCount==0 edge made visible.
+func (m *Matcher) relinkLoop(us *unlinkState) {
+	for {
+		for _, w := range m.workers {
+			for _, op := range w.unlinkOps {
+				b := us.bufs[op.join]
+				if b == nil {
+					b = make(map[*wm.WME]int)
+					us.bufs[op.join] = b
+				}
+				if op.sign {
+					b[op.wme]++
+				} else {
+					b[op.wme]--
+				}
+				if b[op.wme] == 0 {
+					delete(b, op.wme)
+				}
+			}
+			w.unlinkOps = w.unlinkOps[:0]
+		}
+		// Gather every replay before injecting any: an injected task wakes
+		// workers, and the recorder reads below are only race-free while
+		// the matcher stays drained.
+		net := m.net.Load()
+		var replay []*taskqueue.Task
+		for _, j := range net.Joins {
+			if j.Negated || atomic.LoadUint32(&us.linked[j.ID]) == 1 {
+				continue
+			}
+			var left int64
+			for _, w := range m.workers {
+				left += w.rec.NodeCount[rete.Left][j.ID]
+			}
+			if left <= 0 {
+				continue
+			}
+			atomic.StoreUint32(&us.linked[j.ID], 1)
+			m.relinks++
+			buf := us.bufs[j.ID]
+			us.bufs[j.ID] = nil
+			if len(buf) == 0 {
+				continue
+			}
+			// Replay in timetag order: the order the WMEs would have
+			// arrived had the join been linked all along.
+			wmes := make([]*wm.WME, 0, len(buf))
+			for rw, c := range buf {
+				if c > 0 {
+					wmes = append(wmes, rw)
+				}
+			}
+			sort.Slice(wmes, func(a, b int) bool { return wmes[a].TimeTag < wmes[b].TimeTag })
+			// Replay tokens escape into node memories, so they come from a
+			// throwaway arena, not a worker pool.
+			var pools hashmem.Pools
+			for _, rw := range wmes {
+				tok := pools.MakeToken(1)
+				tok[0] = rw
+				replay = append(replay, &taskqueue.Task{Join: j, Side: rete.Right, Sign: true, Wmes: tok})
+			}
+		}
+		if len(replay) == 0 {
+			return
+		}
+		for _, t := range replay {
+			m.inject(t)
+		}
+		m.queues.WaitIdle()
 	}
 }
 
@@ -341,10 +484,47 @@ func (m *Matcher) Activations() int64 { return m.actives.Load() }
 // The memory-scan statistics stay with the instrumented sequential
 // matchers, as in the paper. Safe to call while drained.
 func (m *Matcher) MatchStats() stats.Match {
-	return stats.Match{
+	out := stats.Match{
 		WMChanges:   m.changes.Load(),
 		Activations: m.actives.Load(),
+		Relinks:     m.relinks,
 	}
+	for _, w := range m.workers {
+		out.UnlinkSkips += w.unlinkSkips
+	}
+	return out
+}
+
+// JoinExamined returns the cumulative per-join opposite-memory
+// candidate counts summed across the worker recorders, indexed by join
+// ID. Only meaningful while drained. The engine's match budget reads
+// per-cycle deltas of it.
+func (m *Matcher) JoinExamined() []int64 {
+	out := make([]int64, m.net.Load().NumJoinIDs())
+	for _, w := range m.workers {
+		for id, v := range w.rec.NodeExamined {
+			if id < len(out) {
+				out[id] += v
+			}
+		}
+	}
+	return out
+}
+
+// UnlinkedJoins reports how many live joins are currently unlinked.
+// Only meaningful while drained.
+func (m *Matcher) UnlinkedJoins() int {
+	us := m.unlinkSt.Load()
+	if us == nil {
+		return 0
+	}
+	n := 0
+	for _, j := range m.net.Load().Joins {
+		if !j.Negated && atomic.LoadUint32(&us.linked[j.ID]) == 0 {
+			n++
+		}
+	}
+	return n
 }
 
 // Contention merges the per-process spin, steal and overflow counters.
@@ -613,6 +793,16 @@ func (w *wctx) emit(csign bool, cwmes []*wm.WME) {
 func (w *wctx) join(t *taskqueue.Task) (requeued bool) {
 	m := w.m
 	j := t.Join
+	if us := m.unlinkSt.Load(); us != nil && t.Side == rete.Right &&
+		atomic.LoadUint32(&us.linked[j.ID]) == 0 {
+		// Right delivery into an unlinked join: log it privately instead
+		// of hashing, storing and searching. The control process merges
+		// the logs while drained and replays them through the ordinary
+		// task machinery when the join's first left token relinks it.
+		w.unlinkOps = append(w.unlinkOps, unlinkOp{join: int32(j.ID), sign: t.Sign, wme: t.Wmes[0]})
+		w.unlinkSkips++
+		return false
+	}
 	var hash uint64
 	if t.Side == rete.Left {
 		hash = j.LeftHash(t.Wmes)
@@ -630,9 +820,9 @@ func (w *wctx) join(t *taskqueue.Task) (requeued bool) {
 	if m.cfg.Scheme == SchemeSimple {
 		spins := ms.simple[idx].Acquire()
 		w.recordLine(t.Side, spins)
-		entry, ref, res := table.UpdateOwn(idx, j, t.Side, t.Sign, t.Wmes, hash, nil, &w.pools)
+		entry, ref, res := table.UpdateOwn(idx, j, t.Side, t.Sign, t.Wmes, hash, w.rec, &w.pools)
 		if res.Proceeded {
-			table.SearchOpposite(idx, ref, j, t.Side, t.Sign, t.Wmes, entry, nil, &w.pools, w.emitFn)
+			table.SearchOpposite(idx, ref, j, t.Side, t.Sign, t.Wmes, entry, w.rec, &w.pools, w.emitFn)
 		}
 		ms.simple[idx].Release()
 		if !t.Sign && res.Proceeded {
@@ -655,14 +845,14 @@ func (w *wctx) join(t *taskqueue.Task) (requeued bool) {
 	}
 	spins = ms.mrsw[idx].Mod.Acquire()
 	w.recordLine(t.Side, spins)
-	entry, ref, res := table.UpdateOwn(idx, j, t.Side, t.Sign, t.Wmes, hash, nil, &w.pools)
+	entry, ref, res := table.UpdateOwn(idx, j, t.Side, t.Sign, t.Wmes, hash, w.rec, &w.pools)
 	if j.Negated && t.Side == rete.Left {
 		// Negated-node left activations must compute or read the join
 		// count atomically with the memory update: a concurrent left
 		// delete of the same token would otherwise observe the entry
 		// before its count is stored and emit an unmatched retraction.
 		if res.Proceeded {
-			table.SearchOpposite(idx, ref, j, t.Side, t.Sign, t.Wmes, entry, nil, &w.pools, w.emitFn)
+			table.SearchOpposite(idx, ref, j, t.Side, t.Sign, t.Wmes, entry, w.rec, &w.pools, w.emitFn)
 		}
 		ms.mrsw[idx].Mod.Release()
 	} else {
@@ -670,7 +860,7 @@ func (w *wctx) join(t *taskqueue.Task) (requeued bool) {
 		// resolved under it keeps the sub-index off this unlocked path.
 		ms.mrsw[idx].Mod.Release()
 		if res.Proceeded {
-			table.SearchOpposite(idx, ref, j, t.Side, t.Sign, t.Wmes, entry, nil, &w.pools, w.emitFn)
+			table.SearchOpposite(idx, ref, j, t.Side, t.Sign, t.Wmes, entry, w.rec, &w.pools, w.emitFn)
 		}
 	}
 	ms.mrsw[idx].Exit()
@@ -734,8 +924,49 @@ func (m *Matcher) SwapEpoch(next *rete.Network, live []*wm.WME) (removed int, er
 			dead[j.ID] = true
 		}
 		removed = table.ExciseNodes(dead, nil)
+		us := m.unlinkSt.Load()
+		for id := range dead {
+			for _, w := range m.workers {
+				w.rec.NodeCount[0][id] = 0
+				w.rec.NodeCount[1][id] = 0
+				w.rec.NodeExamined[id] = 0
+			}
+			if us != nil {
+				// A dead join's buffered rights die with it; the flag is
+				// parked at linked so the never-reused ID stays inert.
+				atomic.StoreUint32(&us.linked[id], 1)
+				us.bufs[id] = nil
+			}
+		}
 	}
 	m.net.Store(next)
+	nj := next.NumJoinIDs()
+	for _, w := range m.workers {
+		w.rec.EnsureNodes(nj)
+	}
+	if us := m.unlinkSt.Load(); us != nil {
+		if nj > len(us.linked) {
+			nl := make([]uint32, nj)
+			copy(nl, us.linked)
+			for i := len(us.linked); i < nj; i++ {
+				nl[i] = 1
+			}
+			nb := make([]map[*wm.WME]int, nj)
+			copy(nb, us.bufs)
+			us = &unlinkState{linked: nl, bufs: nb}
+			m.unlinkSt.Store(us)
+		}
+		// New joins are born with empty memories: start the non-negated
+		// ones unlinked, so the phase-1 right replay below lands in their
+		// buffers and the final drain relinks exactly those whose left
+		// memory filled during phase 2. Negated joins stay linked — their
+		// counts must settle in phase 1, before any left seed arrives.
+		for _, j := range d.NewJoins {
+			if !j.Negated {
+				atomic.StoreUint32(&us.linked[j.ID], 0)
+			}
+		}
+	}
 
 	targets := next.ReplayDests()
 	if len(targets) == 0 && len(d.GrownJoins) == 0 {

@@ -178,3 +178,118 @@ func TestRepeatedParallelRunsAreStable(t *testing.T) {
 		}
 	}
 }
+
+// runParM is runPar but also hands back the matcher (still open inside
+// the callback) so tests can read unlink and examination counters while
+// the engine is drained.
+func runParM(t *testing.T, src string, cfg parmatch.Config, maxCycles int,
+	inspect func(*parmatch.Matcher)) *engine.Result {
+	t.Helper()
+	prog, err := ops5.Parse(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	net, err := rete.Compile(prog)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	cs := conflict.NewSet()
+	m := parmatch.New(net, cfg, cs)
+	defer m.Close()
+	e, err := engine.New(prog, net, cs, m, nil)
+	if err != nil {
+		t.Fatalf("engine: %v", err)
+	}
+	if err := e.Init(); err != nil {
+		t.Fatalf("init: %v", err)
+	}
+	res, err := e.Run(engine.Options{MaxCycles: maxCycles, RecordFiring: true, CheckEvery: true})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if inspect != nil {
+		inspect(m)
+	}
+	return res
+}
+
+// TestUnlinkMatchesSequential verifies that right-unlinking changes the
+// work done, never the results: every configuration with Unlink on
+// fires exactly the sequence the sequential matcher does, on both the
+// positive chain workload and the negation-churn workload.
+func TestUnlinkMatchesSequential(t *testing.T) {
+	srcs := map[string]string{
+		"chain": chainSrc(25),
+		"neg":   negSrc,
+	}
+	for name, src := range srcs {
+		want := runSeq(t, src, 500)
+		for _, cfg := range configs() {
+			cfg := cfg
+			cfg.Unlink = true
+			t.Run(fmt.Sprintf("%s/p%dq%d%s", name, cfg.Procs, cfg.Queues, cfg.Scheme), func(t *testing.T) {
+				var skips, relinks int64
+				got := runParM(t, src, cfg, 500, func(m *parmatch.Matcher) {
+					ms := m.MatchStats()
+					skips, relinks = ms.UnlinkSkips, ms.Relinks
+					if len(m.JoinExamined()) == 0 {
+						t.Errorf("JoinExamined returned no per-join counters")
+					}
+				})
+				if len(got.Firings) != len(want.Firings) {
+					t.Fatalf("firing count: got %d want %d (skips=%d relinks=%d)",
+						len(got.Firings), len(want.Firings), skips, relinks)
+				}
+				for i := range want.Firings {
+					if got.Firings[i].Rule != want.Firings[i].Rule {
+						t.Fatalf("firing %d: got %s want %s", i, got.Firings[i].Rule, want.Firings[i].Rule)
+					}
+				}
+				if got.Halted != want.Halted || got.WMSize != want.WMSize {
+					t.Fatalf("end state: got halted=%v wm=%d want halted=%v wm=%d",
+						got.Halted, got.WMSize, want.Halted, want.WMSize)
+				}
+			})
+		}
+	}
+}
+
+// TestUnlinkSkipsWork checks that a join whose left side never
+// materializes really does buffer its right deliveries instead of
+// storing and searching them, and stays unlinked through the run.
+func TestUnlinkSkipsWork(t *testing.T) {
+	// Rule "dead" joins (ghost, item): no ghost is ever made, so the
+	// item right deliveries into its second join are pure null work.
+	src := `
+(literalize ghost id)
+(literalize item kind val)
+(literalize tick num)
+(p dead
+  (ghost ^id <g>)
+  (item ^val <g>)
+-->
+  (halt))
+(p count-down
+  (tick ^num {<n> > 0})
+-->
+  (modify 1 ^num (compute <n> - 1)))
+(p finish
+  (tick ^num 0)
+-->
+  (halt))
+(make tick ^num 3)
+`
+	for i := 0; i < 8; i++ {
+		src += fmt.Sprintf("(make item ^kind a ^val %d)\n", i)
+	}
+	cfg := parmatch.Config{Procs: 3, Queues: 2, Scheme: parmatch.SchemeMRSW, Unlink: true}
+	runParM(t, src, cfg, 50, func(m *parmatch.Matcher) {
+		ms := m.MatchStats()
+		if ms.UnlinkSkips < 8 {
+			t.Errorf("UnlinkSkips = %d, want >= 8 (one per buffered item)", ms.UnlinkSkips)
+		}
+		if m.UnlinkedJoins() == 0 {
+			t.Errorf("dead join should still be unlinked at end of run")
+		}
+	})
+}

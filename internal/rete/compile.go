@@ -9,13 +9,23 @@ import (
 	"repro/internal/symbols"
 )
 
-// Compile builds the epoch-0 Rete network for a parsed program. It is
-// the same per-rule compiler AddRule uses at run time, applied to every
-// production in order — which is why an incrementally grown network is
-// node-for-node identical to a whole-program compile (epoch_test.go
-// asserts this on the Dump output).
+// Compile builds the epoch-0 Rete network for a parsed program in the
+// paper's source condition-element order. It is the same per-rule
+// compiler AddRule uses at run time, applied to every production in
+// order — which is why an incrementally grown network is node-for-node
+// identical to a whole-program compile (epoch_test.go asserts this on
+// the Dump output).
 func Compile(prog *ops5.Program) (*Network, error) {
+	return CompileWithPlan(prog, PlanConfig{})
+}
+
+// CompileWithPlan is Compile with an explicit join-order policy
+// (reorder.go). The policy is recorded on the network, so AddRule plans
+// rules added at run time the same way; the zero PlanConfig reproduces
+// the source-order Compile exactly.
+func CompileWithPlan(prog *ops5.Program, pc PlanConfig) (*Network, error) {
 	net := newNetwork(prog)
+	net.plan = pc
 	b := newBuilder(net, nil)
 	for _, r := range prog.Rules {
 		if err := b.compileRule(r); err != nil {
@@ -245,7 +255,22 @@ func splitCE(ce *ops5.CondElem, bound map[string]BindRef) (*ceSplit, error) {
 
 // compileRule threads one production through the network, sharing alpha
 // chains and identical join prefixes with previously compiled rules.
+// When the network carries a reorder policy the planner picks the join
+// order; source order otherwise.
 func (b *builder) compileRule(r *ops5.Rule) error {
+	order := PlanOrder(r, b.net.plan)
+	if order != nil && !validOrder(r, order) {
+		// A plan the compiler cannot realize falls back to source order
+		// (validOrder runs before any network state is touched).
+		order = nil
+	}
+	return b.compileRuleOrdered(r, order)
+}
+
+// compileRuleOrdered compiles one production with an explicit plan
+// (order nil = source order). A non-nil order must have passed
+// validOrder.
+func (b *builder) compileRuleOrdered(r *ops5.Rule, order []int) error {
 	net := b.net
 	cr := &CompiledRule{
 		Rule:     r,
@@ -254,45 +279,17 @@ func (b *builder) compileRule(r *ops5.Rule) error {
 		Bindings: make(map[string]BindRef),
 	}
 	var (
-		prevJoin   *JoinNode // last join built so far (nil before the 2nd CE)
 		firstAlpha *AlphaChain
-		prefixKey  string
-		tokenLen   int
+		prevJoin   *JoinNode
+		err        error
 	)
-	for i, ce := range r.CEs {
-		split, err := splitCE(ce, cr.Bindings)
-		if err != nil {
-			return fmt.Errorf("condition element %d: %w", i+1, err)
-		}
-		cr.Specificity += split.numTests
-		chain := b.internChain(ce.Class, split.alphaTests)
-		cr.ChainIDs = append(cr.ChainIDs, chain.ID)
-		net.chainRefs[chain.ID]++
-		if i == 0 {
-			firstAlpha = chain
-			prefixKey = fmt.Sprintf("a%d", chain.ID)
-			cr.CEPos[0] = 0
-			tokenLen = 1
-			for v, f := range split.newBinds {
-				cr.Bindings[v] = BindRef{Pos: 0, Field: f}
-			}
-			continue
-		}
-		join := b.internJoin(prefixKey, firstAlpha, prevJoin, chain, ce.Negated, split, tokenLen)
-		cr.JoinIDs = append(cr.JoinIDs, join.ID)
-		net.joinRefs[join.ID]++
-		b.addJoinRule(join, r.Name)
-		prefixKey = join.key
-		prevJoin = join
-		if ce.Negated {
-			cr.CEPos[i] = -1
-		} else {
-			cr.CEPos[i] = tokenLen
-			for v, f := range split.newBinds {
-				cr.Bindings[v] = BindRef{Pos: tokenLen, Field: f}
-			}
-			tokenLen++
-		}
+	if order == nil {
+		firstAlpha, prevJoin, err = b.buildSourceOrder(r, cr)
+	} else {
+		firstAlpha, prevJoin, err = b.buildPlanned(r, cr, order)
+	}
+	if err != nil {
+		return err
 	}
 	term := &Terminal{ID: net.numTermIDs, Rule: cr}
 	net.numTermIDs++
@@ -312,6 +309,146 @@ func (b *builder) compileRule(r *ops5.Rule) error {
 		b.delta.NewTerminals = append(b.delta.NewTerminals, term)
 	}
 	return nil
+}
+
+// buildSourceOrder is the paper's compile: one linear join per
+// production, condition elements left to right in source order.
+func (b *builder) buildSourceOrder(r *ops5.Rule, cr *CompiledRule) (*AlphaChain, *JoinNode, error) {
+	net := b.net
+	var (
+		prevJoin   *JoinNode // last join built so far (nil before the 2nd CE)
+		firstAlpha *AlphaChain
+		prefixKey  string
+		tokenLen   int
+	)
+	for i, ce := range r.CEs {
+		split, err := splitCE(ce, cr.Bindings)
+		if err != nil {
+			return nil, nil, fmt.Errorf("condition element %d: %w", i+1, err)
+		}
+		cr.Specificity += split.numTests
+		chain := b.internChain(ce.Class, split.alphaTests)
+		cr.ChainIDs = append(cr.ChainIDs, chain.ID)
+		net.chainRefs[chain.ID]++
+		if i == 0 {
+			firstAlpha = chain
+			prefixKey = fmt.Sprintf("a%d", chain.ID)
+			cr.CEPos[0] = 0
+			tokenLen = 1
+			for v, f := range split.newBinds {
+				cr.Bindings[v] = BindRef{Pos: 0, Field: f}
+			}
+			continue
+		}
+		join := b.internJoin(prefixKey, firstAlpha, prevJoin, chain, ce.Negated, split, tokenLen, i)
+		cr.JoinIDs = append(cr.JoinIDs, join.ID)
+		net.joinRefs[join.ID]++
+		b.addJoinRule(join, r.Name)
+		prefixKey = join.key
+		prevJoin = join
+		if ce.Negated {
+			cr.CEPos[i] = -1
+		} else {
+			cr.CEPos[i] = tokenLen
+			for v, f := range split.newBinds {
+				cr.Bindings[v] = BindRef{Pos: tokenLen, Field: f}
+			}
+			tokenLen++
+		}
+	}
+	return firstAlpha, prevJoin, nil
+}
+
+// buildPlanned threads the production through the network in planned
+// order while keeping every source-order contract intact: the RHS
+// evaluator, refraction keys, recency comparison and the firing trace
+// all see source-order tokens, so CEPos, Bindings and Specificity come
+// from a source-order pre-pass, join tests reference planned token
+// positions through a separate binding environment, and TokenPerm
+// records how the conflict set permutes a network token back into
+// source order.
+func (b *builder) buildPlanned(r *ops5.Rule, cr *CompiledRule, order []int) (*AlphaChain, *JoinNode, error) {
+	net := b.net
+	// Source-order pre-pass: source token positions, RHS bindings,
+	// specificity.
+	srcPos := make([]int, len(r.CEs))
+	{
+		tokenLen := 0
+		for i, ce := range r.CEs {
+			split, err := splitCE(ce, cr.Bindings)
+			if err != nil {
+				return nil, nil, fmt.Errorf("condition element %d: %w", i+1, err)
+			}
+			cr.Specificity += split.numTests
+			if i > 0 && ce.Negated {
+				srcPos[i] = -1
+				cr.CEPos[i] = -1
+				continue
+			}
+			srcPos[i] = tokenLen
+			cr.CEPos[i] = tokenLen
+			for v, f := range split.newBinds {
+				cr.Bindings[v] = BindRef{Pos: tokenLen, Field: f}
+			}
+			tokenLen++
+		}
+	}
+	// Network pass in planned order, with its own binding environment.
+	var (
+		prevJoin   *JoinNode
+		firstAlpha *AlphaChain
+		prefixKey  string
+		tokenLen   int
+	)
+	netBound := make(map[string]BindRef)
+	perm := make([]int, 0, len(r.CEs))
+	for oi, ci := range order {
+		ce := r.CEs[ci]
+		split, err := splitCE(ce, netBound)
+		if err != nil {
+			// validOrder ran this exact split sequence before any state
+			// was touched, so this cannot fire.
+			return nil, nil, fmt.Errorf("condition element %d (planned): %w", ci+1, err)
+		}
+		chain := b.internChain(ce.Class, split.alphaTests)
+		cr.ChainIDs = append(cr.ChainIDs, chain.ID)
+		net.chainRefs[chain.ID]++
+		if oi == 0 {
+			firstAlpha = chain
+			prefixKey = fmt.Sprintf("a%d", chain.ID)
+			tokenLen = 1
+			perm = append(perm, srcPos[ci])
+			for v, f := range split.newBinds {
+				netBound[v] = BindRef{Pos: 0, Field: f}
+			}
+			continue
+		}
+		join := b.internJoin(prefixKey, firstAlpha, prevJoin, chain, ce.Negated, split, tokenLen, oi)
+		cr.JoinIDs = append(cr.JoinIDs, join.ID)
+		net.joinRefs[join.ID]++
+		b.addJoinRule(join, r.Name)
+		prefixKey = join.key
+		prevJoin = join
+		if !ce.Negated {
+			perm = append(perm, srcPos[ci])
+			for v, f := range split.newBinds {
+				netBound[v] = BindRef{Pos: tokenLen, Field: f}
+			}
+			tokenLen++
+		}
+	}
+	cr.Order = append([]int(nil), order...)
+	identity := true
+	for i, p := range perm {
+		if p != i {
+			identity = false
+			break
+		}
+	}
+	if !identity {
+		cr.TokenPerm = perm
+	}
+	return firstAlpha, prevJoin, nil
 }
 
 // internChain returns the shared alpha chain for (class, tests),
@@ -367,7 +504,7 @@ func constTestKey(t *ConstTest) string {
 
 // internJoin returns a shared join node for the given prefix and right
 // input, creating it when new.
-func (b *builder) internJoin(prefixKey string, firstAlpha *AlphaChain, prev *JoinNode, right *AlphaChain, negated bool, split *ceSplit, tokenLen int) *JoinNode {
+func (b *builder) internJoin(prefixKey string, firstAlpha *AlphaChain, prev *JoinNode, right *AlphaChain, negated bool, split *ceSplit, tokenLen, planPos int) *JoinNode {
 	net := b.net
 	var sb strings.Builder
 	sb.WriteString(prefixKey)
@@ -388,6 +525,9 @@ func (b *builder) internJoin(prefixKey string, firstAlpha *AlphaChain, prev *Joi
 		EqTests:    split.eqTests,
 		OtherTests: split.otherTests,
 		LeftLen:    tokenLen,
+		Right:      right,
+		PlanPos:    planPos,
+		PlanSel:    joinSelEstimate(split),
 		key:        key,
 	}
 	net.Joins = append(net.Joins, j)

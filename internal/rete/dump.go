@@ -51,11 +51,15 @@ func (n *Network) Dump(w io.Writer) {
 		for _, term := range n.TermsOf(j) {
 			out = append(out, fmt.Sprintf("terminal %s", term.Rule.Rule.Name))
 		}
-		fmt.Fprintf(w, "  join %d [%s] refs=%d tokens=%d tests={%s} -> %s\n",
-			j.ID, kind, n.joinRefs[j.ID], j.LeftLen, strings.Join(tests, ", "), strings.Join(out, ", "))
+		fmt.Fprintf(w, "  join %d [%s] refs=%d tokens=%d plan=%d sel=%.3f tests={%s} -> %s\n",
+			j.ID, kind, n.joinRefs[j.ID], j.LeftLen, j.PlanPos, j.PlanSel, strings.Join(tests, ", "), strings.Join(out, ", "))
 	}
 	fmt.Fprintln(w, "\nterminals:")
 	for _, t := range n.Terminals {
+		if t.Rule.Order != nil {
+			fmt.Fprintf(w, "  %s (specificity %d) order=%v\n", t.Rule.Rule.Name, t.Rule.Specificity, t.Rule.Order)
+			continue
+		}
 		fmt.Fprintf(w, "  %s (specificity %d)\n", t.Rule.Rule.Name, t.Rule.Specificity)
 	}
 }

@@ -138,7 +138,18 @@ type JoinNode struct {
 	// LeftFromAlpha marks first-stage joins, whose left input comes
 	// straight from an alpha chain (tokens of length 1).
 	LeftFromAlpha bool
-	key           string
+	// Right is the alpha chain feeding the node's right input. Matchers
+	// use it to find the candidate WME population of an unlinked join.
+	Right *AlphaChain
+	// PlanPos is the position this join's condition element got in the
+	// compile plan (the source index when compiled in source order), and
+	// PlanSel the static selectivity estimate of the join's tests — both
+	// recorded on the topology dump so reorder regressions are
+	// reviewable. Shared joins keep the values of their first creator,
+	// which is deterministic (shared key implies shared prefix).
+	PlanPos int
+	PlanSel float64
+	key     string
 	// pairFn is the compiled token-pair test (fastpath.go); nil on
 	// hand-built nodes, which fall back to the interpreted loop.
 	pairFn func([]*wm.WME, *wm.WME) bool
@@ -217,6 +228,16 @@ type CompiledRule struct {
 	// decrement the refcounts of shared nodes.
 	ChainIDs []int
 	JoinIDs  []int
+	// Order is the planned condition-element compile order (planned
+	// position -> source CE index); nil when the rule compiled in source
+	// order. TokenPerm permutes a network-order instantiation token back
+	// into source order (srcToken[TokenPerm[i]] = netToken[i]); nil when
+	// the positive-CE order is unchanged. The conflict set applies it
+	// before a token becomes visible to refraction, recency, the RHS or
+	// the firing trace, which is what keeps reordered compiles
+	// byte-identical to source-order runs.
+	Order     []int
+	TokenPerm []int
 }
 
 // Terminal announces conflict-set changes for one production.
@@ -280,6 +301,10 @@ type Network struct {
 	numTermIDs int
 	numRuleIDs int
 
+	// plan is the join-order compile policy this network was built with;
+	// child epochs inherit it so AddRule plans new rules the same way.
+	plan PlanConfig
+
 	chainByKey map[string]*AlphaChain
 	joinByKey  map[string]*JoinNode
 }
@@ -330,6 +355,9 @@ func (n *Network) JoinRefs(j *JoinNode) int { return int(n.joinRefs[j.ID]) }
 // Parent returns the epoch this one was derived from, or nil for a
 // whole-program compile.
 func (n *Network) Parent() *Network { return n.parent }
+
+// Plan returns the join-order compile policy of this network.
+func (n *Network) Plan() PlanConfig { return n.plan }
 
 // RuleByName returns the live compiled rule with the given name, or nil.
 func (n *Network) RuleByName(name string) *CompiledRule {

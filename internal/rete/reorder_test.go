@@ -1,0 +1,255 @@
+package rete_test
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"repro/internal/ops5"
+	"repro/internal/rete"
+)
+
+var reorderOn = rete.PlanConfig{Reorder: true}
+
+func parseRule(t *testing.T, src string) (*ops5.Program, *ops5.Rule) {
+	t.Helper()
+	prog, err := ops5.Parse(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	if len(prog.Rules) == 0 {
+		t.Fatal("no rules parsed")
+	}
+	return prog, prog.Rules[0]
+}
+
+func compilePlanned(t *testing.T, src string, pc rete.PlanConfig) *rete.Network {
+	t.Helper()
+	prog, err := ops5.Parse(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	net, err := rete.CompileWithPlan(prog, pc)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	return net
+}
+
+// TestPlanOrderSelectiveFirst: the planner moves the constant-rich
+// (selective) condition element to the front and equality-joins the
+// unselective ones behind it, keeping ties in source order.
+func TestPlanOrderSelectiveFirst(t *testing.T) {
+	_, r := parseRule(t, `
+(literalize big x)
+(literalize big2 x)
+(literalize tiny a b x)
+(p r (big ^x <v>) (big2 ^x <v>) (tiny ^a 1 ^b 2 ^x <v>) --> (halt))
+`)
+	got := rete.PlanOrder(r, reorderOn)
+	want := []int{2, 0, 1}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("PlanOrder = %v, want %v", got, want)
+	}
+	if rete.PlanOrder(r, rete.PlanConfig{}) != nil {
+		t.Error("PlanOrder with reordering off should be nil")
+	}
+}
+
+// TestPlanOrderNegatedAfterBinders: a negated CE moves as early as its
+// source-bound variables allow, and never earlier.
+func TestPlanOrderNegatedAfterBinders(t *testing.T) {
+	_, r := parseRule(t, `
+(literalize a x)
+(literalize b y z)
+(literalize c k x)
+(p r (a ^x <v>) - (b ^y <v>) (c ^k 9 ^x <v>) --> (halt))
+`)
+	// c is the selective seed; it binds <v>, which makes the negated b
+	// eligible immediately; a follows.
+	got := rete.PlanOrder(r, reorderOn)
+	want := []int{2, 1, 0}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("PlanOrder = %v, want %v", got, want)
+	}
+}
+
+// TestPlanOrderPreservesWildcards: a positive CE that would bind a
+// free (locally scoped) variable of a not-yet-placed negated CE is
+// deferred until the negated CE is in, because binding it first would
+// turn the wildcard into a join test.
+func TestPlanOrderPreservesWildcards(t *testing.T) {
+	_, r := parseRule(t, `
+(literalize a x)
+(literalize b y z)
+(literalize c z k)
+(p r (a ^x <v>) - (b ^y <v> ^z <w>) (c ^z <w> ^k 1) --> (halt))
+`)
+	// c is selective (constant test) but binds <w>, wild in the negated
+	// b; the only legal plan is the source order, reported as nil.
+	if got := rete.PlanOrder(r, reorderOn); got != nil {
+		t.Errorf("PlanOrder = %v, want nil (source order)", got)
+	}
+}
+
+// TestPlanOrderDegenerateRules: rules the planner must leave alone.
+func TestPlanOrderDegenerateRules(t *testing.T) {
+	src := `
+(literalize a x)
+(literalize b y)
+(literalize c z)
+(p two (a ^x <v>) (b ^y <v>) --> (halt))
+(p negfirst - (a ^x 1) (b ^y 2) (c ^z 3) --> (halt))
+`
+	prog, err := ops5.Parse(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	for _, r := range prog.Rules {
+		if got := rete.PlanOrder(r, reorderOn); got != nil {
+			t.Errorf("PlanOrder(%s) = %v, want nil", r.Name, got)
+		}
+	}
+}
+
+// TestReorderedRuleKeepsSourceContracts: under a reordering compile the
+// RHS-facing metadata (CEPos, Bindings, Specificity) must be identical
+// to the source-order compile, and TokenPerm must be the permutation
+// that maps network tokens back to source order.
+func TestReorderedRuleKeepsSourceContracts(t *testing.T) {
+	src := `
+(literalize big x)
+(literalize big2 x w)
+(literalize tiny a b x)
+(p r (big ^x <v>) (big2 ^x <v> ^w <u>) (tiny ^a 1 ^b 2 ^x <v>) --> (make big2 ^x <v> ^w <u>))
+`
+	srcNet := compilePlanned(t, src, rete.PlanConfig{})
+	reNet := compilePlanned(t, src, reorderOn)
+	s, r := srcNet.RuleByName("r"), reNet.RuleByName("r")
+	if r.Order == nil || r.TokenPerm == nil {
+		t.Fatalf("rule not reordered: Order=%v TokenPerm=%v", r.Order, r.TokenPerm)
+	}
+	if !reflect.DeepEqual(r.CEPos, s.CEPos) {
+		t.Errorf("CEPos = %v, want source %v", r.CEPos, s.CEPos)
+	}
+	if !reflect.DeepEqual(r.Bindings, s.Bindings) {
+		t.Errorf("Bindings = %v, want source %v", r.Bindings, s.Bindings)
+	}
+	if r.Specificity != s.Specificity {
+		t.Errorf("Specificity = %d, want source %d", r.Specificity, s.Specificity)
+	}
+	// TokenPerm maps planned token positions to source token positions:
+	// position i of the network token carries the CE placed i-th among
+	// positives, which sits at source token position TokenPerm[i].
+	seen := make([]bool, len(r.TokenPerm))
+	for _, p := range r.TokenPerm {
+		if p < 0 || p >= len(seen) || seen[p] {
+			t.Fatalf("TokenPerm %v is not a permutation", r.TokenPerm)
+		}
+		seen[p] = true
+	}
+	// Order [2 0 1]: network position 0 holds tiny (source pos 2), etc.
+	if want := []int{2, 0, 1}; !reflect.DeepEqual(r.TokenPerm, want) {
+		t.Errorf("TokenPerm = %v, want %v", r.TokenPerm, want)
+	}
+}
+
+// TestReorderGoldenDump pins the reordered compile of the paper's
+// Figure 2-2 network: p1's negated C3 hoists ahead of the C2 join
+// (its only bound variable comes from C1), p2 is too short to reorder.
+func TestReorderGoldenDump(t *testing.T) {
+	net := compilePlanned(t, figure22, reorderOn)
+	got := dump(net)
+	golden := filepath.Join("testdata", "figure22.reorder.dump")
+	want, err := os.ReadFile(golden)
+	if err == nil && got == string(want) {
+		return
+	}
+	if os.Getenv("UPDATE_GOLDEN") != "" {
+		if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	if err != nil {
+		t.Fatalf("read golden (regenerate with UPDATE_GOLDEN=1): %v", err)
+	}
+	t.Errorf("dump drifted from %s (set UPDATE_GOLDEN=1 to regenerate):\n%s", golden, got)
+}
+
+// TestIncrementalEqualsBatchReordered: the incremental-equals-batch
+// topology guarantee must hold under a reordering plan too — AddRule
+// inherits the parent epoch's plan and the planner is deterministic.
+func TestIncrementalEqualsBatchReordered(t *testing.T) {
+	src := `
+(literalize big x)
+(literalize big2 x)
+(literalize tiny a b x)
+(literalize d y)
+(p r1 (big ^x <v>) (big2 ^x <v>) (tiny ^a 1 ^b 2 ^x <v>) --> (halt))
+(p r2 (big ^x <v>) (big2 ^x <v>) (tiny ^a 1 ^b 2 ^x <v>) (d ^y <v>) --> (halt))
+(p r3 (tiny ^a 1 ^b 2 ^x <v>) - (d ^y <v>) (big ^x <v>) --> (halt))
+`
+	batch := compilePlanned(t, src, reorderOn)
+	prog, err := ops5.Parse(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	rules := prog.Rules
+	prog.Rules = nil
+	net, err := rete.CompileWithPlan(prog, reorderOn)
+	if err != nil {
+		t.Fatalf("compile empty base: %v", err)
+	}
+	prog.Rules = rules
+	for _, r := range rules {
+		next, err := rete.AddRule(net, r)
+		if err != nil {
+			t.Fatalf("AddRule(%s): %v", r.Name, err)
+		}
+		net = next
+	}
+	if got, want := dump(net), dump(batch); got != want {
+		t.Errorf("incremental reordered dump differs from batch:\n--- incremental ---\n%s\n--- batch ---\n%s", got, want)
+	}
+}
+
+// TestAddRuleOrdered: an explicit order compiles and is recorded; an
+// unrealizable order is rejected before any state is touched.
+func TestAddRuleOrdered(t *testing.T) {
+	src := `
+(literalize a x)
+(literalize b x)
+(literalize c x)
+(p seed (a ^x 1) --> (halt))
+`
+	net := compilePlanned(t, src, rete.PlanConfig{})
+	prog, err := ops5.Parse(`
+(literalize a x)
+(literalize b x)
+(literalize c x)
+(p r (a ^x <v>) (b ^x <v>) (c ^x <v>) --> (halt))
+`)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	r := prog.RuleByName("r")
+	next, err := rete.AddRuleOrdered(net, r, []int{1, 2, 0})
+	if err != nil {
+		t.Fatalf("AddRuleOrdered: %v", err)
+	}
+	cr := next.RuleByName("r")
+	if want := []int{1, 2, 0}; !reflect.DeepEqual(cr.Order, want) {
+		t.Errorf("Order = %v, want %v", cr.Order, want)
+	}
+	if want := []int{1, 2, 0}; !reflect.DeepEqual(cr.TokenPerm, want) {
+		t.Errorf("TokenPerm = %v, want %v", cr.TokenPerm, want)
+	}
+	if _, err := rete.AddRuleOrdered(net, r, []int{0, 0, 1}); err == nil {
+		t.Error("duplicate positions should be rejected")
+	}
+	if _, err := rete.AddRuleOrdered(net, r, []int{0, 1}); err == nil {
+		t.Error("short order should be rejected")
+	}
+}

@@ -130,6 +130,10 @@ func metaFromConfig(cfg *SessionConfig, backendName, tpl string) *wmlog.Meta {
 		CSShards:  cfg.CSShards,
 		FireBatch: cfg.FireBatch,
 		Template:  tpl,
+
+		ReorderJoins: cfg.ReorderJoins,
+		MatchBudget:  cfg.MatchBudget,
+		Unlink:       cfg.Unlink,
 	}
 }
 
@@ -144,6 +148,10 @@ func configFromMeta(m *wmlog.Meta, program string) SessionConfig {
 		HashLines: m.HashLines,
 		CSShards:  m.CSShards,
 		FireBatch: m.FireBatch,
+
+		ReorderJoins: m.ReorderJoins,
+		MatchBudget:  m.MatchBudget,
+		Unlink:       m.Unlink,
 	}
 }
 
@@ -311,13 +319,17 @@ func (s *Server) rebuildFromDisk(id string) (sess *Session, replayed int, torn b
 	if err != nil {
 		return nil, 0, false, err
 	}
+	net, err := sp.netFor(&cfg)
+	if err != nil {
+		return nil, 0, false, err
+	}
 	cs := conflict.New(conflict.Config{Shards: cfg.CSShards})
-	m, backendName, err := newBackend(sp.net, cfg, cs)
+	m, backendName, err := newBackend(net, cfg, cs)
 	if err != nil {
 		return nil, 0, false, err
 	}
 	sp.newEng.Lock()
-	eng, err := engine.New(sp.prog, sp.net, cs, m, nil)
+	eng, err := engine.New(sp.prog, net, cs, m, nil)
 	sp.newEng.Unlock()
 	if err != nil {
 		m.Close()
@@ -367,17 +379,18 @@ func (s *Server) rebuildFromDisk(id string) (sess *Session, replayed int, torn b
 		return fail(fmt.Errorf("reopen log: %w", err))
 	}
 	sess = &Session{
-		ID:        id,
-		Backend:   backendName,
-		Created:   time.Now(),
-		sp:        sp,
-		eng:       eng,
-		matcher:   m,
-		dir:       dir,
-		progHash:  hash,
-		journal:   &sessionJournal{w: w, tab: sp.prog.Symbols},
-		template:  meta.Template,
-		fireBatch: clampFireBatch(cfg.FireBatch),
+		ID:          id,
+		Backend:     backendName,
+		Created:     time.Now(),
+		sp:          sp,
+		eng:         eng,
+		matcher:     m,
+		dir:         dir,
+		progHash:    hash,
+		journal:     &sessionJournal{w: w, tab: sp.prog.Symbols},
+		template:    meta.Template,
+		fireBatch:   clampFireBatch(cfg.FireBatch),
+		matchBudget: cfg.MatchBudget,
 	}
 	return sess, replayed, torn, nil
 }

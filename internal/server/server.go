@@ -106,10 +106,27 @@ type Server struct {
 // engine construction: RHS compilation may lazily extend the class
 // tables of an undeclared-attribute program, which must not race.
 type sharedProgram struct {
-	prog   *ops5.Program
+	prog *ops5.Program
+	// net is the cost-planned network (the default); netSrc keeps the
+	// source-order joins for sessions created with reorder_joins "off".
+	// Both are compiled up front: the program cache is long-lived and a
+	// lazy second compile would race with engine construction.
 	net    *rete.Network
+	netSrc *rete.Network
 	newEng sync.Mutex
 	refs   int // live sessions, for the sessions listing
+}
+
+// netFor picks the compiled network a session config asks for.
+func (sp *sharedProgram) netFor(cfg *SessionConfig) (*rete.Network, error) {
+	switch cfg.ReorderJoins {
+	case "", "on":
+		return sp.net, nil
+	case "off":
+		return sp.netSrc, nil
+	default:
+		return nil, fmt.Errorf("unknown reorder_joins %q (want on or off)", cfg.ReorderJoins)
+	}
 }
 
 // Session is one hosted engine. Its mutex serializes requests: a
@@ -144,6 +161,9 @@ type Session struct {
 	// fireBatch is the session's act-phase group size (see
 	// SessionConfig.FireBatch), passed to every Run.
 	fireBatch int
+	// matchBudget is the session's per-cycle match-cost cap (see
+	// SessionConfig.MatchBudget), passed to every Run.
+	matchBudget int64
 
 	// Durable state, zero-valued when the server runs memory-only.
 	dir      string            // entry directory under the data dir
@@ -225,6 +245,20 @@ type SessionConfig struct {
 	// Results are identical to serial firing; 0 or 1 keeps the serial
 	// act loop. Clamped to 64.
 	FireBatch int `json:"fire_batch"`
+	// ReorderJoins picks the compiled join order: "" or "on" (the
+	// default) uses the cost-planned network, "off" the literal source
+	// order. Firing traces are identical either way — the knob exists
+	// for measurement and as an escape hatch.
+	ReorderJoins string `json:"reorder_joins"`
+	// MatchBudget > 0 caps the opposite-memory candidates any one rule's
+	// joins may examine in a single cycle. A rule over budget is excised
+	// from this session's network (quarantining the rule, not the
+	// process) and counted in the epoch budget_trips metric. 0 disables.
+	MatchBudget int64 `json:"match_budget"`
+	// Unlink enables left/right unlinking of empty beta-memory inputs:
+	// right activations into a join whose left memory is empty are
+	// buffered instead of probed, and replayed when the join relinks.
+	Unlink bool `json:"unlink"`
 }
 
 // SessionInfo describes a created session.
@@ -262,7 +296,11 @@ func (s *Server) sharedProg(src string) (sp *sharedProgram, hash [sha256.Size]by
 	if err != nil {
 		return nil, hash, false, fmt.Errorf("parse: %w", err)
 	}
-	net, err := rete.Compile(prog)
+	net, err := rete.CompileWithPlan(prog, rete.PlanConfig{Reorder: true})
+	if err != nil {
+		return nil, hash, false, fmt.Errorf("compile: %w", err)
+	}
+	netSrc, err := rete.Compile(prog)
 	if err != nil {
 		return nil, hash, false, fmt.Errorf("compile: %w", err)
 	}
@@ -270,7 +308,7 @@ func (s *Server) sharedProg(src string) (sp *sharedProgram, hash [sha256.Size]by
 	if cached, ok := s.programs[hash]; ok {
 		sp, shared = cached, true // lost a compile race; use the winner
 	} else {
-		sp = &sharedProgram{prog: prog, net: net}
+		sp = &sharedProgram{prog: prog, net: net, netSrc: netSrc}
 		s.programs[hash] = sp
 	}
 	s.mu.Unlock()
@@ -302,28 +340,33 @@ func (s *Server) CreateSession(cfg SessionConfig) (*SessionInfo, error) {
 	if err != nil {
 		return nil, err
 	}
+	net, err := sp.netFor(&cfg)
+	if err != nil {
+		return nil, err
+	}
 
 	cs := conflict.New(conflict.Config{Shards: cfg.CSShards})
-	m, backendName, err := newBackend(sp.net, cfg, cs)
+	m, backendName, err := newBackend(net, cfg, cs)
 	if err != nil {
 		return nil, err
 	}
 	sp.newEng.Lock()
-	eng, err := engine.New(sp.prog, sp.net, cs, m, nil)
+	eng, err := engine.New(sp.prog, net, cs, m, nil)
 	sp.newEng.Unlock()
 	if err != nil {
 		m.Close()
 		return nil, fmt.Errorf("rhs compile: %w", err)
 	}
 	sess := &Session{
-		ID:        id,
-		Backend:   backendName,
-		Created:   time.Now(),
-		sp:        sp,
-		eng:       eng,
-		matcher:   m,
-		progHash:  hash,
-		fireBatch: clampFireBatch(cfg.FireBatch),
+		ID:          id,
+		Backend:     backendName,
+		Created:     time.Now(),
+		sp:          sp,
+		eng:         eng,
+		matcher:     m,
+		progHash:    hash,
+		fireBatch:   clampFireBatch(cfg.FireBatch),
+		matchBudget: cfg.MatchBudget,
 	}
 	if s.dur != nil {
 		j, dir, err := s.persistSession(id, &cfg, backendName, "", hash, sp.prog.Symbols)
@@ -391,9 +434,17 @@ func clampFireBatch(n int) int {
 func newBackend(net *rete.Network, cfg SessionConfig, cs *conflict.Set) (backend, string, error) {
 	switch cfg.Matcher {
 	case "", "vs2":
-		return seqmatch.New(net, seqmatch.VS2, cfg.HashLines, cs), "vs2", nil
+		sm := seqmatch.New(net, seqmatch.VS2, cfg.HashLines, cs)
+		if cfg.Unlink {
+			sm.EnableUnlink()
+		}
+		return sm, "vs2", nil
 	case "vs1":
-		return seqmatch.New(net, seqmatch.VS1, cfg.HashLines, cs), "vs1", nil
+		sm := seqmatch.New(net, seqmatch.VS1, cfg.HashLines, cs)
+		if cfg.Unlink {
+			sm.EnableUnlink()
+		}
+		return sm, "vs1", nil
 	case "parallel":
 		scheme := parmatch.SchemeSimple
 		switch cfg.Locks {
@@ -416,6 +467,7 @@ func newBackend(net *rete.Network, cfg SessionConfig, cs *conflict.Set) (backend
 			Queues: queues,
 			Lines:  cfg.HashLines,
 			Scheme: scheme,
+			Unlink: cfg.Unlink,
 		}, cs), "parallel", nil
 	default:
 		return nil, "", fmt.Errorf("unknown matcher %q (want vs2, vs1 or parallel)", cfg.Matcher)
@@ -586,6 +638,9 @@ type BatchResult struct {
 	WMRemoved []int       `json:"wm_removed"`
 	WMSize    int         `json:"wm_size"`
 	ElapsedUs int64       `json:"elapsed_us"`
+	// Quarantined lists rules excised from this session by the match
+	// budget, oldest first (cumulative over the session's lifetime).
+	Quarantined []string `json:"quarantined,omitempty"`
 }
 
 // Batch executes one assert/retract batch on a session. It is the
@@ -650,6 +705,7 @@ func (s *Server) Batch(id string, req *BatchRequest) (*BatchResult, error) {
 		run, err := sess.eng.Run(engine.Options{
 			RecordFiring: !req.NoFirings,
 			FireBatch:    sess.fireBatch,
+			MatchBudget:  sess.matchBudget,
 			Hook:         engine.LimitHook(maxCycles, deadline),
 		})
 		if run != nil {
@@ -674,6 +730,9 @@ func (s *Server) Batch(id string, req *BatchRequest) (*BatchResult, error) {
 	res.LimitHit = limitHit
 	res.WMSize = sess.eng.WM.Len()
 	res.Halted = sess.eng.Halted()
+	for _, q := range sess.eng.Quarantined() {
+		res.Quarantined = append(res.Quarantined, q.Rule)
+	}
 	res.ElapsedUs = time.Since(start).Microseconds()
 
 	s.foldStatsLocked(sess)

@@ -10,6 +10,7 @@ import (
 
 	"repro/internal/conflict"
 	"repro/internal/engine"
+	"repro/internal/rete"
 	"repro/internal/seqmatch"
 	"repro/internal/wm"
 	"repro/internal/wmlog"
@@ -79,6 +80,10 @@ func (s *Server) CreateTemplate(cfg *TemplateConfig) (info *TemplateInfo, err er
 	if err != nil {
 		return nil, err
 	}
+	net, err := sp.netFor(&cfg.SessionConfig)
+	if err != nil {
+		return nil, err
+	}
 	fieldsList := make([][]wm.Value, 0, len(cfg.Asserts))
 	for i := range cfg.Asserts {
 		fields, err := buildFields(sp.prog, &cfg.Asserts[i])
@@ -88,12 +93,12 @@ func (s *Server) CreateTemplate(cfg *TemplateConfig) (info *TemplateInfo, err er
 		fieldsList = append(fieldsList, fields)
 	}
 	cs := conflict.New(conflict.Config{Shards: cfg.CSShards})
-	m, backendName, err := newBackend(sp.net, cfg.SessionConfig, cs)
+	m, backendName, err := newBackend(net, cfg.SessionConfig, cs)
 	if err != nil {
 		return nil, err
 	}
 	sp.newEng.Lock()
-	eng, err := engine.New(sp.prog, sp.net, cs, m, nil)
+	eng, err := engine.New(sp.prog, net, cs, m, nil)
 	sp.newEng.Unlock()
 	if err != nil {
 		m.Close()
@@ -209,13 +214,17 @@ func (s *Server) recoverTemplate(id string) error {
 	if st.ProgHash != hash {
 		return fmt.Errorf("template snapshot belongs to a different program")
 	}
+	net, err := sp.netFor(&cfg)
+	if err != nil {
+		return err
+	}
 	cs := conflict.New(conflict.Config{Shards: cfg.CSShards})
-	m, backendName, err := newBackend(sp.net, cfg, cs)
+	m, backendName, err := newBackend(net, cfg, cs)
 	if err != nil {
 		return err
 	}
 	sp.newEng.Lock()
-	eng, err := engine.New(sp.prog, sp.net, cs, m, nil)
+	eng, err := engine.New(sp.prog, net, cs, m, nil)
 	sp.newEng.Unlock()
 	if err != nil {
 		m.Close()
@@ -356,10 +365,14 @@ func (s *Server) Fork(templateID string) (*ForkResult, error) {
 		m = nm
 	} else {
 		cs := conflict.New(conflict.Config{Shards: tpl.cfg.CSShards})
-		m, _, err = newBackend(tpl.sp.net, tpl.cfg, cs)
+		var net *rete.Network
+		net, err = tpl.sp.netFor(&tpl.cfg)
+		if err == nil {
+			m, _, err = newBackend(net, tpl.cfg, cs)
+		}
 		if err == nil {
 			tpl.sp.newEng.Lock()
-			eng, err = engine.New(tpl.sp.prog, tpl.sp.net, cs, m, nil)
+			eng, err = engine.New(tpl.sp.prog, net, cs, m, nil)
 			tpl.sp.newEng.Unlock()
 			if err == nil {
 				err = eng.RestoreState(tpl.snap)
@@ -378,14 +391,15 @@ func (s *Server) Fork(templateID string) (*ForkResult, error) {
 	}
 
 	sess := &Session{
-		Backend:   tpl.Backend,
-		Created:   time.Now(),
-		sp:        tpl.sp,
-		eng:       eng,
-		matcher:   m,
-		progHash:  tpl.hash,
-		template:  tpl.ID,
-		fireBatch: clampFireBatch(tpl.cfg.FireBatch),
+		Backend:     tpl.Backend,
+		Created:     time.Now(),
+		sp:          tpl.sp,
+		eng:         eng,
+		matcher:     m,
+		progHash:    tpl.hash,
+		template:    tpl.ID,
+		fireBatch:   clampFireBatch(tpl.cfg.FireBatch),
+		matchBudget: tpl.cfg.MatchBudget,
 	}
 
 	s.mu.Lock()

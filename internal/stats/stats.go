@@ -30,6 +30,13 @@ type Match struct {
 	ConstTests int64 `json:"const_tests"` // constant tests evaluated
 	CSInserts  int64 `json:"cs_inserts"`  // conflict-set insertions
 	CSDeletes  int64 `json:"cs_deletes"`
+
+	// Beta-unlinking counters: right activations buffered instead of
+	// processed because the join's left memory had never been non-empty,
+	// and the number of joins that relinked (first left token arrived
+	// and the buffered right deliveries were replayed).
+	UnlinkSkips int64 `json:"unlink_skips"`
+	Relinks     int64 `json:"relinks"`
 }
 
 // Add accumulates o into m.
@@ -50,6 +57,8 @@ func (m *Match) Add(o *Match) {
 	m.ConstTests += o.ConstTests
 	m.CSInserts += o.CSInserts
 	m.CSDeletes += o.CSDeletes
+	m.UnlinkSkips += o.UnlinkSkips
+	m.Relinks += o.Relinks
 }
 
 // Sub subtracts o from m, field by field. The server uses it to fold
@@ -71,6 +80,8 @@ func (m *Match) Sub(o *Match) {
 	m.ConstTests -= o.ConstTests
 	m.CSInserts -= o.CSInserts
 	m.CSDeletes -= o.CSDeletes
+	m.UnlinkSkips -= o.UnlinkSkips
+	m.Relinks -= o.Relinks
 }
 
 // Mean returns num/den or 0 when den is 0.
@@ -176,6 +187,8 @@ type Epoch struct {
 	ReplayedWMEs   int64 `json:"replayed_wmes"`
 	RemovedEntries int64 `json:"removed_entries"`
 	RemovedInsts   int64 `json:"removed_insts"`
+	// BudgetTrips counts rules quarantined by the per-rule match budget.
+	BudgetTrips int64 `json:"budget_trips"`
 }
 
 // Add accumulates o into e.
@@ -186,6 +199,7 @@ func (e *Epoch) Add(o *Epoch) {
 	e.ReplayedWMEs += o.ReplayedWMEs
 	e.RemovedEntries += o.RemovedEntries
 	e.RemovedInsts += o.RemovedInsts
+	e.BudgetTrips += o.BudgetTrips
 }
 
 // Sub subtracts o from e, for per-session delta folding like Match.Sub.
@@ -196,6 +210,7 @@ func (e *Epoch) Sub(o *Epoch) {
 	e.ReplayedWMEs -= o.ReplayedWMEs
 	e.RemovedEntries -= o.RemovedEntries
 	e.RemovedInsts -= o.RemovedInsts
+	e.BudgetTrips -= o.BudgetTrips
 }
 
 // Act aggregates transactional act-phase statistics: the speculative

@@ -57,6 +57,28 @@ type benchBaseline struct {
 	// a climb means the planner is admitting members the post-drain
 	// dominance check keeps rejecting (wasted staging work).
 	MaxActRollbackRatio float64 `json:"max_act_rollback_ratio"`
+	// MinSkewGain is the minimum source/planned ratio of opposite-memory
+	// tokens examined on the skewed-value join kernel. The join-order
+	// planner moves the constant-tested conf element ahead of the skewed
+	// item x part join, so the ratio is a structural property of the
+	// compiled order (measured ~14x); falling under the floor means the
+	// planner stopped reordering or the reordered network re-grew the
+	// cross-like token memory.
+	MinSkewGain float64 `json:"min_skew_gain"`
+	// MinCrossContainment is the minimum unbudgeted/budgeted ratio of
+	// opposite-memory tokens examined on the no-equality-test cross
+	// product kernel. The match budget quarantines the quadratic rule on
+	// its first over-budget cycle, so a collapse toward 1 means the
+	// budget stopped tripping (measured ~400x).
+	MinCrossContainment float64 `json:"min_cross_containment"`
+	// MaxChainNullActRatio caps unlinked/linked buffered activations on
+	// the gated dependent-chain kernel: with the head gate closed, every
+	// right activation into the chain is a null update that unlinking
+	// must avoid outright (measured ~0.11).
+	MaxChainNullActRatio float64 `json:"max_chain_null_act_ratio"`
+	// MinChainUnlinkSkips is the minimum unlink-skip count on the same
+	// gated chain run — the activations the dead joins never saw.
+	MinChainUnlinkSkips int64 `json:"min_chain_unlink_skips"`
 	// MinForkSpeedup is the minimum fork-vs-cold session-spawn ratio
 	// (time to a served first WM batch). Forking a warm template
 	// structure-copies its state and skips parse, network compile, RHS
@@ -230,6 +252,53 @@ func TestBenchSmoke(t *testing.T) {
 		}
 	}
 
+	// Join-planner gate: the adversarial kernels from BENCH_join.json at
+	// reduced proc counts. All three checks are counter-based ratios of
+	// the same workload under two compilation/runtime modes, so they are
+	// deterministic properties of the planner, budget and unlinking code.
+	joinRep, err := RunJoinBench(JoinBenchOptions{Procs: []int{1, 4}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var crossTrips, crossQuarantined int
+	for _, p := range joinRep.Points {
+		t.Logf("join %-9s %-7s %-8s p%d  examined %8d  acts %5d  skips %4d  trips %d  quarantined %v",
+			p.Kernel, p.Mode, p.Backend, p.Procs, p.OppExamined, p.Activations,
+			p.UnlinkSkips, p.BudgetTrips, p.Quarantined)
+		if p.Kernel == "crossprod" && p.Budget > 0 {
+			crossTrips += int(p.BudgetTrips)
+			for _, q := range p.Quarantined {
+				if q == "crossp" {
+					crossQuarantined++
+				}
+			}
+		}
+	}
+	t.Logf("join skew gain %.1fx  cross containment %.1fx  chain null-act ratio %.3f (%d skips)",
+		joinRep.SkewGain, joinRep.CrossContainment, joinRep.ChainNullActRatio, joinRep.ChainUnlinkSkips)
+	if crossTrips == 0 || crossQuarantined == 0 {
+		t.Errorf("crossprod budgeted runs: %d trips, %d crossp quarantines — the match budget never fired",
+			crossTrips, crossQuarantined)
+	}
+	if mode != "update" {
+		if joinRep.SkewGain < base.MinSkewGain {
+			t.Errorf("skew join gain %.2fx < %.2fx — the planner is not beating source order on the skewed join",
+				joinRep.SkewGain, base.MinSkewGain)
+		}
+		if joinRep.CrossContainment < base.MinCrossContainment {
+			t.Errorf("cross-product containment %.2fx < %.2fx — the match budget is not containing the quadratic rule",
+				joinRep.CrossContainment, base.MinCrossContainment)
+		}
+		if joinRep.ChainNullActRatio > base.MaxChainNullActRatio {
+			t.Errorf("chain null-activation ratio %.3f > %.3f — unlinking stopped suppressing dead-join activations",
+				joinRep.ChainNullActRatio, base.MaxChainNullActRatio)
+		}
+		if joinRep.ChainUnlinkSkips < base.MinChainUnlinkSkips {
+			t.Errorf("chain unlink skips %d < %d — the dead chain joins are being probed",
+				joinRep.ChainUnlinkSkips, base.MinChainUnlinkSkips)
+		}
+	}
+
 	// Session-spawn gate: fork a warm template vs build the same session
 	// cold. Sized down from the recorded BENCH_durability.json run but
 	// the same structural comparison.
@@ -256,8 +325,12 @@ func TestBenchSmoke(t *testing.T) {
 			ActGroupedShare: map[string]float64{
 				"Sweep": 0.9, "Tourney": 0.05, "Weaver": 0.3,
 			},
-			MaxActRollbackRatio: 0.25,
-			MinForkSpeedup:      3,
+			MaxActRollbackRatio:  0.25,
+			MinSkewGain:          5,
+			MinCrossContainment:  10,
+			MaxChainNullActRatio: 0.5,
+			MinChainUnlinkSkips:  64,
+			MinForkSpeedup:       3,
 		}
 		data, err := json.MarshalIndent(out, "", "  ")
 		if err != nil {

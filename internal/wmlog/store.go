@@ -40,6 +40,12 @@ type Meta struct {
 	HashLines int    `json:"hash_lines,omitempty"`
 	CSShards  int    `json:"cs_shards,omitempty"`
 	FireBatch int    `json:"fire_batch,omitempty"`
+	// ReorderJoins, MatchBudget and Unlink mirror the session knobs of
+	// the same names so a recovered session keeps its join order, budget
+	// enforcement and unlinking behaviour.
+	ReorderJoins string `json:"reorder_joins,omitempty"`
+	MatchBudget  int64  `json:"match_budget,omitempty"`
+	Unlink       bool   `json:"unlink,omitempty"`
 	// Template records the template a forked session was created from
 	// (informational; recovery uses the fork's own snapshot).
 	Template string `json:"template,omitempty"`

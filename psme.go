@@ -90,20 +90,32 @@ const (
 // Program is a parsed and Rete-compiled OPS5 program.
 type Program struct {
 	prog *ops5.Program
-	net  *rete.Network
+	// net is the default network: joins ordered by the cost-based
+	// planner (rete.PlanOrder). netSrc is the same program compiled in
+	// source condition-element order — the differential baseline engines
+	// get under Config.ReorderJoins = ReorderOff. Both are compiled
+	// eagerly so either can serve engines after the program freezes.
+	net    *rete.Network
+	netSrc *rete.Network
 }
 
-// Parse parses OPS5 source and compiles its Rete network.
+// Parse parses OPS5 source and compiles its Rete network. Joins are
+// ordered by the compile-time cost planner; Config.ReorderJoins
+// selects the source-order compile instead, per engine.
 func Parse(src string) (*Program, error) {
 	prog, err := ops5.Parse(src)
 	if err != nil {
 		return nil, err
 	}
-	net, err := rete.Compile(prog)
+	net, err := rete.CompileWithPlan(prog, rete.PlanConfig{Reorder: true})
 	if err != nil {
 		return nil, err
 	}
-	return &Program{prog: prog, net: net}, nil
+	netSrc, err := rete.Compile(prog)
+	if err != nil {
+		return nil, err
+	}
+	return &Program{prog: prog, net: net, netSrc: netSrc}, nil
 }
 
 // Rules reports the number of productions.
@@ -141,7 +153,38 @@ type Config struct {
 	// read and write sets are disjoint, with a single match phase for the
 	// whole group. Results are identical to FireBatch = 1.
 	FireBatch int
+	// ReorderJoins selects the join-order compile the engine matches on.
+	// The zero value (ReorderOn) uses the cost-based planner; ReorderOff
+	// pins the source condition-element order, the differential baseline.
+	// Either way firing traces are identical — reordering only changes
+	// the work the matcher does.
+	ReorderJoins ReorderMode
+	// MatchBudget > 0 caps the opposite-memory candidates any one rule's
+	// joins may examine per recognize-act cycle. A rule over the cap is
+	// quarantined — excised from the network, reported by Quarantined()
+	// — instead of stalling the engine. Inert for the Lisp baseline.
+	MatchBudget int64
+	// Unlink enables left/right unlinking in the hash-table matchers:
+	// right-side activations of a join whose left memory is empty are
+	// buffered instead of stored and searched, and replayed when the
+	// join's first left token arrives. Results are identical; null
+	// activations on dead branches are skipped.
+	Unlink bool
 }
+
+// ReorderMode selects the join-order compile (Config.ReorderJoins).
+type ReorderMode int
+
+// Join-order compiles.
+const (
+	// ReorderOn orders each rule's joins by the cost-based planner
+	// (most selective condition elements first, negations after their
+	// bound variables). The default.
+	ReorderOn ReorderMode = iota
+	// ReorderOff compiles joins in source order — the escape hatch and
+	// the baseline the reorder differential tests compare against.
+	ReorderOff
+)
 
 // RunOptions bound a run.
 type RunOptions struct {
@@ -165,44 +208,56 @@ type Result struct {
 
 // Engine runs the recognize-act cycle for one program.
 type Engine struct {
-	inner     *engine.Engine
-	par       *parmatch.Matcher // non-nil for MatcherParallel
-	cs        *conflict.Set
-	init      bool
-	fireBatch int
+	inner       *engine.Engine
+	par         *parmatch.Matcher // non-nil for MatcherParallel
+	cs          *conflict.Set
+	init        bool
+	fireBatch   int
+	matchBudget int64
 }
 
 // New builds an engine over a fresh working memory. Call Close when
 // done (it stops the parallel matcher's goroutines).
 func New(p *Program, cfg Config) (*Engine, error) {
 	cs := conflict.New(conflict.Config{Shards: cfg.CSShards})
+	net := p.net
+	if cfg.ReorderJoins == ReorderOff {
+		net = p.netSrc
+	}
 	var (
 		m   engine.Matcher
 		par *parmatch.Matcher
 	)
 	switch cfg.Matcher {
-	case MatcherVS1:
-		m = seqmatch.New(p.net, seqmatch.VS1, cfg.HashLines, cs)
-	case MatcherVS2:
-		m = seqmatch.New(p.net, seqmatch.VS2, cfg.HashLines, cs)
+	case MatcherVS1, MatcherVS2:
+		v := seqmatch.VS2
+		if cfg.Matcher == MatcherVS1 {
+			v = seqmatch.VS1
+		}
+		sm := seqmatch.New(net, v, cfg.HashLines, cs)
+		if cfg.Unlink {
+			sm.EnableUnlink()
+		}
+		m = sm
 	case MatcherLisp:
-		m = lispemu.New(p.prog, p.net, cs)
+		m = lispemu.New(p.prog, net, cs)
 	case MatcherParallel:
 		procs := cfg.MatchProcs
 		if procs <= 0 {
 			procs = 4
 		}
-		par = parmatch.New(p.net, parmatch.Config{
+		par = parmatch.New(net, parmatch.Config{
 			Procs:  procs,
 			Queues: cfg.TaskQueues,
 			Lines:  cfg.HashLines,
 			Scheme: cfg.Locks,
+			Unlink: cfg.Unlink,
 		}, cs)
 		m = par
 	default:
 		return nil, fmt.Errorf("psme: unknown matcher kind %d", cfg.Matcher)
 	}
-	e, err := engine.New(p.prog, p.net, cs, m, cfg.Output)
+	e, err := engine.New(p.prog, net, cs, m, cfg.Output)
 	if err != nil {
 		if par != nil {
 			par.Close()
@@ -212,7 +267,7 @@ func New(p *Program, cfg Config) (*Engine, error) {
 	for _, v := range cfg.AcceptValues {
 		e.AcceptValues = append(e.AcceptValues, v.toInternal(p.prog))
 	}
-	return &Engine{inner: e, par: par, cs: cs, fireBatch: cfg.FireBatch}, nil
+	return &Engine{inner: e, par: par, cs: cs, fireBatch: cfg.FireBatch, matchBudget: cfg.MatchBudget}, nil
 }
 
 // Run asserts the program's top-level makes (once) and executes
@@ -229,6 +284,7 @@ func (e *Engine) Run(opt RunOptions) (*Result, error) {
 		RecordFiring: opt.RecordFiring,
 		TraceFires:   opt.TraceFires,
 		FireBatch:    e.fireBatch,
+		MatchBudget:  e.matchBudget,
 	})
 	if err != nil {
 		return nil, err
@@ -302,6 +358,32 @@ func (e *Engine) EpochStats() stats.Epoch { return e.inner.EpochStats() }
 // network epoch (which diverges from the parsed Program's base network
 // once AddRules or Excise have run).
 func (e *Engine) NetworkSummary() rete.NetStats { return e.inner.Net.Summarize() }
+
+// MatchStats returns the matcher's counters — working-memory changes,
+// node activations, memory-scan statistics, and (with Unlink on) the
+// right activations skipped and joins relinked. Zero for backends that
+// keep no counters.
+func (e *Engine) MatchStats() stats.Match {
+	if mm, ok := e.inner.Matcher.(interface{ MatchStats() stats.Match }); ok {
+		return mm.MatchStats()
+	}
+	return stats.Match{}
+}
+
+// Quarantined returns the rules excised by Config.MatchBudget so far,
+// in trip order.
+func (e *Engine) Quarantined() []engine.QuarantinedRule { return e.inner.Quarantined() }
+
+// QuarantinedRule re-exports the engine's budget-trip record.
+type QuarantinedRule = engine.QuarantinedRule
+
+// ReplanJoins re-runs the join planner for every live rule using
+// measured working-memory cardinalities and recompiles, through
+// excise-and-re-add network epochs, each rule whose cheapest order
+// changed. Re-added rules get fresh refraction state, like an OPS5
+// redefinition — call between phases, not mid-inference. Returns the
+// rules recompiled.
+func (e *Engine) ReplanJoins() ([]string, error) { return e.inner.ReplanJoins() }
 
 // Close stops background match goroutines. Safe to call on any engine.
 func (e *Engine) Close() {
