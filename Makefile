@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet check bench bench-smoke recovery act-differential reorder-differential clean
+.PHONY: all build test race vet check bench bench-smoke recovery act-differential reorder-differential fuzz-smoke clean
 
 all: build
 
@@ -49,7 +49,15 @@ reorder-differential:
 vet:
 	$(GO) vet ./...
 
-check: build vet test race bench-smoke reorder-differential
+check: build vet test race bench-smoke reorder-differential fuzz-smoke
+
+# Cross-backend differential fuzzing: replay the deterministic 60-seed
+# corpus (vector attributes, negations, accepts) across all four
+# matcher backends under the race detector, then let the go-native
+# fuzzer mutate seeds for a few seconds.
+fuzz-smoke:
+	$(GO) test -race -run 'TestCorpusDifferential' -v ./internal/fuzz
+	$(GO) test -fuzz FuzzDifferential -fuzztime 5s -run '^$$' ./internal/fuzz
 
 # 1-rep match-kernel + conflict-set sweep plus the fork-vs-cold
 # session-spawn ratio, failing on regression against the checked-in

@@ -5,7 +5,8 @@
 // Usage:
 //
 //	ops5c [-summary] file.ops5
-//	ops5c -figure22        # dump the network for the paper's example
+//	ops5c -pretty file.ops5    # re-emit the parsed program
+//	ops5c -figure22            # dump the network for the paper's example
 package main
 
 import (
@@ -38,6 +39,7 @@ const figure22 = `
 
 func main() {
 	summary := flag.Bool("summary", false, "print network statistics only")
+	pretty := flag.Bool("pretty", false, "pretty-print the parsed program instead of compiling")
 	fig := flag.Bool("figure22", false, "compile the paper's Figure 2-2 example")
 	flag.Parse()
 
@@ -52,13 +54,17 @@ func main() {
 		}
 		src = string(data)
 	default:
-		fmt.Fprintln(os.Stderr, "usage: ops5c [-summary] file.ops5 | ops5c -figure22")
+		fmt.Fprintln(os.Stderr, "usage: ops5c [-summary|-pretty] file.ops5 | ops5c -figure22")
 		os.Exit(2)
 	}
 
 	prog, err := ops5.Parse(src)
 	if err != nil {
 		fatal(err)
+	}
+	if *pretty {
+		fmt.Print(prog.FormatProgram())
+		return
 	}
 	net, err := rete.Compile(prog)
 	if err != nil {

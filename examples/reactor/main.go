@@ -1,0 +1,32 @@
+// Reactor runs the interactive REACTOR accident-diagnosis program on
+// the OPS5 top level, with (accept) and (acceptline) reading from the
+// terminal. Type "run" at the prompt, then answer the program's
+// questions; readings above 50 classify as high.
+//
+// The same program drives the non-interactive paths: the facade queues
+// input up front (Config.AcceptValues) and the inference server
+// suspends with awaiting_input until a batch supplies values.
+package main
+
+import (
+	_ "embed"
+	"fmt"
+	"os"
+
+	"repro/internal/repl"
+)
+
+//go:embed reactor.ops
+var src string
+
+func main() {
+	r, err := repl.New(src, os.Stdout)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "reactor:", err)
+		os.Exit(1)
+	}
+	if err := r.Run(os.Stdin); err != nil {
+		fmt.Fprintln(os.Stderr, "reactor:", err)
+		os.Exit(1)
+	}
+}

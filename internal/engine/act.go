@@ -92,7 +92,10 @@ func (dw deltaWriter) Write(p []byte) (int, error) {
 // env closes over the engine's scratch delta and is built once, so the
 // per-member staging cost is the rhs.Exec walk alone.
 func (e *Engine) stagedEnv(d *actDelta) *rhs.Env {
-	if d == &e.actDelta && e.actEnv != nil && e.actEnv.Prog == e.Prog {
+	if d == &e.actDelta && e.actEnv != nil && e.actEnv.Prog == e.Prog &&
+		(e.actEnv.Out != nil) == (e.Out != nil) {
+		// The Out presence check keeps the cache coherent when a host swaps
+		// e.Out between runs (the server captures output per batch).
 		return e.actEnv
 	}
 	env := &rhs.Env{
@@ -100,6 +103,10 @@ func (e *Engine) stagedEnv(d *actDelta) *rhs.Env {
 		Accept: func() wm.Value {
 			d.invalid = true
 			return wm.Nil
+		},
+		AcceptLine: func() []wm.Value {
+			d.invalid = true
+			return nil
 		},
 		Make:   func(fields []wm.Value) { d.invalid = true },
 		Modify: func(old *wm.WME, fields []wm.Value) { d.invalid = true },
@@ -294,6 +301,14 @@ func (e *Engine) runBatched(opt Options) (*Result, error) {
 		// every cycle for nothing.
 		head := e.CS.Select()
 		if head == nil {
+			break
+		}
+		if !e.ioReady(head) {
+			// Same suspension as the serial loop: the peek left the head in
+			// place, so the run resumes at this exact firing. Group members
+			// are always GroupSafe and so never read input — only the head
+			// needs the check.
+			res.AwaitingInput = true
 			break
 		}
 		var err error

@@ -23,11 +23,40 @@ type Journal interface {
 	RecordFire(rule string, tags []int)
 	RecordHalt()
 	RecordProgram(src string)
+	// RecordAccept journals values supplied to the engine's input queue;
+	// RecordAcceptTake journals each (accept)/(acceptline) consumption.
+	// Together they make interactive sessions replay deterministically.
+	RecordAccept(vals []wm.Value)
+	RecordAcceptTake(n int)
 }
 
 // SetJournal installs (or clears) the engine's journal. Call only while
 // the engine is settled — between requests, never mid-run.
 func (e *Engine) SetJournal(j Journal) { e.journal = j }
+
+// SupplyInput buffers values for (accept)/(acceptline) and journals the
+// supply, so recovery replays interactive sessions deterministically.
+// The engine's IO must be a QueueIO.
+func (e *Engine) SupplyInput(vals []wm.Value) error {
+	q, ok := e.IO.(*QueueIO)
+	if !ok {
+		return fmt.Errorf("engine: SupplyInput needs a QueueIO (have %T)", e.IO)
+	}
+	q.Supply(vals...)
+	if e.journal != nil && len(vals) > 0 {
+		e.journal.RecordAccept(vals)
+	}
+	return nil
+}
+
+// PendingInput reports the number of buffered input values when the IO
+// is a QueueIO, else 0.
+func (e *Engine) PendingInput() int {
+	if q, ok := e.IO.(*QueueIO); ok {
+		return q.Len()
+	}
+	return 0
+}
 
 // CaptureState serializes the engine's settled state as a snapshot:
 // live WMEs with exact time tags (tag order), still-live fired
@@ -45,6 +74,9 @@ func (e *Engine) CaptureState() *wmlog.Snapshot {
 	e.CS.ForEachFired(func(inst *conflict.Instantiation) {
 		s.Fired = append(s.Fired, wmlog.FireKey{Rule: inst.Rule.Rule.Name, Tags: tags(inst.Wmes)})
 	})
+	if q, ok := e.IO.(*QueueIO); ok && q.Len() > 0 {
+		s.Pending = wmlog.EncodeFields(q.Pending(), e.Prog.Symbols)
+	}
 	sort.Slice(s.Fired, func(i, j int) bool {
 		a, b := &s.Fired[i], &s.Fired[j]
 		if a.Rule != b.Rule {
@@ -83,6 +115,13 @@ func (e *Engine) RestoreState(s *wmlog.Snapshot) error {
 		if !e.CS.MarkFiredByTags(cr, fk.Tags) {
 			return fmt.Errorf("engine: snapshot fired instantiation %s %v not re-derived", fk.Rule, fk.Tags)
 		}
+	}
+	if len(s.Pending) > 0 {
+		q, ok := e.IO.(*QueueIO)
+		if !ok {
+			return fmt.Errorf("engine: snapshot has pending input but the engine's IO is %T, not a QueueIO", e.IO)
+		}
+		q.SetPending(wmlog.DecodeFields(s.Pending, e.Prog.Symbols))
 	}
 	e.WM.SetNextTag(s.NextTag)
 	e.halted = s.Halted
@@ -130,6 +169,18 @@ func (e *Engine) ReplayRecords(recs []*wmlog.Record) error {
 			}
 		case wmlog.RecHalt:
 			e.halted = true
+		case wmlog.RecAccept:
+			q, ok := e.IO.(*QueueIO)
+			if !ok {
+				return fmt.Errorf("engine: replay supplies accept input but the engine's IO is %T, not a QueueIO", e.IO)
+			}
+			q.Supply(wmlog.DecodeFields(r.Fields, e.Prog.Symbols)...)
+		case wmlog.RecAcceptTake:
+			q, ok := e.IO.(*QueueIO)
+			if !ok {
+				return fmt.Errorf("engine: replay consumes accept input but the engine's IO is %T, not a QueueIO", e.IO)
+			}
+			q.Take(r.Tag)
 		case wmlog.RecProgram:
 			settle()
 			if _, _, err := e.AddRules(r.Src); err != nil {

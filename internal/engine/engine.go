@@ -79,6 +79,10 @@ type Result struct {
 	Elapsed   time.Duration // total wall-clock for the run
 	MatchTime time.Duration // wall-clock spent inside Submit and Drain
 	RHSInstr  int64         // threaded-code instructions interpreted
+	// AwaitingInput: the dominant instantiation reads (accept) input the
+	// engine's IO cannot supply yet. The run suspended before firing it;
+	// supplying input and calling Run again resumes exactly there.
+	AwaitingInput bool
 }
 
 // Options configure a run.
@@ -117,9 +121,10 @@ type Engine struct {
 	CS      *conflict.Set
 	Matcher Matcher
 	Out     io.Writer
-	// AcceptValues supplies (accept) results, consumed front to back;
-	// exhausted input yields the symbol end-of-file.
-	AcceptValues []wm.Value
+	// IO supplies (accept) and (acceptline) input. Nil behaves like an
+	// exhausted input stream: always ready, every read yields the symbol
+	// end-of-file. Set it before SetJournal so consumption is journaled.
+	IO IO
 	// WMListener, when non-nil, observes every working-memory change the
 	// engine forwards to its matcher (true = assert, false = retract).
 	// The server uses it to report per-request WM deltas.
@@ -224,14 +229,8 @@ func (e *Engine) env() *rhs.Env {
 	return &rhs.Env{
 		Prog: e.Prog,
 		Out:  e.Out,
-		Accept: func() wm.Value {
-			if len(e.AcceptValues) == 0 {
-				return wm.Sym(e.Prog.Symbols.Intern("end-of-file"))
-			}
-			v := e.AcceptValues[0]
-			e.AcceptValues = e.AcceptValues[1:]
-			return v
-		},
+		Accept:     e.acceptOne,
+		AcceptLine: e.acceptLine,
 		Make: func(fields []wm.Value) {
 			w := e.WM.Add(fields)
 			e.traceChange("=>WM", w)
@@ -261,12 +260,68 @@ func (e *Engine) env() *rhs.Env {
 	}
 }
 
+// acceptOne services an (accept): one value from the IO, end-of-file
+// when there is none. Values a QueueIO actually consumed are journaled
+// as take records so crash recovery replays the same reads.
+func (e *Engine) acceptOne() wm.Value {
+	if e.IO == nil {
+		return wm.Sym(e.Prog.Symbols.Intern("end-of-file"))
+	}
+	if q, ok := e.IO.(*QueueIO); ok && e.journal != nil {
+		before := q.Len()
+		v := q.Accept()
+		if n := before - q.Len(); n > 0 {
+			e.journal.RecordAcceptTake(n)
+		}
+		return v
+	}
+	return e.IO.Accept()
+}
+
+// acceptLine services an (acceptline), journaling QueueIO consumption
+// like acceptOne.
+func (e *Engine) acceptLine() []wm.Value {
+	if e.IO == nil {
+		return []wm.Value{wm.Sym(e.Prog.Symbols.Intern("end-of-file"))}
+	}
+	if q, ok := e.IO.(*QueueIO); ok && e.journal != nil {
+		before := q.Len()
+		line := q.AcceptLine()
+		if n := before - q.Len(); n > 0 {
+			e.journal.RecordAcceptTake(n)
+		}
+		return line
+	}
+	return e.IO.AcceptLine()
+}
+
+// ioReady reports whether the instantiation's RHS can run without
+// blocking on input: its static accept counts are checked against the
+// IO. RHSes that read no input are always ready.
+func (e *Engine) ioReady(inst *conflict.Instantiation) bool {
+	c := e.compiled[inst.Rule.Index]
+	if c == nil || (c.Accepts == 0 && c.AcceptLines == 0) {
+		return true
+	}
+	if e.IO == nil {
+		return true
+	}
+	return e.IO.Ready(c.Accepts, c.AcceptLines)
+}
+
 // Init asserts the program's top-level makes and completes the first
 // match phase.
 func (e *Engine) Init() error {
 	env := e.env()
 	for _, act := range e.Prog.InitialMakes {
-		fields := make([]wm.Value, e.Prog.ClassOf(act.Class).NumFields())
+		n := e.Prog.ClassOf(act.Class).NumFields()
+		for _, s := range act.Sets {
+			// Vector attributes can extend a make past the literalized width.
+			if s.Field+1 > n {
+				n = s.Field + 1
+			}
+		}
+		fields := make([]wm.Value, n)
 		fields[0] = wm.Sym(act.Class)
 		for _, s := range act.Sets {
 			v, err := constExpr(s.Expr)
@@ -326,6 +381,13 @@ func (e *Engine) Run(opt Options) (*Result, error) {
 		}
 		inst := e.CS.Select()
 		if inst == nil {
+			break
+		}
+		if !e.ioReady(inst) {
+			// Select is a non-popping peek, so suspending here leaves the
+			// dominant instantiation in place: supplying input and calling
+			// Run again fires it as if the run had never paused.
+			res.AwaitingInput = true
 			break
 		}
 		e.CS.MarkFired(inst)

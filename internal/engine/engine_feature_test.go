@@ -30,7 +30,11 @@ func buildEngine(t *testing.T, src string, accepts []wm.Value) (*engine.Engine, 
 	if err != nil {
 		t.Fatalf("engine: %v", err)
 	}
-	e.AcceptValues = accepts
+	if len(accepts) > 0 {
+		q := engine.NewQueueIO(prog.Symbols, true)
+		q.Supply(accepts...)
+		e.IO = q
+	}
 	if err := e.Init(); err != nil {
 		t.Fatalf("init: %v", err)
 	}

@@ -1,0 +1,71 @@
+package fuzz_test
+
+import (
+	"testing"
+
+	"repro/internal/fuzz"
+)
+
+// corpusSeeds is the deterministic corpus `make fuzz-smoke` replays:
+// every seed must agree across all four backends, and together the
+// generated programs must cover the surface the fuzzer exists for.
+const corpusSeeds = 60
+
+func TestCorpusDifferential(t *testing.T) {
+	if testing.Short() {
+		t.Skip("corpus replay is the long differential")
+	}
+	var vector, negation, accept int
+	for seed := int64(1); seed <= corpusSeeds; seed++ {
+		c := fuzz.Generate(seed)
+		if c.HasVector {
+			vector++
+		}
+		if c.HasNegation {
+			negation++
+		}
+		if c.HasAccept {
+			accept++
+		}
+		if err := fuzz.Diff(c); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// The corpus must actually exercise the new surface, not just
+	// scalar join programs.
+	if vector < corpusSeeds/3 {
+		t.Errorf("only %d/%d corpus programs use vector attributes", vector, corpusSeeds)
+	}
+	if negation < corpusSeeds/3 {
+		t.Errorf("only %d/%d corpus programs use negated CEs", negation, corpusSeeds)
+	}
+	if accept < corpusSeeds/4 {
+		t.Errorf("only %d/%d corpus programs consume input", accept, corpusSeeds)
+	}
+}
+
+// TestGenerateDeterministic: a seed fully determines the case — the
+// property resume, corpus replay and crash triage all rely on.
+func TestGenerateDeterministic(t *testing.T) {
+	for seed := int64(1); seed <= 10; seed++ {
+		a, b := fuzz.Generate(seed), fuzz.Generate(seed)
+		if a.Src != b.Src || len(a.Accepts) != len(b.Accepts) {
+			t.Fatalf("seed %d not deterministic", seed)
+		}
+	}
+}
+
+// FuzzDifferential is the go-native fuzz target: any int64 becomes a
+// generated program that every backend must execute identically.
+func FuzzDifferential(f *testing.F) {
+	for seed := int64(1); seed <= 8; seed++ {
+		f.Add(seed)
+	}
+	f.Add(int64(-1))
+	f.Add(int64(1 << 40))
+	f.Fuzz(func(t *testing.T, seed int64) {
+		if err := fuzz.Diff(fuzz.Generate(seed)); err != nil {
+			t.Fatal(err)
+		}
+	})
+}

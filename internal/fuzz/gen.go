@@ -1,0 +1,167 @@
+// Package fuzz generates seeded random OPS5 programs and replays each
+// one across every matcher backend, diffing firing traces, time tags
+// and final working memory — the cross-backend differential harness
+// behind `make fuzz-smoke` and the FuzzDifferential target.
+//
+// The generator leans on the same termination trick as the workload
+// random tests — rules either shrink working memory or make elements
+// of inert classes — but deliberately covers the full surface the
+// matchers must agree on: vector attributes (matched by continuation
+// tests and built by RHS splices), negated condition elements,
+// predicates, bound-variable joins, and (accept)/(acceptline) input
+// consumed in firing order. A cycle cap bounds the occasional
+// modify-loop; capped runs still diff exactly.
+package fuzz
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	psme "repro"
+)
+
+// Case is one generated differential input: a program plus the input
+// script its (accept) calls consume, with coverage markers for corpus
+// statistics.
+type Case struct {
+	Seed    int64
+	Src     string
+	Accepts []psme.Value
+
+	HasVector   bool // a vector-attribute class appears in a rule or make
+	HasNegation bool // at least one negated condition element
+	HasAccept   bool // at least one (accept) or (acceptline)
+}
+
+// Generate builds the deterministic case for a seed. The same seed
+// always yields the same program and input script.
+func Generate(seed int64) Case {
+	r := rand.New(rand.NewSource(seed))
+	c := Case{Seed: seed}
+	var b strings.Builder
+
+	// Declarations: three scalar classes, one vector-attribute class,
+	// and two inert sinks (nothing matches them, so making them cannot
+	// feed back into the rules).
+	b.WriteString("(literalize ca p q s)\n(literalize cb p q s)\n(literalize cc p q s)\n")
+	b.WriteString("(literalize vec tag elt)\n(vector-attribute elt)\n")
+	b.WriteString("(literalize out v w)\n")
+	b.WriteString("(literalize log elt)\n(vector-attribute elt)\n")
+	if r.Intn(2) == 0 {
+		b.WriteString("(strategy mea)\n")
+	}
+
+	classes := []string{"ca", "cb", "cc"}
+	attrs := []string{"p", "q", "s"}
+	vectorTags := []string{"alpha", "beta", "gamma"}
+
+	nRules := 3 + r.Intn(6)
+	for i := 0; i < nRules; i++ {
+		nCE := 1 + r.Intn(3)
+		fmt.Fprintf(&b, "(p rule-%d\n", i)
+		var boundVars []string
+		vecCE := -1 // which CE (if any) matched the vector class
+		for ce := 0; ce < nCE; ce++ {
+			neg := ce > 0 && r.Intn(4) == 0
+			if neg {
+				c.HasNegation = true
+				b.WriteString("  - (")
+			} else {
+				b.WriteString("  (")
+			}
+			if r.Intn(4) == 0 { // vector-class CE with continuation tests
+				c.HasVector = true
+				if !neg && vecCE < 0 {
+					vecCE = ce
+				}
+				fmt.Fprintf(&b, "vec ^tag %s ^elt %s", vectorTags[r.Intn(len(vectorTags))], vectorTags[r.Intn(len(vectorTags))])
+				switch r.Intn(3) {
+				case 0: // bare continuation constant
+					fmt.Fprintf(&b, " %d", r.Intn(4))
+				case 1: // continuation variable
+					v := fmt.Sprintf("e%d", ce)
+					fmt.Fprintf(&b, " <%s>", v)
+					if !neg {
+						boundVars = append(boundVars, v)
+					}
+				}
+				b.WriteString(")\n")
+				continue
+			}
+			b.WriteString(classes[r.Intn(len(classes))])
+			for _, a := range attrs {
+				switch r.Intn(5) {
+				case 0: // constant test
+					fmt.Fprintf(&b, " ^%s %d", a, r.Intn(4))
+				case 1: // fresh variable (binds in positive CEs)
+					v := fmt.Sprintf("v%d%s", ce, a)
+					fmt.Fprintf(&b, " ^%s <%s>", a, v)
+					if !neg {
+						boundVars = append(boundVars, v)
+					}
+				case 2: // test against an earlier binding
+					if len(boundVars) > 0 {
+						v := boundVars[r.Intn(len(boundVars))]
+						preds := []string{"", "<> ", "> ", "<= "}
+						fmt.Fprintf(&b, " ^%s {%s<%s>}", a, preds[r.Intn(len(preds))], v)
+					}
+				case 3: // numeric predicate
+					fmt.Fprintf(&b, " ^%s > %d", a, r.Intn(3))
+				}
+			}
+			b.WriteString(")\n")
+		}
+		b.WriteString("-->\n")
+		switch act := r.Intn(6); {
+		case act == 0 && len(boundVars) > 0: // inert scalar make
+			fmt.Fprintf(&b, "  (make out ^v <%s> ^w %d))\n", boundVars[r.Intn(len(boundVars))], i)
+		case act == 1: // inert vector make with a continuation splice
+			c.HasVector = true
+			if len(boundVars) > 0 && r.Intn(2) == 0 {
+				fmt.Fprintf(&b, "  (make log ^elt %s <%s> %d))\n", vectorTags[r.Intn(len(vectorTags))], boundVars[r.Intn(len(boundVars))], i)
+			} else {
+				fmt.Fprintf(&b, "  (make log ^elt %s %d))\n", vectorTags[r.Intn(len(vectorTags))], i)
+			}
+		case act == 2: // consume input into an inert sink
+			c.HasAccept = true
+			fmt.Fprintf(&b, "  (make out ^v (accept) ^w %d)\n  (remove 1))\n", i)
+		case act == 3 && r.Intn(3) == 0: // whole-line input into the vector sink
+			c.HasAccept = true
+			c.HasVector = true
+			fmt.Fprintf(&b, "  (make log ^elt line-%d (acceptline))\n  (remove 1))\n", i)
+		default: // shrink working memory
+			b.WriteString("  (remove 1))\n")
+		}
+	}
+
+	// Ground working memory: scalar elements plus a few vector elements
+	// of varying length.
+	nWmes := 8 + r.Intn(12)
+	for i := 0; i < nWmes; i++ {
+		if r.Intn(4) == 0 {
+			c.HasVector = true
+			fmt.Fprintf(&b, "(make vec ^tag %s ^elt %s", vectorTags[r.Intn(len(vectorTags))], vectorTags[r.Intn(len(vectorTags))])
+			for k := r.Intn(3); k > 0; k-- {
+				fmt.Fprintf(&b, " %d", r.Intn(4))
+			}
+			b.WriteString(")\n")
+			continue
+		}
+		fmt.Fprintf(&b, "(make %s ^p %d ^q %d ^s %d)\n",
+			classes[r.Intn(len(classes))], r.Intn(4), r.Intn(4), r.Intn(4))
+	}
+	c.Src = b.String()
+
+	// Input script: enough values that most accepts see real input, few
+	// enough that end-of-file also gets exercised.
+	nVals := 4 + r.Intn(8)
+	for i := 0; i < nVals; i++ {
+		if r.Intn(2) == 0 {
+			c.Accepts = append(c.Accepts, psme.Value{Num: int64(r.Intn(50)), IsNum: true})
+		} else {
+			c.Accepts = append(c.Accepts, psme.Value{Sym: vectorTags[r.Intn(len(vectorTags))]})
+		}
+	}
+	return c
+}

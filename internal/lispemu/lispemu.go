@@ -12,9 +12,11 @@ package lispemu
 
 import (
 	"fmt"
+	"strconv"
 
 	"repro/internal/ops5"
 	"repro/internal/rete"
+	"repro/internal/symbols"
 	"repro/internal/wm"
 )
 
@@ -71,11 +73,23 @@ func (m *Matcher) boxWME(w *wm.WME) map[string]box {
 	attrs := make(map[string]box, len(w.Fields))
 	attrs["class"] = m.Prog.Symbols.Name(w.Class())
 	for i := 1; i < len(w.Fields); i++ {
-		name := m.Prog.AttrName(w.Class(), i)
-		attrs[name] = boxValue(m.Prog, w.Fields[i])
+		attrs[m.fieldKey(w.Class(), i)] = boxValue(m.Prog, w.Fields[i])
 	}
 	m.boxed[w] = attrs
 	return attrs
+}
+
+// fieldKey is the association-map key for a field: the attribute name
+// when the field has one, a positional key for the unnamed continuation
+// fields past a vector attribute. A lookup miss (a test on a field
+// beyond the element's length) yields the nil box, exactly what
+// boxValue produces for wm.Nil — matching the positional matchers'
+// out-of-range Field() behaviour.
+func (m *Matcher) fieldKey(class symbols.ID, field int) string {
+	if name := m.Prog.AttrName(class, field); name != "" {
+		return name
+	}
+	return "#" + strconv.Itoa(field)
 }
 
 // dispatch models the interpreter's per-node-activation overhead: the
@@ -192,7 +206,7 @@ func applyPred(pred string, v, o box) bool {
 // evalConst interprets one alpha test against a boxed element.
 func (m *Matcher) evalConst(t *rete.ConstTest, w *wm.WME, attrs map[string]box) bool {
 	m.Ops++
-	v := attrs[m.Prog.AttrName(w.Class(), t.Field)]
+	v := attrs[m.fieldKey(w.Class(), t.Field)]
 	if t.Disj != nil {
 		for _, d := range t.Disj {
 			if boxedEqual(v, boxValue(m.Prog, d)) {
@@ -202,7 +216,7 @@ func (m *Matcher) evalConst(t *rete.ConstTest, w *wm.WME, attrs map[string]box) 
 		return false
 	}
 	if t.OtherField >= 0 {
-		o := attrs[m.Prog.AttrName(w.Class(), t.OtherField)]
+		o := attrs[m.fieldKey(w.Class(), t.OtherField)]
 		return applyPred(t.Pred.String(), v, o)
 	}
 	return applyPred(t.Pred.String(), v, boxValue(m.Prog, t.Const))
@@ -216,8 +230,8 @@ func (m *Matcher) testPair(j *rete.JoinNode, left []*wm.WME, right *wm.WME) bool
 		m.Ops++
 		lw := left[lp]
 		lattrs := m.boxWME(lw)
-		lv := lattrs[m.Prog.AttrName(lw.Class(), lf)]
-		rv := rattrs[m.Prog.AttrName(right.Class(), rf)]
+		lv := lattrs[m.fieldKey(lw.Class(), lf)]
+		rv := rattrs[m.fieldKey(right.Class(), rf)]
 		return applyPred(pred, rv, lv)
 	}
 	for i := range j.EqTests {

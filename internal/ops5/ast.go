@@ -123,9 +123,10 @@ const (
 	ExprConst ExprKind = iota
 	ExprVar
 	ExprCompute
-	ExprCrlf   // (crlf) inside write
-	ExprTabto  // (tabto n) inside write
-	ExprAccept // (accept) — reads the next value from the engine's input list
+	ExprCrlf       // (crlf) inside write
+	ExprTabto      // (tabto n) inside write
+	ExprAccept     // (accept) — reads the next value from the engine's IO
+	ExprAcceptLine // (acceptline) — reads a whole line of values from the engine's IO
 )
 
 // Expr is an RHS value expression. Compute nodes form a binary tree;
@@ -176,6 +177,11 @@ type Class struct {
 	Fields    map[symbols.ID]int
 	FieldAttr []symbols.ID // index -> attribute symbol; [0] unused
 	Declared  bool         // false when auto-created on first use
+	// VectorField is the index of the class's vector attribute, or 0 when
+	// the class has none. A vector attribute must be the last literalized
+	// field: its value occupies that field and every field after it, so a
+	// WME of this class may be longer than NumFields().
+	VectorField int
 }
 
 // NumFields is the vector length including the class slot.
@@ -190,6 +196,14 @@ type Program struct {
 	// InitialMakes are top-level (make ...) forms evaluated once, in
 	// order, before the recognize-act loop starts.
 	InitialMakes []*Action
+	// VectorAttrs holds the attributes declared by (vector-attribute ...).
+	// The declaration is order-independent with respect to literalize:
+	// both directions validate that the attribute is the last field.
+	VectorAttrs map[symbols.ID]bool
+	// Watch is the trace level from a top-level (watch N) form: 0 silent,
+	// 1 rule firings, 2 firings plus WM changes. -1 when the program does
+	// not set one, letting hosts pick their own default.
+	Watch int
 	// frozen forbids further mutation of the class tables. The engine
 	// freezes the program when it compiles it: from then on many matchers
 	// and RHS evaluators may read Classes concurrently, so the lazy
@@ -248,10 +262,17 @@ func (p *Program) FieldIndex(class *Class, attr symbols.ID) (int, error) {
 }
 
 // AttrName renders a field index of a class back to its attribute name,
-// for tracing and WME printing.
+// for tracing and WME printing. Continuation fields of a vector attribute
+// (every field past VectorField) render as "" so printers emit the values
+// bare, after the single ^attr of the vector's first field.
 func (p *Program) AttrName(class symbols.ID, field int) string {
-	if c, ok := p.Classes[class]; ok && field > 0 && field < len(c.FieldAttr) {
-		return p.Symbols.Name(c.FieldAttr[field])
+	if c, ok := p.Classes[class]; ok {
+		if field > 0 && field < len(c.FieldAttr) {
+			return p.Symbols.Name(c.FieldAttr[field])
+		}
+		if c.VectorField > 0 && field > c.VectorField {
+			return ""
+		}
 	}
 	return fmt.Sprintf("f%d", field)
 }

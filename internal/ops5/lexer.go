@@ -158,6 +158,23 @@ func (l *lexer) next() (token, error) {
 	case '=':
 		l.pos++
 		return token{kind: tokPred, text: "=", line: ln}, nil
+	case '"':
+		// Double-quoted symbol: the quoted text becomes one symbol, spaces
+		// and all, as in OPS5 write actions ("Enter id number:  ").
+		l.pos++
+		start := l.pos
+		for l.pos < len(l.src) && l.src[l.pos] != '"' {
+			if l.src[l.pos] == '\n' {
+				l.line++
+			}
+			l.pos++
+		}
+		if l.pos >= len(l.src) {
+			return token{}, fmt.Errorf("line %d: unterminated string", ln)
+		}
+		text := l.src[start:l.pos]
+		l.pos++
+		return token{kind: tokSym, text: text, line: ln}, nil
 	}
 	// Number or symbol. A token is a number if it fully parses as one.
 	start := l.pos

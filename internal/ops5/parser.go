@@ -49,9 +49,11 @@ func Parse(src string) (*Program, error) {
 	p := &parser{
 		toks: toks,
 		prog: &Program{
-			Symbols:  symbols.NewTable(),
-			Strategy: "lex",
-			Classes:  make(map[symbols.ID]*Class),
+			Symbols:     symbols.NewTable(),
+			Strategy:    "lex",
+			Classes:     make(map[symbols.ID]*Class),
+			VectorAttrs: make(map[symbols.ID]bool),
+			Watch:       -1,
 		},
 	}
 	p.rules = &p.prog.Rules
@@ -208,6 +210,22 @@ func (p *parser) parseTop() error {
 				return p.errf(head, "top-level make: %v", err)
 			}
 			p.prog.InitialMakes = append(p.prog.InitialMakes, act)
+		case "vector-attribute":
+			if err := p.parseVectorAttribute(); err != nil {
+				return err
+			}
+		case "watch":
+			n, err := p.expect(tokNum, "watch level")
+			if err != nil {
+				return err
+			}
+			if !n.isInt || n.inum < 0 || n.inum > 2 {
+				return p.errf(n, "watch level %s out of range (want 0, 1 or 2)", n.String())
+			}
+			if _, err := p.expect(tokRParen, ")"); err != nil {
+				return err
+			}
+			p.prog.Watch = int(n.inum)
 		default:
 			return p.errf(head, "unknown top-level form %q", head.text)
 		}
@@ -230,7 +248,7 @@ func (p *parser) parseLiteralize() error {
 		t := p.advance()
 		switch t.kind {
 		case tokRParen:
-			return nil
+			return p.checkVectorLayout(c, t)
 		case tokSym:
 			a := p.intern(t.text)
 			if _, dup := c.Fields[a]; dup {
@@ -240,6 +258,55 @@ func (p *parser) parseLiteralize() error {
 			c.FieldAttr = append(c.FieldAttr, a)
 		default:
 			return p.errf(t, "expected attribute name in literalize, got %q", t.String())
+		}
+	}
+}
+
+// checkVectorLayout validates that any attribute of class c declared by a
+// (vector-attribute ...) form sits in the last literalized field, and
+// records it as the class's vector field. It runs both when a literalize
+// completes and when a vector-attribute form names an already-literalized
+// attribute, so the two declarations may appear in either order.
+func (p *parser) checkVectorLayout(c *Class, at token) error {
+	for a, i := range c.Fields {
+		if !p.prog.VectorAttrs[a] {
+			continue
+		}
+		if i != len(c.FieldAttr)-1 {
+			return p.errf(at, "vector attribute %s must be the last literalize field of class %s",
+				p.prog.Symbols.Name(a), p.prog.Symbols.Name(c.Name))
+		}
+		c.VectorField = i
+	}
+	return nil
+}
+
+// parseVectorAttribute reads (vector-attribute attr...). The named
+// attributes hold variable-length value vectors occupying the trailing
+// fields of their WMEs; each must be the last field of every class that
+// literalizes it.
+func (p *parser) parseVectorAttribute() error {
+	n := 0
+	for {
+		t := p.advance()
+		switch t.kind {
+		case tokRParen:
+			if n == 0 {
+				return p.errf(t, "vector-attribute needs at least one attribute name")
+			}
+			return nil
+		case tokSym:
+			p.prog.VectorAttrs[p.intern(t.text)] = true
+			n++
+			for _, c := range p.prog.Classes {
+				if c.Declared {
+					if err := p.checkVectorLayout(c, t); err != nil {
+						return err
+					}
+				}
+			}
+		default:
+			return p.errf(t, "expected attribute name in vector-attribute, got %q", t.String())
 		}
 	}
 }
@@ -386,7 +453,8 @@ func (p *parser) parseCE(negated bool) (*CondElem, error) {
 		case tokRParen:
 			return ce, nil
 		case tokAttr:
-			field, err := p.prog.FieldIndex(class, p.intern(t.text))
+			attr := p.intern(t.text)
+			field, err := p.prog.FieldIndex(class, attr)
 			if err != nil {
 				return nil, p.errf(t, "%v", err)
 			}
@@ -394,11 +462,28 @@ func (p *parser) parseCE(negated bool) (*CondElem, error) {
 			if err != nil {
 				return nil, err
 			}
-			ce.Tests = append(ce.Tests, AttrTest{Field: field, Attr: p.intern(t.text), Terms: terms})
+			ce.Tests = append(ce.Tests, AttrTest{Field: field, Attr: attr, Terms: terms})
+			if class.VectorField > 0 && field == class.VectorField {
+				// Vector attribute: further value terms before the next
+				// ^attr or ) test the consecutive continuation fields.
+				for k := 1; !atValueEnd(p.cur().kind); k++ {
+					terms, err := p.parseAttrValue()
+					if err != nil {
+						return nil, err
+					}
+					ce.Tests = append(ce.Tests, AttrTest{Field: field + k, Attr: attr, Terms: terms})
+				}
+			}
 		default:
 			return nil, p.errf(t, "expected ^attribute in condition element, got %q", t.String())
 		}
 	}
+}
+
+// atValueEnd reports that the token after a vector attribute's value
+// terminates the run of continuation values.
+func atValueEnd(k tokKind) bool {
+	return k == tokRParen || k == tokAttr || k == tokEOF
 }
 
 // parseAttrValue reads the value part after ^attr: a single term, a
@@ -628,6 +713,7 @@ func (p *parser) parseModifyBody(rule *Rule, line int) (*Action, error) {
 		return nil, err
 	}
 	class := p.prog.ClassOf(rule.CEs[act.CEIndex-1].Class)
+	act.Class = class.Name // lets printers resolve the class's vector field
 	if err := p.parseSets(act, class); err != nil {
 		return nil, err
 	}
@@ -642,7 +728,8 @@ func (p *parser) parseSets(act *Action, class *Class) error {
 		case tokRParen:
 			return nil
 		case tokAttr:
-			field, err := p.prog.FieldIndex(class, p.intern(t.text))
+			attr := p.intern(t.text)
+			field, err := p.prog.FieldIndex(class, attr)
 			if err != nil {
 				return p.errf(t, "%v", err)
 			}
@@ -650,7 +737,18 @@ func (p *parser) parseSets(act *Action, class *Class) error {
 			if err != nil {
 				return err
 			}
-			act.Sets = append(act.Sets, AttrSet{Attr: p.intern(t.text), Field: field, Expr: e})
+			act.Sets = append(act.Sets, AttrSet{Attr: attr, Field: field, Expr: e})
+			if class.VectorField > 0 && field == class.VectorField {
+				// Vector attribute: further expressions before the next
+				// ^attr or ) fill the consecutive continuation fields.
+				for k := 1; !atValueEnd(p.cur().kind); k++ {
+					e, err := p.parseExpr()
+					if err != nil {
+						return err
+					}
+					act.Sets = append(act.Sets, AttrSet{Attr: attr, Field: field + k, Expr: e})
+				}
+			}
 		default:
 			return p.errf(t, "expected ^attribute in %s, got %q", actName(act.Kind), t.String())
 		}
@@ -716,10 +814,17 @@ func (p *parser) parseExpr() (*Expr, error) {
 			}
 			return &Expr{Kind: ExprTabto, Const: wm.Int(n.inum)}, nil
 		case "accept":
-			if _, err := p.expect(tokRParen, ")"); err != nil {
-				return nil, err
+			if p.cur().kind != tokRParen {
+				return nil, p.errf(head, "(accept) takes no arguments")
 			}
+			p.advance()
 			return &Expr{Kind: ExprAccept}, nil
+		case "acceptline":
+			if p.cur().kind != tokRParen {
+				return nil, p.errf(head, "(acceptline) takes no arguments")
+			}
+			p.advance()
+			return &Expr{Kind: ExprAcceptLine}, nil
 		default:
 			return nil, p.errf(head, "unknown value form %q", head.text)
 		}

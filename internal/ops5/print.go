@@ -2,10 +2,58 @@ package ops5
 
 import (
 	"fmt"
+	"sort"
 	"strings"
 
+	"repro/internal/symbols"
 	"repro/internal/wm"
 )
+
+// FormatProgram renders the whole program back to OPS5 source: strategy,
+// watch, literalize and vector-attribute declarations in a stable order,
+// then the rules and initial makes. cmd/ops5c uses it to pretty-print.
+func (p *Program) FormatProgram() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "(strategy %s)\n", p.Strategy)
+	if p.Watch >= 0 {
+		fmt.Fprintf(&b, "(watch %d)\n", p.Watch)
+	}
+	names := make([]string, 0, len(p.Classes))
+	byName := make(map[string]*Class, len(p.Classes))
+	for _, c := range p.Classes {
+		if !c.Declared {
+			continue
+		}
+		n := p.Symbols.Name(c.Name)
+		names = append(names, n)
+		byName[n] = c
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		b.WriteString("(literalize " + n)
+		for _, a := range byName[n].FieldAttr[1:] {
+			b.WriteString(" " + p.Symbols.Name(a))
+		}
+		b.WriteString(")\n")
+	}
+	var vecs []string
+	for a := range p.VectorAttrs {
+		vecs = append(vecs, p.Symbols.Name(a))
+	}
+	sort.Strings(vecs)
+	if len(vecs) > 0 {
+		b.WriteString("(vector-attribute " + strings.Join(vecs, " ") + ")\n")
+	}
+	for _, r := range p.Rules {
+		b.WriteString(p.FormatRule(r))
+		b.WriteByte('\n')
+	}
+	for _, m := range p.InitialMakes {
+		b.WriteString(p.FormatAction(m))
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
 
 // FormatRule renders a production back to OPS5 source. The output
 // round-trips: parsing it again yields a structurally identical rule
@@ -35,12 +83,28 @@ func (p *Program) FormatRule(r *Rule) string {
 	return b.String()
 }
 
+// vectorFieldOf resolves the vector field of a class for printing; 0
+// when the class has none (or is unknown to this program).
+func (p *Program) vectorFieldOf(class symbols.ID) int {
+	if c, ok := p.Classes[class]; ok {
+		return c.VectorField
+	}
+	return 0
+}
+
 func (p *Program) formatCE(ce *CondElem) string {
+	vf := p.vectorFieldOf(ce.Class)
 	var b strings.Builder
 	b.WriteByte('(')
 	b.WriteString(p.Symbols.Name(ce.Class))
 	for _, at := range ce.Tests {
-		fmt.Fprintf(&b, " ^%s ", p.Symbols.Name(at.Attr))
+		if vf > 0 && at.Field > vf {
+			// Continuation field of a vector attribute: the value prints
+			// bare after the vector's ^attr and first value.
+			b.WriteByte(' ')
+		} else {
+			fmt.Fprintf(&b, " ^%s ", p.Symbols.Name(at.Attr))
+		}
 		if len(at.Terms) == 1 && at.Terms[0].Pred == PredEQ && at.Terms[0].Disj == nil {
 			b.WriteString(p.formatTerm(&at.Terms[0]))
 			continue
@@ -88,11 +152,11 @@ func (p *Program) FormatAction(act *Action) string {
 	switch act.Kind {
 	case ActMake:
 		fmt.Fprintf(&b, "(make %s", p.Symbols.Name(act.Class))
-		p.formatSets(&b, act.Sets)
+		p.formatSets(&b, act.Class, act.Sets)
 		b.WriteByte(')')
 	case ActModify:
 		fmt.Fprintf(&b, "(modify %d", act.CEIndex)
-		p.formatSets(&b, act.Sets)
+		p.formatSets(&b, act.Class, act.Sets)
 		b.WriteByte(')')
 	case ActRemove:
 		fmt.Fprintf(&b, "(remove %d)", act.CEIndex)
@@ -111,9 +175,14 @@ func (p *Program) FormatAction(act *Action) string {
 	return b.String()
 }
 
-func (p *Program) formatSets(b *strings.Builder, sets []AttrSet) {
+func (p *Program) formatSets(b *strings.Builder, class symbols.ID, sets []AttrSet) {
+	vf := p.vectorFieldOf(class)
 	for _, s := range sets {
-		fmt.Fprintf(b, " ^%s %s", p.Symbols.Name(s.Attr), p.FormatExpr(s.Expr))
+		if vf > 0 && s.Field > vf {
+			fmt.Fprintf(b, " %s", p.FormatExpr(s.Expr))
+		} else {
+			fmt.Fprintf(b, " ^%s %s", p.Symbols.Name(s.Attr), p.FormatExpr(s.Expr))
+		}
 	}
 }
 
@@ -132,6 +201,8 @@ func (p *Program) FormatExpr(e *Expr) string {
 		return fmt.Sprintf("(tabto %d)", e.Const.Num)
 	case ExprAccept:
 		return "(accept)"
+	case ExprAcceptLine:
+		return "(acceptline)"
 	}
 	return "?"
 }

@@ -1,0 +1,162 @@
+package ops5_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/ops5"
+	"repro/internal/symbols"
+)
+
+// TestVectorAttributeLayout: the vector attribute claims the last
+// literalized field and continuation fields have no attribute name.
+func TestVectorAttributeLayout(t *testing.T) {
+	prog := parse(t, `
+(literalize trace kind elt)
+(vector-attribute elt)
+`)
+	id, _ := prog.Symbols.Lookup("trace")
+	c := prog.Classes[id]
+	if c.VectorField != 2 {
+		t.Fatalf("VectorField = %d, want 2", c.VectorField)
+	}
+	if !prog.VectorAttrs[mustSym(t, prog, "elt")] {
+		t.Fatal("elt not recorded in VectorAttrs")
+	}
+	if name := prog.AttrName(id, 2); name != "elt" {
+		t.Fatalf("AttrName(2) = %q", name)
+	}
+	// Continuation fields print bare.
+	if name := prog.AttrName(id, 3); name != "" {
+		t.Fatalf("AttrName(3) = %q, want empty", name)
+	}
+}
+
+// TestVectorAttributeBeforeLiteralize: declaration order is free — the
+// vector-attribute form may precede the literalize that uses it.
+func TestVectorAttributeBeforeLiteralize(t *testing.T) {
+	prog := parse(t, `
+(vector-attribute elt)
+(literalize trace kind elt)
+`)
+	id, _ := prog.Symbols.Lookup("trace")
+	if prog.Classes[id].VectorField != 2 {
+		t.Fatalf("VectorField = %d, want 2", prog.Classes[id].VectorField)
+	}
+}
+
+// TestVectorCEAndMakeContinuation: values after the vector attribute
+// continue into successive fields, in both condition elements and
+// make/modify actions.
+func TestVectorCEAndMakeContinuation(t *testing.T) {
+	prog := parse(t, `
+(literalize trace elt)
+(vector-attribute elt)
+(p echo
+  (trace ^elt diagnosis <t> confirmed)
+-->
+  (make trace ^elt log <t> archived))
+`)
+	ce := prog.Rules[0].CEs[0]
+	if len(ce.Tests) != 3 {
+		t.Fatalf("CE tests = %d, want 3", len(ce.Tests))
+	}
+	for i, at := range ce.Tests {
+		if at.Field != i+1 {
+			t.Fatalf("test %d lands in field %d, want %d", i, at.Field, i+1)
+		}
+	}
+	act := prog.Rules[0].Actions[0]
+	if len(act.Sets) != 3 {
+		t.Fatalf("make sets = %d, want 3", len(act.Sets))
+	}
+	for i, s := range act.Sets {
+		if s.Field != i+1 {
+			t.Fatalf("set %d lands in field %d, want %d", i, s.Field, i+1)
+		}
+	}
+}
+
+func TestWatchDeclaration(t *testing.T) {
+	prog := parse(t, `(watch 2)`)
+	if prog.Watch != 2 {
+		t.Fatalf("Watch = %d, want 2", prog.Watch)
+	}
+	if prog := parse(t, `(literalize a b)`); prog.Watch != -1 {
+		t.Fatalf("default Watch = %d, want -1 (unset)", prog.Watch)
+	}
+}
+
+func TestAcceptLineParses(t *testing.T) {
+	prog := parse(t, `
+(literalize trace elt)
+(vector-attribute elt)
+(p log (go) --> (make trace ^elt (acceptline)))
+`)
+	set := prog.Rules[0].Actions[0].Sets[0]
+	if set.Expr.Kind != ops5.ExprAcceptLine {
+		t.Fatalf("expr kind = %v, want ExprAcceptLine", set.Expr.Kind)
+	}
+	if got := prog.FormatExpr(set.Expr); got != "(acceptline)" {
+		t.Fatalf("FormatExpr = %q", got)
+	}
+}
+
+// Error paths for the new surface forms.
+func TestSurfaceFormErrors(t *testing.T) {
+	// Empty vector-attribute form.
+	parseErr(t, `(vector-attribute)`, "at least one attribute name")
+	// Vector attribute not in the last literalized field.
+	parseErr(t, `
+(literalize trace elt kind)
+(vector-attribute elt)
+`, "must be the last literalize field")
+	parseErr(t, `
+(vector-attribute elt)
+(literalize trace elt kind)
+`, "must be the last literalize field")
+	// Watch level out of range, and non-numeric.
+	parseErr(t, `(watch 3)`, "out of range")
+	parseErr(t, `(watch -1)`, "out of range")
+	parseErr(t, `(watch loud)`, "")
+	// Accept forms take no arguments.
+	parseErr(t, `(p r (go) --> (make a ^v (accept 1)))`, "(accept) takes no arguments")
+	parseErr(t, `(p r (go) --> (make a ^v (acceptline x)))`, "(acceptline) takes no arguments")
+}
+
+// TestFormatProgramRoundTrip: the pretty-printer emits the new forms
+// and its output re-parses to the same surface.
+func TestFormatProgramRoundTrip(t *testing.T) {
+	src := `
+(strategy mea)
+(watch 1)
+(literalize trace kind elt)
+(vector-attribute elt)
+(p echo
+  (trace ^elt diagnosis <t>)
+-->
+  (write found <t> (crlf))
+  (make trace ^kind log ^elt entry <t> (acceptline)))
+(make trace ^kind seed ^elt diagnosis base)
+`
+	prog := parse(t, src)
+	text := prog.FormatProgram()
+	for _, want := range []string{"(strategy mea)", "(watch 1)", "(vector-attribute elt)", "(acceptline)"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("FormatProgram missing %q:\n%s", want, text)
+		}
+	}
+	prog2 := parse(t, text)
+	if prog2.FormatProgram() != text {
+		t.Errorf("FormatProgram not a fixed point:\nfirst:\n%s\nsecond:\n%s", text, prog2.FormatProgram())
+	}
+}
+
+func mustSym(t *testing.T, prog *ops5.Program, name string) symbols.ID {
+	t.Helper()
+	s, ok := prog.Symbols.Lookup(name)
+	if !ok {
+		t.Fatalf("symbol %q not interned", name)
+	}
+	return s
+}

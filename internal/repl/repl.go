@@ -52,7 +52,13 @@ func New(src string, out io.Writer) (*REPL, error) {
 	if err := eng.Init(); err != nil {
 		return nil, err
 	}
-	return &REPL{prog: prog, net: net, cs: cs, matcher: m, eng: eng, out: out, watch: 1}, nil
+	// The program's own (watch N) declaration sets the initial trace
+	// level; without one the top level defaults to tracing firings.
+	watch := 1
+	if prog.Watch >= 0 {
+		watch = prog.Watch
+	}
+	return &REPL{prog: prog, net: net, cs: cs, matcher: m, eng: eng, out: out, watch: watch}, nil
 }
 
 // Run reads commands until exit or EOF. Parenthesized forms may span
@@ -60,6 +66,9 @@ func New(src string, out io.Writer) (*REPL, error) {
 // can be typed at the prompt the way it appears in a source file.
 func (r *REPL) Run(in io.Reader) error {
 	sc := bufio.NewScanner(in)
+	// (accept)/(acceptline) read from the same input stream, the way the
+	// original top level shared the terminal between commands and input.
+	r.eng.IO = engine.NewScannerIO(r.prog.Symbols, sc)
 	fmt.Fprintln(r.out, `ops5 top level — "help" lists commands`)
 	var pending strings.Builder
 	depth := 0
@@ -123,6 +132,10 @@ func (r *REPL) Exec(line string) error {
 		switch formHead(line) {
 		case "p", "excise":
 			return r.doBuild(line)
+		case "watch":
+			// (watch N) at the prompt is the command in its source form.
+			inner := strings.TrimSuffix(strings.TrimPrefix(line, "("), ")")
+			return r.Exec(strings.TrimSpace(inner))
 		default:
 			return r.doMake(line)
 		}
@@ -337,7 +350,14 @@ func (r *REPL) doMake(form string) error {
 	if err != nil {
 		return err
 	}
-	fields := make([]wm.Value, r.prog.ClassOf(act.Class).NumFields())
+	n := r.prog.ClassOf(act.Class).NumFields()
+	for _, s := range act.Sets {
+		// Vector-attribute continuation values land past NumFields.
+		if s.Field+1 > n {
+			n = s.Field + 1
+		}
+	}
+	fields := make([]wm.Value, n)
 	fields[0] = wm.Sym(act.Class)
 	for _, s := range act.Sets {
 		v, err := constValue(s.Expr)

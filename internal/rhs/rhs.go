@@ -34,6 +34,7 @@ const (
 	OpBind
 	OpWrite
 	OpHalt
+	OpPushAcceptLine // pushes a whole line of accepted values
 )
 
 // Instr is one threaded-code instruction. A and B are operand slots
@@ -70,6 +71,12 @@ type Compiled struct {
 	// HasHalt marks an RHS containing (halt); such a firing always ends
 	// its group, since no later instantiation would have fired serially.
 	HasHalt bool
+	// Accepts and AcceptLines count the (accept) and (acceptline) reads
+	// this RHS performs. Threaded code has no control flow, so the counts
+	// are exact; the engine uses them to ask its IO for readiness before
+	// firing, suspending cleanly instead of blocking mid-RHS.
+	Accepts     int
+	AcceptLines int
 }
 
 // Env provides the runtime services threaded code calls back into. The
@@ -79,6 +86,9 @@ type Env struct {
 	Prog   *ops5.Program
 	Out    io.Writer
 	Accept func() wm.Value
+	// AcceptLine reads one whole input line as a value vector, for
+	// (acceptline) splicing into a vector attribute.
+	AcceptLine func() []wm.Value
 	// Make asserts a new WME with the given field vector.
 	Make func(fields []wm.Value)
 	// Remove retracts a WME that matched the firing instantiation.
@@ -102,8 +112,14 @@ func Compile(prog *ops5.Program, cr *rete.CompiledRule) (*Compiled, error) {
 	out := &Compiled{Rule: cr, Code: c.code, Locals: len(c.locals), GroupSafe: true}
 	for i := range out.Code {
 		switch in := &out.Code[i]; in.Op {
-		case OpMake, OpModify, OpPushAccept:
+		case OpMake, OpModify:
 			out.GroupSafe = false
+		case OpPushAccept:
+			out.GroupSafe = false
+			out.Accepts++
+		case OpPushAcceptLine:
+			out.GroupSafe = false
+			out.AcceptLines++
 		case OpHalt:
 			out.HasHalt = true
 		case OpRemove:
@@ -161,6 +177,8 @@ func (c *compiler) expr(e *ops5.Expr) error {
 		c.emit(Instr{Op: OpPushTabto, A: int(e.Const.Num)})
 	case ops5.ExprAccept:
 		c.emit(Instr{Op: OpPushAccept})
+	case ops5.ExprAcceptLine:
+		c.emit(Instr{Op: OpPushAcceptLine})
 	default:
 		return fmt.Errorf("unsupported expression kind %d", e.Kind)
 	}
@@ -217,11 +235,26 @@ func (c *compiler) action(act *ops5.Action) error {
 	return nil
 }
 
-// rval is a stack slot: a value or a write-formatting directive.
+// rval is a stack slot: a value, a whole accepted line of values, or a
+// write-formatting directive.
 type rval struct {
-	v     wm.Value
-	crlf  bool
-	tabto int // > 0: tab to column
+	v      wm.Value
+	line   []wm.Value // (acceptline) result, spliced by make/modify/write
+	isLine bool
+	crlf   bool
+	tabto  int // > 0: tab to column
+}
+
+// first collapses a slot to a single value: a line contributes its first
+// value (or nil when empty), matching OPS5's scalar coercion.
+func (r rval) first() wm.Value {
+	if r.isLine {
+		if len(r.line) == 0 {
+			return wm.Nil
+		}
+		return r.line[0]
+	}
+	return r.v
 }
 
 // Exec interprets the threaded code for one firing. wmes is the
@@ -257,6 +290,8 @@ func Exec(c *Compiled, wmes []*wm.WME, env *Env) (int, error) {
 			stack = append(stack, rval{tabto: in.A})
 		case OpPushAccept:
 			stack = append(stack, rval{v: env.Accept()})
+		case OpPushAcceptLine:
+			stack = append(stack, rval{line: env.AcceptLine(), isLine: true})
 		case OpMake:
 			fields := buildFields(env.Prog, in.Class, nil, in, &stack)
 			env.Make(fields)
@@ -267,7 +302,7 @@ func Exec(c *Compiled, wmes []*wm.WME, env *Env) (int, error) {
 		case OpRemove:
 			env.Remove(wmes[in.B])
 		case OpBind:
-			locals[in.A] = pop().v
+			locals[in.A] = pop().first()
 		case OpWrite:
 			args := stack[len(stack)-in.A:]
 			stack = stack[:len(stack)-in.A]
@@ -281,20 +316,38 @@ func Exec(c *Compiled, wmes []*wm.WME, env *Env) (int, error) {
 
 // buildFields assembles the field vector for a make or modify: the class
 // layout's width, seeded from old for modify, with the popped values
-// stored at their destination fields.
+// stored at their destination fields. Vector attributes can extend the
+// vector beyond the literalized width: explicit continuation values land
+// past NumFields, and an (acceptline) splices its whole line starting at
+// its destination field.
 func buildFields(prog *ops5.Program, class symbols.ID, old *wm.WME, in *Instr, stack *[]rval) []wm.Value {
 	n := prog.ClassOf(class).NumFields()
 	if old != nil && len(old.Fields) > n {
 		n = len(old.Fields)
+	}
+	vals := (*stack)[len(*stack)-in.A:]
+	*stack = (*stack)[:len(*stack)-in.A]
+	for i, f := range in.Fields {
+		end := f + 1
+		if vals[i].isLine {
+			end = f + len(vals[i].line)
+		}
+		if end > n {
+			n = end
+		}
 	}
 	fields := make([]wm.Value, n)
 	fields[0] = wm.Sym(class)
 	if old != nil {
 		copy(fields, old.Fields)
 	}
-	vals := (*stack)[len(*stack)-in.A:]
-	*stack = (*stack)[:len(*stack)-in.A]
 	for i, f := range in.Fields {
+		if vals[i].isLine {
+			for k, v := range vals[i].line {
+				fields[f+k] = v
+			}
+			continue
+		}
 		fields[f] = vals[i].v
 	}
 	return fields
@@ -315,6 +368,16 @@ func writeArgs(env *Env, args []rval) {
 			for col < a.tabto-1 {
 				b.WriteByte(' ')
 				col++
+			}
+		case a.isLine:
+			for j, v := range a.line {
+				if (i > 0 || j > 0) && col > 0 {
+					b.WriteByte(' ')
+					col++
+				}
+				s := v.String(env.Prog.Symbols)
+				b.WriteString(s)
+				col += len(s)
 			}
 		default:
 			if i > 0 && col > 0 {

@@ -1,0 +1,230 @@
+package server_test
+
+import (
+	"fmt"
+	"net/http"
+	"os"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/server"
+)
+
+func reactorSrc(t *testing.T) string {
+	t.Helper()
+	src, err := os.ReadFile("../../examples/reactor/reactor.ops")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(src)
+}
+
+// TestReactorAwaitingInputLoop drives the REACTOR port through the
+// daemon's HTTP API: every batch supplies the next chunk of operator
+// input, and the session suspends with awaiting_input between chunks.
+func TestReactorAwaitingInputLoop(t *testing.T) {
+	_, ts := newTestServer(t)
+	client := ts.Client()
+
+	var info server.SessionInfo
+	code := call(t, client, "POST", ts.URL+"/sessions", server.SessionConfig{
+		Program: reactorSrc(t),
+		Watch:   1, // trace firings into BatchResult.Output
+	}, &info)
+	if code != http.StatusCreated {
+		t.Fatalf("create: %d", code)
+	}
+	batch := func(accepts ...any) *server.BatchResult {
+		t.Helper()
+		var res server.BatchResult
+		code := call(t, client, "POST", ts.URL+"/sessions/"+info.ID+"/assert",
+			server.BatchRequest{Accepts: accepts}, &res)
+		if code != http.StatusOK {
+			t.Fatalf("batch: %d", code)
+		}
+		return &res
+	}
+
+	// No input buffered: the run suspends before start can fire (its
+	// RHS executes an (accept)), so not even the banner prints yet.
+	res := batch()
+	if !res.AwaitingInput || res.Halted || res.Cycles != 0 {
+		t.Fatalf("empty-queue batch: %+v", res)
+	}
+	// The incident id lets start fire; the first get-value then needs a
+	// reading that is not there yet.
+	res = batch("case-42")
+	if !res.AwaitingInput || !strings.Contains(res.Output, "REACTOR accident diagnosis") {
+		t.Fatalf("after id: awaiting=%v output=%q", res.AwaitingInput, res.Output)
+	}
+	if !strings.Contains(res.Output, "1. start") {
+		t.Fatalf("watch 1 trace missing from output: %q", res.Output)
+	}
+	// All five readings at once: input, classification and diagnosis run
+	// to the operator-log prompt, where (acceptline) suspends again.
+	res = batch(10, 55, 30, 60, 80)
+	if !res.AwaitingInput || !strings.Contains(res.Output, "diagnosis: loca") {
+		t.Fatalf("after readings: awaiting=%v output=%q", res.AwaitingInput, res.Output)
+	}
+	// The log line releases (acceptline); the program signs off.
+	res = batch("all", "systems", "nominal")
+	if res.AwaitingInput || !res.Halted {
+		t.Fatalf("final batch: %+v", res)
+	}
+	if !strings.Contains(res.Output, "session complete") {
+		t.Fatalf("final output: %q", res.Output)
+	}
+
+	var wmResp struct {
+		Wmes []server.WMEOut `json:"wmes"`
+	}
+	if code := call(t, client, "GET", ts.URL+"/sessions/"+info.ID+"/wm", nil, &wmResp); code != http.StatusOK {
+		t.Fatalf("wm: %d", code)
+	}
+	var joined strings.Builder
+	for _, w := range wmResp.Wmes {
+		joined.WriteString(w.Text + "\n")
+	}
+	if !strings.Contains(joined.String(), "(trace ^elt diagnosis loca confirmed)") ||
+		!strings.Contains(joined.String(), "(trace ^elt log all systems nominal)") {
+		t.Fatalf("vector WMEs missing from wm:\n%s", joined.String())
+	}
+}
+
+// TestVectorAttributeAssertJSON asserts a vector attribute through the
+// batch API as a JSON array and matches it with a vector CE.
+func TestVectorAttributeAssertJSON(t *testing.T) {
+	srv, _ := newTestServer(t)
+	info, err := srv.CreateSession(server.SessionConfig{Program: `
+(literalize msg elt)
+(vector-attribute elt)
+(literalize seen what)
+(p spot (msg ^elt alert <lvl> now) --> (make seen ^what <lvl>))
+`})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := srv.Batch(info.ID, &server.BatchRequest{Asserts: []server.WMEInput{
+		{Class: "msg", Attrs: map[string]any{"elt": []any{"alert", "red", "now"}}},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Firings) != 1 || res.Firings[0].Rule != "spot" {
+		t.Fatalf("firings: %+v", res.Firings)
+	}
+	// A scalar attribute must reject array values.
+	_, err = srv.Batch(info.ID, &server.BatchRequest{Asserts: []server.WMEInput{
+		{Class: "seen", Attrs: map[string]any{"what": []any{"a", "b"}}},
+	}})
+	if err == nil || !strings.Contains(err.Error(), "not a vector attribute") {
+		t.Fatalf("scalar-array assert error: %v", err)
+	}
+}
+
+// TestKillWhileAwaitingAcceptRecovery is the crash-recovery
+// differential over interactive input: a session dies mid-dialogue
+// with values still buffered in its accept queue, is recovered from
+// the delta log, and must finish identically to an uninterrupted
+// control session fed the same script.
+func TestKillWhileAwaitingAcceptRecovery(t *testing.T) {
+	src := reactorSrc(t)
+	dir := t.TempDir()
+
+	finishFrom := func(srv *server.Server, id string) (*server.BatchResult, []string) {
+		t.Helper()
+		// Remaining readings, then the log line.
+		res, err := srv.Batch(id, &server.BatchRequest{Accepts: []any{30, 60, 80}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.AwaitingInput {
+			t.Fatalf("expected acceptline suspension, got %+v", res)
+		}
+		res, err = srv.Batch(id, &server.BatchRequest{Accepts: []any{"all", "clear"}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		wm, err := srv.WMSnapshot(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		texts := make([]string, 0, len(wm))
+		for _, w := range wm {
+			texts = append(texts, fmt.Sprintf("%d %s", w.TimeTag, w.Text))
+		}
+		return res, texts
+	}
+
+	// Interrupted session: supply the id plus three readings but let
+	// only part of the queue drain before the "crash" — max_cycles 3
+	// stops the run with values still pending in the accept queue.
+	srv1, _ := newDurServer(t, dir, 0)
+	info, err := srv1.CreateSession(server.SessionConfig{Program: src})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := srv1.Batch(info.ID, &server.BatchRequest{
+		Accepts:   []any{"case-42", 10, 55},
+		MaxCycles: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Halted || res.AwaitingInput {
+		t.Fatalf("pre-crash batch ran too far: %+v", res)
+	}
+	srv1.Close() // the crash: committed log, no clean finish
+
+	// Recover and finish.
+	srv2, recovered := newDurServer(t, dir, 0)
+	if recovered != 1 {
+		t.Fatalf("recovered %d sessions, want 1", recovered)
+	}
+	// Drain the still-buffered values first: an empty batch resumes the
+	// run exactly where the cycle budget stopped it.
+	res, err = srv2.Batch(info.ID, &server.BatchRequest{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.AwaitingInput {
+		t.Fatalf("recovered session should consume buffered input then suspend: %+v", res)
+	}
+	gotRes, gotWM := finishFrom(srv2, info.ID)
+	if !gotRes.Halted {
+		t.Fatal("recovered session did not halt")
+	}
+
+	// Control: same script, no interruption, memory-only server.
+	ctl := server.New(server.Options{DefaultMaxCycles: 10000, DefaultTimeout: 30 * time.Second})
+	defer ctl.Close()
+	cinfo, err := ctl.CreateSession(server.SessionConfig{Program: src})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cres, err := ctl.Batch(cinfo.ID, &server.BatchRequest{Accepts: []any{"case-42", 10, 55}, MaxCycles: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cres.Halted || cres.AwaitingInput {
+		t.Fatalf("control pre-batch: %+v", cres)
+	}
+	cres, err = ctl.Batch(cinfo.ID, &server.BatchRequest{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cres.AwaitingInput {
+		t.Fatalf("control resume: %+v", cres)
+	}
+	wantRes, wantWM := finishFrom(ctl, cinfo.ID)
+
+	if gotRes.Halted != wantRes.Halted || gotRes.Output != wantRes.Output {
+		t.Errorf("recovered finish differs:\n got halted=%v output=%q\nwant halted=%v output=%q",
+			gotRes.Halted, gotRes.Output, wantRes.Halted, wantRes.Output)
+	}
+	if strings.Join(gotWM, "\n") != strings.Join(wantWM, "\n") {
+		t.Errorf("final WM differs:\n got:\n%s\nwant:\n%s",
+			strings.Join(gotWM, "\n"), strings.Join(wantWM, "\n"))
+	}
+}

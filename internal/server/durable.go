@@ -67,6 +67,14 @@ func (j *sessionJournal) RecordProgram(src string) {
 	j.append(&wmlog.Record{Type: wmlog.RecProgram, Src: src})
 }
 
+func (j *sessionJournal) RecordAccept(vals []wm.Value) {
+	j.append(&wmlog.Record{Type: wmlog.RecAccept, Fields: wmlog.EncodeFields(vals, j.tab)})
+}
+
+func (j *sessionJournal) RecordAcceptTake(n int) {
+	j.append(&wmlog.Record{Type: wmlog.RecAcceptTake, Tag: n})
+}
+
 // close releases the log file descriptor, flushing buffered frames
 // first so the on-disk log ends at a clean frame boundary. Used by
 // teardown and by the panic quarantine (a quarantined session must not
@@ -134,6 +142,7 @@ func metaFromConfig(cfg *SessionConfig, backendName, tpl string) *wmlog.Meta {
 		ReorderJoins: cfg.ReorderJoins,
 		MatchBudget:  cfg.MatchBudget,
 		Unlink:       cfg.Unlink,
+		Watch:        cfg.Watch,
 	}
 }
 
@@ -152,6 +161,7 @@ func configFromMeta(m *wmlog.Meta, program string) SessionConfig {
 		ReorderJoins: m.ReorderJoins,
 		MatchBudget:  m.MatchBudget,
 		Unlink:       m.Unlink,
+		Watch:        m.Watch,
 	}
 }
 
@@ -335,6 +345,15 @@ func (s *Server) rebuildFromDisk(id string) (sess *Session, replayed int, torn b
 		m.Close()
 		return nil, 0, false, fmt.Errorf("rhs compile: %w", err)
 	}
+	// Install the input queue before restore/replay: snapshot Pending
+	// restores into it and RecAccept/RecAcceptTake records replay
+	// through it.
+	eng.IO = engine.NewQueueIO(sp.prog.Symbols, false)
+	watch, err := resolveWatch(cfg.Watch, sp.prog)
+	if err != nil {
+		m.Close()
+		return nil, 0, false, err
+	}
 	fail := func(e error) (*Session, int, bool, error) {
 		m.Close()
 		return nil, 0, false, e
@@ -391,6 +410,7 @@ func (s *Server) rebuildFromDisk(id string) (sess *Session, replayed int, torn b
 		template:    meta.Template,
 		fireBatch:   clampFireBatch(cfg.FireBatch),
 		matchBudget: cfg.MatchBudget,
+		watch:       watch,
 	}
 	return sess, replayed, torn, nil
 }
@@ -455,6 +475,7 @@ func (s *Server) RestoreSession(id string) (*SessionInfo, error) {
 	sess.eng = fresh.eng
 	sess.matcher = fresh.matcher
 	sess.journal = fresh.journal
+	sess.watch = fresh.watch
 	sess.broken = nil
 	sess.batches = 0
 	sess.prev, sess.prevCont, sess.prevConf = fresh.prev, fresh.prevCont, fresh.prevConf

@@ -15,6 +15,7 @@ import (
 	"crypto/sha256"
 	"errors"
 	"fmt"
+	"strings"
 	"sync"
 	"time"
 
@@ -164,6 +165,9 @@ type Session struct {
 	// matchBudget is the session's per-cycle match-cost cap (see
 	// SessionConfig.MatchBudget), passed to every Run.
 	matchBudget int64
+	// watch is the resolved trace level (0..2): SessionConfig.Watch
+	// merged with the program's (watch ...) declaration.
+	watch int
 
 	// Durable state, zero-valued when the server runs memory-only.
 	dir      string            // entry directory under the data dir
@@ -259,6 +263,12 @@ type SessionConfig struct {
 	// right activations into a join whose left memory is empty are
 	// buffered instead of probed, and replayed when the join relinks.
 	Unlink bool `json:"unlink"`
+	// Watch sets the session's trace level, mirroring OPS5 (watch N):
+	// 0 defers to the program's own (watch ...) declaration (silent when
+	// it has none), 1 traces firings, 2 adds WM changes, and -1 forces
+	// silence even when the program asks for tracing. Per-batch trace
+	// text comes back in BatchResult.Output.
+	Watch int `json:"watch"`
 }
 
 // SessionInfo describes a created session.
@@ -345,6 +355,11 @@ func (s *Server) CreateSession(cfg SessionConfig) (*SessionInfo, error) {
 		return nil, err
 	}
 
+	watch, err := resolveWatch(cfg.Watch, sp.prog)
+	if err != nil {
+		return nil, err
+	}
+
 	cs := conflict.New(conflict.Config{Shards: cfg.CSShards})
 	m, backendName, err := newBackend(net, cfg, cs)
 	if err != nil {
@@ -357,6 +372,10 @@ func (s *Server) CreateSession(cfg SessionConfig) (*SessionInfo, error) {
 		m.Close()
 		return nil, fmt.Errorf("rhs compile: %w", err)
 	}
+	// Hosted sessions read (accept) input from a per-session queue the
+	// batch API fills; an empty queue suspends the run (awaiting_input)
+	// instead of fabricating end-of-file.
+	eng.IO = engine.NewQueueIO(sp.prog.Symbols, false)
 	sess := &Session{
 		ID:          id,
 		Backend:     backendName,
@@ -367,6 +386,7 @@ func (s *Server) CreateSession(cfg SessionConfig) (*SessionInfo, error) {
 		progHash:    hash,
 		fireBatch:   clampFireBatch(cfg.FireBatch),
 		matchBudget: cfg.MatchBudget,
+		watch:       watch,
 	}
 	if s.dur != nil {
 		j, dir, err := s.persistSession(id, &cfg, backendName, "", hash, sp.prog.Symbols)
@@ -415,6 +435,25 @@ func (s *Server) CreateSession(cfg SessionConfig) (*SessionInfo, error) {
 		WMSize:    eng.WM.Len(),
 		Halted:    eng.Halted(),
 	}, nil
+}
+
+// resolveWatch merges the session watch knob with the program's own
+// (watch ...) declaration: 0 defers to the program, -1 forces silence,
+// 1 and 2 are explicit levels.
+func resolveWatch(cfgWatch int, prog *ops5.Program) (int, error) {
+	switch {
+	case cfgWatch < -1 || cfgWatch > 2:
+		return 0, fmt.Errorf("watch level %d out of range (want -1, 0, 1 or 2)", cfgWatch)
+	case cfgWatch == -1:
+		return 0, nil
+	case cfgWatch > 0:
+		return cfgWatch, nil
+	default:
+		if prog.Watch > 0 {
+			return prog.Watch, nil
+		}
+		return 0, nil
+	}
 }
 
 // clampFireBatch normalizes the session fire-batch knob: non-positive
@@ -612,6 +651,11 @@ type WMEOut struct {
 type BatchRequest struct {
 	Asserts  []WMEInput `json:"asserts,omitempty"`
 	Retracts []int      `json:"retracts,omitempty"`
+	// Accepts queues values for the session's (accept)/(acceptline)
+	// input before the run: strings become symbols, numbers become
+	// integers or floats. A session suspended awaiting_input resumes
+	// exactly where it stopped once enough values arrive.
+	Accepts []any `json:"accepts,omitempty"`
 	// MaxCycles overrides the server default for this request
 	// (<0 = unlimited).
 	MaxCycles int `json:"max_cycles,omitempty"`
@@ -641,6 +685,14 @@ type BatchResult struct {
 	// Quarantined lists rules excised from this session by the match
 	// budget, oldest first (cumulative over the session's lifetime).
 	Quarantined []string `json:"quarantined,omitempty"`
+	// AwaitingInput reports that the run suspended because the dominant
+	// instantiation executes (accept)/(acceptline) and the session's
+	// input queue holds too few values. Supply more via Accepts on the
+	// next batch to resume.
+	AwaitingInput bool `json:"awaiting_input"`
+	// Output is the text the program wrote during this batch — (write ...)
+	// actions plus watch tracing at the session's watch level.
+	Output string `json:"output,omitempty"`
 }
 
 // Batch executes one assert/retract batch on a session. It is the
@@ -664,6 +716,14 @@ func (s *Server) Batch(id string, req *BatchRequest) (*BatchResult, error) {
 		}
 		fieldsList = append(fieldsList, fields)
 	}
+	acceptVals := make([]wm.Value, 0, len(req.Accepts))
+	for i, raw := range req.Accepts {
+		v, err := toValue(sess.sp.prog, raw)
+		if err != nil {
+			return nil, fmt.Errorf("accepts[%d]: %w", i, err)
+		}
+		acceptVals = append(acceptVals, v)
+	}
 
 	maxCycles := req.MaxCycles
 	if maxCycles == 0 {
@@ -682,6 +742,7 @@ func (s *Server) Batch(id string, req *BatchRequest) (*BatchResult, error) {
 	deadline := start.Add(timeout)
 	limitHit := false
 
+	var outBuf strings.Builder
 	err = s.guard(sess, func() error {
 		prog := sess.sp.prog
 		sess.eng.WMListener = func(sign bool, w *wm.WME) {
@@ -694,8 +755,17 @@ func (s *Server) Batch(id string, req *BatchRequest) (*BatchResult, error) {
 				res.WMRemoved = append(res.WMRemoved, w.TimeTag)
 			}
 		}
-		defer func() { sess.eng.WMListener = nil }()
+		sess.eng.Out = &outBuf
+		defer func() {
+			sess.eng.WMListener = nil
+			sess.eng.Out = nil
+		}()
 
+		if len(acceptVals) > 0 {
+			if err := sess.eng.SupplyInput(acceptVals); err != nil {
+				return err
+			}
+		}
 		if _, err := sess.eng.RetractBatch(req.Retracts); err != nil {
 			return err
 		}
@@ -706,11 +776,14 @@ func (s *Server) Batch(id string, req *BatchRequest) (*BatchResult, error) {
 			RecordFiring: !req.NoFirings,
 			FireBatch:    sess.fireBatch,
 			MatchBudget:  sess.matchBudget,
+			TraceFires:   sess.watch >= 1,
+			TraceWMEs:    sess.watch >= 2,
 			Hook:         engine.LimitHook(maxCycles, deadline),
 		})
 		if run != nil {
 			res.Cycles = run.Cycles
 			res.Halted = run.Halted
+			res.AwaitingInput = run.AwaitingInput
 			for _, f := range run.Firings {
 				res.Firings = append(res.Firings, FiringOut{Cycle: f.Cycle, Rule: f.Rule, TimeTags: f.TimeTags})
 			}
@@ -728,6 +801,7 @@ func (s *Server) Batch(id string, req *BatchRequest) (*BatchResult, error) {
 		return nil, err
 	}
 	res.LimitHit = limitHit
+	res.Output = outBuf.String()
 	res.WMSize = sess.eng.WM.Len()
 	res.Halted = sess.eng.Halted()
 	for _, q := range sess.eng.Quarantined() {
@@ -807,6 +881,24 @@ func buildFields(prog *ops5.Program, in *WMEInput) ([]wm.Value, error) {
 		idx, ok := class.Fields[attrID]
 		if !ok {
 			return nil, fmt.Errorf("class %s has no attribute %q", in.Class, attr)
+		}
+		if arr, ok := val.([]any); ok {
+			// A JSON array fills the class's vector attribute: element i
+			// lands in field idx+i, growing the WME past NumFields.
+			if class.VectorField == 0 || idx != class.VectorField {
+				return nil, fmt.Errorf("attribute %q of class %s is not a vector attribute", attr, in.Class)
+			}
+			for end := idx + len(arr); len(fields) < end; {
+				fields = append(fields, wm.Nil)
+			}
+			for i, elem := range arr {
+				v, err := toValue(prog, elem)
+				if err != nil {
+					return nil, fmt.Errorf("attribute %q[%d]: %w", attr, i, err)
+				}
+				fields[idx+i] = v
+			}
+			continue
 		}
 		v, err := toValue(prog, val)
 		if err != nil {

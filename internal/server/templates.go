@@ -84,6 +84,10 @@ func (s *Server) CreateTemplate(cfg *TemplateConfig) (info *TemplateInfo, err er
 	if err != nil {
 		return nil, err
 	}
+	// Validate the watch knob now so every fork resolves it cleanly.
+	if _, err := resolveWatch(cfg.Watch, sp.prog); err != nil {
+		return nil, err
+	}
 	fieldsList := make([][]wm.Value, 0, len(cfg.Asserts))
 	for i := range cfg.Asserts {
 		fields, err := buildFields(sp.prog, &cfg.Asserts[i])
@@ -390,6 +394,16 @@ func (s *Server) Fork(templateID string) (*ForkResult, error) {
 		return nil, fmt.Errorf("fork %s: %w", templateID, err)
 	}
 
+	// Forks run batches like any hosted session: give each its own
+	// input queue (the template never reads input, so there is nothing
+	// to inherit) and resolve its trace level.
+	eng.IO = engine.NewQueueIO(tpl.sp.prog.Symbols, false)
+	watch, err := resolveWatch(tpl.cfg.Watch, tpl.sp.prog)
+	if err != nil {
+		m.Close()
+		return nil, fmt.Errorf("fork %s: %w", templateID, err)
+	}
+
 	sess := &Session{
 		Backend:     tpl.Backend,
 		Created:     time.Now(),
@@ -400,6 +414,7 @@ func (s *Server) Fork(templateID string) (*ForkResult, error) {
 		template:    tpl.ID,
 		fireBatch:   clampFireBatch(tpl.cfg.FireBatch),
 		matchBudget: tpl.cfg.MatchBudget,
+		watch:       watch,
 	}
 
 	s.mu.Lock()

@@ -33,6 +33,8 @@ func (w *WME) Field(i int) Value {
 
 // String renders the element like OPS5 does: class followed by the
 // non-nil attribute values in field order, e.g. (block ^id b1 ^color red).
+// Continuation fields of a vector attribute (attrNames returns "") print
+// their values bare after the vector's own ^attr, e.g. (trace ^elt a b c).
 func (w *WME) String(tab *symbols.Table, attrNames func(class symbols.ID, field int) string) string {
 	var b strings.Builder
 	b.WriteByte('(')
@@ -41,8 +43,10 @@ func (w *WME) String(tab *symbols.Table, attrNames func(class symbols.ID, field 
 		if w.Fields[i].Kind == KindNil {
 			continue
 		}
-		b.WriteString(" ^")
-		b.WriteString(attrNames(w.Class(), i))
+		if name := attrNames(w.Class(), i); name != "" {
+			b.WriteString(" ^")
+			b.WriteString(name)
+		}
 		b.WriteByte(' ')
 		b.WriteString(w.Fields[i].String(tab))
 	}

@@ -39,11 +39,13 @@ type RecType uint8
 // Log record types. The zero value is invalid so a zeroed frame can
 // never decode as a record.
 const (
-	RecMake    RecType = 1 // WM assert: time tag + field vector
-	RecRemove  RecType = 2 // WM retract: time tag
-	RecFire    RecType = 3 // production firing: rule name + token tags
-	RecHalt    RecType = 4 // (halt) executed
-	RecProgram RecType = 5 // runtime build/excise: one canonical form
+	RecMake       RecType = 1 // WM assert: time tag + field vector
+	RecRemove     RecType = 2 // WM retract: time tag
+	RecFire       RecType = 3 // production firing: rule name + token tags
+	RecHalt       RecType = 4 // (halt) executed
+	RecProgram    RecType = 5 // runtime build/excise: one canonical form
+	RecAccept     RecType = 6 // input supplied to the accept queue: value vector
+	RecAcceptTake RecType = 7 // input consumed by (accept)/(acceptline): count in Tag
 )
 
 func (t RecType) String() string {
@@ -58,6 +60,10 @@ func (t RecType) String() string {
 		return "halt"
 	case RecProgram:
 		return "program"
+	case RecAccept:
+		return "accept"
+	case RecAcceptTake:
+		return "accept-take"
 	default:
 		return fmt.Sprintf("rectype(%d)", int(t))
 	}
@@ -148,23 +154,10 @@ func (r *Record) appendPayload(b []byte) []byte {
 	switch r.Type {
 	case RecMake:
 		b = appendUvarint(b, uint64(r.Tag))
-		b = appendUvarint(b, uint64(len(r.Fields)))
-		for _, f := range r.Fields {
-			b = append(b, byte(f.Kind))
-			switch f.Kind {
-			case wm.KindSym:
-				b = appendString(b, f.Str)
-			case wm.KindInt:
-				var tmp [binary.MaxVarintLen64]byte
-				n := binary.PutVarint(tmp[:], f.Num)
-				b = append(b, tmp[:n]...)
-			case wm.KindFloat:
-				var tmp [8]byte
-				binary.LittleEndian.PutUint64(tmp[:], math.Float64bits(f.F))
-				b = append(b, tmp[:]...)
-			}
-		}
-	case RecRemove:
+		b = appendFieldVec(b, r.Fields)
+	case RecAccept:
+		b = appendFieldVec(b, r.Fields)
+	case RecRemove, RecAcceptTake:
 		b = appendUvarint(b, uint64(r.Tag))
 	case RecFire:
 		b = appendString(b, r.Rule)
@@ -176,6 +169,27 @@ func (r *Record) appendPayload(b []byte) []byte {
 		// no payload
 	case RecProgram:
 		b = appendString(b, r.Src)
+	}
+	return b
+}
+
+// appendFieldVec encodes a field vector: count, then kind-tagged values.
+func appendFieldVec(b []byte, fields []FieldVal) []byte {
+	b = appendUvarint(b, uint64(len(fields)))
+	for _, f := range fields {
+		b = append(b, byte(f.Kind))
+		switch f.Kind {
+		case wm.KindSym:
+			b = appendString(b, f.Str)
+		case wm.KindInt:
+			var tmp [binary.MaxVarintLen64]byte
+			n := binary.PutVarint(tmp[:], f.Num)
+			b = append(b, tmp[:n]...)
+		case wm.KindFloat:
+			var tmp [8]byte
+			binary.LittleEndian.PutUint64(tmp[:], math.Float64bits(f.F))
+			b = append(b, tmp[:]...)
+		}
 	}
 	return b
 }
@@ -226,6 +240,46 @@ func (p *payloadReader) bytes(n int) ([]byte, error) {
 	return s, nil
 }
 
+// fieldVec decodes a field vector written by appendFieldVec.
+func (p *payloadReader) fieldVec() ([]FieldVal, error) {
+	n, err := p.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	if n > uint64(len(p.b)) { // each field is at least one byte
+		return nil, fmt.Errorf("wmlog: field count %d exceeds payload", n)
+	}
+	fields := make([]FieldVal, n)
+	for i := range fields {
+		kb, err := p.bytes(1)
+		if err != nil {
+			return nil, err
+		}
+		f := FieldVal{Kind: wm.Kind(kb[0])}
+		switch f.Kind {
+		case wm.KindNil:
+		case wm.KindSym:
+			if f.Str, err = p.str(); err != nil {
+				return nil, err
+			}
+		case wm.KindInt:
+			if f.Num, err = p.varint(); err != nil {
+				return nil, err
+			}
+		case wm.KindFloat:
+			fb, err := p.bytes(8)
+			if err != nil {
+				return nil, err
+			}
+			f.F = math.Float64frombits(binary.LittleEndian.Uint64(fb))
+		default:
+			return nil, fmt.Errorf("wmlog: unknown value kind %d", f.Kind)
+		}
+		fields[i] = f
+	}
+	return fields, nil
+}
+
 // decodeRecord rebuilds a record from a verified frame body.
 func decodeRecord(typ RecType, payload []byte) (*Record, error) {
 	r := &Record{Type: typ}
@@ -233,46 +287,19 @@ func decodeRecord(typ RecType, payload []byte) (*Record, error) {
 	var err error
 	switch typ {
 	case RecMake:
-		var tag, n uint64
+		var tag uint64
 		if tag, err = p.uvarint(); err != nil {
 			return nil, err
 		}
 		r.Tag = int(tag)
-		if n, err = p.uvarint(); err != nil {
+		if r.Fields, err = p.fieldVec(); err != nil {
 			return nil, err
 		}
-		if n > uint64(len(payload)) { // each field is at least one byte
-			return nil, fmt.Errorf("wmlog: field count %d exceeds payload", n)
+	case RecAccept:
+		if r.Fields, err = p.fieldVec(); err != nil {
+			return nil, err
 		}
-		r.Fields = make([]FieldVal, n)
-		for i := range r.Fields {
-			kb, err := p.bytes(1)
-			if err != nil {
-				return nil, err
-			}
-			f := FieldVal{Kind: wm.Kind(kb[0])}
-			switch f.Kind {
-			case wm.KindNil:
-			case wm.KindSym:
-				if f.Str, err = p.str(); err != nil {
-					return nil, err
-				}
-			case wm.KindInt:
-				if f.Num, err = p.varint(); err != nil {
-					return nil, err
-				}
-			case wm.KindFloat:
-				fb, err := p.bytes(8)
-				if err != nil {
-					return nil, err
-				}
-				f.F = math.Float64frombits(binary.LittleEndian.Uint64(fb))
-			default:
-				return nil, fmt.Errorf("wmlog: unknown value kind %d", f.Kind)
-			}
-			r.Fields[i] = f
-		}
-	case RecRemove:
+	case RecRemove, RecAcceptTake:
 		var tag uint64
 		if tag, err = p.uvarint(); err != nil {
 			return nil, err

@@ -30,6 +30,11 @@ type Snapshot struct {
 	LogOffset int64
 	Wmes      []TaggedWME
 	Fired     []FireKey
+	// Pending is the unconsumed (accept) input queue at the snapshot
+	// point, so a session suspended awaiting input survives compaction
+	// and recovery with its buffered values intact. Gob tolerates the
+	// field's absence, so pre-existing snapshots decode as an empty queue.
+	Pending []FieldVal
 }
 
 // TaggedWME is one working-memory element with its original time tag.

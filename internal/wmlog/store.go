@@ -46,6 +46,10 @@ type Meta struct {
 	ReorderJoins string `json:"reorder_joins,omitempty"`
 	MatchBudget  int64  `json:"match_budget,omitempty"`
 	Unlink       bool   `json:"unlink,omitempty"`
+	// Watch is the session's raw watch knob (-1 forced silent, 0 program
+	// default, 1/2 explicit), re-resolved against the program on
+	// recovery so per-batch trace output behaviour is preserved.
+	Watch int `json:"watch,omitempty"`
 	// Template records the template a forked session was created from
 	// (informational; recovery uses the fork's own snapshot).
 	Template string `json:"template,omitempty"`

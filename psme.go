@@ -264,8 +264,14 @@ func New(p *Program, cfg Config) (*Engine, error) {
 		}
 		return nil, err
 	}
-	for _, v := range cfg.AcceptValues {
-		e.AcceptValues = append(e.AcceptValues, v.toInternal(p.prog))
+	if len(cfg.AcceptValues) > 0 {
+		// Classic OPS5 semantics: a fixed input script, end-of-file once
+		// it runs out (the queue never suspends the run).
+		q := engine.NewQueueIO(p.prog.Symbols, true)
+		for _, v := range cfg.AcceptValues {
+			q.Supply(v.toInternal(p.prog))
+		}
+		e.IO = q
 	}
 	return &Engine{inner: e, par: par, cs: cs, fireBatch: cfg.FireBatch, matchBudget: cfg.MatchBudget}, nil
 }

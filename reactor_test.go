@@ -1,0 +1,108 @@
+package psme_test
+
+import (
+	"os"
+	"strings"
+	"testing"
+
+	psme "repro"
+)
+
+// reactorInput is the operator script for the canonical LOCA run:
+// incident id, five instrument readings (queried most-recent fact
+// first: hpis-flow, sg-level, pcs-pressure, containment-pressure,
+// containment-radiation), then the free-form log line (acceptline)
+// swallows whole.
+var reactorInput = []psme.Value{
+	{Sym: "case-42"},
+	{Num: 10, IsNum: true}, {Num: 55, IsNum: true}, {Num: 30, IsNum: true},
+	{Num: 60, IsNum: true}, {Num: 80, IsNum: true},
+	{Sym: "all"}, {Sym: "systems"}, {Sym: "nominal"},
+}
+
+// reactorFirings is the golden firing trace of the LOCA scenario.
+var reactorFirings = []string{
+	"start",
+	"get-value", "get-value", "get-value", "get-value", "get-value",
+	"end-of-input",
+	"classify-high", "classify-high", "classify-low", "classify-high", "classify-low",
+	"end-of-classification",
+	"diagnose-loca",
+	"report",
+	"echo-trace",
+	"log-entry",
+	"sign-off",
+}
+
+const reactorOutput = `
+REACTOR accident diagnosis
+enter incident id:
+enter hpis-flow reading:
+enter sg-level reading:
+enter pcs-pressure reading:
+enter containment-pressure reading:
+enter containment-radiation reading:
+containment-radiation is high
+containment-pressure is high
+pcs-pressure is low
+sg-level is high
+hpis-flow is low
+
+incident case-42 diagnosis: loca
+audit trail confirms loca
+enter operator log entry:
+session complete
+`
+
+// TestReactorGolden runs the REACTOR port on every backend and checks
+// the firing trace, program output and audit-trail WMEs byte for byte.
+func TestReactorGolden(t *testing.T) {
+	src, err := os.ReadFile("examples/reactor/reactor.ops")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range []psme.MatcherKind{psme.MatcherLisp, psme.MatcherVS1, psme.MatcherVS2, psme.MatcherParallel} {
+		t.Run(m.String(), func(t *testing.T) {
+			prog, err := psme.Parse(string(src))
+			if err != nil {
+				t.Fatal(err)
+			}
+			var out strings.Builder
+			eng, err := psme.New(prog, psme.Config{
+				Matcher:      m,
+				Output:       &out,
+				AcceptValues: reactorInput,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer eng.Close()
+			res, err := eng.Run(psme.RunOptions{MaxCycles: 100, RecordFiring: true})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !res.Halted {
+				t.Fatalf("did not halt in %d cycles", res.Cycles)
+			}
+			var fired []string
+			for _, f := range res.Firings {
+				fired = append(fired, f.Rule)
+			}
+			if got, want := strings.Join(fired, " "), strings.Join(reactorFirings, " "); got != want {
+				t.Errorf("firing trace:\n got %s\nwant %s", got, want)
+			}
+			if out.String() != reactorOutput {
+				t.Errorf("output:\n got %q\nwant %q", out.String(), reactorOutput)
+			}
+			// The audit trail and the operator log both live in vector
+			// attributes; check their printed forms.
+			joined := strings.Join(eng.WorkingMemory(), "\n")
+			if !strings.Contains(joined, "(trace ^elt diagnosis loca confirmed)") {
+				t.Errorf("missing audit-trail vector WME in:\n%s", joined)
+			}
+			if !strings.Contains(joined, "(trace ^elt log all systems nominal)") {
+				t.Errorf("missing operator-log vector WME in:\n%s", joined)
+			}
+		})
+	}
+}
