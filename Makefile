@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet check bench bench-smoke recovery act-differential reorder-differential fuzz-smoke clean
+.PHONY: all build test race vet check bench bench-smoke recovery act-differential reorder-differential fuzz-smoke cluster-smoke clean
 
 all: build
 
@@ -12,6 +12,7 @@ build:
 	$(GO) build ./...
 	$(GO) build -o bin/ops5run ./cmd/ops5run
 	$(GO) build -o bin/ops5d ./cmd/ops5d
+	$(GO) build -o bin/ops5proxy ./cmd/ops5proxy
 	$(GO) build -o bin/psmbench ./cmd/psmbench
 
 test:
@@ -49,7 +50,18 @@ reorder-differential:
 vet:
 	$(GO) vet ./...
 
-check: build vet test race bench-smoke reorder-differential fuzz-smoke
+check: build vet test race bench-smoke reorder-differential fuzz-smoke cluster-smoke
+
+# The cluster fabric suite under the race detector: two in-process
+# backends behind the routing proxy — consistent-hash placement, the
+# content-addressed program cache (one push per backend, hash-only
+# creates after), backend-loss re-routing, and the migrate-under-load
+# differential (a session migrated mid-run must end with the same WM
+# and firing trace as one that never moved, on every matcher backend,
+# with pending (accept) input intact).
+cluster-smoke:
+	$(GO) test -race -run 'TestRing|TestCluster|TestProgramCache|TestCreateByUnregisteredHash|TestBackendLoss|TestMigrate|TestExportRefuses|TestProxyMetrics' -v ./internal/cluster
+	$(GO) test -race -run 'TestConcurrentSessionLifecycle|TestSnapshotFormat' ./internal/server ./internal/wmlog
 
 # Cross-backend differential fuzzing: replay the deterministic 60-seed
 # corpus (vector attributes, negations, accepts) across all four

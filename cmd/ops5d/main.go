@@ -8,6 +8,11 @@
 //	      [-max-cycles 10000] [-timeout 5s] [-max-batch 4096]
 //	      [-data-dir DIR] [-durability commit] [-snapshot-every 0]
 //
+// An address with port 0 (e.g. -addr 127.0.0.1:0) binds an ephemeral
+// port; the daemon prints the bound address as its first stdout line
+// ("listening on HOST:PORT") so harnesses — the cluster smoke test,
+// psmbench -cluster — can spawn backends without picking ports.
+//
 // With -data-dir set the daemon is durable: every session appends its
 // WM deltas to a per-session log under DIR, and a restart over the
 // same directory recovers every session and template. SIGINT/SIGTERM
@@ -20,6 +25,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net"
 	"net/http"
 	"os"
 	"os/signal"
@@ -69,7 +75,15 @@ func main() {
 	} else if *durability != "" || *snapEvery != 0 {
 		log.Fatalf("ops5d: -durability/-snapshot-every need -data-dir")
 	}
-	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
+	// Listen before serving so a ":0" ephemeral port resolves to its
+	// real address, printed on stdout for spawning harnesses to read.
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatalf("ops5d: listen %s: %v", *addr, err)
+	}
+	bound := ln.Addr().String()
+	fmt.Printf("listening on %s\n", bound)
+	httpSrv := &http.Server{Handler: srv.Handler()}
 
 	done := make(chan struct{})
 	sigs := make(chan os.Signal, 1)
@@ -86,8 +100,8 @@ func main() {
 		srv.Close()
 	}()
 
-	log.Printf("ops5d: serving on %s", *addr)
-	if err := httpSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+	log.Printf("ops5d: serving on %s", bound)
+	if err := httpSrv.Serve(ln); err != nil && !errors.Is(err, http.ErrServerClosed) {
 		log.Fatalf("ops5d: %v", err)
 	}
 	<-done

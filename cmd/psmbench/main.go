@@ -10,6 +10,7 @@
 //	psmbench -durability [-durout BENCH_durability.json]
 //	psmbench -act [-firebatch 1,4,8] [-procs 1,2,4,8] [-actout BENCH_act.json]
 //	psmbench -join [-reorder both] [-procs 1,2,4] [-joinout BENCH_join.json]
+//	psmbench -cluster [-backends 1,2,4] [-clusterout BENCH_cluster.json]
 //	psmbench ... [-cpuprofile cpu.prof] [-memprofile mem.prof]
 package main
 
@@ -40,6 +41,11 @@ func main() {
 	actOut := flag.String("actout", "", "write -act results as JSON to this file (e.g. BENCH_act.json)")
 	joinBench := flag.Bool("join", false, "run the adversarial join kernels (cost-based reordering, match budget, unlinking)")
 	joinOut := flag.String("joinout", "", "write -join results as JSON to this file (e.g. BENCH_join.json)")
+	clusterBench := flag.Bool("cluster", false, "run the cluster fabric sweep (proxy over N in-process backends)")
+	clusterOut := flag.String("clusterout", "", "write -cluster results as JSON to this file (e.g. BENCH_cluster.json)")
+	backendCounts := flag.String("backends", "1,2,4", "comma-separated backend fleet sizes for -cluster")
+	clusterClients := flag.Int("cluster-clients", 8, "concurrent clients driving the -cluster sweep")
+	clusterBatches := flag.Int("cluster-batches", 30, "batches per client per -cluster cell")
 	reorder := flag.String("reorder", "both", "join orders to sweep for -join: on (planned), off (source) or both")
 	fireBatches := flag.String("firebatch", "1,4,8", "comma-separated act-batch sizes for -act")
 	sweepItems := flag.Int("sweep-items", 2000, "items in the -act Sweep removal workload")
@@ -87,6 +93,14 @@ func main() {
 			Scale: *scale, FireBatches: batches, Procs: procs,
 			Reps: *reps, SweepItems: *sweepItems,
 		}, *actOut)
+		return
+	}
+	if *clusterBench {
+		counts, err := parseProcs(*backendCounts)
+		fatal(err)
+		runCluster(tables.ClusterBenchOptions{
+			BackendCounts: counts, Clients: *clusterClients, Batches: *clusterBatches,
+		}, *clusterOut)
 		return
 	}
 	if *joinBench {
@@ -363,6 +377,47 @@ func runJoin(opt tables.JoinBenchOptions, outPath string) {
 		data = append(data, '\n')
 		fatal(os.WriteFile(outPath, data, 0o644))
 		fmt.Printf("\nwrote %s\n", outPath)
+	}
+}
+
+// runCluster runs the cluster fabric sweep, prints a summary and
+// optionally writes the BENCH_cluster.json payload. Like the other
+// wall-clock benches, throughput scaling on a host with fewer CPUs
+// than backends measures timesharing, not the fabric; the report's
+// oversubscribed flag records that and the smoke gate skips the
+// scaling assertion there.
+func runCluster(opt tables.ClusterBenchOptions, outPath string) {
+	fmt.Printf("cluster fabric sweep: host CPUs %d, fleets %v, %d clients x %d batches\n",
+		runtime.NumCPU(), opt.BackendCounts, opt.Clients, opt.Batches)
+	rep, err := tables.RunClusterBench(opt)
+	fatal(err)
+	fmt.Println("\nworkload  backends  sessions  batches   cycles  batches/s   cycles/s  pushes  cache-hits  hit-rate")
+	for _, r := range rep.Runs {
+		fmt.Printf("%-9s %8d  %8d  %7d  %7d  %9.1f  %9.0f  %6d  %10d  %7.0f%%\n",
+			r.Workload, r.Backends, r.Sessions, r.Batches, r.Cycles,
+			r.BatchesPerSec, r.CyclesPerSec, r.ProgramPushes, r.ProgramCacheHits, r.CacheHitRate*100)
+	}
+	for wl, x := range rep.ScalingX2 {
+		mark := ""
+		if rep.Oversubscribed {
+			mark = "*"
+		}
+		fmt.Printf("2-backend scaling (%s): %.2fx%s\n", wl, x, mark)
+	}
+	if rep.Oversubscribed {
+		fmt.Println("* host has fewer CPUs than backends: scaling measures timesharing, not the fabric")
+	}
+	fmt.Printf("migration under load: %d migrations, p50 %d us, p99 %d us, max %d us\n",
+		rep.Migration.Count, rep.Migration.P50Us, rep.Migration.P99Us, rep.Migration.MaxUs)
+	for m, ok := range rep.MigrateDifferential {
+		fmt.Printf("migrate differential (%s): ok=%v\n", m, ok)
+	}
+	if outPath != "" {
+		data, err := json.MarshalIndent(rep, "", "  ")
+		fatal(err)
+		data = append(data, '\n')
+		fatal(os.WriteFile(outPath, data, 0o644))
+		fmt.Printf("wrote %s\n", outPath)
 	}
 }
 

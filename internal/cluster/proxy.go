@@ -1,0 +1,712 @@
+package cluster
+
+import (
+	"bytes"
+	"crypto/rand"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/server"
+	"repro/internal/stats"
+)
+
+// Options configure a Proxy.
+type Options struct {
+	// Backends are the ops5d base URLs (e.g. "http://127.0.0.1:8701").
+	Backends []string
+	// VNodes is the virtual-node count per backend (default 128).
+	VNodes int
+	// LoadFactor is the bounded-load ceiling: a backend is skipped for
+	// new sessions while its session count exceeds LoadFactor × the
+	// cluster mean (default 1.25, min 1.0).
+	LoadFactor float64
+	// HealthEvery is the health-probe interval (default 2s).
+	HealthEvery time.Duration
+	// Client issues all backend requests (default: 10s timeout).
+	Client *http.Client
+}
+
+func (o *Options) fill() {
+	if o.LoadFactor < 1.0 {
+		o.LoadFactor = 1.25
+	}
+	if o.HealthEvery <= 0 {
+		o.HealthEvery = 2 * time.Second
+	}
+	if o.Client == nil {
+		o.Client = &http.Client{Timeout: 10 * time.Second}
+	}
+}
+
+// backendState is the proxy's soft view of one ops5d.
+type backendState struct {
+	url string
+
+	mu       sync.Mutex
+	up       bool
+	bootID   string
+	sessions int64               // load estimate: healthz count + local delta
+	known    map[string]struct{} // program hashes resident on this backend
+}
+
+// route maps one session ID to its backend. The per-route RWMutex is
+// the migration fence: forwards hold it shared, a migration holds it
+// exclusive, so the flip happens with no request in flight and every
+// later request sees the new backend.
+type route struct {
+	mu      sync.RWMutex
+	backend int
+}
+
+// Proxy is the routing tier. It is stateless in the durability sense:
+// everything it holds is reconstructible from the backends (routes by
+// discovery, program residency by /healthz boot tracking plus pushes,
+// liveness by probing).
+type Proxy struct {
+	opt      Options
+	ring     *Ring
+	backends []*backendState
+	client   *http.Client
+	nonce    string // distinguishes this proxy's generated session IDs
+
+	mu       sync.Mutex
+	met      stats.Cluster
+	migHist  stats.Histogram
+	nextID   uint64
+	programs map[string]string // hash -> source, the cluster registry
+
+	routesMu sync.RWMutex
+	routes   map[string]*route
+
+	stop chan struct{}
+	done chan struct{}
+	once sync.Once
+}
+
+// New builds a proxy over the given backends. Call Start to begin
+// health probing (the constructor probes once synchronously so the
+// proxy is usable immediately).
+func New(opt Options) (*Proxy, error) {
+	opt.fill()
+	if len(opt.Backends) == 0 {
+		return nil, errors.New("cluster: no backends")
+	}
+	p := &Proxy{
+		opt:      opt,
+		ring:     NewRing(len(opt.Backends), opt.VNodes),
+		client:   opt.Client,
+		nonce:    newNonce(),
+		programs: make(map[string]string),
+		routes:   make(map[string]*route),
+		stop:     make(chan struct{}),
+		done:     make(chan struct{}),
+	}
+	for _, u := range opt.Backends {
+		p.backends = append(p.backends, &backendState{
+			url:   strings.TrimRight(u, "/"),
+			known: make(map[string]struct{}),
+		})
+	}
+	p.CheckNow()
+	return p, nil
+}
+
+func newNonce() string {
+	var b [3]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		return "p0"
+	}
+	return "p" + hex.EncodeToString(b[:])
+}
+
+// Start launches the background health loop.
+func (p *Proxy) Start() {
+	go func() {
+		defer close(p.done)
+		t := time.NewTicker(p.opt.HealthEvery)
+		defer t.Stop()
+		for {
+			select {
+			case <-p.stop:
+				return
+			case <-t.C:
+				p.CheckNow()
+			}
+		}
+	}()
+}
+
+// Close stops the health loop.
+func (p *Proxy) Close() {
+	p.once.Do(func() { close(p.stop) })
+	select {
+	case <-p.done:
+	case <-time.After(time.Second):
+	}
+}
+
+// healthzBody is what ops5d's GET /healthz returns.
+type healthzBody struct {
+	OK       bool   `json:"ok"`
+	Sessions int64  `json:"sessions"`
+	Programs int    `json:"programs"`
+	BootID   string `json:"boot_id"`
+}
+
+// CheckNow probes every backend once, updating liveness, load and boot
+// identity. A changed boot_id means the backend restarted: its program
+// cache is empty no matter what the proxy pushed before, so the known
+// set resets and the next create re-pushes.
+func (p *Proxy) CheckNow() {
+	var wg sync.WaitGroup
+	for _, b := range p.backends {
+		wg.Add(1)
+		go func(b *backendState) {
+			defer wg.Done()
+			p.probe(b)
+		}(b)
+	}
+	wg.Wait()
+}
+
+func (p *Proxy) probe(b *backendState) {
+	p.count(func(c *stats.Cluster) { c.HealthChecks++ })
+	var h healthzBody
+	ok := false
+	resp, err := p.client.Get(b.url + "/healthz")
+	if err == nil {
+		err = json.NewDecoder(io.LimitReader(resp.Body, 1<<16)).Decode(&h)
+		resp.Body.Close()
+		ok = err == nil && resp.StatusCode == http.StatusOK && h.OK
+	}
+	if !ok {
+		p.count(func(c *stats.Cluster) { c.HealthFails++ })
+	}
+	b.mu.Lock()
+	if ok != b.up {
+		p.count(func(c *stats.Cluster) { c.Transitions++ })
+	}
+	b.up = ok
+	if ok {
+		b.sessions = h.Sessions
+		if h.BootID != b.bootID {
+			if b.bootID != "" {
+				p.count(func(c *stats.Cluster) { c.BootChanges++ })
+			}
+			b.bootID = h.BootID
+			b.known = make(map[string]struct{})
+		}
+	}
+	b.mu.Unlock()
+}
+
+func (p *Proxy) count(f func(*stats.Cluster)) {
+	p.mu.Lock()
+	f(&p.met)
+	p.mu.Unlock()
+}
+
+// liveLoad sums the live backends and their session counts.
+func (p *Proxy) liveLoad() (live int, total int64) {
+	for _, b := range p.backends {
+		b.mu.Lock()
+		if b.up {
+			live++
+			total += b.sessions
+		}
+		b.mu.Unlock()
+	}
+	return live, total
+}
+
+// place picks the backend for a new session: walk the key's ring
+// candidates, skip down backends, and skip overloaded ones (bounded
+// load: sessions > LoadFactor × ceil((total+1)/live)) as long as a
+// lighter live candidate remains. Returns -1 when no backend is live.
+func (p *Proxy) place(key string) int {
+	live, total := p.liveLoad()
+	if live == 0 {
+		return -1
+	}
+	allowed := int64(math.Ceil(p.opt.LoadFactor * float64(total+1) / float64(live)))
+	first := -1
+	for _, n := range p.ring.Candidates(key) {
+		b := p.backends[n]
+		b.mu.Lock()
+		up, load := b.up, b.sessions
+		b.mu.Unlock()
+		if !up {
+			continue
+		}
+		if first < 0 {
+			first = n
+		}
+		if load < allowed {
+			if n != first {
+				p.count(func(c *stats.Cluster) { c.ReRoutes++ })
+			}
+			return n
+		}
+		p.count(func(c *stats.Cluster) { c.ReRoutes++ })
+	}
+	return first // every live backend at the ceiling: take the owner
+}
+
+// routeFor returns the cached route for a session, or nil.
+func (p *Proxy) routeFor(id string) *route {
+	p.routesMu.RLock()
+	rt := p.routes[id]
+	p.routesMu.RUnlock()
+	return rt
+}
+
+// setRoute installs (or returns the already-installed) route.
+func (p *Proxy) setRoute(id string, backend int) *route {
+	p.routesMu.Lock()
+	defer p.routesMu.Unlock()
+	if rt, ok := p.routes[id]; ok {
+		return rt
+	}
+	rt := &route{backend: backend}
+	p.routes[id] = rt
+	return rt
+}
+
+func (p *Proxy) dropRoute(id string) {
+	p.routesMu.Lock()
+	delete(p.routes, id)
+	p.routesMu.Unlock()
+}
+
+// discover finds which backend holds a session the proxy has no route
+// for (proxy restart, session created out of band): probe the ring
+// candidates with GET /sessions/{id}/wm until one answers non-404.
+func (p *Proxy) discover(id string) (int, error) {
+	p.count(func(c *stats.Cluster) { c.Discoveries++ })
+	for _, n := range p.ring.Candidates(id) {
+		b := p.backends[n]
+		b.mu.Lock()
+		up := b.up
+		b.mu.Unlock()
+		if !up {
+			continue
+		}
+		resp, err := p.client.Get(b.url + "/sessions/" + id + "/wm")
+		if err != nil {
+			continue
+		}
+		io.Copy(io.Discard, io.LimitReader(resp.Body, 1<<20))
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusNotFound {
+			return n, nil
+		}
+	}
+	return -1, fmt.Errorf("session %q not found on any live backend", id)
+}
+
+// resolve returns the session's route, discovering it on a cache miss.
+func (p *Proxy) resolve(id string) (*route, error) {
+	if rt := p.routeFor(id); rt != nil {
+		return rt, nil
+	}
+	n, err := p.discover(id)
+	if err != nil {
+		return nil, err
+	}
+	return p.setRoute(id, n), nil
+}
+
+// backendDo issues one JSON request against a backend and decodes the
+// response into out (when non-nil). Returns the HTTP status; a
+// transport error returns status 0.
+func (p *Proxy) backendDo(method, url string, body []byte, out any) (int, error) {
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequest(method, url, rd)
+	if err != nil {
+		return 0, err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := p.client.Do(req)
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(io.LimitReader(resp.Body, 64<<20))
+	if err != nil {
+		return 0, err
+	}
+	if resp.StatusCode >= 400 {
+		var e struct {
+			Error string `json:"error"`
+		}
+		if json.Unmarshal(data, &e) == nil && e.Error != "" {
+			return resp.StatusCode, errors.New(e.Error)
+		}
+		return resp.StatusCode, fmt.Errorf("backend %s %s: status %d", method, url, resp.StatusCode)
+	}
+	if out != nil && len(data) > 0 {
+		if err := json.Unmarshal(data, out); err != nil {
+			return resp.StatusCode, err
+		}
+	}
+	return resp.StatusCode, nil
+}
+
+// markDown flags a backend dead immediately (a forward failed at the
+// transport level); the health loop will bring it back.
+func (p *Proxy) markDown(n int) {
+	b := p.backends[n]
+	b.mu.Lock()
+	if b.up {
+		b.up = false
+		p.count(func(c *stats.Cluster) { c.Transitions++ })
+	}
+	b.mu.Unlock()
+}
+
+// hashOf is the registry key: hex SHA-256 of the source, identical to
+// the backends' program hash.
+func hashOf(src string) string {
+	h := sha256.Sum256([]byte(src))
+	return hex.EncodeToString(h[:])
+}
+
+// RegisterProgram stores source in the cluster registry and pushes it
+// to every live backend, so subsequent creates anywhere hit a warm
+// compile cache. Returns the hash; pushing is best-effort (a backend
+// that missed the push gets it on demand at create time).
+func (p *Proxy) RegisterProgram(src string) (string, error) {
+	if src == "" {
+		return "", errors.New("missing program source")
+	}
+	hash := hashOf(src)
+	p.mu.Lock()
+	_, dup := p.programs[hash]
+	p.programs[hash] = src
+	if !dup {
+		p.met.ProgramsRegistered++
+	}
+	p.mu.Unlock()
+	for n := range p.backends {
+		b := p.backends[n]
+		b.mu.Lock()
+		up := b.up
+		_, has := b.known[hash]
+		b.mu.Unlock()
+		if up && !has {
+			_ = p.pushProgram(n, hash, src)
+		}
+	}
+	return hash, nil
+}
+
+// pushProgram installs a program on one backend and marks it resident.
+func (p *Proxy) pushProgram(n int, hash, src string) error {
+	body, _ := json.Marshal(map[string]string{"program": src})
+	status, err := p.backendDo("POST", p.backends[n].url+"/programs", body, nil)
+	if err != nil {
+		if status == 0 {
+			p.markDown(n)
+		}
+		return err
+	}
+	p.count(func(c *stats.Cluster) { c.ProgramPushes++ })
+	b := p.backends[n]
+	b.mu.Lock()
+	b.known[hash] = struct{}{}
+	b.mu.Unlock()
+	return nil
+}
+
+// ensureProgram makes hash resident on backend n, pushing from the
+// registry when the proxy doesn't believe it's there.
+func (p *Proxy) ensureProgram(n int, hash string) (hit bool, err error) {
+	b := p.backends[n]
+	b.mu.Lock()
+	_, has := b.known[hash]
+	b.mu.Unlock()
+	if has {
+		p.count(func(c *stats.Cluster) { c.ProgramCacheHits++ })
+		return true, nil
+	}
+	p.mu.Lock()
+	src, ok := p.programs[hash]
+	p.mu.Unlock()
+	if !ok {
+		return false, fmt.Errorf("program %s not registered with the proxy", hash)
+	}
+	return false, p.pushProgram(n, hash, src)
+}
+
+// CreateSession places a session on the cluster: resolve the program
+// (inline source auto-registers; a hash must be pre-registered), pick
+// the backend by bounded-load consistent hashing on the session ID,
+// ensure the program is resident there, create by hash, and cache the
+// route. Transport failures mark the backend down and retry the next
+// ring candidate.
+func (p *Proxy) CreateSession(cfg server.SessionConfig) (*server.SessionInfo, error) {
+	var hash string
+	switch {
+	case cfg.Program != "" && cfg.ProgramHash != "":
+		return nil, errors.New("program and program_hash are mutually exclusive")
+	case cfg.Program != "":
+		var err error
+		if hash, err = p.RegisterProgram(cfg.Program); err != nil {
+			return nil, err
+		}
+		cfg.Program = ""
+	case cfg.ProgramHash != "":
+		hash = cfg.ProgramHash
+		p.mu.Lock()
+		_, ok := p.programs[hash]
+		p.mu.Unlock()
+		if !ok {
+			return nil, fmt.Errorf("program %s not registered (POST /programs first)", hash)
+		}
+	default:
+		return nil, errors.New("missing program source (or program_hash)")
+	}
+
+	id := cfg.ID
+	if id == "" {
+		p.mu.Lock()
+		p.nextID++
+		id = fmt.Sprintf("%s-%06d", p.nonce, p.nextID)
+		p.mu.Unlock()
+	}
+	cfg.ID = id
+	cfg.ProgramHash = hash
+
+	tried := 0
+	for attempt := 0; attempt < len(p.backends); attempt++ {
+		n := p.place(id)
+		if n < 0 {
+			return nil, errors.New("no live backends")
+		}
+		if attempt > 0 {
+			p.count(func(c *stats.Cluster) { c.Retries++ })
+		}
+		tried++
+		if _, err := p.ensureProgram(n, hash); err != nil {
+			b := p.backends[n]
+			b.mu.Lock()
+			up := b.up
+			b.mu.Unlock()
+			if up {
+				// The backend rejected the program (e.g. it fails to
+				// compile): every backend would; surface it.
+				return nil, err
+			}
+			continue // push failed because the backend just died: re-place
+		}
+		body, _ := json.Marshal(&cfg)
+		var info server.SessionInfo
+		status, err := p.backendDo("POST", p.backends[n].url+"/sessions", body, &info)
+		switch {
+		case status == 0:
+			p.markDown(n)
+			continue
+		case status == http.StatusFailedDependency:
+			// The backend lost the program since our last look (restart
+			// raced the health probe): push and let the next attempt retry.
+			b := p.backends[n]
+			b.mu.Lock()
+			delete(b.known, hash)
+			b.mu.Unlock()
+			continue
+		case err != nil:
+			return nil, err
+		}
+		b := p.backends[n]
+		b.mu.Lock()
+		b.sessions++
+		b.mu.Unlock()
+		p.setRoute(id, n)
+		p.count(func(c *stats.Cluster) { c.SessionsRouted++ })
+		return &info, nil
+	}
+	return nil, fmt.Errorf("session create failed after %d backends", tried)
+}
+
+// forward proxies one session-scoped request to the session's backend,
+// holding the route read lock so a concurrent migration serializes
+// against it. The response streams back verbatim.
+func (p *Proxy) forward(w http.ResponseWriter, r *http.Request, id string) {
+	body, err := io.ReadAll(io.LimitReader(r.Body, 64<<20))
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	rt, err := p.resolve(id)
+	if err != nil {
+		httpError(w, http.StatusNotFound, err)
+		return
+	}
+	rt.mu.RLock()
+	n := rt.backend
+	rt.mu.RUnlock()
+	p.count(func(c *stats.Cluster) { c.Forwards++ })
+
+	status, data, hdr, err := p.rawDo(r.Method, p.backends[n].url+r.URL.Path, body)
+	if status == 0 {
+		// Backend gone mid-request; one rediscovery attempt (the session
+		// may have been migrated or the backend replaced).
+		p.markDown(n)
+		p.count(func(c *stats.Cluster) { c.Retries++ })
+		p.dropRoute(id)
+		rt2, rerr := p.resolve(id)
+		if rerr != nil {
+			httpError(w, http.StatusBadGateway, fmt.Errorf("backend unreachable: %v", err))
+			return
+		}
+		rt2.mu.RLock()
+		n = rt2.backend
+		rt2.mu.RUnlock()
+		status, data, hdr, err = p.rawDo(r.Method, p.backends[n].url+r.URL.Path, body)
+		if status == 0 {
+			httpError(w, http.StatusBadGateway, fmt.Errorf("backend unreachable: %v", err))
+			return
+		}
+	}
+	if status == http.StatusNotFound && p.routeFor(id) != nil {
+		// Stale route (session moved without us): rediscover once.
+		p.dropRoute(id)
+		if rt2, rerr := p.resolve(id); rerr == nil {
+			rt2.mu.RLock()
+			n = rt2.backend
+			rt2.mu.RUnlock()
+			if s2, d2, h2, e2 := p.rawDo(r.Method, p.backends[n].url+r.URL.Path, body); s2 != 0 && e2 == nil {
+				status, data, hdr = s2, d2, h2
+			}
+		}
+	}
+	if r.Method == http.MethodDelete && status == http.StatusNoContent {
+		p.dropRoute(id)
+		b := p.backends[n]
+		b.mu.Lock()
+		if b.sessions > 0 {
+			b.sessions--
+		}
+		b.mu.Unlock()
+	}
+	if ct := hdr.Get("Content-Type"); ct != "" {
+		w.Header().Set("Content-Type", ct)
+	}
+	w.WriteHeader(status)
+	_, _ = w.Write(data)
+}
+
+// rawDo issues a request and returns status, body and headers without
+// interpreting errors (forwarding wants the backend's response as-is).
+// A transport failure returns status 0.
+func (p *Proxy) rawDo(method, url string, body []byte) (int, []byte, http.Header, error) {
+	var rd io.Reader
+	if len(body) > 0 {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequest(method, url, rd)
+	if err != nil {
+		return 0, nil, nil, err
+	}
+	if len(body) > 0 {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := p.client.Do(req)
+	if err != nil {
+		return 0, nil, nil, err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(io.LimitReader(resp.Body, 64<<20))
+	if err != nil {
+		return 0, nil, nil, err
+	}
+	return resp.StatusCode, data, resp.Header, nil
+}
+
+// Sessions merges the live backends' session listings.
+func (p *Proxy) Sessions() ([]server.SessionInfo, error) {
+	var out []server.SessionInfo
+	for n, b := range p.backends {
+		b.mu.Lock()
+		up := b.up
+		b.mu.Unlock()
+		if !up {
+			continue
+		}
+		var lst struct {
+			Sessions []server.SessionInfo `json:"sessions"`
+		}
+		if _, err := p.backendDo("GET", p.backends[n].url+"/sessions", nil, &lst); err != nil {
+			continue
+		}
+		out = append(out, lst.Sessions...)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out, nil
+}
+
+// BackendStatus is one backend's row in the proxy's metrics view.
+type BackendStatus struct {
+	URL      string `json:"url"`
+	Up       bool   `json:"up"`
+	BootID   string `json:"boot_id,omitempty"`
+	Sessions int64  `json:"sessions"`
+	Programs int    `json:"programs_known"`
+}
+
+// MetricsSnapshot is GET /metrics on the proxy.
+type MetricsSnapshot struct {
+	Cluster          stats.Cluster        `json:"cluster"`
+	MigrationLatency stats.LatencySummary `json:"migration_latency"`
+	Backends         []BackendStatus      `json:"backends"`
+	Routes           int                  `json:"routes_cached"`
+	Programs         int                  `json:"programs_registered"`
+}
+
+// Metrics returns the proxy's point-in-time counters.
+func (p *Proxy) Metrics() MetricsSnapshot {
+	p.mu.Lock()
+	snap := MetricsSnapshot{
+		Cluster:          p.met,
+		MigrationLatency: p.migHist.Summary(),
+		Programs:         len(p.programs),
+	}
+	p.mu.Unlock()
+	snap.Cluster.BackendsLive, snap.Cluster.BackendsDown = 0, 0
+	for _, b := range p.backends {
+		b.mu.Lock()
+		st := BackendStatus{URL: b.url, Up: b.up, BootID: b.bootID, Sessions: b.sessions, Programs: len(b.known)}
+		b.mu.Unlock()
+		if st.Up {
+			snap.Cluster.BackendsLive++
+		} else {
+			snap.Cluster.BackendsDown++
+		}
+		snap.Backends = append(snap.Backends, st)
+	}
+	p.routesMu.RLock()
+	snap.Routes = len(p.routes)
+	p.routesMu.RUnlock()
+	return snap
+}
+
+func httpError(w http.ResponseWriter, status int, err error) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(map[string]string{"error": err.Error()})
+}

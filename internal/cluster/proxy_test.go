@@ -1,0 +1,533 @@
+package cluster_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/server"
+	"repro/internal/stats"
+)
+
+// pingSrc answers every (req ^n X) with a (resp ^n X); counterSrc keeps
+// a running counter modified by each tick, so its WM state is the
+// visible history a migration must carry intact.
+const pingSrc = `
+(literalize req n)
+(literalize resp n)
+(p answer
+  (req ^n <n>)
+-->
+  (make resp ^n <n>)
+  (remove 1))
+`
+
+const counterSrc = `
+(literalize tick go)
+(literalize count value)
+(literalize resp n)
+(p inc
+  (count ^value <v>)
+  (tick)
+-->
+  (remove 2)
+  (modify 1 ^value (compute <v> + 1))
+  (make resp ^n <v>))
+(make count ^value 0)
+`
+
+// testCluster is B in-process backends plus a proxy over them.
+type testCluster struct {
+	backends []*server.Server
+	tss      []*httptest.Server
+	proxy    *cluster.Proxy
+	pts      *httptest.Server
+	client   *http.Client
+}
+
+func newTestCluster(t *testing.T, n int) *testCluster {
+	t.Helper()
+	tc := &testCluster{client: &http.Client{Timeout: 10 * time.Second}}
+	urls := make([]string, 0, n)
+	for i := 0; i < n; i++ {
+		srv := server.New(server.Options{DefaultMaxCycles: 1000, DefaultTimeout: 10 * time.Second})
+		ts := httptest.NewServer(srv.Handler())
+		tc.backends = append(tc.backends, srv)
+		tc.tss = append(tc.tss, ts)
+		urls = append(urls, ts.URL)
+	}
+	p, err := cluster.New(cluster.Options{
+		Backends:    urls,
+		HealthEvery: time.Hour, // probed explicitly in tests
+		Client:      tc.client,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tc.proxy = p
+	tc.pts = httptest.NewServer(p.Handler())
+	t.Cleanup(func() {
+		tc.pts.Close()
+		p.Close()
+		for i := range tc.tss {
+			tc.tss[i].Close()
+			tc.backends[i].Close()
+		}
+	})
+	return tc
+}
+
+func call(t *testing.T, client *http.Client, method, url string, body, out any) int {
+	t.Helper()
+	var rd io.Reader
+	if body != nil {
+		data, err := json.Marshal(body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rd = bytes.NewReader(data)
+	}
+	req, err := http.NewRequest(method, url, rd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if out != nil {
+		data, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(data) > 0 {
+			if err := json.Unmarshal(data, out); err != nil {
+				t.Fatalf("%s %s: bad JSON %q: %v", method, url, data, err)
+			}
+		}
+	}
+	return resp.StatusCode
+}
+
+func TestRingCandidates(t *testing.T) {
+	r := cluster.NewRing(4, 64)
+	counts := make([]int, 4)
+	for i := 0; i < 4000; i++ {
+		c := r.Candidates(fmt.Sprintf("session-%d", i))
+		if len(c) != 4 {
+			t.Fatalf("candidates = %v, want 4 distinct", c)
+		}
+		seen := map[int]bool{}
+		for _, n := range c {
+			if seen[n] {
+				t.Fatalf("duplicate candidate in %v", c)
+			}
+			seen[n] = true
+		}
+		counts[c[0]]++
+	}
+	// Stability: the same key walks the same order.
+	a, b := r.Candidates("session-7"), r.Candidates("session-7")
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("unstable candidates %v vs %v", a, b)
+		}
+	}
+	for n, c := range counts {
+		if c < 400 {
+			t.Errorf("backend %d owns only %d/4000 keys — vnode distribution badly skewed", n, c)
+		}
+	}
+	// Removing one backend moves only its keys: every key whose owner
+	// isn't node 3 keeps its owner in a 3-node ring of the same vnodes.
+	r3 := cluster.NewRing(3, 64)
+	moved := 0
+	for i := 0; i < 4000; i++ {
+		key := fmt.Sprintf("session-%d", i)
+		if o := r.Owner(key); o != 3 && r3.Owner(key) != o {
+			moved++
+		}
+	}
+	if moved != 0 {
+		t.Errorf("%d keys not owned by the removed node changed owner", moved)
+	}
+}
+
+// TestClusterCreateRouteForward drives the full proxy path: creates
+// land spread over the ring, forwards reach the owning backend, and
+// deletes clean the route.
+func TestClusterCreateRouteForward(t *testing.T) {
+	tc := newTestCluster(t, 2)
+	base := tc.pts.URL
+
+	ids := make([]string, 0, 8)
+	for i := 0; i < 8; i++ {
+		var info server.SessionInfo
+		if code := call(t, tc.client, "POST", base+"/sessions", server.SessionConfig{Program: pingSrc}, &info); code != http.StatusCreated {
+			t.Fatalf("create %d: status %d", i, code)
+		}
+		ids = append(ids, info.ID)
+	}
+	// All sessions reachable through the proxy.
+	for i, id := range ids {
+		var res server.BatchResult
+		req := server.BatchRequest{Asserts: []server.WMEInput{{Class: "req", Attrs: map[string]any{"n": i}}}}
+		if code := call(t, tc.client, "POST", base+"/sessions/"+id+"/assert", req, &res); code != http.StatusOK {
+			t.Fatalf("assert via proxy: status %d", code)
+		}
+		if len(res.Firings) != 1 {
+			t.Fatalf("firings = %d, want 1", len(res.Firings))
+		}
+	}
+	// The merged listing sees them all.
+	var lst struct {
+		Sessions []server.SessionInfo `json:"sessions"`
+	}
+	if code := call(t, tc.client, "GET", base+"/sessions", nil, &lst); code != http.StatusOK || len(lst.Sessions) != 8 {
+		t.Fatalf("list: status %d, %d sessions (want 8)", code, len(lst.Sessions))
+	}
+	// Both backends got some (8 sessions over 2 backends: a fully
+	// one-sided split means routing ignores the ring).
+	a, b := len(tc.backends[0].Sessions()), len(tc.backends[1].Sessions())
+	if a == 0 || b == 0 {
+		t.Errorf("session split %d/%d — one backend unused", a, b)
+	}
+	for _, id := range ids {
+		if code := call(t, tc.client, "DELETE", base+"/sessions/"+id, nil, nil); code != http.StatusNoContent {
+			t.Fatalf("delete: status %d", code)
+		}
+	}
+	if m := tc.proxy.Metrics(); m.Routes != 0 {
+		t.Errorf("routes cached after deletes = %d, want 0", m.Routes)
+	}
+}
+
+// TestProgramCacheOnePushPerBackend registers one program and creates
+// many sessions: each backend must compile at most once, and the proxy
+// must count cache hits for every create after a backend's first.
+func TestProgramCacheOnePushPerBackend(t *testing.T) {
+	tc := newTestCluster(t, 2)
+	base := tc.pts.URL
+
+	var reg struct {
+		Hash string `json:"hash"`
+	}
+	if code := call(t, tc.client, "POST", base+"/programs", map[string]string{"program": pingSrc}, &reg); code != http.StatusCreated || reg.Hash == "" {
+		t.Fatalf("register: status %d hash %q", code, reg.Hash)
+	}
+	for i := 0; i < 10; i++ {
+		var info server.SessionInfo
+		if code := call(t, tc.client, "POST", base+"/sessions", server.SessionConfig{ProgramHash: reg.Hash}, &info); code != http.StatusCreated {
+			t.Fatalf("create by hash: status %d", code)
+		}
+	}
+	var compiles int64
+	for i, b := range tc.backends {
+		snap := b.Snapshot()
+		if snap.Server.ProgramCompiles > 1 {
+			t.Errorf("backend %d compiled %d times, want ≤1", i, snap.Server.ProgramCompiles)
+		}
+		compiles += snap.Server.ProgramCompiles
+	}
+	m := tc.proxy.Metrics()
+	if m.Cluster.ProgramPushes != compiles {
+		t.Errorf("pushes %d != compiles %d", m.Cluster.ProgramPushes, compiles)
+	}
+	if m.Cluster.ProgramCacheHits+m.Cluster.ProgramPushes < 10 {
+		t.Errorf("hits %d + pushes %d < 10 creates", m.Cluster.ProgramCacheHits, m.Cluster.ProgramPushes)
+	}
+	if m.Cluster.ProgramCacheHits == 0 {
+		t.Error("no program cache hits across 10 creates")
+	}
+}
+
+// TestCreateByUnregisteredHash must fail without touching a backend.
+func TestCreateByUnregisteredHash(t *testing.T) {
+	tc := newTestCluster(t, 2)
+	code := call(t, tc.client, "POST", tc.pts.URL+"/sessions",
+		server.SessionConfig{ProgramHash: "deadbeefdeadbeefdeadbeefdeadbeefdeadbeefdeadbeefdeadbeefdeadbeef"}, nil)
+	if code != http.StatusBadRequest {
+		t.Fatalf("create by unknown hash: status %d, want 400", code)
+	}
+}
+
+// TestBackendLossReroute kills one backend and checks creates keep
+// succeeding on the survivor and a session lost with the backend
+// reports not-found rather than hanging.
+func TestBackendLossReroute(t *testing.T) {
+	tc := newTestCluster(t, 2)
+	base := tc.pts.URL
+
+	ids := make([]string, 0, 6)
+	for i := 0; i < 6; i++ {
+		var info server.SessionInfo
+		if code := call(t, tc.client, "POST", base+"/sessions", server.SessionConfig{Program: pingSrc}, &info); code != http.StatusCreated {
+			t.Fatalf("create: status %d", code)
+		}
+		ids = append(ids, info.ID)
+	}
+	tc.tss[1].Close() // backend 1 dies with its sessions
+	tc.proxy.CheckNow()
+
+	for i := 0; i < 6; i++ {
+		var info server.SessionInfo
+		if code := call(t, tc.client, "POST", base+"/sessions", server.SessionConfig{Program: pingSrc}, &info); code != http.StatusCreated {
+			t.Fatalf("create after loss: status %d", code)
+		}
+	}
+	if n := len(tc.backends[0].Sessions()); n < 6 {
+		t.Errorf("survivor holds %d sessions, want ≥6", n)
+	}
+	// Sessions that lived on the dead backend answer 404/502, not 200.
+	lost := 0
+	for _, id := range ids {
+		req := server.BatchRequest{Asserts: []server.WMEInput{{Class: "req", Attrs: map[string]any{"n": 1}}}}
+		if code := call(t, tc.client, "POST", base+"/sessions/"+id+"/assert", req, nil); code != http.StatusOK {
+			lost++
+		}
+	}
+	if lost == 0 {
+		t.Error("every pre-loss session still answers — backend 1 held none?")
+	}
+}
+
+// runTicks drives n tick batches and returns the concatenated firing
+// trace plus the final WM.
+func runTicks(t *testing.T, client *http.Client, base, id string, n int) (trace []string, wm []string) {
+	t.Helper()
+	for i := 0; i < n; i++ {
+		req := server.BatchRequest{Asserts: []server.WMEInput{{Class: "tick", Attrs: map[string]any{}}}}
+		var res server.BatchResult
+		if code := call(t, client, "POST", base+"/sessions/"+id+"/assert", req, &res); code != http.StatusOK {
+			t.Fatalf("tick %d on %s: status %d", i, id, code)
+		}
+		for _, f := range res.Firings {
+			trace = append(trace, fmt.Sprintf("%s%v", f.Rule, f.TimeTags))
+		}
+	}
+	var snap struct {
+		WMEs []server.WMEOut `json:"wmes"`
+	}
+	if code := call(t, client, "GET", base+"/sessions/"+id+"/wm", nil, &snap); code != http.StatusOK {
+		t.Fatalf("wm of %s: status %d", id, code)
+	}
+	for _, w := range snap.WMEs {
+		wm = append(wm, fmt.Sprintf("%d:%s", w.TimeTag, w.Text))
+	}
+	return trace, wm
+}
+
+// TestMigrateDifferential is the correctness core: a migrated session
+// and an unmigrated control receive identical batch sequences; firing
+// traces and final WM must match element for element, including the
+// pending (accept) queue surviving the move.
+func TestMigrateDifferential(t *testing.T) {
+	for _, matcher := range []string{"vs1", "vs2", "parallel"} {
+		t.Run(matcher, func(t *testing.T) {
+			tc := newTestCluster(t, 2)
+			base := tc.pts.URL
+
+			mk := func() string {
+				var info server.SessionInfo
+				cfg := server.SessionConfig{Program: counterSrc, Matcher: matcher}
+				if code := call(t, tc.client, "POST", base+"/sessions", cfg, &info); code != http.StatusCreated {
+					t.Fatalf("create: status %d", code)
+				}
+				return info.ID
+			}
+			mig, ctl := mk(), mk()
+
+			trace1m, _ := runTicks(t, tc.client, base, mig, 5)
+			trace1c, _ := runTicks(t, tc.client, base, ctl, 5)
+
+			var res cluster.MigrateResult
+			if code := call(t, tc.client, "POST", base+"/sessions/"+mig+"/migrate", nil, &res); code != http.StatusOK {
+				t.Fatalf("migrate: status %d", code)
+			}
+			if res.From == res.To || res.From == "" {
+				t.Fatalf("migrate result %+v", res)
+			}
+
+			trace2m, wmM := runTicks(t, tc.client, base, mig, 5)
+			trace2c, wmC := runTicks(t, tc.client, base, ctl, 5)
+
+			full := func(a, b []string) string { return fmt.Sprintf("%v vs %v", a, b) }
+			if fmt.Sprint(append(trace1m, trace2m...)) != fmt.Sprint(append(trace1c, trace2c...)) {
+				t.Fatalf("firing traces diverged after migration: %s", full(trace2m, trace2c))
+			}
+			if fmt.Sprint(wmM) != fmt.Sprint(wmC) {
+				t.Fatalf("final WM diverged: %s", full(wmM, wmC))
+			}
+			m := tc.proxy.Metrics()
+			if m.Cluster.Migrations != 1 || m.MigrationLatency.Count != 1 {
+				t.Errorf("migrations=%d latency count=%d, want 1/1", m.Cluster.Migrations, m.MigrationLatency.Count)
+			}
+		})
+	}
+}
+
+// TestMigrateUnderLoad migrates while a writer hammers the session:
+// every batch must land exactly once (no drops, no duplicates), and
+// the final counter value must equal the batch count.
+func TestMigrateUnderLoad(t *testing.T) {
+	tc := newTestCluster(t, 2)
+	base := tc.pts.URL
+
+	var info server.SessionInfo
+	if code := call(t, tc.client, "POST", base+"/sessions", server.SessionConfig{Program: counterSrc}, &info); code != http.StatusCreated {
+		t.Fatalf("create: status %d", code)
+	}
+	id := info.ID
+
+	const ticks = 60
+	var wg sync.WaitGroup
+	errs := make(chan error, 1)
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < ticks; i++ {
+			req := server.BatchRequest{Asserts: []server.WMEInput{{Class: "tick", Attrs: map[string]any{}}}}
+			var res server.BatchResult
+			if code := call(t, tc.client, "POST", base+"/sessions/"+id+"/assert", req, &res); code != http.StatusOK {
+				select {
+				case errs <- fmt.Errorf("tick %d: status %d", i, code):
+				default:
+				}
+				return
+			}
+		}
+	}()
+	migrated := 0
+	for i := 0; i < 3; i++ {
+		time.Sleep(10 * time.Millisecond)
+		if code := call(t, tc.client, "POST", base+"/sessions/"+id+"/migrate", nil, nil); code == http.StatusOK {
+			migrated++
+		}
+	}
+	wg.Wait()
+	select {
+	case err := <-errs:
+		t.Fatal(err)
+	default:
+	}
+	if migrated == 0 {
+		t.Fatal("no migration succeeded under load")
+	}
+	var snap struct {
+		WMEs []server.WMEOut `json:"wmes"`
+	}
+	if code := call(t, tc.client, "GET", base+"/sessions/"+id+"/wm", nil, &snap); code != http.StatusOK {
+		t.Fatalf("wm: status %d", code)
+	}
+	want := fmt.Sprintf("(count ^value %d)", ticks)
+	found := false
+	for _, w := range snap.WMEs {
+		if w.Text == want {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("counter lost ticks across %d migrations: want %q in %v", migrated, want, snap.WMEs)
+	}
+}
+
+// TestMigrateCarriesPendingAccepts suspends a session awaiting input,
+// migrates it, and resumes on the target: buffered values must survive.
+func TestMigrateCarriesPendingAccepts(t *testing.T) {
+	const acceptSrc = `
+(literalize go)
+(literalize got v)
+(p read
+  (go)
+-->
+  (remove 1)
+  (make got ^v (accept)))
+`
+	tc := newTestCluster(t, 2)
+	base := tc.pts.URL
+	var info server.SessionInfo
+	if code := call(t, tc.client, "POST", base+"/sessions", server.SessionConfig{Program: acceptSrc}, &info); code != http.StatusCreated {
+		t.Fatalf("create: status %d", code)
+	}
+	id := info.ID
+
+	// Queue two values but only one consumer: one stays pending.
+	req := server.BatchRequest{
+		Accepts: []any{"alpha", "beta"},
+		Asserts: []server.WMEInput{{Class: "go", Attrs: map[string]any{}}},
+	}
+	var res server.BatchResult
+	if code := call(t, tc.client, "POST", base+"/sessions/"+id+"/assert", &req, &res); code != http.StatusOK {
+		t.Fatalf("first batch: status %d", code)
+	}
+	if code := call(t, tc.client, "POST", base+"/sessions/"+id+"/migrate", nil, nil); code != http.StatusOK {
+		t.Fatalf("migrate: status %d", code)
+	}
+	// Second consumer on the target must read "beta" from the carried queue.
+	req2 := server.BatchRequest{Asserts: []server.WMEInput{{Class: "go", Attrs: map[string]any{}}}}
+	var res2 server.BatchResult
+	if code := call(t, tc.client, "POST", base+"/sessions/"+id+"/assert", &req2, &res2); code != http.StatusOK {
+		t.Fatalf("post-migrate batch: status %d", code)
+	}
+	var snap struct {
+		WMEs []server.WMEOut `json:"wmes"`
+	}
+	call(t, tc.client, "GET", base+"/sessions/"+id+"/wm", nil, &snap)
+	got := map[string]bool{}
+	for _, w := range snap.WMEs {
+		got[w.Text] = true
+	}
+	if !got["(got ^v alpha)"] || !got["(got ^v beta)"] {
+		t.Fatalf("pending accept lost in migration: wm = %v", snap.WMEs)
+	}
+}
+
+// TestExportRefusesDivergedEpoch: a session whose network was changed
+// at runtime cannot be snapshot-migrated; the export must refuse.
+func TestExportRefusesDivergedEpoch(t *testing.T) {
+	srv := server.New(server.Options{})
+	defer srv.Close()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	c := &http.Client{Timeout: 5 * time.Second}
+
+	var info server.SessionInfo
+	if code := call(t, c, "POST", ts.URL+"/sessions", server.SessionConfig{Program: pingSrc}, &info); code != http.StatusCreated {
+		t.Fatalf("create: status %d", code)
+	}
+	if code := call(t, c, "GET", ts.URL+"/sessions/"+info.ID+"/export", nil, nil); code != http.StatusOK {
+		t.Fatalf("export of clean session: status %d", code)
+	}
+	// Excise the rule at runtime: the session's network diverges.
+	prog := map[string]any{"excise": []string{"answer"}}
+	if code := call(t, c, "POST", ts.URL+"/sessions/"+info.ID+"/program", prog, nil); code != http.StatusOK {
+		t.Fatalf("excise: status %d", code)
+	}
+	if code := call(t, c, "GET", ts.URL+"/sessions/"+info.ID+"/export", nil, nil); code == http.StatusOK {
+		t.Fatal("export of epoch-diverged session succeeded; want refusal")
+	}
+}
+
+// TestProxyMetricsShape sanity-checks the snapshot wiring.
+func TestProxyMetricsShape(t *testing.T) {
+	tc := newTestCluster(t, 3)
+	m := tc.proxy.Metrics()
+	if m.Cluster.BackendsLive != 3 || len(m.Backends) != 3 {
+		t.Fatalf("live=%d backends=%d, want 3/3", m.Cluster.BackendsLive, len(m.Backends))
+	}
+	var zero stats.Cluster
+	zero.Add(&m.Cluster) // Add covers every field; compile-time drift check
+	for _, b := range m.Backends {
+		if !b.Up || b.BootID == "" {
+			t.Fatalf("backend row %+v", b)
+		}
+	}
+}

@@ -1,0 +1,91 @@
+// Package cluster is the scale-out session fabric: a stateless routing
+// proxy (cmd/ops5proxy) that consistent-hash-maps session IDs onto a
+// fleet of ops5d backends, keeps a cluster-wide content-addressed
+// program cache so each program compiles once per backend no matter how
+// many sessions use it, and migrates live sessions between backends via
+// the durability layer's versioned snapshots. The proxy holds soft
+// state only — a route cache, the program registry, health views — all
+// reconstructible by probing the backends, so proxies can restart (or
+// run in multiples) without losing the cluster.
+package cluster
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+)
+
+// Ring is a consistent-hash ring over backend indices. Each backend
+// projects vnodes points onto the 64-bit ring; a key routes to the
+// backend owning the first point at or after the key's hash. Candidates
+// returns every backend in ring-walk order so callers can implement
+// bounded-load placement (skip overloaded) and failover (skip down)
+// with the same structure: the preference order is stable for a given
+// ring, and removing a backend only reroutes the keys it owned.
+type Ring struct {
+	points []ringPoint // sorted by hash
+	nodes  int
+}
+
+type ringPoint struct {
+	hash uint64
+	node int
+}
+
+// NewRing builds a ring over n backends with vnodes virtual points
+// each (0 picks the default, 128).
+func NewRing(n, vnodes int) *Ring {
+	if vnodes <= 0 {
+		vnodes = 128
+	}
+	r := &Ring{nodes: n, points: make([]ringPoint, 0, n*vnodes)}
+	for node := 0; node < n; node++ {
+		for v := 0; v < vnodes; v++ {
+			r.points = append(r.points, ringPoint{hash: hashKey(fmt.Sprintf("n%d#%d", node, v)), node: node})
+		}
+	}
+	sort.Slice(r.points, func(i, j int) bool {
+		a, b := r.points[i], r.points[j]
+		if a.hash != b.hash {
+			return a.hash < b.hash
+		}
+		return a.node < b.node
+	})
+	return r
+}
+
+func hashKey(key string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(key))
+	return h.Sum64()
+}
+
+// Candidates returns all backend indices in the key's ring-walk order:
+// the owner first, then each distinct backend as the walk passes its
+// next point. Every backend appears exactly once.
+func (r *Ring) Candidates(key string) []int {
+	out := make([]int, 0, r.nodes)
+	if r.nodes == 0 || len(r.points) == 0 {
+		return out
+	}
+	kh := hashKey(key)
+	start := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= kh })
+	seen := make([]bool, r.nodes)
+	for i := 0; i < len(r.points) && len(out) < r.nodes; i++ {
+		p := r.points[(start+i)%len(r.points)]
+		if !seen[p.node] {
+			seen[p.node] = true
+			out = append(out, p.node)
+		}
+	}
+	return out
+}
+
+// Owner returns the key's primary backend.
+func (r *Ring) Owner(key string) int {
+	c := r.Candidates(key)
+	if len(c) == 0 {
+		return -1
+	}
+	return c[0]
+}

@@ -1,0 +1,162 @@
+package server_test
+
+import (
+	"fmt"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/server"
+)
+
+// TestConcurrentSessionLifecycle hammers one server with parallel
+// create/batch/list/delete/program traffic — the interleavings a
+// routing proxy generates when many clients share one backend. Run
+// under -race this is primarily a synchronization test; the invariant
+// checks catch lost sessions and refcount drift.
+func TestConcurrentSessionLifecycle(t *testing.T) {
+	srv, ts := newTestServer(t)
+	c := &http.Client{Timeout: 10 * time.Second}
+
+	const (
+		workers  = 8
+		perGoro  = 12
+		listGoro = 2
+	)
+	var created, deleted atomic.Int64
+	var wg sync.WaitGroup
+
+	// Creators/deleters: each worker creates, exercises, and deletes its
+	// own sessions, half by requested ID (the proxy path), half server-
+	// assigned.
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perGoro; i++ {
+				cfg := server.SessionConfig{Program: pingSrc}
+				if i%2 == 0 {
+					cfg.ID = fmt.Sprintf("w%d-s%d", w, i)
+				}
+				var info server.SessionInfo
+				code := call(t, c, "POST", ts.URL+"/sessions", cfg, &info)
+				if code != http.StatusCreated {
+					t.Errorf("create: status %d", code)
+					return
+				}
+				created.Add(1)
+				res := assertN(t, c, ts.URL, info.ID, i*10, 3)
+				if len(res.Firings) != 3 {
+					t.Errorf("firings = %d, want 3", len(res.Firings))
+				}
+				if code := call(t, c, "DELETE", ts.URL+"/sessions/"+info.ID, nil, nil); code != http.StatusNoContent {
+					t.Errorf("delete: status %d", code)
+					return
+				}
+				deleted.Add(1)
+			}
+		}(w)
+	}
+	// Listers: continuously read /sessions and /metrics while the churn
+	// runs. Every row must be well-formed.
+	stop := make(chan struct{})
+	for l := 0; l < listGoro; l++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				var lst struct {
+					Sessions []server.SessionInfo `json:"sessions"`
+				}
+				if code := call(t, c, "GET", ts.URL+"/sessions", nil, &lst); code != http.StatusOK {
+					t.Errorf("list: status %d", code)
+					return
+				}
+				for _, s := range lst.Sessions {
+					if s.ID == "" {
+						t.Error("listing shows a session with no ID")
+						return
+					}
+				}
+				call(t, c, "GET", ts.URL+"/metrics", nil, nil)
+			}
+		}()
+	}
+	// Duplicate-ID race: many goroutines request the same ID at once;
+	// exactly one create may win each round.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for round := 0; round < 6; round++ {
+			id := fmt.Sprintf("dup-%d", round)
+			var wins atomic.Int64
+			var inner sync.WaitGroup
+			for g := 0; g < 4; g++ {
+				inner.Add(1)
+				go func() {
+					defer inner.Done()
+					code := call(t, c, "POST", ts.URL+"/sessions", server.SessionConfig{Program: pingSrc, ID: id}, nil)
+					switch code {
+					case http.StatusCreated:
+						wins.Add(1)
+					case http.StatusConflict:
+					default:
+						t.Errorf("dup create: status %d", code)
+					}
+				}()
+			}
+			inner.Wait()
+			if n := wins.Load(); n != 1 {
+				t.Errorf("round %d: %d creates of one ID won, want exactly 1", round, n)
+			}
+			if code := call(t, c, "DELETE", ts.URL+"/sessions/"+id, nil, nil); code != http.StatusNoContent {
+				t.Errorf("dup delete: status %d", code)
+			}
+		}
+	}()
+
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	// The listers spin until the workers finish; poll the counters to
+	// know when to stop them.
+	deadlineT := time.After(60 * time.Second)
+	for created.Load() < workers*perGoro || deleted.Load() < workers*perGoro {
+		select {
+		case <-deadlineT:
+			close(stop)
+			t.Fatalf("timeout: created=%d deleted=%d", created.Load(), deleted.Load())
+		case <-time.After(10 * time.Millisecond):
+		}
+		if t.Failed() {
+			break
+		}
+	}
+	close(stop)
+	<-done
+
+	if t.Failed() {
+		return
+	}
+	// Everything churned away: no sessions left, counters consistent.
+	if n := len(srv.Sessions()); n != 0 {
+		t.Fatalf("%d sessions leaked", n)
+	}
+	snap := srv.Snapshot()
+	if snap.Server.SessionsLive != 0 {
+		t.Fatalf("sessions_live = %d, want 0", snap.Server.SessionsLive)
+	}
+	if snap.Server.SessionsCreated != snap.Server.SessionsClosed {
+		t.Fatalf("created %d != closed %d", snap.Server.SessionsCreated, snap.Server.SessionsClosed)
+	}
+	// One program source shared across every create: exactly one compile.
+	if snap.Server.ProgramCompiles != 1 {
+		t.Fatalf("program compiles = %d, want 1 (shared cache)", snap.Server.ProgramCompiles)
+	}
+}

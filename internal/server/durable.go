@@ -402,6 +402,7 @@ func (s *Server) rebuildFromDisk(id string) (sess *Session, replayed int, torn b
 		Backend:     backendName,
 		Created:     time.Now(),
 		sp:          sp,
+		cfg:         cfg,
 		eng:         eng,
 		matcher:     m,
 		dir:         dir,

@@ -18,13 +18,18 @@ import (
 //	GET    /sessions/{id}/wm         working-memory snapshot
 //	POST   /sessions/{id}/snapshot   snapshot + compact the delta log
 //	POST   /sessions/{id}/restore    rebuild the session from durable state
+//	GET    /sessions/{id}/export     portable session state (ExportPayload)
+//	POST   /sessions/import          recreate an exported session here
 //	DELETE /sessions/{id}            tear a session down
+//	POST   /programs                 register a program by content ({"program": src})
+//	GET    /programs                 list registered programs
+//	GET    /programs/{hash}          a registered program's source
 //	POST   /templates                create a warm template (TemplateConfig body)
 //	GET    /templates                list templates
 //	POST   /templates/{id}/fork      fork a template into a new session
 //	DELETE /templates/{id}           drop a template
 //	GET    /metrics                  stats.Snapshot JSON
-//	GET    /healthz                  liveness + session count
+//	GET    /healthz                  liveness + session count + boot_id
 //
 // Session work (create, batch) executes on the worker pool; reads are
 // served inline.
@@ -38,7 +43,12 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /sessions/{id}/wm", s.timed(s.handleWM))
 	mux.HandleFunc("POST /sessions/{id}/snapshot", s.timed(s.handleSnapshot))
 	mux.HandleFunc("POST /sessions/{id}/restore", s.timed(s.handleRestore))
+	mux.HandleFunc("GET /sessions/{id}/export", s.timed(s.handleExport))
+	mux.HandleFunc("POST /sessions/import", s.timed(s.handleImport))
 	mux.HandleFunc("DELETE /sessions/{id}", s.timed(s.handleDelete))
+	mux.HandleFunc("POST /programs", s.timed(s.handleRegisterProgram))
+	mux.HandleFunc("GET /programs", s.timed(s.handleListPrograms))
+	mux.HandleFunc("GET /programs/{hash}", s.timed(s.handleProgramSource))
 	mux.HandleFunc("POST /templates", s.timed(s.handleCreateTemplate))
 	mux.HandleFunc("GET /templates", s.timed(s.handleListTemplates))
 	mux.HandleFunc("POST /templates/{id}/fork", s.timed(s.handleFork))
@@ -48,13 +58,17 @@ func (s *Server) Handler() http.Handler {
 	})
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		s.mu.RLock()
-		n, closed := len(s.sessions), s.closed
+		n, progs, closed := len(s.sessions), len(s.programs), s.closed
 		s.mu.RUnlock()
 		if closed {
 			writeJSON(w, http.StatusServiceUnavailable, map[string]any{"ok": false})
 			return
 		}
-		writeJSON(w, http.StatusOK, map[string]any{"ok": true, "sessions": n})
+		// boot_id lets a routing proxy detect a restart (and invalidate
+		// its view of which programs this backend holds).
+		writeJSON(w, http.StatusOK, map[string]any{
+			"ok": true, "sessions": n, "programs": progs, "boot_id": s.bootID,
+		})
 	})
 	return mux
 }
@@ -95,6 +109,12 @@ func statusOf(err error) int {
 		return http.StatusNotFound
 	case errors.Is(err, ErrTooManySessions):
 		return http.StatusTooManyRequests
+	case errors.Is(err, ErrNoProgram):
+		// 424: the create names a program this backend doesn't hold —
+		// register it (POST /programs) and retry.
+		return http.StatusFailedDependency
+	case errors.Is(err, ErrSessionExists):
+		return http.StatusConflict
 	case errors.Is(err, ErrClosed), errors.Is(err, ErrPoolClosed):
 		return http.StatusServiceUnavailable
 	case errors.Is(err, ErrSessionBroken):
@@ -109,8 +129,8 @@ func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) (int, erro
 	if err := decodeBody(r, &cfg); err != nil {
 		return http.StatusBadRequest, err
 	}
-	if cfg.Program == "" {
-		return http.StatusBadRequest, errors.New("missing program source")
+	if cfg.Program == "" && cfg.ProgramHash == "" {
+		return http.StatusBadRequest, errors.New("missing program source (or program_hash)")
 	}
 	var (
 		info *SessionInfo
@@ -227,6 +247,76 @@ func (s *Server) handleRestore(w http.ResponseWriter, r *http.Request) (int, err
 		return statusOf(err), err
 	}
 	writeJSON(w, http.StatusOK, info)
+	return http.StatusOK, nil
+}
+
+func (s *Server) handleExport(w http.ResponseWriter, r *http.Request) (int, error) {
+	p, err := s.ExportSession(r.PathValue("id"))
+	if err != nil {
+		return statusOf(err), err
+	}
+	writeJSON(w, http.StatusOK, p)
+	return http.StatusOK, nil
+}
+
+func (s *Server) handleImport(w http.ResponseWriter, r *http.Request) (int, error) {
+	var p ExportPayload
+	if err := decodeBody(r, &p); err != nil {
+		return http.StatusBadRequest, err
+	}
+	var (
+		info *SessionInfo
+		err  error
+	)
+	if poolErr := s.pool.do(r.Context(), func() {
+		info, err = s.ImportSession(&p)
+	}); poolErr != nil {
+		return statusOf(poolErr), poolErr
+	}
+	if err != nil {
+		return statusOf(err), err
+	}
+	writeJSON(w, http.StatusCreated, info)
+	return http.StatusCreated, nil
+}
+
+// programBody is the POST /programs request.
+type programBody struct {
+	Program string `json:"program"`
+}
+
+func (s *Server) handleRegisterProgram(w http.ResponseWriter, r *http.Request) (int, error) {
+	var body programBody
+	if err := decodeBody(r, &body); err != nil {
+		return http.StatusBadRequest, err
+	}
+	var (
+		info *ProgramInfo
+		err  error
+	)
+	if poolErr := s.pool.do(r.Context(), func() {
+		info, err = s.RegisterProgram(body.Program)
+	}); poolErr != nil {
+		return statusOf(poolErr), poolErr
+	}
+	if err != nil {
+		return statusOf(err), err
+	}
+	writeJSON(w, http.StatusCreated, info)
+	return http.StatusCreated, nil
+}
+
+func (s *Server) handleListPrograms(w http.ResponseWriter, r *http.Request) (int, error) {
+	writeJSON(w, http.StatusOK, map[string]any{"programs": s.Programs()})
+	return http.StatusOK, nil
+}
+
+func (s *Server) handleProgramSource(w http.ResponseWriter, r *http.Request) (int, error) {
+	src, err := s.ProgramSource(r.PathValue("hash"))
+	if err != nil {
+		return statusOf(err), err
+	}
+	writeJSON(w, http.StatusOK, programBody{Program: src})
 	return http.StatusOK, nil
 }
 

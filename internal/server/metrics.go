@@ -65,6 +65,28 @@ func (m *metrics) sessionClosed() {
 	m.mu.Unlock()
 }
 
+// programRegistered records one program registered via POST /programs.
+func (m *metrics) programRegistered() {
+	m.mu.Lock()
+	m.srv.ProgramsRegistered++
+	m.mu.Unlock()
+}
+
+// programCompiled records one parse+Rete compile of a program body.
+func (m *metrics) programCompiled() {
+	m.mu.Lock()
+	m.srv.ProgramCompiles++
+	m.mu.Unlock()
+}
+
+// programHit records one session create that reused an already-compiled
+// program (by hash or by byte-identical source) instead of compiling.
+func (m *metrics) programHit() {
+	m.mu.Lock()
+	m.srv.ProgramHits++
+	m.mu.Unlock()
+}
+
 func (m *metrics) panicked() {
 	m.mu.Lock()
 	m.srv.Panics++

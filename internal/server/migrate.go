@@ -1,0 +1,195 @@
+package server
+
+import (
+	"crypto/sha256"
+	"fmt"
+	"time"
+
+	"repro/internal/conflict"
+	"repro/internal/engine"
+	"repro/internal/wmlog"
+)
+
+// Session migration: export serializes a drained session — resolved
+// config plus a versioned wmlog snapshot of WM, refraction, time-tag
+// counter, halt flag and pending (accept) input — and import rebuilds
+// an identical session on another backend, restoring through the same
+// match machinery recovery uses. The routing proxy orchestrates the
+// pair (export source → import target → delete source → flip route);
+// either side alone is also a backup/restore primitive.
+
+// ExportPayload is a session's complete portable state.
+type ExportPayload struct {
+	// ID the session was exported under; import recreates it under the
+	// same ID (the proxy's routing key) unless overridden.
+	ID string `json:"id"`
+	// Config is the resolved session config, full program source
+	// included — the import side may never have seen the program.
+	Config   SessionConfig `json:"config"`
+	Template string        `json:"template,omitempty"`
+	// Snapshot is the encoded wmlog snapshot (magic, version, CRC and
+	// payload format stamp included), base64 in JSON. Import rejects a
+	// snapshot written by a different payload format with
+	// wmlog.ErrSnapshotVersion.
+	Snapshot []byte `json:"snapshot"`
+	WMSize   int    `json:"wm_size"`
+	Halted   bool   `json:"halted"`
+}
+
+// ExportSession captures a session's portable state. The session stays
+// live and untouched; callers that migrate delete it once the import
+// succeeded. A session whose network diverged from the shared compiled
+// base (runtime build/excise, match-budget quarantine) refuses to
+// export: the snapshot pins program source, not epoch deltas, so an
+// import would silently drop the divergence.
+func (s *Server) ExportSession(id string) (*ExportPayload, error) {
+	sess, err := s.session(id)
+	if err != nil {
+		return nil, err
+	}
+	sess.mu.Lock()
+	defer sess.mu.Unlock()
+	if sess.broken != nil {
+		return nil, sess.broken
+	}
+	if epoch := sess.eng.Epoch(); epoch > 0 {
+		return nil, fmt.Errorf("session %q has a diverged network (epoch %d: runtime build/excise or budget quarantine); not exportable", id, epoch)
+	}
+	st := sess.eng.CaptureState()
+	st.ProgHash = sess.progHash
+	st.LogOffset = 0
+	b, err := st.Encode()
+	if err != nil {
+		return nil, fmt.Errorf("encode snapshot: %w", err)
+	}
+	return &ExportPayload{
+		ID:       sess.ID,
+		Config:   sess.cfg,
+		Template: sess.template,
+		Snapshot: b,
+		WMSize:   sess.eng.WM.Len(),
+		Halted:   sess.eng.Halted(),
+	}, nil
+}
+
+// ImportSession rebuilds an exported session on this server under its
+// exported ID (payload.ID). The program compiles through the shared
+// cache — a backend that already holds the hash pays no parse or Rete
+// compile. With durability enabled the imported session persists like
+// any other: program, meta, snapshot, empty delta log.
+func (s *Server) ImportSession(p *ExportPayload) (*SessionInfo, error) {
+	if p.ID == "" {
+		return nil, fmt.Errorf("import payload has no session ID")
+	}
+	snap, err := wmlog.DecodeSnapshot(p.Snapshot)
+	if err != nil {
+		return nil, fmt.Errorf("import snapshot: %w", err)
+	}
+
+	id, err := s.reserveID(p.ID)
+	if err != nil {
+		return nil, err
+	}
+	defer s.unreserveID(p.ID)
+
+	cfg := p.Config
+	cfg.ID, cfg.ProgramHash = "", ""
+	sp, hash, _, err := s.resolveProgram(&cfg)
+	if err != nil {
+		return nil, err
+	}
+	if hash != snap.ProgHash {
+		return nil, fmt.Errorf("import snapshot pins program %x, payload carries %x", snap.ProgHash[:8], hash[:8])
+	}
+	net, err := sp.netFor(&cfg)
+	if err != nil {
+		return nil, err
+	}
+	watch, err := resolveWatch(cfg.Watch, sp.prog)
+	if err != nil {
+		return nil, err
+	}
+	cs := conflict.New(conflict.Config{Shards: cfg.CSShards})
+	m, backendName, err := newBackend(net, cfg, cs)
+	if err != nil {
+		return nil, err
+	}
+	sp.newEng.Lock()
+	eng, err := engine.New(sp.prog, net, cs, m, nil)
+	sp.newEng.Unlock()
+	if err != nil {
+		m.Close()
+		return nil, fmt.Errorf("rhs compile: %w", err)
+	}
+	eng.IO = engine.NewQueueIO(sp.prog.Symbols, false)
+	if err := eng.RestoreState(snap); err != nil {
+		m.Close()
+		return nil, fmt.Errorf("restore imported state: %w", err)
+	}
+
+	sess := &Session{
+		ID:          id,
+		Backend:     backendName,
+		Created:     time.Now(),
+		sp:          sp,
+		cfg:         cfg,
+		eng:         eng,
+		matcher:     m,
+		progHash:    hash,
+		template:    p.Template,
+		fireBatch:   clampFireBatch(cfg.FireBatch),
+		matchBudget: cfg.MatchBudget,
+		watch:       watch,
+	}
+	if s.dur != nil {
+		if err := s.persistImport(sess, &cfg, backendName, hash, snap); err != nil {
+			m.Close()
+			s.removeDurable(wmlog.KindSession, id)
+			return nil, err
+		}
+	}
+
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		sess.journal.close()
+		m.Close()
+		return nil, ErrClosed
+	}
+	s.sessions[id] = sess
+	sp.refs++
+	s.bumpNextID(id)
+	s.mu.Unlock()
+
+	s.met.sessionCreated()
+	s.foldStats(sess)
+	return &SessionInfo{
+		ID:        id,
+		Backend:   backendName,
+		Rules:     len(sp.net.Rules),
+		SharedNet: true,
+		WMSize:    eng.WM.Len(),
+		Halted:    eng.Halted(),
+		Template:  p.Template,
+	}, nil
+}
+
+// persistImport writes an imported session's durable state: program,
+// meta, the imported snapshot covering the (empty) delta log, and the
+// open journal, so a crash right after import recovers the migrated
+// state exactly.
+func (s *Server) persistImport(sess *Session, cfg *SessionConfig, backendName string, hash [sha256.Size]byte, snap *wmlog.Snapshot) error {
+	j, dir, err := s.persistSession(sess.ID, cfg, backendName, sess.template, hash, sess.sp.prog.Symbols)
+	if err != nil {
+		return err
+	}
+	snap.LogOffset = int64(wmlog.HeaderSize)
+	if _, err := wmlog.WriteSnapshot(wmlog.SnapshotPath(dir), snap); err != nil {
+		j.close()
+		return fmt.Errorf("persist imported snapshot: %w", err)
+	}
+	sess.journal = j
+	sess.dir = dir
+	sess.eng.SetJournal(j)
+	return nil
+}

@@ -12,7 +12,9 @@
 package server
 
 import (
+	"crypto/rand"
 	"crypto/sha256"
+	"encoding/hex"
 	"errors"
 	"fmt"
 	"strings"
@@ -91,9 +93,17 @@ type Server struct {
 	sessions  map[string]*Session
 	programs  map[[sha256.Size]byte]*sharedProgram
 	templates map[string]*template
-	nextID    uint64
-	nextTpl   uint64
-	closed    bool
+	// reserved holds caller-requested session IDs between the uniqueness
+	// check and registration, so two concurrent creates (or imports) of
+	// the same ID cannot both win.
+	reserved map[string]struct{}
+	nextID   uint64
+	nextTpl  uint64
+	closed   bool
+	// bootID identifies this server process instance (new on every New);
+	// /healthz reports it so a routing proxy can tell a restart — and a
+	// stale program-cache view — from a healthy backend.
+	bootID string
 
 	// dur is the durability layer, nil when running memory-only. Set
 	// once by EnableDurability before serving, then read-only.
@@ -107,6 +117,7 @@ type Server struct {
 // engine construction: RHS compilation may lazily extend the class
 // tables of an undeclared-attribute program, which must not race.
 type sharedProgram struct {
+	src  string // the exact source the hash covers
 	prog *ops5.Program
 	// net is the cost-planned network (the default); netSrc keeps the
 	// source-order joins for sessions created with reorder_joins "off".
@@ -169,6 +180,11 @@ type Session struct {
 	// merged with the program's (watch ...) declaration.
 	watch int
 
+	// cfg is the session's resolved configuration (Program holds the
+	// full source, ProgramHash/ID cleared): what export serializes so a
+	// migration target rebuilds the same backend.
+	cfg SessionConfig
+
 	// Durable state, zero-valued when the server runs memory-only.
 	dir      string            // entry directory under the data dir
 	progHash [sha256.Size]byte // pins the delta log to the program
@@ -186,6 +202,8 @@ func New(opt Options) *Server {
 		sessions:  make(map[string]*Session),
 		programs:  make(map[[sha256.Size]byte]*sharedProgram),
 		templates: make(map[string]*template),
+		reserved:  make(map[string]struct{}),
+		bootID:    newBootID(),
 	}
 	s.pool = newPool(opt.Workers)
 	s.met.init()
@@ -230,6 +248,16 @@ type SessionConfig struct {
 	// Program is OPS5 source. Byte-identical sources share one compiled
 	// network.
 	Program string `json:"program"`
+	// ProgramHash creates the session from an already-registered program
+	// (POST /programs) by its hex SHA-256 instead of resending source —
+	// the content-addressed fast path a routing proxy uses. Exactly one
+	// of Program and ProgramHash must be set. An unknown hash fails with
+	// ErrNoProgram (HTTP 424): register the program first.
+	ProgramHash string `json:"program_hash,omitempty"`
+	// ID requests a specific session ID (proxy-assigned routing keys,
+	// migration imports). Empty lets the server pick. A taken ID fails
+	// with ErrSessionExists.
+	ID string `json:"id,omitempty"`
 	// Matcher picks the backend: "vs2" (default), "vs1", or "parallel".
 	Matcher string `json:"matcher"`
 	// Procs/Queues/Locks configure the parallel backend: k match
@@ -290,6 +318,12 @@ var (
 	ErrTooManySessions = errors.New("session limit reached")
 	ErrSessionBroken   = errors.New("session quarantined after panic")
 	ErrBatchTooLarge   = errors.New("batch exceeds limit")
+	// ErrNoProgram reports a create-by-hash against an unregistered
+	// program (HTTP 424: register via POST /programs, then retry).
+	ErrNoProgram = errors.New("no such program")
+	// ErrSessionExists reports a requested session ID that is already
+	// live (HTTP 409).
+	ErrSessionExists = errors.New("session ID already exists")
 )
 
 // sharedProg resolves program source to the cached compiled program,
@@ -314,15 +348,91 @@ func (s *Server) sharedProg(src string) (sp *sharedProgram, hash [sha256.Size]by
 	if err != nil {
 		return nil, hash, false, fmt.Errorf("compile: %w", err)
 	}
+	s.met.programCompiled()
 	s.mu.Lock()
 	if cached, ok := s.programs[hash]; ok {
 		sp, shared = cached, true // lost a compile race; use the winner
 	} else {
-		sp = &sharedProgram{prog: prog, net: net, netSrc: netSrc}
+		sp = &sharedProgram{src: src, prog: prog, net: net, netSrc: netSrc}
 		s.programs[hash] = sp
 	}
 	s.mu.Unlock()
 	return sp, hash, shared, nil
+}
+
+// resolveProgram maps a session config onto its compiled program:
+// either by hash against the content-addressed registry (the cluster
+// fast path — no source transfer, no compile) or by source, compiling
+// on a miss. It normalizes the config so the session's retained cfg —
+// and everything persisted or exported from it — always carries the
+// full resolved source.
+func (s *Server) resolveProgram(cfg *SessionConfig) (sp *sharedProgram, hash [sha256.Size]byte, shared bool, err error) {
+	switch {
+	case cfg.Program == "" && cfg.ProgramHash == "":
+		return nil, hash, false, errors.New("missing program source (or program_hash of a registered program)")
+	case cfg.Program != "" && cfg.ProgramHash != "":
+		return nil, hash, false, errors.New("program and program_hash are mutually exclusive")
+	case cfg.ProgramHash != "":
+		sp, hash, err = s.programByHash(cfg.ProgramHash)
+		if err != nil {
+			return nil, hash, false, err
+		}
+		shared = true
+		s.met.programHit()
+	default:
+		sp, hash, shared, err = s.sharedProg(cfg.Program)
+		if err != nil {
+			return nil, hash, false, err
+		}
+		if shared {
+			s.met.programHit()
+		}
+	}
+	cfg.Program = sp.src
+	cfg.ProgramHash = ""
+	return sp, hash, shared, nil
+}
+
+// reserveID allocates the session's ID: the requested one (held in the
+// reservation set until the create resolves, so concurrent creates of
+// one ID cannot both win) or the next generated s-NNNNNN. It also
+// enforces the session cap.
+func (s *Server) reserveID(want string) (string, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return "", ErrClosed
+	}
+	if len(s.sessions) >= s.opt.MaxSessions {
+		return "", fmt.Errorf("%w (%d)", ErrTooManySessions, s.opt.MaxSessions)
+	}
+	if want == "" {
+		s.nextID++
+		return fmt.Sprintf("s-%06d", s.nextID), nil
+	}
+	if strings.ContainsAny(want, "/\\ \t\n") {
+		return "", fmt.Errorf("bad session ID %q (no slashes or whitespace)", want)
+	}
+	if _, live := s.sessions[want]; live {
+		return "", fmt.Errorf("%w: %q", ErrSessionExists, want)
+	}
+	if _, pending := s.reserved[want]; pending {
+		return "", fmt.Errorf("%w: %q (create in flight)", ErrSessionExists, want)
+	}
+	s.reserved[want] = struct{}{}
+	return want, nil
+}
+
+// unreserveID releases a requested-ID reservation (no-op for generated
+// IDs). Called once the create has either registered the session or
+// failed.
+func (s *Server) unreserveID(want string) {
+	if want == "" {
+		return
+	}
+	s.mu.Lock()
+	delete(s.reserved, want)
+	s.mu.Unlock()
 }
 
 // CreateSession compiles (or reuses) the program, builds the matcher
@@ -333,20 +443,13 @@ func (s *Server) sharedProg(src string) (sp *sharedProgram, hash [sha256.Size]by
 // first journaled change: the log records everything from empty working
 // memory, top-level makes included.
 func (s *Server) CreateSession(cfg SessionConfig) (*SessionInfo, error) {
-	s.mu.Lock()
-	if s.closed {
-		s.mu.Unlock()
-		return nil, ErrClosed
+	id, err := s.reserveID(cfg.ID)
+	if err != nil {
+		return nil, err
 	}
-	if len(s.sessions) >= s.opt.MaxSessions {
-		s.mu.Unlock()
-		return nil, fmt.Errorf("%w (%d)", ErrTooManySessions, s.opt.MaxSessions)
-	}
-	s.nextID++
-	id := fmt.Sprintf("s-%06d", s.nextID)
-	s.mu.Unlock()
+	defer s.unreserveID(cfg.ID)
 
-	sp, hash, shared, err := s.sharedProg(cfg.Program)
+	sp, hash, shared, err := s.resolveProgram(&cfg)
 	if err != nil {
 		return nil, err
 	}
@@ -376,11 +479,13 @@ func (s *Server) CreateSession(cfg SessionConfig) (*SessionInfo, error) {
 	// batch API fills; an empty queue suspends the run (awaiting_input)
 	// instead of fabricating end-of-file.
 	eng.IO = engine.NewQueueIO(sp.prog.Symbols, false)
+	cfg.ID = ""
 	sess := &Session{
 		ID:          id,
 		Backend:     backendName,
 		Created:     time.Now(),
 		sp:          sp,
+		cfg:         cfg,
 		eng:         eng,
 		matcher:     m,
 		progHash:    hash,
@@ -435,6 +540,15 @@ func (s *Server) CreateSession(cfg SessionConfig) (*SessionInfo, error) {
 		WMSize:    eng.WM.Len(),
 		Halted:    eng.Halted(),
 	}, nil
+}
+
+// newBootID draws a random process-instance identifier for /healthz.
+func newBootID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		return fmt.Sprintf("t%d", time.Now().UnixNano())
+	}
+	return hex.EncodeToString(b[:])
 }
 
 // resolveWatch merges the session watch knob with the program's own

@@ -408,6 +408,7 @@ func (s *Server) Fork(templateID string) (*ForkResult, error) {
 		Backend:     tpl.Backend,
 		Created:     time.Now(),
 		sp:          tpl.sp,
+		cfg:         tpl.cfg,
 		eng:         eng,
 		matcher:     m,
 		progHash:    tpl.hash,

@@ -1,0 +1,52 @@
+package stats
+
+// Cluster aggregates the routing proxy's counters: ring routing,
+// health checking, the cluster-wide content-addressed program cache,
+// and session migration. Like the other counter structs it is plain
+// int64 fields synchronized by its owner (the proxy's metrics mutex).
+type Cluster struct {
+	BackendsLive int64 `json:"backends_live"` // backends currently passing health checks
+	BackendsDown int64 `json:"backends_down"` // backends currently failing health checks
+
+	HealthChecks int64 `json:"health_checks"` // /healthz probes issued
+	HealthFails  int64 `json:"health_fails"`  // probes that failed or reported not-ok
+	Transitions  int64 `json:"transitions"`   // up<->down state changes observed
+	BootChanges  int64 `json:"boot_changes"`  // backend restarts detected (boot_id changed)
+
+	SessionsRouted int64 `json:"sessions_routed"` // session creates placed via the ring
+	Forwards       int64 `json:"forwards"`        // session-scoped requests forwarded
+	Discoveries    int64 `json:"discoveries"`     // route-cache misses resolved by probing backends
+	Retries        int64 `json:"retries"`         // forwards/creates retried after a backend error
+	ReRoutes       int64 `json:"reroutes"`        // creates moved off a down or overloaded backend
+
+	// Content-addressed program cache, cluster view: programs registered
+	// with the proxy, program bodies pushed to a backend (each push is
+	// one parse+Rete compile somewhere in the cluster), and creates that
+	// skipped the push because the target backend already held the hash.
+	ProgramsRegistered int64 `json:"programs_registered"`
+	ProgramPushes      int64 `json:"program_pushes"`
+	ProgramCacheHits   int64 `json:"program_cache_hits"`
+
+	Migrations     int64 `json:"migrations"`      // sessions moved between backends
+	MigrationFails int64 `json:"migration_fails"` // migrations that failed (session stays put)
+}
+
+// Add accumulates o into c.
+func (c *Cluster) Add(o *Cluster) {
+	c.BackendsLive += o.BackendsLive
+	c.BackendsDown += o.BackendsDown
+	c.HealthChecks += o.HealthChecks
+	c.HealthFails += o.HealthFails
+	c.Transitions += o.Transitions
+	c.BootChanges += o.BootChanges
+	c.SessionsRouted += o.SessionsRouted
+	c.Forwards += o.Forwards
+	c.Discoveries += o.Discoveries
+	c.Retries += o.Retries
+	c.ReRoutes += o.ReRoutes
+	c.ProgramsRegistered += o.ProgramsRegistered
+	c.ProgramPushes += o.ProgramPushes
+	c.ProgramCacheHits += o.ProgramCacheHits
+	c.Migrations += o.Migrations
+	c.MigrationFails += o.MigrationFails
+}

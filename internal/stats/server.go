@@ -25,6 +25,13 @@ type Server struct {
 
 	Cycles  int64 `json:"cycles"`  // recognize-act cycles run on behalf of requests
 	Firings int64 `json:"firings"` // production firings across those cycles
+
+	// Content-addressed program cache: registered entries, session
+	// creates that found their compiled program already resident (no
+	// parse, no Rete compile), and the compiles actually paid.
+	ProgramsRegistered int64 `json:"programs_registered"`
+	ProgramHits        int64 `json:"program_hits"`
+	ProgramCompiles    int64 `json:"program_compiles"`
 }
 
 // Add accumulates o into s.
@@ -42,6 +49,9 @@ func (s *Server) Add(o *Server) {
 	s.Retracts += o.Retracts
 	s.Cycles += o.Cycles
 	s.Firings += o.Firings
+	s.ProgramsRegistered += o.ProgramsRegistered
+	s.ProgramHits += o.ProgramHits
+	s.ProgramCompiles += o.ProgramCompiles
 }
 
 // histBuckets is the number of power-of-two latency buckets. Bucket i

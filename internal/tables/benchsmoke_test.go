@@ -79,6 +79,18 @@ type benchBaseline struct {
 	// MinChainUnlinkSkips is the minimum unlink-skip count on the same
 	// gated chain run — the activations the dead joins never saw.
 	MinChainUnlinkSkips int64 `json:"min_chain_unlink_skips"`
+	// MinClusterScalingX2 is the minimum 2-backend/1-backend aggregate
+	// batches/sec ratio on the cluster sweep's best workload. Only
+	// enforced when the host has enough CPUs for the fleet
+	// (ClusterReport.Oversubscribed false); on a starved host the ratio
+	// measures timesharing, not the fabric, and the gate skips.
+	MinClusterScalingX2 float64 `json:"min_cluster_scaling_x2"`
+	// MinClusterCacheHitRate is the minimum content-addressed program
+	// cache hit rate over the multi-backend cells: every session after
+	// the first per backend must create by hash without re-shipping or
+	// recompiling the source. Structural — a drop means the proxy
+	// stopped tracking which backends hold which hashes.
+	MinClusterCacheHitRate float64 `json:"min_cluster_cache_hit_rate"`
 	// MinForkSpeedup is the minimum fork-vs-cold session-spawn ratio
 	// (time to a served first WM batch). Forking a warm template
 	// structure-copies its state and skips parse, network compile, RHS
@@ -299,6 +311,65 @@ func TestBenchSmoke(t *testing.T) {
 		}
 	}
 
+	// Cluster fabric gate: a reduced 1-vs-2-backend sweep through the
+	// routing proxy. The migrate-under-load differential (identical
+	// firing traces and WM across a mid-run migration, on every matcher
+	// backend) and the program-cache hit rate are structural properties;
+	// the 2-backend scaling ratio is wall-clock and only gated when the
+	// host actually has CPUs for both backends.
+	cl, err := RunClusterBench(ClusterBenchOptions{
+		BackendCounts: []int{1, 2}, Clients: 4, Batches: 10, Migrations: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var clusterHits, clusterPushes int64
+	for _, r := range cl.Runs {
+		t.Logf("cluster %-8s nb=%d  %7.1f batches/s  pushes %d  hits %d  hit-rate %.0f%%",
+			r.Workload, r.Backends, r.BatchesPerSec, r.ProgramPushes, r.ProgramCacheHits, r.CacheHitRate*100)
+		if r.Backends > 1 {
+			clusterHits += r.ProgramCacheHits
+			clusterPushes += r.ProgramPushes
+		}
+	}
+	for m, ok := range cl.MigrateDifferential {
+		if !ok {
+			t.Errorf("cluster migrate differential diverged on matcher %q — migration changed the computation", m)
+		}
+	}
+	if len(cl.MigrateDifferential) < 3 {
+		t.Errorf("cluster migrate differential covered %d matchers, want all 3", len(cl.MigrateDifferential))
+	}
+	if cl.Migration.Count == 0 {
+		t.Error("cluster sweep performed no under-load migrations")
+	}
+	t.Logf("cluster migration p50 %d us p99 %d us (%d migrations); 2-backend scaling %v (oversubscribed=%v)",
+		cl.Migration.P50Us, cl.Migration.P99Us, cl.Migration.Count, cl.ScalingX2, cl.Oversubscribed)
+	clusterHitRate := 0.0
+	if clusterHits+clusterPushes > 0 {
+		clusterHitRate = float64(clusterHits) / float64(clusterHits+clusterPushes)
+	}
+	if mode != "update" {
+		if clusterHitRate < base.MinClusterCacheHitRate {
+			t.Errorf("cluster program-cache hit rate %.2f < %.2f — sessions are re-shipping source to warm backends",
+				clusterHitRate, base.MinClusterCacheHitRate)
+		}
+		if cl.Oversubscribed {
+			t.Logf("host has %d CPUs for a 2-backend fleet: skipping the scaling gate", cl.HostCPUs)
+		} else {
+			best := 0.0
+			for _, x := range cl.ScalingX2 {
+				if x > best {
+					best = x
+				}
+			}
+			if best < base.MinClusterScalingX2 {
+				t.Errorf("best 2-backend scaling %.2fx < %.2fx — the fabric is not spreading load",
+					best, base.MinClusterScalingX2)
+			}
+		}
+	}
+
 	// Session-spawn gate: fork a warm template vs build the same session
 	// cold. Sized down from the recorded BENCH_durability.json run but
 	// the same structural comparison.
@@ -325,12 +396,14 @@ func TestBenchSmoke(t *testing.T) {
 			ActGroupedShare: map[string]float64{
 				"Sweep": 0.9, "Tourney": 0.05, "Weaver": 0.3,
 			},
-			MaxActRollbackRatio:  0.25,
-			MinSkewGain:          5,
-			MinCrossContainment:  10,
-			MaxChainNullActRatio: 0.5,
-			MinChainUnlinkSkips:  64,
-			MinForkSpeedup:       3,
+			MaxActRollbackRatio:    0.25,
+			MinSkewGain:            5,
+			MinCrossContainment:    10,
+			MaxChainNullActRatio:   0.5,
+			MinChainUnlinkSkips:    64,
+			MinClusterScalingX2:    1.2,
+			MinClusterCacheHitRate: 0.5,
+			MinForkSpeedup:         3,
 		}
 		data, err := json.MarshalIndent(out, "", "  ")
 		if err != nil {

@@ -24,6 +24,15 @@ import (
 // session: forks start from the snapshot and diverge through their own
 // delta logs, and the template's snapshot hash pins its immutability.
 type Snapshot struct {
+	// Format is the payload's own version stamp, written by Encode and
+	// checked by DecodeSnapshot. The container (magic + snapVersion)
+	// versions the framing; Format versions the gob payload layout, so
+	// a drift in this struct's field semantics surfaces as a clear
+	// "snapshot format version X, this binary reads Y" error on restore
+	// or migration import instead of a silently-misdecoded state or an
+	// opaque gob failure. Bump snapFormat whenever a field's meaning,
+	// type or encoding changes.
+	Format    int
 	ProgHash  [32]byte
 	NextTag   int
 	Halted    bool
@@ -53,7 +62,15 @@ type FireKey struct {
 const (
 	snapMagic   = "OPS5WSN1"
 	snapVersion = 1
+	// snapFormat stamps the gob payload layout (see Snapshot.Format).
+	snapFormat = 2
 )
+
+// ErrSnapshotVersion reports a snapshot written by a different payload
+// format — a binary-skew situation (old snapshot under a new daemon, or
+// a migration between daemons of different builds) that must fail
+// loudly instead of half-decoding.
+var ErrSnapshotVersion = errors.New("wmlog: snapshot format mismatch")
 
 // ErrSnapshotCorrupt reports an undecodable snapshot file.
 var ErrSnapshotCorrupt = errors.New("wmlog: corrupt snapshot")
@@ -63,6 +80,7 @@ var ErrSnapshotCorrupt = errors.New("wmlog: corrupt snapshot")
 // for a given state (slices are ordered by the caller: WMEs by tag,
 // fired keys by rule then tags), so Hash doubles as a state identity.
 func (s *Snapshot) Encode() ([]byte, error) {
+	s.Format = snapFormat
 	var payload bytes.Buffer
 	if err := gob.NewEncoder(&payload).Encode(s); err != nil {
 		return nil, err
@@ -99,6 +117,11 @@ func DecodeSnapshot(b []byte) (*Snapshot, error) {
 	var s Snapshot
 	if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(&s); err != nil {
 		return nil, fmt.Errorf("%w: %v", ErrSnapshotCorrupt, err)
+	}
+	if s.Format != snapFormat {
+		return nil, fmt.Errorf("%w: snapshot format version %d, this binary reads %d — "+
+			"the snapshot was written by a different build (re-snapshot with the writing build, or upgrade in place)",
+			ErrSnapshotVersion, s.Format, snapFormat)
 	}
 	return &s, nil
 }

@@ -1,0 +1,61 @@
+package wmlog
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/gob"
+	"errors"
+	"hash/crc32"
+	"testing"
+)
+
+// frame wraps a gob payload in the snapshot container (magic, version,
+// length, CRC) without going through Encode, so tests can build
+// payloads Encode would refuse to write.
+func frame(t *testing.T, payload []byte) []byte {
+	t.Helper()
+	var b []byte
+	b = append(b, snapMagic...)
+	b = binary.LittleEndian.AppendUint32(b, snapVersion)
+	b = binary.LittleEndian.AppendUint32(b, uint32(len(payload)))
+	b = append(b, payload...)
+	b = binary.LittleEndian.AppendUint32(b, crc32.ChecksumIEEE(payload))
+	return b
+}
+
+// TestSnapshotFormatStamp: Encode stamps the current payload format and
+// DecodeSnapshot round-trips it.
+func TestSnapshotFormatStamp(t *testing.T) {
+	s := &Snapshot{NextTag: 7, Wmes: []TaggedWME{{Tag: 1}}}
+	b, err := s.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeSnapshot(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Format != snapFormat || got.NextTag != 7 {
+		t.Fatalf("decoded Format=%d NextTag=%d, want %d/7", got.Format, got.NextTag, snapFormat)
+	}
+}
+
+// TestSnapshotFormatMismatch: a payload stamped with a different format
+// — a snapshot written by a different build — must fail with
+// ErrSnapshotVersion, not half-decode.
+func TestSnapshotFormatMismatch(t *testing.T) {
+	for _, format := range []int{0, 1, snapFormat + 1, 999} {
+		alien := Snapshot{Format: format, NextTag: 3}
+		var payload bytes.Buffer
+		if err := gob.NewEncoder(&payload).Encode(&alien); err != nil {
+			t.Fatal(err)
+		}
+		_, err := DecodeSnapshot(frame(t, payload.Bytes()))
+		if !errors.Is(err, ErrSnapshotVersion) {
+			t.Fatalf("format %d: err = %v, want ErrSnapshotVersion", format, err)
+		}
+		if errors.Is(err, ErrSnapshotCorrupt) {
+			t.Fatalf("format %d misreported as corruption: %v", format, err)
+		}
+	}
+}
